@@ -1,0 +1,139 @@
+//! Finite-difference gradient verification.
+//!
+//! Every analytic backward rule in this crate (and the model-level losses
+//! in `photonn-donn`) is validated against central differences through
+//! these helpers.
+
+use photonn_math::{CGrid, Complex64, Grid};
+
+/// Central-difference numeric gradient of a scalar function of a real grid.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_autodiff::gradcheck::numeric_grad_real;
+/// use photonn_math::Grid;
+///
+/// let x = Grid::full(2, 2, 3.0);
+/// let g = numeric_grad_real(|g| g.as_slice().iter().map(|v| v * v).sum(), &x, 1e-5);
+/// assert!((g[(0, 0)] - 6.0).abs() < 1e-6);
+/// ```
+pub fn numeric_grad_real(f: impl Fn(&Grid) -> f64, x: &Grid, eps: f64) -> Grid {
+    Grid::from_fn(x.rows(), x.cols(), |r, c| {
+        let mut plus = x.clone();
+        plus[(r, c)] += eps;
+        let mut minus = x.clone();
+        minus[(r, c)] -= eps;
+        (f(&plus) - f(&minus)) / (2.0 * eps)
+    })
+}
+
+/// Central-difference numeric gradient of a scalar function of a complex
+/// grid, in the crate's convention `g = ∂L/∂x + i·∂L/∂y`.
+pub fn numeric_grad_complex(f: impl Fn(&CGrid) -> f64, x: &CGrid, eps: f64) -> CGrid {
+    CGrid::from_fn(x.rows(), x.cols(), |r, c| {
+        let mut re_plus = x.clone();
+        re_plus[(r, c)] += Complex64::from_real(eps);
+        let mut re_minus = x.clone();
+        re_minus[(r, c)] -= Complex64::from_real(eps);
+        let d_re = (f(&re_plus) - f(&re_minus)) / (2.0 * eps);
+
+        let mut im_plus = x.clone();
+        im_plus[(r, c)] += Complex64::new(0.0, eps);
+        let mut im_minus = x.clone();
+        im_minus[(r, c)] -= Complex64::new(0.0, eps);
+        let d_im = (f(&im_plus) - f(&im_minus)) / (2.0 * eps);
+
+        Complex64::new(d_re, d_im)
+    })
+}
+
+/// Asserts the analytic gradient of a real-input scalar function matches
+/// central differences to `tol` (absolute, after normalizing by the larger
+/// of 1 and the gradient's max magnitude).
+///
+/// # Panics
+///
+/// Panics (with a located message) when the check fails.
+pub fn assert_grad_matches_real(
+    f: impl Fn(&Grid) -> f64,
+    x: &Grid,
+    analytic: &Grid,
+    eps: f64,
+    tol: f64,
+    ctx: &str,
+) {
+    let numeric = numeric_grad_real(f, x, eps);
+    let scale = numeric
+        .as_slice()
+        .iter()
+        .map(|v| v.abs())
+        .fold(1.0f64, f64::max);
+    let diff = analytic.max_abs_diff(&numeric);
+    assert!(
+        diff <= tol * scale,
+        "{ctx}: gradient mismatch {diff:.3e} (scale {scale:.3e})\nanalytic:\n{analytic}\nnumeric:\n{numeric}"
+    );
+}
+
+/// Complex-input version of [`assert_grad_matches_real`].
+///
+/// # Panics
+///
+/// Panics (with a located message) when the check fails.
+pub fn assert_grad_matches_complex(
+    f: impl Fn(&CGrid) -> f64,
+    x: &CGrid,
+    analytic: &CGrid,
+    eps: f64,
+    tol: f64,
+    ctx: &str,
+) {
+    let numeric = numeric_grad_complex(f, x, eps);
+    let scale = numeric
+        .as_slice()
+        .iter()
+        .map(|v| v.norm())
+        .fold(1.0f64, f64::max);
+    let diff = analytic.max_abs_diff(&numeric);
+    assert!(
+        diff <= tol * scale,
+        "{ctx}: complex gradient mismatch {diff:.3e} (scale {scale:.3e})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_grad_of_quadratic() {
+        let x = Grid::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let g = numeric_grad_real(|g| g.as_slice().iter().map(|v| v * v).sum(), &x, 1e-5);
+        assert!(g.max_abs_diff(&(&x * 2.0)) < 1e-6);
+    }
+
+    #[test]
+    fn numeric_grad_complex_of_norm_sqr() {
+        // L = Σ|z|² ⇒ g = 2x + 2iy = 2z.
+        let x = CGrid::from_fn(2, 2, |r, c| Complex64::new(r as f64 + 0.5, c as f64 - 1.0));
+        let g = numeric_grad_complex(|z| z.total_power(), &x, 1e-5);
+        let expected = x.map(|z| z.scale(2.0));
+        assert!(g.max_abs_diff(&expected) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn assert_catches_wrong_gradient() {
+        let x = Grid::full(2, 2, 1.0);
+        let wrong = Grid::full(2, 2, 10.0);
+        assert_grad_matches_real(
+            |g| g.sum(),
+            &x,
+            &wrong,
+            1e-5,
+            1e-6,
+            "intentional failure",
+        );
+    }
+}

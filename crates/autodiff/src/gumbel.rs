@@ -1,0 +1,112 @@
+//! Gumbel-Softmax utilities (Jang et al., 2016) for the paper's 2π
+//! combinatorial phase optimization (§III-D2).
+//!
+//! For a two-way selection the Gumbel-Softmax relaxation reduces to the
+//! binary Concrete distribution: with logit difference `d` and logistic
+//! noise `ε`, the soft sample is `σ((d + ε)/τ)`. [`crate::Tape::binary_concrete`]
+//! implements the differentiable sample; this module supplies the noise
+//! grids and the temperature annealing schedule.
+
+use photonn_math::{Grid, Rng};
+
+/// Geometric (exponential) temperature annealing from `start` to `end`
+/// over `steps` iterations — the usual Gumbel-Softmax schedule.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_autodiff::TemperatureSchedule;
+///
+/// let sched = TemperatureSchedule::new(5.0, 0.1, 100);
+/// assert!((sched.at(0) - 5.0).abs() < 1e-12);
+/// assert!((sched.at(99) - 0.1).abs() < 1e-9);
+/// assert!(sched.at(50) < 5.0 && sched.at(50) > 0.1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TemperatureSchedule {
+    start: f64,
+    end: f64,
+    steps: usize,
+}
+
+impl TemperatureSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start >= end > 0` and `steps > 0`.
+    pub fn new(start: f64, end: f64, steps: usize) -> Self {
+        assert!(end > 0.0, "temperatures must be positive");
+        assert!(start >= end, "schedule must anneal downward");
+        assert!(steps > 0, "need at least one step");
+        TemperatureSchedule { start, end, steps }
+    }
+
+    /// Temperature at iteration `iter` (clamped to the final value).
+    pub fn at(&self, iter: usize) -> f64 {
+        if self.steps == 1 {
+            return self.end;
+        }
+        let t = (iter.min(self.steps - 1)) as f64 / (self.steps - 1) as f64;
+        self.start * (self.end / self.start).powf(t)
+    }
+
+    /// Number of annealing steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// Samples a grid of standard logistic noise — the difference of two
+/// independent Gumbel draws, as required by two-way Gumbel-Softmax.
+pub fn logistic_noise(rows: usize, cols: usize, rng: &mut Rng) -> Grid {
+    Grid::from_fn(rows, cols, |_, _| rng.logistic())
+}
+
+/// Hard (zero-temperature) decision from logits: `true` where the 2π
+/// option wins. Equivalent to `argmax` over the two-way softmax.
+pub fn hard_select(logits: &Grid) -> Vec<bool> {
+    logits.as_slice().iter().map(|&l| l > 0.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_decreasing() {
+        let s = TemperatureSchedule::new(2.0, 0.05, 50);
+        for i in 1..50 {
+            assert!(s.at(i) < s.at(i - 1));
+        }
+        // Clamped past the end.
+        assert_eq!(s.at(1000), s.at(49));
+    }
+
+    #[test]
+    fn single_step_schedule() {
+        let s = TemperatureSchedule::new(1.0, 1.0, 1);
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "anneal downward")]
+    fn increasing_schedule_rejected() {
+        let _ = TemperatureSchedule::new(0.1, 1.0, 10);
+    }
+
+    #[test]
+    fn logistic_noise_shape_and_symmetry() {
+        let mut rng = Rng::seed_from(1);
+        let g = logistic_noise(20, 20, &mut rng);
+        assert_eq!(g.shape(), (20, 20));
+        assert!(g.mean().abs() < 0.3);
+    }
+
+    #[test]
+    fn hard_select_thresholds_zero() {
+        let logits = Grid::from_rows(&[&[1.0, -1.0], &[0.0, 2.5]]);
+        assert_eq!(hard_select(&logits), vec![true, false, false, true]);
+    }
+}

@@ -1,0 +1,252 @@
+//! First-order optimizers over lists of real grid parameters (one grid per
+//! diffractive layer).
+
+use photonn_math::Grid;
+
+/// Adam (Kingma & Ba, 2014) — the optimizer used for all of the paper's
+/// training runs (baseline lr 0.2, sparsification lr 0.001).
+///
+/// # Examples
+///
+/// ```
+/// use photonn_autodiff::Adam;
+/// use photonn_math::Grid;
+///
+/// // Minimize f(x) = Σ x² by gradient descent.
+/// let mut params = vec![Grid::full(2, 2, 1.0)];
+/// let mut adam = Adam::new(0.1);
+/// for _ in 0..200 {
+///     let grads = vec![&params[0] * 2.0]; // ∇f = 2x
+///     adam.step(&mut params, &grads);
+/// }
+/// assert!(params[0].max() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    moments: Vec<(Grid, Grid)>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard `(β₁, β₂, ε) = (0.9, 0.999, 1e-8)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, betas are outside `[0, 1)`, or `eps <= 0`.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        assert!(eps > 0.0, "eps must be positive");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update to every parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or shapes of parameters change between calls,
+    /// or `grads.len() != params.len()`.
+    pub fn step(&mut self, params: &mut [Grid], grads: &[Grid]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.moments.is_empty() {
+            self.moments = params
+                .iter()
+                .map(|p| (Grid::zeros(p.rows(), p.cols()), Grid::zeros(p.rows(), p.cols())))
+                .collect();
+        }
+        assert_eq!(self.moments.len(), params.len(), "parameter count changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((param, grad), (m, v)) in params.iter_mut().zip(grads).zip(&mut self.moments) {
+            assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
+            let (pm, pv) = (m.as_mut_slice(), v.as_mut_slice());
+            for (i, (p, g)) in param
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .enumerate()
+            {
+                pm[i] = self.beta1 * pm[i] + (1.0 - self.beta1) * g;
+                pv[i] = self.beta2 * pv[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = pm[i] / bc1;
+                let v_hat = pv[i] / bc2;
+                *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Resets step count and moments (e.g. between SLR outer iterations).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.moments.clear();
+    }
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Grid>,
+}
+
+impl Sgd {
+    /// Creates SGD without momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// Creates SGD with momentum `μ ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum ∉ [0, 1)`.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Applies one update to every parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length or shape mismatches (see [`Adam::step`]).
+    pub fn step(&mut self, params: &mut [Grid], grads: &[Grid]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Grid::zeros(p.rows(), p.cols())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter count changed");
+        for ((param, grad), vel) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
+            for (i, (p, g)) in param
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .enumerate()
+            {
+                let v = self.momentum * vel.as_slice()[i] + g;
+                vel.as_mut_slice()[i] = v;
+                *p -= self.lr * v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Grid) -> Grid {
+        p * 2.0
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut params = vec![Grid::full(3, 3, 5.0), Grid::full(2, 2, -4.0)];
+        let mut adam = Adam::new(0.2);
+        for _ in 0..300 {
+            let grads: Vec<Grid> = params.iter().map(quadratic_grad).collect();
+            adam.step(&mut params, &grads);
+        }
+        for p in &params {
+            assert!(p.as_slice().iter().all(|x| x.abs() < 1e-2), "{p}");
+        }
+    }
+
+    #[test]
+    fn sgd_with_momentum_minimizes_quadratic() {
+        let mut params = vec![Grid::full(2, 2, 3.0)];
+        let mut sgd = Sgd::with_momentum(0.05, 0.9);
+        for _ in 0..200 {
+            let grads: Vec<Grid> = params.iter().map(quadratic_grad).collect();
+            sgd.step(&mut params, &grads);
+        }
+        assert!(params[0].as_slice().iter().all(|x| x.abs() < 1e-2));
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step from zero moments, Adam moves by ~lr·sign(g).
+        let mut params = vec![Grid::full(1, 1, 0.0)];
+        let mut adam = Adam::new(0.1);
+        let grads = vec![Grid::full(1, 1, 42.0)];
+        adam.step(&mut params, &grads);
+        assert!((params[0][(0, 0)] + 0.1).abs() < 1e-6, "{}", params[0][(0, 0)]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut adam = Adam::new(0.1);
+        let mut params = vec![Grid::full(1, 1, 1.0)];
+        adam.step(&mut params, &[Grid::full(1, 1, 1.0)]);
+        adam.reset();
+        // After reset a different parameter count is accepted.
+        let mut params2 = vec![Grid::zeros(2, 2), Grid::zeros(2, 2)];
+        adam.step(&mut params2, &[Grid::zeros(2, 2), Grid::zeros(2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut adam = Adam::new(0.1);
+        let mut params = vec![Grid::zeros(1, 1)];
+        adam.step(&mut params, &[Grid::zeros(1, 1), Grid::zeros(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_lr_rejected() {
+        let _ = Adam::new(0.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Differentiable grid penalties: the paper's roughness model (Eq. 3–4)
+//! and the intra-block smoothness variance (Eq. 8).
+//!
+//! Forward values and analytic gradients live here as plain functions so
+//! the tape ops, the measurement-only APIs in `photonn-donn`, and the 2π
+//! post-optimizer all share one implementation.
+
+use photonn_math::block::BlockPartition;
+use photonn_math::Grid;
+
+/// Neighborhood used by the roughness model (paper Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Neighborhood {
+    /// The 4 edge-adjacent neighbors.
+    Four,
+    /// All 8 surrounding pixels (the paper's evaluation setting).
+    #[default]
+    Eight,
+}
+
+impl Neighborhood {
+    /// Neighbor offsets `(dr, dc)`.
+    pub fn offsets(self) -> &'static [(isize, isize)] {
+        match self {
+            Neighborhood::Four => &[(-1, 0), (1, 0), (0, -1), (0, 1)],
+            Neighborhood::Eight => &[
+                (-1, -1),
+                (-1, 0),
+                (-1, 1),
+                (0, -1),
+                (0, 1),
+                (1, -1),
+                (1, 0),
+                (1, 1),
+            ],
+        }
+    }
+
+    /// Number of neighbors `k` in Eq. 3.
+    pub fn k(self) -> usize {
+        self.offsets().len()
+    }
+}
+
+/// Distance applied to each pixel/neighbor difference.
+///
+/// For scalars the paper's "L2-norm difference" `‖p_ij − p‖₂` is the
+/// absolute difference, which [`DiffMetric::Abs`] implements; a squared
+/// variant is provided for the smooth-surrogate ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DiffMetric {
+    /// `|Δ|` — the paper's metric. Subgradient `sign(Δ)` at the kink.
+    #[default]
+    Abs,
+    /// `Δ²` — smooth everywhere; changes the measured scale.
+    Squared,
+}
+
+impl DiffMetric {
+    #[inline]
+    fn value(self, d: f64) -> f64 {
+        match self {
+            DiffMetric::Abs => d.abs(),
+            DiffMetric::Squared => d * d,
+        }
+    }
+
+    #[inline]
+    fn derivative(self, d: f64) -> f64 {
+        match self {
+            DiffMetric::Abs => {
+                if d > 0.0 {
+                    1.0
+                } else if d < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            DiffMetric::Squared => 2.0 * d,
+        }
+    }
+}
+
+/// Configuration of the roughness model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct RoughnessConfig {
+    /// Neighborhood (4 or 8).
+    pub neighborhood: Neighborhood,
+    /// Per-difference metric.
+    pub metric: DiffMetric,
+}
+
+impl RoughnessConfig {
+    /// The paper's evaluation configuration: 8 neighbors, absolute
+    /// differences.
+    pub fn paper() -> Self {
+        RoughnessConfig::default()
+    }
+}
+
+/// Roughness of one phase mask — paper Eq. 4.
+///
+/// `R(W) = Σ_p (1/k)·Σ_{q∈N(p)} metric(W_q − W_p)`, with one-pixel zero
+/// padding so boundary pixels compare against 0.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_autodiff::penalty::{roughness_value, RoughnessConfig};
+/// use photonn_math::Grid;
+///
+/// // A perfectly flat *zero* mask has zero roughness; a flat non-zero
+/// // mask still pays at the zero-padded boundary.
+/// let flat0 = Grid::zeros(4, 4);
+/// assert_eq!(roughness_value(&flat0, RoughnessConfig::paper()), 0.0);
+/// let flat1 = Grid::full(4, 4, 1.0);
+/// assert!(roughness_value(&flat1, RoughnessConfig::paper()) > 0.0);
+/// ```
+pub fn roughness_value(mask: &Grid, cfg: RoughnessConfig) -> f64 {
+    let (rows, cols) = mask.shape();
+    let offsets = cfg.neighborhood.offsets();
+    let inv_k = 1.0 / cfg.neighborhood.k() as f64;
+    let mut total = 0.0;
+    for r in 0..rows {
+        for c in 0..cols {
+            let p = mask[(r, c)];
+            let mut acc = 0.0;
+            for &(dr, dc) in offsets {
+                let q = mask.get_zero_padded(r as isize + dr, c as isize + dc);
+                acc += cfg.metric.value(q - p);
+            }
+            total += acc * inv_k;
+        }
+    }
+    total
+}
+
+/// Gradient of [`roughness_value`] with respect to the mask, scaled by
+/// `upstream` (the incoming adjoint).
+pub fn roughness_grad(mask: &Grid, cfg: RoughnessConfig, upstream: f64) -> Grid {
+    let (rows, cols) = mask.shape();
+    let offsets = cfg.neighborhood.offsets();
+    let inv_k = upstream / cfg.neighborhood.k() as f64;
+    let mut grad = Grid::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let p = mask[(r, c)];
+            for &(dr, dc) in offsets {
+                let qr = r as isize + dr;
+                let qc = c as isize + dc;
+                let q = mask.get_zero_padded(qr, qc);
+                // d metric(q - p) contributes +d' to q and -d' to p.
+                let d = cfg.metric.derivative(q - p) * inv_k;
+                grad[(r, c)] -= d;
+                if qr >= 0 && qc >= 0 && (qr as usize) < rows && (qc as usize) < cols {
+                    grad[(qr as usize, qc as usize)] += d;
+                }
+            }
+        }
+    }
+    grad
+}
+
+/// How per-block variances aggregate into one smoothness score.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BlockReduce {
+    /// Sum of block variances — the training penalty of Eq. 8.
+    #[default]
+    Sum,
+    /// Mean of block variances — the "AvgVar" displayed in Fig. 4.
+    Mean,
+}
+
+/// Intra-block smoothness score: unbiased sample variance (n−1, matching
+/// `torch.var`'s default and the Fig. 4 "AvgVar" numbers) of each block of
+/// the partition, reduced by `reduce` (paper Eq. 8 / Fig. 4).
+pub fn block_variance_value(mask: &Grid, partition: BlockPartition, reduce: BlockReduce) -> f64 {
+    let vars = partition.block_sample_variances(mask);
+    let sum: f64 = vars.iter().sum();
+    match reduce {
+        BlockReduce::Sum => sum,
+        BlockReduce::Mean => sum / vars.len() as f64,
+    }
+}
+
+/// Gradient of [`block_variance_value`], scaled by `upstream`.
+pub fn block_variance_grad(
+    mask: &Grid,
+    partition: BlockPartition,
+    reduce: BlockReduce,
+    upstream: f64,
+) -> Grid {
+    let scale = match reduce {
+        BlockReduce::Sum => upstream,
+        BlockReduce::Mean => upstream / partition.num_blocks() as f64,
+    };
+    let mut grad = Grid::zeros(mask.rows(), mask.cols());
+    for block in partition.blocks() {
+        let values = partition.block_values(mask, block);
+        if values.len() < 2 {
+            continue; // sample variance of a single element is 0
+        }
+        let m = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / m;
+        // d var / d x_i = 2(x_i − mean)/(m−1) for sample variance.
+        for r in block.r0..block.r0 + block.h {
+            for c in block.c0..block.c0 + block.w {
+                grad[(r, c)] += scale * 2.0 * (mask[(r, c)] - mean) / (m - 1.0);
+            }
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference numeric gradient for a scalar function of a grid.
+    fn numeric_grad(f: impl Fn(&Grid) -> f64, x: &Grid, eps: f64) -> Grid {
+        Grid::from_fn(x.rows(), x.cols(), |r, c| {
+            let mut plus = x.clone();
+            plus[(r, c)] += eps;
+            let mut minus = x.clone();
+            minus[(r, c)] -= eps;
+            (f(&plus) - f(&minus)) / (2.0 * eps)
+        })
+    }
+
+    fn sample_mask() -> Grid {
+        Grid::from_rows(&[
+            &[4.7, 5.7, 0.9, 0.4],
+            &[4.5, 0.9, 3.8, 1.5],
+            &[0.1, 5.7, 9.0, 3.2],
+            &[4.7, 9.7, 7.8, 2.5],
+        ])
+    }
+
+    #[test]
+    fn roughness_single_pixel() {
+        // Lone pixel of value v: every neighbor is padding 0, so
+        // R = (1/k)·k·|v| = |v|.
+        let g = Grid::from_rows(&[&[3.5]]);
+        for nb in [Neighborhood::Four, Neighborhood::Eight] {
+            let cfg = RoughnessConfig {
+                neighborhood: nb,
+                metric: DiffMetric::Abs,
+            };
+            assert!((roughness_value(&g, cfg) - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roughness_fig2_worked_example() {
+        // 3×3 mask, hand-computed 4- and 8-neighbor roughness.
+        let g = Grid::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0]]);
+        // Pixel (0,0)=1: 4-neighbors {pad,pad,0,0} → (1+1+1+1)/4 = 1
+        // Pixels (0,1),(1,0): see value 1 once → 1/4 each; all others 0.
+        let cfg4 = RoughnessConfig {
+            neighborhood: Neighborhood::Four,
+            metric: DiffMetric::Abs,
+        };
+        assert!((roughness_value(&g, cfg4) - 1.5).abs() < 1e-12);
+        // 8-neighbor: (0,0): 8 diffs of |0-1| (5 pads + 3 zeros) /8 = 1;
+        // (0,1),(1,0),(1,1): each sees the 1 once → 3×(1/8).
+        let cfg8 = RoughnessConfig::paper();
+        assert!((roughness_value(&g, cfg8) - 1.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roughness_symmetry_under_transpose() {
+        let g = sample_mask();
+        for cfg in [
+            RoughnessConfig::paper(),
+            RoughnessConfig {
+                neighborhood: Neighborhood::Four,
+                metric: DiffMetric::Squared,
+            },
+        ] {
+            let a = roughness_value(&g, cfg);
+            let b = roughness_value(&g.transpose(), cfg);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roughness_scale_invariance_structure() {
+        // Abs metric is 1-homogeneous; Squared is 2-homogeneous.
+        let g = sample_mask();
+        let abs_cfg = RoughnessConfig::paper();
+        let sq_cfg = RoughnessConfig {
+            neighborhood: Neighborhood::Eight,
+            metric: DiffMetric::Squared,
+        };
+        let scaled = g.map(|x| 3.0 * x);
+        assert!(
+            (roughness_value(&scaled, abs_cfg) - 3.0 * roughness_value(&g, abs_cfg)).abs() < 1e-9
+        );
+        assert!(
+            (roughness_value(&scaled, sq_cfg) - 9.0 * roughness_value(&g, sq_cfg)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn roughness_grad_matches_numeric_squared() {
+        let g = sample_mask();
+        let cfg = RoughnessConfig {
+            neighborhood: Neighborhood::Eight,
+            metric: DiffMetric::Squared,
+        };
+        let analytic = roughness_grad(&g, cfg, 1.0);
+        let numeric = numeric_grad(|x| roughness_value(x, cfg), &g, 1e-5);
+        assert!(
+            analytic.max_abs_diff(&numeric) < 1e-6,
+            "max diff {}",
+            analytic.max_abs_diff(&numeric)
+        );
+    }
+
+    #[test]
+    fn roughness_grad_matches_numeric_abs_away_from_kinks() {
+        // All pairwise differences in sample_mask are far from 0, so the
+        // abs metric is differentiable there.
+        let g = sample_mask();
+        for nb in [Neighborhood::Four, Neighborhood::Eight] {
+            let cfg = RoughnessConfig {
+                neighborhood: nb,
+                metric: DiffMetric::Abs,
+            };
+            let analytic = roughness_grad(&g, cfg, 2.0);
+            let numeric = numeric_grad(|x| 2.0 * roughness_value(x, cfg), &g, 1e-6);
+            assert!(
+                analytic.max_abs_diff(&numeric) < 1e-5,
+                "nb {nb:?}: max diff {}",
+                analytic.max_abs_diff(&numeric)
+            );
+        }
+    }
+
+    #[test]
+    fn block_variance_value_fig4_style() {
+        // 2×2 blocks of a 4×4 grid; independent hand check.
+        let g = Grid::from_rows(&[
+            &[1.0, 1.0, 2.0, 4.0],
+            &[1.0, 1.0, 6.0, 8.0],
+            &[0.0, 0.0, 5.0, 5.0],
+            &[0.0, 0.0, 5.0, 5.0],
+        ]);
+        let p = BlockPartition::square(4, 4, 2);
+        // Sample variances: [0, var(2,4,6,8)=20/3, 0, 0]
+        let sum = block_variance_value(&g, p, BlockReduce::Sum);
+        assert!((sum - 20.0 / 3.0).abs() < 1e-12);
+        let mean = block_variance_value(&g, p, BlockReduce::Mean);
+        assert!((mean - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_variance_grad_matches_numeric() {
+        let g = sample_mask();
+        let p = BlockPartition::square(4, 4, 2);
+        for reduce in [BlockReduce::Sum, BlockReduce::Mean] {
+            let analytic = block_variance_grad(&g, p, reduce, 1.5);
+            let numeric = numeric_grad(|x| 1.5 * block_variance_value(x, p, reduce), &g, 1e-5);
+            assert!(
+                analytic.max_abs_diff(&numeric) < 1e-6,
+                "{reduce:?}: {}",
+                analytic.max_abs_diff(&numeric)
+            );
+        }
+    }
+
+    #[test]
+    fn constant_block_has_zero_variance_grad() {
+        let g = Grid::full(4, 4, 2.5);
+        let p = BlockPartition::square(4, 4, 2);
+        let grad = block_variance_grad(&g, p, BlockReduce::Sum, 1.0);
+        assert!(grad.max_abs_diff(&Grid::zeros(4, 4)) < 1e-15);
+    }
+
+    #[test]
+    fn truncated_blocks_still_consistent() {
+        // 5×5 grid with 2×2 blocks exercises boundary truncation.
+        let g = Grid::from_fn(5, 5, |r, c| ((r * 5 + c) % 7) as f64);
+        let p = BlockPartition::square(5, 5, 2);
+        let analytic = block_variance_grad(&g, p, BlockReduce::Sum, 1.0);
+        let numeric = numeric_grad(|x| block_variance_value(x, p, BlockReduce::Sum), &g, 1e-5);
+        assert!(analytic.max_abs_diff(&numeric) < 1e-6);
+    }
+}

@@ -1,0 +1,792 @@
+//! Define-by-run reverse-mode tape over real and complex grid values.
+//!
+//! # Complex gradient convention
+//!
+//! For a real-valued loss `L` and complex node `z = x + iy`, the stored
+//! adjoint is `g = ∂L/∂x + i·∂L/∂y = 2·∂L/∂z̄` — the same convention as
+//! PyTorch's `.grad` for complex tensors, chosen so gradient descent is
+//! `z ← z − lr·g`. Chain rules below are written for that convention; they
+//! are verified against central differences in this module's tests and in
+//! [`crate::gradcheck`].
+
+use photonn_fft::Fft2;
+use photonn_math::block::BlockPartition;
+use photonn_math::{CGrid, Complex64, Grid};
+use std::sync::Arc;
+
+use crate::penalty::{
+    block_variance_grad, block_variance_value, roughness_grad, roughness_value, BlockReduce,
+    RoughnessConfig,
+};
+use crate::value::Value;
+
+/// A rectangular detector region on the output plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Top row.
+    pub r0: usize,
+    /// Left column.
+    pub c0: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// Width in pixels.
+    pub w: usize,
+}
+
+impl Region {
+    /// Sum of grid values inside the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region exceeds the grid.
+    pub fn sum(&self, grid: &Grid) -> f64 {
+        assert!(
+            self.r0 + self.h <= grid.rows() && self.c0 + self.w <= grid.cols(),
+            "region out of bounds"
+        );
+        let mut acc = 0.0;
+        for r in self.r0..self.r0 + self.h {
+            for c in self.c0..self.c0 + self.w {
+                acc += grid[(r, c)];
+            }
+        }
+        acc
+    }
+}
+
+/// Handle to a complex-field node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CVar(usize);
+/// Handle to a real-grid node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RVar(usize);
+/// Handle to a vector node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VVar(usize);
+/// Handle to a scalar node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SVar(usize);
+
+#[derive(Debug)]
+enum Op {
+    Leaf,
+    /// `w = exp(i·φ)` from a real phase grid.
+    PhaseToComplex,
+    /// Unnormalized forward 2-D FFT.
+    Fft2(Arc<Fft2>),
+    /// Normalized inverse 2-D FFT.
+    Ifft2(Arc<Fft2>),
+    /// `y = x ⊙ K` with a constant complex grid (transfer function).
+    MulConstC(Arc<CGrid>),
+    /// `y = a ⊙ b`, both differentiable.
+    MulCC,
+    /// `y = s·x` for real `s`.
+    ScaleC(f64),
+    /// Zero-pad centered to a larger shape.
+    PadCentered,
+    /// Center crop to a smaller shape.
+    CropCentered,
+    /// `I = |z|²`.
+    Intensity,
+    /// Elementwise sums/differences/products of real grids.
+    AddRR,
+    SubRR,
+    MulRR,
+    /// `y = s·x` for a real grid.
+    ScaleR(f64),
+    /// `y = x + K` with constant `K` (identity backward).
+    OffsetR,
+    /// `y = x ⊙ K` with constant `K` (e.g. a frozen sparsity mask).
+    MulConstR(Arc<Grid>),
+    /// Binary Concrete relaxation: `y = σ((x + noise)/τ)`; backward only
+    /// needs the stored output and the temperature.
+    BinaryConcrete { temp: f64 },
+    /// Per-region sums of a real grid → vector.
+    RegionSums(Arc<Vec<Region>>),
+    /// Numerically-stable softmax.
+    Softmax,
+    /// `y = s·x` for a vector.
+    ScaleV(f64),
+    /// `y = x / (Σx + eps)`.
+    NormalizeSum { eps: f64 },
+    /// `L = Σ_i (y_i − onehot(t)_i)²` — the paper's MSE loss.
+    MseOneHot { target: usize },
+    /// `L = −ln y_t` on probabilities.
+    CrossEntropyOneHot { target: usize },
+    /// Paper Eq. 4 roughness of a real grid.
+    Roughness(RoughnessConfig),
+    /// Paper Eq. 8 intra-block variance penalty.
+    BlockVariance {
+        partition: BlockPartition,
+        reduce: BlockReduce,
+    },
+    /// Scalar sum of all grid elements.
+    SumR,
+    /// `L = Σ_i w_i·s_i` over scalar inputs.
+    WeightedSumS(Vec<f64>),
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    inputs: Vec<usize>,
+    value: Value,
+    requires_grad: bool,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by variable handle.
+#[derive(Debug)]
+pub struct Gradients {
+    by_id: Vec<Option<Value>>,
+}
+
+impl Gradients {
+    /// Gradient of a real node, if it participated in the loss.
+    pub fn real(&self, var: RVar) -> Option<&Grid> {
+        self.by_id[var.0].as_ref().map(Value::as_real)
+    }
+
+    /// Gradient of a complex node (`∂L/∂x + i·∂L/∂y` convention).
+    pub fn complex(&self, var: CVar) -> Option<&CGrid> {
+        self.by_id[var.0].as_ref().map(Value::as_complex)
+    }
+
+    /// Gradient of a vector node.
+    pub fn vector(&self, var: VVar) -> Option<&[f64]> {
+        self.by_id[var.0].as_ref().map(|v| v.as_vector())
+    }
+}
+
+/// A reverse-mode computation tape.
+///
+/// Build the computation with the `Tape` methods (each returns a typed
+/// handle and evaluates the forward value eagerly), then call
+/// [`Tape::backward`] on a scalar node.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_autodiff::Tape;
+/// use photonn_math::Grid;
+///
+/// let mut tape = Tape::new();
+/// let x = tape.leaf_real(Grid::full(2, 2, 3.0));
+/// let s = tape.scale_r(x, 2.0);
+/// let loss = tape.sum_r(s); // L = Σ 2x = 24
+/// assert_eq!(tape.scalar(loss), 24.0);
+/// let grads = tape.backward(loss);
+/// assert_eq!(grads.real(x).unwrap()[(0, 0)], 2.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<usize>, value: Value) -> usize {
+        let requires_grad = match op {
+            Op::Leaf => false, // set by leaf_* wrappers
+            _ => inputs.iter().any(|&i| self.nodes[i].requires_grad),
+        };
+        self.nodes.push(Node {
+            op,
+            inputs,
+            value,
+            requires_grad,
+        });
+        self.nodes.len() - 1
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// Differentiable real leaf (e.g. a phase mask being trained).
+    pub fn leaf_real(&mut self, grid: Grid) -> RVar {
+        let id = self.push(Op::Leaf, vec![], Value::Real(grid));
+        self.nodes[id].requires_grad = true;
+        RVar(id)
+    }
+
+    /// Constant real leaf (no gradient).
+    pub fn constant_real(&mut self, grid: Grid) -> RVar {
+        RVar(self.push(Op::Leaf, vec![], Value::Real(grid)))
+    }
+
+    /// Differentiable complex leaf.
+    pub fn leaf_complex(&mut self, grid: CGrid) -> CVar {
+        let id = self.push(Op::Leaf, vec![], Value::Complex(grid));
+        self.nodes[id].requires_grad = true;
+        CVar(id)
+    }
+
+    /// Constant complex leaf (e.g. the encoded input field).
+    pub fn constant_complex(&mut self, grid: CGrid) -> CVar {
+        CVar(self.push(Op::Leaf, vec![], Value::Complex(grid)))
+    }
+
+    // ------------------------------------------------------------- accessors
+
+    /// Forward value of a real node.
+    pub fn real(&self, var: RVar) -> &Grid {
+        self.nodes[var.0].value.as_real()
+    }
+
+    /// Forward value of a complex node.
+    pub fn complex(&self, var: CVar) -> &CGrid {
+        self.nodes[var.0].value.as_complex()
+    }
+
+    /// Forward value of a vector node.
+    pub fn vector(&self, var: VVar) -> &[f64] {
+        self.nodes[var.0].value.as_vector()
+    }
+
+    /// Forward value of a scalar node.
+    pub fn scalar(&self, var: SVar) -> f64 {
+        self.nodes[var.0].value.as_scalar()
+    }
+
+    // ------------------------------------------------------------ complex ops
+
+    /// `w = exp(i·φ)` — a phase-only transmission mask.
+    pub fn phase_to_complex(&mut self, phase: RVar) -> CVar {
+        let w = CGrid::from_phase(self.real(phase));
+        CVar(self.push(Op::PhaseToComplex, vec![phase.0], Value::Complex(w)))
+    }
+
+    /// Unnormalized forward 2-D FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan shape does not match the field.
+    pub fn fft2(&mut self, field: CVar, plan: &Arc<Fft2>) -> CVar {
+        let mut out = self.complex(field).clone();
+        plan.forward(&mut out);
+        CVar(self.push(Op::Fft2(plan.clone()), vec![field.0], Value::Complex(out)))
+    }
+
+    /// Normalized inverse 2-D FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan shape does not match the field.
+    pub fn ifft2(&mut self, field: CVar, plan: &Arc<Fft2>) -> CVar {
+        let mut out = self.complex(field).clone();
+        plan.inverse(&mut out);
+        CVar(self.push(Op::Ifft2(plan.clone()), vec![field.0], Value::Complex(out)))
+    }
+
+    /// `y = x ⊙ K` with a constant complex grid (e.g. a transfer function).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_const_c(&mut self, field: CVar, k: &Arc<CGrid>) -> CVar {
+        let out = self.complex(field).hadamard(k);
+        CVar(self.push(Op::MulConstC(k.clone()), vec![field.0], Value::Complex(out)))
+    }
+
+    /// `y = a ⊙ b` with both factors differentiable (field × mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_cc(&mut self, a: CVar, b: CVar) -> CVar {
+        let out = self.complex(a).hadamard(self.complex(b));
+        CVar(self.push(Op::MulCC, vec![a.0, b.0], Value::Complex(out)))
+    }
+
+    /// `y = s·x` for a real scalar constant.
+    pub fn scale_c(&mut self, field: CVar, s: f64) -> CVar {
+        let mut out = self.complex(field).clone();
+        out.scale_inplace(s);
+        CVar(self.push(Op::ScaleC(s), vec![field.0], Value::Complex(out)))
+    }
+
+    /// Zero-pads a field centered into a `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is smaller than the field.
+    pub fn pad_centered(&mut self, field: CVar, rows: usize, cols: usize) -> CVar {
+        let out = self.complex(field).pad_centered(rows, cols);
+        CVar(self.push(Op::PadCentered, vec![field.0], Value::Complex(out)))
+    }
+
+    /// Crops the centered `rows × cols` window out of a field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is larger than the field.
+    pub fn crop_centered(&mut self, field: CVar, rows: usize, cols: usize) -> CVar {
+        let out = self.complex(field).crop_centered(rows, cols);
+        CVar(self.push(Op::CropCentered, vec![field.0], Value::Complex(out)))
+    }
+
+    /// Detector intensity `I = |z|²`.
+    pub fn intensity(&mut self, field: CVar) -> RVar {
+        let out = self.complex(field).intensity();
+        RVar(self.push(Op::Intensity, vec![field.0], Value::Real(out)))
+    }
+
+    // --------------------------------------------------------------- real ops
+
+    /// Elementwise sum of two real grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_rr(&mut self, a: RVar, b: RVar) -> RVar {
+        let out = self.real(a) + self.real(b);
+        RVar(self.push(Op::AddRR, vec![a.0, b.0], Value::Real(out)))
+    }
+
+    /// Elementwise difference of two real grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub_rr(&mut self, a: RVar, b: RVar) -> RVar {
+        let out = self.real(a) - self.real(b);
+        RVar(self.push(Op::SubRR, vec![a.0, b.0], Value::Real(out)))
+    }
+
+    /// Elementwise product of two real grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_rr(&mut self, a: RVar, b: RVar) -> RVar {
+        let out = self.real(a).hadamard(self.real(b));
+        RVar(self.push(Op::MulRR, vec![a.0, b.0], Value::Real(out)))
+    }
+
+    /// `y = s·x`.
+    pub fn scale_r(&mut self, x: RVar, s: f64) -> RVar {
+        let out = self.real(x) * s;
+        RVar(self.push(Op::ScaleR(s), vec![x.0], Value::Real(out)))
+    }
+
+    /// `y = x + K` for a constant grid `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn offset_r(&mut self, x: RVar, k: &Arc<Grid>) -> RVar {
+        let out = self.real(x) + k.as_ref();
+        RVar(self.push(Op::OffsetR, vec![x.0], Value::Real(out)))
+    }
+
+    /// `y = x ⊙ K` for a constant grid `K` (freezing sparsified pixels).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_const_r(&mut self, x: RVar, k: &Arc<Grid>) -> RVar {
+        let out = self.real(x).hadamard(k);
+        RVar(self.push(Op::MulConstR(k.clone()), vec![x.0], Value::Real(out)))
+    }
+
+    /// Binary Concrete relaxation `y = σ((x + noise)/τ)` — the two-way
+    /// Gumbel-Softmax used by the 2π optimizer (`noise` is logistic).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or non-positive temperature.
+    pub fn binary_concrete(&mut self, logits: RVar, noise: &Arc<Grid>, temp: f64) -> RVar {
+        assert!(temp > 0.0, "temperature must be positive");
+        let out = self
+            .real(logits)
+            .zip_map(noise, |l, n| 1.0 / (1.0 + (-(l + n) / temp).exp()));
+        RVar(self.push(
+            Op::BinaryConcrete { temp },
+            vec![logits.0],
+            Value::Real(out),
+        ))
+    }
+
+    // ------------------------------------------------------------ reductions
+
+    /// Per-region sums of a real grid (detector readout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any region exceeds the grid.
+    pub fn region_sums(&mut self, grid: RVar, regions: &Arc<Vec<Region>>) -> VVar {
+        let g = self.real(grid);
+        let sums: Vec<f64> = regions.iter().map(|reg| reg.sum(g)).collect();
+        VVar(self.push(
+            Op::RegionSums(regions.clone()),
+            vec![grid.0],
+            Value::Vector(sums),
+        ))
+    }
+
+    /// Numerically-stable softmax over a vector.
+    pub fn softmax(&mut self, x: VVar) -> VVar {
+        let v = self.vector(x);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = v.iter().map(|&a| (a - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let out = exps.into_iter().map(|e| e / sum).collect();
+        VVar(self.push(Op::Softmax, vec![x.0], Value::Vector(out)))
+    }
+
+    /// `y = s·x` over a vector (e.g. a softmax temperature/gain).
+    pub fn scale_v(&mut self, x: VVar, s: f64) -> VVar {
+        let out = self.vector(x).iter().map(|&a| a * s).collect();
+        VVar(self.push(Op::ScaleV(s), vec![x.0], Value::Vector(out)))
+    }
+
+    /// `y = x/(Σx + eps)` — scales detector sums into a comparable range
+    /// before softmax so the MSE loss does not saturate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps <= 0`.
+    pub fn normalize_sum(&mut self, x: VVar, eps: f64) -> VVar {
+        assert!(eps > 0.0, "eps must be positive");
+        let v = self.vector(x);
+        let s = v.iter().sum::<f64>() + eps;
+        let out = v.iter().map(|&a| a / s).collect();
+        VVar(self.push(Op::NormalizeSum { eps }, vec![x.0], Value::Vector(out)))
+    }
+
+    /// Paper loss: `L = ‖y − onehot(target)‖²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn mse_onehot(&mut self, y: VVar, target: usize) -> SVar {
+        let v = self.vector(y);
+        assert!(target < v.len(), "target {target} out of range {}", v.len());
+        let loss: f64 = v
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let t = if i == target { 1.0 } else { 0.0 };
+                (p - t) * (p - t)
+            })
+            .sum();
+        SVar(self.push(Op::MseOneHot { target }, vec![y.0], Value::Scalar(loss)))
+    }
+
+    /// Cross-entropy `−ln y_t` on probabilities (extension loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn cross_entropy_onehot(&mut self, y: VVar, target: usize) -> SVar {
+        let v = self.vector(y);
+        assert!(target < v.len(), "target {target} out of range {}", v.len());
+        let loss = -(v[target].max(1e-300)).ln();
+        SVar(self.push(
+            Op::CrossEntropyOneHot { target },
+            vec![y.0],
+            Value::Scalar(loss),
+        ))
+    }
+
+    /// Paper Eq. 4 roughness of a real grid.
+    pub fn roughness(&mut self, mask: RVar, cfg: RoughnessConfig) -> SVar {
+        let r = roughness_value(self.real(mask), cfg);
+        SVar(self.push(Op::Roughness(cfg), vec![mask.0], Value::Scalar(r)))
+    }
+
+    /// Paper Eq. 8 intra-block variance penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition shape differs from the mask shape.
+    pub fn block_variance(
+        &mut self,
+        mask: RVar,
+        partition: BlockPartition,
+        reduce: BlockReduce,
+    ) -> SVar {
+        let v = block_variance_value(self.real(mask), partition, reduce);
+        SVar(self.push(
+            Op::BlockVariance { partition, reduce },
+            vec![mask.0],
+            Value::Scalar(v),
+        ))
+    }
+
+    /// Scalar sum of all elements of a real grid.
+    pub fn sum_r(&mut self, x: RVar) -> SVar {
+        let s = self.real(x).sum();
+        SVar(self.push(Op::SumR, vec![x.0], Value::Scalar(s)))
+    }
+
+    /// `L = Σ_i w_i·s_i` — combines loss terms (Eq. 5 / Eq. 8 weighting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty or lengths mismatch.
+    pub fn weighted_sum_s(&mut self, terms: &[SVar], weights: &[f64]) -> SVar {
+        assert!(!terms.is_empty(), "weighted_sum_s needs at least one term");
+        assert_eq!(terms.len(), weights.len(), "terms/weights length mismatch");
+        let total: f64 = terms
+            .iter()
+            .zip(weights)
+            .map(|(t, w)| self.scalar(*t) * w)
+            .sum();
+        SVar(self.push(
+            Op::WeightedSumS(weights.to_vec()),
+            terms.iter().map(|t| t.0).collect(),
+            Value::Scalar(total),
+        ))
+    }
+
+    // -------------------------------------------------------------- backward
+
+    /// Reverse-mode sweep from a scalar loss. Returns gradients for every
+    /// node on a differentiable path; leaves created with `constant_*`
+    /// receive none.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loss does not depend on any differentiable leaf.
+    pub fn backward(&self, loss: SVar) -> Gradients {
+        assert!(
+            self.nodes[loss.0].requires_grad,
+            "loss does not depend on any differentiable leaf"
+        );
+        let mut grads: Vec<Option<Value>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Value::Scalar(1.0));
+
+        for id in (0..=loss.0).rev() {
+            if !self.nodes[id].requires_grad {
+                continue;
+            }
+            let Some(gy) = grads[id].take() else { continue };
+            self.propagate(id, &gy, &mut grads);
+            grads[id] = Some(gy);
+        }
+        Gradients { by_id: grads }
+    }
+
+    /// Adds `delta` into the gradient slot of node `id`.
+    fn accumulate(&self, grads: &mut [Option<Value>], id: usize, delta: Value) {
+        if !self.nodes[id].requires_grad {
+            return;
+        }
+        match (&mut grads[id], delta) {
+            (slot @ None, d) => *slot = Some(d),
+            (Some(Value::Real(g)), Value::Real(d)) => g.axpy(1.0, &d),
+            (Some(Value::Complex(g)), Value::Complex(d)) => {
+                for (a, b) in g.as_mut_slice().iter_mut().zip(d.as_slice()) {
+                    *a += *b;
+                }
+            }
+            (Some(Value::Vector(g)), Value::Vector(d)) => {
+                for (a, b) in g.iter_mut().zip(&d) {
+                    *a += *b;
+                }
+            }
+            (Some(Value::Scalar(g)), Value::Scalar(d)) => *g += d,
+            _ => unreachable!("gradient type mismatch"),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn propagate(&self, id: usize, gy: &Value, grads: &mut [Option<Value>]) {
+        let node = &self.nodes[id];
+        match &node.op {
+            Op::Leaf => {}
+            Op::PhaseToComplex => {
+                // gφ = Re(i·w ⊙ conj(gw)) under the 2∂L/∂z̄ convention.
+                let w = node.value.as_complex();
+                let gw = gy.as_complex();
+                let gphi = Grid::from_vec(
+                    w.rows(),
+                    w.cols(),
+                    w.as_slice()
+                        .iter()
+                        .zip(gw.as_slice())
+                        .map(|(wi, gi)| (Complex64::I * *wi * gi.conj()).re)
+                        .collect(),
+                );
+                self.accumulate(grads, node.inputs[0], Value::Real(gphi));
+            }
+            Op::Fft2(plan) => {
+                // Adjoint of the unnormalized forward FFT.
+                let mut gx = gy.as_complex().clone();
+                plan.inverse_unnormalized(&mut gx);
+                self.accumulate(grads, node.inputs[0], Value::Complex(gx));
+            }
+            Op::Ifft2(plan) => {
+                // Adjoint of (1/N)·F^H is (1/N)·F.
+                let mut gx = gy.as_complex().clone();
+                let n = gx.len() as f64;
+                plan.forward(&mut gx);
+                gx.scale_inplace(1.0 / n);
+                self.accumulate(grads, node.inputs[0], Value::Complex(gx));
+            }
+            Op::MulConstC(k) => {
+                let gx = gy.as_complex().hadamard(&k.conj());
+                self.accumulate(grads, node.inputs[0], Value::Complex(gx));
+            }
+            Op::MulCC => {
+                let a = self.nodes[node.inputs[0]].value.as_complex();
+                let b = self.nodes[node.inputs[1]].value.as_complex();
+                let g = gy.as_complex();
+                self.accumulate(grads, node.inputs[0], Value::Complex(g.hadamard(&b.conj())));
+                self.accumulate(grads, node.inputs[1], Value::Complex(g.hadamard(&a.conj())));
+            }
+            Op::ScaleC(s) => {
+                let mut gx = gy.as_complex().clone();
+                gx.scale_inplace(*s);
+                self.accumulate(grads, node.inputs[0], Value::Complex(gx));
+            }
+            Op::PadCentered => {
+                let (r, c) = self.nodes[node.inputs[0]].value.as_complex().shape();
+                let gx = gy.as_complex().crop_centered(r, c);
+                self.accumulate(grads, node.inputs[0], Value::Complex(gx));
+            }
+            Op::CropCentered => {
+                let (r, c) = self.nodes[node.inputs[0]].value.as_complex().shape();
+                let gx = gy.as_complex().pad_centered(r, c);
+                self.accumulate(grads, node.inputs[0], Value::Complex(gx));
+            }
+            Op::Intensity => {
+                // gz = 2·gI ⊙ z.
+                let z = self.nodes[node.inputs[0]].value.as_complex();
+                let gi = gy.as_real();
+                let gz = CGrid::from_vec(
+                    z.rows(),
+                    z.cols(),
+                    z.as_slice()
+                        .iter()
+                        .zip(gi.as_slice())
+                        .map(|(zi, g)| zi.scale(2.0 * g))
+                        .collect(),
+                );
+                self.accumulate(grads, node.inputs[0], Value::Complex(gz));
+            }
+            Op::AddRR => {
+                self.accumulate(grads, node.inputs[0], Value::Real(gy.as_real().clone()));
+                self.accumulate(grads, node.inputs[1], Value::Real(gy.as_real().clone()));
+            }
+            Op::SubRR => {
+                self.accumulate(grads, node.inputs[0], Value::Real(gy.as_real().clone()));
+                self.accumulate(grads, node.inputs[1], Value::Real(-gy.as_real()));
+            }
+            Op::MulRR => {
+                let a = self.nodes[node.inputs[0]].value.as_real();
+                let b = self.nodes[node.inputs[1]].value.as_real();
+                let g = gy.as_real();
+                self.accumulate(grads, node.inputs[0], Value::Real(g.hadamard(b)));
+                self.accumulate(grads, node.inputs[1], Value::Real(g.hadamard(a)));
+            }
+            Op::ScaleR(s) => {
+                self.accumulate(grads, node.inputs[0], Value::Real(gy.as_real() * *s));
+            }
+            Op::OffsetR => {
+                self.accumulate(grads, node.inputs[0], Value::Real(gy.as_real().clone()));
+            }
+            Op::MulConstR(k) => {
+                self.accumulate(grads, node.inputs[0], Value::Real(gy.as_real().hadamard(k)));
+            }
+            Op::BinaryConcrete { temp } => {
+                // dy/dx = y(1−y)/τ.
+                let y = node.value.as_real();
+                let g = gy.as_real();
+                let gx = y.zip_map(g, |yi, gi| gi * yi * (1.0 - yi) / temp);
+                self.accumulate(grads, node.inputs[0], Value::Real(gx));
+            }
+            Op::RegionSums(regions) => {
+                let grid = self.nodes[node.inputs[0]].value.as_real();
+                let gv = gy.as_vector();
+                let mut gx = Grid::zeros(grid.rows(), grid.cols());
+                for (reg, &g) in regions.iter().zip(gv) {
+                    for r in reg.r0..reg.r0 + reg.h {
+                        for c in reg.c0..reg.c0 + reg.w {
+                            gx[(r, c)] += g;
+                        }
+                    }
+                }
+                self.accumulate(grads, node.inputs[0], Value::Real(gx));
+            }
+            Op::Softmax => {
+                let y = node.value.as_vector();
+                let g = gy.as_vector();
+                let dot: f64 = y.iter().zip(g).map(|(a, b)| a * b).sum();
+                let gx = y.iter().zip(g).map(|(yi, gi)| yi * (gi - dot)).collect();
+                self.accumulate(grads, node.inputs[0], Value::Vector(gx));
+            }
+            Op::ScaleV(s) => {
+                let gx = gy.as_vector().iter().map(|g| g * s).collect();
+                self.accumulate(grads, node.inputs[0], Value::Vector(gx));
+            }
+            Op::NormalizeSum { eps } => {
+                let x = self.nodes[node.inputs[0]].value.as_vector();
+                let y = node.value.as_vector();
+                let g = gy.as_vector();
+                let s = x.iter().sum::<f64>() + eps;
+                let dot: f64 = y.iter().zip(g).map(|(a, b)| a * b).sum();
+                let gx = g.iter().map(|gi| (gi - dot) / s).collect();
+                self.accumulate(grads, node.inputs[0], Value::Vector(gx));
+            }
+            Op::MseOneHot { target } => {
+                let y = self.nodes[node.inputs[0]].value.as_vector();
+                let gl = gy.as_scalar();
+                let gx = y
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        let t = if i == *target { 1.0 } else { 0.0 };
+                        2.0 * (p - t) * gl
+                    })
+                    .collect();
+                self.accumulate(grads, node.inputs[0], Value::Vector(gx));
+            }
+            Op::CrossEntropyOneHot { target } => {
+                let y = self.nodes[node.inputs[0]].value.as_vector();
+                let gl = gy.as_scalar();
+                let mut gx = vec![0.0; y.len()];
+                gx[*target] = -gl / y[*target].max(1e-300);
+                self.accumulate(grads, node.inputs[0], Value::Vector(gx));
+            }
+            Op::Roughness(cfg) => {
+                let mask = self.nodes[node.inputs[0]].value.as_real();
+                let gx = roughness_grad(mask, *cfg, gy.as_scalar());
+                self.accumulate(grads, node.inputs[0], Value::Real(gx));
+            }
+            Op::BlockVariance { partition, reduce } => {
+                let mask = self.nodes[node.inputs[0]].value.as_real();
+                let gx = block_variance_grad(mask, *partition, *reduce, gy.as_scalar());
+                self.accumulate(grads, node.inputs[0], Value::Real(gx));
+            }
+            Op::SumR => {
+                let x = self.nodes[node.inputs[0]].value.as_real();
+                let g = gy.as_scalar();
+                self.accumulate(
+                    grads,
+                    node.inputs[0],
+                    Value::Real(Grid::full(x.rows(), x.cols(), g)),
+                );
+            }
+            Op::WeightedSumS(weights) => {
+                let g = gy.as_scalar();
+                for (input, w) in node.inputs.iter().zip(weights) {
+                    self.accumulate(grads, *input, Value::Scalar(g * w));
+                }
+            }
+        }
+    }
+}

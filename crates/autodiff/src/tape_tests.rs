@@ -1,0 +1,356 @@
+//! End-to-end gradient checks for every tape op, wired in circuits that
+//! mirror how the DONN model composes them.
+
+use photonn_fft::Fft2;
+use photonn_math::block::BlockPartition;
+use photonn_math::{CGrid, Complex64, Grid, Rng};
+use std::sync::Arc;
+
+use crate::gradcheck::{assert_grad_matches_complex, assert_grad_matches_real};
+use crate::penalty::{BlockReduce, DiffMetric, Neighborhood, RoughnessConfig};
+use crate::tape::{Region, Tape};
+
+fn random_grid(rows: usize, cols: usize, rng: &mut Rng) -> Grid {
+    Grid::from_fn(rows, cols, |_, _| rng.uniform_in(-1.0, 1.0))
+}
+
+fn random_field(rows: usize, cols: usize, rng: &mut Rng) -> CGrid {
+    CGrid::from_fn(rows, cols, |_, _| {
+        Complex64::new(rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0))
+    })
+}
+
+fn unit_kernel(rows: usize, cols: usize, rng: &mut Rng) -> CGrid {
+    CGrid::from_fn(rows, cols, |_, _| Complex64::cis(rng.uniform_in(-3.0, 3.0)))
+}
+
+/// The full diffractive-layer circuit: modulate, propagate, detect, read
+/// out, classify. Returns the loss for a given phase mask.
+fn donn_like_loss(
+    phi: &Grid,
+    input: &CGrid,
+    kernel: &Arc<CGrid>,
+    plan: &Arc<Fft2>,
+    regions: &Arc<Vec<Region>>,
+    target: usize,
+) -> f64 {
+    let mut tape = Tape::new();
+    let phi_v = tape.leaf_real(phi.clone());
+    let f = tape.constant_complex(input.clone());
+    let w = tape.phase_to_complex(phi_v);
+    let modulated = tape.mul_cc(f, w);
+    let spec = tape.fft2(modulated, plan);
+    let filtered = tape.mul_const_c(spec, kernel);
+    let out = tape.ifft2(filtered, plan);
+    let intensity = tape.intensity(out);
+    let sums = tape.region_sums(intensity, regions);
+    let norm = tape.normalize_sum(sums, 1e-9);
+    let probs = tape.softmax(norm);
+    let loss = tape.mse_onehot(probs, target);
+    tape.scalar(loss)
+}
+
+#[test]
+fn donn_layer_gradient_matches_numeric() {
+    let n = 6;
+    let mut rng = Rng::seed_from(42);
+    let phi = random_grid(n, n, &mut rng);
+    let input = random_field(n, n, &mut rng);
+    let kernel = Arc::new(unit_kernel(n, n, &mut rng));
+    let plan = Arc::new(Fft2::new(n, n));
+    let regions = Arc::new(vec![
+        Region { r0: 0, c0: 0, h: 3, w: 3 },
+        Region { r0: 0, c0: 3, h: 3, w: 3 },
+        Region { r0: 3, c0: 0, h: 3, w: 3 },
+        Region { r0: 3, c0: 3, h: 3, w: 3 },
+    ]);
+
+    let mut tape = Tape::new();
+    let phi_v = tape.leaf_real(phi.clone());
+    let f = tape.constant_complex(input.clone());
+    let w = tape.phase_to_complex(phi_v);
+    let modulated = tape.mul_cc(f, w);
+    let spec = tape.fft2(modulated, &plan);
+    let filtered = tape.mul_const_c(spec, &kernel);
+    let out = tape.ifft2(filtered, &plan);
+    let intensity = tape.intensity(out);
+    let sums = tape.region_sums(intensity, &regions);
+    let norm = tape.normalize_sum(sums, 1e-9);
+    let probs = tape.softmax(norm);
+    let loss = tape.mse_onehot(probs, 2);
+    let grads = tape.backward(loss);
+
+    assert_grad_matches_real(
+        |p| donn_like_loss(p, &input, &kernel, &plan, &regions, 2),
+        &phi,
+        grads.real(phi_v).expect("phase gradient"),
+        1e-5,
+        1e-5,
+        "donn layer",
+    );
+}
+
+#[test]
+fn complex_leaf_gradient_through_fft_chain() {
+    let n = 4;
+    let mut rng = Rng::seed_from(7);
+    let z0 = random_field(n, n, &mut rng);
+    let kernel = Arc::new(unit_kernel(n, n, &mut rng));
+    let plan = Arc::new(Fft2::new(n, n));
+
+    let run = |z: &CGrid| -> (f64, Option<CGrid>) {
+        let mut tape = Tape::new();
+        let zv = tape.leaf_complex(z.clone());
+        let spec = tape.fft2(zv, &plan);
+        let filt = tape.mul_const_c(spec, &kernel);
+        let back = tape.ifft2(filt, &plan);
+        let scaled = tape.scale_c(back, 1.5);
+        let i = tape.intensity(scaled);
+        let loss = tape.sum_r(i);
+        let l = tape.scalar(loss);
+        let g = tape.backward(loss).complex(zv).cloned();
+        (l, g)
+    };
+    let (_, g) = run(&z0);
+    assert_grad_matches_complex(|z| run(z).0, &z0, &g.unwrap(), 1e-5, 1e-5, "fft chain");
+}
+
+#[test]
+fn pad_crop_roundtrip_gradient() {
+    let n = 4;
+    let padded = 8;
+    let mut rng = Rng::seed_from(11);
+    let phi = random_grid(n, n, &mut rng);
+    let input = random_field(n, n, &mut rng);
+    let kernel = Arc::new(unit_kernel(padded, padded, &mut rng));
+    let plan = Arc::new(Fft2::new(padded, padded));
+
+    let run = |p: &Grid| -> (f64, Option<Grid>) {
+        let mut tape = Tape::new();
+        let phi_v = tape.leaf_real(p.clone());
+        let f = tape.constant_complex(input.clone());
+        let w = tape.phase_to_complex(phi_v);
+        let modulated = tape.mul_cc(f, w);
+        let pad = tape.pad_centered(modulated, padded, padded);
+        let spec = tape.fft2(pad, &plan);
+        let filt = tape.mul_const_c(spec, &kernel);
+        let out = tape.ifft2(filt, &plan);
+        let crop = tape.crop_centered(out, n, n);
+        let i = tape.intensity(crop);
+        let loss = tape.sum_r(i);
+        let l = tape.scalar(loss);
+        let g = tape.backward(loss).real(phi_v).cloned();
+        (l, g)
+    };
+    let (_, g) = run(&phi);
+    assert_grad_matches_real(|p| run(p).0, &phi, &g.unwrap(), 1e-5, 1e-5, "pad/crop");
+}
+
+#[test]
+fn two_pi_circuit_gradient() {
+    // The 2π optimizer circuit: binary concrete → ×2π → +φ → roughness.
+    let n = 5;
+    let mut rng = Rng::seed_from(3);
+    let logits = random_grid(n, n, &mut rng);
+    let noise = Arc::new(random_grid(n, n, &mut rng));
+    let base_phase = Arc::new(random_grid(n, n, &mut rng).map(|x| 3.0 * x + 3.2));
+    let cfg = RoughnessConfig {
+        neighborhood: Neighborhood::Eight,
+        metric: DiffMetric::Squared, // smooth for the numeric check
+    };
+
+    let run = |l: &Grid| -> (f64, Option<Grid>) {
+        let mut tape = Tape::new();
+        let lv = tape.leaf_real(l.clone());
+        let soft = tape.binary_concrete(lv, &noise, 0.7);
+        let addon = tape.scale_r(soft, photonn_math::TWO_PI);
+        let shifted = tape.offset_r(addon, &base_phase);
+        let rough = tape.roughness(shifted, cfg);
+        let v = tape.scalar(rough);
+        let g = tape.backward(rough).real(lv).cloned();
+        (v, g)
+    };
+    let (_, g) = run(&logits);
+    assert_grad_matches_real(|l| run(l).0, &logits, &g.unwrap(), 1e-6, 1e-4, "2π circuit");
+}
+
+#[test]
+fn block_variance_and_weighted_sum_gradient() {
+    let n = 6;
+    let mut rng = Rng::seed_from(17);
+    let phi = random_grid(n, n, &mut rng);
+    let partition = BlockPartition::square(n, n, 2);
+    let cfg = RoughnessConfig {
+        neighborhood: Neighborhood::Four,
+        metric: DiffMetric::Squared,
+    };
+    let (p, q) = (0.3, 1.7);
+
+    let run = |x: &Grid| -> (f64, Option<Grid>) {
+        let mut tape = Tape::new();
+        let xv = tape.leaf_real(x.clone());
+        let rough = tape.roughness(xv, cfg);
+        let bv = tape.block_variance(xv, partition, BlockReduce::Sum);
+        let loss = tape.weighted_sum_s(&[rough, bv], &[p, q]);
+        let v = tape.scalar(loss);
+        let g = tape.backward(loss).real(xv).cloned();
+        (v, g)
+    };
+    let (_, g) = run(&phi);
+    assert_grad_matches_real(|x| run(x).0, &phi, &g.unwrap(), 1e-5, 1e-5, "weighted sum");
+}
+
+#[test]
+fn real_elementwise_ops_gradient() {
+    let n = 3;
+    let mut rng = Rng::seed_from(23);
+    let a0 = random_grid(n, n, &mut rng);
+    let b0 = random_grid(n, n, &mut rng);
+    let k = Arc::new(random_grid(n, n, &mut rng));
+
+    // L = Σ ((a·b + a − b)·K), check both inputs.
+    let run = |a: &Grid, b: &Grid| -> (f64, Option<Grid>, Option<Grid>) {
+        let mut tape = Tape::new();
+        let av = tape.leaf_real(a.clone());
+        let bv = tape.leaf_real(b.clone());
+        let prod = tape.mul_rr(av, bv);
+        let sum = tape.add_rr(prod, av);
+        let diff = tape.sub_rr(sum, bv);
+        let masked = tape.mul_const_r(diff, &k);
+        let loss = tape.sum_r(masked);
+        let v = tape.scalar(loss);
+        let grads = tape.backward(loss);
+        (v, grads.real(av).cloned(), grads.real(bv).cloned())
+    };
+    let (_, ga, gb) = run(&a0, &b0);
+    assert_grad_matches_real(|a| run(a, &b0).0, &a0, &ga.unwrap(), 1e-6, 1e-6, "elementwise a");
+    assert_grad_matches_real(|b| run(&a0, b).0, &b0, &gb.unwrap(), 1e-6, 1e-6, "elementwise b");
+}
+
+#[test]
+fn diamond_reuse_accumulates() {
+    // y = x⊙x ⇒ ∇ Σy = 2x: the same node feeds both inputs.
+    let x0 = Grid::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+    let mut tape = Tape::new();
+    let x = tape.leaf_real(x0.clone());
+    let y = tape.mul_rr(x, x);
+    let loss = tape.sum_r(y);
+    let grads = tape.backward(loss);
+    assert!(grads.real(x).unwrap().max_abs_diff(&(&x0 * 2.0)) < 1e-12);
+}
+
+#[test]
+fn cross_entropy_gradient() {
+    let i0 = Grid::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    let regions = Arc::new(vec![
+        Region { r0: 0, c0: 0, h: 1, w: 2 },
+        Region { r0: 1, c0: 0, h: 1, w: 2 },
+    ]);
+    let run = |i: &Grid| -> (f64, Option<Grid>) {
+        let mut tape = Tape::new();
+        let iv = tape.leaf_real(i.clone());
+        let sums = tape.region_sums(iv, &regions);
+        let probs = tape.softmax(sums);
+        let loss = tape.cross_entropy_onehot(probs, 0);
+        let v = tape.scalar(loss);
+        let g = tape.backward(loss).real(iv).cloned();
+        (v, g)
+    };
+    let (_, g) = run(&i0);
+    assert_grad_matches_real(|i| run(i).0, &i0, &g.unwrap(), 1e-6, 1e-6, "cross entropy");
+}
+
+#[test]
+fn scale_v_gradient_and_value() {
+    let i0 = Grid::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    let regions = Arc::new(vec![
+        Region { r0: 0, c0: 0, h: 1, w: 2 },
+        Region { r0: 1, c0: 0, h: 1, w: 2 },
+    ]);
+    let run = |i: &Grid| -> (f64, Option<Grid>) {
+        let mut tape = Tape::new();
+        let iv = tape.leaf_real(i.clone());
+        let sums = tape.region_sums(iv, &regions);
+        let scaled = tape.scale_v(sums, 2.5);
+        let probs = tape.softmax(scaled);
+        let loss = tape.mse_onehot(probs, 1);
+        let v = tape.scalar(loss);
+        let g = tape.backward(loss).real(iv).cloned();
+        (v, g)
+    };
+    // Forward: scaled sums are [7.5, 17.5].
+    let mut tape = Tape::new();
+    let iv = tape.leaf_real(i0.clone());
+    let sums = tape.region_sums(iv, &regions);
+    let scaled = tape.scale_v(sums, 2.5);
+    assert_eq!(tape.vector(scaled), &[7.5, 17.5]);
+
+    let (_, g) = run(&i0);
+    assert_grad_matches_real(|i| run(i).0, &i0, &g.unwrap(), 1e-6, 1e-6, "scale_v");
+}
+
+#[test]
+fn constants_receive_no_gradient() {
+    let mut tape = Tape::new();
+    let x = tape.leaf_real(Grid::full(2, 2, 1.0));
+    let c = tape.constant_real(Grid::full(2, 2, 2.0));
+    let y = tape.mul_rr(x, c);
+    let loss = tape.sum_r(y);
+    let grads = tape.backward(loss);
+    assert!(grads.real(x).is_some());
+    assert!(grads.real(c).is_none());
+}
+
+#[test]
+#[should_panic(expected = "does not depend on any differentiable leaf")]
+fn backward_on_constant_only_loss_panics() {
+    let mut tape = Tape::new();
+    let c = tape.constant_real(Grid::full(2, 2, 2.0));
+    let loss = tape.sum_r(c);
+    let _ = tape.backward(loss);
+}
+
+#[test]
+fn forward_values_are_correct_small_case() {
+    // Hand-checkable pipeline on a 2×2 grid.
+    let mut tape = Tape::new();
+    let x = tape.leaf_real(Grid::from_rows(&[&[0.0, std::f64::consts::PI]]));
+    let w = tape.phase_to_complex(x);
+    let got = tape.complex(w);
+    assert!((got[(0, 0)] - Complex64::ONE).norm() < 1e-12);
+    assert!((got[(0, 1)] + Complex64::ONE).norm() < 1e-12);
+
+    let i = tape.intensity(w);
+    assert!((tape.real(i).sum() - 2.0).abs() < 1e-12);
+
+    let regions = Arc::new(vec![Region { r0: 0, c0: 0, h: 1, w: 2 }]);
+    let sums = tape.region_sums(i, &regions);
+    assert!((tape.vector(sums)[0] - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn softmax_saturation_avoided_by_normalize() {
+    // Raw detector sums in the hundreds saturate softmax; normalize_sum
+    // keeps gradients alive. This is why the model normalizes (§III-A).
+    let i0 = Grid::from_rows(&[&[300.0, 100.0], &[200.0, 150.0]]);
+    let regions = Arc::new(vec![
+        Region { r0: 0, c0: 0, h: 1, w: 2 },
+        Region { r0: 1, c0: 0, h: 1, w: 2 },
+    ]);
+    let grad_norm = |normalize: bool| -> f64 {
+        let mut tape = Tape::new();
+        let iv = tape.leaf_real(i0.clone());
+        let sums = tape.region_sums(iv, &regions);
+        let v = if normalize { tape.normalize_sum(sums, 1e-9) } else { sums };
+        let probs = tape.softmax(v);
+        let loss = tape.mse_onehot(probs, 1);
+        tape.backward(loss)
+            .real(iv)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|g| g.abs())
+            .sum()
+    };
+    assert!(grad_norm(true) > 100.0 * grad_norm(false).max(1e-300));
+}

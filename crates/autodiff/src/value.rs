@@ -1,0 +1,115 @@
+//! Runtime values flowing through the tape.
+
+use photonn_math::{CGrid, Grid};
+
+/// A value stored at a tape node: real grid, complex field, vector or
+/// scalar. Gradients reuse the same representation (for a complex value
+/// the gradient is `∂L/∂z̄` in the Wirtinger convention).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Real 2-D grid (phase masks, intensities, selection probabilities).
+    Real(Grid),
+    /// Complex 2-D field (wavefunctions, spectra, transmissions).
+    Complex(CGrid),
+    /// Flat real vector (detector sums, probabilities).
+    Vector(Vec<f64>),
+    /// Real scalar (losses, penalties).
+    Scalar(f64),
+}
+
+impl Value {
+    /// A zero value with the same type and shape — the gradient seed.
+    pub fn zeros_like(&self) -> Value {
+        match self {
+            Value::Real(g) => Value::Real(Grid::zeros(g.rows(), g.cols())),
+            Value::Complex(g) => Value::Complex(CGrid::zeros(g.rows(), g.cols())),
+            Value::Vector(v) => Value::Vector(vec![0.0; v.len()]),
+            Value::Scalar(_) => Value::Scalar(0.0),
+        }
+    }
+
+    /// Borrows the real grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `Real`.
+    pub fn as_real(&self) -> &Grid {
+        match self {
+            Value::Real(g) => g,
+            other => panic!("expected Real value, found {}", other.kind()),
+        }
+    }
+
+    /// Borrows the complex grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `Complex`.
+    pub fn as_complex(&self) -> &CGrid {
+        match self {
+            Value::Complex(g) => g,
+            other => panic!("expected Complex value, found {}", other.kind()),
+        }
+    }
+
+    /// Borrows the vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `Vector`.
+    pub fn as_vector(&self) -> &[f64] {
+        match self {
+            Value::Vector(v) => v,
+            other => panic!("expected Vector value, found {}", other.kind()),
+        }
+    }
+
+    /// Reads the scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `Scalar`.
+    pub fn as_scalar(&self) -> f64 {
+        match self {
+            Value::Scalar(s) => *s,
+            other => panic!("expected Scalar value, found {}", other.kind()),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Real(_) => "Real",
+            Value::Complex(_) => "Complex",
+            Value::Vector(_) => "Vector",
+            Value::Scalar(_) => "Scalar",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::Complex64;
+
+    #[test]
+    fn zeros_like_matches_shape() {
+        let v = Value::Real(Grid::full(2, 3, 1.0));
+        assert_eq!(v.zeros_like().as_real().shape(), (2, 3));
+        assert_eq!(v.zeros_like().as_real().sum(), 0.0);
+
+        let c = Value::Complex(CGrid::full(4, 4, Complex64::ONE));
+        assert_eq!(c.zeros_like().as_complex().total_power(), 0.0);
+
+        let vec = Value::Vector(vec![1.0; 5]);
+        assert_eq!(vec.zeros_like().as_vector().len(), 5);
+
+        let s = Value::Scalar(7.0);
+        assert_eq!(s.zeros_like().as_scalar(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Real")]
+    fn type_mismatch_panics() {
+        Value::Scalar(1.0).as_real();
+    }
+}

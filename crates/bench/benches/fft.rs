@@ -1,0 +1,73 @@
+//! FFT micro-benchmarks: the innermost loop of every DONN forward/backward
+//! pass. Covers the three engines (radix-2, mixed-radix for the paper's
+//! native 200, Bluestein for primes) in 1-D and 2-D.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photonn_fft::{Fft, Fft2};
+use photonn_math::{CGrid, Complex64};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|j| Complex64::new((j as f64 * 0.31).sin(), (j as f64 * 0.17).cos()))
+        .collect()
+}
+
+fn field(n: usize) -> CGrid {
+    CGrid::from_fn(n, n, |r, c| {
+        Complex64::new((r as f64 * 0.3).sin(), (c as f64 * 0.7).cos())
+    })
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for n in [64usize, 200, 256, 127] {
+        let plan = Fft::new(n);
+        let data = signal(n);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    group.sample_size(20);
+    for n in [32usize, 64, 200, 256] {
+        let plan = Fft2::new(n, n);
+        let data = field(n);
+        group.bench_function(format!("{n}x{n}"), |b| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2_roundtrip");
+    group.sample_size(20);
+    let n = 64;
+    let plan = Fft2::new(n, n);
+    let data = field(n);
+    group.bench_function("64x64_fwd_inv", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            buf
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d, bench_fft_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Whole-model benchmarks: inference forward pass and the differentiable
+//! forward+backward (one training sample), at two system scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photonn_autodiff::Tape;
+use photonn_donn::{Donn, DonnConfig};
+use photonn_math::{Grid, Rng};
+use std::hint::black_box;
+
+fn setup(n: usize) -> (Donn, Grid) {
+    let mut rng = Rng::seed_from(1);
+    let donn = Donn::random(DonnConfig::scaled(n), &mut rng);
+    let image = Grid::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 10) as f64 / 9.0);
+    (donn, image)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_forward");
+    group.sample_size(20);
+    for n in [32usize, 64] {
+        let (donn, image) = setup(n);
+        group.bench_function(format!("{n}x{n}_3layer"), |b| {
+            b.iter(|| donn.predict(black_box(&image)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_forward_backward");
+    group.sample_size(15);
+    for n in [32usize, 64] {
+        let (donn, image) = setup(n);
+        group.bench_function(format!("{n}x{n}_3layer"), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let (loss, masks) = donn.build_sample_loss(&mut tape, &image, 3, None);
+                let grads = tape.backward(loss);
+                black_box(grads.real(masks[0]).map(|g| g[(0, 0)]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_train_sample);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks of the paper's optimization primitives: roughness value and
+//! gradient (4/8-neighbor, |Δ| vs Δ² — the metric ablation), the three
+//! sparsification methods of Fig. 3, and the intra-block variance penalty.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photonn_autodiff::penalty::{
+    block_variance_grad, block_variance_value, roughness_grad, roughness_value,
+};
+use photonn_autodiff::{BlockReduce, DiffMetric, Neighborhood, RoughnessConfig};
+use photonn_donn::sparsify::{sparsify, SparsifyMethod};
+use photonn_math::block::BlockPartition;
+use photonn_math::{Grid, Rng};
+use std::hint::black_box;
+
+fn mask(n: usize) -> Grid {
+    let mut rng = Rng::seed_from(5);
+    Grid::from_fn(n, n, |_, _| rng.uniform_in(0.0, std::f64::consts::TAU))
+}
+
+fn bench_roughness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roughness");
+    let m = mask(200);
+    for (label, cfg) in [
+        ("200_8n_abs", RoughnessConfig { neighborhood: Neighborhood::Eight, metric: DiffMetric::Abs }),
+        ("200_4n_abs", RoughnessConfig { neighborhood: Neighborhood::Four, metric: DiffMetric::Abs }),
+        ("200_8n_sq", RoughnessConfig { neighborhood: Neighborhood::Eight, metric: DiffMetric::Squared }),
+    ] {
+        group.bench_function(format!("value_{label}"), |b| {
+            b.iter(|| roughness_value(black_box(&m), cfg))
+        });
+        group.bench_function(format!("grad_{label}"), |b| {
+            b.iter(|| roughness_grad(black_box(&m), cfg, 1.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsify_200");
+    let m = mask(200);
+    for (label, method) in [
+        ("block20", SparsifyMethod::Block { size: 20 }),
+        ("nonstructured", SparsifyMethod::NonStructured),
+        ("bank_balanced", SparsifyMethod::BankBalanced { banks: 10 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| sparsify(black_box(&m), 0.1, method))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_variance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intra_block_variance_200");
+    let m = mask(200);
+    let p = BlockPartition::square(200, 200, 20);
+    group.bench_function("value", |b| {
+        b.iter(|| block_variance_value(black_box(&m), p, BlockReduce::Sum))
+    });
+    group.bench_function("grad", |b| {
+        b.iter(|| block_variance_grad(black_box(&m), p, BlockReduce::Sum, 1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_roughness, bench_sparsify, bench_block_variance);
+criterion_main!(benches);

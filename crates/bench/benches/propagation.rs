@@ -1,0 +1,44 @@
+//! Free-space propagation benchmarks: kernel construction and one
+//! propagation hop, at scaled and paper grid sizes, padded and unpadded
+//! (the padding ablation of DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photonn_math::{CGrid, Complex64};
+use photonn_optics::{transfer_function, Geometry, KernelOptions, Padding, Propagator, PAPER_DISTANCE};
+use std::hint::black_box;
+
+fn field(n: usize) -> CGrid {
+    CGrid::from_fn(n, n, |r, c| {
+        Complex64::new((r as f64 * 0.2).cos(), (c as f64 * 0.4).sin())
+    })
+}
+
+fn bench_kernel_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_function");
+    for n in [64usize, 200] {
+        let geom = Geometry::paper_scaled(n);
+        group.bench_function(format!("{n}x{n}"), |b| {
+            b.iter(|| transfer_function(&geom, black_box(n), PAPER_DISTANCE, KernelOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate");
+    group.sample_size(20);
+    for (n, padding, label) in [
+        (64usize, Padding::None, "64_unpadded"),
+        (64, Padding::Double, "64_padded2x"),
+        (200, Padding::None, "200_unpadded"),
+    ] {
+        let geom = Geometry::paper_scaled(n);
+        let prop = Propagator::new(&geom, PAPER_DISTANCE, KernelOptions::default(), padding);
+        let f = field(n);
+        group.bench_function(label, |b| b.iter(|| prop.propagate(black_box(&f))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_build, bench_propagate);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Benchmarks of the 2π optimizers: one Gumbel-Softmax gradient iteration
+//! and one greedy coordinate-descent sweep, plus a full small-mask solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photonn_autodiff::TemperatureSchedule;
+use photonn_donn::roughness::RoughnessConfig;
+use photonn_donn::two_pi::{optimize_mask, GumbelParams, TwoPiStrategy};
+use photonn_math::{Grid, Rng, TWO_PI};
+use std::hint::black_box;
+
+fn sparsified_like_mask(n: usize) -> Grid {
+    let mut rng = Rng::seed_from(9);
+    Grid::from_fn(n, n, |r, c| {
+        if (r / 8 + c / 8) % 3 == 0 {
+            0.0 // sparsified block
+        } else {
+            5.0 + rng.uniform_in(-0.5, 0.5)
+        }
+    })
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_pi_greedy");
+    group.sample_size(20);
+    for n in [64usize, 128] {
+        let m = sparsified_like_mask(n);
+        group.bench_function(format!("{n}x{n}_full_solve"), |b| {
+            b.iter(|| {
+                optimize_mask(
+                    black_box(&m),
+                    RoughnessConfig::paper(),
+                    &TwoPiStrategy::Greedy { sweeps: 4 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gumbel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_pi_gumbel");
+    group.sample_size(10);
+    let m = sparsified_like_mask(64);
+    for iters in [50usize, 150] {
+        let params = GumbelParams {
+            iterations: iters,
+            temperature: TemperatureSchedule::new(2.0, 0.2, iters),
+            ..GumbelParams::default()
+        };
+        group.bench_function(format!("64x64_{iters}iters"), |b| {
+            b.iter(|| {
+                optimize_mask(
+                    black_box(&m),
+                    RoughnessConfig::paper(),
+                    &TwoPiStrategy::Gumbel(params),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkerboard_hard_case(c: &mut Criterion) {
+    // The greedy-stuck case: useful to track that Gumbel solves it in
+    // bounded time.
+    let mut group = c.benchmark_group("two_pi_checkerboard");
+    group.sample_size(10);
+    let n = 32;
+    let m = Grid::from_fn(n, n, |r, c| {
+        if (r + c) % 2 == 0 { 0.2 } else { TWO_PI - 0.3 }
+    });
+    group.bench_function("32x32_gumbel150", |b| {
+        b.iter(|| {
+            optimize_mask(
+                black_box(&m),
+                RoughnessConfig::paper(),
+                &TwoPiStrategy::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_gumbel, bench_checkerboard_hard_case);
+criterion_main!(benches);

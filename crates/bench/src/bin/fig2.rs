@@ -1,0 +1,28 @@
+//! Regenerates **Fig. 2**: the roughness definition (Eq. 3) on a 3×3 mask
+//! with 4- and 8-neighborhoods and one-pixel zero padding.
+
+use photonn_donn::roughness::{roughness, roughness_map, DiffMetric, Neighborhood, RoughnessConfig};
+use photonn_math::Grid;
+
+fn main() {
+    println!("== photonn-bench :: Fig. 2 — roughness modelling ==\n");
+    // The figure's 3×3 mask p00..p22 (values are illustrative; we use the
+    // canonical single-hot example whose arithmetic is printable).
+    let mask = Grid::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 2.0, 0.0], &[0.0, 0.0, 0.0]]);
+    println!("phase mask:");
+    print!("{mask}");
+
+    for (label, nb) in [("4-neighbors", Neighborhood::Four), ("8-neighbors", Neighborhood::Eight)] {
+        let cfg = RoughnessConfig {
+            neighborhood: nb,
+            metric: DiffMetric::Abs,
+        };
+        println!("\n{label} (k = {}):", nb.k());
+        println!("per-pixel roughness R(p) = (1/k)·Σ|p_q − p| with zero padding:");
+        print!("{}", roughness_map(&mask, cfg));
+        println!("mask roughness R(W) = Σ R(p) = {:.4}", roughness(&mask, cfg));
+    }
+
+    println!("\nworked check, center pixel p11 = 2 with 4 neighbors {{0,0,0,0}}:");
+    println!("  R(p11) = (|0-2|·4)/4 = 2.0  (matches the map above)");
+}

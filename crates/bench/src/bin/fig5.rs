@@ -1,0 +1,57 @@
+//! Regenerates **Fig. 5**: the second diffractive layer's phase mask under
+//! the EMNIST pipeline for each variant, plus the 2π-optimized final mask.
+//! Writes viridis PPM images to `--out` (default `out/fig5/`) and prints
+//! ASCII previews.
+
+use photonn_bench::{banner, Cli};
+use photonn_datasets::Family;
+use photonn_donn::pipeline::{run_variant_on, Variant};
+use photonn_math::{Grid, TWO_PI};
+use photonn_viz::{ascii_heatmap, write_ppm};
+use std::path::PathBuf;
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.experiment(Family::Emnist);
+    banner("Fig. 5 — phase masks of the 2nd diffractive layer (EMNIST)", &cfg);
+
+    let out_dir = PathBuf::from(cli.out.unwrap_or_else(|| "out/fig5".to_string()));
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let (train_set, test_set) = cfg.datasets();
+
+    let panels: [(Variant, &str); 4] = [
+        (Variant::Baseline, "baseline"),
+        (Variant::OursB, "sparsify"),
+        (Variant::OursC, "sparsify_roughness"),
+        (Variant::OursD, "intra_block_smooth"),
+    ];
+
+    let layer = 1; // the paper shows the second layer
+    let mut last_two_pi: Option<Grid> = None;
+    for (variant, name) in panels {
+        let r = run_variant_on(&cfg, variant, &train_set, &test_set);
+        let mask = &r.masks[layer];
+        let path = out_dir.join(format!("{name}.ppm"));
+        // Fixed color range [0, 4π] so the 2π-shifted panel is comparable.
+        write_ppm(&path, mask, Some((0.0, 2.0 * TWO_PI))).expect("write ppm");
+        println!(
+            "{name}: acc {:.1}%, R(layer {layer}) rendered to {}",
+            r.accuracy * 100.0,
+            path.display()
+        );
+        println!("{}", ascii_heatmap(mask, 28));
+        if variant == Variant::OursD {
+            last_two_pi = Some(r.masks_two_pi[layer].clone());
+        }
+    }
+
+    // Fifth panel: the Ours-D mask after 2π optimization — the black
+    // sparsified holes blend into the surrounding phase.
+    let smoothed = last_two_pi.expect("Ours-D ran");
+    let path = out_dir.join("two_pi_optimized.ppm");
+    write_ppm(&path, &smoothed, Some((0.0, 2.0 * TWO_PI))).expect("write ppm");
+    println!("two_pi_optimized: rendered to {}", path.display());
+    println!("{}", ascii_heatmap(&smoothed, 28));
+    println!("(the paper's sixth panel is a photo of the 3-D printed layer — see");
+    println!(" photonn_donn::deploy for the crosstalk simulation standing in for hardware)");
+}

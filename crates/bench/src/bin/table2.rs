@@ -1,0 +1,21 @@
+//! Regenerates **Table II**: MNIST accuracy and `R_overall` before/after
+//! 2π optimization for the baseline and Ours-A…D.
+
+use photonn_bench::{run_table, Cli};
+use photonn_datasets::Family;
+
+fn main() {
+    let cli = Cli::parse();
+    run_table(
+        "Table II (MNIST)",
+        Family::Mnist,
+        &cli,
+        &[
+            ("[5], [6], [8]", 96.67, 466.39, Some(460.85)),
+            ("Ours-A", 96.18, 416.07, None),
+            ("Ours-B", 96.38, 538.78, Some(400.38)),
+            ("Ours-C", 96.47, 409.41, Some(299.87)),
+            ("Ours-D", 95.90, 375.35, Some(280.32)),
+        ],
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Table III**: FMNIST accuracy and `R_overall` before/after
+//! 2π optimization for the baseline and Ours-A…D.
+
+use photonn_bench::{run_table, Cli};
+use photonn_datasets::Family;
+
+fn main() {
+    let cli = Cli::parse();
+    run_table(
+        "Table III (FMNIST)",
+        Family::Fmnist,
+        &cli,
+        &[
+            ("[5], [6], [8]", 87.98, 464.78, Some(461.98)),
+            ("Ours-A", 86.99, 421.49, None),
+            ("Ours-B", 87.88, 488.11, Some(438.53)),
+            ("Ours-C", 86.79, 350.67, Some(305.86)),
+            ("Ours-D", 85.76, 450.73, Some(229.70)),
+        ],
+    );
+}

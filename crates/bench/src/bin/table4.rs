@@ -1,0 +1,21 @@
+//! Regenerates **Table IV**: KMNIST accuracy and `R_overall` before/after
+//! 2π optimization for the baseline and Ours-A…D.
+
+use photonn_bench::{run_table, Cli};
+use photonn_datasets::Family;
+
+fn main() {
+    let cli = Cli::parse();
+    run_table(
+        "Table IV (KMNIST)",
+        Family::Kmnist,
+        &cli,
+        &[
+            ("[5], [6], [8]", 86.92, 460.61, Some(445.57)),
+            ("Ours-A", 85.26, 462.70, None),
+            ("Ours-B", 86.83, 473.08, Some(432.26)),
+            ("Ours-C", 85.01, 396.84, Some(331.22)),
+            ("Ours-D", 83.19, 327.48, Some(288.42)),
+        ],
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Table V**: EMNIST accuracy and `R_overall` before/after
+//! 2π optimization for the baseline and Ours-A…D.
+
+use photonn_bench::{run_table, Cli};
+use photonn_datasets::Family;
+
+fn main() {
+    let cli = Cli::parse();
+    run_table(
+        "Table V (EMNIST)",
+        Family::Emnist,
+        &cli,
+        &[
+            ("[5], [6], [8]", 92.30, 463.42, Some(458.48)),
+            ("Ours-A", 91.61, 435.58, None),
+            ("Ours-B", 92.36, 465.85, Some(443.91)),
+            ("Ours-C", 91.16, 349.61, Some(336.75)),
+            ("Ours-D", 90.74, 312.17, Some(298.09)),
+        ],
+    );
+}

@@ -1,0 +1,58 @@
+//! Ablation: Gumbel-Softmax vs greedy coordinate descent vs the combined
+//! strategy for the 2π optimization (§III-D2), on masks produced by the
+//! sparsification pipeline — the design-choice study DESIGN.md calls out.
+
+use photonn_bench::{banner, Cli};
+use photonn_autodiff::TemperatureSchedule;
+use photonn_datasets::Family;
+use photonn_donn::pipeline::{run_variant_on, Variant};
+use photonn_donn::report::Table;
+use photonn_donn::roughness::RoughnessConfig;
+use photonn_donn::two_pi::{optimize_all, GumbelParams, TwoPiStrategy};
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.experiment(Family::Mnist);
+    banner("2π strategy ablation (masks from Ours-B sparsification)", &cfg);
+
+    let (train_set, test_set) = cfg.datasets();
+    let result = run_variant_on(&cfg, Variant::OursB, &train_set, &test_set);
+    let rc = RoughnessConfig::paper();
+    println!(
+        "sparsified model: acc {:.1}%, R_overall before 2π = {:.2}\n",
+        result.accuracy * 100.0,
+        result.r_before
+    );
+
+    let gumbel = GumbelParams::default();
+    let long_gumbel = GumbelParams {
+        iterations: 400,
+        temperature: TemperatureSchedule::new(3.0, 0.1, 400),
+        ..GumbelParams::default()
+    };
+    let strategies: [(&str, TwoPiStrategy); 4] = [
+        ("greedy (8 sweeps)", TwoPiStrategy::Greedy { sweeps: 8 }),
+        ("gumbel (150 iters)", TwoPiStrategy::Gumbel(gumbel)),
+        ("gumbel (400 iters)", TwoPiStrategy::Gumbel(long_gumbel)),
+        ("gumbel+greedy", TwoPiStrategy::GumbelThenGreedy(gumbel, 8)),
+    ];
+
+    let mut t = Table::new(&["strategy", "R_overall after 2π", "reduction", "time (s)"]);
+    for (name, strategy) in strategies {
+        let start = std::time::Instant::now();
+        let results = optimize_all(&result.masks, rc, &strategy);
+        let after: f64 =
+            results.iter().map(|r| r.roughness_after).sum::<f64>() / results.len() as f64;
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{after:.2}"),
+            format!("{:.1}%", (result.r_before - after) / result.r_before * 100.0),
+            format!("{:.2}", start.elapsed().as_secs_f64()),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!("expected shape: greedy alone heals isolated outliers only (0% on block");
+    println!("rims — coordinated flips are all uphill for single-pixel moves); the Gumbel");
+    println!("relaxation finds the coordinated moves (the paper's choice); greedy repair");
+    println!("rounding matches or improves Gumbel at the same iteration budget.");
+}

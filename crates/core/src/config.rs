@@ -1,0 +1,162 @@
+//! Whole-system configuration of a DONN.
+
+use photonn_optics::{Distances, Geometry, KernelOptions, Padding};
+
+use crate::detector::DetectorConfig;
+
+/// Initial phase-mask distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MaskInit {
+    /// All-zero phases.
+    Zeros,
+    /// Independent uniform `[0, 2π)` per pixel (maximum-entropy start;
+    /// rough).
+    UniformRandom,
+    /// Low-frequency random field spanning `[0, 2π)`: a coarse uniform
+    /// grid bilinearly upsampled, plus light per-pixel noise. Locally
+    /// correlated like a converged training run's masks (the paper's
+    /// 50–150-epoch baselines are smooth at the pixel scale, which is why
+    /// their dense masks gain <2 % from 2π optimization), while still
+    /// exercising the full phase range like the Fig. 5 masks.
+    #[default]
+    SmoothRandom,
+}
+
+/// How detector sums are turned into class scores for the loss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LossKind {
+    /// `‖softmax(scores) − onehot‖²` — the paper's MSELoss formulation.
+    #[default]
+    MseSoftmax,
+    /// `−ln softmax(scores)_t` — cross-entropy extension.
+    CrossEntropy,
+}
+
+/// Full configuration of a DONN system.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_donn::DonnConfig;
+///
+/// let paper = DonnConfig::paper();
+/// assert_eq!(paper.geometry.grid, 200);
+/// let small = DonnConfig::scaled(64);
+/// assert_eq!(small.geometry.grid, 64);
+/// assert_eq!(small.num_layers, 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DonnConfig {
+    /// Plane geometry (grid size, pixel pitch, wavelength).
+    pub geometry: Geometry,
+    /// Distances between planes.
+    pub distances: Distances,
+    /// Number of diffractive layers (3 in the paper).
+    pub num_layers: usize,
+    /// Detector-plane layout.
+    pub detector: DetectorConfig,
+    /// Transfer-function construction options.
+    pub kernel_options: KernelOptions,
+    /// FFT padding policy for propagation.
+    pub padding: Padding,
+    /// Loss formulation.
+    pub loss: LossKind,
+    /// Normalize detector sums to a probability-like scale before softmax
+    /// (prevents MSE-softmax saturation; see `photonn-autodiff` docs).
+    pub normalize_detector: bool,
+    /// Initial mask distribution for [`crate::Donn::random`].
+    pub init: MaskInit,
+}
+
+impl DonnConfig {
+    /// The paper's system: 200×200 grid, 36 µm pitch, 532 nm, three layers
+    /// at 27.94 cm spacing, ten 20×20 detectors.
+    pub fn paper() -> Self {
+        DonnConfig {
+            geometry: Geometry::paper(),
+            distances: Distances::paper(),
+            num_layers: 3,
+            detector: DetectorConfig::paper_for_grid(200),
+            kernel_options: KernelOptions::default(),
+            padding: Padding::None,
+            loss: LossKind::MseSoftmax,
+            normalize_detector: true,
+            init: MaskInit::default(),
+        }
+    }
+
+    /// A compute-scaled system with `grid` pixels per side. Keeps the
+    /// paper's aperture, wavelength, plane spacing, layer count and
+    /// relative detector layout so the physics regime matches while the
+    /// FFTs shrink — the default for the CPU benchmark harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid < 10`.
+    pub fn scaled(grid: usize) -> Self {
+        DonnConfig {
+            geometry: Geometry::paper_scaled(grid),
+            distances: Distances::paper(),
+            num_layers: 3,
+            detector: DetectorConfig::paper_for_grid(grid),
+            kernel_options: KernelOptions::default(),
+            padding: Padding::None,
+            loss: LossKind::MseSoftmax,
+            normalize_detector: true,
+            init: MaskInit::default(),
+        }
+    }
+
+    /// Grid side length.
+    pub fn grid(&self) -> usize {
+        self.geometry.grid
+    }
+
+    /// Validates internal consistency (detector fits, positive layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first inconsistency found.
+    pub fn validate(&self) {
+        assert!(self.num_layers > 0, "a DONN needs at least one layer");
+        // Constructing regions performs the geometric checks.
+        let _ = self.detector.regions(self.grid());
+        let _ = self.padding.padded_size(self.grid());
+    }
+}
+
+impl Default for DonnConfig {
+    /// Defaults to the paper's full-scale system.
+    fn default() -> Self {
+        DonnConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        let cfg = DonnConfig::paper();
+        cfg.validate();
+        assert_eq!(cfg.num_layers, 3);
+        assert_eq!(cfg.detector.num_classes, 10);
+    }
+
+    #[test]
+    fn scaled_config_preserves_structure() {
+        let cfg = DonnConfig::scaled(64);
+        cfg.validate();
+        assert_eq!(cfg.detector.region_size, 6);
+        assert!((cfg.geometry.aperture() - Geometry::paper().aperture()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_invalid() {
+        let mut cfg = DonnConfig::scaled(32);
+        cfg.num_layers = 0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,233 @@
+//! Hardware-deployment simulation: interpixel crosstalk.
+//!
+//! The paper's motivation (§II-B) is that rough masks break down on real
+//! optics because sharp phase steps between adjacent pixels create a
+//! fast-varying incident field — interpixel crosstalk — that the numerical
+//! model does not capture; Zhou et al. report ≥ 30 % accuracy loss when
+//! deploying roughness-oblivious masks. With no physical hardware in this
+//! environment, [`FabricationModel`] reproduces the *mechanism*: each
+//! deployed pixel's complex transmission leaks a fraction κ of its
+//! neighbors' fields,
+//!
+//! `t_i = (1−κ)·e^{iφ_i} + κ·mean_{q∈N(i)} e^{iφ_q}`.
+//!
+//! For smooth masks neighboring phasors agree and `t ≈ e^{iφ}` (little
+//! error); across sharp steps the phasors interfere destructively and the
+//! deployed response diverges from the digital model — exactly the
+//! roughness-correlated gap the paper optimizes away.
+
+use photonn_autodiff::Neighborhood;
+use photonn_datasets::Dataset;
+use photonn_math::{CGrid, Complex64, Grid};
+use photonn_optics::encode_amplitude;
+
+use crate::detector::argmax;
+use crate::model::Donn;
+
+/// Interpixel-crosstalk fabrication model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FabricationModel {
+    /// Crosstalk coefficient κ ∈ [0, 1): fraction of each pixel's
+    /// transmission contributed by its neighbors.
+    pub crosstalk: f64,
+    /// Which neighbors leak (8-neighborhood matches the roughness model).
+    pub neighborhood: Neighborhood,
+}
+
+impl FabricationModel {
+    /// Creates a model with the given crosstalk coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ crosstalk < 1`.
+    pub fn new(crosstalk: f64) -> Self {
+        assert!((0.0..1.0).contains(&crosstalk), "crosstalk outside [0,1)");
+        FabricationModel {
+            crosstalk,
+            neighborhood: Neighborhood::Eight,
+        }
+    }
+
+    /// The deployed complex transmission of one phase mask.
+    pub fn transmission(&self, mask: &Grid) -> CGrid {
+        let ideal = CGrid::from_phase(mask);
+        if self.crosstalk == 0.0 {
+            return ideal;
+        }
+        let (rows, cols) = mask.shape();
+        let offsets = self.neighborhood.offsets();
+        CGrid::from_fn(rows, cols, |r, c| {
+            let own = ideal[(r, c)];
+            let mut leak = Complex64::ZERO;
+            let mut count = 0.0;
+            for &(dr, dc) in offsets {
+                let qr = r as isize + dr;
+                let qc = c as isize + dc;
+                if qr >= 0 && qc >= 0 && (qr as usize) < rows && (qc as usize) < cols {
+                    leak += ideal[(qr as usize, qc as usize)];
+                    count += 1.0;
+                }
+            }
+            own.scale(1.0 - self.crosstalk) + leak.scale(self.crosstalk / count)
+        })
+    }
+
+    /// Forward pass through the *deployed* system (crosstalk-corrupted
+    /// transmissions) for an encoded input field.
+    pub fn forward_field(&self, donn: &Donn, input: &CGrid) -> CGrid {
+        let transmissions: Vec<CGrid> =
+            donn.masks().iter().map(|m| self.transmission(m)).collect();
+        let mut field = propagate_like(donn, input);
+        for t in &transmissions {
+            field.hadamard_inplace(t);
+            field = propagate_like(donn, &field);
+        }
+        field
+    }
+
+    /// Deployed prediction for an image.
+    pub fn predict(&self, donn: &Donn, image: &Grid) -> usize {
+        let intensity = self.forward_field(donn, &encode_amplitude(image)).intensity();
+        let sums: Vec<f64> = donn.regions().iter().map(|r| r.sum(&intensity)).collect();
+        argmax(&sums)
+    }
+
+    /// Deployed accuracy over a dataset (chunked parallel, deterministic).
+    pub fn accuracy(&self, donn: &Donn, dataset: &Dataset, threads: usize) -> f64 {
+        let threads = threads.max(1).min(dataset.len());
+        let chunk = dataset.len().div_ceil(threads);
+        let correct: usize = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(dataset.len());
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move || {
+                    (lo..hi)
+                        .filter(|&i| self.predict(donn, dataset.image(i)) == dataset.label(i))
+                        .count()
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        });
+        correct as f64 / dataset.len() as f64
+    }
+}
+
+/// The digital-vs-deployed accuracy gap for one model (positive = the
+/// deployment lost accuracy).
+pub fn deployment_gap(
+    donn: &Donn,
+    fab: &FabricationModel,
+    dataset: &Dataset,
+    threads: usize,
+) -> (f64, f64) {
+    let digital = donn.accuracy(dataset, threads);
+    let deployed = fab.accuracy(donn, dataset, threads);
+    (digital, deployed)
+}
+
+/// One free-space hop matching [`Donn`]'s internal propagation.
+fn propagate_like(donn: &Donn, field: &CGrid) -> CGrid {
+    let n = donn.config().grid();
+    let padded = donn.config().padding.padded_size(n);
+    let mut work = if padded == n {
+        field.clone()
+    } else {
+        field.pad_centered(padded, padded)
+    };
+    donn.plan().forward(&mut work);
+    work.hadamard_inplace(donn.kernel());
+    donn.plan().inverse(&mut work);
+    if padded == n {
+        work
+    } else {
+        work.crop_centered(n, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DonnConfig;
+    use photonn_math::{Rng, TWO_PI};
+
+    #[test]
+    fn zero_crosstalk_is_ideal() {
+        let mask = Grid::from_fn(8, 8, |r, c| (r + c) as f64 * 0.3);
+        let fab = FabricationModel::new(0.0);
+        let t = fab.transmission(&mask);
+        assert!(t.max_abs_diff(&CGrid::from_phase(&mask)) < 1e-15);
+    }
+
+    #[test]
+    fn smooth_mask_deploys_nearly_ideally() {
+        let smooth = Grid::from_fn(16, 16, |r, c| 0.02 * (r + c) as f64);
+        let fab = FabricationModel::new(0.15);
+        let t = fab.transmission(&smooth);
+        let ideal = CGrid::from_phase(&smooth);
+        // Interior pixels: neighbors agree, so |t| stays near 1.
+        assert!((t[(8, 8)].norm() - 1.0).abs() < 0.01);
+        assert!(t.max_abs_diff(&ideal) < 0.2);
+    }
+
+    #[test]
+    fn rough_mask_deploys_badly() {
+        // Checkerboard of 0 / π: neighbors cancel.
+        let rough = Grid::from_fn(16, 16, |r, c| {
+            if (r + c) % 2 == 0 {
+                0.0
+            } else {
+                std::f64::consts::PI
+            }
+        });
+        let fab = FabricationModel::new(0.15);
+        let t = fab.transmission(&rough);
+        // Destructive leakage shrinks the modulus: the 8-neighborhood of a
+        // checkerboard pixel cancels entirely, so |t| = 1−κ exactly.
+        assert!((t[(8, 8)].norm() - 0.85).abs() < 1e-12, "|t| = {}", t[(8, 8)].norm());
+    }
+
+    #[test]
+    fn transmission_error_correlates_with_roughness() {
+        let cfg = photonn_autodiff::RoughnessConfig::paper();
+        let mut rng = Rng::seed_from(11);
+        let smooth = Grid::from_fn(16, 16, |r, c| 0.05 * (r + c) as f64);
+        let rough = Grid::from_fn(16, 16, |_, _| rng.uniform_in(0.0, TWO_PI));
+        assert!(
+            photonn_autodiff::penalty::roughness_value(&smooth, cfg)
+                < photonn_autodiff::penalty::roughness_value(&rough, cfg)
+        );
+        let fab = FabricationModel::new(0.15);
+        let err = |m: &Grid| {
+            fab.transmission(m)
+                .max_abs_diff(&CGrid::from_phase(m))
+        };
+        assert!(
+            err(&smooth) < err(&rough),
+            "smooth err {} !< rough err {}",
+            err(&smooth),
+            err(&rough)
+        );
+    }
+
+    #[test]
+    fn deployment_gap_is_bounded_and_computable() {
+        let mut rng = Rng::seed_from(3);
+        let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let data = photonn_datasets::Dataset::synthetic(photonn_datasets::Family::Mnist, 20, 3)
+            .resized(32);
+        let fab = FabricationModel::new(0.1);
+        let (digital, deployed) = deployment_gap(&donn, &fab, &data, 2);
+        assert!((0.0..=1.0).contains(&digital));
+        assert!((0.0..=1.0).contains(&deployed));
+    }
+
+    #[test]
+    #[should_panic(expected = "crosstalk")]
+    fn crosstalk_of_one_rejected() {
+        let _ = FabricationModel::new(1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Detector-plane layout: the pre-defined regions that mimic the output
+//! neurons of a conventional classifier (paper §III-A).
+//!
+//! The paper places ten 20×20 regions "evenly on the detector plane" of a
+//! 200×200 system; this module reproduces that as a 2×5 grid of square
+//! regions whose size scales with the grid (`n/10`).
+
+use photonn_autodiff::Region;
+use photonn_math::Grid;
+
+/// Configuration of the detector plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Number of classes / regions (10 in the paper).
+    pub num_classes: usize,
+    /// Region rows × columns on the plane (2×5 in the paper's layout).
+    pub layout: (usize, usize),
+    /// Side length of each square region in pixels (20 for the 200 grid).
+    pub region_size: usize,
+}
+
+impl DetectorConfig {
+    /// The paper's detector plane for a given grid size: 10 classes in a
+    /// 2×5 layout with regions of `grid/10` pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid < 10`.
+    pub fn paper_for_grid(grid: usize) -> Self {
+        assert!(grid >= 10, "grid too small for 10 detector regions");
+        DetectorConfig {
+            num_classes: 10,
+            layout: (2, 5),
+            region_size: (grid / 10).max(1),
+        }
+    }
+
+    /// Builds the region rectangles for an `n × n` detector plane, row by
+    /// row, each centered in its layout cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the regions do not fit or `layout` does not cover
+    /// `num_classes`.
+    pub fn regions(&self, n: usize) -> Vec<Region> {
+        let (rows, cols) = self.layout;
+        assert!(
+            rows * cols >= self.num_classes,
+            "layout {rows}x{cols} cannot hold {} regions",
+            self.num_classes
+        );
+        let cell_h = n / rows;
+        let cell_w = n / cols;
+        assert!(
+            self.region_size <= cell_h && self.region_size <= cell_w,
+            "region size {} exceeds layout cell {}x{}",
+            self.region_size,
+            cell_h,
+            cell_w
+        );
+        let mut regions = Vec::with_capacity(self.num_classes);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if regions.len() == self.num_classes {
+                    break 'outer;
+                }
+                regions.push(Region {
+                    r0: r * cell_h + (cell_h - self.region_size) / 2,
+                    c0: c * cell_w + (cell_w - self.region_size) / 2,
+                    h: self.region_size,
+                    w: self.region_size,
+                });
+            }
+        }
+        regions
+    }
+}
+
+/// Readout: per-region intensity sums (the "logits" of a DONN).
+pub fn region_sums(intensity: &Grid, regions: &[Region]) -> Vec<f64> {
+    regions.iter().map(|r| r.sum(intensity)).collect()
+}
+
+/// Prediction: `argmax` over region sums (paper §III-A).
+///
+/// # Panics
+///
+/// Panics if `sums` is empty.
+pub fn argmax(sums: &[f64]) -> usize {
+    assert!(!sums.is_empty(), "argmax of empty logits");
+    let mut best = 0;
+    for (i, &v) in sums.iter().enumerate() {
+        if v > sums[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_200() {
+        let cfg = DetectorConfig::paper_for_grid(200);
+        assert_eq!(cfg.region_size, 20);
+        let regions = cfg.regions(200);
+        assert_eq!(regions.len(), 10);
+        // All 20×20, inside the plane, non-overlapping.
+        for r in &regions {
+            assert_eq!((r.h, r.w), (20, 20));
+            assert!(r.r0 + r.h <= 200 && r.c0 + r.w <= 200);
+        }
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let (a, b) = (&regions[i], &regions[j]);
+                let overlap_r = a.r0 < b.r0 + b.h && b.r0 < a.r0 + a.h;
+                let overlap_c = a.c0 < b.c0 + b.w && b.c0 < a.c0 + a.w;
+                assert!(!(overlap_r && overlap_c), "regions {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn layout_scales_down() {
+        let cfg = DetectorConfig::paper_for_grid(64);
+        let regions = cfg.regions(64);
+        assert_eq!(regions.len(), 10);
+        assert!(regions.iter().all(|r| r.h == 6 && r.w == 6));
+    }
+
+    #[test]
+    fn regions_are_centered_in_cells() {
+        let cfg = DetectorConfig::paper_for_grid(200);
+        let regions = cfg.regions(200);
+        // First region cell is rows 0..100, cols 0..40 → centered at (40, 10).
+        assert_eq!((regions[0].r0, regions[0].c0), (40, 10));
+        // Second row of regions starts at row 100 + 40.
+        assert_eq!(regions[5].r0, 140);
+    }
+
+    #[test]
+    fn readout_and_argmax() {
+        let mut img = Grid::zeros(64, 64);
+        let cfg = DetectorConfig::paper_for_grid(64);
+        let regions = cfg.regions(64);
+        // Light up region 7.
+        let r = &regions[7];
+        for rr in r.r0..r.r0 + r.h {
+            for cc in r.c0..r.c0 + r.w {
+                img[(rr, cc)] = 2.0;
+            }
+        }
+        let sums = region_sums(&img, &regions);
+        assert_eq!(argmax(&sums), 7);
+        assert!((sums[7] - 72.0).abs() < 1e-12);
+        assert!(sums.iter().enumerate().all(|(i, &s)| i == 7 || s == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn undersized_layout_panics() {
+        let cfg = DetectorConfig {
+            num_classes: 10,
+            layout: (1, 5),
+            region_size: 4,
+        };
+        let _ = cfg.regions(64);
+    }
+}

@@ -1,0 +1,165 @@
+//! Hyperparameter exploration (paper §IV-C, Fig. 6).
+//!
+//! Sweeps sparsification ratio and the two regularization weights against
+//! accuracy and roughness score, and extracts the accuracy-vs-roughness
+//! Pareto frontier.
+
+use photonn_datasets::Dataset;
+
+use crate::pipeline::{run_variant_on, ExperimentConfig, Variant};
+
+/// Which hyperparameter a sweep varies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Sparsification ratio (Fig. 6b).
+    SparsityRatio,
+    /// Roughness regularization weight `p` (Fig. 6c).
+    RoughnessWeight,
+    /// Intra-block smoothness weight `q` (Fig. 6d).
+    IntraWeight,
+}
+
+impl SweepParam {
+    /// Axis label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepParam::SparsityRatio => "sparsification ratio",
+            SweepParam::RoughnessWeight => "roughness regularization p",
+            SweepParam::IntraWeight => "intra-block regularization q",
+        }
+    }
+}
+
+/// One sweep sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// The swept hyperparameter value.
+    pub value: f64,
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// `R_overall` before 2π optimization (the training-time effect the
+    /// figure isolates).
+    pub roughness: f64,
+}
+
+/// Runs the variant appropriate for the sweep at each value, reusing one
+/// dataset pair. `SparsityRatio` sweeps Ours-B… actually Ours-C (the
+/// combined method, as the paper explores its hyperparameters);
+/// `RoughnessWeight` sweeps Ours-C; `IntraWeight` sweeps Ours-D.
+pub fn sweep(cfg: &ExperimentConfig, param: SweepParam, values: &[f64]) -> Vec<SweepPoint> {
+    let (train_data, test_data) = cfg.datasets();
+    sweep_on(cfg, param, values, &train_data, &test_data)
+}
+
+/// [`sweep`] with caller-provided datasets.
+pub fn sweep_on(
+    cfg: &ExperimentConfig,
+    param: SweepParam,
+    values: &[f64],
+    train_data: &Dataset,
+    test_data: &Dataset,
+) -> Vec<SweepPoint> {
+    values
+        .iter()
+        .map(|&value| {
+            let mut c = *cfg;
+            let variant = match param {
+                SweepParam::SparsityRatio => {
+                    c.slr.sparsity = value;
+                    Variant::OursC
+                }
+                SweepParam::RoughnessWeight => {
+                    c.p = value;
+                    Variant::OursC
+                }
+                SweepParam::IntraWeight => {
+                    c.q = value;
+                    Variant::OursD
+                }
+            };
+            let result = run_variant_on(&c, variant, train_data, test_data);
+            SweepPoint {
+                value,
+                accuracy: result.accuracy,
+                roughness: result.r_before,
+            }
+        })
+        .collect()
+}
+
+/// Indices of the accuracy-vs-roughness Pareto frontier (maximize
+/// accuracy, minimize roughness), sorted by increasing roughness — the
+/// Fig. 6a curve.
+pub fn pareto_frontier(points: &[SweepPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .roughness
+            .partial_cmp(&points[b].roughness)
+            .expect("NaN roughness")
+            .then(
+                points[b]
+                    .accuracy
+                    .partial_cmp(&points[a].accuracy)
+                    .expect("NaN accuracy"),
+            )
+    });
+    let mut frontier = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for idx in order {
+        if points[idx].accuracy > best_acc {
+            best_acc = points[idx].accuracy;
+            frontier.push(idx);
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(roughness: f64, accuracy: f64) -> SweepPoint {
+        SweepPoint {
+            value: 0.0,
+            accuracy,
+            roughness,
+        }
+    }
+
+    #[test]
+    fn pareto_keeps_only_nondominated() {
+        let points = vec![
+            pt(10.0, 0.9),  // frontier
+            pt(5.0, 0.8),   // frontier
+            pt(7.0, 0.75),  // dominated by (5.0, 0.8)
+            pt(2.0, 0.5),   // frontier
+            pt(12.0, 0.85), // dominated by (10.0, 0.9)
+        ];
+        let f = pareto_frontier(&points);
+        assert_eq!(f, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn pareto_of_single_point() {
+        let points = vec![pt(1.0, 0.5)];
+        assert_eq!(pareto_frontier(&points), vec![0]);
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let points: Vec<SweepPoint> = (0..20)
+            .map(|i| pt((i as f64 * 13.0) % 7.0 + 1.0, (i as f64 * 17.0 % 10.0) / 10.0))
+            .collect();
+        let f = pareto_frontier(&points);
+        for w in f.windows(2) {
+            assert!(points[w[0]].roughness <= points[w[1]].roughness);
+            assert!(points[w[0]].accuracy < points[w[1]].accuracy);
+        }
+    }
+
+    #[test]
+    fn sweep_labels() {
+        assert_eq!(SweepParam::SparsityRatio.label(), "sparsification ratio");
+    }
+}

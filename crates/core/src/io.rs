@@ -1,0 +1,215 @@
+//! Mask checkpointing: save and load trained phase masks.
+//!
+//! The format is a minimal self-describing binary container (`PHN1`): a
+//! magic tag, layer count, per-layer dimensions and little-endian `f64`
+//! pixels. It exists so a trained DONN survives the process — table runs
+//! can be resumed, masks can be shipped to a fabrication flow, and the
+//! Fig. 5 renders can be regenerated without retraining.
+
+use photonn_math::Grid;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PHN1";
+
+/// Errors from checkpoint parsing.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `PHN1` magic.
+    BadMagic,
+    /// The header promises more data than the file holds, or dimensions
+    /// are implausible.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a PHN1 mask checkpoint"),
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes phase masks to a `PHN1` checkpoint file.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if `masks` is empty.
+///
+/// # Examples
+///
+/// ```no_run
+/// use photonn_donn::io::{load_masks, save_masks};
+/// use photonn_math::Grid;
+/// use std::path::Path;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let masks = vec![Grid::zeros(32, 32); 3];
+/// save_masks(Path::new("model.phn"), &masks)?;
+/// let back = load_masks(Path::new("model.phn"))?;
+/// assert_eq!(back.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_masks(path: &Path, masks: &[Grid]) -> io::Result<()> {
+    assert!(!masks.is_empty(), "cannot save an empty mask list");
+    let mut f = File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&(masks.len() as u32).to_le_bytes())?;
+    for mask in masks {
+        f.write_all(&(mask.rows() as u32).to_le_bytes())?;
+        f.write_all(&(mask.cols() as u32).to_le_bytes())?;
+        let mut buf = Vec::with_capacity(mask.len() * 8);
+        for &v in mask.as_slice() {
+            buf.extend(v.to_le_bytes());
+        }
+        f.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads phase masks from a `PHN1` checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on I/O failure, a wrong magic number, or a
+/// truncated/implausible payload.
+pub fn load_masks(path: &Path) -> Result<Vec<Grid>, CheckpointError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 8 || &bytes[0..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().expect("sized slice")) as usize;
+    if count == 0 || count > 1024 {
+        return Err(CheckpointError::Malformed(format!("{count} layers")));
+    }
+    let mut offset = 8;
+    let mut masks = Vec::with_capacity(count);
+    for layer in 0..count {
+        if bytes.len() < offset + 8 {
+            return Err(CheckpointError::Malformed(format!(
+                "truncated header for layer {layer}"
+            )));
+        }
+        let rows =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("sized")) as usize;
+        let cols =
+            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("sized")) as usize;
+        offset += 8;
+        if rows == 0 || cols == 0 || rows > 65_536 || cols > 65_536 {
+            return Err(CheckpointError::Malformed(format!(
+                "layer {layer} dimensions {rows}x{cols}"
+            )));
+        }
+        let need = rows * cols * 8;
+        if bytes.len() < offset + need {
+            return Err(CheckpointError::Malformed(format!(
+                "truncated pixels for layer {layer}: need {need} bytes"
+            )));
+        }
+        let data: Vec<f64> = bytes[offset..offset + need]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("sized chunk")))
+            .collect();
+        offset += need;
+        masks.push(Grid::from_vec(rows, cols, data));
+    }
+    Ok(masks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::Rng;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("photonn_ckpt_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let mut rng = Rng::seed_from(5);
+        let masks: Vec<Grid> = (0..3)
+            .map(|_| Grid::from_fn(17, 23, |_, _| rng.uniform_in(-10.0, 10.0)))
+            .collect();
+        let p = temp("roundtrip");
+        save_masks(&p, &masks).unwrap();
+        let back = load_masks(&p).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in masks.iter().zip(&back) {
+            assert_eq!(a, b, "bit-exact roundtrip required");
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn heterogeneous_shapes_roundtrip() {
+        let masks = vec![Grid::zeros(4, 8), Grid::full(16, 2, 1.5)];
+        let p = temp("hetero");
+        save_masks(&p, &masks).unwrap();
+        let back = load_masks(&p).unwrap();
+        assert_eq!(back[0].shape(), (4, 8));
+        assert_eq!(back[1].shape(), (16, 2));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = temp("badmagic");
+        std::fs::write(&p, b"NOPE....").unwrap();
+        assert!(matches!(load_masks(&p), Err(CheckpointError::BadMagic)));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let p = temp("trunc");
+        let masks = vec![Grid::full(8, 8, 2.0)];
+        save_masks(&p, &masks).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 16]).unwrap();
+        assert!(matches!(load_masks(&p), Err(CheckpointError::Malformed(_))));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn model_masks_restore_into_model() {
+        use crate::{Donn, DonnConfig};
+        let mut rng = Rng::seed_from(7);
+        let donn = Donn::random(DonnConfig::scaled(16), &mut rng);
+        let p = temp("model");
+        save_masks(&p, donn.masks()).unwrap();
+
+        let mut restored = Donn::new(DonnConfig::scaled(16));
+        restored.set_masks(load_masks(&p).unwrap());
+        let img = Grid::full(16, 16, 0.5);
+        assert_eq!(donn.predict(&img), restored.predict(&img));
+        std::fs::remove_file(p).ok();
+    }
+}

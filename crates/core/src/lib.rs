@@ -1,0 +1,74 @@
+//! # photonn-donn
+//!
+//! A from-scratch Rust reproduction of *Physics-aware Roughness
+//! Optimization for Diffractive Optical Neural Networks* (Zhou, Li, Lou,
+//! Gao, Shi, Yu, Ding — DAC 2023, arXiv:2304.01500).
+//!
+//! Diffractive optical neural networks (DONNs) compute with light: an
+//! image is encoded on a coherent laser field, diffracts through a stack
+//! of 3-D-printed phase masks, and lands on detector regions whose summed
+//! intensities act as class scores. Trained numerically, deployed
+//! physically — and the deployment degrades when adjacent mask pixels have
+//! sharp phase steps (interpixel crosstalk). The paper quantifies this as
+//! **roughness** and attacks it four ways, all implemented here:
+//!
+//! | Component | Paper | Module |
+//! |---|---|---|
+//! | Differentiable DONN (FFT propagation + phase masks) | §III-A | [`Donn`] |
+//! | Roughness model + regularized training (Eq. 3–5) | §III-B | [`roughness`], [`train`] |
+//! | SLR block sparsification (Eq. 6–7) | §III-C | [`sparsify`], [`slr`] |
+//! | Intra-block smoothness (Eq. 8) | §III-D1 | [`smoothness`] |
+//! | 2π periodic optimization (Gumbel-Softmax) | §III-D2 | [`two_pi`] |
+//! | Experiment pipeline (Tables II–V, Fig. 5–6) | §IV | [`pipeline`], [`explore`] |
+//! | Deployment-gap simulation (crosstalk) | §II-B motivation | [`deploy`] |
+//!
+//! # Examples
+//!
+//! Train a small DONN and smooth it:
+//!
+//! ```
+//! use photonn_donn::{
+//!     roughness::{r_overall, RoughnessConfig},
+//!     train::{train, TrainOptions},
+//!     two_pi::{optimize_all, TwoPiStrategy},
+//!     Donn, DonnConfig,
+//! };
+//! use photonn_datasets::{Dataset, Family};
+//! use photonn_math::Rng;
+//!
+//! let mut rng = Rng::seed_from(7);
+//! let mut donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+//! let data = Dataset::synthetic(Family::Mnist, 60, 7).resized(32);
+//! let opts = TrainOptions { epochs: 1, batch_size: 20, ..TrainOptions::default() };
+//! train(&mut donn, &data, &opts);
+//!
+//! let cfg = RoughnessConfig::paper();
+//! let before = r_overall(donn.masks(), cfg);
+//! let smoothed = optimize_all(donn.masks(), cfg, &TwoPiStrategy::Greedy { sweeps: 3 });
+//! assert!(smoothed.iter().all(|r| r.roughness_after <= r.roughness_before));
+//! # let _ = before;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod deploy;
+mod detector;
+pub mod explore;
+pub mod io;
+pub mod metrics;
+mod model;
+pub mod pipeline;
+pub mod quantize;
+pub mod report;
+pub mod roughness;
+pub mod slr;
+pub mod smoothness;
+pub mod sparsify;
+pub mod train;
+pub mod two_pi;
+
+pub use config::{DonnConfig, LossKind, MaskInit};
+pub use detector::{argmax, region_sums, DetectorConfig};
+pub use model::Donn;

@@ -1,0 +1,98 @@
+//! Evaluation metrics beyond plain accuracy.
+
+use photonn_datasets::Dataset;
+
+use crate::model::Donn;
+
+/// A confusion matrix: `counts[true][predicted]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates the model over a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label exceeds the model's class count.
+    pub fn evaluate(donn: &Donn, dataset: &Dataset) -> Self {
+        let classes = donn.config().detector.num_classes;
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for i in 0..dataset.len() {
+            let truth = dataset.label(i);
+            assert!(truth < classes, "label {truth} outside {classes} classes");
+            let pred = donn.predict(dataset.image(i));
+            counts[truth][pred] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes()).map(|i| self.counts[i][i]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        correct as f64 / total.max(1) as f64
+    }
+
+    /// Per-class recall (`NaN`-free: classes with no samples report 0).
+    pub fn recall(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    row[i] as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DonnConfig;
+    use crate::model::Donn;
+    use photonn_datasets::Family;
+    use photonn_math::Rng;
+
+    #[test]
+    fn confusion_matrix_totals_match_dataset() {
+        let mut rng = Rng::seed_from(1);
+        let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let data = Dataset::synthetic(Family::Mnist, 30, 1).resized(32);
+        let cm = ConfusionMatrix::evaluate(&donn, &data);
+        let mut total = 0usize;
+        for t in 0..10 {
+            for p in 0..10 {
+                total += cm.count(t, p);
+            }
+        }
+        assert_eq!(total, 30);
+        assert!((0.0..=1.0).contains(&cm.accuracy()));
+        assert_eq!(cm.recall().len(), 10);
+    }
+
+    #[test]
+    fn accuracy_matches_model_accuracy() {
+        let mut rng = Rng::seed_from(2);
+        let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let data = Dataset::synthetic(Family::Emnist, 20, 2).resized(32);
+        let cm = ConfusionMatrix::evaluate(&donn, &data);
+        assert!((cm.accuracy() - donn.accuracy(&data, 1)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Discrete phase-level quantization.
+//!
+//! The paper's §I lists "discrete control levels in optical devices \[6\]"
+//! as a source of the numerical-vs-deployment mismatch alongside
+//! roughness: real spatial light modulators and 3-D printers realize only
+//! a finite set of phase levels. This module provides post-training
+//! quantization of phase masks to `L` uniform levels over `[0, 2π)` and a
+//! measurement of the induced accuracy loss — the natural companion
+//! evaluation to the roughness pipeline (and the subject of the codesign
+//! approach of reference \[8\]).
+
+use photonn_datasets::Dataset;
+use photonn_math::{Grid, TWO_PI};
+
+use crate::model::Donn;
+
+/// Quantizes a phase value to `levels` uniform steps over `[0, 2π)`,
+/// rounding to the nearest level (values are wrapped into the period
+/// first, consistent with the 2π equivalence of phase modulation).
+///
+/// # Panics
+///
+/// Panics if `levels == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_donn::quantize::quantize_phase;
+///
+/// // 4 levels: 0, π/2, π, 3π/2.
+/// let q = quantize_phase(1.7, 4);
+/// assert!((q - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// ```
+pub fn quantize_phase(phase: f64, levels: usize) -> f64 {
+    assert!(levels > 0, "need at least one phase level");
+    let step = TWO_PI / levels as f64;
+    let wrapped = phase.rem_euclid(TWO_PI);
+    let idx = (wrapped / step).round() as usize % levels;
+    idx as f64 * step
+}
+
+/// Quantizes a whole mask to `levels` uniform phase steps.
+pub fn quantize_mask(mask: &Grid, levels: usize) -> Grid {
+    mask.map(|v| quantize_phase(v, levels))
+}
+
+/// Result of evaluating a model under phase quantization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantizationReport {
+    /// Number of phase levels.
+    pub levels: usize,
+    /// Accuracy with continuous (float) phases.
+    pub continuous_accuracy: f64,
+    /// Accuracy after quantizing every mask.
+    pub quantized_accuracy: f64,
+    /// Largest per-pixel phase error introduced (≤ π/levels).
+    pub max_phase_error: f64,
+}
+
+/// Quantizes a copy of the model's masks to `levels` steps and measures
+/// the accuracy on `dataset`, alongside the continuous reference.
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or the dataset images mismatch the grid.
+pub fn evaluate_quantized(
+    donn: &Donn,
+    dataset: &Dataset,
+    levels: usize,
+    threads: usize,
+) -> QuantizationReport {
+    let continuous_accuracy = donn.accuracy(dataset, threads);
+    let mut max_phase_error: f64 = 0.0;
+    let quantized: Vec<Grid> = donn
+        .masks()
+        .iter()
+        .map(|m| {
+            let q = quantize_mask(m, levels);
+            for (&a, &b) in m.as_slice().iter().zip(q.as_slice()) {
+                // Compare on the circle (both values map into [0, 2π)).
+                let d = (a.rem_euclid(TWO_PI) - b).abs();
+                max_phase_error = max_phase_error.max(d.min(TWO_PI - d));
+            }
+            q
+        })
+        .collect();
+    let mut deployed = donn.clone();
+    deployed.set_masks(quantized);
+    QuantizationReport {
+        levels,
+        continuous_accuracy,
+        quantized_accuracy: deployed.accuracy(dataset, threads),
+        max_phase_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DonnConfig;
+    use photonn_datasets::Family;
+    use photonn_math::Rng;
+
+    #[test]
+    fn quantize_phase_hits_grid_points() {
+        for levels in [2usize, 4, 8, 256] {
+            let step = TWO_PI / levels as f64;
+            for k in 0..levels {
+                let exact = k as f64 * step;
+                assert!((quantize_phase(exact, levels) - exact).abs() < 1e-12);
+                // Mid-step rounds to a neighbor, never further than step/2.
+                let q = quantize_phase(exact + 0.49 * step, levels);
+                let d = (q - (exact + 0.49 * step)).abs();
+                assert!(d.min(TWO_PI - d) <= 0.5 * step + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_respects_two_pi_equivalence() {
+        let q1 = quantize_phase(0.3, 16);
+        let q2 = quantize_phase(0.3 + TWO_PI, 16);
+        let q3 = quantize_phase(0.3 - TWO_PI, 16);
+        assert_eq!(q1, q2);
+        assert_eq!(q1, q3);
+    }
+
+    #[test]
+    fn single_level_collapses_to_zero() {
+        let mask = Grid::from_fn(4, 4, |r, c| (r + c) as f64);
+        let q = quantize_mask(&mask, 1);
+        assert_eq!(q.sum(), 0.0);
+    }
+
+    #[test]
+    fn error_bound_shrinks_with_levels() {
+        let mut rng = Rng::seed_from(3);
+        let donn = Donn::random(DonnConfig::scaled(16), &mut rng);
+        let data = Dataset::synthetic(Family::Mnist, 16, 3).resized(16);
+        let coarse = evaluate_quantized(&donn, &data, 4, 2);
+        let fine = evaluate_quantized(&donn, &data, 64, 2);
+        assert!(coarse.max_phase_error <= TWO_PI / 8.0 + 1e-12);
+        assert!(fine.max_phase_error <= TWO_PI / 128.0 + 1e-12);
+        assert!(fine.max_phase_error < coarse.max_phase_error);
+    }
+
+    #[test]
+    fn many_levels_preserve_predictions() {
+        // 256 levels (8-bit SLM) is effectively continuous: accuracy and
+        // most predictions must survive.
+        let mut rng = Rng::seed_from(9);
+        let donn = Donn::random(DonnConfig::scaled(16), &mut rng);
+        let data = Dataset::synthetic(Family::Mnist, 30, 9).resized(16);
+        let report = evaluate_quantized(&donn, &data, 256, 2);
+        assert!(
+            (report.quantized_accuracy - report.continuous_accuracy).abs() <= 0.1,
+            "8-bit quantization moved accuracy {} -> {}",
+            report.continuous_accuracy,
+            report.quantized_accuracy
+        );
+    }
+}

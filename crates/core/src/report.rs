@@ -1,0 +1,140 @@
+//! Plain-text table/CSV rendering for the benchmark binaries.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with markdown and CSV output.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_donn::report::Table;
+///
+/// let mut t = Table::new(&["Model", "Accuracy (%)"]);
+/// t.row(&["baseline", "96.67"]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| baseline |"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Markdown rendering (GitHub-flavored pipe table).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// CSV rendering (naive quoting: commas in cells are replaced).
+    pub fn to_csv(&self) -> String {
+        let clean = |s: &str| s.replace(',', ";");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (paper style).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Formats a roughness score with two decimals (paper style).
+pub fn score(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Relative reduction `(before − after)/before` as a percentage string.
+pub fn reduction_pct(before: f64, after: f64) -> String {
+    if before == 0.0 {
+        return "0.0%".to_string();
+    }
+    format!("{:.1}%", (before - after) / before * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(&["A", "B"]);
+        t.row(&["1", "2"]);
+        t.row(&["3", "4"]);
+        let md = t.to_markdown();
+        assert_eq!(md.lines().count(), 4);
+        assert!(md.lines().nth(1).unwrap().contains("---"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["X"]);
+        t.row(&["a,b"]);
+        assert!(t.to_csv().contains("a;b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["A", "B"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.9667), "96.67");
+        assert_eq!(score(466.391), "466.39");
+        assert_eq!(reduction_pct(100.0, 64.3), "35.7%");
+        assert_eq!(reduction_pct(0.0, 0.0), "0.0%");
+    }
+}

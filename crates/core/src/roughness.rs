@@ -1,0 +1,105 @@
+//! Roughness measurement (paper §III-B, Eq. 3–4).
+//!
+//! The differentiable forward/backward lives in
+//! [`photonn_autodiff::penalty`] so training can share it; this module adds
+//! the measurement-level API the evaluation tables use, most importantly
+//! [`r_overall`] — "the average of the roughness of all phase masks"
+//! (paper §IV-B).
+
+use photonn_math::Grid;
+
+pub use photonn_autodiff::penalty::{roughness_grad, roughness_value};
+pub use photonn_autodiff::{DiffMetric, Neighborhood, RoughnessConfig};
+
+/// Roughness of a single phase mask — paper Eq. 4.
+pub fn roughness(mask: &Grid, cfg: RoughnessConfig) -> f64 {
+    roughness_value(mask, cfg)
+}
+
+/// System roughness score `R_overall`: the mean of per-layer roughness
+/// over all diffractive layers (paper §IV-B). Lower means weaker
+/// interpixel interaction and a smaller numerical-vs-deployed gap.
+///
+/// # Panics
+///
+/// Panics on an empty mask list.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_donn::roughness::{r_overall, RoughnessConfig};
+/// use photonn_math::Grid;
+///
+/// let masks = vec![Grid::zeros(8, 8), Grid::full(8, 8, 1.0)];
+/// let r = r_overall(&masks, RoughnessConfig::paper());
+/// assert!(r > 0.0); // the non-zero mask pays at the padded boundary
+/// ```
+pub fn r_overall(masks: &[Grid], cfg: RoughnessConfig) -> f64 {
+    assert!(!masks.is_empty(), "no masks to score");
+    masks.iter().map(|m| roughness_value(m, cfg)).sum::<f64>() / masks.len() as f64
+}
+
+/// Per-pixel roughness map (the pixel term of Eq. 3 before summation) —
+/// used by visualization and for locating hot spots.
+pub fn roughness_map(mask: &Grid, cfg: RoughnessConfig) -> Grid {
+    let (rows, cols) = mask.shape();
+    let offsets = cfg.neighborhood.offsets();
+    let inv_k = 1.0 / cfg.neighborhood.k() as f64;
+    Grid::from_fn(rows, cols, |r, c| {
+        let p = mask[(r, c)];
+        let mut acc = 0.0;
+        for &(dr, dc) in offsets {
+            let q = mask.get_zero_padded(r as isize + dr, c as isize + dc);
+            acc += match cfg.metric {
+                DiffMetric::Abs => (q - p).abs(),
+                DiffMetric::Squared => (q - p) * (q - p),
+            };
+        }
+        acc * inv_k
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::TWO_PI;
+
+    #[test]
+    fn map_sums_to_value() {
+        let mask = Grid::from_fn(6, 6, |r, c| ((r * 6 + c) % 7) as f64);
+        for cfg in [
+            RoughnessConfig::paper(),
+            RoughnessConfig {
+                neighborhood: Neighborhood::Four,
+                metric: DiffMetric::Squared,
+            },
+        ] {
+            let map = roughness_map(&mask, cfg);
+            assert!((map.sum() - roughness(&mask, cfg)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn r_overall_is_mean() {
+        let a = Grid::full(4, 4, 1.0);
+        let b = Grid::zeros(4, 4);
+        let cfg = RoughnessConfig::paper();
+        let expected = (roughness(&a, cfg) + roughness(&b, cfg)) / 2.0;
+        assert!((r_overall(&[a, b], cfg) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_gradient_mask_is_smoother_than_noise() {
+        let smooth = Grid::from_fn(16, 16, |r, c| (r + c) as f64 * 0.05);
+        let mut rng = photonn_math::Rng::seed_from(1);
+        let noisy = Grid::from_fn(16, 16, |_, _| rng.uniform_in(0.0, TWO_PI));
+        let cfg = RoughnessConfig::paper();
+        assert!(roughness(&smooth, cfg) < roughness(&noisy, cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "no masks")]
+    fn empty_mask_list_panics() {
+        let _ = r_overall(&[], RoughnessConfig::paper());
+    }
+}

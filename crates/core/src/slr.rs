@@ -1,0 +1,348 @@
+//! Surrogate Lagrangian Relaxation (SLR) block-sparsification training
+//! (paper §III-C2, Eq. 6–7; Gurevin et al., IJCAI'20).
+//!
+//! The constrained problem `min ℓ(W) + ℓr(W) s.t. W block-sparse` is
+//! relaxed with duplicate variables `Z`, multipliers `Λ` and a quadratic
+//! penalty `ρ/2‖W−Z‖²_F`. Two subproblems alternate:
+//!
+//! 1. **W-step** — gradient training of the DONN loss plus the relaxation
+//!    forces `Λ + ρ(W−Z)` (injected through the trainer's `extra_grad`
+//!    hook);
+//! 2. **Z-step** — exact projection of `W + Λ/ρ` onto the block-sparse
+//!    constraint set (keep the largest-L2 blocks).
+//!
+//! Multiplier updates `Λ ← Λ + s_k(W−Z)` are gated on the *surrogate
+//! optimality condition* (the augmented objective must have decreased) and
+//! use the decaying SLR stepsize `s_k = α_k·s_{k-1}` with
+//! `α_k = 1 − 1/(M·k^{1−1/k^r})`, the rule of the SLR paper with the
+//! published constants `M = 300, r = 0.1, s_0 = 0.01`.
+
+use photonn_datasets::Dataset;
+use photonn_math::Grid;
+use std::sync::Arc;
+
+use crate::model::Donn;
+use crate::sparsify::{sparsify, SparsifyMethod};
+use crate::train::{train_with, TrainOptions};
+
+/// SLR hyperparameters (defaults are the paper's §IV-A2 values).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlrConfig {
+    /// Quadratic penalty coefficient ρ.
+    pub rho: f64,
+    /// Stepsize constant `M`.
+    pub m: f64,
+    /// Stepsize exponent `r`.
+    pub r: f64,
+    /// Initial multiplier stepsize `s₀`.
+    pub s0: f64,
+    /// Target sparsity ratio (fraction of blocks zeroed; paper: 0.1).
+    pub sparsity: f64,
+    /// Block side length (25 for MNIST, 20 for the other datasets).
+    pub block: usize,
+    /// Number of W/Z alternations.
+    pub outer_iterations: usize,
+    /// Probe samples used to evaluate the surrogate optimality condition.
+    pub probe_samples: usize,
+}
+
+impl Default for SlrConfig {
+    fn default() -> Self {
+        SlrConfig {
+            rho: 0.1,
+            m: 300.0,
+            r: 0.1,
+            s0: 0.01,
+            sparsity: 0.1,
+            block: 20,
+            outer_iterations: 4,
+            probe_samples: 64,
+        }
+    }
+}
+
+/// Statistics of one SLR outer iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlrIterationStats {
+    /// Outer iteration index (1-based, as in the stepsize rule).
+    pub k: usize,
+    /// `‖W−Z‖_F` summed over layers after the W-step.
+    pub gap: f64,
+    /// Stepsize used for multiplier updates this iteration.
+    pub stepsize: f64,
+    /// Whether the surrogate optimality condition held (multipliers moved).
+    pub surrogate_ok: bool,
+    /// Mean probe data loss after the W-step.
+    pub probe_loss: f64,
+}
+
+/// Outcome of SLR sparsification training.
+#[derive(Clone, Debug)]
+pub struct SlrOutcome {
+    /// Per-iteration statistics.
+    pub history: Vec<SlrIterationStats>,
+    /// Final 0/1 keep-masks (per layer) after the hard projection.
+    pub keep: Vec<Arc<Grid>>,
+    /// Achieved sparsity (fraction of zeroed pixels).
+    pub sparsity: f64,
+}
+
+/// The SLR stepsize decay factor `α_k = 1 − 1/(M·k^{1−1/k^r})`.
+fn alpha(k: usize, m: f64, r: f64) -> f64 {
+    let kf = k as f64;
+    1.0 - 1.0 / (m * kf.powf(1.0 - 1.0 / kf.powf(r)))
+}
+
+/// Projects each mask onto the block-sparse set: keep the `1−sparsity`
+/// fraction of blocks with the largest L2 norm, zero the rest.
+fn project(masks: &[Grid], sparsity: f64, block: usize) -> Vec<Grid> {
+    masks
+        .iter()
+        .map(|m| sparsify(m, sparsity, SparsifyMethod::Block { size: block }).mask)
+        .collect()
+}
+
+/// Mean data loss over a fixed probe prefix of the dataset (used for the
+/// surrogate optimality condition).
+fn probe_loss(donn: &Donn, data: &Dataset, probe: usize) -> f64 {
+    let n = probe.min(data.len());
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut tape = photonn_autodiff::Tape::new();
+        let (loss, _) = donn.build_sample_loss(&mut tape, data.image(i), data.label(i), None);
+        total += tape.scalar(loss);
+    }
+    total / n as f64
+}
+
+/// The augmented Lagrangian value (Eq. 7) up to the constant `g(Z)` term.
+fn augmented(
+    probe: f64,
+    masks: &[Grid],
+    z: &[Grid],
+    lambda: &[Grid],
+    rho: f64,
+) -> f64 {
+    let mut value = probe;
+    for ((w, zi), li) in masks.iter().zip(z).zip(lambda) {
+        let diff = w - zi;
+        value += li.hadamard(&diff).sum();
+        value += rho / 2.0 * diff.frobenius_norm().powi(2);
+    }
+    value
+}
+
+/// Runs SLR sparsification training on `donn` in place.
+///
+/// After the final outer iteration the masks are hard-projected onto the
+/// block-sparse set; the returned keep-masks can freeze them during any
+/// further training and are consumed by the 2π post-optimizer pipeline.
+///
+/// # Panics
+///
+/// Panics if configuration values are out of range (ρ ≤ 0, sparsity
+/// outside `[0,1]`, zero iterations).
+pub fn slr_train(
+    donn: &mut Donn,
+    data: &Dataset,
+    train_opts: &TrainOptions,
+    slr: &SlrConfig,
+) -> SlrOutcome {
+    assert!(slr.rho > 0.0, "rho must be positive");
+    assert!((0.0..=1.0).contains(&slr.sparsity), "sparsity outside [0,1]");
+    assert!(slr.outer_iterations > 0, "need at least one outer iteration");
+
+    let mut z = project(donn.masks(), slr.sparsity, slr.block);
+    let mut lambda: Vec<Grid> = donn
+        .masks()
+        .iter()
+        .map(|m| Grid::zeros(m.rows(), m.cols()))
+        .collect();
+    let mut s = slr.s0;
+    let mut history = Vec::with_capacity(slr.outer_iterations);
+    let mut prev_aug = f64::INFINITY;
+
+    for k in 1..=slr.outer_iterations {
+        // --- Subproblem 1: W-step with relaxation forces.
+        {
+            let z_ref = &z;
+            let lambda_ref = &lambda;
+            let rho = slr.rho;
+            let mut hook = move |masks: &[Grid]| -> Vec<Grid> {
+                masks
+                    .iter()
+                    .zip(z_ref)
+                    .zip(lambda_ref)
+                    .map(|((w, zi), li)| {
+                        // ∂/∂W [ tr(Λᵀ(W−Z)) + ρ/2‖W−Z‖² ] = Λ + ρ(W−Z)
+                        let mut g = w - zi;
+                        g.scale_inplace(rho);
+                        g.axpy(1.0, li);
+                        g
+                    })
+                    .collect()
+            };
+            train_with(donn, data, train_opts, None, Some(&mut hook));
+        }
+
+        let probe = probe_loss(donn, data, slr.probe_samples);
+        let aug = augmented(probe, donn.masks(), &z, &lambda, slr.rho);
+        // Surrogate optimality condition: the augmented objective moved
+        // down relative to the previous iterate.
+        let surrogate_ok = aug < prev_aug;
+        if surrogate_ok {
+            for (li, (w, zi)) in lambda.iter_mut().zip(donn.masks().iter().zip(&z)) {
+                let mut step = w - zi;
+                step.scale_inplace(s);
+                li.axpy(1.0, &step);
+            }
+            s *= alpha(k, slr.m, slr.r);
+        }
+        prev_aug = aug;
+
+        // --- Subproblem 2: exact Z projection of W + Λ/ρ.
+        let shifted: Vec<Grid> = donn
+            .masks()
+            .iter()
+            .zip(&lambda)
+            .map(|(w, li)| {
+                let mut t = w.clone();
+                t.axpy(1.0 / slr.rho, li);
+                t
+            })
+            .collect();
+        z = project(&shifted, slr.sparsity, slr.block);
+
+        let gap: f64 = donn
+            .masks()
+            .iter()
+            .zip(&z)
+            .map(|(w, zi)| (w - zi).frobenius_norm())
+            .sum();
+        history.push(SlrIterationStats {
+            k,
+            gap,
+            stepsize: s,
+            surrogate_ok,
+            probe_loss: probe,
+        });
+    }
+
+    // Final hard projection (retrain-free, as in the SLR paper).
+    let final_sparse: Vec<crate::sparsify::Sparsified> = donn
+        .masks()
+        .iter()
+        .map(|m| sparsify(m, slr.sparsity, SparsifyMethod::Block { size: slr.block }))
+        .collect();
+    let keep: Vec<Arc<Grid>> = final_sparse.iter().map(|s| Arc::new(s.keep.clone())).collect();
+    let masks: Vec<Grid> = final_sparse.into_iter().map(|s| s.mask).collect();
+    let total_zeros: usize = masks.iter().map(Grid::count_zeros).sum();
+    let total: usize = masks.iter().map(Grid::len).sum();
+    donn.set_masks(masks);
+
+    SlrOutcome {
+        history,
+        keep,
+        sparsity: total_zeros as f64 / total as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DonnConfig;
+    use photonn_datasets::Family;
+    use photonn_math::Rng;
+
+    #[test]
+    fn alpha_is_decaying_factor_below_one() {
+        for k in 1..50 {
+            let a = alpha(k, 300.0, 0.1);
+            assert!(a > 0.9 && a < 1.0, "alpha({k}) = {a}");
+        }
+        // Later iterations decay more slowly (alpha increases toward 1).
+        assert!(alpha(40, 300.0, 0.1) > alpha(2, 300.0, 0.1));
+    }
+
+    #[test]
+    fn projection_achieves_block_sparsity() {
+        let masks = vec![Grid::from_fn(8, 8, |r, c| (r * 8 + c + 1) as f64)];
+        let z = project(&masks, 0.25, 4);
+        // 4 blocks of 4×4; one zeroed.
+        assert_eq!(z[0].count_zeros(), 16);
+    }
+
+    #[test]
+    fn slr_sparsifies_while_model_still_works() {
+        let mut rng = Rng::seed_from(7);
+        let mut donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let data = Dataset::synthetic(Family::Mnist, 100, 7).resized(32);
+        // Warm up briefly so the masks are meaningful.
+        let warm = TrainOptions {
+            epochs: 1,
+            batch_size: 20,
+            learning_rate: 0.08,
+            ..TrainOptions::default()
+        };
+        crate::train::train(&mut donn, &data, &warm);
+
+        let slr_opts = TrainOptions {
+            epochs: 1,
+            batch_size: 20,
+            learning_rate: 0.01,
+            ..TrainOptions::default()
+        };
+        let cfg = SlrConfig {
+            sparsity: 0.25,
+            block: 8,
+            outer_iterations: 2,
+            probe_samples: 20,
+            ..SlrConfig::default()
+        };
+        let outcome = slr_train(&mut donn, &data, &slr_opts, &cfg);
+        assert_eq!(outcome.history.len(), 2);
+        // Hard sparsity achieved: 25% of blocks zeroed per mask.
+        assert!(
+            (outcome.sparsity - 0.25).abs() < 0.05,
+            "sparsity {}",
+            outcome.sparsity
+        );
+        // Zeroed pixels really are zero.
+        for (mask, keep) in donn.masks().iter().zip(&outcome.keep) {
+            for (v, k) in mask.as_slice().iter().zip(keep.as_slice()) {
+                if *k == 0.0 {
+                    assert_eq!(*v, 0.0);
+                }
+            }
+        }
+        // Model still predicts in range.
+        assert!(donn.predict(data.image(0)) < 10);
+    }
+
+    #[test]
+    fn gap_shrinks_over_iterations() {
+        let mut rng = Rng::seed_from(9);
+        let mut donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let data = Dataset::synthetic(Family::Mnist, 60, 9).resized(32);
+        let slr_opts = TrainOptions {
+            epochs: 1,
+            batch_size: 20,
+            learning_rate: 0.02,
+            ..TrainOptions::default()
+        };
+        let cfg = SlrConfig {
+            sparsity: 0.2,
+            block: 8,
+            outer_iterations: 3,
+            probe_samples: 16,
+            ..SlrConfig::default()
+        };
+        let outcome = slr_train(&mut donn, &data, &slr_opts, &cfg);
+        let first = outcome.history.first().unwrap().gap;
+        let last = outcome.history.last().unwrap().gap;
+        assert!(
+            last < first * 1.25,
+            "W−Z gap exploded: first {first}, last {last}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Weight sparsification (paper §III-C, Fig. 3).
+//!
+//! Three methods are implemented so the Fig. 3 comparison can be
+//! reproduced: **block** sparsification (the paper's choice — zeroes whole
+//! blocks ranked by L2 norm), **non-structured** magnitude pruning (Han et
+//! al.), and **bank-balanced** sparsification (Cao et al. — identical
+//! sparsity within each bank of every row).
+
+use photonn_math::block::BlockPartition;
+use photonn_math::stats::percentile;
+use photonn_math::Grid;
+
+/// Which sparsification pattern to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparsifyMethod {
+    /// Zero whole `size × size` blocks with the smallest L2 norms — the
+    /// paper's physics-aware choice (leaves space between active pixels).
+    Block {
+        /// Block side length (25 for MNIST, 20 for the others in §IV).
+        size: usize,
+    },
+    /// Zero the individually smallest-magnitude weights.
+    NonStructured,
+    /// Split each row into `banks` equal banks and zero the smallest
+    /// weights *within each bank* so sparsity is identical across banks.
+    BankBalanced {
+        /// Number of banks per row.
+        banks: usize,
+    },
+}
+
+/// Result of a sparsification: the pruned mask plus the 0/1 keep-mask
+/// (1 where the weight survives) used to freeze pixels during subsequent
+/// training.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sparsified {
+    /// The mask with pruned entries set to exactly zero.
+    pub mask: Grid,
+    /// 1.0 where kept, 0.0 where pruned.
+    pub keep: Grid,
+}
+
+impl Sparsified {
+    /// Fraction of zeroed entries.
+    pub fn sparsity(&self) -> f64 {
+        self.keep.count_zeros() as f64 / self.keep.len() as f64
+    }
+}
+
+/// Applies `method` at the given `ratio` (fraction of weights to zero,
+/// e.g. `0.1` in the paper's training setup, `0.33` in Fig. 3).
+///
+/// # Panics
+///
+/// Panics if `ratio ∉ [0, 1]` or the method's structural parameters are
+/// invalid for the mask shape.
+pub fn sparsify(mask: &Grid, ratio: f64, method: SparsifyMethod) -> Sparsified {
+    assert!((0.0..=1.0).contains(&ratio), "ratio {ratio} outside [0,1]");
+    match method {
+        SparsifyMethod::Block { size } => sparsify_block(mask, ratio, size),
+        SparsifyMethod::NonStructured => sparsify_nonstructured(mask, ratio),
+        SparsifyMethod::BankBalanced { banks } => sparsify_bank_balanced(mask, ratio, banks),
+    }
+}
+
+fn sparsify_block(mask: &Grid, ratio: f64, size: usize) -> Sparsified {
+    assert!(size > 0, "block size must be non-zero");
+    let partition = BlockPartition::square(mask.rows(), mask.cols(), size);
+    let norms = partition.block_l2_norms(mask);
+    let k = (norms.len() as f64 * ratio).round() as usize;
+    let mut keep = Grid::full(mask.rows(), mask.cols(), 1.0);
+    if k > 0 {
+        // Indices of the k smallest block norms.
+        let mut order: Vec<usize> = (0..norms.len()).collect();
+        order.sort_by(|&a, &b| norms[a].partial_cmp(&norms[b]).expect("NaN block norm"));
+        let blocks: Vec<_> = partition.blocks().collect();
+        for &bi in order.iter().take(k) {
+            partition.fill_block(&mut keep, blocks[bi], 0.0);
+        }
+    }
+    let pruned = mask.hadamard(&keep);
+    Sparsified { mask: pruned, keep }
+}
+
+fn sparsify_nonstructured(mask: &Grid, ratio: f64) -> Sparsified {
+    let magnitudes: Vec<f64> = mask.as_slice().iter().map(|v| v.abs()).collect();
+    if ratio == 0.0 {
+        return Sparsified {
+            mask: mask.clone(),
+            keep: Grid::full(mask.rows(), mask.cols(), 1.0),
+        };
+    }
+    let threshold = percentile(&magnitudes, ratio * 100.0);
+    let keep = mask.map(|v| if v.abs() <= threshold { 0.0 } else { 1.0 });
+    Sparsified {
+        mask: mask.hadamard(&keep),
+        keep,
+    }
+}
+
+fn sparsify_bank_balanced(mask: &Grid, ratio: f64, banks: usize) -> Sparsified {
+    assert!(banks > 0, "bank count must be non-zero");
+    let cols = mask.cols();
+    assert!(
+        cols.is_multiple_of(banks),
+        "row length {cols} not divisible into {banks} banks"
+    );
+    let bank_w = cols / banks;
+    let prune_per_bank = (bank_w as f64 * ratio).round() as usize;
+    let mut keep = Grid::full(mask.rows(), mask.cols(), 1.0);
+    for r in 0..mask.rows() {
+        for b in 0..banks {
+            let c0 = b * bank_w;
+            let mut idx: Vec<usize> = (c0..c0 + bank_w).collect();
+            idx.sort_by(|&a, &bb| {
+                mask[(r, a)]
+                    .abs()
+                    .partial_cmp(&mask[(r, bb)].abs())
+                    .expect("NaN weight")
+            });
+            for &c in idx.iter().take(prune_per_bank) {
+                keep[(r, c)] = 0.0;
+            }
+        }
+    }
+    Sparsified {
+        mask: mask.hadamard(&keep),
+        keep,
+    }
+}
+
+/// The worked 6×6 example matrix printed in the paper's Fig. 3/4.
+pub fn fig3_matrix() -> Grid {
+    Grid::from_rows(&[
+        &[4.7, 5.7, 0.9, 0.4, 2.6, 8.6],
+        &[4.5, 0.9, 3.8, 1.5, 5.4, 3.7],
+        &[0.1, 5.7, 9.0, 3.2, 2.1, 0.7],
+        &[4.7, 9.7, 7.8, 2.5, 0.8, 3.9],
+        &[1.1, 0.7, 0.6, 0.1, 4.4, 1.8],
+        &[5.6, 0.4, 1.8, 0.4, 9.8, 2.3],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_respected() {
+        let m = fig3_matrix();
+        for (method, expected) in [
+            (SparsifyMethod::Block { size: 2 }, 12.0 / 36.0),
+            (SparsifyMethod::NonStructured, 12.0 / 36.0),
+            (SparsifyMethod::BankBalanced { banks: 2 }, 12.0 / 36.0),
+        ] {
+            let s = sparsify(&m, 1.0 / 3.0, method);
+            assert!(
+                (s.sparsity() - expected).abs() < 0.03,
+                "{method:?}: sparsity {}",
+                s.sparsity()
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_entries_are_exact_zero() {
+        let m = fig3_matrix();
+        let s = sparsify(&m, 0.33, SparsifyMethod::Block { size: 2 });
+        for (v, k) in s.mask.as_slice().iter().zip(s.keep.as_slice()) {
+            if *k == 0.0 {
+                assert_eq!(*v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn block_prunes_whole_blocks() {
+        let m = fig3_matrix();
+        let s = sparsify(&m, 0.33, SparsifyMethod::Block { size: 2 });
+        let p = BlockPartition::square(6, 6, 2);
+        for block in p.blocks() {
+            let vals = p.block_values(&s.keep, block);
+            let all_zero = vals.iter().all(|&v| v == 0.0);
+            let all_one = vals.iter().all(|&v| v == 1.0);
+            assert!(all_zero || all_one, "block partially pruned");
+        }
+    }
+
+    #[test]
+    fn block_keeps_largest_blocks() {
+        let m = fig3_matrix();
+        let s = sparsify(&m, 1.0 / 3.0, SparsifyMethod::Block { size: 2 });
+        let p = BlockPartition::square(6, 6, 2);
+        let kept_norms: Vec<f64> = p
+            .blocks()
+            .filter(|b| s.keep[(b.r0, b.c0)] == 1.0)
+            .map(|b| photonn_math::stats::l2_norm(&p.block_values(&m, b)))
+            .collect();
+        let pruned_norms: Vec<f64> = p
+            .blocks()
+            .filter(|b| s.keep[(b.r0, b.c0)] == 0.0)
+            .map(|b| photonn_math::stats::l2_norm(&p.block_values(&m, b)))
+            .collect();
+        assert_eq!(pruned_norms.len(), 3);
+        let max_pruned = pruned_norms.iter().copied().fold(0.0, f64::max);
+        let min_kept = kept_norms.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max_pruned <= min_kept + 1e-12);
+    }
+
+    #[test]
+    fn nonstructured_prunes_smallest() {
+        let m = fig3_matrix();
+        let s = sparsify(&m, 1.0 / 3.0, SparsifyMethod::NonStructured);
+        let pruned_max = m
+            .as_slice()
+            .iter()
+            .zip(s.keep.as_slice())
+            .filter(|(_, &k)| k == 0.0)
+            .map(|(v, _)| v.abs())
+            .fold(0.0, f64::max);
+        let kept_min = m
+            .as_slice()
+            .iter()
+            .zip(s.keep.as_slice())
+            .filter(|(_, &k)| k == 1.0)
+            .map(|(v, _)| v.abs())
+            .fold(f64::INFINITY, f64::min);
+        assert!(pruned_max <= kept_min);
+    }
+
+    #[test]
+    fn bank_balanced_has_identical_bank_sparsity() {
+        let m = fig3_matrix();
+        let s = sparsify(&m, 1.0 / 3.0, SparsifyMethod::BankBalanced { banks: 2 });
+        for r in 0..6 {
+            for b in 0..2 {
+                let zeros = (0..3)
+                    .filter(|&i| s.keep[(r, b * 3 + i)] == 0.0)
+                    .count();
+                assert_eq!(zeros, 1, "row {r} bank {b} has {zeros} zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ratio_is_identity() {
+        let m = fig3_matrix();
+        for method in [
+            SparsifyMethod::Block { size: 2 },
+            SparsifyMethod::NonStructured,
+            SparsifyMethod::BankBalanced { banks: 2 },
+        ] {
+            let s = sparsify(&m, 0.0, method);
+            assert_eq!(s.mask, m);
+            assert_eq!(s.sparsity(), 0.0);
+        }
+    }
+
+    #[test]
+    fn full_ratio_zeroes_everything() {
+        let m = fig3_matrix();
+        let s = sparsify(&m, 1.0, SparsifyMethod::Block { size: 2 });
+        assert_eq!(s.mask.count_zeros(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bad_ratio_panics() {
+        let _ = sparsify(&fig3_matrix(), 1.5, SparsifyMethod::NonStructured);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_bank_count_panics() {
+        let _ = sparsify(&fig3_matrix(), 0.3, SparsifyMethod::BankBalanced { banks: 4 });
+    }
+}

@@ -1,0 +1,437 @@
+//! Mini-batch training of DONN phase masks (paper §III-B, Eq. 5/8).
+//!
+//! Per-sample gradients are computed on independent tapes in parallel
+//! worker threads (deterministically chunked, so runs are reproducible),
+//! averaged, combined with the roughness / intra-block regularizer
+//! gradients and any caller-supplied extra term (the SLR multiplier
+//! forces), then applied with Adam.
+
+use photonn_autodiff::penalty::{block_variance_grad, roughness_grad};
+use photonn_autodiff::{Adam, BlockReduce, RoughnessConfig, Tape};
+use photonn_datasets::{BatchIter, Dataset};
+use photonn_math::block::BlockPartition;
+use photonn_math::Grid;
+use std::sync::Arc;
+
+use crate::model::Donn;
+
+/// Caller-supplied per-step gradient hook (the SLR multiplier forces).
+pub type ExtraGradFn<'a> = &'a mut dyn FnMut(&[Grid]) -> Vec<Grid>;
+
+/// Strengths and shapes of the paper's training-time regularizers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Regularization {
+    /// Roughness weight `p` in Eq. 5 (0 disables).
+    pub roughness_weight: f64,
+    /// Roughness model for the penalty.
+    pub roughness: RoughnessConfig,
+    /// Intra-block smoothness weight `q` in Eq. 8 (0 disables).
+    pub intra_weight: f64,
+    /// Block size of the intra-block variance penalty.
+    pub intra_block: usize,
+}
+
+impl Default for Regularization {
+    fn default() -> Self {
+        Regularization {
+            roughness_weight: 0.0,
+            roughness: RoughnessConfig::paper(),
+            intra_weight: 0.0,
+            intra_block: 1,
+        }
+    }
+}
+
+impl Regularization {
+    /// No regularization (the `[5]/[6]/[8]` baseline).
+    pub fn none() -> Self {
+        Regularization::default()
+    }
+
+    /// Roughness-only regularization with weight `p` (Ours-A/C).
+    pub fn roughness_only(p: f64) -> Self {
+        Regularization {
+            roughness_weight: p,
+            ..Regularization::default()
+        }
+    }
+
+    /// Roughness + intra-block smoothness (Ours-D).
+    pub fn with_intra(p: f64, q: f64, block: usize) -> Self {
+        Regularization {
+            roughness_weight: p,
+            intra_weight: q,
+            intra_block: block,
+            ..Regularization::default()
+        }
+    }
+
+    /// The regularizer's loss value for one mask.
+    pub fn penalty(&self, mask: &Grid) -> f64 {
+        let mut total = 0.0;
+        if self.roughness_weight != 0.0 {
+            total += self.roughness_weight
+                * photonn_autodiff::penalty::roughness_value(mask, self.roughness);
+        }
+        if self.intra_weight != 0.0 {
+            let p = BlockPartition::square(mask.rows(), mask.cols(), self.intra_block);
+            total += self.intra_weight
+                * photonn_autodiff::penalty::block_variance_value(mask, p, BlockReduce::Sum);
+        }
+        total
+    }
+
+    /// The regularizer's gradient for one mask.
+    pub fn gradient(&self, mask: &Grid) -> Grid {
+        let mut grad = Grid::zeros(mask.rows(), mask.cols());
+        if self.roughness_weight != 0.0 {
+            grad += &roughness_grad(mask, self.roughness, self.roughness_weight);
+        }
+        if self.intra_weight != 0.0 {
+            let p = BlockPartition::square(mask.rows(), mask.cols(), self.intra_block);
+            grad += &block_variance_grad(mask, p, BlockReduce::Sum, self.intra_weight);
+        }
+        grad
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainOptions {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 200).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 0.2 baseline, 0.001 sparsification).
+    pub learning_rate: f64,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Worker threads for per-sample gradients.
+    pub threads: usize,
+    /// Regularization terms.
+    pub regularization: Regularization,
+    /// Geometric learning-rate decay: the final epoch runs at
+    /// `learning_rate · lr_final_fraction` with per-epoch geometric
+    /// interpolation. `1.0` disables decay. Converging the step size is
+    /// what keeps trained masks pixel-smooth (Adam's late oscillation
+    /// otherwise injects per-pixel phase noise at the `lr` scale).
+    pub lr_final_fraction: f64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 5,
+            batch_size: 32,
+            learning_rate: 0.05,
+            seed: 0,
+            threads: 2,
+            regularization: Regularization::none(),
+            lr_final_fraction: 1.0,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean per-sample data loss over the epoch.
+    pub mean_loss: f64,
+    /// Regularization penalty at epoch end (summed over layers).
+    pub penalty: f64,
+}
+
+/// Averaged data-loss gradients for one batch, plus the batch's mean loss.
+fn batch_gradients(
+    donn: &Donn,
+    data: &Dataset,
+    batch: &[usize],
+    freeze: Option<&[Arc<Grid>]>,
+    threads: usize,
+) -> (Vec<Grid>, f64) {
+    let n = donn.config().grid();
+    let layers = donn.config().num_layers;
+    let threads = threads.max(1).min(batch.len());
+    let chunk = batch.len().div_ceil(threads);
+
+    let results: Vec<(Vec<Grid>, f64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(batch.len());
+            if lo >= hi {
+                break;
+            }
+            let idx = &batch[lo..hi];
+            handles.push(scope.spawn(move || {
+                let mut grads = vec![Grid::zeros(n, n); layers];
+                let mut loss_sum = 0.0;
+                for &i in idx {
+                    let mut tape = Tape::new();
+                    let (loss, mask_vars) =
+                        donn.build_sample_loss(&mut tape, data.image(i), data.label(i), freeze);
+                    loss_sum += tape.scalar(loss);
+                    let g = tape.backward(loss);
+                    for (layer, var) in mask_vars.iter().enumerate() {
+                        if let Some(gm) = g.real(*var) {
+                            grads[layer].axpy(1.0, gm);
+                        }
+                    }
+                }
+                (grads, loss_sum)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gradient worker panicked"))
+            .collect()
+    });
+
+    let mut grads = vec![Grid::zeros(n, n); layers];
+    let mut loss_sum = 0.0;
+    for (g, l) in results {
+        for (acc, gi) in grads.iter_mut().zip(&g) {
+            acc.axpy(1.0, gi);
+        }
+        loss_sum += l;
+    }
+    let scale = 1.0 / batch.len() as f64;
+    for g in &mut grads {
+        g.scale_inplace(scale);
+    }
+    (grads, loss_sum * scale)
+}
+
+/// Trains `donn` in place. `freeze` optionally pins pruned pixels to zero
+/// phase (0/1 keep-mask per layer); `extra_grad` lets the SLR optimizer
+/// inject its multiplier/penalty forces, called once per step with the
+/// current masks.
+///
+/// Returns per-epoch statistics.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between the dataset, model and freeze masks.
+pub fn train_with(
+    donn: &mut Donn,
+    data: &Dataset,
+    opts: &TrainOptions,
+    freeze: Option<&[Arc<Grid>]>,
+    mut extra_grad: Option<ExtraGradFn<'_>>,
+) -> Vec<EpochStats> {
+    assert!(opts.epochs > 0, "epochs must be positive");
+    assert!(
+        opts.lr_final_fraction > 0.0 && opts.lr_final_fraction <= 1.0,
+        "lr_final_fraction must be in (0, 1]"
+    );
+    let mut adam = Adam::new(opts.learning_rate);
+    let mut batches = BatchIter::new(data.len(), opts.batch_size, opts.seed);
+    let mut stats = Vec::with_capacity(opts.epochs);
+
+    for epoch in 0..opts.epochs {
+        if opts.epochs > 1 {
+            let t = epoch as f64 / (opts.epochs - 1) as f64;
+            adam.set_learning_rate(opts.learning_rate * opts.lr_final_fraction.powf(t));
+        }
+        let mut epoch_loss = 0.0;
+        let mut batch_count = 0usize;
+        for batch in batches.epoch() {
+            let (mut grads, loss) =
+                batch_gradients(donn, data, &batch, freeze, opts.threads);
+            epoch_loss += loss;
+            batch_count += 1;
+
+            // Regularization gradients at full strength (Eq. 5/8).
+            for (g, mask) in grads.iter_mut().zip(donn.masks()) {
+                let rg = opts.regularization.gradient(mask);
+                g.axpy(1.0, &rg);
+            }
+            // Caller-injected forces (SLR multipliers).
+            if let Some(hook) = extra_grad.as_mut() {
+                let extra = hook(donn.masks());
+                assert_eq!(extra.len(), grads.len(), "extra gradient count mismatch");
+                for (g, e) in grads.iter_mut().zip(&extra) {
+                    g.axpy(1.0, e);
+                }
+            }
+            // Frozen pixels receive no update and stay at zero.
+            if let Some(fz) = freeze {
+                for (g, k) in grads.iter_mut().zip(fz) {
+                    *g = g.hadamard(k);
+                }
+            }
+            adam.step(donn.masks_mut(), &grads);
+            if let Some(fz) = freeze {
+                for (mask, k) in donn.masks_mut().iter_mut().zip(fz) {
+                    *mask = mask.hadamard(k);
+                }
+            }
+        }
+        let penalty: f64 = donn
+            .masks()
+            .iter()
+            .map(|m| opts.regularization.penalty(m))
+            .sum();
+        stats.push(EpochStats {
+            epoch,
+            mean_loss: epoch_loss / batch_count.max(1) as f64,
+            penalty,
+        });
+    }
+    stats
+}
+
+/// Trains without freezing or extra forces — the baseline/Ours-A path.
+pub fn train(donn: &mut Donn, data: &Dataset, opts: &TrainOptions) -> Vec<EpochStats> {
+    train_with(donn, data, opts, None, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DonnConfig;
+    use photonn_datasets::Family;
+    use photonn_math::Rng;
+
+    fn tiny_setup(seed: u64) -> (Donn, Dataset, Dataset) {
+        let mut rng = Rng::seed_from(seed);
+        let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let data = Dataset::synthetic(Family::Mnist, 120, seed).resized(32);
+        let (train, test) = data.split(100);
+        (donn, train, test)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let (mut donn, train_data, test_data) = tiny_setup(1);
+        let before_acc = donn.accuracy(&test_data, 2);
+        let opts = TrainOptions {
+            epochs: 4,
+            batch_size: 20,
+            learning_rate: 0.08,
+            ..TrainOptions::default()
+        };
+        let stats = train(&mut donn, &train_data, &opts);
+        assert!(
+            stats.last().unwrap().mean_loss < stats[0].mean_loss,
+            "loss did not decrease: {stats:?}"
+        );
+        let after_acc = donn.accuracy(&test_data, 2);
+        // 10 balanced classes: chance = 0.1. Expect clear learning.
+        assert!(
+            after_acc > 0.25 && after_acc >= before_acc,
+            "accuracy before {before_acc}, after {after_acc}"
+        );
+    }
+
+    #[test]
+    fn roughness_regularization_smooths_masks() {
+        let (mut donn_plain, train_data, _) = tiny_setup(2);
+        let mut donn_reg = donn_plain.clone();
+        let base = TrainOptions {
+            epochs: 2,
+            batch_size: 20,
+            learning_rate: 0.08,
+            ..TrainOptions::default()
+        };
+        train(&mut donn_plain, &train_data, &base);
+        let reg_opts = TrainOptions {
+            regularization: Regularization::roughness_only(0.02),
+            ..base
+        };
+        train(&mut donn_reg, &train_data, &reg_opts);
+        let cfg = RoughnessConfig::paper();
+        let r_plain = crate::roughness::r_overall(donn_plain.masks(), cfg);
+        let r_reg = crate::roughness::r_overall(donn_reg.masks(), cfg);
+        assert!(
+            r_reg < r_plain,
+            "regularized roughness {r_reg} !< plain {r_plain}"
+        );
+    }
+
+    #[test]
+    fn freeze_keeps_pixels_zero_through_training() {
+        let (mut donn, train_data, _) = tiny_setup(3);
+        // Zero phase in a block and freeze it.
+        let n = 32;
+        let mut keep = Grid::full(n, n, 1.0);
+        for r in 8..16 {
+            for c in 8..16 {
+                keep[(r, c)] = 0.0;
+            }
+        }
+        let shared = Arc::new(keep.clone());
+        let freeze: Vec<Arc<Grid>> = vec![shared.clone(), shared.clone(), shared];
+        for mask in donn.masks_mut() {
+            *mask = mask.hadamard(&keep);
+        }
+        let opts = TrainOptions {
+            epochs: 1,
+            batch_size: 25,
+            ..TrainOptions::default()
+        };
+        train_with(&mut donn, &train_data, &opts, Some(&freeze), None);
+        for mask in donn.masks() {
+            for r in 8..16 {
+                for c in 8..16 {
+                    assert_eq!(mask[(r, c)], 0.0);
+                }
+            }
+            // Unfrozen pixels moved.
+            assert!(mask.as_slice().iter().any(|&v| v != 0.0));
+        }
+    }
+
+    #[test]
+    fn extra_grad_hook_is_applied() {
+        let (mut donn, train_data, _) = tiny_setup(4);
+        let before = donn.masks()[0].clone();
+        // A huge constant extra gradient must dominate the update
+        // direction: all pixels of layer 0 move down.
+        let opts = TrainOptions {
+            epochs: 1,
+            batch_size: 120,
+            learning_rate: 0.05,
+            ..TrainOptions::default()
+        };
+        let mut hook = |masks: &[Grid]| -> Vec<Grid> {
+            let mut extra: Vec<Grid> = masks
+                .iter()
+                .map(|m| Grid::zeros(m.rows(), m.cols()))
+                .collect();
+            extra[0] = Grid::full(32, 32, 1e6);
+            extra
+        };
+        train_with(&mut donn, &train_data, &opts, None, Some(&mut hook));
+        let after = &donn.masks()[0];
+        let moved_down = before
+            .as_slice()
+            .iter()
+            .zip(after.as_slice())
+            .filter(|(b, a)| a < b)
+            .count();
+        assert!(
+            moved_down as f64 > 0.99 * before.len() as f64,
+            "only {moved_down} pixels moved down"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (mut a, data, _) = tiny_setup(5);
+        let mut b = a.clone();
+        let opts = TrainOptions {
+            epochs: 1,
+            batch_size: 16,
+            ..TrainOptions::default()
+        };
+        let sa = train(&mut a, &data, &opts);
+        let sb = train(&mut b, &data, &opts);
+        assert_eq!(sa, sb);
+        for (ma, mb) in a.masks().iter().zip(b.masks()) {
+            assert_eq!(ma, mb);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! 2π periodic phase optimization (paper §III-D2).
+//!
+//! Phase modulation is 2π-periodic — `exp(i(φ+2π)) = exp(iφ)` — so adding
+//! 2π to selected pixels changes *nothing* about inference but can remove
+//! sharp steps from the fabricated surface. Selecting which pixels get the
+//! add-on is a combinatorial optimization; the paper relaxes it with
+//! Gumbel-Softmax and descends on the roughness of the shifted mask. A
+//! greedy coordinate-descent baseline is included as an ablation, plus a
+//! combined mode that polishes the Gumbel solution greedily.
+
+use photonn_autodiff::penalty::roughness_value;
+use photonn_autodiff::{
+    hard_select, logistic_noise, Adam, RoughnessConfig, Tape, TemperatureSchedule,
+};
+use photonn_math::{Grid, Rng, TWO_PI};
+use std::sync::Arc;
+
+/// Gumbel-Softmax optimizer parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GumbelParams {
+    /// Gradient-descent iterations on the selection logits.
+    pub iterations: usize,
+    /// Adam learning rate for the logits.
+    pub learning_rate: f64,
+    /// Temperature annealing schedule.
+    pub temperature: TemperatureSchedule,
+    /// Noise seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for GumbelParams {
+    fn default() -> Self {
+        GumbelParams {
+            iterations: 250,
+            learning_rate: 0.3,
+            temperature: TemperatureSchedule::new(2.0, 0.1, 250),
+            seed: 0,
+        }
+    }
+}
+
+/// Strategy for solving the 2π selection problem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TwoPiStrategy {
+    /// Gumbel-Softmax relaxation (the paper's method).
+    Gumbel(GumbelParams),
+    /// Greedy coordinate descent: sweep pixels, toggle +2π when it lowers
+    /// roughness locally. Exact local moves, no relaxation.
+    Greedy {
+        /// Maximum full-mask sweeps (stops early at a fixed point).
+        sweeps: usize,
+    },
+    /// Gumbel first, then greedy polishing (never worse than Gumbel).
+    GumbelThenGreedy(GumbelParams, usize),
+}
+
+impl Default for TwoPiStrategy {
+    fn default() -> Self {
+        TwoPiStrategy::Gumbel(GumbelParams::default())
+    }
+}
+
+/// Result of optimizing one mask.
+#[derive(Clone, Debug)]
+pub struct TwoPiResult {
+    /// The smoothed mask (original plus 0/2π per pixel).
+    pub mask: Grid,
+    /// Roughness before optimization.
+    pub roughness_before: f64,
+    /// Roughness after optimization (≤ before by construction).
+    pub roughness_after: f64,
+    /// Number of pixels that received the 2π add-on.
+    pub shifted_pixels: usize,
+}
+
+/// Optimizes a single phase mask. The result is guaranteed no worse than
+/// the input (a candidate that fails to improve roughness is discarded),
+/// and inference-equivalent to it by the 2π periodicity.
+pub fn optimize_mask(mask: &Grid, cfg: RoughnessConfig, strategy: &TwoPiStrategy) -> TwoPiResult {
+    let before = roughness_value(mask, cfg);
+    let candidate = match strategy {
+        TwoPiStrategy::Gumbel(params) => gumbel_optimize(mask, cfg, params),
+        TwoPiStrategy::Greedy { sweeps } => {
+            greedy_optimize(mask, vec![false; mask.len()], cfg, *sweeps)
+        }
+        TwoPiStrategy::GumbelThenGreedy(params, sweeps) => {
+            // Greedy receives Gumbel's selection as its starting state so
+            // it can both extend the solution and *revert* spurious flips
+            // (noise in the relaxed objective) — pure repair rounding.
+            let gumbel = gumbel_optimize(mask, cfg, params);
+            let shifted: Vec<bool> = gumbel
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| (a - b).abs() > 1.0)
+                .collect();
+            greedy_optimize(mask, shifted, cfg, *sweeps)
+        }
+    };
+    let after = roughness_value(&candidate, cfg);
+    let (final_mask, final_r) = if after < before {
+        (candidate, after)
+    } else {
+        (mask.clone(), before)
+    };
+    let shifted_pixels = final_mask
+        .as_slice()
+        .iter()
+        .zip(mask.as_slice())
+        .filter(|(a, b)| (**a - **b).abs() > 1.0)
+        .count();
+    TwoPiResult {
+        mask: final_mask,
+        roughness_before: before,
+        roughness_after: final_r,
+        shifted_pixels,
+    }
+}
+
+/// Optimizes every layer of a DONN (paper: applied to all phase masks).
+pub fn optimize_all(
+    masks: &[Grid],
+    cfg: RoughnessConfig,
+    strategy: &TwoPiStrategy,
+) -> Vec<TwoPiResult> {
+    masks
+        .iter()
+        .map(|m| optimize_mask(m, cfg, strategy))
+        .collect()
+}
+
+/// Gumbel-Softmax relaxation: descend the roughness of `φ + 2π·σ((l+ε)/τ)`
+/// on the logits `l`, then harden with `argmax`.
+fn gumbel_optimize(mask: &Grid, cfg: RoughnessConfig, params: &GumbelParams) -> Grid {
+    let (rows, cols) = mask.shape();
+    let base = Arc::new(mask.clone());
+    // Slight negative bias: the all-zeros add-on is the identity solution.
+    let mut logits = vec![Grid::full(rows, cols, -0.5)];
+    let mut adam = Adam::new(params.learning_rate);
+    let mut rng = Rng::seed_from(params.seed ^ 0x2b1f_5eed);
+
+    for iter in 0..params.iterations {
+        let temp = params.temperature.at(iter);
+        let noise = Arc::new(logistic_noise(rows, cols, &mut rng));
+        let mut tape = Tape::new();
+        let lv = tape.leaf_real(logits[0].clone());
+        let soft = tape.binary_concrete(lv, &noise, temp);
+        let addon = tape.scale_r(soft, TWO_PI);
+        let shifted = tape.offset_r(addon, &base);
+        let loss = tape.roughness(shifted, cfg);
+        let grads = tape.backward(loss);
+        let g = grads.real(lv).expect("logit gradient").clone();
+        adam.step(&mut logits, &[g]);
+    }
+
+    let select = hard_select(&logits[0]);
+    let mut out = mask.clone();
+    for (v, s) in out.as_mut_slice().iter_mut().zip(&select) {
+        if *s {
+            *v += TWO_PI;
+        }
+    }
+    out
+}
+
+/// Local roughness cost of pixel `(r, c)` having phase `value`, counting
+/// each interior pair once per direction it appears in Eq. 4.
+fn local_cost(mask: &Grid, r: usize, c: usize, value: f64, cfg: RoughnessConfig) -> f64 {
+    let (rows, cols) = mask.shape();
+    let inv_k = 1.0 / cfg.neighborhood.k() as f64;
+    let mut cost = 0.0;
+    for &(dr, dc) in cfg.neighborhood.offsets() {
+        let qr = r as isize + dr;
+        let qc = c as isize + dc;
+        let in_grid = qr >= 0 && qc >= 0 && (qr as usize) < rows && (qc as usize) < cols;
+        let q = if in_grid {
+            mask[(qr as usize, qc as usize)]
+        } else {
+            0.0
+        };
+        let d = match cfg.metric {
+            photonn_autodiff::DiffMetric::Abs => (q - value).abs(),
+            photonn_autodiff::DiffMetric::Squared => (q - value) * (q - value),
+        };
+        // Interior pairs are counted in both pixels' Eq. 3 terms.
+        cost += if in_grid { 2.0 * inv_k * d } else { inv_k * d };
+    }
+    cost
+}
+
+/// Greedy coordinate descent over the binary add-on field, starting from
+/// an existing selection (`shifted[i]` = pixel `i` already holds +2π).
+fn greedy_optimize(
+    original: &Grid,
+    mut shifted: Vec<bool>,
+    cfg: RoughnessConfig,
+    sweeps: usize,
+) -> Grid {
+    let (rows, cols) = original.shape();
+    let mut mask = original.clone();
+    for (v, s) in mask.as_mut_slice().iter_mut().zip(&shifted) {
+        if *s {
+            *v += TWO_PI;
+        }
+    }
+    for _ in 0..sweeps {
+        let mut changed = false;
+        for r in 0..rows {
+            for c in 0..cols {
+                let idx = r * cols + c;
+                let current = mask[(r, c)];
+                let alternative = if shifted[idx] {
+                    current - TWO_PI
+                } else {
+                    current + TWO_PI
+                };
+                let now = local_cost(&mask, r, c, current, cfg);
+                let alt = local_cost(&mask, r, c, alternative, cfg);
+                if alt + 1e-12 < now {
+                    mask[(r, c)] = alternative;
+                    shifted[idx] = !shifted[idx];
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::CGrid;
+
+    fn cfg() -> RoughnessConfig {
+        RoughnessConfig::paper()
+    }
+
+    /// A mask with deliberate near-2π steps that the optimizer can heal.
+    fn steppy_mask(n: usize) -> Grid {
+        Grid::from_fn(n, n, |r, c| {
+            if (r + c) % 2 == 0 {
+                0.2 + 0.01 * r as f64
+            } else {
+                TWO_PI - 0.3 + 0.01 * c as f64
+            }
+        })
+    }
+
+    /// A smooth high-phase mask with isolated low-phase outliers — the
+    /// single-pixel pattern greedy coordinate descent *can* heal (unlike
+    /// checkerboards, where no single flip helps; that's the local-minimum
+    /// failure mode that motivates the paper's Gumbel-Softmax approach,
+    /// see `gumbel_beats_greedy_on_checkerboard`).
+    fn outlier_mask(n: usize) -> Grid {
+        Grid::from_fn(n, n, |r, c| {
+            if r % 4 == 1 && c % 4 == 2 {
+                0.15
+            } else {
+                TWO_PI - 0.4 + 0.02 * (r as f64 - c as f64)
+            }
+        })
+    }
+
+    #[test]
+    fn greedy_reduces_roughness_on_outlier_mask() {
+        let mask = outlier_mask(12);
+        let result = optimize_mask(&mask, cfg(), &TwoPiStrategy::Greedy { sweeps: 10 });
+        assert!(
+            result.roughness_after < result.roughness_before * 0.8,
+            "greedy: {} -> {}",
+            result.roughness_before,
+            result.roughness_after
+        );
+        assert!(result.shifted_pixels > 0);
+    }
+
+    #[test]
+    fn gumbel_beats_greedy_on_checkerboard() {
+        // On a checkerboard every single-pixel flip raises local roughness
+        // (diagonal neighbors share parity), so greedy is stuck at the
+        // identity while the Gumbel relaxation can move all pixels of one
+        // parity together — the paper's motivation for a global method.
+        let mask = steppy_mask(12);
+        let greedy = optimize_mask(&mask, cfg(), &TwoPiStrategy::Greedy { sweeps: 10 });
+        assert_eq!(greedy.roughness_after, greedy.roughness_before);
+        let gumbel = optimize_mask(&mask, cfg(), &TwoPiStrategy::default());
+        assert!(gumbel.roughness_after < greedy.roughness_after * 0.8);
+    }
+
+    #[test]
+    fn gumbel_reduces_roughness_on_steppy_mask() {
+        let mask = steppy_mask(12);
+        let result = optimize_mask(&mask, cfg(), &TwoPiStrategy::default());
+        assert!(
+            result.roughness_after < result.roughness_before * 0.8,
+            "gumbel: {} -> {}",
+            result.roughness_before,
+            result.roughness_after
+        );
+    }
+
+    #[test]
+    fn never_worse_than_input() {
+        // A smooth mask has nothing to gain; the optimizer must return it
+        // unchanged rather than degrade it.
+        let smooth = Grid::from_fn(10, 10, |r, c| 0.01 * (r + c) as f64);
+        for strategy in [
+            TwoPiStrategy::default(),
+            TwoPiStrategy::Greedy { sweeps: 5 },
+        ] {
+            let result = optimize_mask(&smooth, cfg(), &strategy);
+            assert!(result.roughness_after <= result.roughness_before);
+        }
+    }
+
+    #[test]
+    fn inference_equivalence_is_exact() {
+        // exp(i(φ+2π)) == exp(iφ) to fp rounding: the transmission fields
+        // must match almost exactly.
+        let mask = steppy_mask(10);
+        let result = optimize_mask(&mask, cfg(), &TwoPiStrategy::Greedy { sweeps: 6 });
+        let t_before = CGrid::from_phase(&mask);
+        let t_after = CGrid::from_phase(&result.mask);
+        assert!(
+            t_before.max_abs_diff(&t_after) < 1e-9,
+            "2π shift changed the transmission by {}",
+            t_before.max_abs_diff(&t_after)
+        );
+    }
+
+    #[test]
+    fn gumbel_then_greedy_at_least_as_good_as_gumbel() {
+        let mask = steppy_mask(12);
+        let params = GumbelParams {
+            iterations: 60,
+            temperature: TemperatureSchedule::new(2.0, 0.2, 60),
+            ..GumbelParams::default()
+        };
+        let g = optimize_mask(&mask, cfg(), &TwoPiStrategy::Gumbel(params));
+        let gg = optimize_mask(&mask, cfg(), &TwoPiStrategy::GumbelThenGreedy(params, 5));
+        assert!(gg.roughness_after <= g.roughness_after + 1e-9);
+    }
+
+    #[test]
+    fn dense_smooth_training_masks_barely_move() {
+        // §IV-B: for non-sparsified (dense, moderate) masks the 2π gain is
+        // small (<2% in the paper). Use a mask with mild variation.
+        let mut rng = Rng::seed_from(4);
+        let mask = Grid::from_fn(16, 16, |r, c| {
+            3.0 + 0.3 * ((r as f64 * 0.7).sin() + (c as f64 * 0.5).cos()) + rng.uniform_in(-0.1, 0.1)
+        });
+        let result = optimize_mask(&mask, cfg(), &TwoPiStrategy::Greedy { sweeps: 8 });
+        let drop = (result.roughness_before - result.roughness_after) / result.roughness_before;
+        assert!(drop < 0.1, "dense mask roughness dropped {drop:.3}");
+    }
+
+    #[test]
+    fn optimize_all_handles_multiple_layers() {
+        let masks = vec![steppy_mask(8), Grid::zeros(8, 8)];
+        let results = optimize_all(&masks, cfg(), &TwoPiStrategy::Greedy { sweeps: 4 });
+        assert_eq!(results.len(), 2);
+        assert!(results[0].roughness_after <= results[0].roughness_before);
+        assert_eq!(results[1].roughness_after, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Mini-batch iteration with seeded shuffling.
+
+use photonn_math::Rng;
+
+/// Yields index batches over a dataset, reshuffled each epoch from a
+/// deterministic seed (so training runs are reproducible).
+///
+/// # Examples
+///
+/// ```
+/// use photonn_datasets::BatchIter;
+///
+/// let mut batches = BatchIter::new(10, 4, 42);
+/// let epoch: Vec<Vec<usize>> = batches.epoch().collect();
+/// assert_eq!(epoch.len(), 3); // 4 + 4 + 2
+/// assert_eq!(epoch.iter().map(Vec::len).sum::<usize>(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchIter {
+    len: usize,
+    batch_size: usize,
+    rng: Rng,
+}
+
+impl BatchIter {
+    /// Creates a batcher over `len` samples with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `batch_size == 0`.
+    pub fn new(len: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(len > 0, "empty dataset");
+        assert!(batch_size > 0, "batch size must be non-zero");
+        BatchIter {
+            len,
+            batch_size,
+            rng: Rng::seed_from(seed),
+        }
+    }
+
+    /// Shuffles and returns one epoch of batches. Call again for the next
+    /// epoch (a fresh permutation).
+    pub fn epoch(&mut self) -> impl Iterator<Item = Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.len).collect();
+        self.rng.shuffle(&mut order);
+        let bs = self.batch_size;
+        let mut batches = Vec::with_capacity(self.len.div_ceil(bs));
+        let mut i = 0;
+        while i < order.len() {
+            let end = (i + bs).min(order.len());
+            batches.push(order[i..end].to_vec());
+            i = end;
+        }
+        batches.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let mut b = BatchIter::new(23, 5, 1);
+        let mut seen: Vec<usize> = b.epoch().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let mut b = BatchIter::new(50, 50, 2);
+        let e1: Vec<usize> = b.epoch().flatten().collect();
+        let e2: Vec<usize> = b.epoch().flatten().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = BatchIter::new(20, 7, 9);
+        let mut b = BatchIter::new(20, 7, 9);
+        assert_eq!(
+            a.epoch().collect::<Vec<_>>(),
+            b.epoch().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn last_batch_is_partial() {
+        let mut b = BatchIter::new(10, 4, 3);
+        let sizes: Vec<usize> = b.epoch().map(|v| v.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+}

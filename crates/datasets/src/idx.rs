@@ -1,0 +1,253 @@
+//! Reader/writer for the IDX binary format used by MNIST-family datasets.
+//!
+//! Supports the two record types the paper's datasets use: `0x0803`
+//! (unsigned-byte rank-3 image tensors) and `0x0801` (unsigned-byte rank-1
+//! label vectors). When real MNIST/FMNIST/KMNIST/EMNIST files are present
+//! on disk they are loaded through this module; otherwise the synthetic
+//! generators stand in (see the crate docs).
+
+use photonn_math::Grid;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Errors from IDX parsing.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic number was not an expected IDX header.
+    BadMagic(u32),
+    /// Header promised more data than the file contains.
+    Truncated {
+        /// Bytes expected from the header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Image and label files disagree on the number of records.
+    CountMismatch {
+        /// Number of images.
+        images: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "i/o error: {e}"),
+            IdxError::BadMagic(m) => write!(f, "bad IDX magic 0x{m:08x}"),
+            IdxError::Truncated { expected, actual } => {
+                write!(f, "truncated IDX payload: expected {expected} bytes, found {actual}")
+            }
+            IdxError::CountMismatch { images, labels } => {
+                write!(f, "image/label count mismatch: {images} images, {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IdxError {
+    fn from(e: io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+fn read_u32(bytes: &[u8], offset: usize) -> Result<u32, IdxError> {
+    let end = offset + 4;
+    if bytes.len() < end {
+        return Err(IdxError::Truncated {
+            expected: end,
+            actual: bytes.len(),
+        });
+    }
+    Ok(u32::from_be_bytes([bytes[offset], bytes[offset + 1], bytes[offset + 2], bytes[offset + 3]]))
+}
+
+/// Reads an IDX image file (`magic 0x0803`) into row-major grids with
+/// pixel values scaled to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure, a wrong magic number, or a
+/// truncated payload.
+pub fn read_images(path: &Path) -> Result<Vec<Grid>, IdxError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let magic = read_u32(&bytes, 0)?;
+    if magic != 0x0803 {
+        return Err(IdxError::BadMagic(magic));
+    }
+    let count = read_u32(&bytes, 4)? as usize;
+    let rows = read_u32(&bytes, 8)? as usize;
+    let cols = read_u32(&bytes, 12)? as usize;
+    let expected = 16 + count * rows * cols;
+    if bytes.len() < expected {
+        return Err(IdxError::Truncated {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    let mut images = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = 16 + i * rows * cols;
+        let data = bytes[start..start + rows * cols]
+            .iter()
+            .map(|&b| b as f64 / 255.0)
+            .collect();
+        images.push(Grid::from_vec(rows, cols, data));
+    }
+    Ok(images)
+}
+
+/// Reads an IDX label file (`magic 0x0801`).
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure, a wrong magic number, or a
+/// truncated payload.
+pub fn read_labels(path: &Path) -> Result<Vec<usize>, IdxError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let magic = read_u32(&bytes, 0)?;
+    if magic != 0x0801 {
+        return Err(IdxError::BadMagic(magic));
+    }
+    let count = read_u32(&bytes, 4)? as usize;
+    let expected = 8 + count;
+    if bytes.len() < expected {
+        return Err(IdxError::Truncated {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    Ok(bytes[8..8 + count].iter().map(|&b| b as usize).collect())
+}
+
+/// Writes grids (values clamped to `[0, 1]`) as an IDX image file —
+/// round-trip support used by tests and for exporting synthetic data.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if images have inconsistent shapes or `images` is empty.
+pub fn write_images(path: &Path, images: &[Grid]) -> io::Result<()> {
+    assert!(!images.is_empty(), "cannot write an empty image set");
+    let (rows, cols) = images[0].shape();
+    assert!(
+        images.iter().all(|g| g.shape() == (rows, cols)),
+        "inconsistent image shapes"
+    );
+    let mut f = File::create(path)?;
+    f.write_all(&0x0803u32.to_be_bytes())?;
+    f.write_all(&(images.len() as u32).to_be_bytes())?;
+    f.write_all(&(rows as u32).to_be_bytes())?;
+    f.write_all(&(cols as u32).to_be_bytes())?;
+    let mut buf = Vec::with_capacity(images.len() * rows * cols);
+    for img in images {
+        buf.extend(
+            img.as_slice()
+                .iter()
+                .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8),
+        );
+    }
+    f.write_all(&buf)
+}
+
+/// Writes labels as an IDX label file.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if a label exceeds 255.
+pub fn write_labels(path: &Path, labels: &[usize]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(&0x0801u32.to_be_bytes())?;
+    f.write_all(&(labels.len() as u32).to_be_bytes())?;
+    let bytes: Vec<u8> = labels
+        .iter()
+        .map(|&l| u8::try_from(l).expect("label exceeds u8 range"))
+        .collect();
+    f.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::env;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        env::temp_dir().join(format!("photonn_idx_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_images_and_labels() {
+        let imgs: Vec<Grid> = (0..3)
+            .map(|i| Grid::from_fn(5, 4, |r, c| ((r * 4 + c + i) % 5) as f64 / 4.0))
+            .collect();
+        let labels = vec![7usize, 0, 3];
+        let ip = temp_path("imgs");
+        let lp = temp_path("labels");
+        write_images(&ip, &imgs).unwrap();
+        write_labels(&lp, &labels).unwrap();
+
+        let back_imgs = read_images(&ip).unwrap();
+        let back_labels = read_labels(&lp).unwrap();
+        assert_eq!(back_labels, labels);
+        assert_eq!(back_imgs.len(), 3);
+        for (a, b) in imgs.iter().zip(&back_imgs) {
+            assert!(a.max_abs_diff(b) <= 0.5 / 255.0 + 1e-12);
+        }
+        std::fs::remove_file(ip).ok();
+        std::fs::remove_file(lp).ok();
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let p = temp_path("badmagic");
+        std::fs::write(&p, 0xdeadbeefu32.to_be_bytes()).unwrap();
+        match read_images(&p) {
+            Err(IdxError::BadMagic(0xdeadbeef)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let p = temp_path("trunc");
+        let mut bytes = Vec::new();
+        bytes.extend(0x0803u32.to_be_bytes());
+        bytes.extend(10u32.to_be_bytes()); // promises 10 images...
+        bytes.extend(28u32.to_be_bytes());
+        bytes.extend(28u32.to_be_bytes());
+        bytes.extend([0u8; 100]); // ...but delivers 100 bytes
+        std::fs::write(&p, bytes).unwrap();
+        assert!(matches!(read_images(&p), Err(IdxError::Truncated { .. })));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let p = temp_path("definitely_missing");
+        assert!(matches!(read_images(&p), Err(IdxError::Io(_))));
+    }
+}

@@ -1,0 +1,247 @@
+//! # photonn-datasets
+//!
+//! Dataset substrate for the DAC'23 DONN roughness-optimization
+//! reproduction: an [`idx`] loader for real MNIST-format files plus
+//! procedural synthetic stand-ins ([`synth`]) for the paper's four
+//! benchmarks (MNIST, FMNIST, KMNIST, EMNIST) in offline environments.
+//!
+//! The paper interpolates 28×28 inputs up to the 200×200 optical grid
+//! before encoding them on the laser source; [`Dataset::resized`] performs
+//! that step with the same bilinear kernel as `torch.nn.functional.interpolate`.
+//!
+//! # Examples
+//!
+//! ```
+//! use photonn_datasets::{Dataset, Family};
+//!
+//! // 100 synthetic MNIST-style samples, deterministic for the seed.
+//! let data = Dataset::synthetic(Family::Mnist, 100, 42);
+//! assert_eq!(data.len(), 100);
+//! assert_eq!(data.num_classes(), 10);
+//! let (train, test) = data.split(80);
+//! assert_eq!((train.len(), test.len()), (80, 20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+pub mod idx;
+pub mod synth;
+
+pub use batch::BatchIter;
+pub use synth::{Family, SynthConfig};
+
+use photonn_math::interp::bilinear_resize;
+use photonn_math::Grid;
+use std::path::Path;
+
+/// An in-memory labeled image dataset (images in `[0, 1]`).
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    name: String,
+    images: Vec<Grid>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset from parallel image/label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or the dataset is empty.
+    pub fn new(name: impl Into<String>, images: Vec<Grid>, labels: Vec<usize>) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty dataset");
+        Dataset {
+            name: name.into(),
+            images,
+            labels,
+        }
+    }
+
+    /// Generates a synthetic dataset for `family` with default settings.
+    pub fn synthetic(family: Family, count: usize, seed: u64) -> Self {
+        Self::synthetic_with(family, count, seed, SynthConfig::default())
+    }
+
+    /// Generates a synthetic dataset with explicit generator settings.
+    pub fn synthetic_with(family: Family, count: usize, seed: u64, config: SynthConfig) -> Self {
+        let (images, labels) = synth::generate(family, count, seed, config);
+        Dataset::new(family.name(), images, labels)
+    }
+
+    /// Loads real IDX files if both exist, otherwise synthesizes. This is
+    /// the entry point the benchmark binaries use: drop the real
+    /// `train-images-idx3-ubyte`/`train-labels-idx1-ubyte` into `dir` to run
+    /// on genuine data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`idx::IdxError`] only when real files are present but
+    /// malformed; absence of files silently falls back to synthesis.
+    pub fn load_or_synthesize(
+        family: Family,
+        dir: &Path,
+        count: usize,
+        seed: u64,
+    ) -> Result<Self, idx::IdxError> {
+        let images_path = dir.join(format!("{}-images-idx3-ubyte", family.name()));
+        let labels_path = dir.join(format!("{}-labels-idx1-ubyte", family.name()));
+        if images_path.exists() && labels_path.exists() {
+            let mut images = idx::read_images(&images_path)?;
+            let mut labels = idx::read_labels(&labels_path)?;
+            if images.len() != labels.len() {
+                return Err(idx::IdxError::CountMismatch {
+                    images: images.len(),
+                    labels: labels.len(),
+                });
+            }
+            images.truncate(count);
+            labels.truncate(count);
+            Ok(Dataset::new(family.name(), images, labels))
+        } else {
+            Ok(Self::synthetic(family, count, seed))
+        }
+    }
+
+    /// Dataset name (e.g. `"mnist"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` if the dataset holds no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn num_classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// The `i`-th image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn image(&self, i: usize) -> &Grid {
+        &self.images[i]
+    }
+
+    /// The `i`-th label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Splits into `(first n, rest)` preserving order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < n < len` (both halves must be non-empty).
+    pub fn split(self, n: usize) -> (Dataset, Dataset) {
+        assert!(n > 0 && n < self.len(), "split point {n} out of range");
+        let mut images = self.images;
+        let mut labels = self.labels;
+        let tail_images = images.split_off(n);
+        let tail_labels = labels.split_off(n);
+        (
+            Dataset::new(self.name.clone(), images, labels),
+            Dataset::new(self.name, tail_images, tail_labels),
+        )
+    }
+
+    /// A new dataset with every image bilinearly resized to `size × size`
+    /// — the paper's 28×28 → 200×200 interpolation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn resized(&self, size: usize) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            images: self
+                .images
+                .iter()
+                .map(|img| bilinear_resize(img, size, size))
+                .collect(),
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_roundtrip_properties() {
+        let d = Dataset::synthetic(Family::Emnist, 30, 5);
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.num_classes(), 10);
+        assert_eq!(d.name(), "emnist");
+        assert_eq!(d.label(3), 3);
+    }
+
+    #[test]
+    fn split_preserves_samples() {
+        let d = Dataset::synthetic(Family::Mnist, 20, 1);
+        let img5 = d.image(5).clone();
+        let (train, test) = d.split(15);
+        assert_eq!(train.len(), 15);
+        assert_eq!(test.len(), 5);
+        assert_eq!(train.image(5), &img5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degenerate_split_panics() {
+        let d = Dataset::synthetic(Family::Mnist, 10, 1);
+        let _ = d.split(10);
+    }
+
+    #[test]
+    fn resized_matches_target_and_range() {
+        let d = Dataset::synthetic(Family::Fmnist, 5, 2);
+        let r = d.resized(64);
+        assert_eq!(r.image(0).shape(), (64, 64));
+        assert!(r.image(0).min() >= 0.0 && r.image(0).max() <= 1.0);
+        assert_eq!(r.labels(), d.labels());
+    }
+
+    #[test]
+    fn load_falls_back_to_synthetic() {
+        let dir = std::env::temp_dir().join("photonn_missing_data_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = Dataset::load_or_synthesize(Family::Mnist, &dir, 12, 3).unwrap();
+        assert_eq!(d.len(), 12);
+    }
+
+    #[test]
+    fn load_reads_real_idx_when_present() {
+        let dir = std::env::temp_dir().join(format!("photonn_idx_dir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let imgs: Vec<Grid> = (0..4).map(|i| Grid::full(28, 28, i as f64 / 4.0)).collect();
+        let labels = vec![0usize, 1, 2, 3];
+        idx::write_images(&dir.join("mnist-images-idx3-ubyte"), &imgs).unwrap();
+        idx::write_labels(&dir.join("mnist-labels-idx1-ubyte"), &labels).unwrap();
+        let d = Dataset::load_or_synthesize(Family::Mnist, &dir, 3, 0).unwrap();
+        assert_eq!(d.len(), 3); // truncated to count
+        assert_eq!(d.label(2), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,198 @@
+//! Clothing-silhouette templates (Fashion-MNIST-style classes).
+//!
+//! Class order follows Fashion-MNIST: t-shirt, trouser, pullover, dress,
+//! coat, sandal, shirt, sneaker, bag, ankle boot. Filled polygons dominate,
+//! matching the dense silhouettes of the real dataset.
+
+use super::strokes::{Glyph, Primitive};
+
+const THICKNESS: f64 = 0.03;
+
+/// Vector template for fashion class `class`.
+///
+/// # Panics
+///
+/// Panics if `class > 9`.
+pub fn fashion(class: usize) -> Glyph {
+    let primitives = match class {
+        // T-shirt/top: boxy torso with short sleeves.
+        0 => vec![Primitive::Polygon(vec![
+            [0.32, 0.22],
+            [0.44, 0.18],
+            [0.56, 0.18],
+            [0.68, 0.22],
+            [0.85, 0.34],
+            [0.78, 0.46],
+            [0.67, 0.4],
+            [0.67, 0.82],
+            [0.33, 0.82],
+            [0.33, 0.4],
+            [0.22, 0.46],
+            [0.15, 0.34],
+        ])],
+        // Trouser: two legs.
+        1 => vec![Primitive::Polygon(vec![
+            [0.34, 0.15],
+            [0.66, 0.15],
+            [0.68, 0.85],
+            [0.54, 0.85],
+            [0.5, 0.42],
+            [0.46, 0.85],
+            [0.32, 0.85],
+        ])],
+        // Pullover: torso with long sleeves.
+        2 => vec![Primitive::Polygon(vec![
+            [0.34, 0.2],
+            [0.66, 0.2],
+            [0.88, 0.32],
+            [0.84, 0.78],
+            [0.72, 0.76],
+            [0.7, 0.42],
+            [0.68, 0.84],
+            [0.32, 0.84],
+            [0.3, 0.42],
+            [0.28, 0.76],
+            [0.16, 0.78],
+            [0.12, 0.32],
+        ])],
+        // Dress: fitted top flaring to a wide hem.
+        3 => vec![Primitive::Polygon(vec![
+            [0.42, 0.15],
+            [0.58, 0.15],
+            [0.62, 0.4],
+            [0.74, 0.85],
+            [0.26, 0.85],
+            [0.38, 0.4],
+        ])],
+        // Coat: long body, long sleeves, open front.
+        4 => vec![
+            Primitive::Polygon(vec![
+                [0.34, 0.18],
+                [0.66, 0.18],
+                [0.88, 0.3],
+                [0.86, 0.8],
+                [0.72, 0.78],
+                [0.7, 0.4],
+                [0.7, 0.88],
+                [0.3, 0.88],
+                [0.3, 0.4],
+                [0.28, 0.78],
+                [0.14, 0.8],
+                [0.12, 0.3],
+            ]),
+            Primitive::Polyline(vec![[0.5, 0.2], [0.5, 0.86]]),
+        ],
+        // Sandal: flat sole plus straps.
+        5 => vec![
+            Primitive::Polygon(vec![
+                [0.15, 0.68],
+                [0.85, 0.6],
+                [0.88, 0.72],
+                [0.15, 0.78],
+            ]),
+            Primitive::Polyline(vec![[0.3, 0.68], [0.45, 0.45], [0.6, 0.62]]),
+            Primitive::Polyline(vec![[0.55, 0.62], [0.7, 0.42], [0.82, 0.6]]),
+        ],
+        // Shirt: t-shirt body plus collar and button line.
+        6 => vec![
+            Primitive::Polygon(vec![
+                [0.32, 0.22],
+                [0.68, 0.22],
+                [0.84, 0.34],
+                [0.76, 0.46],
+                [0.66, 0.4],
+                [0.66, 0.84],
+                [0.34, 0.84],
+                [0.34, 0.4],
+                [0.24, 0.46],
+                [0.16, 0.34],
+            ]),
+            Primitive::Polyline(vec![[0.44, 0.22], [0.5, 0.3], [0.56, 0.22]]),
+            Primitive::Polyline(vec![[0.5, 0.32], [0.5, 0.82]]),
+        ],
+        // Sneaker: low profile with a thick sole.
+        7 => vec![
+            Primitive::Polygon(vec![
+                [0.14, 0.62],
+                [0.4, 0.44],
+                [0.62, 0.44],
+                [0.86, 0.58],
+                [0.86, 0.7],
+                [0.14, 0.7],
+            ]),
+            Primitive::Polygon(vec![
+                [0.14, 0.7],
+                [0.86, 0.7],
+                [0.86, 0.78],
+                [0.14, 0.78],
+            ]),
+        ],
+        // Bag: body plus handle arc.
+        8 => vec![
+            Primitive::Polygon(vec![
+                [0.22, 0.42],
+                [0.78, 0.42],
+                [0.82, 0.8],
+                [0.18, 0.8],
+            ]),
+            Primitive::Bezier([0.35, 0.42], [0.5, 0.14], [0.65, 0.42]),
+        ],
+        // Ankle boot: shaft plus foot.
+        9 => vec![Primitive::Polygon(vec![
+            [0.3, 0.2],
+            [0.56, 0.2],
+            [0.56, 0.52],
+            [0.82, 0.64],
+            [0.84, 0.78],
+            [0.3, 0.78],
+        ])],
+        _ => panic!("fashion class {class} out of range 0..=9"),
+    };
+    Glyph {
+        primitives,
+        thickness: THICKNESS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::strokes::{rasterize, Affine};
+
+    #[test]
+    fn all_classes_render_with_substantial_ink() {
+        // Silhouettes are dense (filled), unlike stroke digits.
+        for class in 0..10 {
+            let img = rasterize(&fashion(class), 28, &Affine::identity());
+            let ink = img.sum();
+            assert!(ink > 40.0, "fashion class {class} too faint: {ink}");
+        }
+    }
+
+    #[test]
+    fn classes_are_pairwise_distinct() {
+        let renders: Vec<_> = (0..10)
+            .map(|c| rasterize(&fashion(c), 28, &Affine::identity()))
+            .collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                // Count pixels that differ by > 0.5 (structural difference).
+                let structural = renders[i]
+                    .as_slice()
+                    .iter()
+                    .zip(renders[j].as_slice())
+                    .filter(|(a, b)| (**a - **b).abs() > 0.5)
+                    .count();
+                // The t-shirt/shirt pair (0/6) is deliberately close —
+                // it is in the real dataset too — so the bar is modest.
+                assert!(structural > 10, "classes {i}/{j} overlap too much ({structural})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_out_of_range_panics() {
+        let _ = fashion(10);
+    }
+}

@@ -1,0 +1,101 @@
+//! Handwritten-digit templates (MNIST-style classes 0–9).
+
+use super::strokes::{Glyph, Primitive};
+
+const THICKNESS: f64 = 0.045;
+
+/// Vector template for digit `class`.
+///
+/// # Panics
+///
+/// Panics if `class > 9`.
+pub fn digit(class: usize) -> Glyph {
+    let primitives = match class {
+        0 => vec![
+            Primitive::Bezier([0.5, 0.18], [0.16, 0.5], [0.5, 0.82]),
+            Primitive::Bezier([0.5, 0.18], [0.84, 0.5], [0.5, 0.82]),
+        ],
+        1 => vec![
+            Primitive::Polyline(vec![[0.35, 0.35], [0.52, 0.2], [0.52, 0.8]]),
+            Primitive::Polyline(vec![[0.35, 0.8], [0.68, 0.8]]),
+        ],
+        2 => vec![
+            Primitive::Bezier([0.27, 0.35], [0.5, 0.08], [0.73, 0.35]),
+            Primitive::Polyline(vec![[0.73, 0.35], [0.27, 0.8]]),
+            Primitive::Polyline(vec![[0.27, 0.8], [0.75, 0.8]]),
+        ],
+        3 => vec![
+            Primitive::Bezier([0.3, 0.25], [0.78, 0.18], [0.5, 0.48]),
+            Primitive::Bezier([0.5, 0.48], [0.85, 0.58], [0.3, 0.78]),
+        ],
+        4 => vec![
+            Primitive::Polyline(vec![[0.6, 0.2], [0.28, 0.6], [0.78, 0.6]]),
+            Primitive::Polyline(vec![[0.62, 0.38], [0.62, 0.85]]),
+        ],
+        5 => vec![
+            Primitive::Polyline(vec![[0.72, 0.2], [0.35, 0.2], [0.33, 0.48]]),
+            Primitive::Bezier([0.33, 0.48], [0.85, 0.5], [0.38, 0.8]),
+        ],
+        6 => vec![
+            Primitive::Bezier([0.65, 0.18], [0.3, 0.32], [0.33, 0.6]),
+            Primitive::Bezier([0.33, 0.6], [0.36, 0.85], [0.6, 0.74]),
+            Primitive::Bezier([0.6, 0.74], [0.68, 0.52], [0.33, 0.56]),
+        ],
+        7 => vec![Primitive::Polyline(vec![
+            [0.25, 0.22],
+            [0.75, 0.22],
+            [0.45, 0.82],
+        ])],
+        8 => vec![
+            Primitive::Bezier([0.5, 0.2], [0.22, 0.33], [0.5, 0.48]),
+            Primitive::Bezier([0.5, 0.2], [0.78, 0.33], [0.5, 0.48]),
+            Primitive::Bezier([0.5, 0.48], [0.18, 0.66], [0.5, 0.82]),
+            Primitive::Bezier([0.5, 0.48], [0.82, 0.66], [0.5, 0.82]),
+        ],
+        9 => vec![
+            Primitive::Bezier([0.66, 0.34], [0.42, 0.1], [0.34, 0.36]),
+            Primitive::Bezier([0.34, 0.36], [0.42, 0.58], [0.66, 0.38]),
+            Primitive::Bezier([0.66, 0.34], [0.68, 0.6], [0.52, 0.82]),
+        ],
+        _ => panic!("digit class {class} out of range 0..=9"),
+    };
+    Glyph {
+        primitives,
+        thickness: THICKNESS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::strokes::{rasterize, Affine};
+
+    #[test]
+    fn all_ten_digits_render_nonempty() {
+        for class in 0..10 {
+            let img = rasterize(&digit(class), 28, &Affine::identity());
+            let ink = img.sum();
+            assert!(ink > 10.0, "digit {class} too faint: {ink}");
+            assert!(ink < 300.0, "digit {class} floods the image: {ink}");
+        }
+    }
+
+    #[test]
+    fn digit_templates_are_pairwise_distinct() {
+        let renders: Vec<_> = (0..10)
+            .map(|c| rasterize(&digit(c), 28, &Affine::identity()))
+            .collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let d = renders[i].max_abs_diff(&renders[j]);
+                assert!(d > 0.5, "digits {i} and {j} look identical (diff {d})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_out_of_range_panics() {
+        let _ = digit(10);
+    }
+}

@@ -1,0 +1,132 @@
+//! Cursive multi-stroke templates (KMNIST-style classes).
+//!
+//! KMNIST's ten classes are cursive hiragana; these templates imitate the
+//! *statistics* that matter to the DONN experiments — several overlapping
+//! curved strokes per glyph, denser and swirlier than Latin digits — rather
+//! than faithful calligraphy.
+
+use super::strokes::{Glyph, Primitive};
+
+const THICKNESS: f64 = 0.045;
+
+/// Vector template for kana-style class `class`.
+///
+/// # Panics
+///
+/// Panics if `class > 9`.
+pub fn kana(class: usize) -> Glyph {
+    let primitives = match class {
+        // お-like: vertical stroke, cross bar, right swirl.
+        0 => vec![
+            Primitive::Polyline(vec![[0.35, 0.18], [0.35, 0.75]]),
+            Primitive::Polyline(vec![[0.2, 0.35], [0.52, 0.32]]),
+            Primitive::Bezier([0.35, 0.55], [0.72, 0.5], [0.55, 0.82]),
+            Primitive::Bezier([0.66, 0.2], [0.8, 0.3], [0.7, 0.4]),
+        ],
+        // き-like: two bars, diagonal spine, bottom hook.
+        1 => vec![
+            Primitive::Polyline(vec![[0.25, 0.28], [0.7, 0.24]]),
+            Primitive::Polyline(vec![[0.22, 0.44], [0.72, 0.4]]),
+            Primitive::Polyline(vec![[0.6, 0.15], [0.42, 0.6]]),
+            Primitive::Bezier([0.42, 0.6], [0.7, 0.68], [0.4, 0.84]),
+        ],
+        // す-like: top bar, vertical with loop.
+        2 => vec![
+            Primitive::Polyline(vec![[0.22, 0.3], [0.75, 0.28]]),
+            Primitive::Polyline(vec![[0.5, 0.16], [0.5, 0.55]]),
+            Primitive::Bezier([0.5, 0.55], [0.25, 0.7], [0.5, 0.72]),
+            Primitive::Bezier([0.5, 0.72], [0.68, 0.7], [0.42, 0.86]),
+        ],
+        // つ-like: one sweeping curve.
+        3 => vec![Primitive::Bezier([0.2, 0.38], [0.85, 0.18], [0.6, 0.78])],
+        // な-like: four separated strokes.
+        4 => vec![
+            Primitive::Polyline(vec![[0.22, 0.3], [0.45, 0.26]]),
+            Primitive::Polyline(vec![[0.34, 0.16], [0.3, 0.5]]),
+            Primitive::Polyline(vec![[0.6, 0.2], [0.72, 0.34]]),
+            Primitive::Bezier([0.3, 0.62], [0.5, 0.5], [0.52, 0.72]),
+            Primitive::Bezier([0.52, 0.72], [0.5, 0.9], [0.34, 0.78]),
+        ],
+        // は-like: left vertical, right vertical with loop, cross bar.
+        5 => vec![
+            Primitive::Polyline(vec![[0.28, 0.2], [0.28, 0.8]]),
+            Primitive::Polyline(vec![[0.45, 0.38], [0.78, 0.36]]),
+            Primitive::Polyline(vec![[0.62, 0.18], [0.62, 0.66]]),
+            Primitive::Bezier([0.62, 0.66], [0.46, 0.84], [0.66, 0.84]),
+        ],
+        // ま-like: two bars, center vertical, bottom loop.
+        6 => vec![
+            Primitive::Polyline(vec![[0.3, 0.26], [0.72, 0.24]]),
+            Primitive::Polyline(vec![[0.3, 0.4], [0.72, 0.38]]),
+            Primitive::Polyline(vec![[0.52, 0.14], [0.52, 0.66]]),
+            Primitive::Bezier([0.52, 0.66], [0.28, 0.86], [0.56, 0.84]),
+        ],
+        // や-like: diagonal sweep with crossing curve.
+        7 => vec![
+            Primitive::Bezier([0.3, 0.3], [0.75, 0.2], [0.62, 0.5]),
+            Primitive::Polyline(vec![[0.4, 0.16], [0.5, 0.36]]),
+            Primitive::Bezier([0.35, 0.5], [0.3, 0.85], [0.55, 0.8]),
+        ],
+        // れ-like: left vertical plus wavy right limb.
+        8 => vec![
+            Primitive::Polyline(vec![[0.3, 0.18], [0.3, 0.82]]),
+            Primitive::Bezier([0.3, 0.45], [0.55, 0.2], [0.58, 0.5]),
+            Primitive::Bezier([0.58, 0.5], [0.6, 0.8], [0.78, 0.68]),
+        ],
+        // を-like: top bar, S-curve, bottom sweep.
+        9 => vec![
+            Primitive::Polyline(vec![[0.3, 0.22], [0.68, 0.2]]),
+            Primitive::Bezier([0.52, 0.22], [0.3, 0.45], [0.56, 0.52]),
+            Primitive::Bezier([0.56, 0.52], [0.78, 0.6], [0.4, 0.7]),
+            Primitive::Bezier([0.4, 0.7], [0.3, 0.85], [0.68, 0.84]),
+        ],
+        _ => panic!("kana class {class} out of range 0..=9"),
+    };
+    Glyph {
+        primitives,
+        thickness: THICKNESS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::strokes::{rasterize, Affine};
+
+    #[test]
+    fn all_classes_render_nonempty() {
+        for class in 0..10 {
+            let img = rasterize(&kana(class), 28, &Affine::identity());
+            assert!(img.sum() > 8.0, "kana class {class} too faint");
+        }
+    }
+
+    #[test]
+    fn classes_are_pairwise_distinct() {
+        let renders: Vec<_> = (0..10)
+            .map(|c| rasterize(&kana(c), 28, &Affine::identity()))
+            .collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert!(
+                    renders[i].max_abs_diff(&renders[j]) > 0.5,
+                    "kana classes {i}/{j} identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kana_denser_than_single_stroke() {
+        // Multi-stroke glyphs (all but つ) carry more ink than one line.
+        let single_line = Glyph {
+            primitives: vec![Primitive::Polyline(vec![[0.2, 0.5], [0.8, 0.5]])],
+            thickness: THICKNESS,
+        };
+        let line_ink = rasterize(&single_line, 28, &Affine::identity()).sum();
+        for class in [0usize, 1, 2, 4, 5, 6, 9] {
+            let ink = rasterize(&kana(class), 28, &Affine::identity()).sum();
+            assert!(ink > line_ink, "class {class}: {ink} <= {line_ink}");
+        }
+    }
+}

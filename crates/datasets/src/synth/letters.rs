@@ -1,0 +1,110 @@
+//! Handwritten-letter templates (EMNIST-style, letters A–J as ten classes).
+
+use super::strokes::{Glyph, Primitive};
+
+const THICKNESS: f64 = 0.045;
+
+/// Vector template for letter class `class` (0 = 'A' … 9 = 'J').
+///
+/// # Panics
+///
+/// Panics if `class > 9`.
+pub fn letter(class: usize) -> Glyph {
+    let primitives = match class {
+        // A
+        0 => vec![
+            Primitive::Polyline(vec![[0.25, 0.8], [0.5, 0.18], [0.75, 0.8]]),
+            Primitive::Polyline(vec![[0.35, 0.58], [0.65, 0.58]]),
+        ],
+        // B
+        1 => vec![
+            Primitive::Polyline(vec![[0.32, 0.18], [0.32, 0.82]]),
+            Primitive::Bezier([0.32, 0.18], [0.75, 0.22], [0.32, 0.48]),
+            Primitive::Bezier([0.32, 0.48], [0.82, 0.56], [0.32, 0.82]),
+        ],
+        // C
+        2 => vec![Primitive::Bezier([0.72, 0.26], [0.1, 0.5], [0.72, 0.74])],
+        // D
+        3 => vec![
+            Primitive::Polyline(vec![[0.32, 0.18], [0.32, 0.82]]),
+            Primitive::Bezier([0.32, 0.18], [0.88, 0.5], [0.32, 0.82]),
+        ],
+        // E
+        4 => vec![
+            Primitive::Polyline(vec![[0.68, 0.2], [0.32, 0.2], [0.32, 0.8], [0.68, 0.8]]),
+            Primitive::Polyline(vec![[0.32, 0.5], [0.6, 0.5]]),
+        ],
+        // F
+        5 => vec![
+            Primitive::Polyline(vec![[0.68, 0.2], [0.34, 0.2], [0.34, 0.82]]),
+            Primitive::Polyline(vec![[0.34, 0.5], [0.62, 0.5]]),
+        ],
+        // G
+        6 => vec![
+            Primitive::Bezier([0.72, 0.26], [0.1, 0.5], [0.68, 0.76]),
+            Primitive::Polyline(vec![[0.68, 0.76], [0.7, 0.54], [0.52, 0.54]]),
+        ],
+        // H
+        7 => vec![
+            Primitive::Polyline(vec![[0.3, 0.18], [0.3, 0.82]]),
+            Primitive::Polyline(vec![[0.7, 0.18], [0.7, 0.82]]),
+            Primitive::Polyline(vec![[0.3, 0.5], [0.7, 0.5]]),
+        ],
+        // I
+        8 => vec![
+            Primitive::Polyline(vec![[0.38, 0.2], [0.62, 0.2]]),
+            Primitive::Polyline(vec![[0.5, 0.2], [0.5, 0.8]]),
+            Primitive::Polyline(vec![[0.38, 0.8], [0.62, 0.8]]),
+        ],
+        // J
+        9 => vec![
+            Primitive::Polyline(vec![[0.4, 0.2], [0.72, 0.2]]),
+            Primitive::Polyline(vec![[0.6, 0.2], [0.6, 0.62]]),
+            Primitive::Bezier([0.6, 0.62], [0.55, 0.85], [0.3, 0.7]),
+        ],
+        _ => panic!("letter class {class} out of range 0..=9"),
+    };
+    Glyph {
+        primitives,
+        thickness: THICKNESS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::strokes::{rasterize, Affine};
+
+    #[test]
+    fn all_letters_render_nonempty() {
+        for class in 0..10 {
+            let img = rasterize(&letter(class), 28, &Affine::identity());
+            assert!(img.sum() > 8.0, "letter class {class} too faint");
+        }
+    }
+
+    #[test]
+    fn letters_are_pairwise_distinct() {
+        let renders: Vec<_> = (0..10)
+            .map(|c| rasterize(&letter(c), 28, &Affine::identity()))
+            .collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let structural = renders[i]
+                    .as_slice()
+                    .iter()
+                    .zip(renders[j].as_slice())
+                    .filter(|(a, b)| (**a - **b).abs() > 0.5)
+                    .count();
+                assert!(structural > 10, "letters {i}/{j} overlap too much");
+            }
+        }
+    }
+
+    #[test]
+    fn h_is_symmetric_under_horizontal_flip() {
+        let img = rasterize(&letter(7), 28, &Affine::identity());
+        let flipped = photonn_math::Grid::from_fn(28, 28, |r, c| img[(r, 27 - c)]);
+        assert!(img.max_abs_diff(&flipped) < 0.2, "H should be mirror symmetric");
+    }
+}

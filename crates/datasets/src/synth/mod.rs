@@ -1,0 +1,223 @@
+//! Procedural synthetic dataset generation.
+//!
+//! This environment has no network access, so the four benchmark datasets
+//! of the paper (MNIST, FMNIST, KMNIST, EMNIST) are replaced by procedural
+//! families with the same format (28×28 grayscale in `[0,1]`, 10 balanced
+//! classes) and the property that matters for the experiments: a
+//! class-consistent signal with per-sample nuisance variation (affine
+//! jitter, stroke-width jitter, sensor noise), so a DONN can actually learn
+//! them and the accuracy/roughness trade-offs of the paper stay visible.
+//! See `DESIGN.md` §4 for the substitution rationale.
+
+pub mod fashion;
+pub mod glyphs;
+pub mod kana;
+pub mod letters;
+pub mod strokes;
+
+use photonn_math::{Grid, Rng};
+
+use strokes::{add_noise, rasterize, Affine, Glyph};
+
+/// The four dataset families of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Family {
+    /// Handwritten digits (MNIST-style).
+    #[default]
+    Mnist,
+    /// Clothing silhouettes (Fashion-MNIST-style).
+    Fmnist,
+    /// Cursive multi-stroke glyphs (KMNIST-style).
+    Kmnist,
+    /// Handwritten letters A–J (EMNIST-style).
+    Emnist,
+}
+
+impl Family {
+    /// Canonical lowercase name (matches the paper's tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Mnist => "mnist",
+            Family::Fmnist => "fmnist",
+            Family::Kmnist => "kmnist",
+            Family::Emnist => "emnist",
+        }
+    }
+
+    /// All four families in table order (Tables II–V).
+    pub fn all() -> [Family; 4] {
+        [Family::Mnist, Family::Fmnist, Family::Kmnist, Family::Emnist]
+    }
+
+    /// The vector template for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class > 9`.
+    pub fn template(self, class: usize) -> Glyph {
+        match self {
+            Family::Mnist => glyphs::digit(class),
+            Family::Fmnist => fashion::fashion(class),
+            Family::Kmnist => kana::kana(class),
+            Family::Emnist => letters::letter(class),
+        }
+    }
+}
+
+/// Knobs of the synthetic generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SynthConfig {
+    /// Image side length (28 matches the real datasets).
+    pub size: usize,
+    /// Affine jitter strength (1.0 ≈ handwriting-level variation).
+    pub jitter: f64,
+    /// Stroke-thickness multiplier spread (relative std).
+    pub thickness_jitter: f64,
+    /// Gaussian pixel-noise sigma.
+    pub noise: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            size: 28,
+            jitter: 1.0,
+            thickness_jitter: 0.15,
+            noise: 0.03,
+        }
+    }
+}
+
+/// Generates `count` class-balanced samples (labels cycle 0–9), seeded and
+/// fully deterministic.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or `config.size == 0`.
+pub fn generate(
+    family: Family,
+    count: usize,
+    seed: u64,
+    config: SynthConfig,
+) -> (Vec<Grid>, Vec<usize>) {
+    assert!(count > 0, "cannot generate an empty dataset");
+    assert!(config.size > 0, "image size must be non-zero");
+    let mut rng = Rng::seed_from(seed ^ 0x5eed_0000);
+    let mut images = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % 10;
+        let mut glyph = family.template(class);
+        let tj = 1.0 + rng.normal_with(0.0, config.thickness_jitter);
+        glyph.thickness *= tj.clamp(0.55, 1.8);
+        let jitter = Affine::sample_jitter(&mut rng, config.jitter);
+        let mut img = rasterize(&glyph, config.size, &jitter);
+        add_noise(&mut img, config.noise, &mut rng);
+        images.push(img);
+        labels.push(class);
+    }
+    (images, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::default();
+        let (a, la) = generate(Family::Mnist, 20, 7, cfg);
+        let (b, lb) = generate(Family::Mnist, 20, 7, cfg);
+        assert_eq!(la, lb);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SynthConfig::default();
+        let (a, _) = generate(Family::Mnist, 10, 1, cfg);
+        let (b, _) = generate(Family::Mnist, 10, 2, cfg);
+        assert!(a.iter().zip(&b).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let (_, labels) = generate(Family::Kmnist, 100, 3, SynthConfig::default());
+        for class in 0..10 {
+            assert_eq!(labels.iter().filter(|&&l| l == class).count(), 10);
+        }
+    }
+
+    #[test]
+    fn intra_class_varies_but_stays_recognizable() {
+        // Two samples of the same class differ (jitter) but correlate far
+        // more with each other than with a different class's template.
+        let cfg = SynthConfig {
+            noise: 0.0,
+            ..SynthConfig::default()
+        };
+        let (imgs, labels) = generate(Family::Mnist, 100, 11, cfg);
+        let of_class = |class: usize| -> Vec<&Grid> {
+            imgs.iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == class)
+                .map(|(g, _)| g)
+                .collect()
+        };
+        let zeros = of_class(0);
+        let ones = of_class(1);
+        assert!(zeros.len() >= 5);
+        assert!(zeros[0].max_abs_diff(zeros[1]) > 1e-6, "no intra-class variation");
+
+        let corr = |a: &Grid, b: &Grid| -> f64 {
+            let (ma, mb) = (a.mean(), b.mean());
+            let mut num = 0.0;
+            let mut da = 0.0;
+            let mut db = 0.0;
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                num += (x - ma) * (y - mb);
+                da += (x - ma) * (x - ma);
+                db += (y - mb) * (y - mb);
+            }
+            num / (da.sqrt() * db.sqrt() + 1e-12)
+        };
+        // Average same-class vs cross-class correlation over many pairs.
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        let mut n_pairs = 0.0;
+        for i in 0..5 {
+            for j in (i + 1)..6 {
+                same += corr(zeros[i], zeros[j]);
+                cross += corr(zeros[i], ones[j]);
+                n_pairs += 1.0;
+            }
+        }
+        same /= n_pairs;
+        cross /= n_pairs;
+        assert!(
+            same > cross + 0.1,
+            "class structure too weak: same {same:.3} vs cross {cross:.3}"
+        );
+    }
+
+    #[test]
+    fn all_families_generate() {
+        for family in Family::all() {
+            let (imgs, labels) = generate(family, 10, 5, SynthConfig::default());
+            assert_eq!(imgs.len(), 10);
+            assert_eq!(labels.len(), 10);
+            assert!(imgs.iter().all(|g| g.shape() == (28, 28)));
+            assert!(imgs.iter().all(|g| g.min() >= 0.0 && g.max() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn family_names_match_paper_tables() {
+        assert_eq!(Family::Mnist.name(), "mnist");
+        assert_eq!(Family::Fmnist.name(), "fmnist");
+        assert_eq!(Family::Kmnist.name(), "kmnist");
+        assert_eq!(Family::Emnist.name(), "emnist");
+    }
+}

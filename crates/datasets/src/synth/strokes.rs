@@ -1,0 +1,353 @@
+//! Vector-stroke rasterization: the rendering engine behind all four
+//! synthetic dataset families.
+//!
+//! Templates are described in a unit square (x right, y down) as polylines,
+//! quadratic Béziers and filled polygons; rendering applies a per-sample
+//! affine jitter to the control points, rasterizes with an anti-aliased
+//! distance falloff, then adds sensor-style noise — producing MNIST-like
+//! 28×28 grayscale images with realistic intra-class variation.
+
+use photonn_math::{Grid, Rng};
+
+/// A 2-D affine transform `p ↦ A·p + t` over unit-square coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Affine {
+    /// Row-major 2×2 linear part.
+    pub a: [f64; 4],
+    /// Translation.
+    pub t: [f64; 2],
+}
+
+impl Affine {
+    /// Identity transform.
+    pub fn identity() -> Self {
+        Affine {
+            a: [1.0, 0.0, 0.0, 1.0],
+            t: [0.0, 0.0],
+        }
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: [f64; 2]) -> [f64; 2] {
+        [
+            self.a[0] * p[0] + self.a[1] * p[1] + self.t[0],
+            self.a[2] * p[0] + self.a[3] * p[1] + self.t[1],
+        ]
+    }
+
+    /// Composes `self ∘ other` (apply `other` first).
+    pub fn then(&self, other: &Affine) -> Affine {
+        // self.a · other.a
+        Affine {
+            a: [
+                self.a[0] * other.a[0] + self.a[1] * other.a[2],
+                self.a[0] * other.a[1] + self.a[1] * other.a[3],
+                self.a[2] * other.a[0] + self.a[3] * other.a[2],
+                self.a[2] * other.a[1] + self.a[3] * other.a[3],
+            ],
+            t: [
+                self.a[0] * other.t[0] + self.a[1] * other.t[1] + self.t[0],
+                self.a[2] * other.t[0] + self.a[3] * other.t[1] + self.t[1],
+            ],
+        }
+    }
+
+    /// A random handwriting-style jitter: rotation, anisotropic scale,
+    /// shear and translation about the glyph center `(0.5, 0.5)`.
+    pub fn sample_jitter(rng: &mut Rng, strength: f64) -> Affine {
+        let rot = rng.normal_with(0.0, 0.08 * strength);
+        let (sin, cos) = rot.sin_cos();
+        let sx = 1.0 + rng.normal_with(0.0, 0.06 * strength);
+        let sy = 1.0 + rng.normal_with(0.0, 0.06 * strength);
+        let shear = rng.normal_with(0.0, 0.05 * strength);
+        let tx = rng.normal_with(0.0, 0.025 * strength);
+        let ty = rng.normal_with(0.0, 0.025 * strength);
+        // Center, apply linear part, uncenter, translate.
+        let linear = Affine {
+            a: [
+                sx * cos + shear * sin,
+                -sy * sin + shear * cos,
+                sx * sin,
+                sy * cos,
+            ],
+            t: [0.0, 0.0],
+        };
+        let center = Affine {
+            a: [1.0, 0.0, 0.0, 1.0],
+            t: [-0.5, -0.5],
+        };
+        let uncenter = Affine {
+            a: [1.0, 0.0, 0.0, 1.0],
+            t: [0.5 + tx, 0.5 + ty],
+        };
+        uncenter.then(&linear).then(&center)
+    }
+}
+
+/// One drawing primitive of a glyph template (unit-square coordinates).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Primitive {
+    /// Open polyline through the listed points.
+    Polyline(Vec<[f64; 2]>),
+    /// Quadratic Bézier (start, control, end).
+    Bezier([f64; 2], [f64; 2], [f64; 2]),
+    /// Filled polygon (even-odd rule) with soft edges.
+    Polygon(Vec<[f64; 2]>),
+}
+
+impl Primitive {
+    fn transformed(&self, xf: &Affine) -> Primitive {
+        match self {
+            Primitive::Polyline(ps) => {
+                Primitive::Polyline(ps.iter().map(|&p| xf.apply(p)).collect())
+            }
+            Primitive::Bezier(a, b, c) => {
+                Primitive::Bezier(xf.apply(*a), xf.apply(*b), xf.apply(*c))
+            }
+            Primitive::Polygon(ps) => Primitive::Polygon(ps.iter().map(|&p| xf.apply(p)).collect()),
+        }
+    }
+}
+
+/// A glyph: a list of primitives plus a stroke thickness (fraction of the
+/// image side).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Glyph {
+    /// Drawing primitives.
+    pub primitives: Vec<Primitive>,
+    /// Stroke half-thickness in unit-square units (≈ 0.05 for MNIST look).
+    pub thickness: f64,
+}
+
+fn dist_to_segment(p: [f64; 2], a: [f64; 2], b: [f64; 2]) -> f64 {
+    let ab = [b[0] - a[0], b[1] - a[1]];
+    let ap = [p[0] - a[0], p[1] - a[1]];
+    let len_sq = ab[0] * ab[0] + ab[1] * ab[1];
+    let t = if len_sq == 0.0 {
+        0.0
+    } else {
+        ((ap[0] * ab[0] + ap[1] * ab[1]) / len_sq).clamp(0.0, 1.0)
+    };
+    let proj = [a[0] + t * ab[0], a[1] + t * ab[1]];
+    ((p[0] - proj[0]).powi(2) + (p[1] - proj[1]).powi(2)).sqrt()
+}
+
+fn bezier_points(a: [f64; 2], b: [f64; 2], c: [f64; 2], segments: usize) -> Vec<[f64; 2]> {
+    (0..=segments)
+        .map(|i| {
+            let t = i as f64 / segments as f64;
+            let u = 1.0 - t;
+            [
+                u * u * a[0] + 2.0 * u * t * b[0] + t * t * c[0],
+                u * u * a[1] + 2.0 * u * t * b[1] + t * t * c[1],
+            ]
+        })
+        .collect()
+}
+
+fn point_in_polygon(p: [f64; 2], poly: &[[f64; 2]]) -> bool {
+    // Even-odd rule.
+    let mut inside = false;
+    let n = poly.len();
+    let mut j = n - 1;
+    for i in 0..n {
+        let (pi, pj) = (poly[i], poly[j]);
+        if ((pi[1] > p[1]) != (pj[1] > p[1]))
+            && (p[0] < (pj[0] - pi[0]) * (p[1] - pi[1]) / (pj[1] - pi[1]) + pi[0])
+        {
+            inside = !inside;
+        }
+        j = i;
+    }
+    inside
+}
+
+fn dist_to_polygon_edge(p: [f64; 2], poly: &[[f64; 2]]) -> f64 {
+    let n = poly.len();
+    (0..n)
+        .map(|i| dist_to_segment(p, poly[i], poly[(i + 1) % n]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Rasterizes a glyph into an `n × n` grayscale grid in `[0, 1]`.
+///
+/// Strokes use a smooth distance falloff (`1` inside the core thickness,
+/// decaying over one extra half-thickness); polygons are filled with soft
+/// edges. Values from overlapping primitives combine with `max`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn rasterize(glyph: &Glyph, n: usize, jitter: &Affine) -> Grid {
+    assert!(n > 0, "raster size must be non-zero");
+    let prims: Vec<Primitive> = glyph
+        .primitives
+        .iter()
+        .map(|p| p.transformed(jitter))
+        .collect();
+    let th = glyph.thickness;
+    let soft = th * 0.8;
+    Grid::from_fn(n, n, |r, c| {
+        // Pixel center in unit coordinates.
+        let p = [
+            (c as f64 + 0.5) / n as f64,
+            (r as f64 + 0.5) / n as f64,
+        ];
+        let mut v: f64 = 0.0;
+        for prim in &prims {
+            let contribution = match prim {
+                Primitive::Polyline(ps) => {
+                    let mut d = f64::INFINITY;
+                    for w in ps.windows(2) {
+                        d = d.min(dist_to_segment(p, w[0], w[1]));
+                    }
+                    stroke_falloff(d, th, soft)
+                }
+                Primitive::Bezier(a, b, cpt) => {
+                    let ps = bezier_points(*a, *b, *cpt, 16);
+                    let mut d = f64::INFINITY;
+                    for w in ps.windows(2) {
+                        d = d.min(dist_to_segment(p, w[0], w[1]));
+                    }
+                    stroke_falloff(d, th, soft)
+                }
+                Primitive::Polygon(ps) => {
+                    let d = dist_to_polygon_edge(p, ps);
+                    if point_in_polygon(p, ps) {
+                        1.0
+                    } else {
+                        stroke_falloff(d, 0.0, soft)
+                    }
+                }
+            };
+            v = v.max(contribution);
+        }
+        v
+    })
+}
+
+#[inline]
+fn stroke_falloff(d: f64, core: f64, soft: f64) -> f64 {
+    if d <= core {
+        1.0
+    } else if d >= core + soft {
+        0.0
+    } else {
+        let t = (d - core) / soft;
+        // Smoothstep for an anti-aliased edge.
+        1.0 - t * t * (3.0 - 2.0 * t)
+    }
+}
+
+/// Adds per-pixel Gaussian noise and clamps to `[0, 1]` — the sensor-noise
+/// stage of the synthetic pipeline.
+pub fn add_noise(img: &mut Grid, sigma: f64, rng: &mut Rng) {
+    if sigma <= 0.0 {
+        return;
+    }
+    for v in img.as_mut_slice() {
+        *v = (*v + rng.normal_with(0.0, sigma)).clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_glyph() -> Glyph {
+        Glyph {
+            primitives: vec![Primitive::Polyline(vec![[0.2, 0.5], [0.8, 0.5]])],
+            thickness: 0.05,
+        }
+    }
+
+    #[test]
+    fn rasterize_line_hits_center_row() {
+        let img = rasterize(&line_glyph(), 28, &Affine::identity());
+        assert_eq!(img.shape(), (28, 28));
+        // On the stroke.
+        assert!(img[(14, 14)] > 0.9, "center {}", img[(14, 14)]);
+        // Far off the stroke.
+        assert!(img[(3, 14)] < 1e-9);
+        assert!(img.min() >= 0.0 && img.max() <= 1.0);
+    }
+
+    #[test]
+    fn jitter_moves_the_stroke() {
+        let mut rng = Rng::seed_from(5);
+        let id = rasterize(&line_glyph(), 28, &Affine::identity());
+        let jit = Affine::sample_jitter(&mut rng, 1.5);
+        let moved = rasterize(&line_glyph(), 28, &jit);
+        assert!(id.max_abs_diff(&moved) > 0.1, "jitter produced no change");
+    }
+
+    #[test]
+    fn affine_compose_matches_sequential_apply() {
+        let mut rng = Rng::seed_from(9);
+        let f = Affine::sample_jitter(&mut rng, 1.0);
+        let g = Affine::sample_jitter(&mut rng, 1.0);
+        let p = [0.3, 0.7];
+        let a = f.apply(g.apply(p));
+        let b = f.then(&g).apply(p);
+        assert!((a[0] - b[0]).abs() < 1e-12 && (a[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bezier_renders_curved_stroke() {
+        let glyph = Glyph {
+            primitives: vec![Primitive::Bezier([0.2, 0.8], [0.5, 0.0], [0.8, 0.8])],
+            thickness: 0.05,
+        };
+        let img = rasterize(&glyph, 28, &Affine::identity());
+        // The curve's apex is near (0.5, 0.4) in unit coords → pixel ~ (11, 14).
+        assert!(img[(11, 14)] > 0.5);
+        // Start and end are lit.
+        assert!(img[(22, 6)] > 0.3);
+        assert!(img[(22, 21)] > 0.3);
+    }
+
+    #[test]
+    fn polygon_fill_interior() {
+        let glyph = Glyph {
+            primitives: vec![Primitive::Polygon(vec![
+                [0.25, 0.25],
+                [0.75, 0.25],
+                [0.75, 0.75],
+                [0.25, 0.75],
+            ])],
+            thickness: 0.0,
+        };
+        let img = rasterize(&glyph, 28, &Affine::identity());
+        assert_eq!(img[(14, 14)], 1.0);
+        assert!(img[(2, 2)] < 1e-9);
+    }
+
+    #[test]
+    fn point_in_polygon_concave() {
+        // L-shape: (0.6, 0.6) is outside the L.
+        let poly = vec![
+            [0.2, 0.2],
+            [0.8, 0.2],
+            [0.8, 0.5],
+            [0.5, 0.5],
+            [0.5, 0.8],
+            [0.2, 0.8],
+        ];
+        assert!(point_in_polygon([0.3, 0.3], &poly));
+        assert!(point_in_polygon([0.3, 0.7], &poly));
+        assert!(!point_in_polygon([0.6, 0.6], &poly));
+    }
+
+    #[test]
+    fn noise_is_bounded_and_seeded() {
+        let mut a = rasterize(&line_glyph(), 28, &Affine::identity());
+        let mut b = a.clone();
+        add_noise(&mut a, 0.05, &mut Rng::seed_from(7));
+        add_noise(&mut b, 0.05, &mut Rng::seed_from(7));
+        assert_eq!(a, b, "same seed must give same noise");
+        assert!(a.min() >= 0.0 && a.max() <= 1.0);
+        let mut c = rasterize(&line_glyph(), 28, &Affine::identity());
+        add_noise(&mut c, 0.0, &mut Rng::seed_from(7));
+        assert_eq!(c, rasterize(&line_glyph(), 28, &Affine::identity()));
+    }
+}

@@ -1,0 +1,119 @@
+//! Bluestein's chirp-z algorithm: O(n log n) DFT for *any* length,
+//! including large primes, via a power-of-two circular convolution.
+
+use photonn_math::Complex64;
+
+use crate::radix2::Radix2;
+
+/// Bluestein plan: chirp sequences and the precomputed spectrum of the
+/// chirp filter, convolved through an inner radix-2 FFT of length
+/// `M = next_pow2(2n-1)`.
+#[derive(Debug)]
+pub(crate) struct Bluestein {
+    n: usize,
+    m: usize,
+    inner: Radix2,
+    /// `exp(-iπ j²/n)` for `j < n`.
+    chirp: Vec<Complex64>,
+    /// Forward FFT of the wrapped conjugate chirp, length `m`.
+    filter_spectrum: Vec<Complex64>,
+}
+
+impl Bluestein {
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n >= 2, "bluestein needs n >= 2");
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2::new(m);
+        // j² mod 2n keeps the phase argument exact for huge n.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|j| {
+                let q = (j * j) % (2 * n);
+                Complex64::cis(-std::f64::consts::PI * q as f64 / n as f64)
+            })
+            .collect();
+        let mut filter = vec![Complex64::ZERO; m];
+        filter[0] = chirp[0].conj();
+        for j in 1..n {
+            let b = chirp[j].conj();
+            filter[j] = b;
+            filter[m - j] = b; // circular wrap: b_{-j} = b_j
+        }
+        inner.process(&mut filter);
+        Bluestein {
+            n,
+            m,
+            inner,
+            chirp,
+            filter_spectrum: filter,
+        }
+    }
+
+    pub(crate) fn process(&self, data: &mut [Complex64]) {
+        debug_assert_eq!(data.len(), self.n);
+        // a_j = x_j · chirp_j, zero-padded to M.
+        let mut a = vec![Complex64::ZERO; self.m];
+        for j in 0..self.n {
+            a[j] = data[j] * self.chirp[j];
+        }
+        // Circular convolution with the chirp filter.
+        self.inner.process(&mut a);
+        for (z, f) in a.iter_mut().zip(&self.filter_spectrum) {
+            *z *= *f;
+        }
+        // Inverse inner FFT via conjugation, including 1/M.
+        for z in a.iter_mut() {
+            *z = z.conj();
+        }
+        self.inner.process(&mut a);
+        let s = 1.0 / self.m as f64;
+        for (k, out) in data.iter_mut().enumerate() {
+            *out = a[k].conj().scale(s) * self.chirp[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{assert_spectra_close, naive_dft};
+
+    #[test]
+    fn matches_naive_dft_on_primes() {
+        for n in [2usize, 3, 67, 97, 101, 127, 251] {
+            let input: Vec<Complex64> = (0..n)
+                .map(|j| Complex64::new((j as f64 * 0.9).sin(), (j as f64 * 0.23).cos()))
+                .collect();
+            let expected = naive_dft(&input);
+            let mut got = input;
+            Bluestein::new(n).process(&mut got);
+            assert_spectra_close(&got, &expected, 1e-8, &format!("bluestein n={n}"));
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_on_composites_too() {
+        // Bluestein is valid for any n, not just primes.
+        for n in [12usize, 100, 200] {
+            let input: Vec<Complex64> =
+                (0..n).map(|j| Complex64::new(j as f64, -1.0)).collect();
+            let expected = naive_dft(&input);
+            let mut got = input;
+            Bluestein::new(n).process(&mut got);
+            assert_spectra_close(&got, &expected, 1e-8, &format!("bluestein n={n}"));
+        }
+    }
+
+    #[test]
+    fn dc_input_concentrates_in_bin_zero() {
+        let n = 53;
+        let mut data = vec![Complex64::ONE; n];
+        Bluestein::new(n).process(&mut data);
+        assert!((data[0].re - n as f64).abs() < 1e-8);
+        for z in &data[1..] {
+            assert!(z.norm() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Planned 2-D FFT over [`CGrid`] by row-column decomposition.
+
+use photonn_math::{CGrid, Complex64};
+use std::sync::Arc;
+
+use crate::{Fft, Planner};
+
+/// A reusable 2-D FFT plan for a fixed `rows × cols` shape.
+///
+/// Forward is unnormalized; [`Fft2::inverse`] divides by `rows·cols` so the
+/// pair round-trips. [`Fft2::inverse_unnormalized`] is the exact adjoint of
+/// [`Fft2::forward`] (needed by reverse-mode AD).
+///
+/// # Examples
+///
+/// ```
+/// use photonn_fft::Fft2;
+/// use photonn_math::{CGrid, Complex64};
+///
+/// let plan = Fft2::new(4, 8);
+/// let mut field = CGrid::full(4, 8, Complex64::ONE);
+/// plan.forward(&mut field);
+/// // DC bin collects everything.
+/// assert!((field[(0, 0)].re - 32.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft2 {
+    rows: usize,
+    cols: usize,
+    row_plan: Arc<Fft>,
+    col_plan: Arc<Fft>,
+}
+
+impl Fft2 {
+    /// Plans a 2-D transform for `rows × cols` grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let planner = Planner::new();
+        Self::with_planner(rows, cols, &planner)
+    }
+
+    /// Plans using (and populating) a shared [`Planner`] cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_planner(rows: usize, cols: usize, planner: &Planner) -> Self {
+        assert!(rows > 0 && cols > 0, "FFT2 dimensions must be positive");
+        Fft2 {
+            rows,
+            cols,
+            row_plan: planner.plan(cols),
+            col_plan: planner.plan(rows),
+        }
+    }
+
+    /// Planned shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// In-place unnormalized forward 2-D DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` does not have the planned shape.
+    pub fn forward(&self, grid: &mut CGrid) {
+        self.check(grid);
+        for r in 0..self.rows {
+            self.row_plan.forward(grid.row_mut(r));
+        }
+        self.columns(grid, |plan, buf| plan.forward(buf));
+    }
+
+    /// In-place inverse 2-D DFT including the `1/(rows·cols)` factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` does not have the planned shape.
+    pub fn inverse(&self, grid: &mut CGrid) {
+        self.inverse_unnormalized(grid);
+        grid.scale_inplace(1.0 / (self.rows * self.cols) as f64);
+    }
+
+    /// In-place inverse 2-D DFT without normalization — the adjoint of
+    /// [`Fft2::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` does not have the planned shape.
+    pub fn inverse_unnormalized(&self, grid: &mut CGrid) {
+        self.check(grid);
+        for r in 0..self.rows {
+            self.row_plan.inverse_unnormalized(grid.row_mut(r));
+        }
+        self.columns(grid, |plan, buf| plan.inverse_unnormalized(buf));
+    }
+
+    fn check(&self, grid: &CGrid) {
+        assert_eq!(
+            grid.shape(),
+            (self.rows, self.cols),
+            "grid shape {:?} != planned {:?}",
+            grid.shape(),
+            (self.rows, self.cols)
+        );
+    }
+
+    /// Applies `f` to every column through a gather/scatter buffer.
+    fn columns(&self, grid: &mut CGrid, f: impl Fn(&Fft, &mut [Complex64])) {
+        let mut buf = vec![Complex64::ZERO; self.rows];
+        for c in 0..self.cols {
+            for (r, b) in buf.iter_mut().enumerate() {
+                *b = grid[(r, c)];
+            }
+            f(&self.col_plan, &mut buf);
+            for (r, &b) in buf.iter().enumerate() {
+                grid[(r, c)] = b;
+            }
+        }
+    }
+}
+
+/// Convenience one-shot forward 2-D FFT (plans internally).
+pub fn fft2(grid: &CGrid) -> CGrid {
+    let mut out = grid.clone();
+    Fft2::new(grid.rows(), grid.cols()).forward(&mut out);
+    out
+}
+
+/// Convenience one-shot normalized inverse 2-D FFT (plans internally).
+pub fn ifft2(grid: &CGrid) -> CGrid {
+    let mut out = grid.clone();
+    Fft2::new(grid.rows(), grid.cols()).inverse(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::Grid;
+
+    fn naive_dft2(g: &CGrid) -> CGrid {
+        let (rows, cols) = g.shape();
+        CGrid::from_fn(rows, cols, |kr, kc| {
+            let mut acc = Complex64::ZERO;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let angle = -2.0
+                        * std::f64::consts::PI
+                        * (kr as f64 * r as f64 / rows as f64
+                            + kc as f64 * c as f64 / cols as f64);
+                    acc += g[(r, c)] * Complex64::cis(angle);
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn matches_naive_2d_dft() {
+        for (rows, cols) in [(4usize, 4usize), (8, 6), (5, 7), (10, 16)] {
+            let g = CGrid::from_fn(rows, cols, |r, c| {
+                Complex64::new((r as f64 * 0.8).sin(), (c as f64 * 1.7).cos())
+            });
+            let expected = naive_dft2(&g);
+            let got = fft2(&g);
+            assert!(
+                got.max_abs_diff(&expected) < 1e-9,
+                "({rows},{cols}): {}",
+                got.max_abs_diff(&expected)
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = CGrid::from_fn(16, 12, |r, c| Complex64::new(r as f64, -(c as f64)));
+        let back = ifft2(&fft2(&g));
+        assert!(back.max_abs_diff(&g) < 1e-9);
+    }
+
+    #[test]
+    fn parseval_2d() {
+        // With unnormalized forward: Σ|X|² = N·Σ|x|².
+        let g = CGrid::from_fn(8, 8, |r, c| Complex64::new((r + c) as f64, 1.0));
+        let spec = fft2(&g);
+        let n = 64.0;
+        assert!((spec.total_power() - n * g.total_power()).abs() / (n * g.total_power()) < 1e-12);
+    }
+
+    #[test]
+    fn adjoint_property_2d() {
+        let x = CGrid::from_fn(6, 10, |r, c| Complex64::new(r as f64, c as f64));
+        let y = CGrid::from_fn(6, 10, |r, c| Complex64::new(c as f64 - 1.0, r as f64 * 0.5));
+        let plan = Fft2::new(6, 10);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let mut fhy = y.clone();
+        plan.inverse_unnormalized(&mut fhy);
+        let inner = |a: &CGrid, b: &CGrid| -> Complex64 {
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(p, q)| *p * q.conj())
+                .sum()
+        };
+        let lhs = inner(&fx, &y);
+        let rhs = inner(&x, &fhy);
+        assert!((lhs - rhs).norm() < 1e-8);
+    }
+
+    #[test]
+    fn separable_input_has_separable_spectrum() {
+        // x[r,c] = f[r]·g[c] ⇒ X = F ⊗ G; check against 1-D transforms.
+        let rows = 8;
+        let cols = 5;
+        let f: Vec<Complex64> = (0..rows).map(|r| Complex64::new(r as f64, 0.3)).collect();
+        let gv: Vec<Complex64> = (0..cols).map(|c| Complex64::new(1.0, c as f64)).collect();
+        let grid = CGrid::from_fn(rows, cols, |r, c| f[r] * gv[c]);
+        let spec = fft2(&grid);
+        let mut ff = f.clone();
+        Fft::new(rows).forward(&mut ff);
+        let mut fg = gv.clone();
+        Fft::new(cols).forward(&mut fg);
+        for r in 0..rows {
+            for c in 0..cols {
+                assert!((spec[(r, c)] - ff[r] * fg[c]).norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid shape")]
+    fn shape_mismatch_panics() {
+        let plan = Fft2::new(4, 4);
+        let mut g = CGrid::zeros(4, 5);
+        plan.forward(&mut g);
+    }
+
+    #[test]
+    fn real_even_input_gives_real_spectrum_dc() {
+        let img = Grid::from_fn(8, 8, |r, c| ((r * 8 + c) % 5) as f64);
+        let spec = fft2(&CGrid::from_amplitude(&img));
+        assert!((spec[(0, 0)].re - img.sum()).abs() < 1e-9);
+        assert!(spec[(0, 0)].im.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! # photonn-fft
+//!
+//! From-scratch FFT engines for the `photonn` workspace (the DAC'23
+//! roughness-optimization reproduction). Free-space diffraction is computed
+//! in the frequency domain (paper Eq. 1), so the FFT is the innermost hot
+//! loop of every DONN forward and backward pass.
+//!
+//! Three engines are selected automatically by [`Fft::new`]:
+//!
+//! * **radix-2** — iterative in-place for powers of two (the padded path);
+//! * **mixed-radix** — recursive Cooley–Tukey for smooth composites such as
+//!   the paper's native 200 = 2³·5²;
+//! * **Bluestein** — chirp-z fallback for lengths with large prime factors.
+//!
+//! Conventions: forward is the unnormalized engineering DFT
+//! `X[k] = Σ x[j]·e^{-2πi jk/n}`; [`Fft::inverse`] carries the `1/n`. The
+//! unnormalized inverse (exact adjoint of forward) is exposed separately for
+//! reverse-mode autodiff.
+//!
+//! # Examples
+//!
+//! ```
+//! use photonn_fft::{fft2, ifft2};
+//! use photonn_math::{CGrid, Complex64};
+//!
+//! let field = CGrid::from_fn(8, 8, |r, c| Complex64::new((r + c) as f64, 0.0));
+//! let back = ifft2(&fft2(&field));
+//! assert!(back.max_abs_diff(&field) < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bluestein;
+mod fft2;
+mod mixed;
+mod plan;
+mod radix2;
+mod shift;
+#[cfg(test)]
+mod testing;
+
+pub use fft2::{fft2, ifft2, Fft2};
+pub use mixed::factorize;
+pub use plan::{Fft, Planner};
+pub use shift::{fftfreq, fftshift, fftshift_real, ifftshift};

@@ -1,0 +1,166 @@
+//! Recursive mixed-radix Cooley–Tukey FFT for smooth composite lengths
+//! (all prime factors ≤ 61). Handles the paper's native 200×200 masks
+//! (200 = 2³·5²) without zero-padding.
+
+use photonn_math::Complex64;
+
+/// Prime factorization by trial division, in non-decreasing order.
+///
+/// `factorize(1)` is empty; `factorize(200) == [2, 2, 2, 5, 5]`.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n.is_multiple_of(p) {
+            factors.push(p);
+            n /= p;
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// Largest butterfly radix the recursive engine emits; the stack-allocated
+/// combine buffer is sized to this.
+const MAX_RADIX: usize = 61;
+
+/// Recursive mixed-radix plan: prime factor schedule plus the full-length
+/// forward root table `exp(-2πi·j/n)`.
+#[derive(Debug)]
+pub(crate) struct MixedRadix {
+    n: usize,
+    factors: Vec<usize>,
+    roots: Vec<Complex64>,
+}
+
+impl MixedRadix {
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or some prime factor exceeds the engine limit.
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n >= 2, "mixed-radix needs n >= 2");
+        let factors = factorize(n);
+        assert!(
+            factors.iter().all(|&p| p <= MAX_RADIX),
+            "prime factor exceeds mixed-radix limit; use Bluestein"
+        );
+        let roots = (0..n)
+            .map(|j| Complex64::cis(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
+            .collect();
+        MixedRadix { n, factors, roots }
+    }
+
+    pub(crate) fn process(&self, data: &mut [Complex64]) {
+        debug_assert_eq!(data.len(), self.n);
+        let input = data.to_vec();
+        self.recurse(&input, 1, data, self.n, 1, &self.factors);
+    }
+
+    /// Decimation-in-time recursion.
+    ///
+    /// Computes the DFT of `input[0], input[stride], …` (length `n`) into
+    /// `output[..n]`. `root_stride == N/n` maps local twiddles into the
+    /// shared full-length root table.
+    fn recurse(
+        &self,
+        input: &[Complex64],
+        stride: usize,
+        output: &mut [Complex64],
+        n: usize,
+        root_stride: usize,
+        factors: &[usize],
+    ) {
+        if n == 1 {
+            output[0] = input[0];
+            return;
+        }
+        let p = factors[0];
+        let m = n / p;
+        // Sub-transforms of the p interleaved subsequences.
+        for q in 0..p {
+            self.recurse(
+                &input[q * stride..],
+                stride * p,
+                &mut output[q * m..(q + 1) * m],
+                m,
+                root_stride * p,
+                &factors[1..],
+            );
+        }
+        // Combine: for each output column k, a p-point DFT across the
+        // twiddled sub-results. X[s·m+k] = Σ_q ω_p^{qs} · ω_n^{qk} · Y_q[k].
+        let mut t = [Complex64::ZERO; MAX_RADIX];
+        for k in 0..m {
+            for (q, tq) in t.iter_mut().enumerate().take(p) {
+                *tq = output[q * m + k] * self.roots[q * k * root_stride];
+            }
+            for s in 0..p {
+                let mut acc = Complex64::ZERO;
+                for (q, tq) in t.iter().enumerate().take(p) {
+                    // ω_p^{qs} = ω_N^{(qs mod p)·(N/p)} with N/p = root_stride·m.
+                    acc += *tq * self.roots[(q * s % p) * root_stride * m];
+                }
+                output[s * m + k] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{assert_spectra_close, naive_dft};
+
+    #[test]
+    fn factorize_basics() {
+        assert_eq!(factorize(1), Vec::<usize>::new());
+        assert_eq!(factorize(2), vec![2]);
+        assert_eq!(factorize(200), vec![2, 2, 2, 5, 5]);
+        assert_eq!(factorize(97), vec![97]);
+        assert_eq!(factorize(360), vec![2, 2, 2, 3, 3, 5]);
+    }
+
+    #[test]
+    fn matches_naive_dft_on_composites() {
+        for n in [6usize, 9, 10, 12, 15, 20, 25, 36, 48, 100, 200, 210] {
+            let input: Vec<Complex64> = (0..n)
+                .map(|j| Complex64::new((j as f64 * 1.3).cos(), (j as f64 * 0.41).sin()))
+                .collect();
+            let expected = naive_dft(&input);
+            let mut got = input;
+            MixedRadix::new(n).process(&mut got);
+            assert_spectra_close(&got, &expected, 1e-9, &format!("mixed n={n}"));
+        }
+    }
+
+    #[test]
+    fn handles_single_large_prime_factor() {
+        // 59 is prime but within the direct-radix limit.
+        let n = 59;
+        let input: Vec<Complex64> = (0..n).map(|j| Complex64::new(j as f64, 0.0)).collect();
+        let expected = naive_dft(&input);
+        let mut got = input;
+        MixedRadix::new(n).process(&mut got);
+        assert_spectra_close(&got, &expected, 1e-9, "mixed n=59");
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 30;
+        let a: Vec<Complex64> = (0..n).map(|j| Complex64::new(j as f64, 1.0)).collect();
+        let b: Vec<Complex64> = (0..n).map(|j| Complex64::new(1.0, -(j as f64))).collect();
+        let plan = MixedRadix::new(n);
+        let mut fa = a.clone();
+        plan.process(&mut fa);
+        let mut fb = b.clone();
+        plan.process(&mut fb);
+        let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        plan.process(&mut fab);
+        for k in 0..n {
+            assert!((fab[k] - (fa[k] + fb[k])).norm() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Iterative in-place radix-2 Cooley–Tukey FFT (power-of-two lengths).
+
+use photonn_math::Complex64;
+
+/// Precomputed state for a power-of-two FFT: bit-reversal permutation and
+/// the half-length twiddle table `exp(-2πi·k/n)`.
+#[derive(Debug)]
+pub(crate) struct Radix2 {
+    n: usize,
+    rev: Vec<u32>,
+    twiddles: Vec<Complex64>,
+}
+
+impl Radix2 {
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two with `n >= 2`.
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "radix-2 needs a power of two");
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Complex64::cis(angle)
+            })
+            .collect();
+        Radix2 { n, rev, twiddles }
+    }
+
+    /// In-place decimation-in-time butterfly network.
+    pub(crate) fn process(&self, data: &mut [Complex64]) {
+        debug_assert_eq!(data.len(), self.n);
+        // Bit-reversal permutation.
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies: stage lengths 2, 4, ..., n.
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let step = self.n / len; // twiddle stride into the n/2 table
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * step];
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{assert_spectra_close, naive_dft};
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            let input: Vec<Complex64> = (0..n)
+                .map(|j| Complex64::new((j as f64).sin(), (j as f64 * 0.7).cos()))
+                .collect();
+            let expected = naive_dft(&input);
+            let mut got = input;
+            Radix2::new(n).process(&mut got);
+            assert_spectra_close(&got, &expected, 1e-9, &format!("radix2 n={n}"));
+        }
+    }
+
+    #[test]
+    fn single_tone_bins_correctly() {
+        // x[j] = exp(2πi·3j/16) puts all energy in bin 3 (forward is e^{-}).
+        let n = 16;
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64))
+            .collect();
+        Radix2::new(n).process(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            let expected = if k == 3 { n as f64 } else { 0.0 };
+            assert!(
+                (z.norm() - expected).abs() < 1e-9,
+                "bin {k}: {}",
+                z.norm()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Radix2::new(6);
+    }
+}

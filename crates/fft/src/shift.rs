@@ -1,0 +1,123 @@
+//! `fftshift` / `ifftshift` and FFT sample-frequency grids.
+
+use photonn_math::{CGrid, Grid};
+
+/// Rotates a length-`n` axis left by `k` (helper for the shift pair).
+fn shifted_index(i: usize, n: usize, k: usize) -> usize {
+    (i + k) % n
+}
+
+/// Moves the zero-frequency bin to the center of the grid (like
+/// `numpy.fft.fftshift`). For odd lengths the DC bin lands at `n/2`
+/// (integer division).
+pub fn fftshift(grid: &CGrid) -> CGrid {
+    let (rows, cols) = grid.shape();
+    let (kr, kc) = (rows.div_ceil(2), cols.div_ceil(2));
+    CGrid::from_fn(rows, cols, |r, c| {
+        grid[(shifted_index(r, rows, kr), shifted_index(c, cols, kc))]
+    })
+}
+
+/// Inverse of [`fftshift`]; identical for even lengths, differs for odd.
+pub fn ifftshift(grid: &CGrid) -> CGrid {
+    let (rows, cols) = grid.shape();
+    let (kr, kc) = (rows / 2, cols / 2);
+    CGrid::from_fn(rows, cols, |r, c| {
+        grid[(shifted_index(r, rows, kr), shifted_index(c, cols, kc))]
+    })
+}
+
+/// Real-grid version of [`fftshift`].
+pub fn fftshift_real(grid: &Grid) -> Grid {
+    let (rows, cols) = grid.shape();
+    let (kr, kc) = (rows.div_ceil(2), cols.div_ceil(2));
+    Grid::from_fn(rows, cols, |r, c| {
+        grid[(shifted_index(r, rows, kr), shifted_index(c, cols, kc))]
+    })
+}
+
+/// Sample frequencies of an `n`-point DFT with sample spacing `d`, in
+/// standard FFT order: `[0, 1, …, n/2-1, -n/2, …, -1] / (n·d)` — the same
+/// layout as `numpy.fft.fftfreq`. These are the spatial frequencies at which
+/// free-space transfer functions are evaluated.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `d <= 0`.
+pub fn fftfreq(n: usize, d: f64) -> Vec<f64> {
+    assert!(n > 0, "fftfreq needs n > 0");
+    assert!(d > 0.0, "sample spacing must be positive");
+    let scale = 1.0 / (n as f64 * d);
+    (0..n)
+        .map(|i| {
+            let k = if i < n.div_ceil(2) {
+                i as isize
+            } else {
+                i as isize - n as isize
+            };
+            k as f64 * scale
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::Complex64;
+
+    #[test]
+    fn fftshift_even_is_self_inverse() {
+        let g = CGrid::from_fn(4, 6, |r, c| Complex64::new((r * 6 + c) as f64, 0.0));
+        assert_eq!(ifftshift(&fftshift(&g)), g);
+        assert_eq!(fftshift(&fftshift(&g)), g); // even: shift twice = id
+    }
+
+    #[test]
+    fn fftshift_odd_roundtrips_only_with_ifftshift() {
+        let g = CGrid::from_fn(5, 5, |r, c| Complex64::new((r * 5 + c) as f64, 1.0));
+        assert_eq!(ifftshift(&fftshift(&g)), g);
+        assert_ne!(fftshift(&fftshift(&g)), g);
+    }
+
+    #[test]
+    fn dc_moves_to_center() {
+        let mut g = CGrid::zeros(4, 4);
+        g[(0, 0)] = Complex64::ONE;
+        let s = fftshift(&g);
+        assert_eq!(s[(2, 2)], Complex64::ONE);
+    }
+
+    #[test]
+    fn fftfreq_even_matches_numpy() {
+        let f = fftfreq(4, 1.0);
+        assert_eq!(f, vec![0.0, 0.25, -0.5, -0.25]);
+    }
+
+    #[test]
+    fn fftfreq_odd_matches_numpy() {
+        let f = fftfreq(5, 1.0);
+        let expected = [0.0, 0.2, 0.4, -0.4, -0.2];
+        for (a, b) in f.iter().zip(expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fftfreq_spacing_scales() {
+        let f = fftfreq(8, 36e-6); // the paper's 36 µm pixel pitch
+        assert!((f[1] - 1.0 / (8.0 * 36e-6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fftshift_real_mirrors_complex() {
+        let g = Grid::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let cg = CGrid::from_amplitude(&g);
+        let a = fftshift_real(&g);
+        let b = fftshift(&cg);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(a[(r, c)], b[(r, c)].re);
+            }
+        }
+    }
+}

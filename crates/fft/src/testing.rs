@@ -1,0 +1,37 @@
+//! Shared test helpers: an O(n²) reference DFT and spectrum comparison.
+
+use photonn_math::Complex64;
+
+/// Direct O(n²) DFT with the same sign/normalization convention as
+/// [`crate::Fft::forward`] — the ground truth the fast engines are tested
+/// against.
+pub(crate) fn naive_dft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                acc += x * Complex64::cis(angle);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Asserts two spectra agree to `tol` *relative to the spectrum scale*
+/// (absolute tolerance `tol · max(1, ‖expected‖∞)`).
+pub(crate) fn assert_spectra_close(got: &[Complex64], expected: &[Complex64], tol: f64, ctx: &str) {
+    assert_eq!(got.len(), expected.len(), "{ctx}: length mismatch");
+    let scale = expected
+        .iter()
+        .map(|z| z.norm())
+        .fold(1.0f64, f64::max);
+    for (k, (g, e)) in got.iter().zip(expected).enumerate() {
+        let err = (*g - *e).norm();
+        assert!(
+            err <= tol * scale,
+            "{ctx}: bin {k} differs by {err:.3e} (scale {scale:.3e}): got {g}, expected {e}"
+        );
+    }
+}

@@ -1,0 +1,405 @@
+//! Dense row-major 2-D grid of [`Complex64`] values — the optical field type.
+
+use crate::{Complex64, Grid};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of complex numbers, used for optical
+/// wavefunctions and frequency-domain transfer functions.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::{CGrid, Complex64};
+///
+/// let field = CGrid::full(2, 2, Complex64::ONE);
+/// assert_eq!(field.total_power(), 4.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CGrid {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CGrid {
+    /// Creates a complex grid of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CGrid {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a grid where every element is `value`.
+    pub fn full(rows: usize, cols: usize, value: Complex64) -> Self {
+        CGrid {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a grid by evaluating `f(row, col)` everywhere.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        CGrid { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        CGrid { rows, cols, data }
+    }
+
+    /// Builds a complex field with the given real amplitude and zero phase.
+    pub fn from_amplitude(amp: &Grid) -> Self {
+        CGrid {
+            rows: amp.rows(),
+            cols: amp.cols(),
+            data: amp.as_slice().iter().map(|&a| Complex64::from_real(a)).collect(),
+        }
+    }
+
+    /// Builds a unit-amplitude field `exp(i·phase)` from a phase grid
+    /// (radians) — the transmission function of a phase-only mask.
+    pub fn from_phase(phase: &Grid) -> Self {
+        CGrid {
+            rows: phase.rows(),
+            cols: phase.cols(),
+            data: phase.as_slice().iter().map(|&p| Complex64::cis(p)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the grid has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Consumes the grid, returning the buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<Complex64> {
+        self.data
+    }
+
+    /// Mutable access to one row (contiguous slice).
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [Complex64] {
+        let w = self.cols;
+        &mut self.data[r * w..(r + 1) * w]
+    }
+
+    /// Immutable access to one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Complex64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Applies `f` elementwise, returning a new grid.
+    pub fn map(&self, mut f: impl FnMut(Complex64) -> Complex64) -> CGrid {
+        CGrid {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| f(z)).collect(),
+        }
+    }
+
+    /// Elementwise (Hadamard) product — one phase-mask application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard(&self, other: &CGrid) -> CGrid {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in hadamard");
+        CGrid {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// In-place Hadamard product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard_inplace(&mut self, other: &CGrid) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in hadamard");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Elementwise conjugate.
+    pub fn conj(&self) -> CGrid {
+        self.map(Complex64::conj)
+    }
+
+    /// Scales all elements by a real factor in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for z in &mut self.data {
+            *z = z.scale(s);
+        }
+    }
+
+    /// Per-element intensity `|z|²` as a real grid (what a detector sees).
+    pub fn intensity(&self) -> Grid {
+        Grid::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|z| z.norm_sqr()).collect(),
+        )
+    }
+
+    /// Per-element phase in `(-π, π]`.
+    pub fn phase(&self) -> Grid {
+        Grid::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|z| z.arg()).collect(),
+        )
+    }
+
+    /// Per-element magnitude.
+    pub fn amplitude(&self) -> Grid {
+        Grid::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|z| z.norm()).collect(),
+        )
+    }
+
+    /// Total optical power `Σ|z|²`.
+    pub fn total_power(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> Complex64 {
+        self.data.iter().copied().sum()
+    }
+
+    /// Largest elementwise distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &CGrid) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Embeds this grid centered in a larger zero grid (zero-padding for
+    /// linear — as opposed to circular — convolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is smaller than the source.
+    pub fn pad_centered(&self, rows: usize, cols: usize) -> CGrid {
+        assert!(rows >= self.rows && cols >= self.cols, "pad target too small");
+        let r0 = (rows - self.rows) / 2;
+        let c0 = (cols - self.cols) / 2;
+        let mut out = CGrid::zeros(rows, cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(r0 + r, c0 + c)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Extracts the centered `rows × cols` window (inverse of
+    /// [`CGrid::pad_centered`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is larger than the grid.
+    pub fn crop_centered(&self, rows: usize, cols: usize) -> CGrid {
+        assert!(rows <= self.rows && cols <= self.cols, "crop window too large");
+        let r0 = (self.rows - rows) / 2;
+        let c0 = (self.cols - cols) / 2;
+        CGrid::from_fn(rows, cols, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Transposed copy (used by the row-column 2-D FFT).
+    pub fn transpose(&self) -> CGrid {
+        CGrid::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+}
+
+impl Index<(usize, usize)> for CGrid {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CGrid {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for CGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_phase_roundtrip() {
+        let phase = Grid::from_rows(&[&[0.0, 1.0], &[-1.0, 2.0]]);
+        let field = CGrid::from_phase(&phase);
+        let back = field.phase();
+        assert!(phase.max_abs_diff(&back) < 1e-12);
+        for z in field.as_slice() {
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intensity_is_norm_sqr() {
+        let f = CGrid::from_fn(2, 2, |r, c| Complex64::new(r as f64, c as f64));
+        let i = f.intensity();
+        assert_eq!(i[(1, 1)], 2.0);
+        assert_eq!(i[(0, 0)], 0.0);
+        assert_eq!(f.total_power(), i.sum());
+    }
+
+    #[test]
+    fn hadamard_matches_manual() {
+        let a = CGrid::full(1, 2, Complex64::new(1.0, 1.0));
+        let b = CGrid::full(1, 2, Complex64::I);
+        let c = a.hadamard(&b);
+        assert_eq!(c[(0, 0)], Complex64::new(-1.0, 1.0));
+        let mut d = a.clone();
+        d.hadamard_inplace(&b);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn pad_crop_roundtrip() {
+        let f = CGrid::from_fn(3, 3, |r, c| Complex64::new((r * 3 + c) as f64, 0.0));
+        let padded = f.pad_centered(8, 8);
+        assert_eq!(padded.total_power(), f.total_power());
+        let cropped = padded.crop_centered(3, 3);
+        assert_eq!(cropped, f);
+    }
+
+    #[test]
+    fn pad_preserves_centering_parity() {
+        // Odd into even and even into even both roundtrip.
+        for n in [3usize, 4] {
+            let f = CGrid::from_fn(n, n, |r, c| Complex64::new(1.0 + (r + c) as f64, -1.0));
+            assert_eq!(f.pad_centered(10, 10).crop_centered(n, n), f);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let f = CGrid::from_fn(2, 4, |r, c| Complex64::new(r as f64, c as f64));
+        assert_eq!(f.transpose().transpose(), f);
+    }
+
+    #[test]
+    fn from_amplitude_zero_phase() {
+        let a = Grid::from_rows(&[&[2.0, 3.0]]);
+        let f = CGrid::from_amplitude(&a);
+        assert_eq!(f[(0, 1)], Complex64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn conj_negates_phase() {
+        let phase = Grid::from_rows(&[&[0.5, -0.25]]);
+        let f = CGrid::from_phase(&phase);
+        let neg = f.conj().phase();
+        assert!((neg[(0, 0)] + 0.5).abs() < 1e-12);
+        assert!((neg[(0, 1)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_access() {
+        let mut f = CGrid::zeros(2, 3);
+        f.row_mut(1)[2] = Complex64::ONE;
+        assert_eq!(f[(1, 2)], Complex64::ONE);
+        assert_eq!(f.row(0).len(), 3);
+    }
+}

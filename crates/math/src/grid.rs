@@ -1,0 +1,499 @@
+//! Dense row-major 2-D grid of `f64` values.
+//!
+//! [`Grid`] is the workhorse container for phase masks, intensity patterns
+//! and gradients. Indexing is `(row, col)`; storage is row-major.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::Grid;
+///
+/// let mut g = Grid::zeros(2, 3);
+/// g[(0, 1)] = 5.0;
+/// assert_eq!(g.sum(), 5.0);
+/// assert_eq!(g.shape(), (2, 3));
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Grid {
+    /// Creates a grid filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Grid {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a grid where every element is `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Grid {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a grid by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Grid { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Grid { rows, cols, data }
+    }
+
+    /// Builds a grid from nested slices; each inner slice is a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows in from_rows");
+            data.extend_from_slice(row);
+        }
+        Grid {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the grid has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the grid, returning the row-major buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the element at `(r, c)`, or `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the element at `(r, c)` treating out-of-bounds coordinates as
+    /// zero-padding. Accepts signed coordinates; anything outside the grid
+    /// reads as `0.0` (the boundary convention of the paper's roughness
+    /// model).
+    #[inline]
+    pub fn get_zero_padded(&self, r: isize, c: isize) -> f64 {
+        if r >= 0 && c >= 0 && (r as usize) < self.rows && (c as usize) < self.cols {
+            self.data[r as usize * self.cols + c as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// Applies `f` to every element, returning a new grid.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Grid {
+        Grid {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two equally-shaped grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_map(&self, other: &Grid, mut f: impl FnMut(f64, f64) -> f64) -> Grid {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in zip_map");
+        Grid {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (`NaN` for an empty grid).
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.data.len() as f64
+    }
+
+    /// Maximum element (`-inf` for an empty grid).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element (`+inf` for an empty grid).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Index (row, col) of the maximum element. Ties resolve to the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid.
+    pub fn argmax(&self) -> (usize, usize) {
+        assert!(!self.is_empty(), "argmax of empty grid");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        (best / self.cols, best % self.cols)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Scales all elements in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// `self += alpha * other`, the AXPY primitive used by the optimizers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Grid) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (x, &y) in self.data.iter_mut().zip(&other.data) {
+            *x += alpha * y;
+        }
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn hadamard(&self, other: &Grid) -> Grid {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Extracts the rectangular sub-grid starting at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the grid bounds.
+    pub fn submatrix(&self, r0: usize, c0: usize, h: usize, w: usize) -> Grid {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "window out of bounds");
+        Grid::from_fn(h, w, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Writes `patch` into this grid with its top-left corner at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch exceeds the grid bounds.
+    pub fn paste(&mut self, r0: usize, c0: usize, patch: &Grid) {
+        assert!(
+            r0 + patch.rows <= self.rows && c0 + patch.cols <= self.cols,
+            "patch out of bounds"
+        );
+        for r in 0..patch.rows {
+            for c in 0..patch.cols {
+                self[(r0 + r, c0 + c)] = patch[(r, c)];
+            }
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Grid {
+        Grid::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Iterator over `(row, col, value)` in row-major order.
+    pub fn indexed_iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Largest absolute difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Grid) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of elements equal to exactly zero.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&x| x == 0.0).count()
+    }
+}
+
+impl Index<(usize, usize)> for Grid {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Grid {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Grid> for &Grid {
+    type Output = Grid;
+    fn add(self, rhs: &Grid) -> Grid {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Grid> for &Grid {
+    type Output = Grid;
+    fn sub(self, rhs: &Grid) -> Grid {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f64> for &Grid {
+    type Output = Grid;
+    fn mul(self, rhs: f64) -> Grid {
+        self.map(|x| x * rhs)
+    }
+}
+
+impl Neg for &Grid {
+    type Output = Grid;
+    fn neg(self) -> Grid {
+        self.map(|x| -x)
+    }
+}
+
+impl AddAssign<&Grid> for Grid {
+    fn add_assign(&mut self, rhs: &Grid) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:8.3}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_full_from_fn() {
+        let z = Grid::zeros(2, 2);
+        assert_eq!(z.sum(), 0.0);
+        let f = Grid::full(2, 3, 1.5);
+        assert_eq!(f.sum(), 9.0);
+        let g = Grid::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(g[(1, 2)], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_length() {
+        let _ = Grid::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn from_rows_builds_matrix() {
+        let g = Grid::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(g[(0, 1)], 2.0);
+        assert_eq!(g[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Grid::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn zero_padding_reads() {
+        let g = Grid::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(g.get_zero_padded(-1, 0), 0.0);
+        assert_eq!(g.get_zero_padded(0, 2), 0.0);
+        assert_eq!(g.get_zero_padded(1, 1), 4.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let g = Grid::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(g.sum(), 6.0);
+        assert_eq!(g.mean(), 1.5);
+        assert_eq!(g.max(), 4.0);
+        assert_eq!(g.min(), -2.0);
+        assert_eq!(g.argmax(), (1, 1));
+        assert!((g.frobenius_norm() - 30.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_ties_first() {
+        let g = Grid::from_rows(&[&[5.0, 5.0], &[1.0, 5.0]]);
+        assert_eq!(g.argmax(), (0, 0));
+    }
+
+    #[test]
+    fn axpy_and_ops() {
+        let a = Grid::from_rows(&[&[1.0, 2.0]]);
+        let b = Grid::from_rows(&[&[10.0, 20.0]]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c, Grid::from_rows(&[&[6.0, 12.0]]));
+        assert_eq!(&a + &b, Grid::from_rows(&[&[11.0, 22.0]]));
+        assert_eq!(&b - &a, Grid::from_rows(&[&[9.0, 18.0]]));
+        assert_eq!(&a * 2.0, Grid::from_rows(&[&[2.0, 4.0]]));
+        assert_eq!(-&a, Grid::from_rows(&[&[-1.0, -2.0]]));
+        assert_eq!(a.hadamard(&b), Grid::from_rows(&[&[10.0, 40.0]]));
+    }
+
+    #[test]
+    fn submatrix_paste_roundtrip() {
+        let g = Grid::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let sub = g.submatrix(1, 2, 2, 2);
+        assert_eq!(sub, Grid::from_rows(&[&[6.0, 7.0], &[10.0, 11.0]]));
+        let mut h = Grid::zeros(4, 4);
+        h.paste(1, 2, &sub);
+        assert_eq!(h[(2, 3)], 11.0);
+        assert_eq!(h[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let g = Grid::from_fn(3, 5, |r, c| (r * 31 + c * 7) as f64);
+        assert_eq!(g.transpose().transpose(), g);
+        assert_eq!(g.transpose()[(4, 2)], g[(2, 4)]);
+    }
+
+    #[test]
+    fn count_zeros_counts() {
+        let g = Grid::from_rows(&[&[0.0, 1.0], &[0.0, 2.0]]);
+        assert_eq!(g.count_zeros(), 2);
+    }
+
+    #[test]
+    fn indexed_iter_order() {
+        let g = Grid::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let items: Vec<_> = g.indexed_iter().collect();
+        assert_eq!(items[1], (0, 1, 2.0));
+        assert_eq!(items[2], (1, 0, 3.0));
+    }
+}

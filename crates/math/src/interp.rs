@@ -1,0 +1,121 @@
+//! Image resampling. The paper interpolates 28×28 dataset images up to the
+//! 200×200 optical grid before encoding them on the laser source; this
+//! module provides the bilinear kernel used for that step.
+
+use crate::Grid;
+
+/// Resamples `src` to `rows × cols` with bilinear interpolation.
+///
+/// Uses the half-pixel ("align corners = false") coordinate convention, the
+/// same as `torch.nn.functional.interpolate(..., mode="bilinear")` with
+/// default arguments, so upsampled images match the PyTorch pipeline the
+/// paper used.
+///
+/// # Panics
+///
+/// Panics if `src` is empty or the target shape has a zero dimension.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::{Grid, interp::bilinear_resize};
+///
+/// let src = Grid::from_rows(&[&[0.0, 1.0], &[1.0, 2.0]]);
+/// let up = bilinear_resize(&src, 4, 4);
+/// assert_eq!(up.shape(), (4, 4));
+/// // Interpolation never overshoots the input range.
+/// assert!(up.min() >= 0.0 && up.max() <= 2.0);
+/// ```
+pub fn bilinear_resize(src: &Grid, rows: usize, cols: usize) -> Grid {
+    assert!(!src.is_empty(), "cannot resize an empty grid");
+    assert!(rows > 0 && cols > 0, "target shape must be non-zero");
+    let (sr, sc) = src.shape();
+    let scale_r = sr as f64 / rows as f64;
+    let scale_c = sc as f64 / cols as f64;
+    Grid::from_fn(rows, cols, |r, c| {
+        // Half-pixel centers; clamp to the valid sample range.
+        let fr = ((r as f64 + 0.5) * scale_r - 0.5).clamp(0.0, (sr - 1) as f64);
+        let fc = ((c as f64 + 0.5) * scale_c - 0.5).clamp(0.0, (sc - 1) as f64);
+        let r0 = fr.floor() as usize;
+        let c0 = fc.floor() as usize;
+        let r1 = (r0 + 1).min(sr - 1);
+        let c1 = (c0 + 1).min(sc - 1);
+        let wr = fr - r0 as f64;
+        let wc = fc - c0 as f64;
+        let top = src[(r0, c0)] * (1.0 - wc) + src[(r0, c1)] * wc;
+        let bot = src[(r1, c0)] * (1.0 - wc) + src[(r1, c1)] * wc;
+        top * (1.0 - wr) + bot * wr
+    })
+}
+
+/// Nearest-neighbour resampling; useful for label masks and for the ablation
+/// comparing encode interpolation kernels.
+///
+/// # Panics
+///
+/// Panics if `src` is empty or the target shape has a zero dimension.
+pub fn nearest_resize(src: &Grid, rows: usize, cols: usize) -> Grid {
+    assert!(!src.is_empty(), "cannot resize an empty grid");
+    assert!(rows > 0 && cols > 0, "target shape must be non-zero");
+    let (sr, sc) = src.shape();
+    Grid::from_fn(rows, cols, |r, c| {
+        let fr = (((r as f64 + 0.5) * sr as f64 / rows as f64) as usize).min(sr - 1);
+        let fc = (((c as f64 + 0.5) * sc as f64 / cols as f64) as usize).min(sc - 1);
+        src[(fr, fc)]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resize_is_identity() {
+        let src = Grid::from_fn(5, 7, |r, c| (r * 7 + c) as f64);
+        let out = bilinear_resize(&src, 5, 7);
+        assert!(src.max_abs_diff(&out) < 1e-12);
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let src = Grid::full(3, 3, 2.5);
+        let up = bilinear_resize(&src, 16, 16);
+        assert!(up.max_abs_diff(&Grid::full(16, 16, 2.5)) < 1e-12);
+    }
+
+    #[test]
+    fn upsample_within_range() {
+        let src = Grid::from_fn(4, 4, |r, c| ((r * 4 + c) % 3) as f64);
+        let up = bilinear_resize(&src, 64, 64);
+        assert!(up.min() >= src.min() - 1e-12);
+        assert!(up.max() <= src.max() + 1e-12);
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let src = Grid::from_rows(&[&[0.0, 2.0], &[2.0, 0.0]]);
+        let down = bilinear_resize(&src, 1, 1);
+        assert!((down[(0, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_preserves_values() {
+        let src = Grid::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let up = nearest_resize(&src, 4, 4);
+        // Every output value must be one of the input values.
+        for &v in up.as_slice() {
+            assert!([1.0, 2.0, 3.0, 4.0].contains(&v));
+        }
+        assert_eq!(up[(0, 0)], 1.0);
+        assert_eq!(up[(3, 3)], 4.0);
+    }
+
+    #[test]
+    fn gradient_is_monotone_after_upsample() {
+        let src = Grid::from_fn(3, 1, |r, _| r as f64);
+        let up = bilinear_resize(&src, 9, 1);
+        for r in 1..9 {
+            assert!(up[(r, 0)] >= up[(r - 1, 0)] - 1e-12);
+        }
+    }
+}

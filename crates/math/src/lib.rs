@@ -1,0 +1,47 @@
+//! # photonn-math
+//!
+//! Numeric foundation for the `photonn` workspace — the from-scratch
+//! reproduction of *Physics-aware Roughness Optimization for Diffractive
+//! Optical Neural Networks* (DAC 2023).
+//!
+//! This crate deliberately re-implements the small numeric substrate the
+//! paper's PyTorch stack provided for free:
+//!
+//! * [`Complex64`] — complex arithmetic for scalar optical fields;
+//! * [`Grid`] / [`CGrid`] — dense row-major real/complex 2-D arrays;
+//! * [`stats`] — means, variances, percentiles (sparsification thresholds);
+//! * [`interp`] — bilinear resize (28×28 dataset images → optical grid);
+//! * [`block`] — block partitioning shared by sparsification & smoothness;
+//! * [`Rng`] — deterministic xoshiro256++ PRNG for reproducible tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use photonn_math::{CGrid, Complex64, Grid};
+//!
+//! // A phase-only mask is a real grid of radians...
+//! let phase = Grid::from_fn(4, 4, |r, c| 0.1 * (r + c) as f64);
+//! // ...whose transmission function is a unit-modulus complex field.
+//! let mask = CGrid::from_phase(&phase);
+//! assert!((mask.total_power() - 16.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+mod cgrid;
+mod complex;
+mod grid;
+pub mod interp;
+mod rng;
+pub mod stats;
+
+pub use cgrid::CGrid;
+pub use complex::Complex64;
+pub use grid::Grid;
+pub use rng::Rng;
+
+/// 2π — the period of phase modulation, central to the paper's §III-D2
+/// smoothing trick (`exp(i(φ+2π)) = exp(iφ)`).
+pub const TWO_PI: f64 = std::f64::consts::TAU;

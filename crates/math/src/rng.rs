@@ -1,0 +1,228 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in the workspace (mask initialization, dataset
+//! jitter, batch shuffling, Gumbel noise for the 2π optimizer) draws from
+//! this xoshiro256++ implementation rather than an external crate so that
+//! experiment tables are bit-reproducible across machines and crate-version
+//! bumps — the same reason EDA tools ship their own PRNGs.
+
+/// xoshiro256++ PRNG seeded through SplitMix64.
+///
+/// Passes BigCrush per its authors (Blackman & Vigna, 2019); period 2²⁵⁶−1.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::Rng;
+///
+/// let mut rng = Rng::seed_from(42);
+/// let x = rng.uniform();
+/// assert!((0.0..1.0).contains(&x));
+/// // Same seed, same stream:
+/// assert_eq!(Rng::seed_from(42).uniform(), x);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` by rejection-free Lemire reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        // 128-bit multiply-shift; bias is < 2^-64 per draw, negligible here.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Standard normal sample (Box–Muller; one value per call, no caching to
+    /// keep the stream position deterministic regardless of call pattern).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal()
+    }
+
+    /// Standard Gumbel(0, 1) sample — the reparameterization noise used by
+    /// Gumbel-Softmax (Jang et al., 2016).
+    pub fn gumbel(&mut self) -> f64 {
+        let u = self.uniform().max(f64::MIN_POSITIVE);
+        -(-u.ln()).ln()
+    }
+
+    /// Standard logistic sample, equal in distribution to the *difference*
+    /// of two independent Gumbels — the natural noise for two-way
+    /// Gumbel-Softmax (the binary Concrete distribution).
+    pub fn logistic(&mut self) -> f64 {
+        let u = self.uniform().clamp(f64::MIN_POSITIVE, 1.0 - 1e-16);
+        (u / (1.0 - u)).ln()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Derives an independent generator (for per-thread or per-sample
+    /// streams) by hashing a stream index into a fresh seed.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        Rng::seed_from(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = Rng::seed_from(42);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::seed_from(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let k = rng.below(10);
+            assert!(k < 10);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gumbel_mean_is_euler_gamma() {
+        let mut rng = Rng::seed_from(13);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.gumbel()).sum::<f64>() / n as f64;
+        // E[Gumbel(0,1)] = γ ≈ 0.5772
+        assert!((mean - 0.5772).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn logistic_is_symmetric() {
+        let mut rng = Rng::seed_from(17);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.logistic()).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from(5);
+        let mut xs: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Rng::seed_from(9);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

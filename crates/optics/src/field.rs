@@ -1,0 +1,110 @@
+//! Source-field construction: encoding images onto the coherent laser
+//! wavefront (paper §III-A step 1) and reference beams for tests.
+
+use photonn_math::{CGrid, Complex64, Grid};
+
+use crate::Geometry;
+
+/// Encodes an image as the *amplitude* of a coherent field with zero phase
+/// — the paper's input encoding ("the input image is first encoded with the
+/// coherent laser light").
+///
+/// Pixel values are clamped at zero (light amplitude cannot be negative);
+/// callers normalize images to `[0, 1]` beforehand.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::Grid;
+/// use photonn_optics::encode_amplitude;
+///
+/// let img = Grid::full(4, 4, 0.5);
+/// let field = encode_amplitude(&img);
+/// assert!((field.total_power() - 16.0 * 0.25).abs() < 1e-12);
+/// ```
+pub fn encode_amplitude(image: &Grid) -> CGrid {
+    CGrid::from_vec(
+        image.rows(),
+        image.cols(),
+        image
+            .as_slice()
+            .iter()
+            .map(|&v| Complex64::from_real(v.max(0.0)))
+            .collect(),
+    )
+}
+
+/// Encodes an image as the *phase* of a unit-amplitude field,
+/// `exp(i·π·v)` for pixel value `v` — the alternative encoding used by
+/// reconfigurable DONN hardware. Provided for the encoding ablation.
+pub fn encode_phase(image: &Grid) -> CGrid {
+    CGrid::from_vec(
+        image.rows(),
+        image.cols(),
+        image
+            .as_slice()
+            .iter()
+            .map(|&v| Complex64::cis(std::f64::consts::PI * v))
+            .collect(),
+    )
+}
+
+/// A unit-amplitude plane wave filling the grid.
+pub fn plane_wave(n: usize) -> CGrid {
+    CGrid::full(n, n, Complex64::ONE)
+}
+
+/// A centered Gaussian beam with `1/e` amplitude waist `waist` meters.
+///
+/// # Panics
+///
+/// Panics if `waist <= 0`.
+pub fn gaussian_beam(geometry: &Geometry, waist: f64) -> CGrid {
+    assert!(waist > 0.0, "waist must be positive");
+    let n = geometry.grid;
+    let half = (n as f64 - 1.0) / 2.0;
+    let pitch = geometry.pixel_pitch;
+    CGrid::from_fn(n, n, |r, c| {
+        let y = (r as f64 - half) * pitch;
+        let x = (c as f64 - half) * pitch;
+        Complex64::from_real((-(x * x + y * y) / (waist * waist)).exp())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_encoding_clamps_negatives() {
+        let img = Grid::from_rows(&[&[-1.0, 0.5]]);
+        let f = encode_amplitude(&img);
+        assert_eq!(f[(0, 0)], Complex64::ZERO);
+        assert_eq!(f[(0, 1)], Complex64::from_real(0.5));
+    }
+
+    #[test]
+    fn phase_encoding_is_unit_amplitude() {
+        let img = Grid::from_rows(&[&[0.0, 0.5, 1.0]]);
+        let f = encode_phase(&img);
+        for z in f.as_slice() {
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!((f[(0, 2)].arg().abs() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_beam_is_centered_and_positive() {
+        let g = Geometry::paper_scaled(33); // odd: center is a pixel
+        let beam = gaussian_beam(&g, g.aperture() / 6.0);
+        let i = beam.intensity();
+        assert_eq!(i.argmax(), (16, 16));
+        assert!(i.min() >= 0.0);
+    }
+
+    #[test]
+    fn plane_wave_power() {
+        let f = plane_wave(8);
+        assert_eq!(f.total_power(), 64.0);
+    }
+}

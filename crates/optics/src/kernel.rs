@@ -1,0 +1,278 @@
+//! Free-space transfer functions in the frequency domain.
+//!
+//! Light diffraction over a distance `z` (paper Eq. 1) is a convolution
+//! with the impulse response `h`; in the frequency domain it is a
+//! multiplication with the transfer function `H` evaluated at the FFT
+//! sample frequencies. This module builds `H` grids in *unshifted* FFT
+//! layout, ready to multiply onto `fft2(field)`.
+
+use photonn_fft::fftfreq;
+use photonn_math::{CGrid, Complex64};
+
+use crate::Geometry;
+
+/// Which scalar-diffraction approximation generates the transfer function.
+///
+/// The paper (§III-A) lists Rayleigh–Sommerfeld, Fresnel and Fraunhofer as
+/// admissible kernels; the angular-spectrum method is the exact
+/// frequency-domain form of the first and is the default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DiffractionModel {
+    /// Exact scalar propagation: `H = exp(i·2πz·sqrt(1/λ² − f²))`, with
+    /// evanescent components (`f > 1/λ`) decaying exponentially. This is
+    /// the transfer-function form of the Rayleigh–Sommerfeld solution.
+    #[default]
+    AngularSpectrum,
+    /// Paraxial approximation: `H = exp(ikz)·exp(−iπλz·f²)`. Accurate for
+    /// small diffraction angles; cheaper to reason about analytically.
+    Fresnel,
+}
+
+/// Options for transfer-function construction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelOptions {
+    /// Propagation model.
+    pub model: DiffractionModel,
+    /// Zero out evanescent frequencies instead of letting them decay
+    /// (angular spectrum only). Decay is physical; hard zeroing is what
+    /// band-limited implementations do. Either way energy never grows.
+    pub hard_evanescent_cutoff: bool,
+    /// Apply the Matsushima band limit `f_limit = 1/(λ·sqrt((2·Δf·z)²+1))`
+    /// that suppresses aliasing for long propagation distances.
+    pub band_limit: bool,
+}
+
+impl Default for KernelOptions {
+    fn default() -> Self {
+        KernelOptions {
+            model: DiffractionModel::AngularSpectrum,
+            hard_evanescent_cutoff: false,
+            band_limit: true,
+        }
+    }
+}
+
+/// Builds the free-space transfer function `H(fx, fy; z)` for an `n × n`
+/// frequency grid in unshifted FFT order.
+///
+/// `n` may exceed `geometry.grid` when the caller zero-pads the field for
+/// linear convolution; the frequency step is derived from the pixel pitch,
+/// which is unchanged by padding.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `z < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_optics::{transfer_function, Geometry, KernelOptions};
+///
+/// let geom = Geometry::paper_scaled(32);
+/// let h = transfer_function(&geom, 32, 0.2794, KernelOptions::default());
+/// // Unit-modulus on propagating components; never amplifies.
+/// assert!(h.as_slice().iter().all(|z| z.norm() <= 1.0 + 1e-12));
+/// ```
+pub fn transfer_function(geometry: &Geometry, n: usize, z: f64, opts: KernelOptions) -> CGrid {
+    assert!(n > 0, "frequency grid must be non-empty");
+    assert!(z >= 0.0, "propagation distance must be non-negative");
+    let lambda = geometry.wavelength;
+    let freqs = fftfreq(n, geometry.pixel_pitch);
+    let inv_lambda_sq = 1.0 / (lambda * lambda);
+    // Matsushima & Shimobaba band limit (per axis).
+    let delta_f = 1.0 / (n as f64 * geometry.pixel_pitch);
+    let f_limit = if opts.band_limit && z > 0.0 {
+        1.0 / (lambda * ((2.0 * delta_f * z).powi(2) + 1.0).sqrt())
+    } else {
+        f64::INFINITY
+    };
+
+    CGrid::from_fn(n, n, |r, c| {
+        let fy = freqs[r];
+        let fx = freqs[c];
+        if fx.abs() > f_limit || fy.abs() > f_limit {
+            return Complex64::ZERO;
+        }
+        let f_sq = fx * fx + fy * fy;
+        match opts.model {
+            DiffractionModel::AngularSpectrum => {
+                let arg = inv_lambda_sq - f_sq;
+                if arg >= 0.0 {
+                    Complex64::cis(std::f64::consts::TAU * z * arg.sqrt())
+                } else if opts.hard_evanescent_cutoff {
+                    Complex64::ZERO
+                } else {
+                    // Evanescent: purely decaying amplitude.
+                    let decay = (-std::f64::consts::TAU * z * (-arg).sqrt()).exp();
+                    Complex64::from_real(decay)
+                }
+            }
+            DiffractionModel::Fresnel => {
+                let phase = geometry.wavenumber() * z - std::f64::consts::PI * lambda * z * f_sq;
+                Complex64::cis(phase)
+            }
+        }
+    })
+}
+
+/// The free-space impulse response `h(x, y; z)` sampled on the spatial
+/// grid (Rayleigh–Sommerfeld first kind). Exposed for tests and for
+/// documentation of what [`transfer_function`] is the spectrum of; the
+/// propagation hot path never builds it.
+pub fn impulse_response(geometry: &Geometry, n: usize, z: f64) -> CGrid {
+    assert!(n > 0, "grid must be non-empty");
+    assert!(z > 0.0, "impulse response needs z > 0");
+    let k = geometry.wavenumber();
+    let pitch = geometry.pixel_pitch;
+    let lambda = geometry.wavelength;
+    let half = (n / 2) as isize;
+    CGrid::from_fn(n, n, |r, c| {
+        // Centered coordinates.
+        let y = (r as isize - half) as f64 * pitch;
+        let x = (c as isize - half) as f64 * pitch;
+        let r01 = (x * x + y * y + z * z).sqrt();
+        // RS-I: h = z/(i λ) · exp(ikr)/r² (far-field form of the exact
+        // kernel; adequate for z ≫ λ as in the paper's 27.94 cm).
+        let amp = z / (lambda * r01 * r01);
+        Complex64::cis(k * r01) * Complex64::new(0.0, -amp) * (pitch * pitch)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::paper_scaled(32)
+    }
+
+    #[test]
+    fn zero_distance_is_identity() {
+        let h = transfer_function(&geom(), 32, 0.0, KernelOptions::default());
+        for z in h.as_slice() {
+            assert!((*z - Complex64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn never_amplifies() {
+        for opts in [
+            KernelOptions::default(),
+            KernelOptions {
+                hard_evanescent_cutoff: true,
+                ..KernelOptions::default()
+            },
+            KernelOptions {
+                model: DiffractionModel::Fresnel,
+                ..KernelOptions::default()
+            },
+        ] {
+            let h = transfer_function(&geom(), 64, 0.1, opts);
+            for z in h.as_slice() {
+                assert!(z.norm() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_component_phase() {
+        // At f=0 the angular-spectrum phase is exactly kz.
+        let g = geom();
+        let z = 0.05;
+        let h = transfer_function(&g, 32, z, KernelOptions::default());
+        let expected = Complex64::cis(g.wavenumber() * z);
+        assert!((h[(0, 0)] - expected).norm() < 1e-9);
+    }
+
+    #[test]
+    fn semigroup_property() {
+        // H(z1)·H(z2) == H(z1+z2) elementwise (band limit off so the
+        // supports match).
+        let g = geom();
+        let opts = KernelOptions {
+            band_limit: false,
+            ..KernelOptions::default()
+        };
+        let h1 = transfer_function(&g, 32, 0.01, opts);
+        let h2 = transfer_function(&g, 32, 0.02, opts);
+        let h3 = transfer_function(&g, 32, 0.03, opts);
+        let prod = h1.hadamard(&h2);
+        assert!(prod.max_abs_diff(&h3) < 1e-9);
+    }
+
+    #[test]
+    fn fresnel_matches_angular_spectrum_paraxially() {
+        // Low-frequency bins agree between the exact and paraxial models
+        // up to the global phase convention (both carry exp(ikz) at DC).
+        let g = Geometry::new(32, 4.0 * g_wavelength(), g_wavelength());
+        let z = 2000.0 * g_wavelength();
+        let no_bl = KernelOptions {
+            band_limit: false,
+            ..KernelOptions::default()
+        };
+        let h_as = transfer_function(&g, 32, z, no_bl);
+        let h_fr = transfer_function(
+            &g,
+            32,
+            z,
+            KernelOptions {
+                model: DiffractionModel::Fresnel,
+                band_limit: false,
+                ..KernelOptions::default()
+            },
+        );
+        // Compare the first couple of non-DC bins (small f·λ).
+        for idx in [(0usize, 1usize), (1, 0), (1, 1)] {
+            let diff = (h_as[idx] - h_fr[idx]).norm();
+            assert!(diff < 0.05, "bin {idx:?} differs by {diff}");
+        }
+    }
+
+    fn g_wavelength() -> f64 {
+        532e-9
+    }
+
+    #[test]
+    fn band_limit_zeroes_high_frequencies() {
+        let g = geom();
+        let limited = transfer_function(&g, 64, 10.0, KernelOptions::default());
+        // For a long propagation distance the Matsushima limit bites; the
+        // highest frequency bin (Nyquist corner) must be zeroed.
+        assert_eq!(limited[(32, 32)], Complex64::ZERO);
+        // DC always survives.
+        assert!(limited[(0, 0)].norm() > 0.99);
+    }
+
+    #[test]
+    fn impulse_response_has_fresnel_phase_and_decaying_amplitude() {
+        // In the paraxial far field the RS kernel's phase is the Fresnel
+        // chirp k·(z + ρ²/2z) − π/2 and its amplitude decays with radius.
+        let g = Geometry::paper_scaled(64);
+        let z = 5.0; // far enough that the chirp is well sampled
+        let h = impulse_response(&g, 64, z);
+        let k = g.wavenumber();
+        let pitch = g.pixel_pitch;
+        let half = 32isize;
+        for (r, c) in [(32usize, 33usize), (33, 34), (30, 36)] {
+            let y = (r as isize - half) as f64 * pitch;
+            let x = (c as isize - half) as f64 * pitch;
+            let rho_sq = x * x + y * y;
+            let expected = k * (z + rho_sq / (2.0 * z)) - std::f64::consts::FRAC_PI_2;
+            let got = h[(r, c)].arg();
+            let dphi = (got - expected).rem_euclid(std::f64::consts::TAU);
+            let dphi = dphi.min(std::f64::consts::TAU - dphi);
+            assert!(dphi < 1e-3, "phase gap {dphi} at ({r},{c})");
+        }
+        // Amplitude: strictly decreasing along a row away from center.
+        let a0 = h[(32, 32)].norm();
+        let a1 = h[(32, 40)].norm();
+        let a2 = h[(32, 55)].norm();
+        assert!(a0 >= a1 && a1 >= a2, "amplitudes {a0} {a1} {a2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_distance() {
+        let _ = transfer_function(&geom(), 16, -0.1, KernelOptions::default());
+    }
+}

@@ -1,0 +1,50 @@
+//! # photonn-optics
+//!
+//! Scalar free-space diffraction substrate for the `photonn` workspace —
+//! the optical physics under the DAC'23 paper *Physics-aware Roughness
+//! Optimization for Diffractive Optical Neural Networks*.
+//!
+//! A DONN forward pass alternates two linear-optics primitives (paper
+//! §III-A): free-space propagation over a fixed distance `z`, computed here
+//! as a frequency-domain product with a [`transfer_function`], and
+//! per-pixel phase modulation, which lives in the model crate. This crate
+//! owns everything physical:
+//!
+//! * [`Geometry`] / [`Distances`] — pixel pitch (36 µm), wavelength
+//!   (532 nm), grid size (200) and plane spacing (27.94 cm) of the paper;
+//! * [`transfer_function`] — band-limited angular-spectrum
+//!   (Rayleigh–Sommerfeld) and Fresnel kernels;
+//! * [`Propagator`] — planned pad → FFT → ⊙H → iFFT → crop pipeline;
+//! * field encoders ([`encode_amplitude`], [`encode_phase`]) and reference
+//!   beams.
+//!
+//! # Examples
+//!
+//! ```
+//! use photonn_math::Grid;
+//! use photonn_optics::{
+//!     encode_amplitude, Geometry, KernelOptions, Padding, Propagator,
+//! };
+//!
+//! let geom = Geometry::paper_scaled(32);
+//! let image = Grid::full(32, 32, 1.0);
+//! let field = encode_amplitude(&image);
+//! let prop = Propagator::new(&geom, 0.2794, KernelOptions::default(), Padding::None);
+//! let at_layer1 = prop.propagate(&field);
+//! assert_eq!(at_layer1.shape(), (32, 32));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod geometry;
+mod kernel;
+mod propagate;
+
+pub use field::{encode_amplitude, encode_phase, gaussian_beam, plane_wave};
+pub use geometry::{
+    Distances, Geometry, PAPER_DISTANCE, PAPER_GRID, PAPER_PIXEL_PITCH, PAPER_WAVELENGTH,
+};
+pub use kernel::{impulse_response, transfer_function, DiffractionModel, KernelOptions};
+pub use propagate::{Padding, Propagator};

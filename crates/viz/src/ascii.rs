@@ -1,0 +1,87 @@
+//! Terminal-friendly heatmaps for quick inspection of phase masks and
+//! intensity patterns.
+
+use photonn_math::Grid;
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a grid as an ASCII heatmap, downsampling to at most
+/// `max_side × max_side` characters. Values map onto a 10-step density
+/// ramp after min/max normalization.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::Grid;
+/// use photonn_viz::ascii_heatmap;
+///
+/// let g = Grid::from_fn(8, 8, |r, _| r as f64);
+/// let art = ascii_heatmap(&g, 8);
+/// assert_eq!(art.lines().count(), 8);
+/// assert!(art.starts_with(' ')); // smallest value = lightest glyph
+/// ```
+///
+/// # Panics
+///
+/// Panics on an empty grid or `max_side == 0`.
+pub fn ascii_heatmap(grid: &Grid, max_side: usize) -> String {
+    assert!(!grid.is_empty(), "cannot render an empty grid");
+    assert!(max_side > 0, "max_side must be non-zero");
+    let (rows, cols) = grid.shape();
+    let step_r = rows.div_ceil(max_side);
+    let step_c = cols.div_ceil(max_side);
+    let (min, max) = (grid.min(), grid.max());
+    let span = (max - min).max(1e-300);
+    let mut out = String::new();
+    let mut r = 0;
+    while r < rows {
+        let mut c = 0;
+        while c < cols {
+            // Average the block for stable downsampling.
+            let mut acc = 0.0;
+            let mut count = 0;
+            for rr in r..(r + step_r).min(rows) {
+                for cc in c..(c + step_c).min(cols) {
+                    acc += grid[(rr, cc)];
+                    count += 1;
+                }
+            }
+            let v = (acc / count as f64 - min) / span;
+            let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+            c += step_c;
+        }
+        out.push('\n');
+        r += step_r;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsampling_bounds_output() {
+        let g = Grid::from_fn(100, 100, |r, c| ((r + c) % 13) as f64);
+        let art = ascii_heatmap(&g, 20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines.len() <= 20);
+        assert!(lines.iter().all(|l| l.len() <= 20));
+    }
+
+    #[test]
+    fn extremes_use_ramp_ends() {
+        let g = Grid::from_rows(&[&[0.0, 1.0]]);
+        let art = ascii_heatmap(&g, 2);
+        assert_eq!(art, " @\n");
+    }
+
+    #[test]
+    fn constant_grid_renders_uniformly() {
+        let g = Grid::full(3, 3, 4.2);
+        let art = ascii_heatmap(&g, 3);
+        let chars: Vec<char> = art.chars().filter(|c| *c != '\n').collect();
+        assert!(chars.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,85 @@
+//! Perceptually-uniform colormap for phase-mask rendering (Fig. 5).
+
+/// A piecewise-linear approximation of matplotlib's *viridis* colormap.
+///
+/// Input is clamped to `[0, 1]`; output is `(r, g, b)` bytes.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_viz::viridis;
+/// let (r, g, b) = viridis(0.0);
+/// assert!(b > r); // viridis starts dark purple-blue
+/// let (r2, g2, _) = viridis(1.0);
+/// assert!(r2 > 200 && g2 > 200); // and ends bright yellow
+/// ```
+pub fn viridis(t: f64) -> (u8, u8, u8) {
+    const ANCHORS: [(f64, [f64; 3]); 7] = [
+        (0.0, [0.267, 0.005, 0.329]),
+        (0.17, [0.283, 0.141, 0.458]),
+        (0.33, [0.254, 0.265, 0.530]),
+        (0.50, [0.164, 0.471, 0.558]),
+        (0.67, [0.128, 0.658, 0.518]),
+        (0.83, [0.478, 0.821, 0.319]),
+        (1.0, [0.993, 0.906, 0.144]),
+    ];
+    let t = t.clamp(0.0, 1.0);
+    let mut lo = ANCHORS[0];
+    let mut hi = ANCHORS[ANCHORS.len() - 1];
+    for w in ANCHORS.windows(2) {
+        if t >= w[0].0 && t <= w[1].0 {
+            lo = w[0];
+            hi = w[1];
+            break;
+        }
+    }
+    let span = (hi.0 - lo.0).max(1e-12);
+    let f = (t - lo.0) / span;
+    let mix = |a: f64, b: f64| ((a + (b - a) * f) * 255.0).round() as u8;
+    (
+        mix(lo.1[0], hi.1[0]),
+        mix(lo.1[1], hi.1[1]),
+        mix(lo.1[2], hi.1[2]),
+    )
+}
+
+/// Plain grayscale map (`0 → black`, `1 → white`).
+pub fn grayscale(t: f64) -> u8 {
+    (t.clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_viridis() {
+        assert_eq!(viridis(0.0), (68, 1, 84));
+        assert_eq!(viridis(1.0), (253, 231, 37));
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        assert_eq!(viridis(-5.0), viridis(0.0));
+        assert_eq!(viridis(7.0), viridis(1.0));
+    }
+
+    #[test]
+    fn monotone_green_channel() {
+        // Viridis' green channel rises monotonically — a quick sanity
+        // check that interpolation is ordered correctly.
+        let mut last = 0u8;
+        for i in 0..=20 {
+            let (_, g, _) = viridis(i as f64 / 20.0);
+            assert!(g >= last, "green dipped at t={}", i as f64 / 20.0);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn grayscale_linear() {
+        assert_eq!(grayscale(0.0), 0);
+        assert_eq!(grayscale(0.5), 128);
+        assert_eq!(grayscale(1.0), 255);
+    }
+}

@@ -1,0 +1,26 @@
+//! # photonn-viz
+//!
+//! Visualization helpers for the DONN roughness-optimization reproduction:
+//! PGM/PPM writers with a viridis colormap (used by the Fig. 5 phase-mask
+//! regeneration binary) and ASCII heatmaps for terminal inspection.
+//!
+//! # Examples
+//!
+//! ```
+//! use photonn_math::Grid;
+//! use photonn_viz::ascii_heatmap;
+//!
+//! let mask = Grid::from_fn(16, 16, |r, c| ((r * c) % 7) as f64);
+//! println!("{}", ascii_heatmap(&mask, 16));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod colormap;
+mod pgm;
+
+pub use ascii::ascii_heatmap;
+pub use colormap::{grayscale, viridis};
+pub use pgm::{write_pgm, write_ppm};

@@ -1,0 +1,123 @@
+//! Binary PGM (P5) / PPM (P6) image writers — dependency-free formats every
+//! image viewer and converter understands.
+
+use photonn_math::Grid;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::colormap::{grayscale, viridis};
+
+/// Normalizes a grid to `[0, 1]` by its own min/max (constant grids map to
+/// all-zeros).
+fn normalized(grid: &Grid) -> Grid {
+    let (min, max) = (grid.min(), grid.max());
+    let span = max - min;
+    if span <= 0.0 {
+        Grid::zeros(grid.rows(), grid.cols())
+    } else {
+        grid.map(|v| (v - min) / span)
+    }
+}
+
+/// Writes a grid as a grayscale PGM image, normalizing to the grid's own
+/// value range.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics on an empty grid.
+pub fn write_pgm(path: &Path, grid: &Grid) -> io::Result<()> {
+    assert!(!grid.is_empty(), "cannot write an empty image");
+    let norm = normalized(grid);
+    let mut f = File::create(path)?;
+    write!(f, "P5\n{} {}\n255\n", grid.cols(), grid.rows())?;
+    let bytes: Vec<u8> = norm.as_slice().iter().map(|&v| grayscale(v)).collect();
+    f.write_all(&bytes)
+}
+
+/// Writes a grid as a viridis-colored PPM image — the Fig. 5 phase-mask
+/// rendering. Values are normalized to the provided `(lo, hi)` range when
+/// given, otherwise to the grid's own range.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics on an empty grid or `lo >= hi`.
+pub fn write_ppm(path: &Path, grid: &Grid, range: Option<(f64, f64)>) -> io::Result<()> {
+    assert!(!grid.is_empty(), "cannot write an empty image");
+    let norm = match range {
+        Some((lo, hi)) => {
+            assert!(lo < hi, "empty color range");
+            grid.map(|v| ((v - lo) / (hi - lo)).clamp(0.0, 1.0))
+        }
+        None => normalized(grid),
+    };
+    let mut f = File::create(path)?;
+    write!(f, "P6\n{} {}\n255\n", grid.cols(), grid.rows())?;
+    let mut bytes = Vec::with_capacity(grid.len() * 3);
+    for &v in norm.as_slice() {
+        let (r, g, b) = viridis(v);
+        bytes.extend([r, g, b]);
+    }
+    f.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("photonn_viz_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let g = Grid::from_fn(4, 6, |r, c| (r + c) as f64);
+        let p = temp("a.pgm");
+        write_pgm(&p, &g).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes.starts_with(b"P5\n6 4\n255\n"));
+        assert_eq!(bytes.len(), 11 + 24);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn ppm_has_three_channels() {
+        let g = Grid::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let p = temp("b.ppm");
+        write_ppm(&p, &g, None).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes.starts_with(b"P6\n3 3\n255\n"));
+        assert_eq!(bytes.len(), 11 + 27);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn constant_grid_writes_black() {
+        let g = Grid::full(2, 2, 5.0);
+        let p = temp("c.pgm");
+        write_pgm(&p, &g).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes[11..].iter().all(|&b| b == 0));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn fixed_range_clamps() {
+        let g = Grid::from_rows(&[&[-1.0, 0.5, 2.0]]);
+        let p = temp("d.ppm");
+        write_ppm(&p, &g, Some((0.0, 1.0))).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        // First pixel clamps to viridis(0), last to viridis(1).
+        assert_eq!(&bytes[11..14], &[68, 1, 84]);
+        assert_eq!(&bytes[17..20], &[253, 231, 37]);
+        std::fs::remove_file(p).ok();
+    }
+}

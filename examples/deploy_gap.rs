@@ -1,0 +1,64 @@
+//! The paper's motivation, end to end: rough masks lose accuracy when
+//! "deployed" on hardware with interpixel crosstalk; physics-aware
+//! optimization closes the gap. Trains a roughness-oblivious baseline and
+//! a roughness-aware model, then sweeps the crosstalk strength.
+//!
+//! ```sh
+//! cargo run --release --example deploy_gap
+//! ```
+
+use photonn_datasets::{Dataset, Family};
+use photonn_donn::deploy::{deployment_gap, FabricationModel};
+use photonn_donn::roughness::{r_overall, RoughnessConfig};
+use photonn_donn::train::{train, Regularization, TrainOptions};
+use photonn_donn::{Donn, DonnConfig};
+use photonn_math::Rng;
+
+fn main() {
+    let grid = 32;
+    let data = Dataset::synthetic(Family::Mnist, 700, 11).resized(grid);
+    let (train_set, test_set) = data.split(500);
+
+    let mut rng = Rng::seed_from(11);
+    let mut baseline = Donn::random(DonnConfig::scaled(grid), &mut rng);
+    let mut aware = baseline.clone();
+
+    let base_opts = TrainOptions {
+        epochs: 4,
+        batch_size: 25,
+        learning_rate: 0.08,
+        ..TrainOptions::default()
+    };
+    println!("training roughness-oblivious baseline...");
+    train(&mut baseline, &train_set, &base_opts);
+    println!("training roughness-aware model (p = 0.004)...");
+    let aware_opts = TrainOptions {
+        regularization: Regularization::roughness_only(0.004),
+        ..base_opts
+    };
+    train(&mut aware, &train_set, &aware_opts);
+
+    let cfg = RoughnessConfig::paper();
+    println!(
+        "\nR_overall: baseline {:.1} | roughness-aware {:.1}\n",
+        r_overall(baseline.masks(), cfg),
+        r_overall(aware.masks(), cfg)
+    );
+
+    println!("crosstalk κ | baseline digital→deployed | aware digital→deployed");
+    for kappa in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let fab = FabricationModel::new(kappa);
+        let (bd, bdep) = deployment_gap(&baseline, &fab, &test_set, 2);
+        let (ad, adep) = deployment_gap(&aware, &fab, &test_set, 2);
+        println!(
+            "   {kappa:>4.2}    |     {:>5.1}% → {:>5.1}%      |    {:>5.1}% → {:>5.1}%",
+            bd * 100.0,
+            bdep * 100.0,
+            ad * 100.0,
+            adep * 100.0
+        );
+    }
+    println!("\nSmoother masks keep more of their digital accuracy under crosstalk —");
+    println!("the sim-to-real gap the paper's roughness score predicts (§II-B cites");
+    println!("≥30% degradation for roughness-oblivious deployments).");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: train a small diffractive optical neural network on a
+//! synthetic digit dataset, measure its mask roughness, and smooth it with
+//! the 2π periodic optimization — the whole paper in ~40 lines.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use photonn_datasets::{Dataset, Family};
+use photonn_donn::roughness::{r_overall, RoughnessConfig};
+use photonn_donn::train::{train, TrainOptions};
+use photonn_donn::two_pi::{optimize_all, TwoPiStrategy};
+use photonn_donn::{Donn, DonnConfig};
+use photonn_math::Rng;
+
+fn main() {
+    // A 32×32 system with the paper's aperture/wavelength/spacing.
+    let config = DonnConfig::scaled(32);
+    let mut rng = Rng::seed_from(42);
+    let mut donn = Donn::random(config, &mut rng);
+
+    // Synthetic MNIST-style data, interpolated onto the optical grid.
+    let data = Dataset::synthetic(Family::Mnist, 700, 42).resized(32);
+    let (train_set, test_set) = data.split(500);
+
+    println!("training a 3-layer {}x{} DONN...", 32, 32);
+    let opts = TrainOptions {
+        epochs: 4,
+        batch_size: 25,
+        learning_rate: 0.08,
+        ..TrainOptions::default()
+    };
+    let stats = train(&mut donn, &train_set, &opts);
+    for s in &stats {
+        println!("  epoch {}: mean loss {:.5}", s.epoch, s.mean_loss);
+    }
+
+    let accuracy = donn.accuracy(&test_set, 2);
+    println!("test accuracy: {:.1}% (chance = 10%)", accuracy * 100.0);
+
+    // Roughness quantifies the numerical-vs-physical deployment gap.
+    let cfg = RoughnessConfig::paper();
+    let before = r_overall(donn.masks(), cfg);
+    let smoothed = optimize_all(donn.masks(), cfg, &TwoPiStrategy::default());
+    let after: f64 =
+        smoothed.iter().map(|r| r.roughness_after).sum::<f64>() / smoothed.len() as f64;
+    println!("R_overall before 2π optimization: {before:.2}");
+    println!("R_overall after  2π optimization: {after:.2}");
+    println!(
+        "reduction: {:.1}% — with *zero* change to the optical inference",
+        (before - after) / before * 100.0
+    );
+}

@@ -1,0 +1,75 @@
+//! Full training workflow on any of the four dataset families, with
+//! per-epoch statistics, a confusion matrix, and an ASCII rendering of the
+//! learned phase masks.
+//!
+//! ```sh
+//! cargo run --release --example train_digits -- [mnist|fmnist|kmnist|emnist] [epochs]
+//! ```
+
+use photonn_datasets::{Dataset, Family};
+use photonn_donn::metrics::ConfusionMatrix;
+use photonn_donn::roughness::{r_overall, RoughnessConfig};
+use photonn_donn::train::{train, Regularization, TrainOptions};
+use photonn_donn::{Donn, DonnConfig};
+use photonn_math::Rng;
+use photonn_viz::ascii_heatmap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let family = match args.get(1).map(String::as_str) {
+        Some("fmnist") => Family::Fmnist,
+        Some("kmnist") => Family::Kmnist,
+        Some("emnist") => Family::Emnist,
+        _ => Family::Mnist,
+    };
+    let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let grid = 32;
+
+    println!("dataset: {} | grid: {grid} | epochs: {epochs}", family.name());
+    let data = Dataset::synthetic(family, 900, 7).resized(grid);
+    let (train_set, test_set) = data.split(700);
+
+    let mut rng = Rng::seed_from(7);
+    let mut donn = Donn::random(DonnConfig::scaled(grid), &mut rng);
+
+    let opts = TrainOptions {
+        epochs: 1,
+        batch_size: 25,
+        learning_rate: 0.08,
+        regularization: Regularization::roughness_only(0.001),
+        ..TrainOptions::default()
+    };
+    let cfg = RoughnessConfig::paper();
+    for epoch in 0..epochs {
+        let stats = train(&mut donn, &train_set, &opts);
+        let acc = donn.accuracy(&test_set, 2);
+        println!(
+            "epoch {epoch}: loss {:.5} | test acc {:.1}% | R_overall {:.1}",
+            stats[0].mean_loss,
+            acc * 100.0,
+            r_overall(donn.masks(), cfg)
+        );
+    }
+
+    println!("\nconfusion matrix (rows = truth, cols = prediction):");
+    let cm = ConfusionMatrix::evaluate(&donn, &test_set);
+    print!("    ");
+    for p in 0..cm.classes() {
+        print!("{p:>4}");
+    }
+    println!();
+    for t in 0..cm.classes() {
+        print!("{t:>3}:");
+        for p in 0..cm.classes() {
+            print!("{:>4}", cm.count(t, p));
+        }
+        println!();
+    }
+    println!(
+        "\nper-class recall: {:?}",
+        cm.recall().iter().map(|r| (r * 100.0).round()).collect::<Vec<_>>()
+    );
+
+    println!("\nlearned phase mask, layer 2 (ASCII heatmap):");
+    println!("{}", ascii_heatmap(&donn.masks()[1], 32));
+}

@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) on cross-crate invariants: FFT algebra,
+//! propagation physics, roughness model identities and 2π equivalence.
+
+use photonn_autodiff::penalty::roughness_value;
+use photonn_autodiff::{DiffMetric, Neighborhood, RoughnessConfig};
+use photonn_fft::{fft2, ifft2, Fft};
+use photonn_math::{CGrid, Complex64, Grid, TWO_PI};
+use photonn_optics::{transfer_function, Geometry, KernelOptions, Padding, Propagator};
+use proptest::prelude::*;
+
+fn grid_strategy(n: usize, lo: f64, hi: f64) -> impl Strategy<Value = Grid> {
+    prop::collection::vec(lo..hi, n * n).prop_map(move |v| Grid::from_vec(n, n, v))
+}
+
+fn cgrid_strategy(n: usize) -> impl Strategy<Value = CGrid> {
+    prop::collection::vec((-1.0..1.0f64, -1.0..1.0f64), n * n).prop_map(move |v| {
+        CGrid::from_vec(
+            n,
+            n,
+            v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fft_roundtrip_any_length(len in 1usize..48, seed in 0u64..1000) {
+        let mut rng = photonn_math::Rng::seed_from(seed);
+        let data: Vec<Complex64> = (0..len)
+            .map(|_| Complex64::new(rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)))
+            .collect();
+        let plan = Fft::new(len);
+        let mut buf = data.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&data) {
+            prop_assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft2_linearity(a in cgrid_strategy(8), b in cgrid_strategy(8)) {
+        let fa = fft2(&a);
+        let fb = fft2(&b);
+        let mut sum = a.clone();
+        for (s, x) in sum.as_mut_slice().iter_mut().zip(b.as_slice()) {
+            *s += *x;
+        }
+        let fsum = fft2(&sum);
+        let mut manual = fa.clone();
+        for (m, x) in manual.as_mut_slice().iter_mut().zip(fb.as_slice()) {
+            *m += *x;
+        }
+        prop_assert!(fsum.max_abs_diff(&manual) < 1e-9);
+    }
+
+    #[test]
+    fn parseval_for_ifft2(field in cgrid_strategy(8)) {
+        let back = ifft2(&fft2(&field));
+        prop_assert!(back.max_abs_diff(&field) < 1e-9);
+    }
+
+    #[test]
+    fn propagation_is_linear_and_energy_bounded(field in cgrid_strategy(16), z in 0.01f64..1.0) {
+        let geom = Geometry::paper_scaled(16);
+        let prop = Propagator::new(&geom, z, KernelOptions::default(), Padding::None);
+        let out = prop.propagate(&field);
+        prop_assert!(out.total_power() <= field.total_power() * (1.0 + 1e-9));
+        // Linearity: P(2f) == 2·P(f).
+        let mut doubled = field.clone();
+        doubled.scale_inplace(2.0);
+        let out2 = prop.propagate(&doubled);
+        let mut expected = out.clone();
+        expected.scale_inplace(2.0);
+        prop_assert!(out2.max_abs_diff(&expected) < 1e-9);
+    }
+
+    #[test]
+    fn transfer_function_semigroup(z1 in 0.005f64..0.3, z2 in 0.005f64..0.3) {
+        let geom = Geometry::paper_scaled(12);
+        let opts = KernelOptions { band_limit: false, ..KernelOptions::default() };
+        let h1 = transfer_function(&geom, 12, z1, opts);
+        let h2 = transfer_function(&geom, 12, z2, opts);
+        let h12 = transfer_function(&geom, 12, z1 + z2, opts);
+        // Tolerance note: the phase argument k·z is ~10⁷ rad·m⁻¹·z, so a
+        // double carries only ~1e-9 absolute phase accuracy here — the
+        // comparison can't be tighter than that.
+        prop_assert!(h1.hadamard(&h2).max_abs_diff(&h12) < 1e-6);
+    }
+
+    #[test]
+    fn roughness_nonnegative_and_translation_sensitive(mask in grid_strategy(8, 0.0, 6.25)) {
+        for cfg in [
+            RoughnessConfig { neighborhood: Neighborhood::Four, metric: DiffMetric::Abs },
+            RoughnessConfig { neighborhood: Neighborhood::Eight, metric: DiffMetric::Abs },
+            RoughnessConfig { neighborhood: Neighborhood::Eight, metric: DiffMetric::Squared },
+        ] {
+            let r = roughness_value(&mask, cfg);
+            prop_assert!(r >= 0.0);
+            // Adding a constant changes only the zero-padded boundary terms,
+            // so interior-flat masks are not penalized extra.
+            let shifted = mask.map(|v| v + 1.0);
+            let r_shifted = roughness_value(&shifted, cfg);
+            prop_assert!(r_shifted.is_finite());
+        }
+    }
+
+    #[test]
+    fn roughness_zero_iff_zero_mask_abs(mask in grid_strategy(6, 0.0, 5.0)) {
+        let cfg = RoughnessConfig::paper();
+        let r = roughness_value(&mask, cfg);
+        let is_zero_mask = mask.as_slice().iter().all(|&v| v == 0.0);
+        if is_zero_mask {
+            prop_assert_eq!(r, 0.0);
+        } else if mask.max() > 1e-9 {
+            // With zero padding, any non-zero mask pays at the boundary.
+            prop_assert!(r > 0.0);
+        }
+    }
+
+    #[test]
+    fn two_pi_shift_preserves_transmission(mask in grid_strategy(8, 0.0, 6.25), pattern in 0u64..256) {
+        // Add 2π to an arbitrary pixel subset: transmission identical.
+        let mut shifted = mask.clone();
+        for (i, v) in shifted.as_mut_slice().iter_mut().enumerate() {
+            if (pattern >> (i % 8)) & 1 == 1 {
+                *v += TWO_PI;
+            }
+        }
+        let ta = CGrid::from_phase(&mask);
+        let tb = CGrid::from_phase(&shifted);
+        prop_assert!(ta.max_abs_diff(&tb) < 1e-9);
+    }
+
+    #[test]
+    fn bilinear_resize_bounds(src in grid_strategy(7, 0.0, 1.0), target in 8usize..64) {
+        let up = photonn_math::interp::bilinear_resize(&src, target, target);
+        prop_assert!(up.min() >= src.min() - 1e-12);
+        prop_assert!(up.max() <= src.max() + 1e-12);
+    }
+}
+
+#[test]
+fn donn_gradcheck_through_whole_stack() {
+    // One non-proptest but heavyweight check: the full model gradient on a
+    // 8×8 system matches finite differences (ties together fft, optics,
+    // autodiff and the model code).
+    use photonn_autodiff::gradcheck::assert_grad_matches_real;
+    use photonn_autodiff::Tape;
+    use photonn_donn::{Donn, DonnConfig};
+    use photonn_math::Rng;
+
+    let mut config = DonnConfig::scaled(16);
+    config.num_layers = 2;
+    let mut rng = Rng::seed_from(3);
+    let donn = Donn::random(config, &mut rng);
+    let image = Grid::from_fn(16, 16, |r, c| ((r * c) % 4) as f64 / 3.0);
+
+    let mut tape = Tape::new();
+    let (loss, masks) = donn.build_sample_loss(&mut tape, &image, 3, None);
+    let grads = tape.backward(loss);
+    let g0 = grads.real(masks[0]).unwrap();
+
+    assert_grad_matches_real(
+        |m0| {
+            let mut d = donn.clone();
+            let mut new_masks = d.masks().to_vec();
+            new_masks[0] = m0.clone();
+            d.set_masks(new_masks);
+            let mut t = Tape::new();
+            let (l, _) = d.build_sample_loss(&mut t, &image, 3, None);
+            t.scalar(l)
+        },
+        &donn.masks()[0],
+        g0,
+        1e-5,
+        2e-4,
+        "whole-stack gradient",
+    );
+}

@@ -1,0 +1,149 @@
+//! Invariants of the physics-aware optimization pipeline that must hold
+//! for *any* configuration — checked on a grid of small setups.
+
+use photonn_datasets::Family;
+use photonn_donn::pipeline::{run_variant_on, ExperimentConfig, Variant};
+use photonn_donn::slr::SlrConfig;
+use photonn_donn::sparsify::{sparsify, SparsifyMethod};
+use photonn_donn::two_pi::TwoPiStrategy;
+use photonn_math::block::BlockPartition;
+use photonn_math::{Grid, Rng};
+
+fn tiny_cfg(family: Family, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        train_samples: 100,
+        test_samples: 40,
+        baseline_epochs: 2,
+        seed,
+        slr: SlrConfig {
+            sparsity: 0.2,
+            block: 8,
+            outer_iterations: 2,
+            probe_samples: 12,
+            ..SlrConfig::default()
+        },
+        two_pi: TwoPiStrategy::Greedy { sweeps: 3 },
+        ..ExperimentConfig::scaled(family)
+    }
+}
+
+#[test]
+fn two_pi_is_monotone_for_every_variant() {
+    let cfg = tiny_cfg(Family::Mnist, 21);
+    let (train_set, test_set) = cfg.datasets();
+    for variant in Variant::all() {
+        let r = run_variant_on(&cfg, variant, &train_set, &test_set);
+        assert!(
+            r.r_after <= r.r_before + 1e-9,
+            "{}: 2π increased roughness {} -> {}",
+            variant.label(),
+            r.r_before,
+            r.r_after
+        );
+        assert!((0.0..=1.0).contains(&r.accuracy));
+        assert!(r.r_before.is_finite() && r.r_after.is_finite());
+    }
+}
+
+#[test]
+fn sparsified_variants_hit_block_structure() {
+    let cfg = tiny_cfg(Family::Fmnist, 22);
+    let (train_set, test_set) = cfg.datasets();
+    for variant in [Variant::OursB, Variant::OursC, Variant::OursD] {
+        let r = run_variant_on(&cfg, variant, &train_set, &test_set);
+        assert!(r.sparsity > 0.05, "{}: no sparsity", variant.label());
+        // Zeroed pixels form whole blocks.
+        let p = BlockPartition::square(cfg.grid, cfg.grid, cfg.slr.block);
+        for mask in &r.masks {
+            for block in p.blocks() {
+                let vals = p.block_values(mask, block);
+                let zeros = vals.iter().filter(|&&v| v == 0.0).count();
+                assert!(
+                    zeros == 0 || zeros == vals.len(),
+                    "{}: partially zeroed block ({zeros}/{})",
+                    variant.label(),
+                    vals.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_reproducible_per_seed() {
+    let cfg = tiny_cfg(Family::Kmnist, 23);
+    let a = photonn_donn::pipeline::run_variant(&cfg, Variant::OursA);
+    let b = photonn_donn::pipeline::run_variant(&cfg, Variant::OursA);
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.r_before, b.r_before);
+    assert_eq!(a.r_after, b.r_after);
+    for (ma, mb) in a.masks.iter().zip(&b.masks) {
+        assert_eq!(ma, mb);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let a = photonn_donn::pipeline::run_variant(&tiny_cfg(Family::Mnist, 31), Variant::Baseline);
+    let b = photonn_donn::pipeline::run_variant(&tiny_cfg(Family::Mnist, 32), Variant::Baseline);
+    assert!(a.masks[0].max_abs_diff(&b.masks[0]) > 1e-6);
+}
+
+#[test]
+fn sparsify_methods_agree_on_ratio_for_random_masks() {
+    // Property-style check over random masks: all three methods hit the
+    // requested ratio within block-granularity rounding, and pruned
+    // entries are exactly zero.
+    let mut rng = Rng::seed_from(77);
+    for trial in 0..10 {
+        let n = 24;
+        let mask = Grid::from_fn(n, n, |_, _| rng.uniform_in(-3.0, 3.0));
+        for (method, tol) in [
+            (SparsifyMethod::Block { size: 4 }, 0.03),
+            (SparsifyMethod::NonStructured, 0.02),
+            (SparsifyMethod::BankBalanced { banks: 4 }, 0.1),
+        ] {
+            let ratio = 0.1 + 0.05 * (trial % 5) as f64;
+            let s = sparsify(&mask, ratio, method);
+            assert!(
+                (s.sparsity() - ratio).abs() <= tol + 1.0 / (n as f64),
+                "{method:?} ratio {ratio}: got {}",
+                s.sparsity()
+            );
+            for (v, k) in s.mask.as_slice().iter().zip(s.keep.as_slice()) {
+                assert!(*k == 1.0 || *v == 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn block_sparsification_has_lowest_roughness_on_random_masks() {
+    // The Fig. 3 claim, generalized: across random masks, block
+    // sparsification produces (weakly) the lowest roughness of the three
+    // methods at equal ratio.
+    use photonn_donn::roughness::{roughness, RoughnessConfig};
+    let cfg = RoughnessConfig::paper();
+    let mut rng = Rng::seed_from(99);
+    let mut block_wins = 0;
+    let trials = 12;
+    for _ in 0..trials {
+        let mask = Grid::from_fn(24, 24, |_, _| rng.uniform_in(0.0, 6.0));
+        let rb = roughness(
+            &sparsify(&mask, 0.25, SparsifyMethod::Block { size: 4 }).mask,
+            cfg,
+        );
+        let rn = roughness(&sparsify(&mask, 0.25, SparsifyMethod::NonStructured).mask, cfg);
+        let rbb = roughness(
+            &sparsify(&mask, 0.25, SparsifyMethod::BankBalanced { banks: 4 }).mask,
+            cfg,
+        );
+        if rb <= rn && rb <= rbb {
+            block_wins += 1;
+        }
+    }
+    assert!(
+        block_wins >= trials * 3 / 4,
+        "block sparsification lowest in only {block_wins}/{trials} trials"
+    );
+}
