@@ -127,13 +127,6 @@ mod tests {
     fn assert_catches_wrong_gradient() {
         let x = Grid::full(2, 2, 1.0);
         let wrong = Grid::full(2, 2, 10.0);
-        assert_grad_matches_real(
-            |g| g.sum(),
-            &x,
-            &wrong,
-            1e-5,
-            1e-6,
-            "intentional failure",
-        );
+        assert_grad_matches_real(|g| g.sum(), &x, &wrong, 1e-5, 1e-6, "intentional failure");
     }
 }

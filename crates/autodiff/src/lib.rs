@@ -58,7 +58,7 @@ mod value;
 pub use gumbel::{hard_select, logistic_noise, TemperatureSchedule};
 pub use optim::{Adam, Sgd};
 pub use penalty::{BlockReduce, DiffMetric, Neighborhood, RoughnessConfig};
-pub use tape::{CVar, Gradients, RVar, Region, SVar, Tape, VVar};
+pub use tape::{BCVar, BRVar, CVar, Gradients, RVar, Region, SVar, Tape, VVar};
 pub use value::Value;
 
 #[cfg(test)]

@@ -48,7 +48,10 @@ impl Adam {
     /// Panics if `lr <= 0`, betas are outside `[0, 1)`, or `eps <= 0`.
     pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas in [0,1)"
+        );
         assert!(eps > 0.0, "eps must be positive");
         Adam {
             lr,
@@ -86,7 +89,12 @@ impl Adam {
         if self.moments.is_empty() {
             self.moments = params
                 .iter()
-                .map(|p| (Grid::zeros(p.rows(), p.cols()), Grid::zeros(p.rows(), p.cols())))
+                .map(|p| {
+                    (
+                        Grid::zeros(p.rows(), p.cols()),
+                        Grid::zeros(p.rows(), p.cols()),
+                    )
+                })
                 .collect();
         }
         assert_eq!(self.moments.len(), params.len(), "parameter count changed");
@@ -164,7 +172,10 @@ impl Sgd {
     pub fn step(&mut self, params: &mut [Grid], grads: &[Grid]) {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Grid::zeros(p.rows(), p.cols())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Grid::zeros(p.rows(), p.cols()))
+                .collect();
         }
         assert_eq!(self.velocity.len(), params.len(), "parameter count changed");
         for ((param, grad), vel) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
@@ -222,7 +233,11 @@ mod tests {
         let mut adam = Adam::new(0.1);
         let grads = vec![Grid::full(1, 1, 42.0)];
         adam.step(&mut params, &grads);
-        assert!((params[0][(0, 0)] + 0.1).abs() < 1e-6, "{}", params[0][(0, 0)]);
+        assert!(
+            (params[0][(0, 0)] + 0.1).abs() < 1e-6,
+            "{}",
+            params[0][(0, 0)]
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use photonn_fft::Fft2;
 use photonn_math::block::BlockPartition;
-use photonn_math::{CGrid, Complex64, Grid};
+use photonn_math::{BatchCGrid, BatchGrid, CGrid, Complex64, Grid};
 use std::sync::Arc;
 
 use crate::penalty::{
@@ -57,6 +57,12 @@ impl Region {
 /// Handle to a complex-field node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CVar(usize);
+/// Handle to a batched complex-field node (`[batch, n, n]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BCVar(usize);
+/// Handle to a batched real-grid node (`[batch, n, n]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BRVar(usize);
 /// Handle to a real-grid node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RVar(usize);
@@ -100,7 +106,9 @@ enum Op {
     MulConstR(Arc<Grid>),
     /// Binary Concrete relaxation: `y = σ((x + noise)/τ)`; backward only
     /// needs the stored output and the temperature.
-    BinaryConcrete { temp: f64 },
+    BinaryConcrete {
+        temp: f64,
+    },
     /// Per-region sums of a real grid → vector.
     RegionSums(Arc<Vec<Region>>),
     /// Numerically-stable softmax.
@@ -108,11 +116,17 @@ enum Op {
     /// `y = s·x` for a vector.
     ScaleV(f64),
     /// `y = x / (Σx + eps)`.
-    NormalizeSum { eps: f64 },
+    NormalizeSum {
+        eps: f64,
+    },
     /// `L = Σ_i (y_i − onehot(t)_i)²` — the paper's MSE loss.
-    MseOneHot { target: usize },
+    MseOneHot {
+        target: usize,
+    },
     /// `L = −ln y_t` on probabilities.
-    CrossEntropyOneHot { target: usize },
+    CrossEntropyOneHot {
+        target: usize,
+    },
     /// Paper Eq. 4 roughness of a real grid.
     Roughness(RoughnessConfig),
     /// Paper Eq. 8 intra-block variance penalty.
@@ -124,6 +138,61 @@ enum Op {
     SumR,
     /// `L = Σ_i w_i·s_i` over scalar inputs.
     WeightedSumS(Vec<f64>),
+    // ------------------------------------------------- batched (one tape
+    // per mini-batch; sample-shared parameters, per-sample fields)
+    /// Batched unnormalized forward 2-D FFT of every sample.
+    Fft2Batch {
+        plan: Arc<Fft2>,
+        threads: usize,
+    },
+    /// Batched normalized inverse 2-D FFT of every sample.
+    Ifft2Batch {
+        plan: Arc<Fft2>,
+        threads: usize,
+    },
+    /// `y_b = x_b ⊙ K` with one constant complex grid shared by the batch.
+    MulConstCBatch(Arc<CGrid>),
+    /// `y_b = x_b ⊙ w` with a single differentiable mask `w` broadcast over
+    /// the batch — the op that accumulates mask gradients across the whole
+    /// batch in one backward sweep.
+    MulBroadcastC,
+    /// Fused free-space hop for a whole batch:
+    /// `y_b = crop(ifft2(fft2(pad(x_b)) ⊙ K))`. Stores only the output;
+    /// the adjoint is the same pipeline with the conjugated kernel.
+    PropagateBatch {
+        plan: Arc<Fft2>,
+        kernel_conj: Arc<CGrid>,
+        threads: usize,
+    },
+    /// Fused diffractive layer for a whole batch:
+    /// `y_b = crop(ifft2(fft2(pad(x_b ⊙ w)) ⊙ K))` with a single shared
+    /// differentiable mask `w` — one tape node per layer.
+    ModulatePropagateBatch {
+        plan: Arc<Fft2>,
+        kernel_conj: Arc<CGrid>,
+        threads: usize,
+    },
+    /// Detector readout fused with the intensity law: per-region sums of
+    /// `|z_b|²` straight from the complex field → `[batch, regions]`.
+    RegionIntensityBatch(Arc<Vec<Region>>),
+    /// Zero-pad every sample centered to a larger shape.
+    PadCenteredBatch,
+    /// Center-crop every sample to a smaller shape.
+    CropCenteredBatch,
+    /// `I_b = |z_b|²` per sample.
+    IntensityBatch,
+    /// Per-region sums of every sample → a `[batch, regions]` real matrix.
+    RegionSumsBatch(Arc<Vec<Region>>),
+    /// Numerically-stable softmax applied to every row of a real matrix.
+    SoftmaxRows,
+    /// Row-wise `y = x / (Σ_row x + eps)`.
+    NormalizeSumRows {
+        eps: f64,
+    },
+    /// Mean over rows of `‖y_row − onehot(t_row)‖²` — the batched MSE loss.
+    MseOneHotMeanRows(Arc<Vec<usize>>),
+    /// Mean over rows of `−ln y[row, t_row]` — the batched cross-entropy.
+    CrossEntropyMeanRows(Arc<Vec<usize>>),
 }
 
 #[derive(Debug)]
@@ -154,6 +223,16 @@ impl Gradients {
     /// Gradient of a vector node.
     pub fn vector(&self, var: VVar) -> Option<&[f64]> {
         self.by_id[var.0].as_ref().map(|v| v.as_vector())
+    }
+
+    /// Gradient of a batched complex node.
+    pub fn batch_complex(&self, var: BCVar) -> Option<&BatchCGrid> {
+        self.by_id[var.0].as_ref().map(Value::as_batch_complex)
+    }
+
+    /// Gradient of a batched real node.
+    pub fn batch_real(&self, var: BRVar) -> Option<&BatchGrid> {
+        self.by_id[var.0].as_ref().map(Value::as_batch_real)
     }
 }
 
@@ -238,6 +317,19 @@ impl Tape {
         CVar(self.push(Op::Leaf, vec![], Value::Complex(grid)))
     }
 
+    /// Differentiable batched complex leaf.
+    pub fn leaf_batch_complex(&mut self, batch: BatchCGrid) -> BCVar {
+        let id = self.push(Op::Leaf, vec![], Value::BatchComplex(batch));
+        self.nodes[id].requires_grad = true;
+        BCVar(id)
+    }
+
+    /// Constant batched complex leaf (e.g. a mini-batch of encoded input
+    /// fields).
+    pub fn constant_batch_complex(&mut self, batch: BatchCGrid) -> BCVar {
+        BCVar(self.push(Op::Leaf, vec![], Value::BatchComplex(batch)))
+    }
+
     // ------------------------------------------------------------- accessors
 
     /// Forward value of a real node.
@@ -248,6 +340,16 @@ impl Tape {
     /// Forward value of a complex node.
     pub fn complex(&self, var: CVar) -> &CGrid {
         self.nodes[var.0].value.as_complex()
+    }
+
+    /// Forward value of a batched complex node.
+    pub fn batch_complex(&self, var: BCVar) -> &BatchCGrid {
+        self.nodes[var.0].value.as_batch_complex()
+    }
+
+    /// Forward value of a batched real node.
+    pub fn batch_real(&self, var: BRVar) -> &BatchGrid {
+        self.nodes[var.0].value.as_batch_real()
     }
 
     /// Forward value of a vector node.
@@ -341,6 +443,347 @@ impl Tape {
     pub fn intensity(&mut self, field: CVar) -> RVar {
         let out = self.complex(field).intensity();
         RVar(self.push(Op::Intensity, vec![field.0], Value::Real(out)))
+    }
+
+    // ------------------------------------------------------------ batched ops
+
+    /// Batched unnormalized forward 2-D FFT (every sample through one
+    /// shared plan, batch chunks on `threads` workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan shape does not match the per-sample shape.
+    pub fn fft2_batch(&mut self, field: BCVar, plan: &Arc<Fft2>, threads: usize) -> BCVar {
+        let mut out = self.batch_complex(field).clone();
+        plan.forward_batch(&mut out, threads);
+        BCVar(self.push(
+            Op::Fft2Batch {
+                plan: plan.clone(),
+                threads,
+            },
+            vec![field.0],
+            Value::BatchComplex(out),
+        ))
+    }
+
+    /// Batched normalized inverse 2-D FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan shape does not match the per-sample shape.
+    pub fn ifft2_batch(&mut self, field: BCVar, plan: &Arc<Fft2>, threads: usize) -> BCVar {
+        let mut out = self.batch_complex(field).clone();
+        plan.inverse_batch(&mut out, threads);
+        BCVar(self.push(
+            Op::Ifft2Batch {
+                plan: plan.clone(),
+                threads,
+            },
+            vec![field.0],
+            Value::BatchComplex(out),
+        ))
+    }
+
+    /// `y_b = x_b ⊙ K` with one constant complex grid broadcast over the
+    /// batch (the shared transfer function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` does not match the per-sample shape.
+    pub fn mul_const_c_batch(&mut self, field: BCVar, k: &Arc<CGrid>) -> BCVar {
+        let mut out = self.batch_complex(field).clone();
+        out.hadamard_bcast_inplace(k);
+        BCVar(self.push(
+            Op::MulConstCBatch(k.clone()),
+            vec![field.0],
+            Value::BatchComplex(out),
+        ))
+    }
+
+    /// `y_b = x_b ⊙ w` with a single differentiable complex mask `w`
+    /// broadcast over the batch. The backward sweep accumulates the mask
+    /// gradient `Σ_b g_b ⊙ x̄_b` across the whole batch at once — this is
+    /// how one tape per mini-batch replaces per-sample gradient averaging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask does not match the per-sample shape.
+    pub fn mul_bc(&mut self, field: BCVar, mask: CVar) -> BCVar {
+        let mut out = self.batch_complex(field).clone();
+        out.hadamard_bcast_inplace(self.complex(mask));
+        BCVar(self.push(
+            Op::MulBroadcastC,
+            vec![field.0, mask.0],
+            Value::BatchComplex(out),
+        ))
+    }
+
+    /// Fused batched free-space hop: `crop(ifft2(fft2(pad(x_b)) ⊙ K))` per
+    /// sample, recorded as a single tape node. `kernel_conj` must be the
+    /// elementwise conjugate of `kernel`; the adjoint of the whole pipeline
+    /// is the same pipeline with the conjugated kernel, so backward reuses
+    /// the fused execute path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not square, the kernels do not match the plan
+    /// shape, or the samples are larger than the plan.
+    pub fn propagate_batch(
+        &mut self,
+        field: BCVar,
+        kernel: &Arc<CGrid>,
+        kernel_conj: &Arc<CGrid>,
+        plan: &Arc<Fft2>,
+        threads: usize,
+    ) -> BCVar {
+        debug_assert!(
+            kernel.conj().max_abs_diff(kernel_conj) < 1e-12,
+            "kernel_conj is not conj(kernel)"
+        );
+        let x = self.batch_complex(field);
+        let inner = x.rows();
+        let out = plan.apply_transfer_batch(x, kernel, inner, threads);
+        BCVar(self.push(
+            Op::PropagateBatch {
+                plan: plan.clone(),
+                kernel_conj: kernel_conj.clone(),
+                threads,
+            },
+            vec![field.0],
+            Value::BatchComplex(out),
+        ))
+    }
+
+    /// One fused diffractive layer for the whole batch:
+    /// `y_b = crop(ifft2(fft2(pad(x_b ⊙ w)) ⊙ K))`, recorded as a single
+    /// node. Equivalent to [`Tape::mul_bc`] followed by
+    /// [`Tape::propagate_batch`] but stores one intermediate instead of
+    /// two and runs the modulation in place on the hop's scratch batch.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Tape::propagate_batch`] plus a mask/sample
+    /// shape mismatch.
+    pub fn modulate_propagate_batch(
+        &mut self,
+        field: BCVar,
+        mask: CVar,
+        kernel: &Arc<CGrid>,
+        kernel_conj: &Arc<CGrid>,
+        plan: &Arc<Fft2>,
+        threads: usize,
+    ) -> BCVar {
+        debug_assert!(
+            kernel.conj().max_abs_diff(kernel_conj) < 1e-12,
+            "kernel_conj is not conj(kernel)"
+        );
+        let x = self.batch_complex(field);
+        let inner = x.rows();
+        let mut work = x.clone();
+        work.hadamard_bcast_inplace(self.complex(mask));
+        let out = plan.apply_transfer_batch_owned(work, kernel, inner, threads);
+        BCVar(self.push(
+            Op::ModulatePropagateBatch {
+                plan: plan.clone(),
+                kernel_conj: kernel_conj.clone(),
+                threads,
+            },
+            vec![field.0, mask.0],
+            Value::BatchComplex(out),
+        ))
+    }
+
+    /// Fused detector readout: per-region sums of `|z_b|²` computed
+    /// straight from the complex field — one node replacing
+    /// [`Tape::intensity_batch`] + [`Tape::region_sums_batch`], never
+    /// materializing the full intensity batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any region exceeds the per-sample shape.
+    pub fn region_intensity_batch(&mut self, field: BCVar, regions: &Arc<Vec<Region>>) -> RVar {
+        let z = self.batch_complex(field);
+        let (batch, rows, cols) = z.shape();
+        for reg in regions.iter() {
+            assert!(
+                reg.r0 + reg.h <= rows && reg.c0 + reg.w <= cols,
+                "region out of bounds"
+            );
+        }
+        let mut sums = Grid::zeros(batch, regions.len());
+        for (b, sample) in z.samples().enumerate() {
+            for (j, reg) in regions.iter().enumerate() {
+                let mut acc = 0.0;
+                for r in reg.r0..reg.r0 + reg.h {
+                    let row = &sample[r * cols..(r + 1) * cols];
+                    for zc in &row[reg.c0..reg.c0 + reg.w] {
+                        acc += zc.norm_sqr();
+                    }
+                }
+                sums[(b, j)] = acc;
+            }
+        }
+        RVar(self.push(
+            Op::RegionIntensityBatch(regions.clone()),
+            vec![field.0],
+            Value::Real(sums),
+        ))
+    }
+
+    /// Zero-pads every sample centered into a `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is smaller than the per-sample shape.
+    pub fn pad_centered_batch(&mut self, field: BCVar, rows: usize, cols: usize) -> BCVar {
+        let out = self.batch_complex(field).pad_centered(rows, cols);
+        BCVar(self.push(
+            Op::PadCenteredBatch,
+            vec![field.0],
+            Value::BatchComplex(out),
+        ))
+    }
+
+    /// Crops the centered `rows × cols` window out of every sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is larger than the per-sample shape.
+    pub fn crop_centered_batch(&mut self, field: BCVar, rows: usize, cols: usize) -> BCVar {
+        let out = self.batch_complex(field).crop_centered(rows, cols);
+        BCVar(self.push(
+            Op::CropCenteredBatch,
+            vec![field.0],
+            Value::BatchComplex(out),
+        ))
+    }
+
+    /// Batched detector intensity `I_b = |z_b|²`.
+    pub fn intensity_batch(&mut self, field: BCVar) -> BRVar {
+        let out = self.batch_complex(field).intensity();
+        BRVar(self.push(Op::IntensityBatch, vec![field.0], Value::BatchReal(out)))
+    }
+
+    /// Per-region sums of every sample — a `[batch, regions]` real matrix
+    /// whose row `b` is the detector readout of sample `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any region exceeds the per-sample shape.
+    pub fn region_sums_batch(&mut self, grid: BRVar, regions: &Arc<Vec<Region>>) -> RVar {
+        let g = self.batch_real(grid);
+        let (batch, rows, cols) = g.shape();
+        for reg in regions.iter() {
+            assert!(
+                reg.r0 + reg.h <= rows && reg.c0 + reg.w <= cols,
+                "region out of bounds"
+            );
+        }
+        let mut sums = Grid::zeros(batch, regions.len());
+        for (b, sample) in g.samples().enumerate() {
+            for (j, reg) in regions.iter().enumerate() {
+                let mut acc = 0.0;
+                for r in reg.r0..reg.r0 + reg.h {
+                    let row = &sample[r * cols..(r + 1) * cols];
+                    for &v in &row[reg.c0..reg.c0 + reg.w] {
+                        acc += v;
+                    }
+                }
+                sums[(b, j)] = acc;
+            }
+        }
+        RVar(self.push(
+            Op::RegionSumsBatch(regions.clone()),
+            vec![grid.0],
+            Value::Real(sums),
+        ))
+    }
+
+    /// Numerically-stable softmax over every row of a real matrix (row `b`
+    /// = the class scores of sample `b`).
+    pub fn softmax_rows(&mut self, x: RVar) -> RVar {
+        let v = self.real(x);
+        let mut out = Grid::zeros(v.rows(), v.cols());
+        for r in 0..v.rows() {
+            let row: Vec<f64> = (0..v.cols()).map(|c| v[(r, c)]).collect();
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = row.iter().map(|&a| (a - max).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            for (c, e) in exps.into_iter().enumerate() {
+                out[(r, c)] = e / sum;
+            }
+        }
+        RVar(self.push(Op::SoftmaxRows, vec![x.0], Value::Real(out)))
+    }
+
+    /// Row-wise `y = x / (Σ_row x + eps)` — the batched detector
+    /// normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps <= 0`.
+    pub fn normalize_sum_rows(&mut self, x: RVar, eps: f64) -> RVar {
+        assert!(eps > 0.0, "eps must be positive");
+        let v = self.real(x);
+        let mut out = Grid::zeros(v.rows(), v.cols());
+        for r in 0..v.rows() {
+            let s = (0..v.cols()).map(|c| v[(r, c)]).sum::<f64>() + eps;
+            for c in 0..v.cols() {
+                out[(r, c)] = v[(r, c)] / s;
+            }
+        }
+        RVar(self.push(Op::NormalizeSumRows { eps }, vec![x.0], Value::Real(out)))
+    }
+
+    /// Batched mean MSE loss: `L = (1/B)·Σ_b ‖y_b − onehot(t_b)‖²`. The
+    /// `1/B` makes the backward sweep produce batch-averaged parameter
+    /// gradients directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` does not have one entry per row or any target is
+    /// out of range.
+    pub fn mse_onehot_mean_rows(&mut self, y: RVar, targets: &Arc<Vec<usize>>) -> SVar {
+        let v = self.real(y);
+        assert_eq!(targets.len(), v.rows(), "one target per batch row");
+        let mut loss = 0.0;
+        for (b, &t) in targets.iter().enumerate() {
+            assert!(t < v.cols(), "target {t} out of range {}", v.cols());
+            for c in 0..v.cols() {
+                let tv = if c == t { 1.0 } else { 0.0 };
+                let d = v[(b, c)] - tv;
+                loss += d * d;
+            }
+        }
+        loss /= v.rows() as f64;
+        SVar(self.push(
+            Op::MseOneHotMeanRows(targets.clone()),
+            vec![y.0],
+            Value::Scalar(loss),
+        ))
+    }
+
+    /// Batched mean cross-entropy on probabilities:
+    /// `L = −(1/B)·Σ_b ln y[b, t_b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` does not have one entry per row or any target is
+    /// out of range.
+    pub fn cross_entropy_mean_rows(&mut self, y: RVar, targets: &Arc<Vec<usize>>) -> SVar {
+        let v = self.real(y);
+        assert_eq!(targets.len(), v.rows(), "one target per batch row");
+        let mut loss = 0.0;
+        for (b, &t) in targets.iter().enumerate() {
+            assert!(t < v.cols(), "target {t} out of range {}", v.cols());
+            loss -= v[(b, t)].max(1e-300).ln();
+        }
+        loss /= v.rows() as f64;
+        SVar(self.push(
+            Op::CrossEntropyMeanRows(targets.clone()),
+            vec![y.0],
+            Value::Scalar(loss),
+        ))
     }
 
     // --------------------------------------------------------------- real ops
@@ -593,6 +1036,16 @@ impl Tape {
                     *a += *b;
                 }
             }
+            (Some(Value::BatchReal(g)), Value::BatchReal(d)) => {
+                for (a, b) in g.as_mut_slice().iter_mut().zip(d.as_slice()) {
+                    *a += *b;
+                }
+            }
+            (Some(Value::BatchComplex(g)), Value::BatchComplex(d)) => {
+                for (a, b) in g.as_mut_slice().iter_mut().zip(d.as_slice()) {
+                    *a += *b;
+                }
+            }
             (Some(Value::Vector(g)), Value::Vector(d)) => {
                 for (a, b) in g.iter_mut().zip(&d) {
                     *a += *b;
@@ -786,6 +1239,202 @@ impl Tape {
                 for (input, w) in node.inputs.iter().zip(weights) {
                     self.accumulate(grads, *input, Value::Scalar(g * w));
                 }
+            }
+            Op::Fft2Batch { plan, threads } => {
+                // Adjoint of the batched unnormalized forward FFT.
+                let mut gx = gy.as_batch_complex().clone();
+                plan.inverse_unnormalized_batch(&mut gx, *threads);
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gx));
+            }
+            Op::Ifft2Batch { plan, threads } => {
+                // Adjoint of (1/N)·F^H per sample is (1/N)·F.
+                let mut gx = gy.as_batch_complex().clone();
+                let n = gx.sample_len() as f64;
+                plan.forward_batch(&mut gx, *threads);
+                gx.scale_inplace(1.0 / n);
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gx));
+            }
+            Op::MulConstCBatch(k) => {
+                let mut gx = gy.as_batch_complex().clone();
+                let kk = k.as_slice();
+                for sample in gx.samples_mut() {
+                    for (a, &b) in sample.iter_mut().zip(kk) {
+                        *a *= b.conj();
+                    }
+                }
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gx));
+            }
+            Op::MulBroadcastC => {
+                let field = self.nodes[node.inputs[0]].value.as_batch_complex();
+                let mask = self.nodes[node.inputs[1]].value.as_complex();
+                let g = gy.as_batch_complex();
+                // Field gradient: g_b ⊙ w̄ per sample.
+                let mut gfield = g.clone();
+                let mk = mask.as_slice();
+                for sample in gfield.samples_mut() {
+                    for (a, &w) in sample.iter_mut().zip(mk) {
+                        *a *= w.conj();
+                    }
+                }
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gfield));
+                // Mask gradient: Σ_b g_b ⊙ x̄_b — the whole batch's mask
+                // gradient in one accumulation.
+                let mut gmask = CGrid::zeros(mask.rows(), mask.cols());
+                for (gs, xs) in g.samples().zip(field.samples()) {
+                    for ((m, &gi), &xi) in gmask.as_mut_slice().iter_mut().zip(gs).zip(xs) {
+                        *m += gi * xi.conj();
+                    }
+                }
+                self.accumulate(grads, node.inputs[1], Value::Complex(gmask));
+            }
+            Op::PropagateBatch {
+                plan,
+                kernel_conj,
+                threads,
+            } => {
+                // The fused hop is normal: its adjoint is the same
+                // pad→FFT→⊙K̄→iFFT→crop pipeline with the conjugate kernel.
+                let g = gy.as_batch_complex();
+                let gx = plan.apply_transfer_batch(g, kernel_conj, g.rows(), *threads);
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gx));
+            }
+            Op::ModulatePropagateBatch {
+                plan,
+                kernel_conj,
+                threads,
+            } => {
+                // y = P(x ⊙ w): with h = Pᴴ(gy), the mask gradient is
+                // Σ_b h_b ⊙ x̄_b and the field gradient h_b ⊙ w̄ — one
+                // adjoint hop shared by both inputs.
+                let x = self.nodes[node.inputs[0]].value.as_batch_complex();
+                let mask = self.nodes[node.inputs[1]].value.as_complex();
+                let g = gy.as_batch_complex();
+                let mut h =
+                    plan.apply_transfer_batch_owned(g.clone(), kernel_conj, g.rows(), *threads);
+                if self.nodes[node.inputs[1]].requires_grad {
+                    let mut gmask = CGrid::zeros(mask.rows(), mask.cols());
+                    for (hs, xs) in h.samples().zip(x.samples()) {
+                        for ((m, &hi), &xi) in gmask.as_mut_slice().iter_mut().zip(hs).zip(xs) {
+                            *m += hi * xi.conj();
+                        }
+                    }
+                    self.accumulate(grads, node.inputs[1], Value::Complex(gmask));
+                }
+                if self.nodes[node.inputs[0]].requires_grad {
+                    let mk = mask.as_slice();
+                    for sample in h.samples_mut() {
+                        for (a, &w) in sample.iter_mut().zip(mk) {
+                            *a *= w.conj();
+                        }
+                    }
+                    self.accumulate(grads, node.inputs[0], Value::BatchComplex(h));
+                }
+            }
+            Op::RegionIntensityBatch(regions) => {
+                // gz_b = 2·gv[b,j]·z_b inside region j, zero elsewhere.
+                let z = self.nodes[node.inputs[0]].value.as_batch_complex();
+                let gv = gy.as_real();
+                let (batch, rows, cols) = z.shape();
+                let mut gz = BatchCGrid::zeros(batch, rows, cols);
+                for b in 0..batch {
+                    let src = z.sample(b);
+                    let dst = gz.sample_mut(b);
+                    for (j, reg) in regions.iter().enumerate() {
+                        let g2 = 2.0 * gv[(b, j)];
+                        for r in reg.r0..reg.r0 + reg.h {
+                            for c in reg.c0..reg.c0 + reg.w {
+                                dst[r * cols + c] += src[r * cols + c].scale(g2);
+                            }
+                        }
+                    }
+                }
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gz));
+            }
+            Op::PadCenteredBatch => {
+                let x = self.nodes[node.inputs[0]].value.as_batch_complex();
+                let gx = gy.as_batch_complex().crop_centered(x.rows(), x.cols());
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gx));
+            }
+            Op::CropCenteredBatch => {
+                let x = self.nodes[node.inputs[0]].value.as_batch_complex();
+                let gx = gy.as_batch_complex().pad_centered(x.rows(), x.cols());
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gx));
+            }
+            Op::IntensityBatch => {
+                // gz_b = 2·gI_b ⊙ z_b.
+                let z = self.nodes[node.inputs[0]].value.as_batch_complex();
+                let gi = gy.as_batch_real();
+                let mut gz = z.clone();
+                for (a, &g) in gz.as_mut_slice().iter_mut().zip(gi.as_slice()) {
+                    *a = a.scale(2.0 * g);
+                }
+                self.accumulate(grads, node.inputs[0], Value::BatchComplex(gz));
+            }
+            Op::RegionSumsBatch(regions) => {
+                let x = self.nodes[node.inputs[0]].value.as_batch_real();
+                let gv = gy.as_real();
+                let (batch, rows, cols) = x.shape();
+                let mut gx = BatchGrid::zeros(batch, rows, cols);
+                for b in 0..batch {
+                    let sample = gx.sample_mut(b);
+                    for (j, reg) in regions.iter().enumerate() {
+                        let g = gv[(b, j)];
+                        for r in reg.r0..reg.r0 + reg.h {
+                            let row = &mut sample[r * cols..(r + 1) * cols];
+                            for v in &mut row[reg.c0..reg.c0 + reg.w] {
+                                *v += g;
+                            }
+                        }
+                    }
+                }
+                self.accumulate(grads, node.inputs[0], Value::BatchReal(gx));
+            }
+            Op::SoftmaxRows => {
+                let y = node.value.as_real();
+                let g = gy.as_real();
+                let mut gx = Grid::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f64 = (0..y.cols()).map(|c| y[(r, c)] * g[(r, c)]).sum();
+                    for c in 0..y.cols() {
+                        gx[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
+                    }
+                }
+                self.accumulate(grads, node.inputs[0], Value::Real(gx));
+            }
+            Op::NormalizeSumRows { eps } => {
+                let x = self.nodes[node.inputs[0]].value.as_real();
+                let y = node.value.as_real();
+                let g = gy.as_real();
+                let mut gx = Grid::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let s = (0..x.cols()).map(|c| x[(r, c)]).sum::<f64>() + eps;
+                    let dot: f64 = (0..x.cols()).map(|c| y[(r, c)] * g[(r, c)]).sum();
+                    for c in 0..x.cols() {
+                        gx[(r, c)] = (g[(r, c)] - dot) / s;
+                    }
+                }
+                self.accumulate(grads, node.inputs[0], Value::Real(gx));
+            }
+            Op::MseOneHotMeanRows(targets) => {
+                let y = self.nodes[node.inputs[0]].value.as_real();
+                let gl = gy.as_scalar() / y.rows() as f64;
+                let mut gx = Grid::zeros(y.rows(), y.cols());
+                for (b, &t) in targets.iter().enumerate() {
+                    for c in 0..y.cols() {
+                        let tv = if c == t { 1.0 } else { 0.0 };
+                        gx[(b, c)] = 2.0 * (y[(b, c)] - tv) * gl;
+                    }
+                }
+                self.accumulate(grads, node.inputs[0], Value::Real(gx));
+            }
+            Op::CrossEntropyMeanRows(targets) => {
+                let y = self.nodes[node.inputs[0]].value.as_real();
+                let gl = gy.as_scalar() / y.rows() as f64;
+                let mut gx = Grid::zeros(y.rows(), y.cols());
+                for (b, &t) in targets.iter().enumerate() {
+                    gx[(b, t)] = -gl / y[(b, t)].max(1e-300);
+                }
+                self.accumulate(grads, node.inputs[0], Value::Real(gx));
             }
         }
     }

@@ -3,7 +3,7 @@
 
 use photonn_fft::Fft2;
 use photonn_math::block::BlockPartition;
-use photonn_math::{CGrid, Complex64, Grid, Rng};
+use photonn_math::{BatchCGrid, CGrid, Complex64, Grid, Rng};
 use std::sync::Arc;
 
 use crate::gradcheck::{assert_grad_matches_complex, assert_grad_matches_real};
@@ -59,10 +59,30 @@ fn donn_layer_gradient_matches_numeric() {
     let kernel = Arc::new(unit_kernel(n, n, &mut rng));
     let plan = Arc::new(Fft2::new(n, n));
     let regions = Arc::new(vec![
-        Region { r0: 0, c0: 0, h: 3, w: 3 },
-        Region { r0: 0, c0: 3, h: 3, w: 3 },
-        Region { r0: 3, c0: 0, h: 3, w: 3 },
-        Region { r0: 3, c0: 3, h: 3, w: 3 },
+        Region {
+            r0: 0,
+            c0: 0,
+            h: 3,
+            w: 3,
+        },
+        Region {
+            r0: 0,
+            c0: 3,
+            h: 3,
+            w: 3,
+        },
+        Region {
+            r0: 3,
+            c0: 0,
+            h: 3,
+            w: 3,
+        },
+        Region {
+            r0: 3,
+            c0: 3,
+            h: 3,
+            w: 3,
+        },
     ]);
 
     let mut tape = Tape::new();
@@ -223,8 +243,22 @@ fn real_elementwise_ops_gradient() {
         (v, grads.real(av).cloned(), grads.real(bv).cloned())
     };
     let (_, ga, gb) = run(&a0, &b0);
-    assert_grad_matches_real(|a| run(a, &b0).0, &a0, &ga.unwrap(), 1e-6, 1e-6, "elementwise a");
-    assert_grad_matches_real(|b| run(&a0, b).0, &b0, &gb.unwrap(), 1e-6, 1e-6, "elementwise b");
+    assert_grad_matches_real(
+        |a| run(a, &b0).0,
+        &a0,
+        &ga.unwrap(),
+        1e-6,
+        1e-6,
+        "elementwise a",
+    );
+    assert_grad_matches_real(
+        |b| run(&a0, b).0,
+        &b0,
+        &gb.unwrap(),
+        1e-6,
+        1e-6,
+        "elementwise b",
+    );
 }
 
 #[test]
@@ -243,8 +277,18 @@ fn diamond_reuse_accumulates() {
 fn cross_entropy_gradient() {
     let i0 = Grid::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
     let regions = Arc::new(vec![
-        Region { r0: 0, c0: 0, h: 1, w: 2 },
-        Region { r0: 1, c0: 0, h: 1, w: 2 },
+        Region {
+            r0: 0,
+            c0: 0,
+            h: 1,
+            w: 2,
+        },
+        Region {
+            r0: 1,
+            c0: 0,
+            h: 1,
+            w: 2,
+        },
     ]);
     let run = |i: &Grid| -> (f64, Option<Grid>) {
         let mut tape = Tape::new();
@@ -264,8 +308,18 @@ fn cross_entropy_gradient() {
 fn scale_v_gradient_and_value() {
     let i0 = Grid::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
     let regions = Arc::new(vec![
-        Region { r0: 0, c0: 0, h: 1, w: 2 },
-        Region { r0: 1, c0: 0, h: 1, w: 2 },
+        Region {
+            r0: 0,
+            c0: 0,
+            h: 1,
+            w: 2,
+        },
+        Region {
+            r0: 1,
+            c0: 0,
+            h: 1,
+            w: 2,
+        },
     ]);
     let run = |i: &Grid| -> (f64, Option<Grid>) {
         let mut tape = Tape::new();
@@ -323,7 +377,12 @@ fn forward_values_are_correct_small_case() {
     let i = tape.intensity(w);
     assert!((tape.real(i).sum() - 2.0).abs() < 1e-12);
 
-    let regions = Arc::new(vec![Region { r0: 0, c0: 0, h: 1, w: 2 }]);
+    let regions = Arc::new(vec![Region {
+        r0: 0,
+        c0: 0,
+        h: 1,
+        w: 2,
+    }]);
     let sums = tape.region_sums(i, &regions);
     assert!((tape.vector(sums)[0] - 2.0).abs() < 1e-12);
 }
@@ -334,14 +393,28 @@ fn softmax_saturation_avoided_by_normalize() {
     // keeps gradients alive. This is why the model normalizes (§III-A).
     let i0 = Grid::from_rows(&[&[300.0, 100.0], &[200.0, 150.0]]);
     let regions = Arc::new(vec![
-        Region { r0: 0, c0: 0, h: 1, w: 2 },
-        Region { r0: 1, c0: 0, h: 1, w: 2 },
+        Region {
+            r0: 0,
+            c0: 0,
+            h: 1,
+            w: 2,
+        },
+        Region {
+            r0: 1,
+            c0: 0,
+            h: 1,
+            w: 2,
+        },
     ]);
     let grad_norm = |normalize: bool| -> f64 {
         let mut tape = Tape::new();
         let iv = tape.leaf_real(i0.clone());
         let sums = tape.region_sums(iv, &regions);
-        let v = if normalize { tape.normalize_sum(sums, 1e-9) } else { sums };
+        let v = if normalize {
+            tape.normalize_sum(sums, 1e-9)
+        } else {
+            sums
+        };
         let probs = tape.softmax(v);
         let loss = tape.mse_onehot(probs, 1);
         tape.backward(loss)
@@ -353,4 +426,306 @@ fn softmax_saturation_avoided_by_normalize() {
             .sum()
     };
     assert!(grad_norm(true) > 100.0 * grad_norm(false).max(1e-300));
+}
+
+// ------------------------------------------------------------------ batched
+
+/// Shared fixture for the batched tests: B samples, one mask, a unit
+/// kernel, 4 detector regions and per-sample targets.
+struct BatchFixture {
+    n: usize,
+    padded: usize,
+    phi: Grid,
+    inputs: Vec<CGrid>,
+    kernel: Arc<CGrid>,
+    kernel_conj: Arc<CGrid>,
+    plan: Arc<Fft2>,
+    regions: Arc<Vec<Region>>,
+    targets: Arc<Vec<usize>>,
+}
+
+fn batch_fixture(batch: usize, n: usize, padded: usize, seed: u64) -> BatchFixture {
+    let mut rng = Rng::seed_from(seed);
+    let kernel = Arc::new(unit_kernel(padded, padded, &mut rng));
+    let kernel_conj = Arc::new(kernel.conj());
+    BatchFixture {
+        n,
+        padded,
+        phi: random_grid(n, n, &mut rng),
+        inputs: (0..batch).map(|_| random_field(n, n, &mut rng)).collect(),
+        kernel,
+        kernel_conj,
+        plan: Arc::new(Fft2::new(padded, padded)),
+        regions: Arc::new(vec![
+            Region {
+                r0: 0,
+                c0: 0,
+                h: 3,
+                w: 3,
+            },
+            Region {
+                r0: 0,
+                c0: 3,
+                h: 3,
+                w: 3,
+            },
+            Region {
+                r0: 3,
+                c0: 0,
+                h: 3,
+                w: 3,
+            },
+            Region {
+                r0: 3,
+                c0: 3,
+                h: 3,
+                w: 3,
+            },
+        ]),
+        targets: Arc::new((0..batch).map(|b| b % 4).collect()),
+    }
+}
+
+/// Per-sample oracle: one tape per sample through the granular single ops,
+/// returning (mean loss, batch-averaged mask gradient).
+fn per_sample_oracle(fx: &BatchFixture) -> (f64, Grid) {
+    let batch = fx.inputs.len();
+    let mut grad = Grid::zeros(fx.n, fx.n);
+    let mut loss_sum = 0.0;
+    for (input, &target) in fx.inputs.iter().zip(fx.targets.iter()) {
+        let mut tape = Tape::new();
+        let phi_v = tape.leaf_real(fx.phi.clone());
+        let f = tape.constant_complex(input.clone());
+        let w = tape.phase_to_complex(phi_v);
+        let modulated = tape.mul_cc(f, w);
+        let padded = if fx.padded == fx.n {
+            modulated
+        } else {
+            tape.pad_centered(modulated, fx.padded, fx.padded)
+        };
+        let spec = tape.fft2(padded, &fx.plan);
+        let filtered = tape.mul_const_c(spec, &fx.kernel);
+        let back = tape.ifft2(filtered, &fx.plan);
+        let out = if fx.padded == fx.n {
+            back
+        } else {
+            tape.crop_centered(back, fx.n, fx.n)
+        };
+        let intensity = tape.intensity(out);
+        let sums = tape.region_sums(intensity, &fx.regions);
+        let norm = tape.normalize_sum(sums, 1e-9);
+        let probs = tape.softmax(norm);
+        let loss = tape.mse_onehot(probs, target);
+        loss_sum += tape.scalar(loss);
+        let grads = tape.backward(loss);
+        grad.axpy(1.0, grads.real(phi_v).unwrap());
+    }
+    grad.scale_inplace(1.0 / batch as f64);
+    (loss_sum / batch as f64, grad)
+}
+
+/// One batched tape through the granular batched ops.
+fn batched_granular(fx: &BatchFixture) -> (f64, Grid) {
+    let mut tape = Tape::new();
+    let phi_v = tape.leaf_real(fx.phi.clone());
+    let field = tape.constant_batch_complex(BatchCGrid::from_samples(&fx.inputs));
+    let w = tape.phase_to_complex(phi_v);
+    let modulated = tape.mul_bc(field, w);
+    let padded = if fx.padded == fx.n {
+        modulated
+    } else {
+        tape.pad_centered_batch(modulated, fx.padded, fx.padded)
+    };
+    let spec = tape.fft2_batch(padded, &fx.plan, 2);
+    let filtered = tape.mul_const_c_batch(spec, &fx.kernel);
+    let back = tape.ifft2_batch(filtered, &fx.plan, 2);
+    let out = if fx.padded == fx.n {
+        back
+    } else {
+        tape.crop_centered_batch(back, fx.n, fx.n)
+    };
+    let intensity = tape.intensity_batch(out);
+    let sums = tape.region_sums_batch(intensity, &fx.regions);
+    let norm = tape.normalize_sum_rows(sums, 1e-9);
+    let probs = tape.softmax_rows(norm);
+    let loss = tape.mse_onehot_mean_rows(probs, &fx.targets);
+    let l = tape.scalar(loss);
+    let grads = tape.backward(loss);
+    (l, grads.real(phi_v).unwrap().clone())
+}
+
+/// One batched tape using the fused propagate op instead of the granular
+/// pad→fft→⊙K→ifft→crop chain.
+fn batched_fused(fx: &BatchFixture) -> (f64, Grid) {
+    let mut tape = Tape::new();
+    let phi_v = tape.leaf_real(fx.phi.clone());
+    let field = tape.constant_batch_complex(BatchCGrid::from_samples(&fx.inputs));
+    let w = tape.phase_to_complex(phi_v);
+    let modulated = tape.mul_bc(field, w);
+    let out = tape.propagate_batch(modulated, &fx.kernel, &fx.kernel_conj, &fx.plan, 2);
+    let intensity = tape.intensity_batch(out);
+    let sums = tape.region_sums_batch(intensity, &fx.regions);
+    let norm = tape.normalize_sum_rows(sums, 1e-9);
+    let probs = tape.softmax_rows(norm);
+    let loss = tape.mse_onehot_mean_rows(probs, &fx.targets);
+    let l = tape.scalar(loss);
+    let grads = tape.backward(loss);
+    (l, grads.real(phi_v).unwrap().clone())
+}
+
+/// One batched tape using the per-layer fused modulate-propagate node and
+/// the fused detector readout.
+fn batched_layer_fused(fx: &BatchFixture) -> (f64, Grid) {
+    let mut tape = Tape::new();
+    let phi_v = tape.leaf_real(fx.phi.clone());
+    let field = tape.constant_batch_complex(BatchCGrid::from_samples(&fx.inputs));
+    let w = tape.phase_to_complex(phi_v);
+    let out = tape.modulate_propagate_batch(field, w, &fx.kernel, &fx.kernel_conj, &fx.plan, 2);
+    let sums = tape.region_intensity_batch(out, &fx.regions);
+    let norm = tape.normalize_sum_rows(sums, 1e-9);
+    let probs = tape.softmax_rows(norm);
+    let loss = tape.mse_onehot_mean_rows(probs, &fx.targets);
+    let l = tape.scalar(loss);
+    let grads = tape.backward(loss);
+    (l, grads.real(phi_v).unwrap().clone())
+}
+
+#[test]
+fn layer_fused_ops_match_granular_chain() {
+    for (n, padded) in [(6usize, 6usize), (6, 12)] {
+        let fx = batch_fixture(4, n, padded, 57);
+        let (loss_g, grad_g) = batched_granular(&fx);
+        let (loss_f, grad_f) = batched_layer_fused(&fx);
+        assert!(
+            (loss_g - loss_f).abs() < 1e-12,
+            "({n},{padded}): {loss_g} vs {loss_f}"
+        );
+        assert!(
+            grad_g.max_abs_diff(&grad_f) < 1e-12,
+            "({n},{padded}): {}",
+            grad_g.max_abs_diff(&grad_f)
+        );
+    }
+}
+
+#[test]
+fn batched_granular_matches_per_sample_average() {
+    for (n, padded) in [(6usize, 6usize), (6, 12)] {
+        let fx = batch_fixture(4, n, padded, 11);
+        let (loss_ps, grad_ps) = per_sample_oracle(&fx);
+        let (loss_b, grad_b) = batched_granular(&fx);
+        assert!(
+            (loss_ps - loss_b).abs() < 1e-12,
+            "loss mismatch ({n},{padded}): {loss_ps} vs {loss_b}"
+        );
+        assert!(
+            grad_ps.max_abs_diff(&grad_b) < 1e-12,
+            "grad mismatch ({n},{padded}): {}",
+            grad_ps.max_abs_diff(&grad_b)
+        );
+    }
+}
+
+#[test]
+fn fused_propagate_matches_granular_chain() {
+    let fx = batch_fixture(3, 6, 12, 23);
+    let (loss_g, grad_g) = batched_granular(&fx);
+    let (loss_f, grad_f) = batched_fused(&fx);
+    assert!((loss_g - loss_f).abs() < 1e-12, "{loss_g} vs {loss_f}");
+    assert!(
+        grad_g.max_abs_diff(&grad_f) < 1e-12,
+        "{}",
+        grad_g.max_abs_diff(&grad_f)
+    );
+}
+
+#[test]
+fn batched_mask_gradient_matches_numeric() {
+    let fx = batch_fixture(3, 6, 6, 31);
+    let (_, grad) = batched_fused(&fx);
+    assert_grad_matches_real(
+        |p| {
+            let probe = BatchFixture {
+                phi: p.clone(),
+                inputs: fx.inputs.clone(),
+                kernel: fx.kernel.clone(),
+                kernel_conj: fx.kernel_conj.clone(),
+                plan: fx.plan.clone(),
+                regions: fx.regions.clone(),
+                targets: fx.targets.clone(),
+                ..batch_fixture(3, 6, 6, 31)
+            };
+            batched_fused(&probe).0
+        },
+        &fx.phi,
+        &grad,
+        1e-5,
+        1e-5,
+        "batched mask gradient",
+    );
+}
+
+#[test]
+fn batched_cross_entropy_matches_per_sample() {
+    let fx = batch_fixture(4, 6, 6, 47);
+    // Per-sample cross-entropy mean.
+    let mut loss_sum = 0.0;
+    let mut grad = Grid::zeros(fx.n, fx.n);
+    for (input, &target) in fx.inputs.iter().zip(fx.targets.iter()) {
+        let mut tape = Tape::new();
+        let phi_v = tape.leaf_real(fx.phi.clone());
+        let f = tape.constant_complex(input.clone());
+        let w = tape.phase_to_complex(phi_v);
+        let modulated = tape.mul_cc(f, w);
+        let spec = tape.fft2(modulated, &fx.plan);
+        let filtered = tape.mul_const_c(spec, &fx.kernel);
+        let out = tape.ifft2(filtered, &fx.plan);
+        let intensity = tape.intensity(out);
+        let sums = tape.region_sums(intensity, &fx.regions);
+        let norm = tape.normalize_sum(sums, 1e-9);
+        let probs = tape.softmax(norm);
+        let loss = tape.cross_entropy_onehot(probs, target);
+        loss_sum += tape.scalar(loss);
+        grad.axpy(1.0, tape.backward(loss).real(phi_v).unwrap());
+    }
+    grad.scale_inplace(0.25);
+    loss_sum *= 0.25;
+
+    // Batched.
+    let mut tape = Tape::new();
+    let phi_v = tape.leaf_real(fx.phi.clone());
+    let field = tape.constant_batch_complex(BatchCGrid::from_samples(&fx.inputs));
+    let w = tape.phase_to_complex(phi_v);
+    let modulated = tape.mul_bc(field, w);
+    let out = tape.propagate_batch(modulated, &fx.kernel, &fx.kernel_conj, &fx.plan, 1);
+    let intensity = tape.intensity_batch(out);
+    let sums = tape.region_sums_batch(intensity, &fx.regions);
+    let norm = tape.normalize_sum_rows(sums, 1e-9);
+    let probs = tape.softmax_rows(norm);
+    let loss = tape.cross_entropy_mean_rows(probs, &fx.targets);
+    assert!((tape.scalar(loss) - loss_sum).abs() < 1e-12);
+    let g = tape.backward(loss);
+    assert!(grad.max_abs_diff(g.real(phi_v).unwrap()) < 1e-12);
+}
+
+#[test]
+fn batched_complex_leaf_receives_gradient() {
+    let mut tape = Tape::new();
+    let batch = BatchCGrid::from_fn(2, 3, 3, |b, r, c| {
+        Complex64::new((b + r) as f64 * 0.5, c as f64 * 0.25)
+    });
+    let z = tape.leaf_batch_complex(batch);
+    let i = tape.intensity_batch(z);
+    let regions = Arc::new(vec![Region {
+        r0: 0,
+        c0: 0,
+        h: 3,
+        w: 3,
+    }]);
+    let sums = tape.region_sums_batch(i, &regions);
+    let loss = tape.mse_onehot_mean_rows(sums, &Arc::new(vec![0, 0]));
+    let grads = tape.backward(loss);
+    let gz = grads.batch_complex(z).expect("batch leaf gradient");
+    assert_eq!(gz.shape(), (2, 3, 3));
+    assert!(gz.as_slice().iter().any(|g| g.norm() > 0.0));
 }

@@ -1,16 +1,21 @@
 //! Runtime values flowing through the tape.
 
-use photonn_math::{CGrid, Grid};
+use photonn_math::{BatchCGrid, BatchGrid, CGrid, Grid};
 
-/// A value stored at a tape node: real grid, complex field, vector or
-/// scalar. Gradients reuse the same representation (for a complex value
-/// the gradient is `∂L/∂z̄` in the Wirtinger convention).
+/// A value stored at a tape node: real grid, complex field, batched
+/// real/complex field stacks, vector or scalar. Gradients reuse the same
+/// representation (for a complex value the gradient is `∂L/∂z̄` in the
+/// Wirtinger convention).
 #[derive(Clone, Debug)]
 pub enum Value {
     /// Real 2-D grid (phase masks, intensities, selection probabilities).
     Real(Grid),
     /// Complex 2-D field (wavefunctions, spectra, transmissions).
     Complex(CGrid),
+    /// A mini-batch of real grids (batched detector intensities).
+    BatchReal(BatchGrid),
+    /// A mini-batch of complex fields (batched wavefunctions).
+    BatchComplex(BatchCGrid),
     /// Flat real vector (detector sums, probabilities).
     Vector(Vec<f64>),
     /// Real scalar (losses, penalties).
@@ -23,8 +28,38 @@ impl Value {
         match self {
             Value::Real(g) => Value::Real(Grid::zeros(g.rows(), g.cols())),
             Value::Complex(g) => Value::Complex(CGrid::zeros(g.rows(), g.cols())),
+            Value::BatchReal(g) => {
+                Value::BatchReal(BatchGrid::zeros(g.batch(), g.rows(), g.cols()))
+            }
+            Value::BatchComplex(g) => {
+                Value::BatchComplex(BatchCGrid::zeros(g.batch(), g.rows(), g.cols()))
+            }
             Value::Vector(v) => Value::Vector(vec![0.0; v.len()]),
             Value::Scalar(_) => Value::Scalar(0.0),
+        }
+    }
+
+    /// Borrows the batched real grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `BatchReal`.
+    pub fn as_batch_real(&self) -> &BatchGrid {
+        match self {
+            Value::BatchReal(g) => g,
+            other => panic!("expected BatchReal value, found {}", other.kind()),
+        }
+    }
+
+    /// Borrows the batched complex field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `BatchComplex`.
+    pub fn as_batch_complex(&self) -> &BatchCGrid {
+        match self {
+            Value::BatchComplex(g) => g,
+            other => panic!("expected BatchComplex value, found {}", other.kind()),
         }
     }
 
@@ -80,6 +115,8 @@ impl Value {
         match self {
             Value::Real(_) => "Real",
             Value::Complex(_) => "Complex",
+            Value::BatchReal(_) => "BatchReal",
+            Value::BatchComplex(_) => "BatchComplex",
             Value::Vector(_) => "Vector",
             Value::Scalar(_) => "Scalar",
         }

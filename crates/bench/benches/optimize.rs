@@ -21,9 +21,27 @@ fn bench_roughness(c: &mut Criterion) {
     let mut group = c.benchmark_group("roughness");
     let m = mask(200);
     for (label, cfg) in [
-        ("200_8n_abs", RoughnessConfig { neighborhood: Neighborhood::Eight, metric: DiffMetric::Abs }),
-        ("200_4n_abs", RoughnessConfig { neighborhood: Neighborhood::Four, metric: DiffMetric::Abs }),
-        ("200_8n_sq", RoughnessConfig { neighborhood: Neighborhood::Eight, metric: DiffMetric::Squared }),
+        (
+            "200_8n_abs",
+            RoughnessConfig {
+                neighborhood: Neighborhood::Eight,
+                metric: DiffMetric::Abs,
+            },
+        ),
+        (
+            "200_4n_abs",
+            RoughnessConfig {
+                neighborhood: Neighborhood::Four,
+                metric: DiffMetric::Abs,
+            },
+        ),
+        (
+            "200_8n_sq",
+            RoughnessConfig {
+                neighborhood: Neighborhood::Eight,
+                metric: DiffMetric::Squared,
+            },
+        ),
     ] {
         group.bench_function(format!("value_{label}"), |b| {
             b.iter(|| roughness_value(black_box(&m), cfg))
@@ -43,9 +61,7 @@ fn bench_sparsify(c: &mut Criterion) {
         ("nonstructured", SparsifyMethod::NonStructured),
         ("bank_balanced", SparsifyMethod::BankBalanced { banks: 10 }),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| sparsify(black_box(&m), 0.1, method))
-        });
+        group.bench_function(label, |b| b.iter(|| sparsify(black_box(&m), 0.1, method)));
     }
     group.finish();
 }
@@ -63,5 +79,10 @@ fn bench_block_variance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_roughness, bench_sparsify, bench_block_variance);
+criterion_group!(
+    benches,
+    bench_roughness,
+    bench_sparsify,
+    bench_block_variance
+);
 criterion_main!(benches);

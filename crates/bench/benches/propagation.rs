@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use photonn_math::{CGrid, Complex64};
-use photonn_optics::{transfer_function, Geometry, KernelOptions, Padding, Propagator, PAPER_DISTANCE};
+use photonn_optics::{
+    transfer_function, Geometry, KernelOptions, Padding, Propagator, PAPER_DISTANCE,
+};
 use std::hint::black_box;
 
 fn field(n: usize) -> CGrid {
@@ -18,7 +20,14 @@ fn bench_kernel_build(c: &mut Criterion) {
     for n in [64usize, 200] {
         let geom = Geometry::paper_scaled(n);
         group.bench_function(format!("{n}x{n}"), |b| {
-            b.iter(|| transfer_function(&geom, black_box(n), PAPER_DISTANCE, KernelOptions::default()))
+            b.iter(|| {
+                transfer_function(
+                    &geom,
+                    black_box(n),
+                    PAPER_DISTANCE,
+                    KernelOptions::default(),
+                )
+            })
         });
     }
     group.finish();

@@ -66,9 +66,17 @@ fn bench_checkerboard_hard_case(c: &mut Criterion) {
     let mut group = c.benchmark_group("two_pi_checkerboard");
     group.sample_size(10);
     let n = 32;
-    let m = Grid::from_fn(n, n, |r, c| {
-        if (r + c) % 2 == 0 { 0.2 } else { TWO_PI - 0.3 }
-    });
+    let m = Grid::from_fn(
+        n,
+        n,
+        |r, c| {
+            if (r + c) % 2 == 0 {
+                0.2
+            } else {
+                TWO_PI - 0.3
+            }
+        },
+    );
     group.bench_function("32x32_gumbel150", |b| {
         b.iter(|| {
             optimize_mask(
@@ -81,5 +89,10 @@ fn bench_checkerboard_hard_case(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_greedy, bench_gumbel, bench_checkerboard_hard_case);
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_gumbel,
+    bench_checkerboard_hard_case
+);
 criterion_main!(benches);

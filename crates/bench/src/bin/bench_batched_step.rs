@@ -1,0 +1,128 @@
+//! Training-step throughput: batched propagation engine vs the per-sample
+//! tape oracle.
+//!
+//! Runs full optimizer steps (gradients + Adam update) of a 3-layer DONN
+//! at grid 32 / batch 50 through both gradient paths and reports
+//! steps/sec, writing `BENCH_batched_step.json` so successive PRs can
+//! track the throughput trajectory.
+//!
+//! ```sh
+//! cargo run --release -p photonn-bench --bin bench_batched_step
+//! cargo run --release -p photonn-bench --bin bench_batched_step -- --grid 64 --batch 100
+//! ```
+
+use photonn_autodiff::Adam;
+use photonn_datasets::{Dataset, Family};
+use photonn_donn::train::{batched_gradients, per_sample_batch_gradients};
+use photonn_donn::{Donn, DonnConfig};
+use photonn_math::{Grid, Rng};
+use std::time::Instant;
+
+struct Options {
+    grid: usize,
+    batch: usize,
+    steps: usize,
+    threads: usize,
+    out: String,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        grid: 32,
+        batch: 50,
+        steps: 12,
+        threads: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
+        out: "BENCH_batched_step.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned();
+        match args[i].as_str() {
+            "--grid" => opts.grid = value.and_then(|v| v.parse().ok()).unwrap_or(opts.grid),
+            "--batch" => opts.batch = value.and_then(|v| v.parse().ok()).unwrap_or(opts.batch),
+            "--steps" => opts.steps = value.and_then(|v| v.parse().ok()).unwrap_or(opts.steps),
+            "--threads" => {
+                opts.threads = value.and_then(|v| v.parse().ok()).unwrap_or(opts.threads);
+            }
+            "--out" => opts.out = value.unwrap_or(opts.out),
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    opts
+}
+
+/// One full optimizer step through a gradient path.
+type GradFn =
+    fn(&Donn, &Dataset, &[usize], Option<&[std::sync::Arc<Grid>]>, usize) -> (Vec<Grid>, f64);
+
+fn run_steps(
+    donn: &mut Donn,
+    data: &Dataset,
+    batch: &[usize],
+    threads: usize,
+    steps: usize,
+    grad: GradFn,
+) -> f64 {
+    let mut adam = Adam::new(0.05);
+    // Warm-up step outside the timing window (allocator, FFT plan caches).
+    let (g, _) = grad(donn, data, batch, None, threads);
+    adam.step(donn.masks_mut(), &g);
+    let start = Instant::now();
+    for _ in 0..steps {
+        let (g, _) = grad(donn, data, batch, None, threads);
+        adam.step(donn.masks_mut(), &g);
+    }
+    steps as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let opts = parse_options();
+    println!(
+        "== bench_batched_step :: grid {0}x{0} | batch {1} | {2} threads | {3} timed steps per path ==",
+        opts.grid, opts.batch, opts.threads, opts.steps
+    );
+
+    let mut rng = Rng::seed_from(42);
+    let donn = Donn::random(DonnConfig::scaled(opts.grid), &mut rng);
+    let data = Dataset::synthetic(Family::Mnist, opts.batch, 42).resized(opts.grid);
+    let batch: Vec<usize> = (0..opts.batch).collect();
+
+    let mut donn_ps = donn.clone();
+    let per_sample = run_steps(
+        &mut donn_ps,
+        &data,
+        &batch,
+        opts.threads,
+        opts.steps,
+        per_sample_batch_gradients,
+    );
+    println!("per-sample oracle : {per_sample:8.3} steps/sec");
+
+    let mut donn_b = donn.clone();
+    let batched = run_steps(
+        &mut donn_b,
+        &data,
+        &batch,
+        opts.threads,
+        opts.steps,
+        batched_gradients,
+    );
+    println!("batched engine    : {batched:8.3} steps/sec");
+
+    let speedup = batched / per_sample;
+    println!("speedup           : {speedup:8.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"batched_step\",\n  \"grid\": {},\n  \"batch\": {},\n  \"threads\": {},\n  \"timed_steps\": {},\n  \"per_sample_steps_per_sec\": {:.4},\n  \"batched_steps_per_sec\": {:.4},\n  \"speedup\": {:.4}\n}}\n",
+        opts.grid, opts.batch, opts.threads, opts.steps, per_sample, batched, speedup
+    );
+    match std::fs::write(&opts.out, &json) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => eprintln!("could not write {}: {e}", opts.out),
+    }
+}

@@ -1,7 +1,9 @@
 //! Regenerates **Fig. 2**: the roughness definition (Eq. 3) on a 3×3 mask
 //! with 4- and 8-neighborhoods and one-pixel zero padding.
 
-use photonn_donn::roughness::{roughness, roughness_map, DiffMetric, Neighborhood, RoughnessConfig};
+use photonn_donn::roughness::{
+    roughness, roughness_map, DiffMetric, Neighborhood, RoughnessConfig,
+};
 use photonn_math::Grid;
 
 fn main() {
@@ -12,7 +14,10 @@ fn main() {
     println!("phase mask:");
     print!("{mask}");
 
-    for (label, nb) in [("4-neighbors", Neighborhood::Four), ("8-neighbors", Neighborhood::Eight)] {
+    for (label, nb) in [
+        ("4-neighbors", Neighborhood::Four),
+        ("8-neighbors", Neighborhood::Eight),
+    ] {
         let cfg = RoughnessConfig {
             neighborhood: nb,
             metric: DiffMetric::Abs,
@@ -20,7 +25,10 @@ fn main() {
         println!("\n{label} (k = {}):", nb.k());
         println!("per-pixel roughness R(p) = (1/k)·Σ|p_q − p| with zero padding:");
         print!("{}", roughness_map(&mask, cfg));
-        println!("mask roughness R(W) = Σ R(p) = {:.4}", roughness(&mask, cfg));
+        println!(
+            "mask roughness R(W) = Σ R(p) = {:.4}",
+            roughness(&mask, cfg)
+        );
     }
 
     println!("\nworked check, center pixel p11 = 2 with 4 neighbors {{0,0,0,0}}:");

@@ -2,8 +2,8 @@
 //! bank-balanced sparsification on the paper's 6×6 worked example at
 //! ratio 0.33 (8-neighbor roughness).
 
-use photonn_donn::roughness::{roughness, RoughnessConfig};
 use photonn_donn::report::Table;
+use photonn_donn::roughness::{roughness, RoughnessConfig};
 use photonn_donn::sparsify::{fig3_matrix, sparsify, SparsifyMethod};
 
 fn main() {
@@ -44,8 +44,14 @@ fn main() {
         roughness(&ns.mask, cfg),
         roughness(&bank.mask, cfg),
     );
-    println!("ordering check (the figure's claim): block lowest — {}",
-        if rb <= rn && rb <= rk { "REPRODUCED" } else { "NOT reproduced" });
+    println!(
+        "ordering check (the figure's claim): block lowest — {}",
+        if rb <= rn && rb <= rk {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
     println!();
     println!("Note on absolute values: applying Eq. 3-4 literally (mean |Δ| over the");
     println!("neighborhood, zero padding, summed over pixels) to the printed matrix gives");

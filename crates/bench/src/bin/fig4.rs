@@ -31,8 +31,14 @@ fn main() {
     println!("paper figure:  4.4  2.3  6.9 / 0  10.6  0 / 6.0  0  13.4");
 
     let avg = avg_block_variance(&mask, 2);
-    println!("\nAvgVar = {avg:.3}   (paper: 4.835) — {}",
-        if (avg - 4.835).abs() < 0.005 { "REPRODUCED exactly" } else { "mismatch" });
+    println!(
+        "\nAvgVar = {avg:.3}   (paper: 4.835) — {}",
+        if (avg - 4.835).abs() < 0.005 {
+            "REPRODUCED exactly"
+        } else {
+            "mismatch"
+        }
+    );
     println!("\n(The paper's variance convention is torch.var's unbiased sample variance,");
     println!(" divide-by-(n−1); the population convention gives 3.63 on this example.)");
 }

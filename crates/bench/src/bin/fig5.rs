@@ -13,7 +13,10 @@ use std::path::PathBuf;
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.experiment(Family::Emnist);
-    banner("Fig. 5 — phase masks of the 2nd diffractive layer (EMNIST)", &cfg);
+    banner(
+        "Fig. 5 — phase masks of the 2nd diffractive layer (EMNIST)",
+        &cfg,
+    );
 
     let out_dir = PathBuf::from(cli.out.unwrap_or_else(|| "out/fig5".to_string()));
     std::fs::create_dir_all(&out_dir).expect("create output directory");

@@ -55,21 +55,39 @@ fn main() {
     let mut all_points: Vec<SweepPoint> = Vec::new();
 
     if panel == "b" || panel == "all" || panel == "a" {
-        let pts = sweep_on(&cfg, SweepParam::SparsityRatio, &ratio_values, &train_set, &test_set);
+        let pts = sweep_on(
+            &cfg,
+            SweepParam::SparsityRatio,
+            &ratio_values,
+            &train_set,
+            &test_set,
+        );
         if panel != "a" {
             print_series("Fig. 6b — sparsification ratio", "ratio", &pts);
         }
         all_points.extend(pts);
     }
     if panel == "c" || panel == "all" || panel == "a" {
-        let pts = sweep_on(&cfg, SweepParam::RoughnessWeight, &p_values, &train_set, &test_set);
+        let pts = sweep_on(
+            &cfg,
+            SweepParam::RoughnessWeight,
+            &p_values,
+            &train_set,
+            &test_set,
+        );
         if panel != "a" {
             print_series("Fig. 6c — roughness regularization p", "p", &pts);
         }
         all_points.extend(pts);
     }
     if panel == "d" || panel == "all" || panel == "a" {
-        let pts = sweep_on(&cfg, SweepParam::IntraWeight, &q_values, &train_set, &test_set);
+        let pts = sweep_on(
+            &cfg,
+            SweepParam::IntraWeight,
+            &q_values,
+            &train_set,
+            &test_set,
+        );
         if panel != "a" {
             print_series("Fig. 6d — intra-block regularization q", "q", &pts);
         }

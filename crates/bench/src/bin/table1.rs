@@ -5,7 +5,12 @@ use photonn_donn::report::Table;
 
 fn main() {
     println!("== photonn-bench :: Table I — methodology comparison ==\n");
-    let mut t = Table::new(&["Methods", "Roughness-aware", "Sparsity", "2π Periodic Optimization"]);
+    let mut t = Table::new(&[
+        "Methods",
+        "Roughness-aware",
+        "Sparsity",
+        "2π Periodic Optimization",
+    ]);
     t.row(&["[5], [16]  (Lin et al., Mengu et al.)", " ", " ", " "]);
     t.row(&["[6], [8]   (Zhou et al., Li et al.)", " ", " ", "✓"]);
     t.row(&["Ours", "✓", "✓", "✓"]);

@@ -2,8 +2,8 @@
 //! strategy for the 2π optimization (§III-D2), on masks produced by the
 //! sparsification pipeline — the design-choice study DESIGN.md calls out.
 
-use photonn_bench::{banner, Cli};
 use photonn_autodiff::TemperatureSchedule;
+use photonn_bench::{banner, Cli};
 use photonn_datasets::Family;
 use photonn_donn::pipeline::{run_variant_on, Variant};
 use photonn_donn::report::Table;
@@ -13,7 +13,10 @@ use photonn_donn::two_pi::{optimize_all, GumbelParams, TwoPiStrategy};
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.experiment(Family::Mnist);
-    banner("2π strategy ablation (masks from Ours-B sparsification)", &cfg);
+    banner(
+        "2π strategy ablation (masks from Ours-B sparsification)",
+        &cfg,
+    );
 
     let (train_set, test_set) = cfg.datasets();
     let result = run_variant_on(&cfg, Variant::OursB, &train_set, &test_set);
@@ -46,7 +49,10 @@ fn main() {
         t.row_owned(vec![
             name.to_string(),
             format!("{after:.2}"),
-            format!("{:.1}%", (result.r_before - after) / result.r_before * 100.0),
+            format!(
+                "{:.1}%",
+                (result.r_before - after) / result.r_before * 100.0
+            ),
             format!("{:.2}", start.elapsed().as_secs_f64()),
         ]);
     }

@@ -75,8 +75,7 @@ impl FabricationModel {
     /// Forward pass through the *deployed* system (crosstalk-corrupted
     /// transmissions) for an encoded input field.
     pub fn forward_field(&self, donn: &Donn, input: &CGrid) -> CGrid {
-        let transmissions: Vec<CGrid> =
-            donn.masks().iter().map(|m| self.transmission(m)).collect();
+        let transmissions: Vec<CGrid> = donn.masks().iter().map(|m| self.transmission(m)).collect();
         let mut field = propagate_like(donn, input);
         for t in &transmissions {
             field.hadamard_inplace(t);
@@ -87,13 +86,20 @@ impl FabricationModel {
 
     /// Deployed prediction for an image.
     pub fn predict(&self, donn: &Donn, image: &Grid) -> usize {
-        let intensity = self.forward_field(donn, &encode_amplitude(image)).intensity();
+        let intensity = self
+            .forward_field(donn, &encode_amplitude(image))
+            .intensity();
         let sums: Vec<f64> = donn.regions().iter().map(|r| r.sum(&intensity)).collect();
         argmax(&sums)
     }
 
     /// Deployed accuracy over a dataset (chunked parallel, deterministic).
+    ///
+    /// Returns `0.0` for an empty dataset instead of dividing by zero.
     pub fn accuracy(&self, donn: &Donn, dataset: &Dataset, threads: usize) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
         let threads = threads.max(1).min(dataset.len());
         let chunk = dataset.len().div_ceil(threads);
         let correct: usize = std::thread::scope(|scope| {
@@ -110,7 +116,10 @@ impl FabricationModel {
                         .count()
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
         });
         correct as f64 / dataset.len() as f64
     }
@@ -155,6 +164,15 @@ mod tests {
     use photonn_math::{Rng, TWO_PI};
 
     #[test]
+    fn deployed_accuracy_of_empty_dataset_is_zero_not_panic() {
+        let mut rng = Rng::seed_from(2);
+        let donn = crate::Donn::random(DonnConfig::scaled(16), &mut rng);
+        let fab = FabricationModel::new(0.1);
+        let acc = fab.accuracy(&donn, &Dataset::default(), 2);
+        assert_eq!(acc, 0.0);
+    }
+
+    #[test]
     fn zero_crosstalk_is_ideal() {
         let mask = Grid::from_fn(8, 8, |r, c| (r + c) as f64 * 0.3);
         let fab = FabricationModel::new(0.0);
@@ -187,7 +205,11 @@ mod tests {
         let t = fab.transmission(&rough);
         // Destructive leakage shrinks the modulus: the 8-neighborhood of a
         // checkerboard pixel cancels entirely, so |t| = 1−κ exactly.
-        assert!((t[(8, 8)].norm() - 0.85).abs() < 1e-12, "|t| = {}", t[(8, 8)].norm());
+        assert!(
+            (t[(8, 8)].norm() - 0.85).abs() < 1e-12,
+            "|t| = {}",
+            t[(8, 8)].norm()
+        );
     }
 
     #[test]
@@ -201,10 +223,7 @@ mod tests {
                 < photonn_autodiff::penalty::roughness_value(&rough, cfg)
         );
         let fab = FabricationModel::new(0.15);
-        let err = |m: &Grid| {
-            fab.transmission(m)
-                .max_abs_diff(&CGrid::from_phase(m))
-        };
+        let err = |m: &Grid| fab.transmission(m).max_abs_diff(&CGrid::from_phase(m));
         assert!(
             err(&smooth) < err(&rough),
             "smooth err {} !< rough err {}",

@@ -149,7 +149,12 @@ mod tests {
     #[test]
     fn pareto_frontier_is_monotone() {
         let points: Vec<SweepPoint> = (0..20)
-            .map(|i| pt((i as f64 * 13.0) % 7.0 + 1.0, (i as f64 * 17.0 % 10.0) / 10.0))
+            .map(|i| {
+                pt(
+                    (i as f64 * 13.0) % 7.0 + 1.0,
+                    (i as f64 * 17.0 % 10.0) / 10.0,
+                )
+            })
             .collect();
         let f = pareto_frontier(&points);
         for w in f.windows(2) {

@@ -4,7 +4,7 @@
 use photonn_autodiff::{RVar, Region, SVar, Tape};
 use photonn_datasets::Dataset;
 use photonn_fft::Fft2;
-use photonn_math::{CGrid, Grid, Rng, TWO_PI};
+use photonn_math::{BatchCGrid, CGrid, Grid, Rng, TWO_PI};
 use photonn_optics::{encode_amplitude, transfer_function};
 use std::sync::Arc;
 
@@ -58,6 +58,10 @@ pub struct Donn {
     config: DonnConfig,
     masks: Vec<Grid>,
     kernel: Arc<CGrid>,
+    /// Conjugate of `kernel`, precomputed once: the adjoint of a free-space
+    /// hop is the same hop with the conjugated transfer function, so the
+    /// batched backward sweep reuses the fused propagate path.
+    kernel_conj: Arc<CGrid>,
     plan: Arc<Fft2>,
     regions: Arc<Vec<Region>>,
 }
@@ -88,12 +92,14 @@ impl Donn {
             d.between_layers,
             config.kernel_options,
         ));
+        let kernel_conj = Arc::new(kernel.conj());
         let plan = Arc::new(Fft2::new(padded, padded));
         let regions = Arc::new(config.detector.regions(n));
         Donn {
             masks: vec![Grid::zeros(n, n); config.num_layers],
             config,
             kernel,
+            kernel_conj,
             plan,
             regions,
         }
@@ -108,9 +114,7 @@ impl Donn {
         for mask in &mut donn.masks {
             *mask = match init {
                 MaskInit::Zeros => Grid::zeros(n, n),
-                MaskInit::UniformRandom => {
-                    Grid::from_fn(n, n, |_, _| rng.uniform_in(0.0, TWO_PI))
-                }
+                MaskInit::UniformRandom => Grid::from_fn(n, n, |_, _| rng.uniform_in(0.0, TWO_PI)),
                 MaskInit::SmoothRandom => smooth_random_mask(n, rng),
             };
         }
@@ -216,37 +220,91 @@ impl Donn {
         self.regions.iter().map(|r| r.sum(&intensity)).collect()
     }
 
+    /// Batched inference: detector sums for a mini-batch of images through
+    /// the batched propagation engine (one contiguous field stack, FFT
+    /// batch chunks on `threads` workers). Returns one logits vector per
+    /// image, identical to per-image [`Donn::logits`] up to FFT traversal
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or any image is not grid-sized.
+    pub fn logits_batch(&self, images: &[&Grid], threads: usize) -> Vec<Vec<f64>> {
+        let n = self.config.grid();
+        assert!(!images.is_empty(), "empty image batch");
+        for img in images {
+            assert_eq!(img.shape(), (n, n), "image shape mismatch");
+        }
+        let mut field = photonn_optics::encode_amplitude_batch(images);
+        field = self.propagate_batch_field(&field, threads);
+        for mask in &self.masks {
+            field.hadamard_bcast_inplace(&CGrid::from_phase(mask));
+            field = self.propagate_batch_field(&field, threads);
+        }
+        let intensity = field.intensity();
+        (0..images.len())
+            .map(|b| {
+                let sample = intensity.to_grid(b);
+                self.regions.iter().map(|r| r.sum(&sample)).collect()
+            })
+            .collect()
+    }
+
+    /// One batched free-space hop on the inference path.
+    fn propagate_batch_field(&self, field: &BatchCGrid, threads: usize) -> BatchCGrid {
+        self.plan
+            .apply_transfer_batch(field, &self.kernel, self.config.grid(), threads)
+    }
+
     /// Predicted class (`argmax` over detector sums).
     pub fn predict(&self, image: &Grid) -> usize {
         argmax(&self.logits(image))
     }
 
-    /// Classification accuracy over a dataset, evaluated in parallel
-    /// across `threads` workers (deterministic: work is chunked, not
-    /// raced).
+    /// Predicted classes for a mini-batch of images (batched inference
+    /// engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or any image is not grid-sized.
+    pub fn predict_batch(&self, images: &[&Grid], threads: usize) -> Vec<usize> {
+        self.logits_batch(images, threads)
+            .iter()
+            .map(|l| argmax(l))
+            .collect()
+    }
+
+    /// Mini-batch size used by [`Donn::accuracy`]: large enough to amortize
+    /// batched-engine setup, small enough to keep the field stack cheap.
+    const ACCURACY_BATCH: usize = 64;
+
+    /// Classification accuracy over a dataset, evaluated through the
+    /// batched inference engine in fixed-size mini-batches whose FFT work
+    /// is spread over `threads` workers (deterministic: samples are
+    /// chunked, not raced).
+    ///
+    /// Returns `0.0` for an empty dataset instead of `NaN`.
     ///
     /// # Panics
     ///
     /// Panics if the dataset images are not grid-sized.
     pub fn accuracy(&self, dataset: &Dataset, threads: usize) -> f64 {
-        let threads = threads.max(1).min(dataset.len());
-        let correct: usize = std::thread::scope(|scope| {
-            let chunk = dataset.len().div_ceil(threads);
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(dataset.len());
-                if lo >= hi {
-                    break;
-                }
-                handles.push(scope.spawn(move || {
-                    (lo..hi)
-                        .filter(|&i| self.predict(dataset.image(i)) == dataset.label(i))
-                        .count()
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-        });
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        let mut at = 0usize;
+        while at < dataset.len() {
+            let hi = (at + Self::ACCURACY_BATCH).min(dataset.len());
+            let images: Vec<&Grid> = (at..hi).map(|i| dataset.image(i)).collect();
+            correct += self
+                .predict_batch(&images, threads)
+                .into_iter()
+                .zip(at..hi)
+                .filter(|(p, i)| *p == dataset.label(*i))
+                .count();
+            at = hi;
+        }
         correct as f64 / dataset.len() as f64
     }
 
@@ -336,6 +394,92 @@ impl Donn {
             tape.crop_centered(out, n, n)
         }
     }
+
+    /// Builds the differentiable mean data loss of a whole mini-batch on
+    /// **one** tape — the batched propagation engine's training entry
+    /// point. The phase-mask leaves are shared across the batch, every
+    /// field op carries a `[batch, n, n]` stack, each free-space hop is one
+    /// fused pad→FFT→⊙H→iFFT→crop node with FFT work spread over `threads`
+    /// workers, and the backward sweep accumulates each mask's gradient
+    /// over the whole batch in a single pass. The returned loss is the
+    /// batch *mean*, so mask gradients come out batch-averaged exactly like
+    /// the per-sample oracle ([`Donn::build_sample_loss`] + averaging).
+    ///
+    /// `freeze` has the same meaning as in [`Donn::build_sample_loss`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` differ in length or are empty, on
+    /// image shape mismatch, or on a label outside the detector classes.
+    pub fn build_batch_loss(
+        &self,
+        tape: &mut Tape,
+        images: &[&Grid],
+        labels: &[usize],
+        freeze: Option<&[Arc<Grid>]>,
+        threads: usize,
+    ) -> (SVar, Vec<RVar>) {
+        let n = self.config.grid();
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty batch");
+        for img in images {
+            assert_eq!(img.shape(), (n, n), "image shape mismatch");
+        }
+        for label in labels {
+            assert!(
+                *label < self.config.detector.num_classes,
+                "label {label} outside {} classes",
+                self.config.detector.num_classes
+            );
+        }
+        if let Some(fz) = freeze {
+            assert_eq!(fz.len(), self.masks.len(), "freeze mask count mismatch");
+        }
+
+        let mut mask_vars = Vec::with_capacity(self.masks.len());
+        let input = tape.constant_batch_complex(photonn_optics::encode_amplitude_batch(images));
+        let mut field = self.tape_propagate_batch(tape, input, threads);
+        for (l, mask) in self.masks.iter().enumerate() {
+            let phi = tape.leaf_real(mask.clone());
+            mask_vars.push(phi);
+            let phi_eff = match freeze {
+                Some(fz) => tape.mul_const_r(phi, &fz[l]),
+                None => phi,
+            };
+            let w = tape.phase_to_complex(phi_eff);
+            field = tape.modulate_propagate_batch(
+                field,
+                w,
+                &self.kernel,
+                &self.kernel_conj,
+                &self.plan,
+                threads,
+            );
+        }
+        let sums = tape.region_intensity_batch(field, &self.regions);
+        let scores = if self.config.normalize_detector {
+            let norm = tape.normalize_sum_rows(sums, 1e-12);
+            let gained = tape.scale_r(norm, DETECTOR_LOGIT_GAIN);
+            tape.softmax_rows(gained)
+        } else {
+            tape.softmax_rows(sums)
+        };
+        let targets = Arc::new(labels.to_vec());
+        let loss = match self.config.loss {
+            LossKind::MseSoftmax => tape.mse_onehot_mean_rows(scores, &targets),
+            LossKind::CrossEntropy => tape.cross_entropy_mean_rows(scores, &targets),
+        };
+        (loss, mask_vars)
+    }
+
+    fn tape_propagate_batch(
+        &self,
+        tape: &mut Tape,
+        field: photonn_autodiff::BCVar,
+        threads: usize,
+    ) -> photonn_autodiff::BCVar {
+        tape.propagate_batch(field, &self.kernel, &self.kernel_conj, &self.plan, threads)
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +537,61 @@ mod tests {
         let serial = donn.accuracy(&data, 1);
         let parallel = donn.accuracy(&data, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn accuracy_of_empty_dataset_is_zero_not_nan() {
+        // `Dataset::default()` is the one constructible empty dataset;
+        // accuracy used to divide by len() and return NaN on it.
+        let donn = small();
+        let empty = Dataset::default();
+        let acc = donn.accuracy(&empty, 2);
+        assert_eq!(acc, 0.0);
+        assert!(!acc.is_nan());
+    }
+
+    #[test]
+    fn batched_logits_match_per_sample_logits() {
+        let donn = small();
+        let data = Dataset::synthetic(Family::Mnist, 7, 4).resized(32);
+        let images: Vec<&Grid> = (0..7).map(|i| data.image(i)).collect();
+        for threads in [1usize, 3] {
+            let batched = donn.logits_batch(&images, threads);
+            for (i, logits) in batched.iter().enumerate() {
+                let single = donn.logits(images[i]);
+                for (a, b) in logits.iter().zip(&single) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "sample {i} at {threads} threads: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_loss_matches_sample_loss_mean() {
+        let donn = small();
+        let data = Dataset::synthetic(Family::Mnist, 5, 6).resized(32);
+        let images: Vec<&Grid> = (0..5).map(|i| data.image(i)).collect();
+        let labels: Vec<usize> = (0..5).map(|i| data.label(i)).collect();
+
+        let mut tape = Tape::new();
+        let (loss, masks) = donn.build_batch_loss(&mut tape, &images, &labels, None, 2);
+        assert_eq!(masks.len(), 3);
+        let batched = tape.scalar(loss);
+
+        let mut mean = 0.0;
+        for (img, &label) in images.iter().zip(&labels) {
+            let mut t = Tape::new();
+            let (l, _) = donn.build_sample_loss(&mut t, img, label, None);
+            mean += t.scalar(l);
+        }
+        mean /= 5.0;
+        assert!(
+            (batched - mean).abs() < 1e-12,
+            "batched {batched} vs mean {mean}"
+        );
     }
 
     #[test]
@@ -467,10 +666,8 @@ mod tests {
         // Smooth init is much less rough than uniform, and sits in the
         // upper phase band.
         let rc = photonn_autodiff::RoughnessConfig::paper();
-        let r_uniform =
-            photonn_autodiff::penalty::roughness_value(&uniform.masks()[0], rc);
-        let r_smooth =
-            photonn_autodiff::penalty::roughness_value(&smooth.masks()[0], rc);
+        let r_uniform = photonn_autodiff::penalty::roughness_value(&uniform.masks()[0], rc);
+        let r_smooth = photonn_autodiff::penalty::roughness_value(&smooth.masks()[0], rc);
         assert!(
             r_smooth < r_uniform / 2.0,
             "smooth {r_smooth} not < uniform {r_uniform} / 2"

@@ -103,26 +103,18 @@ fn project(masks: &[Grid], sparsity: f64, block: usize) -> Vec<Grid> {
 }
 
 /// Mean data loss over a fixed probe prefix of the dataset (used for the
-/// surrogate optimality condition).
-fn probe_loss(donn: &Donn, data: &Dataset, probe: usize) -> f64 {
+/// surrogate optimality condition), evaluated as one batched tape.
+fn probe_loss(donn: &Donn, data: &Dataset, probe: usize, threads: usize) -> f64 {
     let n = probe.min(data.len());
-    let mut total = 0.0;
-    for i in 0..n {
-        let mut tape = photonn_autodiff::Tape::new();
-        let (loss, _) = donn.build_sample_loss(&mut tape, data.image(i), data.label(i), None);
-        total += tape.scalar(loss);
-    }
-    total / n as f64
+    let images: Vec<&Grid> = (0..n).map(|i| data.image(i)).collect();
+    let labels: Vec<usize> = (0..n).map(|i| data.label(i)).collect();
+    let mut tape = photonn_autodiff::Tape::new();
+    let (loss, _) = donn.build_batch_loss(&mut tape, &images, &labels, None, threads);
+    tape.scalar(loss)
 }
 
 /// The augmented Lagrangian value (Eq. 7) up to the constant `g(Z)` term.
-fn augmented(
-    probe: f64,
-    masks: &[Grid],
-    z: &[Grid],
-    lambda: &[Grid],
-    rho: f64,
-) -> f64 {
+fn augmented(probe: f64, masks: &[Grid], z: &[Grid], lambda: &[Grid], rho: f64) -> f64 {
     let mut value = probe;
     for ((w, zi), li) in masks.iter().zip(z).zip(lambda) {
         let diff = w - zi;
@@ -149,8 +141,14 @@ pub fn slr_train(
     slr: &SlrConfig,
 ) -> SlrOutcome {
     assert!(slr.rho > 0.0, "rho must be positive");
-    assert!((0.0..=1.0).contains(&slr.sparsity), "sparsity outside [0,1]");
-    assert!(slr.outer_iterations > 0, "need at least one outer iteration");
+    assert!(
+        (0.0..=1.0).contains(&slr.sparsity),
+        "sparsity outside [0,1]"
+    );
+    assert!(
+        slr.outer_iterations > 0,
+        "need at least one outer iteration"
+    );
 
     let mut z = project(donn.masks(), slr.sparsity, slr.block);
     let mut lambda: Vec<Grid> = donn
@@ -185,7 +183,7 @@ pub fn slr_train(
             train_with(donn, data, train_opts, None, Some(&mut hook));
         }
 
-        let probe = probe_loss(donn, data, slr.probe_samples);
+        let probe = probe_loss(donn, data, slr.probe_samples, train_opts.threads);
         let aug = augmented(probe, donn.masks(), &z, &lambda, slr.rho);
         // Surrogate optimality condition: the augmented objective moved
         // down relative to the previous iterate.
@@ -234,7 +232,10 @@ pub fn slr_train(
         .iter()
         .map(|m| sparsify(m, slr.sparsity, SparsifyMethod::Block { size: slr.block }))
         .collect();
-    let keep: Vec<Arc<Grid>> = final_sparse.iter().map(|s| Arc::new(s.keep.clone())).collect();
+    let keep: Vec<Arc<Grid>> = final_sparse
+        .iter()
+        .map(|s| Arc::new(s.keep.clone()))
+        .collect();
     let masks: Vec<Grid> = final_sparse.into_iter().map(|s| s.mask).collect();
     let total_zeros: usize = masks.iter().map(Grid::count_zeros).sum();
     let total: usize = masks.iter().map(Grid::len).sum();

@@ -59,7 +59,10 @@ mod tests {
         let vars = block_variances(&mask, 2);
         let expected = [4.4, 2.3, 6.9, 0.0, 10.6, 0.0, 6.0, 0.0, 13.4];
         for (got, want) in vars.iter().zip(expected) {
-            assert!((got - want).abs() < 0.06, "block var {got:.3} vs figure {want}");
+            assert!(
+                (got - want).abs() < 0.06,
+                "block var {got:.3} vs figure {want}"
+            );
         }
     }
 

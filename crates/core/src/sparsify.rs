@@ -234,9 +234,7 @@ mod tests {
         let s = sparsify(&m, 1.0 / 3.0, SparsifyMethod::BankBalanced { banks: 2 });
         for r in 0..6 {
             for b in 0..2 {
-                let zeros = (0..3)
-                    .filter(|&i| s.keep[(r, b * 3 + i)] == 0.0)
-                    .count();
+                let zeros = (0..3).filter(|&i| s.keep[(r, b * 3 + i)] == 0.0).count();
                 assert_eq!(zeros, 1, "row {r} bank {b} has {zeros} zeros");
             }
         }
@@ -272,6 +270,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "not divisible")]
     fn bad_bank_count_panics() {
-        let _ = sparsify(&fig3_matrix(), 0.3, SparsifyMethod::BankBalanced { banks: 4 });
+        let _ = sparsify(
+            &fig3_matrix(),
+            0.3,
+            SparsifyMethod::BankBalanced { banks: 4 },
+        );
     }
 }

@@ -1,10 +1,19 @@
 //! Mini-batch training of DONN phase masks (paper §III-B, Eq. 5/8).
 //!
-//! Per-sample gradients are computed on independent tapes in parallel
-//! worker threads (deterministically chunked, so runs are reproducible),
-//! averaged, combined with the roughness / intra-block regularizer
-//! gradients and any caller-supplied extra term (the SLR multiplier
-//! forces), then applied with Adam.
+//! The default path is the **batched propagation engine**: every step
+//! builds *one* autodiff tape for the whole mini-batch
+//! ([`crate::Donn::build_batch_loss`]) — fields travel as contiguous
+//! `[batch, n, n]` stacks, each free-space hop is a single fused tape node
+//! whose FFT work is chunked over worker threads, and one backward sweep
+//! produces batch-averaged mask gradients directly. Those are combined
+//! with the roughness / intra-block regularizer gradients and any
+//! caller-supplied extra term (the SLR multiplier forces), then applied
+//! with Adam.
+//!
+//! The seed implementation — one tape per *sample*, gradients averaged by
+//! hand — is kept as [`per_sample_batch_gradients`]: it is the correctness
+//! oracle for the batched engine (see the gradient-parity test below) and
+//! the baseline for the `BENCH_batched_step` benchmark.
 
 use photonn_autodiff::penalty::{block_variance_grad, roughness_grad};
 use photonn_autodiff::{Adam, BlockReduce, RoughnessConfig, Tape};
@@ -143,8 +152,37 @@ pub struct EpochStats {
     pub penalty: f64,
 }
 
-/// Averaged data-loss gradients for one batch, plus the batch's mean loss.
-fn batch_gradients(
+/// Averaged data-loss gradients for one batch, plus the batch's mean loss,
+/// through the batched engine: one tape for the whole mini-batch, one
+/// backward sweep for all mask gradients. This is the default path of
+/// [`train_with`]; it is public so benchmarks and downstream tooling can
+/// drive single steps.
+pub fn batched_gradients(
+    donn: &Donn,
+    data: &Dataset,
+    batch: &[usize],
+    freeze: Option<&[Arc<Grid>]>,
+    threads: usize,
+) -> (Vec<Grid>, f64) {
+    let n = donn.config().grid();
+    let images: Vec<&Grid> = batch.iter().map(|&i| data.image(i)).collect();
+    let labels: Vec<usize> = batch.iter().map(|&i| data.label(i)).collect();
+    let mut tape = Tape::new();
+    let (loss, mask_vars) = donn.build_batch_loss(&mut tape, &images, &labels, freeze, threads);
+    let mean_loss = tape.scalar(loss);
+    let g = tape.backward(loss);
+    let grads = mask_vars
+        .iter()
+        .map(|var| g.real(*var).cloned().unwrap_or_else(|| Grid::zeros(n, n)))
+        .collect();
+    (grads, mean_loss)
+}
+
+/// The seed per-sample gradient path, kept as the batched engine's test
+/// oracle and benchmark baseline: one tape per sample on `threads` worker
+/// threads, gradients summed and divided by the batch size. Returns the
+/// same `(averaged gradients, mean loss)` contract as the batched default.
+pub fn per_sample_batch_gradients(
     donn: &Donn,
     data: &Dataset,
     batch: &[usize],
@@ -238,8 +276,7 @@ pub fn train_with(
         let mut epoch_loss = 0.0;
         let mut batch_count = 0usize;
         for batch in batches.epoch() {
-            let (mut grads, loss) =
-                batch_gradients(donn, data, &batch, freeze, opts.threads);
+            let (mut grads, loss) = batched_gradients(donn, data, &batch, freeze, opts.threads);
             epoch_loss += loss;
             batch_count += 1;
 
@@ -416,6 +453,60 @@ mod tests {
             moved_down as f64 > 0.99 * before.len() as f64,
             "only {moved_down} pixels moved down"
         );
+    }
+
+    #[test]
+    fn batched_gradients_match_per_sample_oracle() {
+        // The acceptance case for the batched engine: 16×16 grid, 3
+        // layers, batch 8 — the one-tape-per-batch gradients must equal
+        // the per-sample-averaged oracle within 1e-9.
+        let mut rng = Rng::seed_from(17);
+        let donn = Donn::random(DonnConfig::scaled(16), &mut rng);
+        assert_eq!(donn.config().num_layers, 3);
+        let data = Dataset::synthetic(Family::Mnist, 8, 17).resized(16);
+        let batch: Vec<usize> = (0..8).collect();
+
+        for threads in [1usize, 3] {
+            let (g_batched, l_batched) =
+                super::batched_gradients(&donn, &data, &batch, None, threads);
+            let (g_oracle, l_oracle) =
+                per_sample_batch_gradients(&donn, &data, &batch, None, threads);
+            assert!(
+                (l_batched - l_oracle).abs() < 1e-9,
+                "loss mismatch at {threads} threads: {l_batched} vs {l_oracle}"
+            );
+            assert_eq!(g_batched.len(), 3);
+            for (layer, (gb, go)) in g_batched.iter().zip(&g_oracle).enumerate() {
+                let diff = gb.max_abs_diff(go);
+                assert!(
+                    diff < 1e-9,
+                    "layer {layer} gradient mismatch at {threads} threads: {diff}"
+                );
+                // And the gradients are non-trivial.
+                assert!(gb.as_slice().iter().any(|&v| v != 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradients_match_oracle_with_freeze() {
+        let mut rng = Rng::seed_from(23);
+        let donn = Donn::random(DonnConfig::scaled(16), &mut rng);
+        let data = Dataset::synthetic(Family::Mnist, 6, 23).resized(16);
+        let batch: Vec<usize> = (0..6).collect();
+        let mut keep = Grid::full(16, 16, 1.0);
+        keep[(4, 4)] = 0.0;
+        keep[(9, 2)] = 0.0;
+        let shared = Arc::new(keep);
+        let freeze: Vec<Arc<Grid>> = vec![shared.clone(), shared.clone(), shared];
+
+        let (g_batched, _) = super::batched_gradients(&donn, &data, &batch, Some(&freeze), 2);
+        let (g_oracle, _) = per_sample_batch_gradients(&donn, &data, &batch, Some(&freeze), 2);
+        for (gb, go) in g_batched.iter().zip(&g_oracle) {
+            assert!(gb.max_abs_diff(go) < 1e-9);
+            assert_eq!(gb[(4, 4)], 0.0);
+            assert_eq!(gb[(9, 2)], 0.0);
+        }
     }
 
     #[test]

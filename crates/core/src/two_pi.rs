@@ -351,7 +351,8 @@ mod tests {
         // small (<2% in the paper). Use a mask with mild variation.
         let mut rng = Rng::seed_from(4);
         let mask = Grid::from_fn(16, 16, |r, c| {
-            3.0 + 0.3 * ((r as f64 * 0.7).sin() + (c as f64 * 0.5).cos()) + rng.uniform_in(-0.1, 0.1)
+            3.0 + 0.3 * ((r as f64 * 0.7).sin() + (c as f64 * 0.5).cos())
+                + rng.uniform_in(-0.1, 0.1)
         });
         let result = optimize_mask(&mask, cfg(), &TwoPiStrategy::Greedy { sweeps: 8 });
         let drop = (result.roughness_before - result.roughness_after) / result.roughness_before;

@@ -1,0 +1,127 @@
+//! Minimal offline stand-in for the subset of the `criterion` benchmarking
+//! API that `photonn-bench` uses.
+//!
+//! The build environment for this workspace has no crates.io access, so the
+//! real `criterion` cannot be vendored. This crate keeps the bench sources
+//! compiling and runnable (`cargo bench`) with wall-clock timing instead of
+//! criterion's statistical machinery: each benchmark is warmed up once and
+//! then timed over a fixed number of iterations, reporting mean time per
+//! iteration. Swap the workspace dependency back to crates.io `criterion`
+//! to get real statistics — the bench sources need no changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (after one warm-up call).
+/// Override with the `PHOTONN_BENCH_ITERS` environment variable.
+fn iterations() -> u32 {
+    std::env::var("PHOTONN_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.into());
+        BenchmarkGroup { _parent: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&name.into(), f);
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in ignores measurement time.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&name.into(), f);
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Calls `routine` once to warm up, then times `iterations()` calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        let iters = iterations();
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    }
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        nanos_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if b.nanos_per_iter.is_nan() {
+        println!("  {name}: no measurement (b.iter never called)");
+    } else if b.nanos_per_iter >= 1e6 {
+        println!("  {name}: {:.3} ms/iter", b.nanos_per_iter / 1e6);
+    } else {
+        println!("  {name}: {:.1} ns/iter", b.nanos_per_iter);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

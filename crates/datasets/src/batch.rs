@@ -79,10 +79,7 @@ mod tests {
     fn deterministic_across_instances() {
         let mut a = BatchIter::new(20, 7, 9);
         let mut b = BatchIter::new(20, 7, 9);
-        assert_eq!(
-            a.epoch().collect::<Vec<_>>(),
-            b.epoch().collect::<Vec<_>>()
-        );
+        assert_eq!(a.epoch().collect::<Vec<_>>(), b.epoch().collect::<Vec<_>>());
     }
 
     #[test]

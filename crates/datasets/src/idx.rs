@@ -41,10 +41,16 @@ impl fmt::Display for IdxError {
             IdxError::Io(e) => write!(f, "i/o error: {e}"),
             IdxError::BadMagic(m) => write!(f, "bad IDX magic 0x{m:08x}"),
             IdxError::Truncated { expected, actual } => {
-                write!(f, "truncated IDX payload: expected {expected} bytes, found {actual}")
+                write!(
+                    f,
+                    "truncated IDX payload: expected {expected} bytes, found {actual}"
+                )
             }
             IdxError::CountMismatch { images, labels } => {
-                write!(f, "image/label count mismatch: {images} images, {labels} labels")
+                write!(
+                    f,
+                    "image/label count mismatch: {images} images, {labels} labels"
+                )
             }
         }
     }
@@ -73,7 +79,12 @@ fn read_u32(bytes: &[u8], offset: usize) -> Result<u32, IdxError> {
             actual: bytes.len(),
         });
     }
-    Ok(u32::from_be_bytes([bytes[offset], bytes[offset + 1], bytes[offset + 2], bytes[offset + 3]]))
+    Ok(u32::from_be_bytes([
+        bytes[offset],
+        bytes[offset + 1],
+        bytes[offset + 2],
+        bytes[offset + 3],
+    ]))
 }
 
 /// Reads an IDX image file (`magic 0x0803`) into row-major grids with

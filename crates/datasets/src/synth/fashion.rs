@@ -84,12 +84,7 @@ pub fn fashion(class: usize) -> Glyph {
         ],
         // Sandal: flat sole plus straps.
         5 => vec![
-            Primitive::Polygon(vec![
-                [0.15, 0.68],
-                [0.85, 0.6],
-                [0.88, 0.72],
-                [0.15, 0.78],
-            ]),
+            Primitive::Polygon(vec![[0.15, 0.68], [0.85, 0.6], [0.88, 0.72], [0.15, 0.78]]),
             Primitive::Polyline(vec![[0.3, 0.68], [0.45, 0.45], [0.6, 0.62]]),
             Primitive::Polyline(vec![[0.55, 0.62], [0.7, 0.42], [0.82, 0.6]]),
         ],
@@ -120,21 +115,11 @@ pub fn fashion(class: usize) -> Glyph {
                 [0.86, 0.7],
                 [0.14, 0.7],
             ]),
-            Primitive::Polygon(vec![
-                [0.14, 0.7],
-                [0.86, 0.7],
-                [0.86, 0.78],
-                [0.14, 0.78],
-            ]),
+            Primitive::Polygon(vec![[0.14, 0.7], [0.86, 0.7], [0.86, 0.78], [0.14, 0.78]]),
         ],
         // Bag: body plus handle arc.
         8 => vec![
-            Primitive::Polygon(vec![
-                [0.22, 0.42],
-                [0.78, 0.42],
-                [0.82, 0.8],
-                [0.18, 0.8],
-            ]),
+            Primitive::Polygon(vec![[0.22, 0.42], [0.78, 0.42], [0.82, 0.8], [0.18, 0.8]]),
             Primitive::Bezier([0.35, 0.42], [0.5, 0.14], [0.65, 0.42]),
         ],
         // Ankle boot: shaft plus foot.
@@ -185,7 +170,10 @@ mod tests {
                     .count();
                 // The t-shirt/shirt pair (0/6) is deliberately close —
                 // it is in the real dataset too — so the bar is modest.
-                assert!(structural > 10, "classes {i}/{j} overlap too much ({structural})");
+                assert!(
+                    structural > 10,
+                    "classes {i}/{j} overlap too much ({structural})"
+                );
             }
         }
     }

@@ -105,6 +105,9 @@ mod tests {
     fn h_is_symmetric_under_horizontal_flip() {
         let img = rasterize(&letter(7), 28, &Affine::identity());
         let flipped = photonn_math::Grid::from_fn(28, 28, |r, c| img[(r, 27 - c)]);
-        assert!(img.max_abs_diff(&flipped) < 0.2, "H should be mirror symmetric");
+        assert!(
+            img.max_abs_diff(&flipped) < 0.2,
+            "H should be mirror symmetric"
+        );
     }
 }

@@ -46,7 +46,12 @@ impl Family {
 
     /// All four families in table order (Tables II–V).
     pub fn all() -> [Family; 4] {
-        [Family::Mnist, Family::Fmnist, Family::Kmnist, Family::Emnist]
+        [
+            Family::Mnist,
+            Family::Fmnist,
+            Family::Kmnist,
+            Family::Emnist,
+        ]
     }
 
     /// The vector template for `class`.
@@ -169,7 +174,10 @@ mod tests {
         let zeros = of_class(0);
         let ones = of_class(1);
         assert!(zeros.len() >= 5);
-        assert!(zeros[0].max_abs_diff(zeros[1]) > 1e-6, "no intra-class variation");
+        assert!(
+            zeros[0].max_abs_diff(zeros[1]) > 1e-6,
+            "no intra-class variation"
+        );
 
         let corr = |a: &Grid, b: &Grid| -> f64 {
             let (ma, mb) = (a.mean(), b.mean());

@@ -189,10 +189,7 @@ pub fn rasterize(glyph: &Glyph, n: usize, jitter: &Affine) -> Grid {
     let soft = th * 0.8;
     Grid::from_fn(n, n, |r, c| {
         // Pixel center in unit coordinates.
-        let p = [
-            (c as f64 + 0.5) / n as f64,
-            (r as f64 + 0.5) / n as f64,
-        ];
+        let p = [(c as f64 + 0.5) / n as f64, (r as f64 + 0.5) / n as f64];
         let mut v: f64 = 0.0;
         for prim in &prims {
             let contribution = match prim {

@@ -97,8 +97,7 @@ mod tests {
     fn matches_naive_dft_on_composites_too() {
         // Bluestein is valid for any n, not just primes.
         for n in [12usize, 100, 200] {
-            let input: Vec<Complex64> =
-                (0..n).map(|j| Complex64::new(j as f64, -1.0)).collect();
+            let input: Vec<Complex64> = (0..n).map(|j| Complex64::new(j as f64, -1.0)).collect();
             let expected = naive_dft(&input);
             let mut got = input;
             Bluestein::new(n).process(&mut got);

@@ -1,6 +1,7 @@
-//! Planned 2-D FFT over [`CGrid`] by row-column decomposition.
+//! Planned 2-D FFT over [`CGrid`] by row-column decomposition, with batched
+//! execute paths over [`BatchCGrid`] for the mini-batch training engine.
 
-use photonn_math::{CGrid, Complex64};
+use photonn_math::{BatchCGrid, CGrid, Complex64};
 use std::sync::Arc;
 
 use crate::{Fft, Planner};
@@ -29,6 +30,9 @@ pub struct Fft2 {
     cols: usize,
     row_plan: Arc<Fft>,
     col_plan: Arc<Fft>,
+    /// Vectorized square power-of-two engine for the batched execute paths
+    /// (`None` for shapes it cannot handle).
+    vec2d: Option<Arc<VecRadix2d>>,
 }
 
 impl Fft2 {
@@ -49,11 +53,14 @@ impl Fft2 {
     /// Panics if either dimension is zero.
     pub fn with_planner(rows: usize, cols: usize, planner: &Planner) -> Self {
         assert!(rows > 0 && cols > 0, "FFT2 dimensions must be positive");
+        let vec2d = (rows == cols && rows.is_power_of_two() && rows >= 2)
+            .then(|| Arc::new(VecRadix2d::new(rows)));
         Fft2 {
             rows,
             cols,
             row_plan: planner.plan(cols),
             col_plan: planner.plan(rows),
+            vec2d,
         }
     }
 
@@ -122,6 +129,452 @@ impl Fft2 {
             }
         }
     }
+
+    // ------------------------------------------------------------ batched
+
+    /// In-place unnormalized forward 2-D DFT of every sample, with batch
+    /// chunks distributed over `threads` worker threads.
+    ///
+    /// Per-sample results are bit-identical to [`Fft2::forward`] up to the
+    /// column-pass traversal order (the batched path runs the column pass
+    /// through a transpose so the 1-D engines always see contiguous data;
+    /// the arithmetic per 1-D transform is identical, so so are the
+    /// results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-sample shape does not match the plan.
+    pub fn forward_batch(&self, batch: &mut BatchCGrid, threads: usize) {
+        self.batch_apply(batch, threads, |plan, buf| plan.forward(buf));
+    }
+
+    /// In-place normalized inverse 2-D DFT of every sample (batched
+    /// [`Fft2::inverse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-sample shape does not match the plan.
+    pub fn inverse_batch(&self, batch: &mut BatchCGrid, threads: usize) {
+        self.inverse_unnormalized_batch(batch, threads);
+        batch.scale_inplace(1.0 / (self.rows * self.cols) as f64);
+    }
+
+    /// In-place unnormalized inverse 2-D DFT of every sample — the adjoint
+    /// of [`Fft2::forward_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-sample shape does not match the plan.
+    pub fn inverse_unnormalized_batch(&self, batch: &mut BatchCGrid, threads: usize) {
+        self.batch_apply(batch, threads, |plan, buf| plan.inverse_unnormalized(buf));
+    }
+
+    /// One frequency-domain transfer application for a whole batch:
+    /// `crop(ifft2(fft2(pad(x)) ⊙ K))` per sample, sharing this plan and
+    /// one kernel. `inner` is the native (pre-pad / post-crop) side length;
+    /// when it equals the planned size the pad/crop are skipped.
+    ///
+    /// This is the fused hot path of the batched propagation engine: one
+    /// scratch pipeline instead of five tape-visible intermediates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not square, `kernel` does not match the
+    /// planned shape, or the batch samples are not `inner × inner`.
+    pub fn apply_transfer_batch(
+        &self,
+        field: &BatchCGrid,
+        kernel: &CGrid,
+        inner: usize,
+        threads: usize,
+    ) -> BatchCGrid {
+        self.apply_transfer_batch_owned(field.clone(), kernel, inner, threads)
+    }
+
+    /// Like [`Fft2::apply_transfer_batch`] but consumes the batch,
+    /// avoiding the defensive copy when the caller owns a scratch batch
+    /// (the fused modulate-propagate op of the autodiff layer).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Fft2::apply_transfer_batch`].
+    pub fn apply_transfer_batch_owned(
+        &self,
+        work: BatchCGrid,
+        kernel: &CGrid,
+        inner: usize,
+        threads: usize,
+    ) -> BatchCGrid {
+        assert_eq!(
+            self.rows, self.cols,
+            "transfer application needs a square plan"
+        );
+        assert_eq!(
+            kernel.shape(),
+            (self.rows, self.cols),
+            "kernel shape {:?} != planned {:?}",
+            kernel.shape(),
+            (self.rows, self.cols)
+        );
+        assert_eq!(
+            (work.rows(), work.cols()),
+            (inner, inner),
+            "batch sample shape {:?} != ({inner}, {inner})",
+            (work.rows(), work.cols()),
+        );
+        let mut work = if inner == self.rows {
+            work
+        } else {
+            work.pad_centered(self.rows, self.cols)
+        };
+        // The 1/N normalization is folded into the kernel-multiply pass
+        // (linearity lets it commute with the inverse transform), saving a
+        // full sweep over the batch per hop.
+        let scale = 1.0 / (self.rows * self.cols) as f64;
+        if self.vec2d.is_some() {
+            // Planar fast path: one deinterleave/reinterleave pair per hop
+            // and only two transposes (the kernel is applied pre-transposed
+            // while the planes sit in column-major orientation).
+            let kt = kernel.transpose();
+            let (kr, ki): (Vec<f64>, Vec<f64>) = kt.as_slice().iter().map(|z| (z.re, z.im)).unzip();
+            self.batch_apply(&mut work, threads, |ctx, buf| {
+                ctx.planar_transfer(buf, &kr, &ki, scale);
+            });
+        } else {
+            self.batch_apply(&mut work, threads, |ctx, buf| {
+                ctx.forward(buf);
+                for (z, &k) in buf.iter_mut().zip(kernel.as_slice()) {
+                    *z = (*z * k).scale(scale);
+                }
+                ctx.inverse_unnormalized(buf);
+            });
+        }
+        if inner == self.rows {
+            work
+        } else {
+            work.crop_centered(inner, inner)
+        }
+    }
+
+    /// Runs `f` over every sample's work buffer, chunking samples across
+    /// scoped worker threads. `f` receives a [`SampleFft`] bound to this
+    /// plan plus the sample's row-major slice.
+    fn batch_apply(
+        &self,
+        batch: &mut BatchCGrid,
+        threads: usize,
+        f: impl Fn(&mut SampleFft<'_>, &mut [Complex64]) + Sync,
+    ) {
+        assert_eq!(
+            (batch.rows(), batch.cols()),
+            (self.rows, self.cols),
+            "batch sample shape {:?} != planned {:?}",
+            (batch.rows(), batch.cols()),
+            (self.rows, self.cols)
+        );
+        let sample_len = batch.sample_len();
+        let threads = threads.max(1).min(batch.batch());
+        if threads == 1 {
+            let mut ctx = SampleFft::new(self);
+            for sample in batch.samples_mut() {
+                f(&mut ctx, sample);
+            }
+            return;
+        }
+        let chunk_samples = batch.batch().div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for chunk in batch.as_mut_slice().chunks_mut(chunk_samples * sample_len) {
+                scope.spawn(move || {
+                    let mut ctx = SampleFft::new(self);
+                    for sample in chunk.chunks_mut(sample_len) {
+                        f(&mut ctx, sample);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Per-worker execution context for one [`Fft2`] plan: owns the transpose
+/// and planar scratch buffers so batched workers never contend.
+struct SampleFft<'a> {
+    plan: &'a Fft2,
+    /// Interleaved scratch for the generic (non-power-of-two) path.
+    scratch: Vec<Complex64>,
+    /// Planar working planes for the vectorized power-of-two path.
+    planar: Option<PlanarScratch>,
+}
+
+/// Split real/imaginary working set of one sample: the butterflies run on
+/// these planes so complex arithmetic autovectorizes without shuffles.
+struct PlanarScratch {
+    re: Vec<f64>,
+    im: Vec<f64>,
+    sre: Vec<f64>,
+    sim: Vec<f64>,
+}
+
+impl<'a> SampleFft<'a> {
+    fn new(plan: &'a Fft2) -> Self {
+        let len = plan.rows * plan.cols;
+        let planar = plan.vec2d.as_ref().map(|_| PlanarScratch {
+            re: vec![0.0; len],
+            im: vec![0.0; len],
+            sre: vec![0.0; len],
+            sim: vec![0.0; len],
+        });
+        SampleFft {
+            plan,
+            scratch: vec![Complex64::ZERO; len],
+            planar,
+        }
+    }
+
+    /// Unnormalized forward 2-D DFT of one row-major `rows × cols` slice.
+    fn forward(&mut self, data: &mut [Complex64]) {
+        if let Some(v) = &self.plan.vec2d {
+            let p = self.planar.as_mut().expect("planar scratch");
+            deinterleave(data, &mut p.re, &mut p.im);
+            v.transform(p, false);
+            interleave(&p.re, &p.im, data);
+        } else {
+            self.apply(data, |plan, buf| plan.forward(buf));
+        }
+    }
+
+    /// Unnormalized inverse 2-D DFT of one row-major slice.
+    fn inverse_unnormalized(&mut self, data: &mut [Complex64]) {
+        if let Some(v) = &self.plan.vec2d {
+            let p = self.planar.as_mut().expect("planar scratch");
+            deinterleave(data, &mut p.re, &mut p.im);
+            v.transform(p, true);
+            interleave(&p.re, &p.im, data);
+        } else {
+            self.apply(data, |plan, buf| plan.inverse_unnormalized(buf));
+        }
+    }
+
+    /// Fused planar transfer application for one sample:
+    /// `buf ← ifft2(fft2(buf) ⊙ K)·scale`, with a single
+    /// deinterleave/reinterleave pair around the whole hop and only two
+    /// plane transposes. The 2-D DFT axes commute, so the hop is evaluated
+    /// as `invF_cols ∘ T ∘ invF_rows ∘ Kᵀ ∘ F_rows ∘ T ∘ F_cols`: the row
+    /// transforms and the kernel product all happen while the planes are in
+    /// column-major orientation — `kr`/`ki` must therefore hold the
+    /// **transposed** kernel.
+    ///
+    /// Only callable on plans with a vectorized engine.
+    fn planar_transfer(&mut self, data: &mut [Complex64], kr: &[f64], ki: &[f64], scale: f64) {
+        let v = self.plan.vec2d.as_ref().expect("planar path");
+        let p = self.planar.as_mut().expect("planar scratch");
+        let n = v.n;
+        deinterleave(data, &mut p.re, &mut p.im);
+        // Forward column transform in natural orientation.
+        v.column_pass(&mut p.re, &mut p.im, false);
+        // Forward row transform on the transposed planes.
+        transpose_plane(&p.re, n, &mut p.sre);
+        transpose_plane(&p.im, n, &mut p.sim);
+        v.column_pass(&mut p.sre, &mut p.sim, false);
+        // Kernel product (kernel pre-transposed to this orientation) with
+        // the 1/N normalization folded in.
+        for i in 0..p.sre.len() {
+            let (zr, zi) = (p.sre[i], p.sim[i]);
+            p.sre[i] = (zr * kr[i] - zi * ki[i]) * scale;
+            p.sim[i] = (zr * ki[i] + zi * kr[i]) * scale;
+        }
+        // Inverse row transform, back to natural orientation, inverse
+        // column transform.
+        v.column_pass(&mut p.sre, &mut p.sim, true);
+        transpose_plane(&p.sre, n, &mut p.re);
+        transpose_plane(&p.sim, n, &mut p.im);
+        v.column_pass(&mut p.re, &mut p.im, true);
+        interleave(&p.re, &p.im, data);
+    }
+
+    /// Row pass, then the column pass as contiguous rows of the transposed
+    /// scratch buffer (cache-friendlier than per-column gather/scatter).
+    fn apply(&mut self, data: &mut [Complex64], f: impl Fn(&Fft, &mut [Complex64])) {
+        let (rows, cols) = (self.plan.rows, self.plan.cols);
+        debug_assert_eq!(data.len(), rows * cols);
+        for row in data.chunks_mut(cols) {
+            f(&self.plan.row_plan, row);
+        }
+        transpose_into(data, rows, cols, &mut self.scratch);
+        for col in self.scratch.chunks_mut(rows) {
+            f(&self.plan.col_plan, col);
+        }
+        transpose_into(&self.scratch, cols, rows, data);
+    }
+}
+
+fn deinterleave(data: &[Complex64], re: &mut [f64], im: &mut [f64]) {
+    for ((z, r), i) in data.iter().zip(re.iter_mut()).zip(im.iter_mut()) {
+        *r = z.re;
+        *i = z.im;
+    }
+}
+
+fn interleave(re: &[f64], im: &[f64], data: &mut [Complex64]) {
+    for ((z, &r), &i) in data.iter_mut().zip(re.iter()).zip(im.iter()) {
+        *z = Complex64::new(r, i);
+    }
+}
+
+/// Vectorized radix-2 engine for square power-of-two 2-D transforms.
+///
+/// Both 1-D passes run as *column transforms* over split re/im planes: a
+/// butterfly stage combines whole rows elementwise — contiguous,
+/// shuffle-free f64 arithmetic the compiler autovectorizes (the row pass
+/// runs on the transposed planes). The per-element operation sequence and
+/// twiddle values match the scalar `Radix2` engine exactly, so results are
+/// bit-identical to the unbatched [`Fft2::forward`] path; the inverse uses
+/// a conjugated twiddle table directly instead of the scalar engine's
+/// conjugate–forward–conjugate detour (same arithmetic, two fewer passes).
+#[derive(Debug)]
+struct VecRadix2d {
+    n: usize,
+    rev: Vec<u32>,
+    twr: Vec<f64>,
+    twi_fwd: Vec<f64>,
+    twi_inv: Vec<f64>,
+}
+
+impl VecRadix2d {
+    fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2);
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        let mut twr = Vec::with_capacity(n / 2);
+        let mut twi_fwd = Vec::with_capacity(n / 2);
+        for k in 0..n / 2 {
+            let w = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
+            twr.push(w.re);
+            twi_fwd.push(w.im);
+        }
+        let twi_inv = twi_fwd.iter().map(|i| -i).collect();
+        VecRadix2d {
+            n,
+            rev,
+            twr,
+            twi_fwd,
+            twi_inv,
+        }
+    }
+
+    /// Unnormalized 2-D DFT of the planar working set (row transform
+    /// first, then columns — the same order as the scalar path). `inverse`
+    /// selects the conjugated twiddles (the unnormalized adjoint).
+    fn transform(&self, p: &mut PlanarScratch, inverse: bool) {
+        let n = self.n;
+        debug_assert_eq!(p.re.len(), n * n);
+        // Row transform: column pass over the transposed planes.
+        transpose_plane(&p.re, n, &mut p.sre);
+        transpose_plane(&p.im, n, &mut p.sim);
+        self.column_pass(&mut p.sre, &mut p.sim, inverse);
+        transpose_plane(&p.sre, n, &mut p.re);
+        transpose_plane(&p.sim, n, &mut p.im);
+        // Column transform, directly.
+        self.column_pass(&mut p.re, &mut p.im, inverse);
+    }
+
+    /// Radix-2 FFT along the column axis, vectorized across each row.
+    fn column_pass(&self, re: &mut [f64], im: &mut [f64], inverse: bool) {
+        let n = self.n;
+        // Bit-reversal permutation of whole rows.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                for c in 0..n {
+                    re.swap(i * n + c, j * n + c);
+                    im.swap(i * n + c, j * n + c);
+                }
+            }
+        }
+        // First stage specialized: its twiddle is exactly 1, so the
+        // butterfly degenerates to add/sub of adjacent rows (bit-identical
+        // to multiplying by 1 + 0i).
+        for (rpair, ipair) in re.chunks_exact_mut(2 * n).zip(im.chunks_exact_mut(2 * n)) {
+            let (ar, br) = rpair.split_at_mut(n);
+            let (ai, bi) = ipair.split_at_mut(n);
+            for c in 0..n {
+                let (tr, ti) = (br[c], bi[c]);
+                let (xr, xi) = (ar[c], ai[c]);
+                ar[c] = xr + tr;
+                ai[c] = xi + ti;
+                br[c] = xr - tr;
+                bi[c] = xi - ti;
+            }
+        }
+        // Remaining stages: row-pair butterflies with the twiddle held in
+        // registers across each row sweep.
+        let tw_im = if inverse {
+            &self.twi_inv
+        } else {
+            &self.twi_fwd
+        };
+        let mut len = 4;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for (rgroup, igroup) in re
+                .chunks_exact_mut(len * n)
+                .zip(im.chunks_exact_mut(len * n))
+            {
+                let (agr, bgr) = rgroup.split_at_mut(half * n);
+                let (agi, bgi) = igroup.split_at_mut(half * n);
+                for k in 0..half {
+                    let (wr, wi) = (self.twr[k * step], tw_im[k * step]);
+                    let ar = &mut agr[k * n..(k + 1) * n];
+                    let ai = &mut agi[k * n..(k + 1) * n];
+                    let br = &mut bgr[k * n..(k + 1) * n];
+                    let bi = &mut bgi[k * n..(k + 1) * n];
+                    for (((ar, ai), br), bi) in ar
+                        .iter_mut()
+                        .zip(ai.iter_mut())
+                        .zip(br.iter_mut())
+                        .zip(bi.iter_mut())
+                    {
+                        let tr = *br * wr - *bi * wi;
+                        let ti = *br * wi + *bi * wr;
+                        let xr = *ar;
+                        let xi = *ai;
+                        *ar = xr + tr;
+                        *ai = xi + ti;
+                        *br = xr - tr;
+                        *bi = xi - ti;
+                    }
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// Transposes one square row-major `n × n` f64 plane into `dst`.
+fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
+    debug_assert_eq!(src.len(), n * n);
+    debug_assert_eq!(dst.len(), n * n);
+    for r in 0..n {
+        let row = &src[r * n..(r + 1) * n];
+        for (c, &v) in row.iter().enumerate() {
+            dst[c * n + r] = v;
+        }
+    }
+}
+
+/// Transposes a row-major `rows × cols` buffer into a `cols × rows` one.
+fn transpose_into(src: &[Complex64], rows: usize, cols: usize, dst: &mut [Complex64]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for r in 0..rows {
+        let row = &src[r * cols..(r + 1) * cols];
+        for (c, &v) in row.iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
+    }
 }
 
 /// Convenience one-shot forward 2-D FFT (plans internally).
@@ -151,8 +604,7 @@ mod tests {
                 for c in 0..cols {
                     let angle = -2.0
                         * std::f64::consts::PI
-                        * (kr as f64 * r as f64 / rows as f64
-                            + kc as f64 * c as f64 / cols as f64);
+                        * (kr as f64 * r as f64 / rows as f64 + kc as f64 * c as f64 / cols as f64);
                     acc += g[(r, c)] * Complex64::cis(angle);
                 }
             }
@@ -239,6 +691,109 @@ mod tests {
         let plan = Fft2::new(4, 4);
         let mut g = CGrid::zeros(4, 5);
         plan.forward(&mut g);
+    }
+
+    fn random_batch(batch: usize, n: usize) -> BatchCGrid {
+        BatchCGrid::from_fn(batch, n, n, |b, r, c| {
+            Complex64::new(
+                ((b * 31 + r * 7 + c) as f64 * 0.37).sin(),
+                ((b * 17 + r + c * 5) as f64 * 0.71).cos(),
+            )
+        })
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sample_forward() {
+        for n in [8usize, 6, 5] {
+            let plan = Fft2::new(n, n);
+            let mut batch = random_batch(5, n);
+            let expected: Vec<CGrid> = (0..5)
+                .map(|b| {
+                    let mut g = batch.to_cgrid(b);
+                    plan.forward(&mut g);
+                    g
+                })
+                .collect();
+            plan.forward_batch(&mut batch, 1);
+            for (b, e) in expected.iter().enumerate() {
+                assert!(
+                    batch.to_cgrid(b).max_abs_diff(e) < 1e-12,
+                    "n {n} sample {b}: {}",
+                    batch.to_cgrid(b).max_abs_diff(e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_threading_is_deterministic() {
+        let plan = Fft2::new(8, 8);
+        let mut serial = random_batch(7, 8);
+        let mut threaded = serial.clone();
+        plan.forward_batch(&mut serial, 1);
+        plan.forward_batch(&mut threaded, 4);
+        assert_eq!(serial, threaded);
+        plan.inverse_batch(&mut serial, 1);
+        plan.inverse_batch(&mut threaded, 3);
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let plan = Fft2::new(10, 10);
+        let original = random_batch(4, 10);
+        let mut batch = original.clone();
+        plan.forward_batch(&mut batch, 2);
+        plan.inverse_batch(&mut batch, 2);
+        assert!(batch.max_abs_diff(&original) < 1e-9);
+    }
+
+    #[test]
+    fn inverse_unnormalized_batch_is_adjoint_scale() {
+        let plan = Fft2::new(6, 6);
+        let original = random_batch(3, 6);
+        let mut batch = original.clone();
+        plan.forward_batch(&mut batch, 2);
+        plan.inverse_unnormalized_batch(&mut batch, 2);
+        batch.scale_inplace(1.0 / 36.0);
+        assert!(batch.max_abs_diff(&original) < 1e-9);
+    }
+
+    #[test]
+    fn apply_transfer_batch_matches_manual_pipeline() {
+        for (n, padded) in [(8usize, 8usize), (8, 16)] {
+            let plan = Fft2::new(padded, padded);
+            let kernel = CGrid::from_fn(padded, padded, |r, c| {
+                Complex64::cis((r as f64 * 0.3 - c as f64 * 0.5).sin())
+            });
+            let batch = random_batch(4, n);
+            let out = plan.apply_transfer_batch(&batch, &kernel, n, 2);
+            for b in 0..4 {
+                let mut manual = if padded == n {
+                    batch.to_cgrid(b)
+                } else {
+                    batch.to_cgrid(b).pad_centered(padded, padded)
+                };
+                plan.forward(&mut manual);
+                manual.hadamard_inplace(&kernel);
+                plan.inverse(&mut manual);
+                if padded != n {
+                    manual = manual.crop_centered(n, n);
+                }
+                assert!(
+                    out.to_cgrid(b).max_abs_diff(&manual) < 1e-12,
+                    "padded {padded} sample {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch sample shape")]
+    fn batch_shape_mismatch_panics() {
+        let plan = Fft2::new(4, 4);
+        let mut batch = BatchCGrid::zeros(2, 4, 5);
+        plan.forward_batch(&mut batch, 1);
     }
 
     #[test]

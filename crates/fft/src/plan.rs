@@ -162,7 +162,10 @@ impl Planner {
     /// Panics if `n == 0`.
     pub fn plan(&self, n: usize) -> Arc<Fft> {
         let mut cache = self.cache.lock().expect("planner mutex poisoned");
-        cache.entry(n).or_insert_with(|| Arc::new(Fft::new(n))).clone()
+        cache
+            .entry(n)
+            .or_insert_with(|| Arc::new(Fft::new(n)))
+            .clone()
     }
 }
 
@@ -176,14 +179,22 @@ mod tests {
         assert!(matches!(Fft::new(1).engine, Engine::Identity));
         assert!(matches!(Fft::new(256).engine, Engine::Radix2(_)));
         assert!(matches!(Fft::new(200).engine, Engine::Mixed(_)));
-        assert!(matches!(Fft::new(6), Fft { engine: Engine::Mixed(_), .. }));
+        assert!(matches!(
+            Fft::new(6),
+            Fft {
+                engine: Engine::Mixed(_),
+                ..
+            }
+        ));
         // 127 is prime and > 61 → Bluestein.
         assert!(matches!(Fft::new(127).engine, Engine::Bluestein(_)));
     }
 
     #[test]
     fn forward_matches_naive_dft_across_engines() {
-        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16, 20, 25, 32, 48, 97, 127, 200] {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16, 20, 25, 32, 48, 97, 127, 200,
+        ] {
             let input: Vec<Complex64> = (0..n)
                 .map(|j| Complex64::new((j as f64 * 0.37).sin(), (j as f64 * 0.11).cos()))
                 .collect();

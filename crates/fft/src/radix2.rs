@@ -16,7 +16,10 @@ impl Radix2 {
     ///
     /// Panics unless `n` is a power of two with `n >= 2`.
     pub(crate) fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "radix-2 needs a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "radix-2 needs a power of two"
+        );
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
@@ -87,11 +90,7 @@ mod tests {
         Radix2::new(n).process(&mut data);
         for (k, z) in data.iter().enumerate() {
             let expected = if k == 3 { n as f64 } else { 0.0 };
-            assert!(
-                (z.norm() - expected).abs() < 1e-9,
-                "bin {k}: {}",
-                z.norm()
-            );
+            assert!((z.norm() - expected).abs() < 1e-9, "bin {k}: {}", z.norm());
         }
     }
 

@@ -23,10 +23,7 @@ pub(crate) fn naive_dft(input: &[Complex64]) -> Vec<Complex64> {
 /// (absolute tolerance `tol · max(1, ‖expected‖∞)`).
 pub(crate) fn assert_spectra_close(got: &[Complex64], expected: &[Complex64], tol: f64, ctx: &str) {
     assert_eq!(got.len(), expected.len(), "{ctx}: length mismatch");
-    let scale = expected
-        .iter()
-        .map(|z| z.norm())
-        .fold(1.0f64, f64::max);
+    let scale = expected.iter().map(|z| z.norm()).fold(1.0f64, f64::max);
     for (k, (g, e)) in got.iter().zip(expected).enumerate() {
         let err = (*g - *e).norm();
         assert!(

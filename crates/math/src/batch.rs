@@ -1,0 +1,556 @@
+//! Contiguous batched 2-D storage — the memory layout of the batched
+//! propagation engine.
+//!
+//! A mini-batch of optical fields is one `[batch, rows, cols]` buffer in
+//! sample-major order: sample `b` occupies the contiguous range
+//! `b·rows·cols .. (b+1)·rows·cols`, itself row-major like [`CGrid`]. The
+//! layout lets FFT workers take disjoint `&mut` sample slices, keeps every
+//! per-sample transform cache-local, and amortizes one allocation over the
+//! whole batch instead of one per sample per op.
+
+use crate::{CGrid, Complex64, Grid};
+
+/// A batch of same-shaped complex fields in one contiguous buffer.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::{BatchCGrid, CGrid, Complex64};
+///
+/// let a = CGrid::full(2, 2, Complex64::ONE);
+/// let b = CGrid::full(2, 2, Complex64::I);
+/// let batch = BatchCGrid::from_samples(&[a.clone(), b.clone()]);
+/// assert_eq!(batch.shape(), (2, 2, 2));
+/// assert_eq!(batch.to_cgrid(1), b);
+/// assert_eq!(batch.total_power(), 8.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct BatchCGrid {
+    batch: usize,
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl BatchCGrid {
+    /// Creates a zeroed batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(batch: usize, rows: usize, cols: usize) -> Self {
+        assert!(batch > 0 && rows > 0 && cols > 0, "empty batch shape");
+        BatchCGrid {
+            batch,
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; batch * rows * cols],
+        }
+    }
+
+    /// Builds a batch by evaluating `f(b, row, col)` everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn from_fn(
+        batch: usize,
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize, usize) -> Complex64,
+    ) -> Self {
+        assert!(batch > 0 && rows > 0 && cols > 0, "empty batch shape");
+        let mut data = Vec::with_capacity(batch * rows * cols);
+        for b in 0..batch {
+            for r in 0..rows {
+                for c in 0..cols {
+                    data.push(f(b, r, c));
+                }
+            }
+        }
+        BatchCGrid {
+            batch,
+            rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Stacks same-shaped fields into one contiguous batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or the shapes differ.
+    pub fn from_samples(samples: &[CGrid]) -> Self {
+        assert!(!samples.is_empty(), "empty batch");
+        let (rows, cols) = samples[0].shape();
+        let mut data = Vec::with_capacity(samples.len() * rows * cols);
+        for s in samples {
+            assert_eq!(s.shape(), (rows, cols), "sample shape mismatch in batch");
+            data.extend_from_slice(s.as_slice());
+        }
+        BatchCGrid {
+            batch: samples.len(),
+            rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of samples in the batch.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Rows of each sample.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of each sample.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(batch, rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.batch, self.rows, self.cols)
+    }
+
+    /// Elements per sample (`rows · cols`).
+    #[inline]
+    pub fn sample_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total number of elements across the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the batch holds no elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The whole buffer, sample-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable access to the whole buffer, sample-major.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Row-major view of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[inline]
+    pub fn sample(&self, b: usize) -> &[Complex64] {
+        let n = self.sample_len();
+        &self.data[b * n..(b + 1) * n]
+    }
+
+    /// Mutable row-major view of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[inline]
+    pub fn sample_mut(&mut self, b: usize) -> &mut [Complex64] {
+        let n = self.sample_len();
+        &mut self.data[b * n..(b + 1) * n]
+    }
+
+    /// Iterates over per-sample row-major slices.
+    pub fn samples(&self) -> impl Iterator<Item = &[Complex64]> {
+        self.data.chunks(self.sample_len())
+    }
+
+    /// Iterates over mutable per-sample row-major slices.
+    pub fn samples_mut(&mut self) -> impl Iterator<Item = &mut [Complex64]> {
+        let n = self.sample_len();
+        self.data.chunks_mut(n)
+    }
+
+    /// Copies sample `b` out as a standalone [`CGrid`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn to_cgrid(&self, b: usize) -> CGrid {
+        CGrid::from_vec(self.rows, self.cols, self.sample(b).to_vec())
+    }
+
+    /// Multiplies every sample elementwise by one shared grid (broadcast
+    /// Hadamard — a phase mask applied across the whole batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` does not have the per-sample shape.
+    pub fn hadamard_bcast_inplace(&mut self, k: &CGrid) {
+        assert_eq!(
+            k.shape(),
+            (self.rows, self.cols),
+            "broadcast shape mismatch"
+        );
+        let kk = k.as_slice();
+        for sample in self.samples_mut() {
+            for (a, &b) in sample.iter_mut().zip(kk) {
+                *a *= b;
+            }
+        }
+    }
+
+    /// Elementwise product with a same-shaped batch, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard_inplace(&mut self, other: &BatchCGrid) {
+        assert_eq!(self.shape(), other.shape(), "batch shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Scales every element by a real factor in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for z in &mut self.data {
+            *z = z.scale(s);
+        }
+    }
+
+    /// Per-element intensity `|z|²` of every sample.
+    pub fn intensity(&self) -> BatchGrid {
+        BatchGrid {
+            batch: self.batch,
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.norm_sqr()).collect(),
+        }
+    }
+
+    /// Total optical power `Σ|z|²` over the whole batch.
+    pub fn total_power(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Zero-pads every sample centered into `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is smaller than the per-sample shape.
+    pub fn pad_centered(&self, rows: usize, cols: usize) -> BatchCGrid {
+        assert!(
+            rows >= self.rows && cols >= self.cols,
+            "pad target too small"
+        );
+        let r0 = (rows - self.rows) / 2;
+        let c0 = (cols - self.cols) / 2;
+        let mut out = BatchCGrid::zeros(self.batch, rows, cols);
+        for (b, src) in self.samples().enumerate() {
+            let dst = out.sample_mut(b);
+            for r in 0..self.rows {
+                let src_row = &src[r * self.cols..(r + 1) * self.cols];
+                let d0 = (r0 + r) * cols + c0;
+                dst[d0..d0 + self.cols].copy_from_slice(src_row);
+            }
+        }
+        out
+    }
+
+    /// Extracts the centered `rows × cols` window of every sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is larger than the per-sample shape.
+    pub fn crop_centered(&self, rows: usize, cols: usize) -> BatchCGrid {
+        assert!(
+            rows <= self.rows && cols <= self.cols,
+            "crop window too large"
+        );
+        let r0 = (self.rows - rows) / 2;
+        let c0 = (self.cols - cols) / 2;
+        let mut out = BatchCGrid::zeros(self.batch, rows, cols);
+        for (b, src) in self.samples().enumerate() {
+            let dst = out.sample_mut(b);
+            for r in 0..rows {
+                let s0 = (r0 + r) * self.cols + c0;
+                dst[r * cols..(r + 1) * cols].copy_from_slice(&src[s0..s0 + cols]);
+            }
+        }
+        out
+    }
+
+    /// Largest elementwise distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &BatchCGrid) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "batch shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A batch of same-shaped real grids in one contiguous buffer (batched
+/// detector intensities, batched gradients).
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::{BatchGrid, Grid};
+///
+/// let batch = BatchGrid::from_samples(&[Grid::full(2, 2, 1.0), Grid::full(2, 2, 3.0)]);
+/// assert_eq!(batch.sample(1)[0], 3.0);
+/// assert_eq!(batch.sum(), 16.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct BatchGrid {
+    batch: usize,
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl BatchGrid {
+    /// Creates a zeroed batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(batch: usize, rows: usize, cols: usize) -> Self {
+        assert!(batch > 0 && rows > 0 && cols > 0, "empty batch shape");
+        BatchGrid {
+            batch,
+            rows,
+            cols,
+            data: vec![0.0; batch * rows * cols],
+        }
+    }
+
+    /// Stacks same-shaped grids into one contiguous batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or the shapes differ.
+    pub fn from_samples(samples: &[Grid]) -> Self {
+        assert!(!samples.is_empty(), "empty batch");
+        let (rows, cols) = samples[0].shape();
+        let mut data = Vec::with_capacity(samples.len() * rows * cols);
+        for s in samples {
+            assert_eq!(s.shape(), (rows, cols), "sample shape mismatch in batch");
+            data.extend_from_slice(s.as_slice());
+        }
+        BatchGrid {
+            batch: samples.len(),
+            rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of samples in the batch.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Rows of each sample.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of each sample.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(batch, rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.batch, self.rows, self.cols)
+    }
+
+    /// Elements per sample (`rows · cols`).
+    #[inline]
+    pub fn sample_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total number of elements across the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the batch holds no elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The whole buffer, sample-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the whole buffer, sample-major.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row-major view of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[inline]
+    pub fn sample(&self, b: usize) -> &[f64] {
+        let n = self.sample_len();
+        &self.data[b * n..(b + 1) * n]
+    }
+
+    /// Mutable row-major view of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[inline]
+    pub fn sample_mut(&mut self, b: usize) -> &mut [f64] {
+        let n = self.sample_len();
+        &mut self.data[b * n..(b + 1) * n]
+    }
+
+    /// Iterates over per-sample row-major slices.
+    pub fn samples(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.sample_len())
+    }
+
+    /// Copies sample `b` out as a standalone [`Grid`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn to_grid(&self, b: usize) -> Grid {
+        Grid::from_vec(self.rows, self.cols, self.sample(b).to_vec())
+    }
+
+    /// Scales every element in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Sum of all elements across the batch.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered(batch: usize, n: usize) -> BatchCGrid {
+        BatchCGrid::from_fn(batch, n, n, |b, r, c| {
+            Complex64::new((b * n * n + r * n + c) as f64, -(b as f64))
+        })
+    }
+
+    #[test]
+    fn from_samples_roundtrips() {
+        let a = CGrid::from_fn(3, 2, |r, c| Complex64::new(r as f64, c as f64));
+        let b = a.map(|z| z * Complex64::I);
+        let batch = BatchCGrid::from_samples(&[a.clone(), b.clone()]);
+        assert_eq!(batch.shape(), (2, 3, 2));
+        assert_eq!(batch.to_cgrid(0), a);
+        assert_eq!(batch.to_cgrid(1), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample shape mismatch")]
+    fn ragged_samples_panic() {
+        let _ = BatchCGrid::from_samples(&[CGrid::zeros(2, 2), CGrid::zeros(3, 3)]);
+    }
+
+    #[test]
+    fn broadcast_hadamard_matches_per_sample() {
+        let mut batch = numbered(3, 4);
+        let mask = CGrid::from_fn(4, 4, |r, c| Complex64::cis((r + 2 * c) as f64));
+        let expected: Vec<CGrid> = (0..3).map(|b| batch.to_cgrid(b).hadamard(&mask)).collect();
+        batch.hadamard_bcast_inplace(&mask);
+        for (b, e) in expected.iter().enumerate() {
+            assert!(batch.to_cgrid(b).max_abs_diff(e) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn pad_crop_roundtrip_per_sample() {
+        let batch = numbered(2, 3);
+        let padded = batch.pad_centered(8, 8);
+        assert_eq!(padded.shape(), (2, 8, 8));
+        for b in 0..2 {
+            assert_eq!(padded.to_cgrid(b), batch.to_cgrid(b).pad_centered(8, 8));
+        }
+        let back = padded.crop_centered(3, 3);
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn intensity_matches_per_sample() {
+        let batch = numbered(2, 4);
+        let i = batch.intensity();
+        for b in 0..2 {
+            assert_eq!(i.to_grid(b), batch.to_cgrid(b).intensity());
+        }
+        assert!((i.sum() - batch.total_power()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_slices_are_disjoint_views() {
+        let mut batch = BatchCGrid::zeros(2, 2, 2);
+        batch.sample_mut(1)[3] = Complex64::ONE;
+        assert_eq!(batch.sample(0).iter().map(|z| z.norm()).sum::<f64>(), 0.0);
+        assert_eq!(batch.to_cgrid(1)[(1, 1)], Complex64::ONE);
+    }
+
+    #[test]
+    fn real_batch_basics() {
+        let g = BatchGrid::from_samples(&[Grid::full(2, 3, 2.0), Grid::full(2, 3, 1.0)]);
+        assert_eq!(g.shape(), (2, 2, 3));
+        assert_eq!(g.sample_len(), 6);
+        assert_eq!(g.sum(), 18.0);
+        let mut h = g.clone();
+        h.scale_inplace(0.5);
+        assert_eq!(h.sum(), 9.0);
+        assert_eq!(h.to_grid(0), Grid::full(2, 3, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = BatchCGrid::from_samples(&[]);
+    }
+}

@@ -132,7 +132,11 @@ impl BlockPartition {
     ///
     /// Panics if `grid` does not have the partition's shape.
     pub fn block_values(&self, grid: &Grid, block: Block) -> Vec<f64> {
-        assert_eq!(grid.shape(), (self.rows, self.cols), "grid/partition shape mismatch");
+        assert_eq!(
+            grid.shape(),
+            (self.rows, self.cols),
+            "grid/partition shape mismatch"
+        );
         let mut out = Vec::with_capacity(block.h * block.w);
         for r in block.r0..block.r0 + block.h {
             for c in block.c0..block.c0 + block.w {

@@ -72,7 +72,11 @@ impl CGrid {
         CGrid {
             rows: amp.rows(),
             cols: amp.cols(),
-            data: amp.as_slice().iter().map(|&a| Complex64::from_real(a)).collect(),
+            data: amp
+                .as_slice()
+                .iter()
+                .map(|&a| Complex64::from_real(a))
+                .collect(),
         }
     }
 
@@ -82,7 +86,11 @@ impl CGrid {
         CGrid {
             rows: phase.rows(),
             cols: phase.cols(),
-            data: phase.as_slice().iter().map(|&p| Complex64::cis(p)).collect(),
+            data: phase
+                .as_slice()
+                .iter()
+                .map(|&p| Complex64::cis(p))
+                .collect(),
         }
     }
 
@@ -242,7 +250,11 @@ impl CGrid {
     ///
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &CGrid) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -257,7 +269,10 @@ impl CGrid {
     ///
     /// Panics if the target is smaller than the source.
     pub fn pad_centered(&self, rows: usize, cols: usize) -> CGrid {
-        assert!(rows >= self.rows && cols >= self.cols, "pad target too small");
+        assert!(
+            rows >= self.rows && cols >= self.cols,
+            "pad target too small"
+        );
         let r0 = (rows - self.rows) / 2;
         let c0 = (cols - self.cols) / 2;
         let mut out = CGrid::zeros(rows, cols);
@@ -276,7 +291,10 @@ impl CGrid {
     ///
     /// Panics if the window is larger than the grid.
     pub fn crop_centered(&self, rows: usize, cols: usize) -> CGrid {
-        assert!(rows <= self.rows && cols <= self.cols, "crop window too large");
+        assert!(
+            rows <= self.rows && cols <= self.cols,
+            "crop window too large"
+        );
         let r0 = (self.rows - rows) / 2;
         let c0 = (self.cols - cols) / 2;
         CGrid::from_fn(rows, cols, |r, c| self[(r0 + r, c0 + c)])
@@ -292,7 +310,10 @@ impl Index<(usize, usize)> for CGrid {
     type Output = Complex64;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -300,7 +321,10 @@ impl Index<(usize, usize)> for CGrid {
 impl IndexMut<(usize, usize)> for CGrid {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -272,7 +272,10 @@ impl Grid {
     ///
     /// Panics if the window exceeds the grid bounds.
     pub fn submatrix(&self, r0: usize, c0: usize, h: usize, w: usize) -> Grid {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "window out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "window out of bounds"
+        );
         Grid::from_fn(h, w, |r, c| self[(r0 + r, c0 + c)])
     }
 
@@ -313,7 +316,11 @@ impl Grid {
     ///
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Grid) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -331,7 +338,10 @@ impl Index<(usize, usize)> for Grid {
     type Output = f64;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -339,7 +349,10 @@ impl Index<(usize, usize)> for Grid {
 impl IndexMut<(usize, usize)> for Grid {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -9,6 +9,8 @@
 //!
 //! * [`Complex64`] — complex arithmetic for scalar optical fields;
 //! * [`Grid`] / [`CGrid`] — dense row-major real/complex 2-D arrays;
+//! * [`BatchGrid`] / [`BatchCGrid`] — contiguous `[batch, n, n]` stacks of
+//!   the above, the storage of the batched propagation engine;
 //! * [`stats`] — means, variances, percentiles (sparsification thresholds);
 //! * [`interp`] — bilinear resize (28×28 dataset images → optical grid);
 //! * [`block`] — block partitioning shared by sparsification & smoothness;
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod block;
 mod cgrid;
 mod complex;
@@ -37,6 +40,7 @@ pub mod interp;
 mod rng;
 pub mod stats;
 
+pub use batch::{BatchCGrid, BatchGrid};
 pub use cgrid::CGrid;
 pub use complex::Complex64;
 pub use grid::Grid;

@@ -45,7 +45,10 @@ pub fn sample_variance(xs: &[f64]) -> f64 {
 /// Panics if `xs` is empty or `q` is outside `[0, 100]`.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&q), "percentile q={q} outside [0,100]");
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile q={q} outside [0,100]"
+    );
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let rank = q / 100.0 * (sorted.len() - 1) as f64;

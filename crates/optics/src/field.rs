@@ -34,6 +34,25 @@ pub fn encode_amplitude(image: &Grid) -> CGrid {
     )
 }
 
+/// Encodes a mini-batch of images as one contiguous stack of
+/// amplitude-encoded fields — the batched-engine counterpart of
+/// [`encode_amplitude`], with identical per-pixel semantics (zero phase,
+/// negative values clamped to zero).
+///
+/// # Panics
+///
+/// Panics if `images` is empty or the image shapes differ.
+pub fn encode_amplitude_batch(images: &[&Grid]) -> photonn_math::BatchCGrid {
+    assert!(!images.is_empty(), "empty image batch");
+    let (rows, cols) = images[0].shape();
+    for img in images {
+        assert_eq!(img.shape(), (rows, cols), "image shape mismatch in batch");
+    }
+    photonn_math::BatchCGrid::from_fn(images.len(), rows, cols, |b, r, c| {
+        Complex64::from_real(images[b][(r, c)].max(0.0))
+    })
+}
+
 /// Encodes an image as the *phase* of a unit-amplitude field,
 /// `exp(i·π·v)` for pixel value `v` — the alternative encoding used by
 /// reconfigurable DONN hardware. Provided for the encoding ablation.

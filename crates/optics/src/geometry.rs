@@ -132,7 +132,10 @@ impl Distances {
     ///
     /// Panics if `z` is not strictly positive and finite.
     pub fn uniform(z: f64) -> Self {
-        assert!(z > 0.0 && z.is_finite(), "distance must be positive and finite");
+        assert!(
+            z > 0.0 && z.is_finite(),
+            "distance must be positive and finite"
+        );
         Distances {
             source_to_first: z,
             between_layers: z,

@@ -42,7 +42,9 @@ mod geometry;
 mod kernel;
 mod propagate;
 
-pub use field::{encode_amplitude, encode_phase, gaussian_beam, plane_wave};
+pub use field::{
+    encode_amplitude, encode_amplitude_batch, encode_phase, gaussian_beam, plane_wave,
+};
 pub use geometry::{
     Distances, Geometry, PAPER_DISTANCE, PAPER_GRID, PAPER_PIXEL_PITCH, PAPER_WAVELENGTH,
 };

@@ -248,7 +248,10 @@ mod tests {
         let out = prop.propagate(&field);
         let intensities = out.intensity();
         let (min, max) = (intensities.min(), intensities.max());
-        assert!((max - min).abs() < 1e-9, "plane wave distorted: {min}..{max}");
+        assert!(
+            (max - min).abs() < 1e-9,
+            "plane wave distorted: {min}..{max}"
+        );
         // Global phase advance is exp(ikz).
         let expected = Complex64::cis(g.wavenumber() * 0.03);
         assert!((out[(8, 8)] - expected).norm() < 1e-9);
@@ -276,7 +279,10 @@ mod tests {
             }
             acc / f.total_power()
         };
-        assert!(unpadded.max_abs_diff(&padded) > 1e-6, "padding changed nothing");
+        assert!(
+            unpadded.max_abs_diff(&padded) > 1e-6,
+            "padding changed nothing"
+        );
         assert!(edge_energy(&padded) <= edge_energy(&unpadded) + 1e-9);
     }
 

@@ -25,7 +25,10 @@ fn main() {
     let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
     let grid = 32;
 
-    println!("dataset: {} | grid: {grid} | epochs: {epochs}", family.name());
+    println!(
+        "dataset: {} | grid: {grid} | epochs: {epochs}",
+        family.name()
+    );
     let data = Dataset::synthetic(family, 900, 7).resized(grid);
     let (train_set, test_set) = data.split(700);
 
@@ -67,7 +70,10 @@ fn main() {
     }
     println!(
         "\nper-class recall: {:?}",
-        cm.recall().iter().map(|r| (r * 100.0).round()).collect::<Vec<_>>()
+        cm.recall()
+            .iter()
+            .map(|r| (r * 100.0).round())
+            .collect::<Vec<_>>()
     );
 
     println!("\nlearned phase mask, layer 2 (ASCII heatmap):");

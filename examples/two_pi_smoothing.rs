@@ -29,9 +29,16 @@ fn main() {
 
     println!("sparsified mask (zeros are the dark blocks):");
     println!("{}", ascii_heatmap(&sparse.mask, 24));
-    println!("roughness after sparsification: {:.2}\n", roughness(&sparse.mask, cfg));
+    println!(
+        "roughness after sparsification: {:.2}\n",
+        roughness(&sparse.mask, cfg)
+    );
 
-    let gumbel = optimize_mask(&sparse.mask, cfg, &TwoPiStrategy::Gumbel(GumbelParams::default()));
+    let gumbel = optimize_mask(
+        &sparse.mask,
+        cfg,
+        &TwoPiStrategy::Gumbel(GumbelParams::default()),
+    );
     println!(
         "Gumbel-Softmax:      {:.2} -> {:.2} ({} pixels shifted by 2π)",
         gumbel.roughness_before, gumbel.roughness_after, gumbel.shifted_pixels

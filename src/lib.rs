@@ -1,0 +1,22 @@
+//! # photonn
+//!
+//! Facade crate for the `photonn` workspace — the from-scratch Rust
+//! reproduction of *Physics-aware Roughness Optimization for Diffractive
+//! Optical Neural Networks* (DAC 2023). It re-exports every workspace
+//! crate under one name so downstream users (and this repository's
+//! `examples/` and `tests/`) can depend on a single package.
+//!
+//! See [`photonn_donn`] for the model/trainer entry points and
+//! `ARCHITECTURE.md` at the repository root for how the batched
+//! propagation engine flows through the crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use photonn_autodiff as autodiff;
+pub use photonn_datasets as datasets;
+pub use photonn_donn as donn;
+pub use photonn_fft as fft;
+pub use photonn_math as math;
+pub use photonn_optics as optics;
+pub use photonn_viz as viz;

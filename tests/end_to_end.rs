@@ -153,8 +153,7 @@ fn smoother_models_survive_deployment_better() {
             let digital = donn.logits(image);
             let field = fab.forward_field(donn, &photonn_optics::encode_amplitude(image));
             let intensity = field.intensity();
-            let deployed: Vec<f64> =
-                donn.regions().iter().map(|r| r.sum(&intensity)).collect();
+            let deployed: Vec<f64> = donn.regions().iter().map(|r| r.sum(&intensity)).collect();
             let scale: f64 = digital.iter().sum::<f64>().max(1e-12);
             total += digital
                 .iter()

@@ -133,7 +133,10 @@ fn block_sparsification_has_lowest_roughness_on_random_masks() {
             &sparsify(&mask, 0.25, SparsifyMethod::Block { size: 4 }).mask,
             cfg,
         );
-        let rn = roughness(&sparsify(&mask, 0.25, SparsifyMethod::NonStructured).mask, cfg);
+        let rn = roughness(
+            &sparsify(&mask, 0.25, SparsifyMethod::NonStructured).mask,
+            cfg,
+        );
         let rbb = roughness(
             &sparsify(&mask, 0.25, SparsifyMethod::BankBalanced { banks: 4 }).mask,
             cfg,
