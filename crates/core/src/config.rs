@@ -112,6 +112,20 @@ impl DonnConfig {
         self.geometry.grid
     }
 
+    /// `true` when two configurations share the same optical front end —
+    /// geometry, plane spacing, kernel construction and FFT padding. Models
+    /// with compatible optics have identical free-space propagators, so
+    /// the mask-independent first hop `P(encode(image))` of any image can
+    /// be computed once and shared between them (the invariant behind
+    /// `photonn-serve`'s cross-variant input-hop cache, and the check its
+    /// model registry performs at registration time).
+    pub fn optics_compatible(&self, other: &DonnConfig) -> bool {
+        self.geometry == other.geometry
+            && self.distances == other.distances
+            && self.kernel_options == other.kernel_options
+            && self.padding == other.padding
+    }
+
     /// Validates internal consistency (detector fits, positive layers).
     ///
     /// # Panics
@@ -150,6 +164,20 @@ mod tests {
         cfg.validate();
         assert_eq!(cfg.detector.region_size, 6);
         assert!((cfg.geometry.aperture() - Geometry::paper().aperture()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optics_compatibility_ignores_heads_but_not_optics() {
+        let a = DonnConfig::scaled(32);
+        let mut b = DonnConfig::scaled(32);
+        b.loss = LossKind::CrossEntropy;
+        b.num_layers = 5;
+        assert!(a.optics_compatible(&b), "heads/layers don't affect optics");
+        let c = DonnConfig::scaled(64);
+        assert!(!a.optics_compatible(&c), "different grids differ optically");
+        let mut d = DonnConfig::scaled(32);
+        d.padding = Padding::Double;
+        assert!(!a.optics_compatible(&d), "padding changes the propagator");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! deployed response diverges from the digital model — exactly the
 //! roughness-correlated gap the paper optimizes away.
 
-use photonn_autodiff::Neighborhood;
+pub use photonn_autodiff::Neighborhood;
 use photonn_datasets::Dataset;
 use photonn_math::{CGrid, Complex64, Grid};
 use photonn_optics::encode_amplitude;
@@ -82,6 +82,29 @@ impl FabricationModel {
             field = propagate_like(donn, &field);
         }
         field
+    }
+
+    /// The deployed complex transmissions of every layer of a model — what
+    /// a serving registry precomputes once so deployed inference pays no
+    /// per-request crosstalk convolution.
+    pub fn transmissions(&self, donn: &Donn) -> Vec<CGrid> {
+        donn.masks().iter().map(|m| self.transmission(m)).collect()
+    }
+
+    /// Batched *deployed* inference through the batched propagation engine:
+    /// per-sample detector sums under crosstalk-corrupted transmissions.
+    /// Returns an empty vector for an empty batch; `threads == 0` is
+    /// treated as 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any image is not grid-sized.
+    pub fn logits_batch(&self, donn: &Donn, images: &[&Grid], threads: usize) -> Vec<Vec<f64>> {
+        if images.is_empty() {
+            return Vec::new();
+        }
+        let field = donn.first_hop_batch(images, threads);
+        donn.logits_batch_with_transmissions(&self.transmissions(donn), field, threads)
     }
 
     /// Deployed prediction for an image.
@@ -230,6 +253,29 @@ mod tests {
             err(&smooth),
             err(&rough)
         );
+    }
+
+    #[test]
+    fn batched_deployed_logits_match_per_sample_path() {
+        let mut rng = Rng::seed_from(6);
+        let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let data =
+            photonn_datasets::Dataset::synthetic(photonn_datasets::Family::Mnist, 6, 5).resized(32);
+        let fab = FabricationModel::new(0.12);
+        let images: Vec<&Grid> = (0..6).map(|i| data.image(i)).collect();
+        let batched = fab.logits_batch(&donn, &images, 3);
+        assert_eq!(batched.len(), 6);
+        for (i, logits) in batched.iter().enumerate() {
+            // The scalar deployed path differs only in FFT summation order.
+            let intensity = fab
+                .forward_field(&donn, &encode_amplitude(images[i]))
+                .intensity();
+            for (r, got) in donn.regions().iter().zip(logits) {
+                let want = r.sum(&intensity);
+                assert!((got - want).abs() < 1e-9, "sample {i}: {got} vs {want}");
+            }
+        }
+        assert!(fab.logits_batch(&donn, &[], 2).is_empty());
     }
 
     #[test]

@@ -214,35 +214,110 @@ impl Donn {
         self.forward_field(&encode_amplitude(image)).intensity()
     }
 
-    /// Raw detector sums (one per class).
+    /// Raw detector sums (one per class), routed through the batched
+    /// propagation engine with a batch of one. The engine is per-sample
+    /// deterministic across batch sizes and thread counts, so these logits
+    /// are bit-identical to the matching entry of any
+    /// [`Donn::logits_batch`] call containing the same image — the
+    /// invariant the serving layer's end-to-end tests pin down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not grid-sized.
     pub fn logits(&self, image: &Grid) -> Vec<f64> {
-        let intensity = self.forward_intensity(image);
-        self.regions.iter().map(|r| r.sum(&intensity)).collect()
+        self.logits_batch(&[image], 1).pop().expect("one sample")
     }
 
     /// Batched inference: detector sums for a mini-batch of images through
     /// the batched propagation engine (one contiguous field stack, FFT
-    /// batch chunks on `threads` workers). Returns one logits vector per
-    /// image, identical to per-image [`Donn::logits`] up to FFT traversal
-    /// order.
+    /// batch chunks on `threads` workers; `threads == 0` is treated as 1).
+    /// Returns one logits vector per image, bit-identical to per-image
+    /// [`Donn::logits`], and an empty vector for an empty batch (a serving
+    /// dispatcher must survive a degenerate flush).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any image is not grid-sized.
+    pub fn logits_batch(&self, images: &[&Grid], threads: usize) -> Vec<Vec<f64>> {
+        if images.is_empty() {
+            return Vec::new();
+        }
+        let field = self.first_hop_batch(images, threads);
+        self.logits_batch_from_first_hop(field, threads)
+    }
+
+    /// The mask-independent first free-space hop for one image:
+    /// `P(encode(image))`. Every DONN forward pass starts with this hop
+    /// before any trainable mask touches the field, so its result can be
+    /// cached per image and shared across model variants with the same
+    /// optics (see `photonn-serve`'s input-hop cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not grid-sized.
+    pub fn first_hop(&self, image: &Grid) -> CGrid {
+        self.first_hop_batch(&[image], 1).to_cgrid(0)
+    }
+
+    /// Batched first hop: amplitude-encodes a mini-batch and runs the
+    /// mask-independent free-space hop (`threads == 0` is treated as 1).
     ///
     /// # Panics
     ///
     /// Panics if `images` is empty or any image is not grid-sized.
-    pub fn logits_batch(&self, images: &[&Grid], threads: usize) -> Vec<Vec<f64>> {
+    pub fn first_hop_batch(&self, images: &[&Grid], threads: usize) -> BatchCGrid {
         let n = self.config.grid();
         assert!(!images.is_empty(), "empty image batch");
         for img in images {
             assert_eq!(img.shape(), (n, n), "image shape mismatch");
         }
-        let mut field = photonn_optics::encode_amplitude_batch(images);
-        field = self.propagate_batch_field(&field, threads);
-        for mask in &self.masks {
-            field.hadamard_bcast_inplace(&CGrid::from_phase(mask));
+        let field = photonn_optics::encode_amplitude_batch(images);
+        self.propagate_batch_field(&field, threads)
+    }
+
+    /// Detector sums for a batch of *already propagated* first-hop fields —
+    /// the serving batch-entry point that lets an input-hop cache skip
+    /// [`Donn::first_hop_batch`] for repeated images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fields are not grid-sized.
+    pub fn logits_batch_from_first_hop(&self, field: BatchCGrid, threads: usize) -> Vec<Vec<f64>> {
+        let transmissions: Vec<CGrid> = self.masks.iter().map(CGrid::from_phase).collect();
+        self.logits_batch_with_transmissions(&transmissions, field, threads)
+    }
+
+    /// Modulate-and-read-out over arbitrary per-layer complex
+    /// transmissions: applies each transmission to the (post-first-hop)
+    /// field stack, propagates between layers, and returns per-sample
+    /// detector sums. With `transmissions[l] = e^{iφ_l}` this is exactly
+    /// the ideal readout; a fabrication model substitutes its
+    /// crosstalk-corrupted transmissions to serve *deployed* predictions
+    /// from the same batched engine (`threads == 0` is treated as 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission count differs from the layer count or
+    /// any shape is not grid-sized.
+    pub fn logits_batch_with_transmissions(
+        &self,
+        transmissions: &[CGrid],
+        mut field: BatchCGrid,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let n = self.config.grid();
+        assert_eq!(
+            transmissions.len(),
+            self.masks.len(),
+            "transmission count mismatch"
+        );
+        assert_eq!((field.rows(), field.cols()), (n, n), "field shape mismatch");
+        for t in transmissions {
+            field.hadamard_bcast_inplace(t);
             field = self.propagate_batch_field(&field, threads);
         }
         let intensity = field.intensity();
-        (0..images.len())
+        (0..intensity.batch())
             .map(|b| {
                 let sample = intensity.to_grid(b);
                 self.regions.iter().map(|r| r.sum(&sample)).collect()
@@ -250,10 +325,11 @@ impl Donn {
             .collect()
     }
 
-    /// One batched free-space hop on the inference path.
+    /// One batched free-space hop on the inference path (`threads == 0` is
+    /// treated as 1, matching `train::per_sample_batch_gradients`).
     fn propagate_batch_field(&self, field: &BatchCGrid, threads: usize) -> BatchCGrid {
         self.plan
-            .apply_transfer_batch(field, &self.kernel, self.config.grid(), threads)
+            .apply_transfer_batch(field, &self.kernel, self.config.grid(), threads.max(1))
     }
 
     /// Predicted class (`argmax` over detector sums).
@@ -262,11 +338,12 @@ impl Donn {
     }
 
     /// Predicted classes for a mini-batch of images (batched inference
-    /// engine).
+    /// engine; `threads == 0` is treated as 1). Returns an empty vector for
+    /// an empty batch.
     ///
     /// # Panics
     ///
-    /// Panics if `images` is empty or any image is not grid-sized.
+    /// Panics if any image is not grid-sized.
     pub fn predict_batch(&self, images: &[&Grid], threads: usize) -> Vec<usize> {
         self.logits_batch(images, threads)
             .iter()
@@ -281,7 +358,7 @@ impl Donn {
     /// Classification accuracy over a dataset, evaluated through the
     /// batched inference engine in fixed-size mini-batches whose FFT work
     /// is spread over `threads` workers (deterministic: samples are
-    /// chunked, not raced).
+    /// chunked, not raced; `threads == 0` is treated as 1).
     ///
     /// Returns `0.0` for an empty dataset instead of `NaN`.
     ///
@@ -292,6 +369,7 @@ impl Donn {
         if dataset.is_empty() {
             return 0.0;
         }
+        let threads = threads.max(1);
         let mut correct = 0usize;
         let mut at = 0usize;
         while at < dataset.len() {
@@ -551,7 +629,7 @@ mod tests {
     }
 
     #[test]
-    fn batched_logits_match_per_sample_logits() {
+    fn batched_logits_are_bit_identical_to_per_sample_logits() {
         let donn = small();
         let data = Dataset::synthetic(Family::Mnist, 7, 4).resized(32);
         let images: Vec<&Grid> = (0..7).map(|i| data.image(i)).collect();
@@ -560,13 +638,51 @@ mod tests {
             for (i, logits) in batched.iter().enumerate() {
                 let single = donn.logits(images[i]);
                 for (a, b) in logits.iter().zip(&single) {
-                    assert!(
-                        (a - b).abs() < 1e-9,
-                        "sample {i} at {threads} threads: {a} vs {b}"
-                    );
+                    assert_eq!(a, b, "sample {i} at {threads} threads: {a} vs {b}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_not_panic() {
+        let donn = small();
+        assert!(donn.logits_batch(&[], 2).is_empty());
+        assert!(donn.predict_batch(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_normalized_to_one() {
+        let donn = small();
+        let data = Dataset::synthetic(Family::Mnist, 4, 5).resized(32);
+        let images: Vec<&Grid> = (0..4).map(|i| data.image(i)).collect();
+        assert_eq!(donn.logits_batch(&images, 0), donn.logits_batch(&images, 1));
+        assert_eq!(donn.accuracy(&data, 0), donn.accuracy(&data, 1));
+    }
+
+    #[test]
+    fn first_hop_cache_path_matches_direct_batch() {
+        // Assembling a batch from individually computed (cacheable) first
+        // hops must reproduce the direct batched path bit-for-bit.
+        let donn = small();
+        let data = Dataset::synthetic(Family::Mnist, 5, 8).resized(32);
+        let images: Vec<&Grid> = (0..5).map(|i| data.image(i)).collect();
+        let direct = donn.logits_batch(&images, 3);
+        let hops: Vec<CGrid> = images.iter().map(|img| donn.first_hop(img)).collect();
+        let assembled = BatchCGrid::from_samples(&hops);
+        let via_cache = donn.logits_batch_from_first_hop(assembled, 3);
+        assert_eq!(direct, via_cache);
+    }
+
+    #[test]
+    fn identity_transmissions_reproduce_ideal_logits() {
+        let donn = small();
+        let data = Dataset::synthetic(Family::Mnist, 3, 2).resized(32);
+        let images: Vec<&Grid> = (0..3).map(|i| data.image(i)).collect();
+        let transmissions: Vec<CGrid> = donn.masks().iter().map(CGrid::from_phase).collect();
+        let field = donn.first_hop_batch(&images, 2);
+        let via = donn.logits_batch_with_transmissions(&transmissions, field, 2);
+        assert_eq!(via, donn.logits_batch(&images, 2));
     }
 
     #[test]

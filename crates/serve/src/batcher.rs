@@ -1,0 +1,617 @@
+//! The dynamic micro-batcher: the bridge from "many concurrent requests"
+//! to "one `BatchCGrid` through the batched propagation engine".
+//!
+//! Requests park on a bounded queue. A dispatcher thread coalesces
+//! consecutive same-model jobs under a [`BatchPolicy`]: it dispatches as
+//! soon as `max_batch` jobs for the head model are waiting, or when the
+//! head job has waited `max_wait_us`, whichever comes first. The coalesced
+//! batch runs as a *single* `logits_batch`-shaped call whose FFT work is
+//! spread over the policy's worker threads, and per-sample logits fan back
+//! to the parked connections over per-job channels.
+//!
+//! Because the batched engine is per-sample deterministic across batch
+//! sizes and thread counts, a response is bit-identical no matter how the
+//! dispatcher happened to slice the traffic — the property the end-to-end
+//! tests pin down.
+//!
+//! Backpressure is structural: when the queue holds `queue_capacity` jobs,
+//! [`Batcher::submit`] refuses with [`SubmitError::QueueFull`] and the
+//! HTTP layer answers 429 instead of letting latency grow without bound.
+
+use crate::cache::FirstHopCache;
+use crate::metrics::Metrics;
+use crate::registry::{ModelRegistry, ServedModel};
+use photonn_math::{BatchCGrid, CGrid, Grid};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Coalescing and capacity policy of the dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest number of requests fused into one batch.
+    pub max_batch: usize,
+    /// Longest time the head request may wait for co-travelers, in
+    /// microseconds. `0` dispatches immediately (batch size becomes
+    /// whatever already queued).
+    pub max_wait_us: u64,
+    /// Bounded-queue capacity; submissions beyond it are refused.
+    pub queue_capacity: usize,
+    /// FFT worker threads per dispatched batch (`0` is treated as 1).
+    pub threads: usize,
+}
+
+impl Default for BatchPolicy {
+    /// A balanced default: coalesce up to 16 requests for at most 2 ms,
+    /// queue at most 256, and use up to 8 cores.
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 16,
+            max_wait_us: 2_000,
+            queue_capacity: 256,
+            threads: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// The no-batching baseline: every request dispatches alone.
+    pub fn unbatched() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            max_wait_us: 0,
+            ..BatchPolicy::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (HTTP 429).
+    QueueFull,
+    /// No model with this name is registered (HTTP 404).
+    UnknownModel(String),
+    /// The image does not match the model's grid (HTTP 400).
+    ShapeMismatch {
+        /// Expected side length.
+        expected: usize,
+        /// Received shape.
+        got: (usize, usize),
+    },
+    /// The batcher is shutting down (HTTP 503).
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            SubmitError::ShapeMismatch { expected, got } => write!(
+                f,
+                "image shape {got:?} does not match the {expected}x{expected} grid"
+            ),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Job {
+    model: Arc<ServedModel>,
+    image: Grid,
+    tx: mpsc::Sender<Vec<f64>>,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+    policy: BatchPolicy,
+    cache: Option<FirstHopCache>,
+    metrics: Arc<Metrics>,
+}
+
+/// The request-coalescing dispatcher. Dropping it shuts the dispatcher
+/// down gracefully (queued jobs are still answered).
+pub struct Batcher {
+    shared: Arc<Shared>,
+    registry: Arc<ModelRegistry>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Starts a dispatcher over `registry` with an optional input-hop
+    /// cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty or the policy is degenerate.
+    pub fn new(
+        registry: Arc<ModelRegistry>,
+        policy: BatchPolicy,
+        cache: Option<FirstHopCache>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        policy.validate();
+        assert!(!registry.is_empty(), "cannot serve an empty registry");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            wake: Condvar::new(),
+            policy,
+            cache,
+            metrics,
+        });
+        let worker = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("photonn-dispatch".into())
+            .spawn(move || dispatch_loop(&worker))
+            .expect("spawn dispatcher");
+        Batcher {
+            shared,
+            registry,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// The registry this batcher serves.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Enqueues one inference job. On success, the returned receiver
+    /// yields the sample's logits once its batch has run.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`]; the job is refused *before* queueing in every
+    /// error case.
+    pub fn submit(
+        &self,
+        model_name: Option<&str>,
+        image: Grid,
+    ) -> Result<mpsc::Receiver<Vec<f64>>, SubmitError> {
+        let model = match model_name {
+            Some(name) => self
+                .registry
+                .get(name)
+                .ok_or_else(|| SubmitError::UnknownModel(name.to_string()))?,
+            None => self
+                .registry
+                .default_model()
+                .expect("registry checked non-empty"),
+        };
+        let n = model.grid();
+        if image.shape() != (n, n) {
+            return Err(SubmitError::ShapeMismatch {
+                expected: n,
+                got: image.shape(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("batcher lock");
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.queue.len() >= self.shared.policy.queue_capacity {
+                return Err(SubmitError::QueueFull);
+            }
+            state.queue.push_back(Job {
+                model: Arc::clone(model),
+                image,
+                tx,
+                enqueued: Instant::now(),
+            });
+            self.shared.metrics.set_queue_depth(state.queue.len());
+        }
+        self.shared.wake.notify_all();
+        Ok(rx)
+    }
+
+    /// Jobs currently parked in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("batcher lock").queue.len()
+    }
+
+    /// Stops accepting jobs, drains the queue (every parked job still
+    /// receives its logits), and joins the dispatcher. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("batcher lock");
+            state.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.dispatcher.lock().expect("join lock").take() {
+            handle.join().expect("dispatcher panicked");
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Takes up to `max_batch` jobs for the queue head's model, preserving
+/// the relative order of everything left behind.
+fn take_group(queue: &mut VecDeque<Job>, max_batch: usize) -> Vec<Job> {
+    let head_model = Arc::clone(&queue.front().expect("non-empty queue").model);
+    let mut taken = Vec::new();
+    let mut rest = VecDeque::with_capacity(queue.len());
+    for job in queue.drain(..) {
+        if taken.len() < max_batch && Arc::ptr_eq(&job.model, &head_model) {
+            taken.push(job);
+        } else {
+            rest.push_back(job);
+        }
+    }
+    *queue = rest;
+    taken
+}
+
+fn dispatch_loop(shared: &Shared) {
+    loop {
+        let jobs = {
+            let mut state = shared.state.lock().expect("batcher lock");
+            loop {
+                if state.queue.is_empty() {
+                    if state.shutdown {
+                        return;
+                    }
+                    state = shared.wake.wait(state).expect("batcher lock");
+                    continue;
+                }
+                let deadline = state.queue.front().expect("non-empty").enqueued
+                    + Duration::from_micros(shared.policy.max_wait_us);
+                let head_model = Arc::clone(&state.queue.front().expect("non-empty").model);
+                let ready = state
+                    .queue
+                    .iter()
+                    .filter(|j| Arc::ptr_eq(&j.model, &head_model))
+                    .count();
+                let now = Instant::now();
+                if ready >= shared.policy.max_batch || state.shutdown || now >= deadline {
+                    let group = take_group(&mut state.queue, shared.policy.max_batch);
+                    shared.metrics.set_queue_depth(state.queue.len());
+                    break group;
+                }
+                let (next, _) = shared
+                    .wake
+                    .wait_timeout(state, deadline - now)
+                    .expect("batcher lock");
+                state = next;
+            }
+        };
+        run_batch(shared, jobs);
+    }
+}
+
+/// Runs one coalesced batch and fans the per-sample logits back out.
+fn run_batch(shared: &Shared, jobs: Vec<Job>) {
+    let threads = shared.policy.threads;
+    let model = Arc::clone(&jobs[0].model);
+    shared.metrics.record_batch(jobs.len());
+    let logits = match &shared.cache {
+        None => {
+            let images: Vec<&Grid> = jobs.iter().map(|j| &j.image).collect();
+            model.logits_batch(&images, threads)
+        }
+        Some(cache) => run_with_cache(shared, cache, &model, &jobs, threads),
+    };
+    let done = Instant::now();
+    for (job, sample_logits) in jobs.into_iter().zip(logits) {
+        shared
+            .metrics
+            .record_latency_us(done.duration_since(job.enqueued).as_micros() as u64);
+        // A gone receiver just means the client hung up; nothing to do.
+        let _ = job.tx.send(sample_logits);
+    }
+}
+
+/// Cache-assisted batch execution: resolve each image's mask-independent
+/// first hop from the LRU, compute the misses as one batched hop, then run
+/// the model's masked readout from the assembled field stack. Per-sample
+/// determinism of the batched engine makes this path bit-identical to the
+/// uncached one.
+fn run_with_cache(
+    shared: &Shared,
+    cache: &FirstHopCache,
+    model: &ServedModel,
+    jobs: &[Job],
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    let mut hops: Vec<Option<Arc<CGrid>>> = Vec::with_capacity(jobs.len());
+    // Misses grouped by key: a burst of identical images coalesced into
+    // one batch — the cache's target workload — must compute each
+    // distinct first hop once, not once per request.
+    let mut misses: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let key = FirstHopCache::key(&job.image);
+        let cached = cache.get(&key);
+        if cached.is_some() {
+            shared.metrics.record_cache_hit();
+        } else {
+            shared.metrics.record_cache_miss();
+            match misses.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, indices)) => indices.push(i),
+                None => misses.push((key, vec![i])),
+            }
+        }
+        hops.push(cached);
+    }
+    if !misses.is_empty() {
+        let miss_images: Vec<&Grid> = misses
+            .iter()
+            .map(|(_, indices)| &jobs[indices[0]].image)
+            .collect();
+        let fresh = model.donn().first_hop_batch(&miss_images, threads);
+        for (slot, (key, indices)) in misses.into_iter().enumerate() {
+            let field = Arc::new(fresh.to_cgrid(slot));
+            cache.insert(key, Arc::clone(&field));
+            for i in indices {
+                hops[i] = Some(Arc::clone(&field));
+            }
+        }
+    }
+    // Copy the resolved fields into the contiguous batch stack outside
+    // any cache lock (the Arc clones above were pointer-sized).
+    let n = model.grid();
+    let mut stack = BatchCGrid::zeros(jobs.len(), n, n);
+    for (b, hop) in hops.iter().enumerate() {
+        stack
+            .sample_mut(b)
+            .copy_from_slice(hop.as_deref().expect("resolved").as_slice());
+    }
+    model.logits_from_first_hop(stack, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_datasets::{Dataset, Family};
+    use photonn_donn::{Donn, DonnConfig};
+    use photonn_math::Rng;
+
+    fn registry() -> (Arc<ModelRegistry>, Donn) {
+        let mut rng = Rng::seed_from(3);
+        let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let mut reg = ModelRegistry::new();
+        reg.register("ideal", donn.clone());
+        (Arc::new(reg), donn)
+    }
+
+    fn images(count: usize) -> Vec<Grid> {
+        let data = Dataset::synthetic(Family::Mnist, count, 11).resized(32);
+        (0..count).map(|i| data.image(i).clone()).collect()
+    }
+
+    fn policy(max_batch: usize, max_wait_us: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_wait_us,
+            queue_capacity: 64,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn responses_map_back_to_their_submitters_bit_identically() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(reg, policy(8, 5_000), None, Arc::clone(&metrics));
+        let imgs = images(6);
+        // Submit six *distinct* images quickly; coalescing may slice them
+        // arbitrarily — every receiver must still get its own image's
+        // logits, bit-identical to the direct call.
+        let receivers: Vec<_> = imgs
+            .iter()
+            .map(|img| batcher.submit(None, img.clone()).unwrap())
+            .collect();
+        for (img, rx) in imgs.iter().zip(receivers) {
+            let served = rx.recv().unwrap();
+            assert_eq!(served, donn.logits(img), "fan-out routed wrong sample");
+        }
+        assert_eq!(metrics.snapshot().queue_depth, 0);
+    }
+
+    #[test]
+    fn coalescing_respects_max_batch() {
+        let (reg, _) = registry();
+        let metrics = Arc::new(Metrics::new());
+        // Generous wait so the dispatcher *wants* to coalesce everything;
+        // max_batch must still cap every dispatched group at 2.
+        let batcher = Batcher::new(reg, policy(2, 50_000), None, Arc::clone(&metrics));
+        let imgs = images(5);
+        let receivers: Vec<_> = imgs
+            .iter()
+            .map(|img| batcher.submit(None, img.clone()).unwrap())
+            .collect();
+        for rx in receivers {
+            rx.recv().unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batch_hist.iter().sum::<u64>(), snap.batches_total);
+        assert!(snap.max_batch_observed <= 2, "max_batch violated");
+        assert!(snap.batches_total >= 3, "5 jobs need >= 3 batches of <= 2");
+        // Every job was dispatched exactly once.
+        let jobs: u64 = snap.batch_hist[0] + 2 * snap.batch_hist[1];
+        assert_eq!(jobs, 5);
+    }
+
+    #[test]
+    fn max_wait_dispatches_partial_batches() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        // max_batch far above traffic: only the deadline can trigger.
+        let batcher = Batcher::new(reg, policy(64, 20_000), None, metrics);
+        let img = images(1).remove(0);
+        let start = Instant::now();
+        let rx = batcher.submit(None, img.clone()).unwrap();
+        let logits = rx.recv().unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(logits, donn.logits(&img));
+        assert!(
+            elapsed >= Duration::from_micros(10_000),
+            "dispatched before the deadline could have elapsed: {elapsed:?}"
+        );
+        assert!(elapsed < Duration::from_secs(5), "deadline never fired");
+    }
+
+    #[test]
+    fn bounded_queue_refuses_beyond_capacity() {
+        let (reg, _) = registry();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(
+            reg,
+            BatchPolicy {
+                max_batch: 8,
+                max_wait_us: 500_000,
+                queue_capacity: 2,
+                threads: 1,
+            },
+            None,
+            metrics,
+        );
+        let imgs = images(3);
+        // The dispatcher waits 500 ms for a batch of 8, so the first two
+        // jobs park in the queue and the third must bounce.
+        let rx1 = batcher.submit(None, imgs[0].clone()).unwrap();
+        let rx2 = batcher.submit(None, imgs[1].clone()).unwrap();
+        assert_eq!(
+            batcher.submit(None, imgs[2].clone()).unwrap_err(),
+            SubmitError::QueueFull
+        );
+        // The parked jobs still complete.
+        assert_eq!(rx1.recv().unwrap().len(), 10);
+        assert_eq!(rx2.recv().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn submit_validates_model_and_shape_upfront() {
+        let (reg, _) = registry();
+        let batcher = Batcher::new(reg, policy(4, 100), None, Arc::new(Metrics::new()));
+        assert_eq!(
+            batcher
+                .submit(Some("nope"), Grid::zeros(32, 32))
+                .unwrap_err(),
+            SubmitError::UnknownModel("nope".into())
+        );
+        assert_eq!(
+            batcher.submit(None, Grid::zeros(16, 16)).unwrap_err(),
+            SubmitError::ShapeMismatch {
+                expected: 32,
+                got: (16, 16)
+            }
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_parked_jobs_then_refuses() {
+        let (reg, donn) = registry();
+        let batcher = Batcher::new(reg, policy(64, 1_000_000), None, Arc::new(Metrics::new()));
+        let imgs = images(3);
+        let receivers: Vec<_> = imgs
+            .iter()
+            .map(|img| batcher.submit(None, img.clone()).unwrap())
+            .collect();
+        // Shutdown before the 1 s coalescing deadline: the drain must
+        // still answer every parked job.
+        batcher.shutdown();
+        for (img, rx) in imgs.iter().zip(receivers) {
+            assert_eq!(rx.recv().unwrap(), donn.logits(img));
+        }
+        assert_eq!(
+            batcher.submit(None, imgs[0].clone()).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn cache_path_is_bit_identical_and_counts_hits() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        let cache = FirstHopCache::new(64 << 20);
+        let batcher = Batcher::new(reg, policy(4, 2_000), Some(cache), Arc::clone(&metrics));
+        let imgs = images(4);
+        for round in 0..2 {
+            for img in &imgs {
+                let rx = batcher.submit(None, img.clone()).unwrap();
+                assert_eq!(rx.recv().unwrap(), donn.logits(img), "round {round}");
+            }
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.cache_hits + snap.cache_misses, 8);
+        assert!(
+            snap.cache_hits >= 4,
+            "second round must hit the cache: {snap:?}"
+        );
+        assert!(snap.cache_misses >= 4, "first round must miss");
+    }
+
+    #[test]
+    fn duplicate_images_within_a_batch_share_one_first_hop() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        let cache = FirstHopCache::new(64 << 20);
+        // Large max_wait so all submissions coalesce into one batch.
+        let batcher = Batcher::new(reg, policy(8, 100_000), Some(cache), Arc::clone(&metrics));
+        let img = images(1).remove(0);
+        let receivers: Vec<_> = (0..4)
+            .map(|_| batcher.submit(None, img.clone()).unwrap())
+            .collect();
+        let want = donn.logits(&img);
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap(), want);
+        }
+        // Per-request accounting: every request was either a cold miss
+        // (deduped into one computation when coalesced) or — if timing
+        // split the batch — a hit on the freshly cached hop.
+        let snap = metrics.snapshot();
+        assert_eq!(snap.cache_hits + snap.cache_misses, 4);
+        assert!(snap.cache_misses >= 1);
+    }
+
+    #[test]
+    fn mixed_model_traffic_groups_by_model() {
+        let mut rng = Rng::seed_from(5);
+        let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let mut reg = ModelRegistry::new();
+        reg.register("ideal", donn.clone());
+        reg.register_quantized("q4", &donn, 4);
+        let reg = Arc::new(reg);
+        let batcher = Batcher::new(
+            Arc::clone(&reg),
+            policy(8, 5_000),
+            None,
+            Arc::new(Metrics::new()),
+        );
+        let imgs = images(4);
+        let mut expect = Vec::new();
+        let mut receivers = Vec::new();
+        for (i, img) in imgs.iter().enumerate() {
+            let name = if i % 2 == 0 { "ideal" } else { "q4" };
+            expect.push(reg.get(name).unwrap().logits_batch(&[img], 1).remove(0));
+            receivers.push(batcher.submit(Some(name), img.clone()).unwrap());
+        }
+        for (want, rx) in expect.into_iter().zip(receivers) {
+            assert_eq!(rx.recv().unwrap(), want, "cross-model routing broke");
+        }
+    }
+}

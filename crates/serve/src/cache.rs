@@ -1,0 +1,218 @@
+//! The input-hop cache: a memory-budgeted LRU over `P(encode(image))`.
+//!
+//! Every DONN forward pass starts with a free-space hop that no trainable
+//! mask has touched — it depends only on the image and the optics. For
+//! serving traffic with repeated inputs (the ROADMAP's input-hop-caching
+//! item), caching that first hop removes one of `L+1` propagation hops per
+//! request, and because `DonnConfig::optics_compatible` models share the
+//! propagator, one cache serves every registered variant.
+//!
+//! Keys are the raw little-endian bytes of the image (dimensions + `f64`
+//! bits), so lookups are exact — two images hash equal iff every pixel is
+//! bit-identical. The budget is expressed in bytes of *cached payload*
+//! (key + field); least-recently-used entries are evicted until the
+//! inserted entry fits.
+
+use photonn_math::{CGrid, Grid};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Approximate bookkeeping overhead charged per entry.
+const ENTRY_OVERHEAD: usize = 64;
+
+struct Entry {
+    // Arc so a hit clones a pointer under the lock, not a field buffer
+    // (~640 KB at paper scale); the memcopy into the batch stack happens
+    // outside the critical section.
+    field: Arc<CGrid>,
+    cost: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Vec<u8>, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A thread-safe, memory-budgeted LRU cache of first-hop fields.
+pub struct FirstHopCache {
+    inner: Mutex<Inner>,
+    budget_bytes: usize,
+}
+
+impl FirstHopCache {
+    /// Creates a cache bounded to roughly `budget_bytes` of payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is zero (use `Option<FirstHopCache>` to
+    /// disable caching instead).
+    pub fn new(budget_bytes: usize) -> Self {
+        assert!(
+            budget_bytes > 0,
+            "zero cache budget; omit the cache instead"
+        );
+        FirstHopCache {
+            inner: Mutex::new(Inner::default()),
+            budget_bytes,
+        }
+    }
+
+    /// The exact-match cache key of an image: dimensions plus the
+    /// little-endian bit pattern of every pixel.
+    pub fn key(image: &Grid) -> Vec<u8> {
+        let mut key = Vec::with_capacity(16 + image.len() * 8);
+        key.extend((image.rows() as u64).to_le_bytes());
+        key.extend((image.cols() as u64).to_le_bytes());
+        for &v in image.as_slice() {
+            key.extend(v.to_bits().to_le_bytes());
+        }
+        key
+    }
+
+    /// Looks up a first-hop field, bumping its recency. Hit/miss
+    /// accounting is the caller's job (the server records it in
+    /// `Metrics`, the single source of truth).
+    pub fn get(&self, key: &[u8]) -> Option<Arc<CGrid>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.field)
+        })
+    }
+
+    /// Inserts a first-hop field, evicting least-recently-used entries
+    /// until the budget holds. An entry larger than the whole budget is
+    /// silently not cached.
+    pub fn insert(&self, key: Vec<u8>, field: Arc<CGrid>) {
+        let cost = key.len()
+            + field.len() * std::mem::size_of::<photonn_math::Complex64>()
+            + ENTRY_OVERHEAD;
+        if cost > self.budget_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.cost;
+        }
+        while inner.bytes + cost > self.budget_bytes {
+            // O(n) LRU scan: the budget bounds n, and eviction is off the
+            // per-request fast path (only on insert of a new image).
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies non-empty");
+            let evicted = inner.map.remove(&oldest).expect("key just found");
+            inner.bytes -= evicted.cost;
+        }
+        inner.bytes += cost;
+        inner.map.insert(
+            key,
+            Entry {
+                field,
+                cost,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock").bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::Complex64;
+
+    fn field(seed: f64) -> Arc<CGrid> {
+        Arc::new(CGrid::from_fn(4, 4, |r, c| {
+            Complex64::new(seed + r as f64, c as f64)
+        }))
+    }
+
+    fn image(seed: f64) -> Grid {
+        Grid::from_fn(4, 4, |r, c| seed + (r * 4 + c) as f64 / 16.0)
+    }
+
+    #[test]
+    fn keys_are_exact() {
+        let a = image(0.1);
+        let mut b = a.clone();
+        assert_eq!(FirstHopCache::key(&a), FirstHopCache::key(&b));
+        b[(3, 3)] = f64::from_bits(b[(3, 3)].to_bits() ^ 1); // one-ulp flip changes the key
+        assert_ne!(FirstHopCache::key(&a), FirstHopCache::key(&b));
+        // Shape is part of the key even when bytes would collide.
+        let row = Grid::zeros(1, 16);
+        let col = Grid::zeros(16, 1);
+        assert_ne!(FirstHopCache::key(&row), FirstHopCache::key(&col));
+    }
+
+    #[test]
+    fn hit_returns_identical_field() {
+        let cache = FirstHopCache::new(1 << 20);
+        let key = FirstHopCache::key(&image(0.0));
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), field(7.0));
+        assert_eq!(cache.get(&key).unwrap(), field(7.0));
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        // Each entry costs key (16 + 128) + field (4*4*16) + overhead.
+        let one = FirstHopCache::key(&image(1.0)).len() + 16 * 16 + ENTRY_OVERHEAD;
+        let cache = FirstHopCache::new(one * 2 + 1); // room for two entries
+        let keys: Vec<Vec<u8>> = (0..3)
+            .map(|i| FirstHopCache::key(&image(i as f64)))
+            .collect();
+        cache.insert(keys[0].clone(), field(0.0));
+        cache.insert(keys[1].clone(), field(1.0));
+        assert_eq!(cache.len(), 2);
+        // Touch entry 0 so entry 1 is the LRU victim.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.insert(keys[2].clone(), field(2.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[0]).is_some(), "recently used survived");
+        assert!(cache.get(&keys[1]).is_none(), "LRU evicted");
+        assert!(cache.get(&keys[2]).is_some());
+        assert!(cache.bytes() <= one * 2 + 1);
+    }
+
+    #[test]
+    fn oversized_entry_skipped() {
+        let cache = FirstHopCache::new(8);
+        cache.insert(FirstHopCache::key(&image(0.0)), field(0.0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_charge() {
+        let cache = FirstHopCache::new(1 << 20);
+        let key = FirstHopCache::key(&image(0.0));
+        cache.insert(key.clone(), field(1.0));
+        let bytes = cache.bytes();
+        cache.insert(key.clone(), field(2.0));
+        assert_eq!(cache.bytes(), bytes);
+        assert_eq!(cache.get(&key).unwrap(), field(2.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal blocking HTTP/1.1 client — just enough to drive the server
+//! from examples, integration tests and benchmarks without a second
+//! protocol implementation in every caller.
+//!
+//! Not a general-purpose client: it speaks exactly the dialect the server
+//! emits (`Content-Length` bodies, keep-alive by default).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive connection to a server.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects to `addr` with a generous request timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error.
+    pub fn connect(addr: SocketAddr) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the response. `body = None` sends a
+    /// bodyless request (GET).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and `InvalidData` for malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        // Single buffered write (see `http::write_response` on Nagle).
+        let request = match body {
+            Some(body) => format!(
+                "{method} {path} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+            None => format!("{method} {path} HTTP/1.1\r\n\r\n"),
+        };
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// One-shot request over a fresh connection.
+///
+/// # Errors
+///
+/// Returns transport errors and `InvalidData` for malformed responses.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    Connection::connect(addr)?.request(method, path, body)
+}
+
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+fn read_response(reader: &mut impl BufRead) -> io::Result<(u16, String)> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(bad("empty response"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("eof in response headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| bad("non-UTF-8 response body"))
+}

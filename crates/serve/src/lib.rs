@@ -1,0 +1,71 @@
+//! # photonn-serve
+//!
+//! A request-batching inference server over the `photonn` batched
+//! propagation engine — the ROADMAP's "async serving frontend" realized
+//! with the standard library only (the workspace is offline: no tokio, no
+//! hyper; the listener is hand-rolled the way `photonn-fft` hand-rolls
+//! its worker pool).
+//!
+//! ```text
+//!  clients ──HTTP──▶ handler threads ──submit──▶ bounded queue
+//!                                                    │ coalesce
+//!                                                    ▼ (max_batch / max_wait_us)
+//!                                   dispatcher: one BatchCGrid ─▶ logits_batch
+//!                                                    │
+//!  clients ◀──JSON── handler threads ◀──channels── fan-out
+//! ```
+//!
+//! The crate's pieces, bottom-up:
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`json`] | hand-rolled JSON codec (bit-exact `f64` round-trips) |
+//! | [`http`] | minimal HTTP/1.1 request/response over blocking streams |
+//! | [`metrics`] | queue depth, batch-size histogram, p50/p99 latency |
+//! | [`cache`] | memory-budgeted LRU over the mask-independent first hop |
+//! | [`registry`] | named model variants: ideal / quantized / deployed |
+//! | [`batcher`] | the dynamic micro-batcher with bounded-queue backpressure |
+//! | [`server`] | threaded TCP listener, routing, graceful shutdown |
+//!
+//! Because the batched engine is per-sample deterministic across batch
+//! sizes and thread counts, a served logits vector is **bit-identical** to
+//! a direct [`photonn_donn::Donn::logits`] call on the same image, no
+//! matter how the dispatcher coalesced the traffic — the end-to-end tests
+//! assert exactly that through a real TCP socket.
+//!
+//! # Examples
+//!
+//! ```
+//! use photonn_donn::{Donn, DonnConfig};
+//! use photonn_math::{Grid, Rng};
+//! use photonn_serve::{ModelRegistry, Server, ServerConfig};
+//!
+//! let mut rng = Rng::seed_from(7);
+//! let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+//! let mut registry = ModelRegistry::new();
+//! registry.register("ideal", donn.clone());
+//!
+//! let mut server = Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+//! let addr = server.addr();
+//! // ... POST {"image": [...]} to http://{addr}/v1/logits ...
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchPolicy, Batcher, SubmitError};
+pub use cache::FirstHopCache;
+pub use json::Json;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use registry::{ModelRegistry, ServedModel, VariantKind};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,301 @@
+//! Server observability: request counters, the coalesced-batch-size
+//! histogram, end-to-end latency percentiles and cache statistics —
+//! everything the `/metrics` endpoint reports.
+//!
+//! Counters are lock-free atomics on the hot path; latencies go into a
+//! fixed-size ring reservoir guarded by a mutex (one push per request, and
+//! percentile computation sorts a copy off the hot path).
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Batch-size histogram bucket upper bounds (inclusive); the last bucket
+/// is open-ended.
+pub const BATCH_BUCKETS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, usize::MAX];
+
+/// Capacity of the latency reservoir (most recent samples win).
+const LATENCY_RESERVOIR: usize = 4096;
+
+#[derive(Default)]
+struct LatencyRing {
+    samples_us: Vec<u64>,
+    next: usize,
+}
+
+/// Shared server metrics. All recording methods take `&self` and are safe
+/// to call from any thread.
+#[derive(Default)]
+pub struct Metrics {
+    requests_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_429: AtomicU64,
+    responses_5xx: AtomicU64,
+    batches_total: AtomicU64,
+    batch_hist: [AtomicU64; 8],
+    max_batch_observed: AtomicUsize,
+    queue_depth: AtomicUsize,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+/// A point-in-time copy of every metric, with percentiles computed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the inference path.
+    pub requests_total: u64,
+    /// Responses by class.
+    pub responses_2xx: u64,
+    /// 4xx responses other than 429.
+    pub responses_4xx: u64,
+    /// Backpressure rejections.
+    pub responses_429: u64,
+    /// Server-side failures.
+    pub responses_5xx: u64,
+    /// Number of coalesced batches dispatched.
+    pub batches_total: u64,
+    /// Histogram counts aligned with [`BATCH_BUCKETS`].
+    pub batch_hist: [u64; 8],
+    /// Largest batch ever dispatched.
+    pub max_batch_observed: usize,
+    /// Jobs currently parked in the dispatcher queue.
+    pub queue_depth: usize,
+    /// Input-hop cache hits (0 when the cache is disabled).
+    pub cache_hits: u64,
+    /// Input-hop cache misses (0 when the cache is disabled).
+    pub cache_misses: u64,
+    /// Latency samples currently in the reservoir.
+    pub latency_samples: usize,
+    /// Median end-to-end latency in microseconds (0 with no samples).
+    pub p50_latency_us: u64,
+    /// 99th-percentile end-to-end latency in microseconds.
+    pub p99_latency_us: u64,
+}
+
+impl Metrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one request entering the inference path.
+    pub fn record_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a response by status code.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            429 => &self.responses_429,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dispatched batch of `size` jobs.
+    pub fn record_batch(&self, size: usize) {
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+        let bucket = BATCH_BUCKETS
+            .iter()
+            .position(|&b| size <= b)
+            .expect("last bucket is open-ended");
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.max_batch_observed.fetch_max(size, Ordering::Relaxed);
+    }
+
+    /// Records one request's end-to-end latency.
+    pub fn record_latency_us(&self, us: u64) {
+        let mut ring = self.latencies.lock().expect("metrics lock");
+        if ring.samples_us.len() < LATENCY_RESERVOIR {
+            ring.samples_us.push(us);
+        } else {
+            let at = ring.next;
+            ring.samples_us[at] = us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_RESERVOIR;
+    }
+
+    /// Updates the queue-depth gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Counts one input-hop cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one input-hop cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies every metric out and computes latency percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (latency_samples, p50, p99) = {
+            let ring = self.latencies.lock().expect("metrics lock");
+            let mut sorted = ring.samples_us.clone();
+            sorted.sort_unstable();
+            let pick = |p: usize| {
+                if sorted.is_empty() {
+                    0
+                } else {
+                    sorted[(sorted.len() - 1) * p / 100]
+                }
+            };
+            (sorted.len(), pick(50), pick(99))
+        };
+        let mut batch_hist = [0u64; 8];
+        for (out, counter) in batch_hist.iter_mut().zip(&self.batch_hist) {
+            *out = counter.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_429: self.responses_429.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            batches_total: self.batches_total.load(Ordering::Relaxed),
+            batch_hist,
+            max_batch_observed: self.max_batch_observed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            latency_samples,
+            p50_latency_us: p50,
+            p99_latency_us: p99,
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as the `/metrics` JSON document.
+    pub fn to_json(&self) -> Json {
+        let hist = BATCH_BUCKETS
+            .iter()
+            .zip(&self.batch_hist)
+            .map(|(&le, &count)| {
+                let le_json = if le == usize::MAX {
+                    Json::Str("inf".into())
+                } else {
+                    Json::Num(le as f64)
+                };
+                Json::object(vec![
+                    ("le".into(), le_json),
+                    ("count".into(), Json::Num(count as f64)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            (
+                "requests_total".into(),
+                Json::Num(self.requests_total as f64),
+            ),
+            ("responses_2xx".into(), Json::Num(self.responses_2xx as f64)),
+            ("responses_4xx".into(), Json::Num(self.responses_4xx as f64)),
+            ("responses_429".into(), Json::Num(self.responses_429 as f64)),
+            ("responses_5xx".into(), Json::Num(self.responses_5xx as f64)),
+            ("queue_depth".into(), Json::Num(self.queue_depth as f64)),
+            ("batches_total".into(), Json::Num(self.batches_total as f64)),
+            (
+                "max_batch_observed".into(),
+                Json::Num(self.max_batch_observed as f64),
+            ),
+            ("batch_size_hist".into(), Json::Arr(hist)),
+            ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("cache_misses".into(), Json::Num(self.cache_misses as f64)),
+            (
+                "latency_samples".into(),
+                Json::Num(self.latency_samples as f64),
+            ),
+            (
+                "p50_latency_us".into(),
+                Json::Num(self.p50_latency_us as f64),
+            ),
+            (
+                "p99_latency_us".into(),
+                Json::Num(self.p99_latency_us as f64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_histogram_buckets() {
+        let m = Metrics::new();
+        for size in [1, 2, 3, 4, 9, 100] {
+            m.record_batch(size);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.batches_total, 6);
+        assert_eq!(s.batch_hist[0], 1); // 1
+        assert_eq!(s.batch_hist[1], 1); // 2
+        assert_eq!(s.batch_hist[2], 2); // 3, 4 -> ≤4
+        assert_eq!(s.batch_hist[4], 1); // 9 -> ≤16
+        assert_eq!(s.batch_hist[7], 1); // 100 -> inf
+        assert_eq!(s.max_batch_observed, 100);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let m = Metrics::new();
+        for us in 1..=100u64 {
+            m.record_latency_us(us);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_samples, 100);
+        assert_eq!(s.p50_latency_us, 50);
+        assert_eq!(s.p99_latency_us, 99);
+        // Empty reservoir is all-zero, not a panic.
+        assert_eq!(Metrics::new().snapshot().p99_latency_us, 0);
+    }
+
+    #[test]
+    fn reservoir_wraps_without_growing() {
+        let m = Metrics::new();
+        for us in 0..(LATENCY_RESERVOIR as u64 + 10) {
+            m.record_latency_us(us);
+        }
+        assert_eq!(m.snapshot().latency_samples, LATENCY_RESERVOIR);
+    }
+
+    #[test]
+    fn status_classes_routed() {
+        let m = Metrics::new();
+        for s in [200, 200, 400, 429, 500, 503] {
+            m.record_status(s);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.responses_2xx, 2);
+        assert_eq!(s.responses_4xx, 1);
+        assert_eq!(s.responses_429, 1);
+        assert_eq!(s.responses_5xx, 2);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let m = Metrics::new();
+        m.record_request();
+        m.record_batch(3);
+        m.record_latency_us(250);
+        m.set_queue_depth(7);
+        let text = m.snapshot().to_json().to_string();
+        let parsed = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("queue_depth").and_then(Json::as_usize), Some(7));
+        assert_eq!(
+            parsed
+                .get("batch_size_hist")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(8)
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! The model registry: named, immutable, ready-to-serve DONN variants.
+//!
+//! A production deployment rarely serves one set of masks: the paper's
+//! deploy-gap study contrasts the *ideal* numerical model with what the
+//! fabricated hardware actually computes, and discrete-level SLMs serve
+//! *quantized* masks. The registry holds all of them side by side as
+//! [`ServedModel`]s — each with its per-layer complex transmissions
+//! precomputed at registration so the per-request path is pure batched
+//! propagation — and routes requests by name.
+//!
+//! Every registered model must be [`optics_compatible`](photonn_donn::DonnConfig::optics_compatible) with
+//! the first one: same grid, spacing, kernel and padding. That invariant
+//! is what lets one input-hop cache serve every variant.
+
+use photonn_donn::deploy::FabricationModel;
+use photonn_donn::quantize::quantize_mask;
+use photonn_donn::Donn;
+use photonn_math::{BatchCGrid, CGrid, Grid};
+use std::fmt;
+use std::sync::Arc;
+
+/// How a served variant was derived from its base model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VariantKind {
+    /// The numerical model as trained.
+    Ideal,
+    /// Masks snapped to `levels` uniform phase steps (discrete SLM).
+    Quantized {
+        /// Number of phase levels.
+        levels: usize,
+    },
+    /// Transmissions corrupted by interpixel crosstalk (deployed optics).
+    Deployed {
+        /// The full fabrication model (coefficient *and* neighborhood —
+        /// both shape the served transmissions).
+        fab: FabricationModel,
+    },
+}
+
+impl fmt::Display for VariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariantKind::Ideal => write!(f, "ideal"),
+            VariantKind::Quantized { levels } => write!(f, "quantized({levels})"),
+            VariantKind::Deployed { fab } => write!(f, "deployed(k={})", fab.crosstalk),
+        }
+    }
+}
+
+/// A named model variant with its serving transmissions precomputed.
+pub struct ServedModel {
+    name: String,
+    donn: Arc<Donn>,
+    transmissions: Vec<CGrid>,
+    kind: VariantKind,
+}
+
+impl ServedModel {
+    fn new(name: String, donn: Arc<Donn>, kind: VariantKind) -> Self {
+        let transmissions = match kind {
+            VariantKind::Ideal | VariantKind::Quantized { .. } => {
+                donn.masks().iter().map(CGrid::from_phase).collect()
+            }
+            VariantKind::Deployed { fab } => fab.transmissions(&donn),
+        };
+        ServedModel {
+            name,
+            donn,
+            transmissions,
+            kind,
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How this variant was derived.
+    pub fn kind(&self) -> VariantKind {
+        self.kind
+    }
+
+    /// The underlying model.
+    pub fn donn(&self) -> &Arc<Donn> {
+        &self.donn
+    }
+
+    /// Grid side length of expected input images.
+    pub fn grid(&self) -> usize {
+        self.donn.config().grid()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.donn.config().detector.num_classes
+    }
+
+    /// Batched logits through this variant's transmissions. Empty batches
+    /// yield an empty vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any image is not grid-sized.
+    pub fn logits_batch(&self, images: &[&Grid], threads: usize) -> Vec<Vec<f64>> {
+        if images.is_empty() {
+            return Vec::new();
+        }
+        let field = self.donn.first_hop_batch(images, threads);
+        self.logits_from_first_hop(field, threads)
+    }
+
+    /// Batched logits from already-propagated first-hop fields (the
+    /// cache-assisted entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fields are not grid-sized.
+    pub fn logits_from_first_hop(&self, field: BatchCGrid, threads: usize) -> Vec<Vec<f64>> {
+        self.donn
+            .logits_batch_with_transmissions(&self.transmissions, field, threads)
+    }
+}
+
+impl fmt::Debug for ServedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServedModel")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("grid", &self.grid())
+            .finish()
+    }
+}
+
+/// A name-addressed collection of [`ServedModel`]s sharing one optical
+/// front end. The first registered model is the default route.
+#[derive(Clone, Default, Debug)]
+pub struct ModelRegistry {
+    entries: Vec<Arc<ServedModel>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Registers a model as the ideal (as-trained) variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or if the model's optics differ from the
+    /// already-registered models (see [`optics_compatible`](photonn_donn::DonnConfig::optics_compatible)).
+    pub fn register(&mut self, name: impl Into<String>, donn: Donn) {
+        self.add(name.into(), Arc::new(donn), VariantKind::Ideal);
+    }
+
+    /// Registers a quantized variant: `base`'s masks snapped to `levels`
+    /// uniform phase steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name, incompatible optics, or `levels == 0`.
+    pub fn register_quantized(&mut self, name: impl Into<String>, base: &Donn, levels: usize) {
+        let mut quantized = base.clone();
+        quantized.set_masks(
+            base.masks()
+                .iter()
+                .map(|m| quantize_mask(m, levels))
+                .collect(),
+        );
+        self.add(
+            name.into(),
+            Arc::new(quantized),
+            VariantKind::Quantized { levels },
+        );
+    }
+
+    /// Registers a deployed variant: `base` served through a fabrication
+    /// model's crosstalk-corrupted transmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or incompatible optics.
+    pub fn register_deployed(
+        &mut self,
+        name: impl Into<String>,
+        base: &Donn,
+        fab: FabricationModel,
+    ) {
+        self.add(
+            name.into(),
+            Arc::new(base.clone()),
+            VariantKind::Deployed { fab },
+        );
+    }
+
+    fn add(&mut self, name: String, donn: Arc<Donn>, kind: VariantKind) {
+        assert!(
+            self.get(&name).is_none(),
+            "model '{name}' already registered"
+        );
+        if let Some(first) = self.entries.first() {
+            assert!(
+                first.donn.config().optics_compatible(donn.config()),
+                "model '{name}' has incompatible optics with '{}'",
+                first.name
+            );
+        }
+        self.entries
+            .push(Arc::new(ServedModel::new(name, donn, kind)));
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<ServedModel>> {
+        self.entries.iter().find(|m| m.name == name)
+    }
+
+    /// The default route (first registered model).
+    pub fn default_model(&self) -> Option<&Arc<ServedModel>> {
+        self.entries.first()
+    }
+
+    /// All models in registration order.
+    pub fn models(&self) -> &[Arc<ServedModel>] {
+        &self.entries
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_datasets::{Dataset, Family};
+    use photonn_donn::DonnConfig;
+    use photonn_math::Rng;
+
+    fn base() -> Donn {
+        let mut rng = Rng::seed_from(3);
+        Donn::random(DonnConfig::scaled(32), &mut rng)
+    }
+
+    fn three_variant_registry(donn: &Donn) -> ModelRegistry {
+        let mut reg = ModelRegistry::new();
+        reg.register("ideal", donn.clone());
+        reg.register_quantized("q8", donn, 8);
+        reg.register_deployed("fab", donn, FabricationModel::new(0.12));
+        reg
+    }
+
+    #[test]
+    fn routes_by_name_with_first_as_default() {
+        let donn = base();
+        let reg = three_variant_registry(&donn);
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.default_model().unwrap().name(), "ideal");
+        assert_eq!(
+            reg.get("q8").unwrap().kind(),
+            VariantKind::Quantized { levels: 8 }
+        );
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.get("fab").unwrap().num_classes(), 10);
+    }
+
+    #[test]
+    fn ideal_variant_is_bit_identical_to_donn_logits_batch() {
+        let donn = base();
+        let reg = three_variant_registry(&donn);
+        let data = Dataset::synthetic(Family::Mnist, 5, 4).resized(32);
+        let images: Vec<&Grid> = (0..5).map(|i| data.image(i)).collect();
+        assert_eq!(
+            reg.get("ideal").unwrap().logits_batch(&images, 2),
+            donn.logits_batch(&images, 2)
+        );
+    }
+
+    #[test]
+    fn variants_actually_differ_from_ideal() {
+        let donn = base();
+        let reg = three_variant_registry(&donn);
+        let data = Dataset::synthetic(Family::Mnist, 3, 9).resized(32);
+        let images: Vec<&Grid> = (0..3).map(|i| data.image(i)).collect();
+        let ideal = reg.get("ideal").unwrap().logits_batch(&images, 2);
+        let q = reg.get("q8").unwrap().logits_batch(&images, 2);
+        let fab = reg.get("fab").unwrap().logits_batch(&images, 2);
+        assert_ne!(ideal, q, "8-level quantization must move logits");
+        assert_ne!(ideal, fab, "crosstalk must move logits");
+    }
+
+    #[test]
+    fn deployed_variant_matches_fabrication_model_path() {
+        use photonn_donn::deploy::Neighborhood;
+        let donn = base();
+        // A non-default neighborhood pins that the registry serves the
+        // *given* fabrication model, not a reconstruction of it.
+        let eight = FabricationModel::new(0.1);
+        let four = FabricationModel {
+            neighborhood: Neighborhood::Four,
+            ..eight
+        };
+        let mut reg = ModelRegistry::new();
+        reg.register_deployed("fab", &donn, four);
+        let data = Dataset::synthetic(Family::Mnist, 4, 2).resized(32);
+        let images: Vec<&Grid> = (0..4).map(|i| data.image(i)).collect();
+        let served = reg.get("fab").unwrap().logits_batch(&images, 2);
+        assert_eq!(served, four.logits_batch(&donn, &images, 2));
+        assert_ne!(
+            served,
+            eight.logits_batch(&donn, &images, 2),
+            "neighborhood must reach the served transmissions"
+        );
+    }
+
+    #[test]
+    fn first_hop_entry_matches_direct_path() {
+        let donn = base();
+        let reg = three_variant_registry(&donn);
+        let data = Dataset::synthetic(Family::Mnist, 4, 6).resized(32);
+        let images: Vec<&Grid> = (0..4).map(|i| data.image(i)).collect();
+        for model in reg.models() {
+            let direct = model.logits_batch(&images, 2);
+            let hops: Vec<CGrid> = images.iter().map(|i| donn.first_hop(i)).collect();
+            let via = model.logits_from_first_hop(BatchCGrid::from_samples(&hops), 2);
+            assert_eq!(direct, via, "model {}", model.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_name_rejected() {
+        let donn = base();
+        let mut reg = ModelRegistry::new();
+        reg.register("m", donn.clone());
+        reg.register("m", donn);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible optics")]
+    fn incompatible_optics_rejected() {
+        let mut rng = Rng::seed_from(1);
+        let a = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let b = Donn::random(DonnConfig::scaled(16), &mut rng);
+        let mut reg = ModelRegistry::new();
+        reg.register("a", a);
+        reg.register("b", b);
+    }
+}

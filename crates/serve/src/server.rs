@@ -1,0 +1,464 @@
+//! The TCP front end: a threaded HTTP/1.1 listener over `std::net` that
+//! feeds the dynamic micro-batcher and reports metrics.
+//!
+//! One acceptor thread hands each connection to its own handler thread
+//! (keep-alive: a connection serves many requests). Handlers park on the
+//! batcher's response channel while the dispatcher coalesces traffic, so
+//! the number of in-flight HTTP requests — not the number of threads —
+//! bounds batching opportunity. Shutdown is graceful: the acceptor stops,
+//! handlers finish their in-flight exchanges, and the batcher drains its
+//! queue so every accepted request is answered.
+
+use crate::batcher::{BatchPolicy, Batcher, SubmitError};
+use crate::cache::FirstHopCache;
+use crate::http::{read_request, write_response, Request};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use photonn_donn::argmax;
+use photonn_math::Grid;
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a handler blocks on an idle keep-alive connection before
+/// polling the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Per-read timeout once a request has started arriving: generous enough
+/// for a slow client to push a multi-megabyte body segment by segment,
+/// small enough that a truly stalled peer cannot pin a handler forever.
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Sleep between nonblocking accept attempts; bounds both connection
+/// latency under no load and shutdown latency of the acceptor.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Server construction options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Dispatcher coalescing policy.
+    pub policy: BatchPolicy,
+    /// Input-hop cache budget in bytes; `0` disables the cache.
+    pub cache_budget_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    /// Default policy with a 64 MiB input-hop cache.
+    fn default() -> Self {
+        ServerConfig {
+            policy: BatchPolicy::default(),
+            cache_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The inference server. [`Server::bind`] starts it and returns a handle.
+pub struct Server;
+
+struct Core {
+    batcher: Batcher,
+    metrics: Arc<Metrics>,
+    shutting: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    core: Arc<Core>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `registry` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty or the policy is degenerate.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: ModelRegistry,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let cache = if config.cache_budget_bytes > 0 {
+            Some(FirstHopCache::new(config.cache_budget_bytes))
+        } else {
+            None
+        };
+        let batcher = Batcher::new(
+            Arc::new(registry),
+            config.policy,
+            cache,
+            Arc::clone(&metrics),
+        );
+        let core = Arc::new(Core {
+            batcher,
+            metrics,
+            shutting: AtomicBool::new(false),
+        });
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let core = Arc::clone(&core);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("photonn-accept".into())
+                .spawn(move || accept_loop(&listener, &core, &handlers))
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle {
+            addr,
+            core,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.core.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, drain the batcher (queued
+    /// requests are still answered), join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.core.shutting.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor polls the flag between nonblocking accepts, so no
+        // self-connect (which can fail on wildcard binds) is needed.
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Drain parked jobs so handlers blocked on recv() complete.
+        self.core.batcher.shutdown();
+        let handles = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    core: &Arc<Core>,
+    handlers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    // Nonblocking accept + flag poll: a blocking accept would need a
+    // successful self-connect to unblock on shutdown, which is not
+    // guaranteed for wildcard/firewalled binds.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if core.shutting.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(_) => continue, // transient accept failure
+        };
+        // Handlers use read timeouts, which require blocking mode (the
+        // accepted socket may inherit nonblocking on some platforms).
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let core = Arc::clone(core);
+        // Thread exhaustion (EAGAIN under a pid cap during a spike) must
+        // shed this one connection, not kill the acceptor: a panic here
+        // would silently stop the server from ever accepting again.
+        let spawned = std::thread::Builder::new()
+            .name("photonn-conn".into())
+            .spawn(move || handle_connection(stream, &core));
+        let handle = match spawned {
+            Ok(handle) => handle,
+            Err(_) => continue, // stream drops; the client sees a close
+        };
+        let mut registry = handlers.lock().expect("handler registry");
+        // Reap finished handlers so a long-lived server does not
+        // accumulate join handles.
+        let mut alive = Vec::with_capacity(registry.len() + 1);
+        for h in registry.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                alive.push(h);
+            }
+        }
+        alive.push(handle);
+        *registry = alive;
+    }
+}
+
+fn handle_connection(stream: TcpStream, core: &Arc<Core>) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Idle boundary: poll for the first byte of the next request with
+        // the short timeout so shutdown is noticed promptly. fill_buf
+        // consumes nothing, so a timeout here never desyncs the stream.
+        match reader.fill_buf() {
+            Ok([]) => return, // clean close
+            Ok(_) => {}       // a request has started
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if core.shutting.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // transport failure
+        }
+        // A request is in flight: give slow transfers a real deadline
+        // (the 200 ms idle poll would 400 any >200 ms inter-segment gap).
+        let _ = reader
+            .get_ref()
+            .set_read_timeout(Some(REQUEST_READ_TIMEOUT));
+        let outcome = read_request(&mut reader);
+        let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+        let request = match outcome {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean close
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let body = error_body(&e.to_string());
+                let _ = write_response(&mut writer, 400, "application/json", &body, true);
+                core.metrics.record_status(400);
+                return;
+            }
+            Err(_) => return, // transport failure (incl. a stalled peer)
+        };
+        let close = request.wants_close();
+        let (status, body) = route(&request, core);
+        core.metrics.record_status(status);
+        if write_response(&mut writer, status, "application/json", &body, close).is_err() {
+            return;
+        }
+        if close || core.shutting.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::object(vec![("error".into(), Json::Str(message.into()))]).to_string()
+}
+
+fn route(request: &Request, core: &Arc<Core>) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            Json::object(vec![("status".into(), Json::Str("ok".into()))]).to_string(),
+        ),
+        ("GET", "/models") => (200, models_body(core)),
+        ("GET", "/metrics") => (200, core.metrics.snapshot().to_json().to_string()),
+        ("POST", "/v1/logits") => infer(request, core),
+        ("GET" | "POST", _) => (404, error_body("no such endpoint")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+fn models_body(core: &Arc<Core>) -> String {
+    let registry = core.batcher.registry();
+    let models = registry
+        .models()
+        .iter()
+        .map(|m| {
+            Json::object(vec![
+                ("name".into(), Json::Str(m.name().into())),
+                ("kind".into(), Json::Str(m.kind().to_string())),
+                ("grid".into(), Json::Num(m.grid() as f64)),
+                ("classes".into(), Json::Num(m.num_classes() as f64)),
+            ])
+        })
+        .collect();
+    let default = registry
+        .default_model()
+        .map_or(Json::Null, |m| Json::Str(m.name().into()));
+    Json::object(vec![
+        ("models".into(), Json::Arr(models)),
+        ("default".into(), default),
+    ])
+    .to_string()
+}
+
+/// `POST /v1/logits` — body `{"model": <optional name>, "image": <n*n
+/// numbers, flat or as n rows>}`; answers the sample's logits and argmax
+/// class.
+fn infer(request: &Request, core: &Arc<Core>) -> (u16, String) {
+    let started = Instant::now();
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("body is not UTF-8")),
+    };
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let model_name = match doc.get("model") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(name)) => Some(name.as_str()),
+        Some(_) => return (400, error_body("'model' must be a string")),
+    };
+    let image = match parse_image(&doc) {
+        Ok(image) => image,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let receiver = match core.batcher.submit(model_name, image) {
+        // Counted only on acceptance, as MetricsSnapshot documents;
+        // refusals are visible in the 4xx/429 counters.
+        Ok(receiver) => {
+            core.metrics.record_request();
+            receiver
+        }
+        Err(SubmitError::QueueFull) => return (429, error_body("queue full")),
+        Err(SubmitError::ShuttingDown) => return (503, error_body("shutting down")),
+        Err(e @ SubmitError::UnknownModel(_)) => return (404, error_body(&e.to_string())),
+        Err(e @ SubmitError::ShapeMismatch { .. }) => return (400, error_body(&e.to_string())),
+    };
+    let logits = match receiver.recv() {
+        Ok(logits) => logits,
+        Err(_) => return (500, error_body("dispatcher dropped the request")),
+    };
+    let model = model_name.unwrap_or_else(|| {
+        core.batcher
+            .registry()
+            .default_model()
+            .expect("non-empty registry")
+            .name()
+    });
+    let body = Json::object(vec![
+        ("model".into(), Json::Str(model.into())),
+        ("class".into(), Json::Num(argmax(&logits) as f64)),
+        ("logits".into(), Json::numbers(&logits)),
+        (
+            "latency_us".into(),
+            Json::Num(started.elapsed().as_micros() as f64),
+        ),
+    ])
+    .to_string();
+    (200, body)
+}
+
+/// Accepts `"image": [v; n*n]` (flat, row-major) or `"image": [[v; n]; n]`.
+fn parse_image(doc: &Json) -> Result<Grid, String> {
+    let items = doc
+        .get("image")
+        .and_then(Json::as_array)
+        .ok_or("'image' must be an array")?;
+    if items.is_empty() {
+        return Err("'image' is empty".into());
+    }
+    let (values, side) = if items.iter().all(|v| matches!(v, Json::Num(_))) {
+        let values: Vec<f64> = items.iter().map(|v| v.as_f64().expect("checked")).collect();
+        let side = (values.len() as f64).sqrt().round() as usize;
+        if side * side != values.len() {
+            return Err(format!(
+                "'image' length {} is not a perfect square",
+                values.len()
+            ));
+        }
+        (values, side)
+    } else {
+        // Nested rows: every element must be an equal-length number row,
+        // and the declared row structure must itself be square — a DONN
+        // grid is n×n, so silently reshaping e.g. 64×16 would scramble
+        // the pixel layout while passing the later shape check.
+        let rows: Vec<&[Json]> = items
+            .iter()
+            .map(|row| row.as_array().ok_or("'image' mixes rows and scalars"))
+            .collect::<Result<_, _>>()?;
+        let width = rows[0].len();
+        if rows.len() != width {
+            return Err(format!(
+                "'image' rows declare a {}x{width} shape; a square grid is required",
+                rows.len()
+            ));
+        }
+        let mut values = Vec::with_capacity(rows.len() * width);
+        for row in &rows {
+            if row.len() != width {
+                return Err("'image' rows have unequal lengths".into());
+            }
+            for v in *row {
+                values.push(v.as_f64().ok_or("'image' contains a non-number")?);
+            }
+        }
+        (values, width)
+    };
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err("'image' contains a non-finite value".into());
+    }
+    Ok(Grid::from_vec(side, side, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_image_accepts_flat_and_nested() {
+        let flat = Json::parse(r#"{"image": [0, 1, 2, 3]}"#).unwrap();
+        let nested = Json::parse(r#"{"image": [[0, 1], [2, 3]]}"#).unwrap();
+        let a = parse_image(&flat).unwrap();
+        let b = parse_image(&nested).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.shape(), (2, 2));
+        assert_eq!(a[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn parse_image_rejects_bad_payloads() {
+        for body in [
+            r#"{}"#,
+            r#"{"image": "x"}"#,
+            r#"{"image": []}"#,
+            r#"{"image": [0, 1, 2]}"#,
+            r#"{"image": [[0, 1], [2]]}"#,
+            r#"{"image": [[0, 1], 2]}"#,
+            r#"{"image": [0, true, 2, 3]}"#,
+            // 1x4 nested: right element count, wrong declared shape.
+            r#"{"image": [[0, 1, 2, 3]]}"#,
+            // 4x1 nested: transposed non-square declaration.
+            r#"{"image": [[0], [1], [2], [3]]}"#,
+        ] {
+            let doc = Json::parse(body).unwrap();
+            assert!(parse_image(&doc).is_err(), "accepted {body}");
+        }
+    }
+}

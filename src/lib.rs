@@ -19,4 +19,5 @@ pub use photonn_donn as donn;
 pub use photonn_fft as fft;
 pub use photonn_math as math;
 pub use photonn_optics as optics;
+pub use photonn_serve as serve;
 pub use photonn_viz as viz;

@@ -1,0 +1,164 @@
+//! The `photonn` command-line facade.
+//!
+//! Currently one subcommand:
+//!
+//! ```sh
+//! photonn serve [--addr 127.0.0.1:7878] [--grid 32] [--epochs 0]
+//!               [--max-batch 16] [--max-wait-us 2000] [--queue-cap 256]
+//!               [--threads N] [--cache-mb 64] [--levels 8] [--crosstalk 0.1]
+//! ```
+//!
+//! Trains (optionally) a DONN on synthetic digits, registers the ideal
+//! model plus its quantized and crosstalk-deployed variants, and serves
+//! them over HTTP until the process is killed. See `examples/serve_digits.rs`
+//! for a scripted train → register → serve → query round trip.
+
+use photonn::datasets::{Dataset, Family};
+use photonn::donn::train::{train, TrainOptions};
+use photonn::donn::{deploy::FabricationModel, Donn, DonnConfig};
+use photonn::math::Rng;
+use photonn::serve::{BatchPolicy, ModelRegistry, Server, ServerConfig};
+
+struct ServeOptions {
+    addr: String,
+    grid: usize,
+    epochs: usize,
+    max_batch: usize,
+    max_wait_us: u64,
+    queue_cap: usize,
+    threads: usize,
+    cache_mb: usize,
+    levels: usize,
+    crosstalk: f64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let policy = BatchPolicy::default();
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            grid: 32,
+            epochs: 0,
+            max_batch: policy.max_batch,
+            max_wait_us: policy.max_wait_us,
+            queue_cap: policy.queue_capacity,
+            threads: policy.threads,
+            cache_mb: 64,
+            levels: 8,
+            crosstalk: 0.1,
+        }
+    }
+}
+
+/// A server misconfigured by a silently ignored typo is worse than no
+/// server: unknown flags, missing values and unparseable values all abort
+/// with a usage error instead of falling back to defaults.
+fn usage_error(message: String) -> ! {
+    eprintln!("photonn serve: {message}");
+    eprintln!("usage: photonn serve [--addr A] [--grid N] [--epochs E] [--max-batch B]");
+    eprintln!("                     [--max-wait-us U] [--queue-cap Q] [--threads T]");
+    eprintln!("                     [--cache-mb M] [--levels L] [--crosstalk K]");
+    std::process::exit(2);
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let value = value.unwrap_or_else(|| usage_error(format!("{flag} requires a value")));
+    if value.starts_with("--") {
+        usage_error(format!("{flag} requires a value, found flag '{value}'"));
+    }
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(format!("cannot parse {flag} value '{value}'")))
+}
+
+fn parse_serve_options(args: &[String]) -> ServeOptions {
+    let mut opts = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        match flag {
+            "--addr" => {
+                opts.addr = value.unwrap_or_else(|| usage_error("--addr requires a value".into()));
+            }
+            "--grid" => opts.grid = parsed(flag, value),
+            "--epochs" => opts.epochs = parsed(flag, value),
+            "--max-batch" => opts.max_batch = parsed(flag, value),
+            "--max-wait-us" => opts.max_wait_us = parsed(flag, value),
+            "--queue-cap" => opts.queue_cap = parsed(flag, value),
+            "--threads" => opts.threads = parsed(flag, value),
+            "--cache-mb" => opts.cache_mb = parsed(flag, value),
+            "--levels" => opts.levels = parsed(flag, value),
+            "--crosstalk" => opts.crosstalk = parsed(flag, value),
+            other => usage_error(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn serve(args: &[String]) {
+    let opts = parse_serve_options(args);
+    let mut rng = Rng::seed_from(7);
+    let mut donn = Donn::random(DonnConfig::scaled(opts.grid), &mut rng);
+    if opts.epochs > 0 {
+        println!("training {} epoch(s) on synthetic digits...", opts.epochs);
+        let data = Dataset::synthetic(Family::Mnist, 600, 7).resized(opts.grid);
+        let train_opts = TrainOptions {
+            epochs: opts.epochs,
+            batch_size: 25,
+            ..TrainOptions::default()
+        };
+        train(&mut donn, &data, &train_opts);
+        println!(
+            "train accuracy: {:.1}%",
+            donn.accuracy(&data, opts.threads) * 100.0
+        );
+    }
+
+    let mut registry = ModelRegistry::new();
+    registry.register("ideal", donn.clone());
+    registry.register_quantized(format!("quantized{}", opts.levels), &donn, opts.levels);
+    registry.register_deployed("deployed", &donn, FabricationModel::new(opts.crosstalk));
+
+    let config = ServerConfig {
+        policy: BatchPolicy {
+            max_batch: opts.max_batch,
+            max_wait_us: opts.max_wait_us,
+            queue_capacity: opts.queue_cap,
+            threads: opts.threads,
+        },
+        cache_budget_bytes: opts.cache_mb << 20,
+    };
+    let server = Server::bind(opts.addr.as_str(), registry, config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", opts.addr);
+        std::process::exit(1);
+    });
+    println!("photonn-serve listening on http://{}", server.addr());
+    println!("  GET  /healthz");
+    println!("  GET  /models");
+    println!("  GET  /metrics");
+    println!(
+        "  POST /v1/logits   {{\"model\": \"ideal\", \"image\": [<{0}x{0} values>]}}",
+        opts.grid
+    );
+    println!(
+        "policy: max_batch {} | max_wait {} us | queue {} | {} threads | cache {} MiB",
+        opts.max_batch, opts.max_wait_us, opts.queue_cap, opts.threads, opts.cache_mb
+    );
+    // Serve until the process is killed; the handle's Drop shuts down.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("serve") => serve(&args[2..]),
+        _ => {
+            eprintln!("usage: photonn serve [options]   (see src/main.rs header)");
+            std::process::exit(2);
+        }
+    }
+}
