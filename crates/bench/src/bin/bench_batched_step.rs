@@ -1,14 +1,24 @@
 //! Training-step throughput: batched propagation engine vs the per-sample
-//! tape oracle.
+//! tape oracle vs the batched engine with vectorization disabled.
 //!
 //! Runs full optimizer steps (gradients + Adam update) of a 3-layer DONN
-//! at grid 32 / batch 50 through both gradient paths and reports
+//! through three gradient paths at each requested grid and reports
 //! steps/sec, writing `BENCH_batched_step.json` so successive PRs can
-//! track the throughput trajectory.
+//! track the throughput trajectory:
+//!
+//! * **per-sample oracle** — one tape per sample, scalar FFT engines;
+//! * **batched, scalar FFT** — one tape per mini-batch, but with
+//!   `PHOTONN_FFT_NO_VEC` set so every sample runs the scalar per-sample
+//!   1-D engines (the fallback path non-`2^a·5^b` grids still take);
+//! * **batched, vectorized** — the planar radix-4/2/5 engine (covers all
+//!   powers of two and the paper's native 200 = 2³·5² grid).
+//!
+//! `--grid` may be repeated to emit one entry per grid:
 //!
 //! ```sh
 //! cargo run --release -p photonn-bench --bin bench_batched_step
-//! cargo run --release -p photonn-bench --bin bench_batched_step -- --grid 64 --batch 100
+//! cargo run --release -p photonn-bench --bin bench_batched_step -- \
+//!     --grid 32 --grid 200 --batch 50 --threads 1
 //! ```
 
 use photonn_autodiff::Adam;
@@ -19,7 +29,7 @@ use photonn_math::{Grid, Rng};
 use std::time::Instant;
 
 struct Options {
-    grid: usize,
+    grids: Vec<usize>,
     batch: usize,
     steps: usize,
     threads: usize,
@@ -28,7 +38,7 @@ struct Options {
 
 fn parse_options() -> Options {
     let mut opts = Options {
-        grid: 32,
+        grids: Vec::new(),
         batch: 50,
         steps: 12,
         threads: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
@@ -39,7 +49,11 @@ fn parse_options() -> Options {
     while i < args.len() {
         let value = args.get(i + 1).cloned();
         match args[i].as_str() {
-            "--grid" => opts.grid = value.and_then(|v| v.parse().ok()).unwrap_or(opts.grid),
+            "--grid" => {
+                if let Some(g) = value.and_then(|v| v.parse().ok()) {
+                    opts.grids.push(g);
+                }
+            }
             "--batch" => opts.batch = value.and_then(|v| v.parse().ok()).unwrap_or(opts.batch),
             "--steps" => opts.steps = value.and_then(|v| v.parse().ok()).unwrap_or(opts.steps),
             "--threads" => {
@@ -52,6 +66,9 @@ fn parse_options() -> Options {
             }
         }
         i += 2;
+    }
+    if opts.grids.is_empty() {
+        opts.grids.push(32);
     }
     opts
 }
@@ -80,46 +97,97 @@ fn run_steps(
     steps as f64 / start.elapsed().as_secs_f64()
 }
 
-fn main() {
-    let opts = parse_options();
+/// Throughput numbers of the three gradient paths at one grid size.
+struct Entry {
+    grid: usize,
+    per_sample: f64,
+    batched_scalar: f64,
+    batched: f64,
+}
+
+fn bench_grid(grid: usize, opts: &Options) -> Entry {
     println!(
-        "== bench_batched_step :: grid {0}x{0} | batch {1} | {2} threads | {3} timed steps per path ==",
-        opts.grid, opts.batch, opts.threads, opts.steps
+        "== bench_batched_step :: grid {grid}x{grid} | batch {0} | {1} threads | {2} timed steps per path ==",
+        opts.batch, opts.threads, opts.steps
     );
-
-    let mut rng = Rng::seed_from(42);
-    let donn = Donn::random(DonnConfig::scaled(opts.grid), &mut rng);
-    let data = Dataset::synthetic(Family::Mnist, opts.batch, 42).resized(opts.grid);
+    let data = Dataset::synthetic(Family::Mnist, opts.batch, 42).resized(grid);
     let batch: Vec<usize> = (0..opts.batch).collect();
+    let fresh_donn = || Donn::random(DonnConfig::scaled(grid), &mut Rng::seed_from(42));
 
-    let mut donn_ps = donn.clone();
+    // FFT plans are built at model construction, so the kill switch must
+    // surround the constructor; main() is still single-threaded here.
+    std::env::set_var("PHOTONN_FFT_NO_VEC", "1");
+    let mut donn_scalar = fresh_donn();
+    std::env::remove_var("PHOTONN_FFT_NO_VEC");
+    let mut donn_vec = fresh_donn();
+
     let per_sample = run_steps(
-        &mut donn_ps,
+        &mut donn_scalar.clone(),
         &data,
         &batch,
         opts.threads,
         opts.steps,
         per_sample_batch_gradients,
     );
-    println!("per-sample oracle : {per_sample:8.3} steps/sec");
+    println!("per-sample oracle  : {per_sample:8.3} steps/sec");
 
-    let mut donn_b = donn.clone();
-    let batched = run_steps(
-        &mut donn_b,
+    let batched_scalar = run_steps(
+        &mut donn_scalar,
         &data,
         &batch,
         opts.threads,
         opts.steps,
         batched_gradients,
     );
-    println!("batched engine    : {batched:8.3} steps/sec");
+    println!("batched scalar fft : {batched_scalar:8.3} steps/sec");
 
-    let speedup = batched / per_sample;
-    println!("speedup           : {speedup:8.2}x");
+    let batched = run_steps(
+        &mut donn_vec,
+        &data,
+        &batch,
+        opts.threads,
+        opts.steps,
+        batched_gradients,
+    );
+    println!("batched vectorized : {batched:8.3} steps/sec");
+    println!(
+        "speedup            : {:8.2}x vs oracle, {:8.2}x vs scalar fft",
+        batched / per_sample,
+        batched / batched_scalar
+    );
 
+    Entry {
+        grid,
+        per_sample,
+        batched_scalar,
+        batched,
+    }
+}
+
+fn main() {
+    let opts = parse_options();
+    let entries: Vec<Entry> = opts.grids.iter().map(|&g| bench_grid(g, &opts)).collect();
+
+    let body: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\n      \"grid\": {},\n      \"per_sample_steps_per_sec\": {:.4},\n      \"batched_scalar_fft_steps_per_sec\": {:.4},\n      \"batched_steps_per_sec\": {:.4},\n      \"speedup_vs_oracle\": {:.4},\n      \"speedup_vs_scalar_fft\": {:.4}\n    }}",
+                e.grid,
+                e.per_sample,
+                e.batched_scalar,
+                e.batched,
+                e.batched / e.per_sample,
+                e.batched / e.batched_scalar
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"batched_step\",\n  \"grid\": {},\n  \"batch\": {},\n  \"threads\": {},\n  \"timed_steps\": {},\n  \"per_sample_steps_per_sec\": {:.4},\n  \"batched_steps_per_sec\": {:.4},\n  \"speedup\": {:.4}\n}}\n",
-        opts.grid, opts.batch, opts.threads, opts.steps, per_sample, batched, speedup
+        "{{\n  \"bench\": \"batched_step\",\n  \"batch\": {},\n  \"threads\": {},\n  \"timed_steps\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        opts.batch,
+        opts.threads,
+        opts.steps,
+        body.join(",\n")
     );
     match std::fs::write(&opts.out, &json) {
         Ok(()) => println!("wrote {}", opts.out),

@@ -489,6 +489,38 @@ mod tests {
     }
 
     #[test]
+    fn batched_gradients_match_per_sample_oracle_on_mixed_radix_grid() {
+        // Same acceptance bar on a non-power-of-two grid (20 = 2²·5): the
+        // batched path runs the planar vectorized mixed-radix FFT engine —
+        // the paper-native 200-grid path in miniature — while the oracle
+        // uses the scalar recursive engine, so this pins down both the
+        // engine's correctness and the 1e-9 cross-engine gradient parity.
+        let mut rng = Rng::seed_from(29);
+        let donn = Donn::random(DonnConfig::scaled(20), &mut rng);
+        let data = Dataset::synthetic(Family::Mnist, 8, 29).resized(20);
+        let batch: Vec<usize> = (0..8).collect();
+
+        for threads in [1usize, 3] {
+            let (g_batched, l_batched) =
+                super::batched_gradients(&donn, &data, &batch, None, threads);
+            let (g_oracle, l_oracle) =
+                per_sample_batch_gradients(&donn, &data, &batch, None, threads);
+            assert!(
+                (l_batched - l_oracle).abs() < 1e-9,
+                "loss mismatch at {threads} threads: {l_batched} vs {l_oracle}"
+            );
+            for (layer, (gb, go)) in g_batched.iter().zip(&g_oracle).enumerate() {
+                let diff = gb.max_abs_diff(go);
+                assert!(
+                    diff < 1e-9,
+                    "layer {layer} gradient mismatch at {threads} threads: {diff}"
+                );
+                assert!(gb.as_slice().iter().any(|&v| v != 0.0));
+            }
+        }
+    }
+
+    #[test]
     fn batched_gradients_match_oracle_with_freeze() {
         let mut rng = Rng::seed_from(23);
         let donn = Donn::random(DonnConfig::scaled(16), &mut rng);

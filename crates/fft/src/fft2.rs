@@ -1,9 +1,11 @@
 //! Planned 2-D FFT over [`CGrid`] by row-column decomposition, with batched
 //! execute paths over [`BatchCGrid`] for the mini-batch training engine.
 
+use photonn_math::planar::{deinterleave, hadamard_scale, interleave, transpose_plane};
 use photonn_math::{BatchCGrid, CGrid, Complex64};
 use std::sync::Arc;
 
+use crate::vecmixed::VecMixed2d;
 use crate::{Fft, Planner};
 
 /// A reusable 2-D FFT plan for a fixed `rows × cols` shape.
@@ -30,9 +32,10 @@ pub struct Fft2 {
     cols: usize,
     row_plan: Arc<Fft>,
     col_plan: Arc<Fft>,
-    /// Vectorized square power-of-two engine for the batched execute paths
-    /// (`None` for shapes it cannot handle).
-    vec2d: Option<Arc<VecRadix2d>>,
+    /// Vectorized square mixed-radix engine for the batched execute paths
+    /// (`None` for shapes it cannot handle — non-square, or a side length
+    /// with a prime factor other than 2 or 5).
+    vec2d: Option<Arc<VecMixed2d>>,
 }
 
 impl Fft2 {
@@ -53,8 +56,13 @@ impl Fft2 {
     /// Panics if either dimension is zero.
     pub fn with_planner(rows: usize, cols: usize, planner: &Planner) -> Self {
         assert!(rows > 0 && cols > 0, "FFT2 dimensions must be positive");
-        let vec2d = (rows == cols && rows.is_power_of_two() && rows >= 2)
-            .then(|| Arc::new(VecRadix2d::new(rows)));
+        // Square 2^a·5^b shapes (every power of two, plus the paper's
+        // native 200 and its padded companions) get the planar vectorized
+        // engine; setting PHOTONN_FFT_NO_VEC forces the scalar per-sample
+        // path (the benchmark baseline).
+        let vec_enabled = std::env::var_os("PHOTONN_FFT_NO_VEC").is_none();
+        let vec2d = (rows == cols && vec_enabled && VecMixed2d::supports(rows))
+            .then(|| Arc::new(VecMixed2d::new(rows)));
         Fft2 {
             rows,
             cols,
@@ -135,11 +143,13 @@ impl Fft2 {
     /// In-place unnormalized forward 2-D DFT of every sample, with batch
     /// chunks distributed over `threads` worker threads.
     ///
-    /// Per-sample results are bit-identical to [`Fft2::forward`] up to the
-    /// column-pass traversal order (the batched path runs the column pass
-    /// through a transpose so the 1-D engines always see contiguous data;
-    /// the arithmetic per 1-D transform is identical, so so are the
-    /// results).
+    /// Results are deterministic — independent of the thread count and of
+    /// what else shares the batch — because batch work is chunked, never
+    /// raced. On shapes with a vectorized engine the stage schedule
+    /// (radix-4/2/5 Stockham) differs from the scalar 1-D engines, so
+    /// per-sample results agree with [`Fft2::forward`] to rounding error
+    /// (~1e-13 relative) rather than bit-for-bit; on other shapes the
+    /// same 1-D engines run and results are bit-identical.
     ///
     /// # Panics
     ///
@@ -308,6 +318,11 @@ struct SampleFft<'a> {
 
 /// Split real/imaginary working set of one sample: the butterflies run on
 /// these planes so complex arithmetic autovectorizes without shuffles.
+/// One pair is live at a time; the other holds the transposed orientation
+/// across the row pass — and, because every `column_pass` call site is
+/// followed by a transpose that fully overwrites the non-live pair, that
+/// dead pair doubles as the engine's Stockham ping-pong scratch (no third
+/// pair needed).
 struct PlanarScratch {
     re: Vec<f64>,
     im: Vec<f64>,
@@ -333,11 +348,8 @@ impl<'a> SampleFft<'a> {
 
     /// Unnormalized forward 2-D DFT of one row-major `rows × cols` slice.
     fn forward(&mut self, data: &mut [Complex64]) {
-        if let Some(v) = &self.plan.vec2d {
-            let p = self.planar.as_mut().expect("planar scratch");
-            deinterleave(data, &mut p.re, &mut p.im);
-            v.transform(p, false);
-            interleave(&p.re, &p.im, data);
+        if self.plan.vec2d.is_some() {
+            self.planar_transform(data, false);
         } else {
             self.apply(data, |plan, buf| plan.forward(buf));
         }
@@ -345,14 +357,30 @@ impl<'a> SampleFft<'a> {
 
     /// Unnormalized inverse 2-D DFT of one row-major slice.
     fn inverse_unnormalized(&mut self, data: &mut [Complex64]) {
-        if let Some(v) = &self.plan.vec2d {
-            let p = self.planar.as_mut().expect("planar scratch");
-            deinterleave(data, &mut p.re, &mut p.im);
-            v.transform(p, true);
-            interleave(&p.re, &p.im, data);
+        if self.plan.vec2d.is_some() {
+            self.planar_transform(data, true);
         } else {
             self.apply(data, |plan, buf| plan.inverse_unnormalized(buf));
         }
+    }
+
+    /// Unnormalized 2-D DFT through the vectorized engine: row transform
+    /// as a column pass over the transposed planes, then the column
+    /// transform directly (the same order as the scalar path). `inverse`
+    /// computes the unnormalized adjoint.
+    fn planar_transform(&mut self, data: &mut [Complex64], inverse: bool) {
+        let v = self.plan.vec2d.as_ref().expect("planar path");
+        let p = self.planar.as_mut().expect("planar scratch");
+        let n = v.n();
+        deinterleave(data, &mut p.re, &mut p.im);
+        transpose_plane(&p.re, n, &mut p.sre);
+        transpose_plane(&p.im, n, &mut p.sim);
+        // (re, im) is dead until the next transpose rewrites it → scratch.
+        v.column_pass(&mut p.sre, &mut p.sim, &mut p.re, &mut p.im, inverse);
+        transpose_plane(&p.sre, n, &mut p.re);
+        transpose_plane(&p.sim, n, &mut p.im);
+        v.column_pass(&mut p.re, &mut p.im, &mut p.sre, &mut p.sim, inverse);
+        interleave(&p.re, &p.im, data);
     }
 
     /// Fused planar transfer application for one sample:
@@ -368,27 +396,26 @@ impl<'a> SampleFft<'a> {
     fn planar_transfer(&mut self, data: &mut [Complex64], kr: &[f64], ki: &[f64], scale: f64) {
         let v = self.plan.vec2d.as_ref().expect("planar path");
         let p = self.planar.as_mut().expect("planar scratch");
-        let n = v.n;
+        let n = v.n();
         deinterleave(data, &mut p.re, &mut p.im);
-        // Forward column transform in natural orientation.
-        v.column_pass(&mut p.re, &mut p.im, false);
-        // Forward row transform on the transposed planes.
+        // Forward column transform in natural orientation; the stale
+        // (sre, sim) pair is the ping-pong scratch until the transpose
+        // rewrites it.
+        v.column_pass(&mut p.re, &mut p.im, &mut p.sre, &mut p.sim, false);
+        // Forward row transform on the transposed planes; (re, im) is now
+        // the dead pair.
         transpose_plane(&p.re, n, &mut p.sre);
         transpose_plane(&p.im, n, &mut p.sim);
-        v.column_pass(&mut p.sre, &mut p.sim, false);
+        v.column_pass(&mut p.sre, &mut p.sim, &mut p.re, &mut p.im, false);
         // Kernel product (kernel pre-transposed to this orientation) with
         // the 1/N normalization folded in.
-        for i in 0..p.sre.len() {
-            let (zr, zi) = (p.sre[i], p.sim[i]);
-            p.sre[i] = (zr * kr[i] - zi * ki[i]) * scale;
-            p.sim[i] = (zr * ki[i] + zi * kr[i]) * scale;
-        }
+        hadamard_scale(&mut p.sre, &mut p.sim, kr, ki, scale);
         // Inverse row transform, back to natural orientation, inverse
         // column transform.
-        v.column_pass(&mut p.sre, &mut p.sim, true);
+        v.column_pass(&mut p.sre, &mut p.sim, &mut p.re, &mut p.im, true);
         transpose_plane(&p.sre, n, &mut p.re);
         transpose_plane(&p.sim, n, &mut p.im);
-        v.column_pass(&mut p.re, &mut p.im, true);
+        v.column_pass(&mut p.re, &mut p.im, &mut p.sre, &mut p.sim, true);
         interleave(&p.re, &p.im, data);
     }
 
@@ -405,163 +432,6 @@ impl<'a> SampleFft<'a> {
             f(&self.plan.col_plan, col);
         }
         transpose_into(&self.scratch, cols, rows, data);
-    }
-}
-
-fn deinterleave(data: &[Complex64], re: &mut [f64], im: &mut [f64]) {
-    for ((z, r), i) in data.iter().zip(re.iter_mut()).zip(im.iter_mut()) {
-        *r = z.re;
-        *i = z.im;
-    }
-}
-
-fn interleave(re: &[f64], im: &[f64], data: &mut [Complex64]) {
-    for ((z, &r), &i) in data.iter_mut().zip(re.iter()).zip(im.iter()) {
-        *z = Complex64::new(r, i);
-    }
-}
-
-/// Vectorized radix-2 engine for square power-of-two 2-D transforms.
-///
-/// Both 1-D passes run as *column transforms* over split re/im planes: a
-/// butterfly stage combines whole rows elementwise — contiguous,
-/// shuffle-free f64 arithmetic the compiler autovectorizes (the row pass
-/// runs on the transposed planes). The per-element operation sequence and
-/// twiddle values match the scalar `Radix2` engine exactly, so results are
-/// bit-identical to the unbatched [`Fft2::forward`] path; the inverse uses
-/// a conjugated twiddle table directly instead of the scalar engine's
-/// conjugate–forward–conjugate detour (same arithmetic, two fewer passes).
-#[derive(Debug)]
-struct VecRadix2d {
-    n: usize,
-    rev: Vec<u32>,
-    twr: Vec<f64>,
-    twi_fwd: Vec<f64>,
-    twi_inv: Vec<f64>,
-}
-
-impl VecRadix2d {
-    fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2);
-        let bits = n.trailing_zeros();
-        let rev = (0..n as u32)
-            .map(|i| i.reverse_bits() >> (32 - bits))
-            .collect();
-        let mut twr = Vec::with_capacity(n / 2);
-        let mut twi_fwd = Vec::with_capacity(n / 2);
-        for k in 0..n / 2 {
-            let w = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
-            twr.push(w.re);
-            twi_fwd.push(w.im);
-        }
-        let twi_inv = twi_fwd.iter().map(|i| -i).collect();
-        VecRadix2d {
-            n,
-            rev,
-            twr,
-            twi_fwd,
-            twi_inv,
-        }
-    }
-
-    /// Unnormalized 2-D DFT of the planar working set (row transform
-    /// first, then columns — the same order as the scalar path). `inverse`
-    /// selects the conjugated twiddles (the unnormalized adjoint).
-    fn transform(&self, p: &mut PlanarScratch, inverse: bool) {
-        let n = self.n;
-        debug_assert_eq!(p.re.len(), n * n);
-        // Row transform: column pass over the transposed planes.
-        transpose_plane(&p.re, n, &mut p.sre);
-        transpose_plane(&p.im, n, &mut p.sim);
-        self.column_pass(&mut p.sre, &mut p.sim, inverse);
-        transpose_plane(&p.sre, n, &mut p.re);
-        transpose_plane(&p.sim, n, &mut p.im);
-        // Column transform, directly.
-        self.column_pass(&mut p.re, &mut p.im, inverse);
-    }
-
-    /// Radix-2 FFT along the column axis, vectorized across each row.
-    fn column_pass(&self, re: &mut [f64], im: &mut [f64], inverse: bool) {
-        let n = self.n;
-        // Bit-reversal permutation of whole rows.
-        for i in 0..n {
-            let j = self.rev[i] as usize;
-            if i < j {
-                for c in 0..n {
-                    re.swap(i * n + c, j * n + c);
-                    im.swap(i * n + c, j * n + c);
-                }
-            }
-        }
-        // First stage specialized: its twiddle is exactly 1, so the
-        // butterfly degenerates to add/sub of adjacent rows (bit-identical
-        // to multiplying by 1 + 0i).
-        for (rpair, ipair) in re.chunks_exact_mut(2 * n).zip(im.chunks_exact_mut(2 * n)) {
-            let (ar, br) = rpair.split_at_mut(n);
-            let (ai, bi) = ipair.split_at_mut(n);
-            for c in 0..n {
-                let (tr, ti) = (br[c], bi[c]);
-                let (xr, xi) = (ar[c], ai[c]);
-                ar[c] = xr + tr;
-                ai[c] = xi + ti;
-                br[c] = xr - tr;
-                bi[c] = xi - ti;
-            }
-        }
-        // Remaining stages: row-pair butterflies with the twiddle held in
-        // registers across each row sweep.
-        let tw_im = if inverse {
-            &self.twi_inv
-        } else {
-            &self.twi_fwd
-        };
-        let mut len = 4;
-        while len <= n {
-            let half = len / 2;
-            let step = n / len;
-            for (rgroup, igroup) in re
-                .chunks_exact_mut(len * n)
-                .zip(im.chunks_exact_mut(len * n))
-            {
-                let (agr, bgr) = rgroup.split_at_mut(half * n);
-                let (agi, bgi) = igroup.split_at_mut(half * n);
-                for k in 0..half {
-                    let (wr, wi) = (self.twr[k * step], tw_im[k * step]);
-                    let ar = &mut agr[k * n..(k + 1) * n];
-                    let ai = &mut agi[k * n..(k + 1) * n];
-                    let br = &mut bgr[k * n..(k + 1) * n];
-                    let bi = &mut bgi[k * n..(k + 1) * n];
-                    for (((ar, ai), br), bi) in ar
-                        .iter_mut()
-                        .zip(ai.iter_mut())
-                        .zip(br.iter_mut())
-                        .zip(bi.iter_mut())
-                    {
-                        let tr = *br * wr - *bi * wi;
-                        let ti = *br * wi + *bi * wr;
-                        let xr = *ar;
-                        let xi = *ai;
-                        *ar = xr + tr;
-                        *ai = xi + ti;
-                        *br = xr - tr;
-                        *bi = xi - ti;
-                    }
-                }
-            }
-            len <<= 1;
-        }
-    }
-}
-
-/// Transposes one square row-major `n × n` f64 plane into `dst`.
-fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
-    debug_assert_eq!(src.len(), n * n);
-    debug_assert_eq!(dst.len(), n * n);
-    for r in 0..n {
-        let row = &src[r * n..(r + 1) * n];
-        for (c, &v) in row.iter().enumerate() {
-            dst[c * n + r] = v;
-        }
     }
 }
 
@@ -786,6 +656,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn vectorized_cross_engine_parity_at_paper_sizes() {
+        // The planar mixed-radix engine (batched path) against the scalar
+        // 1-D engines (unbatched path) at the paper-relevant non-power-of-
+        // two sizes, forward and round-trip. Spectral magnitudes grow like
+        // n², so the absolute tolerance scales with the grid.
+        for n in [20usize, 40, 100, 200] {
+            let plan = Fft2::new(n, n);
+            let original = random_batch(2, n);
+            let mut batch = original.clone();
+            let expected: Vec<CGrid> = (0..2)
+                .map(|b| {
+                    let mut g = batch.to_cgrid(b);
+                    plan.forward(&mut g); // scalar mixed-radix engine
+                    g
+                })
+                .collect();
+            plan.forward_batch(&mut batch, 1); // vectorized engine
+            let tol = 1e-11 * (n * n) as f64;
+            for (b, e) in expected.iter().enumerate() {
+                let diff = batch.to_cgrid(b).max_abs_diff(e);
+                assert!(diff < tol, "n {n} sample {b}: {diff} > {tol}");
+            }
+            plan.inverse_batch(&mut batch, 1);
+            let diff = batch.max_abs_diff(&original);
+            assert!(diff < 1e-9, "n {n} roundtrip: {diff}");
+        }
+    }
+
+    #[test]
+    fn apply_transfer_batch_matches_manual_pipeline_on_mixed_radix_grids() {
+        // The fused planar hop at the paper's native (unpadded) and
+        // double-padded non-power-of-two shapes, against the scalar
+        // pad → fft2 → ⊙K → ifft2 → crop pipeline.
+        for (n, padded) in [(20usize, 20usize), (20, 40), (25, 50), (50, 50)] {
+            let plan = Fft2::new(padded, padded);
+            let kernel = CGrid::from_fn(padded, padded, |r, c| {
+                Complex64::cis((r as f64 * 0.3 - c as f64 * 0.5).sin())
+            });
+            let batch = random_batch(3, n);
+            let out = plan.apply_transfer_batch(&batch, &kernel, n, 2);
+            for b in 0..3 {
+                let mut manual = if padded == n {
+                    batch.to_cgrid(b)
+                } else {
+                    batch.to_cgrid(b).pad_centered(padded, padded)
+                };
+                plan.forward(&mut manual);
+                manual.hadamard_inplace(&kernel);
+                plan.inverse(&mut manual);
+                if padded != n {
+                    manual = manual.crop_centered(n, n);
+                }
+                let diff = out.to_cgrid(b).max_abs_diff(&manual);
+                assert!(diff < 1e-12, "inner {n} padded {padded} sample {b}: {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_threading_is_deterministic_on_mixed_radix_grid() {
+        let plan = Fft2::new(20, 20);
+        let mut serial = random_batch(7, 20);
+        let mut threaded = serial.clone();
+        plan.forward_batch(&mut serial, 1);
+        plan.forward_batch(&mut threaded, 4);
+        assert_eq!(serial, threaded);
     }
 
     #[test]

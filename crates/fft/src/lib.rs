@@ -5,12 +5,24 @@
 //! in the frequency domain (paper Eq. 1), so the FFT is the innermost hot
 //! loop of every DONN forward and backward pass.
 //!
-//! Three engines are selected automatically by [`Fft::new`]:
+//! Three scalar 1-D engines are selected automatically by [`Fft::new`]:
 //!
 //! * **radix-2** — iterative in-place for powers of two (the padded path);
 //! * **mixed-radix** — recursive Cooley–Tukey for smooth composites such as
-//!   the paper's native 200 = 2³·5²;
-//! * **Bluestein** — chirp-z fallback for lengths with large prime factors.
+//!   the paper's native 200 = 2³·5² (every prime factor ≤ 61);
+//! * **Bluestein** — chirp-z fallback for lengths with larger prime
+//!   factors (the planner reroutes automatically; no length errors out).
+//!
+//! On top of them, [`Fft2`]'s batched execute paths
+//! ([`Fft2::forward_batch`], [`Fft2::apply_transfer_batch`]) carry a
+//! fourth, *planar vectorized* engine for square grids of side
+//! `n = 2^a·5^b`: a self-sorting Stockham pipeline of radix-4/2/5 stages
+//! whose butterflies combine whole rows of split re/im `f64` planes —
+//! contiguous, shuffle-free arithmetic the compiler autovectorizes. It
+//! covers every power of two **and** the paper's native 200 grid (plus its
+//! double-padded 400), so paper-scale batches never fall back to the
+//! scalar per-sample path. Setting the `PHOTONN_FFT_NO_VEC` environment
+//! variable before planning disables it (the benchmark baseline switch).
 //!
 //! Conventions: forward is the unnormalized engineering DFT
 //! `X[k] = Σ x[j]·e^{-2πi jk/n}`; [`Fft::inverse`] carries the `1/n`. The
@@ -39,6 +51,7 @@ mod radix2;
 mod shift;
 #[cfg(test)]
 mod testing;
+mod vecmixed;
 
 pub use fft2::{fft2, ifft2, Fft2};
 pub use mixed::factorize;

@@ -6,7 +6,21 @@ use photonn_math::Complex64;
 
 /// Prime factorization by trial division, in non-decreasing order.
 ///
-/// `factorize(1)` is empty; `factorize(200) == [2, 2, 2, 5, 5]`.
+/// Drives every engine-selection decision in this crate: [`crate::Fft`]
+/// picks the mixed-radix engine only when every factor is at most the
+/// mixed-radix prime limit (61), and the vectorized 2-D path requires
+/// factors in `{2, 5}`.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_fft::factorize;
+///
+/// assert_eq!(factorize(1), Vec::<usize>::new()); // 1 has no prime factors
+/// assert_eq!(factorize(200), vec![2, 2, 2, 5, 5]); // the paper's grid
+/// assert_eq!(factorize(97), vec![97]); // primes factor as themselves
+/// assert_eq!(factorize(2 * 67), vec![2, 67]); // 67 > 61 → Bluestein
+/// ```
 pub fn factorize(mut n: usize) -> Vec<usize> {
     let mut factors = Vec::new();
     let mut p = 2;
@@ -23,10 +37,6 @@ pub fn factorize(mut n: usize) -> Vec<usize> {
     factors
 }
 
-/// Largest butterfly radix the recursive engine emits; the stack-allocated
-/// combine buffer is sized to this.
-const MAX_RADIX: usize = 61;
-
 /// Recursive mixed-radix plan: prime factor schedule plus the full-length
 /// forward root table `exp(-2πi·j/n)`.
 #[derive(Debug)]
@@ -37,14 +47,30 @@ pub(crate) struct MixedRadix {
 }
 
 impl MixedRadix {
+    /// Largest butterfly radix the recursive engine emits; the
+    /// stack-allocated combine buffer is sized to this. [`crate::Fft`]'s
+    /// plan selection consults [`MixedRadix::supports`] so that lengths
+    /// with a bigger prime factor fall back to Bluestein automatically —
+    /// the constructor's own check is a defensive backstop, not a user
+    ///-facing error path.
+    pub(crate) const MAX_PRIME: usize = 61;
+
+    /// `true` if the recursive engine can transform length `n` directly:
+    /// `n ≥ 2` with every prime factor at most [`MixedRadix::MAX_PRIME`].
+    pub(crate) fn supports(n: usize) -> bool {
+        n >= 2 && factorize(n).iter().all(|&p| p <= Self::MAX_PRIME)
+    }
+
     /// # Panics
     ///
-    /// Panics if `n < 2` or some prime factor exceeds the engine limit.
+    /// Panics if `n < 2` or some prime factor exceeds the engine limit
+    /// ([`crate::Fft::new`] never lets either happen — it routes such
+    /// lengths to Bluestein).
     pub(crate) fn new(n: usize) -> Self {
         assert!(n >= 2, "mixed-radix needs n >= 2");
         let factors = factorize(n);
         assert!(
-            factors.iter().all(|&p| p <= MAX_RADIX),
+            factors.iter().all(|&p| p <= Self::MAX_PRIME),
             "prime factor exceeds mixed-radix limit; use Bluestein"
         );
         let roots = (0..n)
@@ -92,7 +118,7 @@ impl MixedRadix {
         }
         // Combine: for each output column k, a p-point DFT across the
         // twiddled sub-results. X[s·m+k] = Σ_q ω_p^{qs} · ω_n^{qk} · Y_q[k].
-        let mut t = [Complex64::ZERO; MAX_RADIX];
+        let mut t = [Complex64::ZERO; Self::MAX_PRIME];
         for k in 0..m {
             for (q, tq) in t.iter_mut().enumerate().take(p) {
                 *tq = output[q * m + k] * self.roots[q * k * root_stride];

@@ -6,12 +6,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::bluestein::Bluestein;
-use crate::mixed::factorize;
+use crate::mixed::MixedRadix;
 use crate::radix2::Radix2;
-
-/// Largest prime factor handled by the generic mixed-radix engine; anything
-/// bigger falls back to Bluestein's algorithm (O(n log n) for any length).
-const MAX_DIRECT_PRIME: usize = 61;
 
 #[derive(Debug)]
 enum Engine {
@@ -20,7 +16,7 @@ enum Engine {
     /// Iterative in-place radix-2 for powers of two.
     Radix2(Radix2),
     /// Recursive mixed-radix Cooley–Tukey for smooth composites.
-    Mixed(crate::mixed::MixedRadix),
+    Mixed(MixedRadix),
     /// Chirp-z transform for lengths with a large prime factor.
     Bluestein(Bluestein),
 }
@@ -51,7 +47,26 @@ pub struct Fft {
 }
 
 impl Fft {
-    /// Plans a transform of length `n`.
+    /// Plans a transform of length `n`, selecting the engine
+    /// automatically: identity for `n == 1`, iterative radix-2 for powers
+    /// of two, recursive mixed-radix for smooth composites (every prime
+    /// factor ≤ 61), and Bluestein's chirp-z algorithm for anything with a
+    /// larger prime factor — the fallback is automatic, so no length ever
+    /// reaches the mixed-radix engine's internal prime limit.
+    ///
+    /// ```
+    /// use photonn_fft::{Fft, Planner};
+    /// use photonn_math::Complex64;
+    ///
+    /// // 134 = 2·67 has a prime factor past the mixed-radix limit; the
+    /// // plan transparently uses Bluestein and still round-trips.
+    /// let fft = Fft::new(134);
+    /// let input: Vec<Complex64> = (0..134).map(|j| Complex64::new(j as f64, 0.0)).collect();
+    /// let mut buf = input.clone();
+    /// fft.forward(&mut buf);
+    /// fft.inverse(&mut buf);
+    /// assert!(buf.iter().zip(&input).all(|(a, b)| (*a - *b).norm() < 1e-9));
+    /// ```
     ///
     /// # Panics
     ///
@@ -62,8 +77,8 @@ impl Fft {
             Engine::Identity
         } else if n.is_power_of_two() {
             Engine::Radix2(Radix2::new(n))
-        } else if factorize(n).iter().all(|&p| p <= MAX_DIRECT_PRIME) {
-            Engine::Mixed(crate::mixed::MixedRadix::new(n))
+        } else if MixedRadix::supports(n) {
+            Engine::Mixed(MixedRadix::new(n))
         } else {
             Engine::Bluestein(Bluestein::new(n))
         };
@@ -188,6 +203,42 @@ mod tests {
         ));
         // 127 is prime and > 61 → Bluestein.
         assert!(matches!(Fft::new(127).engine, Engine::Bluestein(_)));
+        // 61 is exactly the mixed-radix prime limit; 67 is past it.
+        assert!(matches!(Fft::new(61).engine, Engine::Mixed(_)));
+        assert!(matches!(Fft::new(67).engine, Engine::Bluestein(_)));
+    }
+
+    #[test]
+    fn large_prime_factors_fall_back_to_bluestein_automatically() {
+        // Composite lengths with one factor past MixedRadix::MAX_PRIME
+        // must never reach the mixed-radix constructor (whose internal
+        // assert says "use Bluestein") — the planner does that rerouting.
+        for n in [2 * 67, 3 * 71, 5 * 101, 2 * 2 * 127] {
+            assert!(!MixedRadix::supports(n), "{n} should exceed the limit");
+            let fft = Fft::new(n);
+            assert!(
+                matches!(fft.engine, Engine::Bluestein(_)),
+                "{n} should plan as Bluestein"
+            );
+            // And the fallback engine is actually correct at that length.
+            let input: Vec<Complex64> = (0..n)
+                .map(|j| Complex64::new((j as f64 * 0.77).sin(), (j as f64 * 0.13).cos()))
+                .collect();
+            let mut got = input.clone();
+            fft.forward(&mut got);
+            assert_spectra_close(&got, &naive_dft(&input), 1e-9, &format!("bluestein n={n}"));
+        }
+    }
+
+    #[test]
+    fn mixed_radix_supports_matches_factor_limit() {
+        assert!(!MixedRadix::supports(0));
+        assert!(!MixedRadix::supports(1)); // identity engine's job
+        assert!(MixedRadix::supports(2));
+        assert!(MixedRadix::supports(200));
+        assert!(MixedRadix::supports(61 * 4));
+        assert!(!MixedRadix::supports(67));
+        assert!(!MixedRadix::supports(2 * 67));
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Planar vectorized mixed-radix column-transform engine (radix-2/4/5).
+//!
+//! This is the batched hot-loop engine behind [`crate::Fft2`]'s planar
+//! execute paths. It computes `n` simultaneous length-`n` DFTs along the
+//! *column axis* of a square `n × n` plane pair (split re/im `f64`
+//! planes): a butterfly combines whole rows elementwise, so every complex
+//! operation is shuffle-free `f64` arithmetic over contiguous lanes that
+//! the compiler autovectorizes. The row pass of a 2-D transform runs as a
+//! column pass over transposed planes (see `Fft2`).
+//!
+//! Where the old power-of-two-only engine used bit-reversal plus iterative
+//! radix-2 stages, this one is a **self-sorting Stockham** pipeline:
+//! every stage reads one plane pair and writes a second (ping-pong), and
+//! the inter-stage permutation is folded into the write pattern, so no
+//! digit-reversal pass exists and non-power-of-two lengths need no extra
+//! machinery. A length decomposes into radix-4 stages (pairs of twos),
+//! at most one radix-2 stage, and radix-5 stages — covering every
+//! `n = 2^a·5^b`, in particular the paper's native mask size
+//! `200 = 2³·5²` and its double-padded companion `400`, which previously
+//! fell back to the scalar recursive mixed-radix engine per sample.
+//!
+//! One Stockham stage with radix `p`, `l` remaining groups and `m`
+//! already-combined transforms (invariant `p·l·m = n`) maps, for
+//! `j ∈ [0,l)`, `s ∈ [0,p)`:
+//!
+//! ```text
+//! dst[(p·j + s)·m .. +m] = ω_{p·l}^{j·s} · Σ_q ω_p^{q·s} · src[(j + q·l)·m .. +m]
+//! ```
+//!
+//! where the `m`-row blocks are contiguous `m·n`-lane ranges of the plane
+//! — the butterfly is a handful of elementwise passes over whole blocks,
+//! and the per-(j,s) twiddle is a scalar held in registers across the
+//! sweep. The inverse transform uses conjugated twiddles and butterfly
+//! constants directly (monomorphized via a const-generic flag) instead of
+//! the scalar engines' conjugate–forward–conjugate detour.
+
+use photonn_math::Complex64;
+
+/// One self-sorting Stockham stage: radix plus its twiddle table.
+#[derive(Debug)]
+struct Stage {
+    /// Butterfly radix (2, 4 or 5).
+    p: usize,
+    /// Number of butterfly groups at this stage.
+    l: usize,
+    /// Transform length already combined before this stage.
+    m: usize,
+    /// Forward twiddles `ω_{p·l}^{j·s}` for `j ∈ [0,l)`, `s ∈ [1,p)`,
+    /// flattened as `[j·(p-1) + (s-1)]`. Inverse negates the imaginary
+    /// part at use.
+    twr: Vec<f64>,
+    twi: Vec<f64>,
+}
+
+/// Planar vectorized mixed-radix engine for square 2-D transforms of side
+/// `n = 2^a·5^b` (see the module docs).
+#[derive(Debug)]
+pub(crate) struct VecMixed2d {
+    n: usize,
+    stages: Vec<Stage>,
+}
+
+impl VecMixed2d {
+    /// `true` if this engine can transform side length `n`: at least 2,
+    /// with no prime factor other than 2 and 5 (the radices it emits).
+    pub(crate) fn supports(n: usize) -> bool {
+        if n < 2 {
+            return false;
+        }
+        let mut n = n;
+        for p in [2usize, 5] {
+            while n.is_multiple_of(p) {
+                n /= p;
+            }
+        }
+        n == 1
+    }
+
+    /// The radix schedule for length `n`: as many radix-4 stages as the
+    /// twos allow, at most one radix-2, then the radix-5 stages.
+    /// `schedule(200) == [4, 2, 5, 5]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`VecMixed2d::supports`] is false for `n`.
+    pub(crate) fn schedule(n: usize) -> Vec<usize> {
+        assert!(Self::supports(n), "unsupported vectorized length {n}");
+        let (mut twos, mut fives, mut rest) = (0usize, 0usize, n);
+        while rest.is_multiple_of(2) {
+            twos += 1;
+            rest /= 2;
+        }
+        while rest.is_multiple_of(5) {
+            fives += 1;
+            rest /= 5;
+        }
+        let mut radices = vec![4; twos / 2];
+        if twos % 2 == 1 {
+            radices.push(2);
+        }
+        radices.extend(std::iter::repeat_n(5, fives));
+        radices
+    }
+
+    /// Plans the stage pipeline for side length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`VecMixed2d::supports`] is false for `n`.
+    pub(crate) fn new(n: usize) -> Self {
+        let radices = Self::schedule(n);
+        let mut stages = Vec::with_capacity(radices.len());
+        let mut m = 1;
+        for p in radices {
+            let l = n / (m * p);
+            let mut twr = Vec::with_capacity(l * (p - 1));
+            let mut twi = Vec::with_capacity(l * (p - 1));
+            for j in 0..l {
+                for s in 1..p {
+                    let w = Complex64::cis(
+                        -2.0 * std::f64::consts::PI * (j * s) as f64 / (p * l) as f64,
+                    );
+                    twr.push(w.re);
+                    twi.push(w.im);
+                }
+            }
+            stages.push(Stage { p, l, m, twr, twi });
+            m *= p;
+        }
+        debug_assert_eq!(m, n);
+        VecMixed2d { n, stages }
+    }
+
+    /// Side length this engine was planned for.
+    #[inline]
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Unnormalized DFT along the column axis of the `n × n` plane pair
+    /// `(re, im)`, vectorized across each row. `(sre, sim)` is same-sized
+    /// ping-pong scratch; the result is always left in `(re, im)` (an odd
+    /// stage count ends with an O(1) buffer swap, never a copy). `inverse`
+    /// computes the unnormalized adjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any plane is not `n²` long.
+    pub(crate) fn column_pass(
+        &self,
+        re: &mut Vec<f64>,
+        im: &mut Vec<f64>,
+        sre: &mut Vec<f64>,
+        sim: &mut Vec<f64>,
+        inverse: bool,
+    ) {
+        let n = self.n;
+        debug_assert_eq!(re.len(), n * n);
+        debug_assert_eq!(im.len(), n * n);
+        debug_assert_eq!(sre.len(), n * n);
+        debug_assert_eq!(sim.len(), n * n);
+        let mut in_primary = true;
+        for stage in &self.stages {
+            if in_primary {
+                run_stage(stage, re, im, sre, sim, n, inverse);
+            } else {
+                run_stage(stage, sre, sim, re, im, n, inverse);
+            }
+            in_primary = !in_primary;
+        }
+        if !in_primary {
+            std::mem::swap(re, sre);
+            std::mem::swap(im, sim);
+        }
+    }
+}
+
+/// Dispatches one stage from `(sr, si)` into `(dr, di)`.
+fn run_stage(
+    stage: &Stage,
+    sr: &[f64],
+    si: &[f64],
+    dr: &mut [f64],
+    di: &mut [f64],
+    n: usize,
+    inverse: bool,
+) {
+    match (stage.p, inverse) {
+        (2, false) => stage_radix2::<false>(stage, sr, si, dr, di, n),
+        (2, true) => stage_radix2::<true>(stage, sr, si, dr, di, n),
+        (4, false) => stage_radix4::<false>(stage, sr, si, dr, di, n),
+        (4, true) => stage_radix4::<true>(stage, sr, si, dr, di, n),
+        (5, false) => stage_radix5::<false>(stage, sr, si, dr, di, n),
+        (5, true) => stage_radix5::<true>(stage, sr, si, dr, di, n),
+        (p, _) => unreachable!("unsupported radix {p}"),
+    }
+}
+
+impl Stage {
+    /// Twiddle `ω_{p·l}^{j·s}` (conjugated when `INV`), `s ≥ 1`.
+    #[inline]
+    fn tw<const INV: bool>(&self, j: usize, s: usize) -> (f64, f64) {
+        let idx = j * (self.p - 1) + (s - 1);
+        let wi = self.twi[idx];
+        (self.twr[idx], if INV { -wi } else { wi })
+    }
+}
+
+fn stage_radix2<const INV: bool>(
+    st: &Stage,
+    sr: &[f64],
+    si: &[f64],
+    dr: &mut [f64],
+    di: &mut [f64],
+    n: usize,
+) {
+    let (l, m) = (st.l, st.m);
+    let mn = m * n;
+    for j in 0..l {
+        let x0r = &sr[j * mn..][..mn];
+        let x0i = &si[j * mn..][..mn];
+        let x1r = &sr[(j + l) * mn..][..mn];
+        let x1i = &si[(j + l) * mn..][..mn];
+        let (w1r, w1i) = st.tw::<INV>(j, 1);
+        let (y0r, y1r) = dr[2 * j * mn..][..2 * mn].split_at_mut(mn);
+        let (y0i, y1i) = di[2 * j * mn..][..2 * mn].split_at_mut(mn);
+        for i in 0..mn {
+            let (ar, ai) = (x0r[i], x0i[i]);
+            let (br, bi) = (x1r[i], x1i[i]);
+            y0r[i] = ar + br;
+            y0i[i] = ai + bi;
+            let (ur, ui) = (ar - br, ai - bi);
+            y1r[i] = ur * w1r - ui * w1i;
+            y1i[i] = ur * w1i + ui * w1r;
+        }
+    }
+}
+
+fn stage_radix4<const INV: bool>(
+    st: &Stage,
+    sr: &[f64],
+    si: &[f64],
+    dr: &mut [f64],
+    di: &mut [f64],
+    n: usize,
+) {
+    let (l, m) = (st.l, st.m);
+    let mn = m * n;
+    // Forward uses ω₄ = -i; the inverse conjugates it.
+    let sgn = if INV { -1.0 } else { 1.0 };
+    for j in 0..l {
+        let x0r = &sr[j * mn..][..mn];
+        let x0i = &si[j * mn..][..mn];
+        let x1r = &sr[(j + l) * mn..][..mn];
+        let x1i = &si[(j + l) * mn..][..mn];
+        let x2r = &sr[(j + 2 * l) * mn..][..mn];
+        let x2i = &si[(j + 2 * l) * mn..][..mn];
+        let x3r = &sr[(j + 3 * l) * mn..][..mn];
+        let x3i = &si[(j + 3 * l) * mn..][..mn];
+        let (w1r, w1i) = st.tw::<INV>(j, 1);
+        let (w2r, w2i) = st.tw::<INV>(j, 2);
+        let (w3r, w3i) = st.tw::<INV>(j, 3);
+        let group = &mut dr[4 * j * mn..][..4 * mn];
+        let (y0r, rest) = group.split_at_mut(mn);
+        let (y1r, rest) = rest.split_at_mut(mn);
+        let (y2r, y3r) = rest.split_at_mut(mn);
+        let group = &mut di[4 * j * mn..][..4 * mn];
+        let (y0i, rest) = group.split_at_mut(mn);
+        let (y1i, rest) = rest.split_at_mut(mn);
+        let (y2i, y3i) = rest.split_at_mut(mn);
+        for i in 0..mn {
+            let (t0r, t0i) = (x0r[i] + x2r[i], x0i[i] + x2i[i]);
+            let (t1r, t1i) = (x0r[i] - x2r[i], x0i[i] - x2i[i]);
+            let (t2r, t2i) = (x1r[i] + x3r[i], x1i[i] + x3i[i]);
+            // t3 multiplied by ∓i (forward: -i): (r, i) ↦ ±(i, -r).
+            let (t3r, t3i) = (sgn * (x1i[i] - x3i[i]), sgn * (x3r[i] - x1r[i]));
+            y0r[i] = t0r + t2r;
+            y0i[i] = t0i + t2i;
+            let (d1r, d1i) = (t1r + t3r, t1i + t3i);
+            y1r[i] = d1r * w1r - d1i * w1i;
+            y1i[i] = d1r * w1i + d1i * w1r;
+            let (d2r, d2i) = (t0r - t2r, t0i - t2i);
+            y2r[i] = d2r * w2r - d2i * w2i;
+            y2i[i] = d2r * w2i + d2i * w2r;
+            let (d3r, d3i) = (t1r - t3r, t1i - t3i);
+            y3r[i] = d3r * w3r - d3i * w3i;
+            y3i[i] = d3r * w3i + d3i * w3r;
+        }
+    }
+}
+
+fn stage_radix5<const INV: bool>(
+    st: &Stage,
+    sr: &[f64],
+    si: &[f64],
+    dr: &mut [f64],
+    di: &mut [f64],
+    n: usize,
+) {
+    let (l, m) = (st.l, st.m);
+    let mn = m * n;
+    // 5-point DFT via the conjugate-pair split: real constants
+    // cos/sin(2π/5) and cos/sin(4π/5); the `±i` recombination flips sign
+    // between forward and inverse.
+    let th = 2.0 * std::f64::consts::PI / 5.0;
+    let (c1, s1) = (th.cos(), th.sin());
+    let (c2, s2) = ((2.0 * th).cos(), (2.0 * th).sin());
+    let sgn = if INV { -1.0 } else { 1.0 };
+    for j in 0..l {
+        let x0r = &sr[j * mn..][..mn];
+        let x0i = &si[j * mn..][..mn];
+        let x1r = &sr[(j + l) * mn..][..mn];
+        let x1i = &si[(j + l) * mn..][..mn];
+        let x2r = &sr[(j + 2 * l) * mn..][..mn];
+        let x2i = &si[(j + 2 * l) * mn..][..mn];
+        let x3r = &sr[(j + 3 * l) * mn..][..mn];
+        let x3i = &si[(j + 3 * l) * mn..][..mn];
+        let x4r = &sr[(j + 4 * l) * mn..][..mn];
+        let x4i = &si[(j + 4 * l) * mn..][..mn];
+        let (w1r, w1i) = st.tw::<INV>(j, 1);
+        let (w2r, w2i) = st.tw::<INV>(j, 2);
+        let (w3r, w3i) = st.tw::<INV>(j, 3);
+        let (w4r, w4i) = st.tw::<INV>(j, 4);
+        let group = &mut dr[5 * j * mn..][..5 * mn];
+        let (y0r, rest) = group.split_at_mut(mn);
+        let (y1r, rest) = rest.split_at_mut(mn);
+        let (y2r, rest) = rest.split_at_mut(mn);
+        let (y3r, y4r) = rest.split_at_mut(mn);
+        let group = &mut di[5 * j * mn..][..5 * mn];
+        let (y0i, rest) = group.split_at_mut(mn);
+        let (y1i, rest) = rest.split_at_mut(mn);
+        let (y2i, rest) = rest.split_at_mut(mn);
+        let (y3i, y4i) = rest.split_at_mut(mn);
+        for i in 0..mn {
+            // Conjugate-pair sums/differences of the outer inputs.
+            let (t1r, t1i) = (x1r[i] + x4r[i], x1i[i] + x4i[i]);
+            let (t2r, t2i) = (x2r[i] + x3r[i], x2i[i] + x3i[i]);
+            let (t3r, t3i) = (x1r[i] - x4r[i], x1i[i] - x4i[i]);
+            let (t4r, t4i) = (x2r[i] - x3r[i], x2i[i] - x3i[i]);
+            let (ar, ai) = (x0r[i], x0i[i]);
+            y0r[i] = ar + t1r + t2r;
+            y0i[i] = ai + t1i + t2i;
+            let (m1r, m1i) = (ar + c1 * t1r + c2 * t2r, ai + c1 * t1i + c2 * t2i);
+            let (m2r, m2i) = (ar + c2 * t1r + c1 * t2r, ai + c2 * t1i + c1 * t2i);
+            let (m3r, m3i) = (s1 * t3r + s2 * t4r, s1 * t3i + s2 * t4i);
+            let (m4r, m4i) = (s2 * t3r - s1 * t4r, s2 * t3i - s1 * t4i);
+            // d1/d4 = m1 ∓ i·m3, d2/d3 = m2 ∓ i·m4 (forward signs).
+            let (d1r, d1i) = (m1r + sgn * m3i, m1i - sgn * m3r);
+            let (d4r, d4i) = (m1r - sgn * m3i, m1i + sgn * m3r);
+            let (d2r, d2i) = (m2r + sgn * m4i, m2i - sgn * m4r);
+            let (d3r, d3i) = (m2r - sgn * m4i, m2i + sgn * m4r);
+            y1r[i] = d1r * w1r - d1i * w1i;
+            y1i[i] = d1r * w1i + d1i * w1r;
+            y2r[i] = d2r * w2r - d2i * w2i;
+            y2i[i] = d2r * w2i + d2i * w2r;
+            y3r[i] = d3r * w3r - d3i * w3i;
+            y3i[i] = d3r * w3i + d3i * w3r;
+            y4r[i] = d4r * w4r - d4i * w4i;
+            y4i[i] = d4r * w4i + d4i * w4r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::naive_dft;
+    use photonn_math::planar::{deinterleave, interleave};
+
+    /// Sizes the engine supports, spanning every radix combination.
+    const SIZES: [usize; 16] = [
+        2, 4, 5, 8, 10, 16, 20, 25, 32, 40, 50, 64, 100, 125, 200, 400,
+    ];
+
+    #[test]
+    fn supports_exactly_two_five_smooth_lengths() {
+        for n in SIZES {
+            assert!(VecMixed2d::supports(n), "{n} should be supported");
+        }
+        for n in [0usize, 1, 3, 6, 7, 12, 48, 97, 127, 200 * 3] {
+            assert!(!VecMixed2d::supports(n), "{n} should not be supported");
+        }
+    }
+
+    #[test]
+    fn schedule_shapes() {
+        assert_eq!(VecMixed2d::schedule(2), vec![2]);
+        assert_eq!(VecMixed2d::schedule(4), vec![4]);
+        assert_eq!(VecMixed2d::schedule(5), vec![5]);
+        assert_eq!(VecMixed2d::schedule(8), vec![4, 2]);
+        assert_eq!(VecMixed2d::schedule(20), vec![4, 5]);
+        assert_eq!(VecMixed2d::schedule(40), vec![4, 2, 5]);
+        assert_eq!(VecMixed2d::schedule(100), vec![4, 5, 5]);
+        // The paper's native grid: 200 = 2³·5² → one radix-4, one radix-2,
+        // two radix-5 stages.
+        assert_eq!(VecMixed2d::schedule(200), vec![4, 2, 5, 5]);
+        assert_eq!(VecMixed2d::schedule(256), vec![4, 4, 4, 4]);
+        for n in SIZES {
+            assert_eq!(
+                VecMixed2d::schedule(n).iter().product::<usize>(),
+                n,
+                "schedule({n}) must multiply back to n"
+            );
+        }
+    }
+
+    /// Runs the engine's column pass on a plane whose every column is an
+    /// independent signal, and checks each column against the naive DFT.
+    fn check_column_pass(n: usize, inverse: bool) {
+        let engine = VecMixed2d::new(n);
+        // Column c carries signal x_c[r] (distinct per column).
+        let data: Vec<Complex64> = (0..n * n)
+            .map(|idx| {
+                let (r, c) = (idx / n, idx % n);
+                Complex64::new(
+                    ((r * 13 + c * 7) as f64 * 0.61).sin(),
+                    ((r * 3 + c * 11) as f64 * 0.29).cos(),
+                )
+            })
+            .collect();
+        let mut re = vec![0.0; n * n];
+        let mut im = vec![0.0; n * n];
+        deinterleave(&data, &mut re, &mut im);
+        let mut sre = vec![0.0; n * n];
+        let mut sim = vec![0.0; n * n];
+        engine.column_pass(&mut re, &mut im, &mut sre, &mut sim, inverse);
+        let mut got = vec![Complex64::ZERO; n * n];
+        interleave(&re, &im, &mut got);
+
+        for c in 0..n.min(7) {
+            let column: Vec<Complex64> = (0..n).map(|r| data[r * n + c]).collect();
+            let expected = if inverse {
+                // Unnormalized adjoint = conj ∘ forward ∘ conj.
+                let conj: Vec<Complex64> = column.iter().map(|z| z.conj()).collect();
+                naive_dft(&conj).iter().map(|z| z.conj()).collect()
+            } else {
+                naive_dft(&column)
+            };
+            for (r, e) in expected.iter().enumerate() {
+                let g = got[r * n + c];
+                assert!(
+                    (g - *e).norm() < 1e-9 * n as f64,
+                    "n={n} inverse={inverse} col {c} row {r}: {:?} vs {:?}",
+                    g,
+                    e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn column_pass_matches_naive_dft() {
+        for n in SIZES {
+            check_column_pass(n, false);
+        }
+    }
+
+    #[test]
+    fn column_pass_inverse_is_adjoint() {
+        for n in SIZES {
+            check_column_pass(n, true);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_roundtrips() {
+        for n in [8usize, 20, 40, 100, 200] {
+            let engine = VecMixed2d::new(n);
+            let orig_re: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.13).sin()).collect();
+            let orig_im: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.41).cos()).collect();
+            let mut re = orig_re.clone();
+            let mut im = orig_im.clone();
+            let mut sre = vec![0.0; n * n];
+            let mut sim = vec![0.0; n * n];
+            engine.column_pass(&mut re, &mut im, &mut sre, &mut sim, false);
+            engine.column_pass(&mut re, &mut im, &mut sre, &mut sim, true);
+            let scale = 1.0 / n as f64;
+            for i in 0..n * n {
+                assert!(
+                    (re[i] * scale - orig_re[i]).abs() < 1e-9
+                        && (im[i] * scale - orig_im[i]).abs() < 1e-9,
+                    "n={n} roundtrip failed at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported vectorized length")]
+    fn unsupported_length_panics() {
+        let _ = VecMixed2d::new(6);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`Grid`] / [`CGrid`] — dense row-major real/complex 2-D arrays;
 //! * [`BatchGrid`] / [`BatchCGrid`] — contiguous `[batch, n, n]` stacks of
 //!   the above, the storage of the batched propagation engine;
+//! * [`planar`] — split re/im-plane kernels under the vectorized FFT
+//!   engines (deinterleave, transpose, fused Hadamard·scale, intensity);
 //! * [`stats`] — means, variances, percentiles (sparsification thresholds);
 //! * [`interp`] — bilinear resize (28×28 dataset images → optical grid);
 //! * [`block`] — block partitioning shared by sparsification & smoothness;
@@ -37,6 +39,7 @@ mod cgrid;
 mod complex;
 mod grid;
 pub mod interp;
+pub mod planar;
 mod rng;
 pub mod stats;
 

@@ -1,0 +1,213 @@
+//! Split-plane ("planar") kernels: complex fields as separate re/im `f64`
+//! planes.
+//!
+//! The vectorized FFT engines in `photonn-fft` run their butterflies over
+//! split real/imaginary planes instead of interleaved [`Complex64`]
+//! buffers: every complex operation becomes shuffle-free elementwise `f64`
+//! arithmetic over contiguous lanes, which the compiler autovectorizes to
+//! full register width. This module collects the layout primitives those
+//! engines (and any future planar kernel) share:
+//!
+//! * [`deinterleave`] / [`interleave`] — convert between interleaved
+//!   [`Complex64`] storage and a split plane pair;
+//! * [`transpose_plane`] — square plane transpose (the row pass of a 2-D
+//!   transform runs as a column pass over transposed planes);
+//! * [`hadamard_scale`] — fused elementwise complex product with a kernel
+//!   plane pair plus a real scale (the frequency-domain transfer multiply
+//!   with the `1/N` inverse-FFT normalization folded in);
+//! * [`intensity`] — detector intensity `|z|² = re² + im²` straight from a
+//!   plane pair.
+//!
+//! All functions are plain slices in, plain slices out — no allocation, so
+//! per-worker scratch planes can be reused across samples and hops.
+
+use crate::Complex64;
+
+/// Splits an interleaved complex buffer into separate re/im planes.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::{planar, Complex64};
+///
+/// let z = [Complex64::new(1.0, 2.0), Complex64::new(3.0, 4.0)];
+/// let (mut re, mut im) = ([0.0; 2], [0.0; 2]);
+/// planar::deinterleave(&z, &mut re, &mut im);
+/// assert_eq!(re, [1.0, 3.0]);
+/// assert_eq!(im, [2.0, 4.0]);
+/// ```
+pub fn deinterleave(data: &[Complex64], re: &mut [f64], im: &mut [f64]) {
+    for ((z, r), i) in data.iter().zip(re.iter_mut()).zip(im.iter_mut()) {
+        *r = z.re;
+        *i = z.im;
+    }
+}
+
+/// Recombines split re/im planes into an interleaved complex buffer — the
+/// inverse of [`deinterleave`].
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::{planar, Complex64};
+///
+/// let mut z = [Complex64::ZERO; 2];
+/// planar::interleave(&[1.0, 3.0], &[2.0, 4.0], &mut z);
+/// assert_eq!(z[1], Complex64::new(3.0, 4.0));
+/// ```
+pub fn interleave(re: &[f64], im: &[f64], data: &mut [Complex64]) {
+    for ((z, &r), &i) in data.iter_mut().zip(re.iter()).zip(im.iter()) {
+        *z = Complex64::new(r, i);
+    }
+}
+
+/// Transposes one square row-major `n × n` plane into `dst`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if either slice is not `n²` long.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::planar;
+///
+/// let src = [1.0, 2.0, 3.0, 4.0]; // [[1, 2], [3, 4]]
+/// let mut dst = [0.0; 4];
+/// planar::transpose_plane(&src, 2, &mut dst);
+/// assert_eq!(dst, [1.0, 3.0, 2.0, 4.0]);
+/// ```
+pub fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
+    debug_assert_eq!(src.len(), n * n);
+    debug_assert_eq!(dst.len(), n * n);
+    for r in 0..n {
+        let row = &src[r * n..(r + 1) * n];
+        for (c, &v) in row.iter().enumerate() {
+            dst[c * n + r] = v;
+        }
+    }
+}
+
+/// Fused planar Hadamard product with a real scale:
+/// `(re + i·im) ← (re + i·im) · (kr + i·ki) · scale`, elementwise.
+///
+/// This is the frequency-domain transfer-function multiply of a
+/// propagation hop with the inverse transform's `1/N` normalization folded
+/// into the same pass (linearity lets the scale commute with the FFT).
+///
+/// # Panics
+///
+/// Panics (in debug builds) on any length mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::planar;
+///
+/// // (1 + 2i) · (0 + 1i) · 2 = (-4 + 2i)
+/// let (mut re, mut im) = ([1.0], [2.0]);
+/// planar::hadamard_scale(&mut re, &mut im, &[0.0], &[1.0], 2.0);
+/// assert_eq!((re[0], im[0]), (-4.0, 2.0));
+/// ```
+pub fn hadamard_scale(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], scale: f64) {
+    debug_assert_eq!(re.len(), im.len());
+    debug_assert_eq!(re.len(), kr.len());
+    debug_assert_eq!(re.len(), ki.len());
+    for i in 0..re.len() {
+        let (zr, zi) = (re[i], im[i]);
+        re[i] = (zr * kr[i] - zi * ki[i]) * scale;
+        im[i] = (zr * ki[i] + zi * kr[i]) * scale;
+    }
+}
+
+/// Detector intensity `|z|² = re² + im²` straight from a plane pair.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on any length mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::planar;
+///
+/// let mut out = [0.0];
+/// planar::intensity(&[3.0], &[4.0], &mut out);
+/// assert_eq!(out, [25.0]);
+/// ```
+pub fn intensity(re: &[f64], im: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(re.len(), im.len());
+    debug_assert_eq!(re.len(), out.len());
+    for ((o, &r), &i) in out.iter_mut().zip(re.iter()).zip(im.iter()) {
+        *o = r * r + i * i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CGrid;
+
+    #[test]
+    fn interleave_roundtrip() {
+        let z: Vec<Complex64> = (0..12)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        deinterleave(&z, &mut re, &mut im);
+        let mut back = vec![Complex64::ZERO; 12];
+        interleave(&re, &im, &mut back);
+        assert_eq!(z, back);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let n = 5;
+        let src: Vec<f64> = (0..n * n).map(|i| i as f64 * 1.3).collect();
+        let mut t = vec![0.0; n * n];
+        let mut back = vec![0.0; n * n];
+        transpose_plane(&src, n, &mut t);
+        transpose_plane(&t, n, &mut back);
+        assert_eq!(src, back);
+        // Spot-check one off-diagonal element.
+        assert_eq!(t[n + 3], src[3 * n + 1]);
+    }
+
+    #[test]
+    fn hadamard_scale_matches_cgrid_hadamard() {
+        let n = 4;
+        let a = CGrid::from_fn(n, n, |r, c| Complex64::new(r as f64 + 0.5, c as f64 - 1.0));
+        let k = CGrid::from_fn(n, n, |r, c| Complex64::cis((r * n + c) as f64 * 0.7));
+        let scale = 0.37;
+        let expected = a.hadamard(&k).map(|z| z.scale(scale));
+
+        let mut re = vec![0.0; n * n];
+        let mut im = vec![0.0; n * n];
+        deinterleave(a.as_slice(), &mut re, &mut im);
+        let mut kr = vec![0.0; n * n];
+        let mut ki = vec![0.0; n * n];
+        deinterleave(k.as_slice(), &mut kr, &mut ki);
+        hadamard_scale(&mut re, &mut im, &kr, &ki, scale);
+        let mut got = vec![Complex64::ZERO; n * n];
+        interleave(&re, &im, &mut got);
+        for (g, e) in got.iter().zip(expected.as_slice()) {
+            assert!((*g - *e).norm() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn intensity_matches_norm_sqr() {
+        let z: Vec<Complex64> = (0..9)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let mut re = vec![0.0; 9];
+        let mut im = vec![0.0; 9];
+        deinterleave(&z, &mut re, &mut im);
+        let mut out = vec![0.0; 9];
+        intensity(&re, &im, &mut out);
+        for (o, z) in out.iter().zip(&z) {
+            assert!((o - z.norm_sqr()).abs() < 1e-15);
+        }
+    }
+}
