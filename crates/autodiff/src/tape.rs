@@ -11,7 +11,7 @@
 
 use photonn_fft::Fft2;
 use photonn_math::block::BlockPartition;
-use photonn_math::{BatchCGrid, BatchGrid, CGrid, Complex64, Grid};
+use photonn_math::{planar, BatchCGrid, BatchGrid, CGrid, Complex64, Grid};
 use std::sync::Arc;
 
 use crate::penalty::{
@@ -579,9 +579,13 @@ impl Tape {
         );
         let x = self.batch_complex(field);
         let inner = x.rows();
-        let mut work = x.clone();
-        work.hadamard_bcast_inplace(self.complex(mask));
-        let out = plan.apply_transfer_batch_owned(work, kernel, inner, threads);
+        let out = plan.modulate_transfer_batch_owned(
+            x.clone(),
+            self.complex(mask),
+            kernel,
+            inner,
+            threads,
+        );
         BCVar(self.push(
             Op::ModulatePropagateBatch {
                 plan: plan.clone(),
@@ -594,7 +598,8 @@ impl Tape {
     }
 
     /// Fused detector readout: per-region sums of `|z_b|²` computed
-    /// straight from the complex field — one node replacing
+    /// straight from the field's re/im planes (via
+    /// [`photonn_math::planar::intensity`]) — one node replacing
     /// [`Tape::intensity_batch`] + [`Tape::region_sums_batch`], never
     /// materializing the full intensity batch.
     ///
@@ -604,21 +609,23 @@ impl Tape {
     pub fn region_intensity_batch(&mut self, field: BCVar, regions: &Arc<Vec<Region>>) -> RVar {
         let z = self.batch_complex(field);
         let (batch, rows, cols) = z.shape();
+        let mut max_w = 0;
         for reg in regions.iter() {
             assert!(
                 reg.r0 + reg.h <= rows && reg.c0 + reg.w <= cols,
                 "region out of bounds"
             );
+            max_w = max_w.max(reg.w);
         }
         let mut sums = Grid::zeros(batch, regions.len());
-        for (b, sample) in z.samples().enumerate() {
+        let mut row_i = vec![0.0; max_w];
+        for (b, (re, im)) in z.samples().enumerate() {
             for (j, reg) in regions.iter().enumerate() {
                 let mut acc = 0.0;
                 for r in reg.r0..reg.r0 + reg.h {
-                    let row = &sample[r * cols..(r + 1) * cols];
-                    for zc in &row[reg.c0..reg.c0 + reg.w] {
-                        acc += zc.norm_sqr();
-                    }
+                    let o = r * cols + reg.c0;
+                    planar::intensity(&re[o..o + reg.w], &im[o..o + reg.w], &mut row_i[..reg.w]);
+                    acc += row_i[..reg.w].iter().sum::<f64>();
                 }
                 sums[(b, j)] = acc;
             }
@@ -1042,7 +1049,12 @@ impl Tape {
                 }
             }
             (Some(Value::BatchComplex(g)), Value::BatchComplex(d)) => {
-                for (a, b) in g.as_mut_slice().iter_mut().zip(d.as_slice()) {
+                let (gre, gim) = g.planes_mut();
+                let (dre, dim) = d.planes();
+                for (a, b) in gre.iter_mut().zip(dre) {
+                    *a += *b;
+                }
+                for (a, b) in gim.iter_mut().zip(dim) {
                     *a += *b;
                 }
             }
@@ -1256,36 +1268,24 @@ impl Tape {
             }
             Op::MulConstCBatch(k) => {
                 let mut gx = gy.as_batch_complex().clone();
-                let kk = k.as_slice();
-                for sample in gx.samples_mut() {
-                    for (a, &b) in sample.iter_mut().zip(kk) {
-                        *a *= b.conj();
-                    }
-                }
+                gx.hadamard_bcast_conj_inplace(k);
                 self.accumulate(grads, node.inputs[0], Value::BatchComplex(gx));
             }
             Op::MulBroadcastC => {
                 let field = self.nodes[node.inputs[0]].value.as_batch_complex();
                 let mask = self.nodes[node.inputs[1]].value.as_complex();
                 let g = gy.as_batch_complex();
+                // Mask gradient: Σ_b g_b ⊙ x̄_b — the whole batch's mask
+                // gradient in one planar accumulation.
+                self.accumulate(
+                    grads,
+                    node.inputs[1],
+                    Value::Complex(broadcast_mask_grad(g, field, mask.shape())),
+                );
                 // Field gradient: g_b ⊙ w̄ per sample.
                 let mut gfield = g.clone();
-                let mk = mask.as_slice();
-                for sample in gfield.samples_mut() {
-                    for (a, &w) in sample.iter_mut().zip(mk) {
-                        *a *= w.conj();
-                    }
-                }
+                gfield.hadamard_bcast_conj_inplace(mask);
                 self.accumulate(grads, node.inputs[0], Value::BatchComplex(gfield));
-                // Mask gradient: Σ_b g_b ⊙ x̄_b — the whole batch's mask
-                // gradient in one accumulation.
-                let mut gmask = CGrid::zeros(mask.rows(), mask.cols());
-                for (gs, xs) in g.samples().zip(field.samples()) {
-                    for ((m, &gi), &xi) in gmask.as_mut_slice().iter_mut().zip(gs).zip(xs) {
-                        *m += gi * xi.conj();
-                    }
-                }
-                self.accumulate(grads, node.inputs[1], Value::Complex(gmask));
             }
             Op::PropagateBatch {
                 plan,
@@ -1312,38 +1312,33 @@ impl Tape {
                 let mut h =
                     plan.apply_transfer_batch_owned(g.clone(), kernel_conj, g.rows(), *threads);
                 if self.nodes[node.inputs[1]].requires_grad {
-                    let mut gmask = CGrid::zeros(mask.rows(), mask.cols());
-                    for (hs, xs) in h.samples().zip(x.samples()) {
-                        for ((m, &hi), &xi) in gmask.as_mut_slice().iter_mut().zip(hs).zip(xs) {
-                            *m += hi * xi.conj();
-                        }
-                    }
-                    self.accumulate(grads, node.inputs[1], Value::Complex(gmask));
+                    self.accumulate(
+                        grads,
+                        node.inputs[1],
+                        Value::Complex(broadcast_mask_grad(&h, x, mask.shape())),
+                    );
                 }
                 if self.nodes[node.inputs[0]].requires_grad {
-                    let mk = mask.as_slice();
-                    for sample in h.samples_mut() {
-                        for (a, &w) in sample.iter_mut().zip(mk) {
-                            *a *= w.conj();
-                        }
-                    }
+                    h.hadamard_bcast_conj_inplace(mask);
                     self.accumulate(grads, node.inputs[0], Value::BatchComplex(h));
                 }
             }
             Op::RegionIntensityBatch(regions) => {
-                // gz_b = 2·gv[b,j]·z_b inside region j, zero elsewhere.
+                // gz_b = 2·gv[b,j]·z_b inside region j, zero elsewhere —
+                // planar: each plane scales independently by the real 2·gv.
                 let z = self.nodes[node.inputs[0]].value.as_batch_complex();
                 let gv = gy.as_real();
                 let (batch, rows, cols) = z.shape();
                 let mut gz = BatchCGrid::zeros(batch, rows, cols);
                 for b in 0..batch {
-                    let src = z.sample(b);
-                    let dst = gz.sample_mut(b);
+                    let (sre, sim) = z.sample_planes(b);
+                    let (dre, dim) = gz.sample_planes_mut(b);
                     for (j, reg) in regions.iter().enumerate() {
                         let g2 = 2.0 * gv[(b, j)];
                         for r in reg.r0..reg.r0 + reg.h {
                             for c in reg.c0..reg.c0 + reg.w {
-                                dst[r * cols + c] += src[r * cols + c].scale(g2);
+                                dre[r * cols + c] += sre[r * cols + c] * g2;
+                                dim[r * cols + c] += sim[r * cols + c] * g2;
                             }
                         }
                     }
@@ -1361,12 +1356,15 @@ impl Tape {
                 self.accumulate(grads, node.inputs[0], Value::BatchComplex(gx));
             }
             Op::IntensityBatch => {
-                // gz_b = 2·gI_b ⊙ z_b.
+                // gz_b = 2·gI_b ⊙ z_b (real factor — planes scale
+                // independently).
                 let z = self.nodes[node.inputs[0]].value.as_batch_complex();
                 let gi = gy.as_batch_real();
                 let mut gz = z.clone();
-                for (a, &g) in gz.as_mut_slice().iter_mut().zip(gi.as_slice()) {
-                    *a = a.scale(2.0 * g);
+                let (re, im) = gz.planes_mut();
+                for ((r, i), &g) in re.iter_mut().zip(im.iter_mut()).zip(gi.as_slice()) {
+                    *r *= 2.0 * g;
+                    *i *= 2.0 * g;
                 }
                 self.accumulate(grads, node.inputs[0], Value::BatchComplex(gz));
             }
@@ -1438,4 +1436,21 @@ impl Tape {
             }
         }
     }
+}
+
+/// The broadcast-modulation mask gradient `Σ_b g_b ⊙ x̄_b`, accumulated
+/// over the batches' re/im planes and interleaved into a [`CGrid`] only at
+/// the very end (masks are per-layer interleaved parameters — one of the
+/// surviving conversion edges of the planar engine).
+fn broadcast_mask_grad(g: &BatchCGrid, x: &BatchCGrid, shape: (usize, usize)) -> CGrid {
+    debug_assert_eq!(g.shape(), x.shape(), "batch shape mismatch");
+    let n = g.sample_len();
+    let mut mre = vec![0.0; n];
+    let mut mim = vec![0.0; n];
+    for ((gre, gim), (xre, xim)) in g.samples().zip(x.samples()) {
+        planar::acc_mul_conj(gre, gim, xre, xim, &mut mre, &mut mim);
+    }
+    let mut out = CGrid::zeros(shape.0, shape.1);
+    planar::interleave(&mre, &mim, out.as_mut_slice());
+    out
 }

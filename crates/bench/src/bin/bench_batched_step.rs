@@ -10,15 +10,20 @@
 //! * **batched, scalar FFT** — one tape per mini-batch, but with
 //!   `PHOTONN_FFT_NO_VEC` set so every sample runs the scalar per-sample
 //!   1-D engines (the fallback path non-`2^a·5^b` grids still take);
-//! * **batched, vectorized** — the planar radix-4/2/5 engine (covers all
+//! * **batched, vectorized** — the planar radix-8/4/2/5 engine (covers all
 //!   powers of two and the paper's native 200 = 2³·5² grid).
 //!
-//! `--grid` may be repeated to emit one entry per grid:
+//! `--grid` may be repeated to emit one entry per grid, and `--paths`
+//! selects which gradient paths to time (comma list of
+//! `oracle,scalar,batched`; default all — the CI regression gate passes
+//! `--paths batched` since only `batched_steps_per_sec` is compared, and
+//! the bench then reports the delta against the previously committed
+//! numbers as `speedup_vs_prior`):
 //!
 //! ```sh
 //! cargo run --release -p photonn-bench --bin bench_batched_step
 //! cargo run --release -p photonn-bench --bin bench_batched_step -- \
-//!     --grid 32 --grid 200 --batch 50 --threads 1
+//!     --grid 32 --grid 200 --batch 50 --threads 1 --paths batched
 //! ```
 
 use photonn_autodiff::Adam;
@@ -26,6 +31,7 @@ use photonn_datasets::{Dataset, Family};
 use photonn_donn::train::{batched_gradients, per_sample_batch_gradients};
 use photonn_donn::{Donn, DonnConfig};
 use photonn_math::{Grid, Rng};
+use photonn_serve::Json;
 use std::time::Instant;
 
 struct Options {
@@ -34,6 +40,45 @@ struct Options {
     steps: usize,
     threads: usize,
     out: String,
+    /// Which gradient paths to time (`oracle`, `scalar`, `batched`).
+    /// The CI regression gate only compares `batched_steps_per_sec`, so
+    /// `--paths batched` keeps that job from paying for the slow
+    /// baselines; untimed paths write 0 and omit speedup fields.
+    paths: Paths,
+}
+
+#[derive(Clone, Copy)]
+struct Paths {
+    oracle: bool,
+    scalar: bool,
+    batched: bool,
+}
+
+impl Paths {
+    fn all() -> Self {
+        Paths {
+            oracle: true,
+            scalar: true,
+            batched: true,
+        }
+    }
+
+    fn parse(spec: &str) -> Option<Self> {
+        let mut p = Paths {
+            oracle: false,
+            scalar: false,
+            batched: false,
+        };
+        for part in spec.split(',') {
+            match part.trim() {
+                "oracle" => p.oracle = true,
+                "scalar" => p.scalar = true,
+                "batched" => p.batched = true,
+                _ => return None,
+            }
+        }
+        Some(p)
+    }
 }
 
 fn parse_options() -> Options {
@@ -43,6 +88,7 @@ fn parse_options() -> Options {
         steps: 12,
         threads: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
         out: "BENCH_batched_step.json".to_string(),
+        paths: Paths::all(),
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -53,6 +99,20 @@ fn parse_options() -> Options {
                 if let Some(g) = value.and_then(|v| v.parse().ok()) {
                     opts.grids.push(g);
                 }
+            }
+            "--paths" => {
+                // A silently mis-parsed path list would time (or skip) the
+                // wrong engines and mislabel the perf trajectory — abort.
+                opts.paths = match value.as_deref().and_then(Paths::parse) {
+                    Some(p) => p,
+                    None => {
+                        let got = value.as_deref().unwrap_or("<missing>");
+                        eprintln!(
+                            "bench_batched_step: --paths takes a comma list of oracle,scalar,batched (got '{got}')"
+                        );
+                        std::process::exit(2);
+                    }
+                };
             }
             "--batch" => opts.batch = value.and_then(|v| v.parse().ok()).unwrap_or(opts.batch),
             "--steps" => opts.steps = value.and_then(|v| v.parse().ok()).unwrap_or(opts.steps),
@@ -121,40 +181,51 @@ fn bench_grid(grid: usize, opts: &Options) -> Entry {
     std::env::remove_var("PHOTONN_FFT_NO_VEC");
     let mut donn_vec = fresh_donn();
 
-    let per_sample = run_steps(
-        &mut donn_scalar.clone(),
-        &data,
-        &batch,
-        opts.threads,
-        opts.steps,
-        per_sample_batch_gradients,
-    );
-    println!("per-sample oracle  : {per_sample:8.3} steps/sec");
+    let mut per_sample = 0.0;
+    if opts.paths.oracle {
+        per_sample = run_steps(
+            &mut donn_scalar.clone(),
+            &data,
+            &batch,
+            opts.threads,
+            opts.steps,
+            per_sample_batch_gradients,
+        );
+        println!("per-sample oracle  : {per_sample:8.3} steps/sec");
+    }
 
-    let batched_scalar = run_steps(
-        &mut donn_scalar,
-        &data,
-        &batch,
-        opts.threads,
-        opts.steps,
-        batched_gradients,
-    );
-    println!("batched scalar fft : {batched_scalar:8.3} steps/sec");
+    let mut batched_scalar = 0.0;
+    if opts.paths.scalar {
+        batched_scalar = run_steps(
+            &mut donn_scalar,
+            &data,
+            &batch,
+            opts.threads,
+            opts.steps,
+            batched_gradients,
+        );
+        println!("batched scalar fft : {batched_scalar:8.3} steps/sec");
+    }
 
-    let batched = run_steps(
-        &mut donn_vec,
-        &data,
-        &batch,
-        opts.threads,
-        opts.steps,
-        batched_gradients,
-    );
-    println!("batched vectorized : {batched:8.3} steps/sec");
-    println!(
-        "speedup            : {:8.2}x vs oracle, {:8.2}x vs scalar fft",
-        batched / per_sample,
-        batched / batched_scalar
-    );
+    let mut batched = 0.0;
+    if opts.paths.batched {
+        batched = run_steps(
+            &mut donn_vec,
+            &data,
+            &batch,
+            opts.threads,
+            opts.steps,
+            batched_gradients,
+        );
+        println!("batched vectorized : {batched:8.3} steps/sec");
+    }
+    if opts.paths.oracle && opts.paths.scalar && opts.paths.batched {
+        println!(
+            "speedup            : {:8.2}x vs oracle, {:8.2}x vs scalar fft",
+            batched / per_sample,
+            batched / batched_scalar
+        );
+    }
 
     Entry {
         grid,
@@ -164,22 +235,93 @@ fn bench_grid(grid: usize, opts: &Options) -> Entry {
     }
 }
 
+/// `batched_steps_per_sec` per grid from the previously committed output
+/// file, so a refreshed run can report its delta against the prior PR's
+/// engine in the same document (the planar-vs-interleaved trajectory).
+fn prior_throughput(path: &str) -> Vec<(usize, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return Vec::new();
+    };
+    doc.get("entries")
+        .and_then(Json::as_array)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| {
+                    Some((
+                        e.get("grid").and_then(Json::as_usize)?,
+                        e.get("batched_steps_per_sec").and_then(Json::as_f64)?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 fn main() {
     let opts = parse_options();
+    // Snapshot the committed numbers before this run overwrites them.
+    let prior = prior_throughput(&opts.out);
     let entries: Vec<Entry> = opts.grids.iter().map(|&g| bench_grid(g, &opts)).collect();
 
     let body: Vec<String> = entries
         .iter()
         .map(|e| {
-            format!(
-                "    {{\n      \"grid\": {},\n      \"per_sample_steps_per_sec\": {:.4},\n      \"batched_scalar_fft_steps_per_sec\": {:.4},\n      \"batched_steps_per_sec\": {:.4},\n      \"speedup_vs_oracle\": {:.4},\n      \"speedup_vs_scalar_fft\": {:.4}\n    }}",
-                e.grid,
-                e.per_sample,
-                e.batched_scalar,
-                e.batched,
-                e.batched / e.per_sample,
-                e.batched / e.batched_scalar
-            )
+            let mut fields = format!("    {{\n      \"grid\": {}", e.grid);
+            if opts.paths.oracle {
+                fields.push_str(&format!(
+                    ",\n      \"per_sample_steps_per_sec\": {:.4}",
+                    e.per_sample
+                ));
+            }
+            if opts.paths.scalar {
+                fields.push_str(&format!(
+                    ",\n      \"batched_scalar_fft_steps_per_sec\": {:.4}",
+                    e.batched_scalar
+                ));
+            }
+            if opts.paths.batched {
+                fields.push_str(&format!(
+                    ",\n      \"batched_steps_per_sec\": {:.4}",
+                    e.batched
+                ));
+            }
+            if opts.paths.oracle && opts.paths.batched {
+                fields.push_str(&format!(
+                    ",\n      \"speedup_vs_oracle\": {:.4}",
+                    e.batched / e.per_sample
+                ));
+            }
+            if opts.paths.scalar && opts.paths.batched {
+                fields.push_str(&format!(
+                    ",\n      \"speedup_vs_scalar_fft\": {:.4}",
+                    e.batched / e.batched_scalar
+                ));
+            }
+            let prior_entry = opts
+                .paths
+                .batched
+                .then(|| prior.iter().find(|(g, _)| *g == e.grid))
+                .flatten();
+            if let Some(&(_, prev)) = prior_entry {
+                println!(
+                    "grid {}: {:.3} steps/sec vs {:.3} prior ({:.2}x)",
+                    e.grid,
+                    e.batched,
+                    prev,
+                    e.batched / prev
+                );
+                fields.push_str(&format!(
+                    ",\n      \"prior_batched_steps_per_sec\": {:.4},\n      \"speedup_vs_prior\": {:.4}",
+                    prev,
+                    e.batched / prev
+                ));
+            }
+            fields.push_str("\n    }");
+            fields
         })
         .collect();
     let json = format!(

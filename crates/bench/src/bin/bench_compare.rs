@@ -1,0 +1,97 @@
+//! CI perf-regression gate: compares fresh `BENCH_*.json` runs against the
+//! committed baseline and exits non-zero on a >tolerance throughput drop.
+//!
+//! ```sh
+//! bench_compare --baseline BENCH_batched_step.json \
+//!     --fresh fresh1.json --fresh fresh2.json --fresh fresh3.json \
+//!     [--tolerance 0.25]
+//! ```
+//!
+//! Prints a markdown comparison table to stdout (the CI job tees it into
+//! `$GITHUB_STEP_SUMMARY`). Best-of-N across the `--fresh` files absorbs
+//! runner noise; only `(grid, metric)` pairs measured by both the baseline
+//! and a fresh run gate, so the job can pin a single fast grid. See
+//! `photonn_bench::regression` for the exact rules.
+
+use photonn_bench::regression::{compare, markdown_report};
+use photonn_serve::Json;
+
+fn usage_error(message: String) -> ! {
+    eprintln!("bench_compare: {message}");
+    eprintln!(
+        "usage: bench_compare --baseline FILE --fresh FILE [--fresh FILE ...] [--tolerance T]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_error(format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| usage_error(format!("cannot parse {path}: {e}")))
+}
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut fresh: Vec<String> = Vec::new();
+    let mut tolerance = 0.25f64;
+
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        match flag {
+            "--baseline" => {
+                baseline = Some(value.unwrap_or_else(|| {
+                    usage_error("--baseline requires a value".into());
+                }));
+            }
+            "--fresh" => {
+                fresh.push(value.unwrap_or_else(|| usage_error("--fresh requires a value".into())));
+            }
+            "--tolerance" => {
+                tolerance = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage_error("--tolerance requires a number".into()));
+                if !(0.0..1.0).contains(&tolerance) {
+                    usage_error(format!("tolerance {tolerance} must be in [0, 1)"));
+                }
+            }
+            other => usage_error(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    let baseline_path = baseline.unwrap_or_else(|| usage_error("--baseline is required".into()));
+    if fresh.is_empty() {
+        usage_error("at least one --fresh file is required".into());
+    }
+
+    let baseline_doc = load(&baseline_path);
+    let fresh_docs: Vec<Json> = fresh.iter().map(|p| load(p)).collect();
+
+    let report = compare(&baseline_doc, &fresh_docs, tolerance)
+        .unwrap_or_else(|e| usage_error(format!("comparison failed: {e}")));
+    println!("{}", markdown_report(&report, fresh_docs.len(), tolerance));
+
+    let regressions: Vec<_> = report.iter().filter(|c| !c.pass).collect();
+    if regressions.is_empty() {
+        eprintln!(
+            "bench_compare: {} metric(s) within tolerance of {}",
+            report.len(),
+            baseline_path
+        );
+    } else {
+        for c in &regressions {
+            eprintln!(
+                "bench_compare: REGRESSION grid {} {}: {:.3} -> {:.3} ({:.2}x < {:.2}x floor)",
+                c.grid,
+                c.metric,
+                c.baseline,
+                c.best,
+                c.ratio,
+                1.0 - tolerance
+            );
+        }
+        std::process::exit(1);
+    }
+}

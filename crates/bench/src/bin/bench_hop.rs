@@ -1,0 +1,59 @@
+//! Micro-benchmark of the batched propagation primitives: one fused
+//! transfer hop, a forward transform, and a full batched gradient step,
+//! per grid. Used to localize regressions the end-to-end
+//! `bench_batched_step` numbers can't attribute.
+
+use photonn_datasets::{Dataset, Family};
+use photonn_donn::train::batched_gradients;
+use photonn_donn::{Donn, DonnConfig};
+use photonn_fft::Fft2;
+use photonn_math::{BatchCGrid, CGrid, Complex64, Rng};
+use std::time::Instant;
+
+fn main() {
+    for n in [32usize, 200] {
+        let plan = Fft2::new(n, n);
+        let kernel = CGrid::from_fn(n, n, |r, c| {
+            Complex64::cis((r as f64 * 0.3 - c as f64 * 0.5).sin())
+        });
+        let batch = BatchCGrid::from_fn(50, n, n, |b, r, c| {
+            Complex64::new((b + r) as f64 * 0.01, c as f64 * 0.01)
+        });
+        let iters = if n == 32 { 400 } else { 12 };
+
+        let _ = plan.apply_transfer_batch(&batch, &kernel, n, 1);
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(plan.apply_transfer_batch(&batch, &kernel, n, 1));
+        }
+        println!(
+            "hop      n={n}: {:8.3} ms",
+            t.elapsed().as_secs_f64() * 1000.0 / iters as f64
+        );
+
+        let mut work = batch.clone();
+        plan.forward_batch(&mut work, 1);
+        let t = Instant::now();
+        for _ in 0..iters {
+            plan.forward_batch(&mut work, 1);
+        }
+        println!(
+            "fwd      n={n}: {:8.3} ms",
+            t.elapsed().as_secs_f64() * 1000.0 / iters as f64
+        );
+
+        let data = Dataset::synthetic(Family::Mnist, 50, 42).resized(n);
+        let idx: Vec<usize> = (0..50).collect();
+        let donn = Donn::random(DonnConfig::scaled(n), &mut Rng::seed_from(42));
+        let step_iters = if n == 32 { 20 } else { 2 };
+        let _ = batched_gradients(&donn, &data, &idx, None, 1);
+        let t = Instant::now();
+        for _ in 0..step_iters {
+            std::hint::black_box(batched_gradients(&donn, &data, &idx, None, 1));
+        }
+        println!(
+            "step     n={n}: {:8.3} ms",
+            t.elapsed().as_secs_f64() * 1000.0 / step_iters as f64
+        );
+    }
+}

@@ -24,7 +24,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 struct Options {
-    grid: usize,
+    grids: Vec<usize>,
     clients: usize,
     requests: usize,
     threads: usize,
@@ -36,7 +36,7 @@ struct Options {
 fn usage_error(message: String) -> ! {
     eprintln!("bench_serving: {message}");
     eprintln!(
-        "usage: bench_serving [--grid N] [--clients C] [--requests R] [--threads T] [--out FILE]"
+        "usage: bench_serving [--grid N]... [--clients C] [--requests R] [--threads T] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -50,7 +50,7 @@ fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 
 fn parse_options() -> Options {
     let mut opts = Options {
-        grid: 64,
+        grids: Vec::new(),
         clients: 8,
         requests: 30,
         threads: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
@@ -62,7 +62,9 @@ fn parse_options() -> Options {
         let flag = args[i].as_str();
         let value = args.get(i + 1).cloned();
         match flag {
-            "--grid" => opts.grid = parsed(flag, value),
+            // Repeatable, like bench_batched_step: one JSON entry per
+            // grid, so the CI regression job can pin a single fast one.
+            "--grid" => opts.grids.push(parsed(flag, value)),
             "--clients" => opts.clients = parsed(flag, value),
             "--requests" => opts.requests = parsed(flag, value),
             "--threads" => opts.threads = parsed(flag, value),
@@ -72,6 +74,9 @@ fn parse_options() -> Options {
             other => usage_error(format!("unknown flag '{other}'")),
         }
         i += 2;
+    }
+    if opts.grids.is_empty() {
+        opts.grids.push(64);
     }
     opts
 }
@@ -97,6 +102,7 @@ fn run_policy(
     name: &'static str,
     policy: BatchPolicy,
     donn: &Donn,
+    grid: usize,
     opts: &Options,
 ) -> PolicyResult {
     let mut registry = ModelRegistry::new();
@@ -109,7 +115,7 @@ fn run_policy(
     let addr = server.addr();
 
     // Distinct images per client keep payload encoding honest.
-    let data = Dataset::synthetic(Family::Mnist, opts.clients * 4, 17).resized(opts.grid);
+    let data = Dataset::synthetic(Family::Mnist, opts.clients * 4, 17).resized(grid);
     let bodies: Vec<String> = (0..data.len())
         .map(|i| {
             Json::object(vec![(
@@ -170,15 +176,16 @@ fn run_policy(
     }
 }
 
-fn main() {
-    let opts = parse_options();
+/// Benchmarks the three policies at one grid size, returning the JSON
+/// entry for the document's `entries[]`.
+fn bench_grid(grid: usize, opts: &Options) -> Json {
     println!(
         "== bench_serving :: grid {0}x{0} | {1} clients x {2} requests | {3} FFT threads ==",
-        opts.grid, opts.clients, opts.requests, opts.threads
+        grid, opts.clients, opts.requests, opts.threads
     );
 
     let mut rng = Rng::seed_from(42);
-    let donn = Donn::random(DonnConfig::scaled(opts.grid), &mut rng);
+    let donn = Donn::random(DonnConfig::scaled(grid), &mut rng);
 
     let baseline = BatchPolicy {
         max_batch: 1,
@@ -210,7 +217,7 @@ fn main() {
         ("dynamic", dynamic),
         ("dynamic_wait2ms", dynamic_wait),
     ] {
-        let result = run_policy(name, policy, &donn, &opts);
+        let result = run_policy(name, policy, &donn, grid, opts);
         println!(
             "{:>8}: {:8.1} req/s | p50 {:6} us | p99 {:6} us | max batch {}",
             result.name,
@@ -224,9 +231,7 @@ fn main() {
     let speedup = results[1].req_per_sec / results[0].req_per_sec;
     println!("dynamic-batching speedup: {speedup:.2}x on req/s");
 
-    // Reuse the serve crate's tested serializer rather than hand-splicing
-    // strings: it cannot emit malformed JSON into the perf-trajectory
-    // artifact. Rounded to centi-units first so the file stays readable.
+    // Rounded to centi-units first so the file stays readable.
     let round2 = |v: f64| (v * 100.0).round() / 100.0;
     let policies = results
         .iter()
@@ -245,20 +250,32 @@ fn main() {
             ])
         })
         .collect();
+    Json::object(vec![
+        ("grid".into(), Json::Num(grid as f64)),
+        ("policies".into(), Json::Arr(policies)),
+        (
+            "dynamic_speedup".into(),
+            Json::Num((speedup * 10_000.0).round() / 10_000.0),
+        ),
+    ])
+}
+
+fn main() {
+    let opts = parse_options();
+    let entries: Vec<Json> = opts.grids.iter().map(|&g| bench_grid(g, &opts)).collect();
+
+    // Reuse the serve crate's tested serializer rather than hand-splicing
+    // strings: it cannot emit malformed JSON into the perf-trajectory
+    // artifact.
     let doc = Json::object(vec![
         ("bench".into(), Json::Str("serving".into())),
-        ("grid".into(), Json::Num(opts.grid as f64)),
         ("clients".into(), Json::Num(opts.clients as f64)),
         (
             "requests_per_client".into(),
             Json::Num(opts.requests as f64),
         ),
         ("threads".into(), Json::Num(opts.threads as f64)),
-        ("policies".into(), Json::Arr(policies)),
-        (
-            "dynamic_speedup".into(),
-            Json::Num((speedup * 10_000.0).round() / 10_000.0),
-        ),
+        ("entries".into(), Json::Arr(entries)),
     ]);
     match std::fs::write(&opts.out, format!("{doc}\n")) {
         Ok(()) => println!("wrote {}", opts.out),

@@ -312,15 +312,37 @@ impl Donn {
             "transmission count mismatch"
         );
         assert_eq!((field.rows(), field.cols()), (n, n), "field shape mismatch");
+        // Each layer is one fused modulate+hop pass: the broadcast
+        // transmission multiply rides inside the per-sample worker sweep.
+        let inner = self.config.grid();
         for t in transmissions {
-            field.hadamard_bcast_inplace(t);
-            field = self.propagate_batch_field(&field, threads);
+            field = self.plan.modulate_transfer_batch_owned(
+                field,
+                t,
+                &self.kernel,
+                inner,
+                threads.max(1),
+            );
         }
+        // Detector readout straight from the planar field stack: region
+        // sums of |z|² per sample, no per-sample grid copies. Readout is
+        // real-valued, so no interleaved view is needed at all here.
         let intensity = field.intensity();
-        (0..intensity.batch())
-            .map(|b| {
-                let sample = intensity.to_grid(b);
-                self.regions.iter().map(|r| r.sum(&sample)).collect()
+        let cols = intensity.cols();
+        intensity
+            .samples()
+            .map(|sample| {
+                self.regions
+                    .iter()
+                    .map(|reg| {
+                        (reg.r0..reg.r0 + reg.h)
+                            .map(|r| {
+                                let o = r * cols + reg.c0;
+                                sample[o..o + reg.w].iter().sum::<f64>()
+                            })
+                            .sum()
+                    })
+                    .collect()
             })
             .collect()
     }

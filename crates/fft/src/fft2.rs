@@ -1,7 +1,7 @@
 //! Planned 2-D FFT over [`CGrid`] by row-column decomposition, with batched
 //! execute paths over [`BatchCGrid`] for the mini-batch training engine.
 
-use photonn_math::planar::{deinterleave, hadamard_scale, interleave, transpose_plane};
+use photonn_math::planar::{deinterleave, hadamard, hadamard_scale, interleave, transpose_plane};
 use photonn_math::{BatchCGrid, CGrid, Complex64};
 use std::sync::Arc;
 
@@ -143,19 +143,23 @@ impl Fft2 {
     /// In-place unnormalized forward 2-D DFT of every sample, with batch
     /// chunks distributed over `threads` worker threads.
     ///
-    /// Results are deterministic — independent of the thread count and of
-    /// what else shares the batch — because batch work is chunked, never
-    /// raced. On shapes with a vectorized engine the stage schedule
-    /// (radix-4/2/5 Stockham) differs from the scalar 1-D engines, so
-    /// per-sample results agree with [`Fft2::forward`] to rounding error
-    /// (~1e-13 relative) rather than bit-for-bit; on other shapes the
-    /// same 1-D engines run and results are bit-identical.
+    /// The batch's split re/im planes are the native working set: on
+    /// shapes with a vectorized engine the butterflies run directly on
+    /// per-sample plane views — no layout conversion anywhere. Results are
+    /// deterministic — independent of the thread count and of what else
+    /// shares the batch — because batch work is chunked, never raced. The
+    /// vectorized stage schedule (radix-8/4/2/5 Stockham) differs from the
+    /// scalar 1-D engines, so per-sample results agree with
+    /// [`Fft2::forward`] to rounding error (~1e-13 relative) rather than
+    /// bit-for-bit; on other shapes the same 1-D engines run (through an
+    /// interleave shim at the engine boundary) and results are
+    /// bit-identical.
     ///
     /// # Panics
     ///
     /// Panics if the per-sample shape does not match the plan.
     pub fn forward_batch(&self, batch: &mut BatchCGrid, threads: usize) {
-        self.batch_apply(batch, threads, |plan, buf| plan.forward(buf));
+        self.batch_apply(batch, threads, |ctx, re, im| ctx.forward(re, im));
     }
 
     /// In-place normalized inverse 2-D DFT of every sample (batched
@@ -176,7 +180,9 @@ impl Fft2 {
     ///
     /// Panics if the per-sample shape does not match the plan.
     pub fn inverse_unnormalized_batch(&self, batch: &mut BatchCGrid, threads: usize) {
-        self.batch_apply(batch, threads, |plan, buf| plan.inverse_unnormalized(buf));
+        self.batch_apply(batch, threads, |ctx, re, im| {
+            ctx.inverse_unnormalized(re, im)
+        });
     }
 
     /// One frequency-domain transfer application for a whole batch:
@@ -242,21 +248,19 @@ impl Fft2 {
         // full sweep over the batch per hop.
         let scale = 1.0 / (self.rows * self.cols) as f64;
         if self.vec2d.is_some() {
-            // Planar fast path: one deinterleave/reinterleave pair per hop
-            // and only two transposes (the kernel is applied pre-transposed
-            // while the planes sit in column-major orientation).
+            // Planar fast path: the batch's own re/im planes are the
+            // working set — no layout conversion anywhere in the hop, and
+            // only two plane transposes (the kernel is applied
+            // pre-transposed while the planes sit in column-major
+            // orientation).
             let kt = kernel.transpose();
             let (kr, ki): (Vec<f64>, Vec<f64>) = kt.as_slice().iter().map(|z| (z.re, z.im)).unzip();
-            self.batch_apply(&mut work, threads, |ctx, buf| {
-                ctx.planar_transfer(buf, &kr, &ki, scale);
+            self.batch_apply(&mut work, threads, |ctx, re, im| {
+                ctx.planar_transfer(re, im, &kr, &ki, scale);
             });
         } else {
-            self.batch_apply(&mut work, threads, |ctx, buf| {
-                ctx.forward(buf);
-                for (z, &k) in buf.iter_mut().zip(kernel.as_slice()) {
-                    *z = (*z * k).scale(scale);
-                }
-                ctx.inverse_unnormalized(buf);
+            self.batch_apply(&mut work, threads, |ctx, re, im| {
+                ctx.scalar_transfer(re, im, kernel, scale);
             });
         }
         if inner == self.rows {
@@ -266,14 +270,79 @@ impl Fft2 {
         }
     }
 
-    /// Runs `f` over every sample's work buffer, chunking samples across
-    /// scoped worker threads. `f` receives a [`SampleFft`] bound to this
-    /// plan plus the sample's row-major slice.
+    /// One fused diffractive-layer hop for a whole batch:
+    /// `crop(ifft2(fft2(pad(x_b ⊙ m)) ⊙ K))` with a single mask shared
+    /// across the batch. The broadcast modulation runs *inside* the
+    /// per-sample worker pass, immediately before the sample's planes
+    /// enter the butterflies — elementwise-identical to
+    /// `hadamard_bcast_inplace` followed by
+    /// [`Fft2::apply_transfer_batch_owned`], but it saves one full-batch
+    /// memory sweep per layer (the modulation touches each sample while
+    /// its planes are cache-hot anyway).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Fft2::apply_transfer_batch`], plus `mask` must
+    /// be `inner × inner`.
+    pub fn modulate_transfer_batch_owned(
+        &self,
+        mut work: BatchCGrid,
+        mask: &CGrid,
+        kernel: &CGrid,
+        inner: usize,
+        threads: usize,
+    ) -> BatchCGrid {
+        assert_eq!(
+            mask.shape(),
+            (inner, inner),
+            "mask shape {:?} != ({inner}, {inner})",
+            mask.shape(),
+        );
+        if inner != self.rows {
+            // Padded hop: the modulation applies at the native size, so it
+            // cannot ride inside the padded per-sample pass.
+            work.hadamard_bcast_inplace(mask);
+            return self.apply_transfer_batch_owned(work, kernel, inner, threads);
+        }
+        assert_eq!(
+            kernel.shape(),
+            (self.rows, self.cols),
+            "kernel shape {:?} != planned {:?}",
+            kernel.shape(),
+            (self.rows, self.cols)
+        );
+        assert_eq!(
+            (work.rows(), work.cols()),
+            (inner, inner),
+            "batch sample shape {:?} != ({inner}, {inner})",
+            (work.rows(), work.cols()),
+        );
+        let (mr, mi): (Vec<f64>, Vec<f64>) = mask.as_slice().iter().map(|z| (z.re, z.im)).unzip();
+        let scale = 1.0 / (self.rows * self.cols) as f64;
+        if self.vec2d.is_some() {
+            let kt = kernel.transpose();
+            let (kr, ki): (Vec<f64>, Vec<f64>) = kt.as_slice().iter().map(|z| (z.re, z.im)).unzip();
+            self.batch_apply(&mut work, threads, |ctx, re, im| {
+                hadamard(re, im, &mr, &mi);
+                ctx.planar_transfer(re, im, &kr, &ki, scale);
+            });
+        } else {
+            self.batch_apply(&mut work, threads, |ctx, re, im| {
+                hadamard(re, im, &mr, &mi);
+                ctx.scalar_transfer(re, im, kernel, scale);
+            });
+        }
+        work
+    }
+
+    /// Runs `f` over every sample's re/im plane pair, chunking samples
+    /// across scoped worker threads. `f` receives a [`SampleFft`] bound to
+    /// this plan plus the sample's row-major plane views.
     fn batch_apply(
         &self,
         batch: &mut BatchCGrid,
         threads: usize,
-        f: impl Fn(&mut SampleFft<'_>, &mut [Complex64]) + Sync,
+        f: impl Fn(&mut SampleFft<'_>, &mut [f64], &mut [f64]) + Sync,
     ) {
         assert_eq!(
             (batch.rows(), batch.cols()),
@@ -286,19 +355,27 @@ impl Fft2 {
         let threads = threads.max(1).min(batch.batch());
         if threads == 1 {
             let mut ctx = SampleFft::new(self);
-            for sample in batch.samples_mut() {
-                f(&mut ctx, sample);
+            for (re, im) in batch.samples_mut() {
+                f(&mut ctx, re, im);
             }
             return;
         }
         let chunk_samples = batch.batch().div_ceil(threads);
         let f = &f;
+        let (re_all, im_all) = batch.planes_mut();
         std::thread::scope(|scope| {
-            for chunk in batch.as_mut_slice().chunks_mut(chunk_samples * sample_len) {
+            let chunk_len = chunk_samples * sample_len;
+            for (re_chunk, im_chunk) in re_all
+                .chunks_mut(chunk_len)
+                .zip(im_all.chunks_mut(chunk_len))
+            {
                 scope.spawn(move || {
                     let mut ctx = SampleFft::new(self);
-                    for sample in chunk.chunks_mut(sample_len) {
-                        f(&mut ctx, sample);
+                    for (re, im) in re_chunk
+                        .chunks_mut(sample_len)
+                        .zip(im_chunk.chunks_mut(sample_len))
+                    {
+                        f(&mut ctx, re, im);
                     }
                 });
             }
@@ -306,26 +383,34 @@ impl Fft2 {
     }
 }
 
-/// Per-worker execution context for one [`Fft2`] plan: owns the transpose
-/// and planar scratch buffers so batched workers never contend.
+/// Per-worker execution context for one [`Fft2`] plan: owns the scratch
+/// buffers so batched workers never contend. The sample's own re/im planes
+/// (views into the planar `BatchCGrid`) are the primary working set; the
+/// vectorized path needs only one spare plane pair for Stockham ping-pong
+/// and transposes, and the scalar fallback an interleaved pair for the 1-D
+/// engines' boundary shim.
 struct SampleFft<'a> {
     plan: &'a Fft2,
-    /// Interleaved scratch for the generic (non-power-of-two) path.
-    scratch: Vec<Complex64>,
-    /// Planar working planes for the vectorized power-of-two path.
+    /// Interleaved scratch pair for the scalar-engine fallback path
+    /// (`None` when the vectorized engine covers this shape).
+    scalar: Option<ScalarScratch>,
+    /// Spare plane pair for the vectorized path (`None` otherwise).
     planar: Option<PlanarScratch>,
 }
 
-/// Split real/imaginary working set of one sample: the butterflies run on
-/// these planes so complex arithmetic autovectorizes without shuffles.
-/// One pair is live at a time; the other holds the transposed orientation
-/// across the row pass — and, because every `column_pass` call site is
-/// followed by a transpose that fully overwrites the non-live pair, that
-/// dead pair doubles as the engine's Stockham ping-pong scratch (no third
-/// pair needed).
+/// Interleaved working pair for the scalar 1-D engines: `buf` holds the
+/// sample (interleaved at the shim boundary), `t` its transpose.
+struct ScalarScratch {
+    buf: Vec<Complex64>,
+    t: Vec<Complex64>,
+}
+
+/// The spare split re/im plane pair of the vectorized path. Together with
+/// the sample's own planes it forms the two-buffer working set: Stockham
+/// stages ping-pong between the pairs and every transpose writes into the
+/// currently-dead pair. Callers track which pair is live by swapping their
+/// `&mut` bindings — O(1), so parity never forces a plane copy.
 struct PlanarScratch {
-    re: Vec<f64>,
-    im: Vec<f64>,
     sre: Vec<f64>,
     sim: Vec<f64>,
 }
@@ -333,106 +418,196 @@ struct PlanarScratch {
 impl<'a> SampleFft<'a> {
     fn new(plan: &'a Fft2) -> Self {
         let len = plan.rows * plan.cols;
-        let planar = plan.vec2d.as_ref().map(|_| PlanarScratch {
-            re: vec![0.0; len],
-            im: vec![0.0; len],
-            sre: vec![0.0; len],
-            sim: vec![0.0; len],
-        });
-        SampleFft {
-            plan,
-            scratch: vec![Complex64::ZERO; len],
-            planar,
-        }
-    }
-
-    /// Unnormalized forward 2-D DFT of one row-major `rows × cols` slice.
-    fn forward(&mut self, data: &mut [Complex64]) {
-        if self.plan.vec2d.is_some() {
-            self.planar_transform(data, false);
+        if plan.vec2d.is_some() {
+            SampleFft {
+                plan,
+                scalar: None,
+                planar: Some(PlanarScratch {
+                    sre: vec![0.0; len],
+                    sim: vec![0.0; len],
+                }),
+            }
         } else {
-            self.apply(data, |plan, buf| plan.forward(buf));
+            SampleFft {
+                plan,
+                scalar: Some(ScalarScratch {
+                    buf: vec![Complex64::ZERO; len],
+                    t: vec![Complex64::ZERO; len],
+                }),
+                planar: None,
+            }
         }
     }
 
-    /// Unnormalized inverse 2-D DFT of one row-major slice.
-    fn inverse_unnormalized(&mut self, data: &mut [Complex64]) {
+    /// Unnormalized forward 2-D DFT of one sample's plane pair.
+    fn forward(&mut self, re: &mut [f64], im: &mut [f64]) {
         if self.plan.vec2d.is_some() {
-            self.planar_transform(data, true);
+            self.planar_transform(re, im, false);
         } else {
-            self.apply(data, |plan, buf| plan.inverse_unnormalized(buf));
+            self.apply_scalar(re, im, |plan, buf| plan.forward(buf));
         }
     }
 
-    /// Unnormalized 2-D DFT through the vectorized engine: row transform
-    /// as a column pass over the transposed planes, then the column
-    /// transform directly (the same order as the scalar path). `inverse`
-    /// computes the unnormalized adjoint.
-    fn planar_transform(&mut self, data: &mut [Complex64], inverse: bool) {
+    /// Unnormalized inverse 2-D DFT of one sample's plane pair.
+    fn inverse_unnormalized(&mut self, re: &mut [f64], im: &mut [f64]) {
+        if self.plan.vec2d.is_some() {
+            self.planar_transform(re, im, true);
+        } else {
+            self.apply_scalar(re, im, |plan, buf| plan.inverse_unnormalized(buf));
+        }
+    }
+
+    /// Unnormalized 2-D DFT through the vectorized engine, in place on the
+    /// sample's planes: row transform as a column pass over the transposed
+    /// planes, then the column transform directly (the same order as the
+    /// scalar path). `inverse` computes the unnormalized adjoint.
+    fn planar_transform(&mut self, re: &mut [f64], im: &mut [f64], inverse: bool) {
         let v = self.plan.vec2d.as_ref().expect("planar path");
         let p = self.planar.as_mut().expect("planar scratch");
         let n = v.n();
-        deinterleave(data, &mut p.re, &mut p.im);
-        transpose_plane(&p.re, n, &mut p.sre);
-        transpose_plane(&p.im, n, &mut p.sim);
-        // (re, im) is dead until the next transpose rewrites it → scratch.
-        v.column_pass(&mut p.sre, &mut p.sim, &mut p.re, &mut p.im, inverse);
-        transpose_plane(&p.sre, n, &mut p.re);
-        transpose_plane(&p.sim, n, &mut p.im);
-        v.column_pass(&mut p.re, &mut p.im, &mut p.sre, &mut p.sim, inverse);
-        interleave(&p.re, &p.im, data);
+        let odd = v.odd_stages();
+        let re_ptr = re.as_ptr();
+        let (mut live_re, mut live_im): (&mut [f64], &mut [f64]) = (re, im);
+        let (mut spare_re, mut spare_im): (&mut [f64], &mut [f64]) = (&mut p.sre, &mut p.sim);
+
+        transpose_plane(live_re, n, spare_re);
+        transpose_plane(live_im, n, spare_im);
+        std::mem::swap(&mut live_re, &mut spare_re);
+        std::mem::swap(&mut live_im, &mut spare_im);
+        v.column_pass(live_re, live_im, spare_re, spare_im, inverse);
+        if odd {
+            std::mem::swap(&mut live_re, &mut spare_re);
+            std::mem::swap(&mut live_im, &mut spare_im);
+        }
+        transpose_plane(live_re, n, spare_re);
+        transpose_plane(live_im, n, spare_im);
+        std::mem::swap(&mut live_re, &mut spare_re);
+        std::mem::swap(&mut live_im, &mut spare_im);
+        v.column_pass(live_re, live_im, spare_re, spare_im, inverse);
+        if odd {
+            std::mem::swap(&mut live_re, &mut spare_re);
+            std::mem::swap(&mut live_im, &mut spare_im);
+        }
+        // Two transposes + 2·(odd stages) buffer flips — always an even
+        // count, so the result is back in the sample's own planes. The
+        // copy branch is a safety net for future stage schedules only.
+        if !std::ptr::eq(live_re.as_ptr(), re_ptr) {
+            spare_re.copy_from_slice(live_re);
+            spare_im.copy_from_slice(live_im);
+        }
     }
 
-    /// Fused planar transfer application for one sample:
-    /// `buf ← ifft2(fft2(buf) ⊙ K)·scale`, with a single
-    /// deinterleave/reinterleave pair around the whole hop and only two
-    /// plane transposes. The 2-D DFT axes commute, so the hop is evaluated
-    /// as `invF_cols ∘ T ∘ invF_rows ∘ Kᵀ ∘ F_rows ∘ T ∘ F_cols`: the row
-    /// transforms and the kernel product all happen while the planes are in
-    /// column-major orientation — `kr`/`ki` must therefore hold the
+    /// Fused planar transfer application, in place on one sample's planes:
+    /// `(re, im) ← ifft2(fft2(re, im) ⊙ K)·scale` with **zero** layout
+    /// conversions and only two plane transposes. The 2-D DFT axes
+    /// commute, so the hop is evaluated as
+    /// `invF_cols ∘ T ∘ invF_rows ∘ Kᵀ ∘ F_rows ∘ T ∘ F_cols`: the row
+    /// transforms and the kernel product all happen while the planes are
+    /// in column-major orientation — `kr`/`ki` must therefore hold the
     /// **transposed** kernel.
     ///
     /// Only callable on plans with a vectorized engine.
-    fn planar_transfer(&mut self, data: &mut [Complex64], kr: &[f64], ki: &[f64], scale: f64) {
+    fn planar_transfer(
+        &mut self,
+        re: &mut [f64],
+        im: &mut [f64],
+        kr: &[f64],
+        ki: &[f64],
+        scale: f64,
+    ) {
         let v = self.plan.vec2d.as_ref().expect("planar path");
         let p = self.planar.as_mut().expect("planar scratch");
         let n = v.n();
-        deinterleave(data, &mut p.re, &mut p.im);
-        // Forward column transform in natural orientation; the stale
-        // (sre, sim) pair is the ping-pong scratch until the transpose
-        // rewrites it.
-        v.column_pass(&mut p.re, &mut p.im, &mut p.sre, &mut p.sim, false);
-        // Forward row transform on the transposed planes; (re, im) is now
-        // the dead pair.
-        transpose_plane(&p.re, n, &mut p.sre);
-        transpose_plane(&p.im, n, &mut p.sim);
-        v.column_pass(&mut p.sre, &mut p.sim, &mut p.re, &mut p.im, false);
+        let odd = v.odd_stages();
+        let re_ptr = re.as_ptr();
+        let (mut live_re, mut live_im): (&mut [f64], &mut [f64]) = (re, im);
+        let (mut spare_re, mut spare_im): (&mut [f64], &mut [f64]) = (&mut p.sre, &mut p.sim);
+        macro_rules! flip {
+            () => {
+                std::mem::swap(&mut live_re, &mut spare_re);
+                std::mem::swap(&mut live_im, &mut spare_im);
+            };
+        }
+
+        // Forward column transform in natural orientation.
+        v.column_pass(live_re, live_im, spare_re, spare_im, false);
+        if odd {
+            flip!();
+        }
+        // Forward row transform on the transposed planes.
+        transpose_plane(live_re, n, spare_re);
+        transpose_plane(live_im, n, spare_im);
+        flip!();
+        v.column_pass(live_re, live_im, spare_re, spare_im, false);
+        if odd {
+            flip!();
+        }
         // Kernel product (kernel pre-transposed to this orientation) with
         // the 1/N normalization folded in.
-        hadamard_scale(&mut p.sre, &mut p.sim, kr, ki, scale);
+        hadamard_scale(live_re, live_im, kr, ki, scale);
         // Inverse row transform, back to natural orientation, inverse
         // column transform.
-        v.column_pass(&mut p.sre, &mut p.sim, &mut p.re, &mut p.im, true);
-        transpose_plane(&p.sre, n, &mut p.re);
-        transpose_plane(&p.sim, n, &mut p.im);
-        v.column_pass(&mut p.re, &mut p.im, &mut p.sre, &mut p.sim, true);
-        interleave(&p.re, &p.im, data);
+        v.column_pass(live_re, live_im, spare_re, spare_im, true);
+        if odd {
+            flip!();
+        }
+        transpose_plane(live_re, n, spare_re);
+        transpose_plane(live_im, n, spare_im);
+        flip!();
+        v.column_pass(live_re, live_im, spare_re, spare_im, true);
+        if odd {
+            flip!();
+        }
+        // 2 transposes + 4·(odd stages) flips — even, so the result ends
+        // in the sample's own planes; the copy is future-proofing only.
+        if !std::ptr::eq(live_re.as_ptr(), re_ptr) {
+            spare_re.copy_from_slice(live_re);
+            spare_im.copy_from_slice(live_im);
+        }
     }
 
-    /// Row pass, then the column pass as contiguous rows of the transposed
-    /// scratch buffer (cache-friendlier than per-column gather/scatter).
-    fn apply(&mut self, data: &mut [Complex64], f: impl Fn(&Fft, &mut [Complex64])) {
-        let (rows, cols) = (self.plan.rows, self.plan.cols);
-        debug_assert_eq!(data.len(), rows * cols);
-        for row in data.chunks_mut(cols) {
-            f(&self.plan.row_plan, row);
+    /// One full transfer hop through the scalar 1-D engines:
+    /// interleave shim in, `forward → ⊙K·scale → inverse_unnormalized`,
+    /// shim back out. This is the fallback for shapes the vectorized
+    /// engine cannot cover (side lengths with prime factors other than 2
+    /// and 5) and the `PHOTONN_FFT_NO_VEC` baseline.
+    fn scalar_transfer(&mut self, re: &mut [f64], im: &mut [f64], kernel: &CGrid, scale: f64) {
+        let scratch = self.scalar.as_mut().expect("scalar scratch");
+        interleave(re, im, &mut scratch.buf);
+        apply_interleaved(self.plan, scratch, |plan, buf| plan.forward(buf));
+        for (z, &k) in scratch.buf.iter_mut().zip(kernel.as_slice()) {
+            *z = (*z * k).scale(scale);
         }
-        transpose_into(data, rows, cols, &mut self.scratch);
-        for col in self.scratch.chunks_mut(rows) {
-            f(&self.plan.col_plan, col);
-        }
-        transpose_into(&self.scratch, cols, rows, data);
+        apply_interleaved(self.plan, scratch, |plan, buf| {
+            plan.inverse_unnormalized(buf)
+        });
+        deinterleave(&scratch.buf, re, im);
     }
+
+    /// One 2-D pass through the scalar 1-D engines with the interleave
+    /// shim at the boundary.
+    fn apply_scalar(&mut self, re: &mut [f64], im: &mut [f64], f: impl Fn(&Fft, &mut [Complex64])) {
+        let scratch = self.scalar.as_mut().expect("scalar scratch");
+        interleave(re, im, &mut scratch.buf);
+        apply_interleaved(self.plan, scratch, f);
+        deinterleave(&scratch.buf, re, im);
+    }
+}
+
+/// Row pass, then the column pass as contiguous rows of the transposed
+/// scratch buffer (cache-friendlier than per-column gather/scatter).
+/// Operates in place on `scratch.buf`.
+fn apply_interleaved(plan: &Fft2, scratch: &mut ScalarScratch, f: impl Fn(&Fft, &mut [Complex64])) {
+    let (rows, cols) = (plan.rows, plan.cols);
+    debug_assert_eq!(scratch.buf.len(), rows * cols);
+    for row in scratch.buf.chunks_mut(cols) {
+        f(&plan.row_plan, row);
+    }
+    transpose_into(&scratch.buf, rows, cols, &mut scratch.t);
+    for col in scratch.t.chunks_mut(rows) {
+        f(&plan.col_plan, col);
+    }
+    transpose_into(&scratch.t, cols, rows, &mut scratch.buf);
 }
 
 /// Transposes a row-major `rows × cols` buffer into a `cols × rows` one.
@@ -713,6 +888,131 @@ mod tests {
                 }
                 let diff = out.to_cgrid(b).max_abs_diff(&manual);
                 assert!(diff < 1e-12, "inner {n} padded {padded} sample {b}: {diff}");
+            }
+        }
+    }
+
+    /// PR-3-style transfer hop on one interleaved sample: deinterleave,
+    /// the identical column-pass/transpose/kernel pipeline with Vec-swap
+    /// ping-pong, reinterleave. The planar-native path must reproduce this
+    /// **bit-for-bit** — same arithmetic in the same order, only the
+    /// storage layout changed.
+    fn interleaved_reference_hop(
+        n: usize,
+        sample: &[Complex64],
+        kr: &[f64],
+        ki: &[f64],
+        scale: f64,
+    ) -> Vec<Complex64> {
+        let v = VecMixed2d::new(n);
+        let cp = |re: &mut Vec<f64>,
+                  im: &mut Vec<f64>,
+                  sre: &mut Vec<f64>,
+                  sim: &mut Vec<f64>,
+                  inverse: bool| {
+            v.column_pass(re, im, sre, sim, inverse);
+            if v.odd_stages() {
+                std::mem::swap(re, sre);
+                std::mem::swap(im, sim);
+            }
+        };
+        let mut re = vec![0.0; n * n];
+        let mut im = vec![0.0; n * n];
+        deinterleave(sample, &mut re, &mut im);
+        let mut sre = vec![0.0; n * n];
+        let mut sim = vec![0.0; n * n];
+        cp(&mut re, &mut im, &mut sre, &mut sim, false);
+        transpose_plane(&re, n, &mut sre);
+        transpose_plane(&im, n, &mut sim);
+        std::mem::swap(&mut re, &mut sre);
+        std::mem::swap(&mut im, &mut sim);
+        cp(&mut re, &mut im, &mut sre, &mut sim, false);
+        hadamard_scale(&mut re, &mut im, kr, ki, scale);
+        cp(&mut re, &mut im, &mut sre, &mut sim, true);
+        transpose_plane(&re, n, &mut sre);
+        transpose_plane(&im, n, &mut sim);
+        std::mem::swap(&mut re, &mut sre);
+        std::mem::swap(&mut im, &mut sim);
+        cp(&mut re, &mut im, &mut sre, &mut sim, true);
+        let mut out = vec![Complex64::ZERO; n * n];
+        interleave(&re, &im, &mut out);
+        out
+    }
+
+    #[test]
+    fn planar_hop_is_bit_identical_to_interleaved_reference() {
+        // The planar-native storage refactor must not change a single bit
+        // of the hop's output versus the PR-3 interleaved pipeline, at the
+        // paper-relevant grids (20 mixed-radix miniature, 32 power of two,
+        // 200 paper-native). The reference *is* the vectorized pipeline,
+        // so the comparison is meaningless under the scalar kill switch.
+        if std::env::var_os("PHOTONN_FFT_NO_VEC").is_some() {
+            return;
+        }
+        for n in [20usize, 32, 200] {
+            let plan = Fft2::new(n, n);
+            let kernel = CGrid::from_fn(n, n, |r, c| {
+                Complex64::cis((r as f64 * 0.23 - c as f64 * 0.41).sin())
+            });
+            let batch = random_batch(3, n);
+            let out = plan.apply_transfer_batch(&batch, &kernel, n, 2);
+
+            let kt = kernel.transpose();
+            let (kr, ki): (Vec<f64>, Vec<f64>) = kt.as_slice().iter().map(|z| (z.re, z.im)).unzip();
+            let scale = 1.0 / (n * n) as f64;
+            for b in 0..3 {
+                let reference =
+                    interleaved_reference_hop(n, batch.to_cgrid(b).as_slice(), &kr, &ki, scale);
+                let got = out.to_cgrid(b);
+                assert_eq!(
+                    got.as_slice(),
+                    &reference[..],
+                    "grid {n} sample {b}: planar hop diverged from the interleaved reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_modulate_hop_is_bit_identical_to_unfused() {
+        // modulate_transfer_batch_owned must equal hadamard_bcast followed
+        // by the plain hop bit-for-bit — the modulation is the identical
+        // elementwise product, just moved inside the worker sweep.
+        for (n, padded) in [(20usize, 20usize), (32, 32), (8, 16)] {
+            let plan = Fft2::new(padded, padded);
+            let kernel = CGrid::from_fn(padded, padded, |r, c| {
+                Complex64::cis((r as f64 * 0.31 - c as f64 * 0.17).sin())
+            });
+            let mask = CGrid::from_fn(n, n, |r, c| Complex64::cis((r * 3 + c) as f64 * 0.9));
+            let batch = random_batch(3, n);
+
+            let mut unfused = batch.clone();
+            unfused.hadamard_bcast_inplace(&mask);
+            let unfused = plan.apply_transfer_batch_owned(unfused, &kernel, n, 2);
+            let fused = plan.modulate_transfer_batch_owned(batch.clone(), &mask, &kernel, n, 2);
+            assert_eq!(fused, unfused, "inner {n} padded {padded}");
+        }
+    }
+
+    #[test]
+    fn batched_hop_is_bit_identical_to_single_sample_hops() {
+        // Batching must be a pure layout concern: the N-sample planar hop
+        // and N single-sample hops produce bit-identical fields.
+        for n in [20usize, 32] {
+            let plan = Fft2::new(n, n);
+            let kernel = CGrid::from_fn(n, n, |r, c| {
+                Complex64::cis((r as f64 * 0.37 + c as f64 * 0.19).cos())
+            });
+            let batch = random_batch(4, n);
+            let together = plan.apply_transfer_batch(&batch, &kernel, n, 2);
+            for b in 0..4 {
+                let single = BatchCGrid::from_samples(&[batch.to_cgrid(b)]);
+                let alone = plan.apply_transfer_batch(&single, &kernel, n, 1);
+                assert_eq!(
+                    together.to_cgrid(b),
+                    alone.to_cgrid(0),
+                    "grid {n} sample {b}: batched hop != single-sample hop"
+                );
             }
         }
     }

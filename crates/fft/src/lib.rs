@@ -16,7 +16,7 @@
 //! On top of them, [`Fft2`]'s batched execute paths
 //! ([`Fft2::forward_batch`], [`Fft2::apply_transfer_batch`]) carry a
 //! fourth, *planar vectorized* engine for square grids of side
-//! `n = 2^a·5^b`: a self-sorting Stockham pipeline of radix-4/2/5 stages
+//! `n = 2^a·5^b`: a self-sorting Stockham pipeline of radix-8/4/2/5 stages
 //! whose butterflies combine whole rows of split re/im `f64` planes —
 //! contiguous, shuffle-free arithmetic the compiler autovectorizes. It
 //! covers every power of two **and** the paper's native 200 grid (plus its

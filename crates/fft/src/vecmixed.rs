@@ -1,4 +1,4 @@
-//! Planar vectorized mixed-radix column-transform engine (radix-2/4/5).
+//! Planar vectorized mixed-radix column-transform engine (radix-8/4/2/5).
 //!
 //! This is the batched hot-loop engine behind [`crate::Fft2`]'s planar
 //! execute paths. It computes `n` simultaneous length-`n` DFTs along the
@@ -13,11 +13,14 @@
 //! every stage reads one plane pair and writes a second (ping-pong), and
 //! the inter-stage permutation is folded into the write pattern, so no
 //! digit-reversal pass exists and non-power-of-two lengths need no extra
-//! machinery. A length decomposes into radix-4 stages (pairs of twos),
-//! at most one radix-2 stage, and radix-5 stages — covering every
-//! `n = 2^a·5^b`, in particular the paper's native mask size
-//! `200 = 2³·5²` and its double-padded companion `400`, which previously
-//! fell back to the scalar recursive mixed-radix engine per sample.
+//! machinery. A length decomposes greedily into radix-8 stages (triples
+//! of twos — every stage is one full memory pass over the planes, so
+//! fewer, fatter stages win on bandwidth-bound grids), one radix-4 or
+//! radix-2 stage for the leftover twos, and radix-5 stages — covering
+//! every `n = 2^a·5^b`, in particular the paper's native mask size
+//! `200 = 2³·5²` (one radix-8 + two radix-5 passes) and its double-padded
+//! companion `400`, which previously fell back to the scalar recursive
+//! mixed-radix engine per sample.
 //!
 //! One Stockham stage with radix `p`, `l` remaining groups and `m`
 //! already-combined transforms (invariant `p·l·m = n`) maps, for
@@ -39,7 +42,7 @@ use photonn_math::Complex64;
 /// One self-sorting Stockham stage: radix plus its twiddle table.
 #[derive(Debug)]
 struct Stage {
-    /// Butterfly radix (2, 4 or 5).
+    /// Butterfly radix (2, 4, 5 or 8).
     p: usize,
     /// Number of butterfly groups at this stage.
     l: usize,
@@ -76,9 +79,11 @@ impl VecMixed2d {
         n == 1
     }
 
-    /// The radix schedule for length `n`: as many radix-4 stages as the
-    /// twos allow, at most one radix-2, then the radix-5 stages.
-    /// `schedule(200) == [4, 2, 5, 5]`.
+    /// The radix schedule for length `n`: greedy radix-8 stages (every
+    /// stage is one full memory pass over the planes, so fewer, fatter
+    /// stages win on the bandwidth-bound grids), a radix-4 or radix-2 for
+    /// the remaining twos, then the radix-5 stages.
+    /// `schedule(200) == [8, 5, 5]`, `schedule(32) == [8, 4]`.
     ///
     /// # Panics
     ///
@@ -94,9 +99,11 @@ impl VecMixed2d {
             fives += 1;
             rest /= 5;
         }
-        let mut radices = vec![4; twos / 2];
-        if twos % 2 == 1 {
-            radices.push(2);
+        let mut radices = vec![8; twos / 3];
+        match twos % 3 {
+            1 => radices.push(2),
+            2 => radices.push(4),
+            _ => {}
         }
         radices.extend(std::iter::repeat_n(5, fives));
         radices
@@ -137,21 +144,34 @@ impl VecMixed2d {
         self.n
     }
 
+    /// `true` if the stage pipeline has an odd number of stages — i.e.
+    /// [`VecMixed2d::column_pass`] leaves its result in the scratch pair
+    /// instead of the primary pair. Callers juggle which buffer is "live"
+    /// by swapping their own `&mut` bindings (an O(1) pointer move), so no
+    /// plane is ever copied to compensate for parity.
+    #[inline]
+    pub(crate) fn odd_stages(&self) -> bool {
+        self.stages.len() % 2 == 1
+    }
+
     /// Unnormalized DFT along the column axis of the `n × n` plane pair
     /// `(re, im)`, vectorized across each row. `(sre, sim)` is same-sized
-    /// ping-pong scratch; the result is always left in `(re, im)` (an odd
-    /// stage count ends with an O(1) buffer swap, never a copy). `inverse`
-    /// computes the unnormalized adjoint.
+    /// ping-pong scratch. Stages alternate between the two pairs, so the
+    /// result lands in `(re, im)` for an even stage count and in
+    /// `(sre, sim)` for an odd one (see [`VecMixed2d::odd_stages`]);
+    /// operating on plain slices keeps the pass usable directly on plane
+    /// views into a planar `BatchCGrid`, where a buffer swap is
+    /// impossible. `inverse` computes the unnormalized adjoint.
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if any plane is not `n²` long.
     pub(crate) fn column_pass(
         &self,
-        re: &mut Vec<f64>,
-        im: &mut Vec<f64>,
-        sre: &mut Vec<f64>,
-        sim: &mut Vec<f64>,
+        re: &mut [f64],
+        im: &mut [f64],
+        sre: &mut [f64],
+        sim: &mut [f64],
         inverse: bool,
     ) {
         let n = self.n;
@@ -167,10 +187,6 @@ impl VecMixed2d {
                 run_stage(stage, sre, sim, re, im, n, inverse);
             }
             in_primary = !in_primary;
-        }
-        if !in_primary {
-            std::mem::swap(re, sre);
-            std::mem::swap(im, sim);
         }
     }
 }
@@ -192,6 +208,8 @@ fn run_stage(
         (4, true) => stage_radix4::<true>(stage, sr, si, dr, di, n),
         (5, false) => stage_radix5::<false>(stage, sr, si, dr, di, n),
         (5, true) => stage_radix5::<true>(stage, sr, si, dr, di, n),
+        (8, false) => stage_radix8::<false>(stage, sr, si, dr, di, n),
+        (8, true) => stage_radix8::<true>(stage, sr, si, dr, di, n),
         (p, _) => unreachable!("unsupported radix {p}"),
     }
 }
@@ -361,6 +379,114 @@ fn stage_radix5<const INV: bool>(
     }
 }
 
+fn stage_radix8<const INV: bool>(
+    st: &Stage,
+    sr: &[f64],
+    si: &[f64],
+    dr: &mut [f64],
+    di: &mut [f64],
+    n: usize,
+) {
+    let (l, m) = (st.l, st.m);
+    let mn = m * n;
+    // Radix-8 as two nested radix-4/2 splits: a 4-point DFT of the even
+    // inputs, a 4-point DFT of the odds, and the ω₈-rotated recombination.
+    // ω₈ = (1 − i)/√2 forward; `sgn` conjugates everything for the
+    // inverse. One radix-8 stage replaces a radix-4 + radix-2 pair — one
+    // full plane pass instead of two on the bandwidth-bound grids.
+    let c = std::f64::consts::FRAC_1_SQRT_2;
+    let sgn = if INV { -1.0 } else { 1.0 };
+    for j in 0..l {
+        let x0r = &sr[j * mn..][..mn];
+        let x0i = &si[j * mn..][..mn];
+        let x1r = &sr[(j + l) * mn..][..mn];
+        let x1i = &si[(j + l) * mn..][..mn];
+        let x2r = &sr[(j + 2 * l) * mn..][..mn];
+        let x2i = &si[(j + 2 * l) * mn..][..mn];
+        let x3r = &sr[(j + 3 * l) * mn..][..mn];
+        let x3i = &si[(j + 3 * l) * mn..][..mn];
+        let x4r = &sr[(j + 4 * l) * mn..][..mn];
+        let x4i = &si[(j + 4 * l) * mn..][..mn];
+        let x5r = &sr[(j + 5 * l) * mn..][..mn];
+        let x5i = &si[(j + 5 * l) * mn..][..mn];
+        let x6r = &sr[(j + 6 * l) * mn..][..mn];
+        let x6i = &si[(j + 6 * l) * mn..][..mn];
+        let x7r = &sr[(j + 7 * l) * mn..][..mn];
+        let x7i = &si[(j + 7 * l) * mn..][..mn];
+        let (w1r, w1i) = st.tw::<INV>(j, 1);
+        let (w2r, w2i) = st.tw::<INV>(j, 2);
+        let (w3r, w3i) = st.tw::<INV>(j, 3);
+        let (w4r, w4i) = st.tw::<INV>(j, 4);
+        let (w5r, w5i) = st.tw::<INV>(j, 5);
+        let (w6r, w6i) = st.tw::<INV>(j, 6);
+        let (w7r, w7i) = st.tw::<INV>(j, 7);
+        let [y0r, y1r, y2r, y3r, y4r, y5r, y6r, y7r] = split8(&mut dr[8 * j * mn..][..8 * mn], mn);
+        let [y0i, y1i, y2i, y3i, y4i, y5i, y6i, y7i] = split8(&mut di[8 * j * mn..][..8 * mn], mn);
+        for i in 0..mn {
+            // 4-point DFT of the even inputs (x0, x2, x4, x6).
+            let (t0r, t0i) = (x0r[i] + x4r[i], x0i[i] + x4i[i]);
+            let (t1r, t1i) = (x0r[i] - x4r[i], x0i[i] - x4i[i]);
+            let (t2r, t2i) = (x2r[i] + x6r[i], x2i[i] + x6i[i]);
+            let (t3r, t3i) = (sgn * (x2i[i] - x6i[i]), sgn * (x6r[i] - x2r[i]));
+            let (e0r, e0i) = (t0r + t2r, t0i + t2i);
+            let (e1r, e1i) = (t1r + t3r, t1i + t3i);
+            let (e2r, e2i) = (t0r - t2r, t0i - t2i);
+            let (e3r, e3i) = (t1r - t3r, t1i - t3i);
+            // 4-point DFT of the odd inputs (x1, x3, x5, x7).
+            let (u0r, u0i) = (x1r[i] + x5r[i], x1i[i] + x5i[i]);
+            let (u1r, u1i) = (x1r[i] - x5r[i], x1i[i] - x5i[i]);
+            let (u2r, u2i) = (x3r[i] + x7r[i], x3i[i] + x7i[i]);
+            let (u3r, u3i) = (sgn * (x3i[i] - x7i[i]), sgn * (x7r[i] - x3r[i]));
+            let (o0r, o0i) = (u0r + u2r, u0i + u2i);
+            let (o1r, o1i) = (u1r + u3r, u1i + u3i);
+            let (o2r, o2i) = (u0r - u2r, u0i - u2i);
+            let (o3r, o3i) = (u1r - u3r, u1i - u3i);
+            // Rotate the odd outputs by ω₈^s (s = 0..3):
+            // ω₈⁰ = 1, ω₈¹ = (1 ∓ i)/√2, ω₈² = ∓i, ω₈³ = −(1 ± i)/√2.
+            let (v1r, v1i) = (c * (o1r + sgn * o1i), c * (o1i - sgn * o1r));
+            let (v2r, v2i) = (sgn * o2i, -sgn * o2r);
+            let (v3r, v3i) = (c * (sgn * o3i - o3r), -c * (sgn * o3r + o3i));
+            // Recombine, then apply the stage twiddles.
+            y0r[i] = e0r + o0r;
+            y0i[i] = e0i + o0i;
+            let (d1r, d1i) = (e1r + v1r, e1i + v1i);
+            y1r[i] = d1r * w1r - d1i * w1i;
+            y1i[i] = d1r * w1i + d1i * w1r;
+            let (d2r, d2i) = (e2r + v2r, e2i + v2i);
+            y2r[i] = d2r * w2r - d2i * w2i;
+            y2i[i] = d2r * w2i + d2i * w2r;
+            let (d3r, d3i) = (e3r + v3r, e3i + v3i);
+            y3r[i] = d3r * w3r - d3i * w3i;
+            y3i[i] = d3r * w3i + d3i * w3r;
+            let (d4r, d4i) = (e0r - o0r, e0i - o0i);
+            y4r[i] = d4r * w4r - d4i * w4i;
+            y4i[i] = d4r * w4i + d4i * w4r;
+            let (d5r, d5i) = (e1r - v1r, e1i - v1i);
+            y5r[i] = d5r * w5r - d5i * w5i;
+            y5i[i] = d5r * w5i + d5i * w5r;
+            let (d6r, d6i) = (e2r - v2r, e2i - v2i);
+            y6r[i] = d6r * w6r - d6i * w6i;
+            y6i[i] = d6r * w6i + d6i * w6r;
+            let (d7r, d7i) = (e3r - v3r, e3i - v3i);
+            y7r[i] = d7r * w7r - d7i * w7i;
+            y7i[i] = d7r * w7i + d7i * w7r;
+        }
+    }
+}
+
+/// Splits one contiguous `8·mn` group into its eight `mn`-row blocks.
+fn split8(buf: &mut [f64], mn: usize) -> [&mut [f64]; 8] {
+    debug_assert_eq!(buf.len(), 8 * mn);
+    let (y0, rest) = buf.split_at_mut(mn);
+    let (y1, rest) = rest.split_at_mut(mn);
+    let (y2, rest) = rest.split_at_mut(mn);
+    let (y3, rest) = rest.split_at_mut(mn);
+    let (y4, rest) = rest.split_at_mut(mn);
+    let (y5, rest) = rest.split_at_mut(mn);
+    let (y6, y7) = rest.split_at_mut(mn);
+    [y0, y1, y2, y3, y4, y5, y6, y7]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,20 +513,39 @@ mod tests {
         assert_eq!(VecMixed2d::schedule(2), vec![2]);
         assert_eq!(VecMixed2d::schedule(4), vec![4]);
         assert_eq!(VecMixed2d::schedule(5), vec![5]);
-        assert_eq!(VecMixed2d::schedule(8), vec![4, 2]);
+        assert_eq!(VecMixed2d::schedule(8), vec![8]);
         assert_eq!(VecMixed2d::schedule(20), vec![4, 5]);
-        assert_eq!(VecMixed2d::schedule(40), vec![4, 2, 5]);
+        assert_eq!(VecMixed2d::schedule(32), vec![8, 4]);
+        assert_eq!(VecMixed2d::schedule(40), vec![8, 5]);
+        assert_eq!(VecMixed2d::schedule(64), vec![8, 8]);
         assert_eq!(VecMixed2d::schedule(100), vec![4, 5, 5]);
-        // The paper's native grid: 200 = 2³·5² → one radix-4, one radix-2,
-        // two radix-5 stages.
-        assert_eq!(VecMixed2d::schedule(200), vec![4, 2, 5, 5]);
-        assert_eq!(VecMixed2d::schedule(256), vec![4, 4, 4, 4]);
+        // The paper's native grid: 200 = 2³·5² → one radix-8 and two
+        // radix-5 stages (three full plane passes, down from four).
+        assert_eq!(VecMixed2d::schedule(200), vec![8, 5, 5]);
+        assert_eq!(VecMixed2d::schedule(256), vec![8, 8, 4]);
         for n in SIZES {
             assert_eq!(
                 VecMixed2d::schedule(n).iter().product::<usize>(),
                 n,
                 "schedule({n}) must multiply back to n"
             );
+        }
+    }
+
+    /// Test convenience: a column pass whose result always ends in the
+    /// primary Vec pair (swapping the Vecs when the stage count is odd).
+    fn column_pass_vecs(
+        engine: &VecMixed2d,
+        re: &mut Vec<f64>,
+        im: &mut Vec<f64>,
+        sre: &mut Vec<f64>,
+        sim: &mut Vec<f64>,
+        inverse: bool,
+    ) {
+        engine.column_pass(re, im, sre, sim, inverse);
+        if engine.odd_stages() {
+            std::mem::swap(re, sre);
+            std::mem::swap(im, sim);
         }
     }
 
@@ -423,7 +568,7 @@ mod tests {
         deinterleave(&data, &mut re, &mut im);
         let mut sre = vec![0.0; n * n];
         let mut sim = vec![0.0; n * n];
-        engine.column_pass(&mut re, &mut im, &mut sre, &mut sim, inverse);
+        column_pass_vecs(&engine, &mut re, &mut im, &mut sre, &mut sim, inverse);
         let mut got = vec![Complex64::ZERO; n * n];
         interleave(&re, &im, &mut got);
 
@@ -472,8 +617,8 @@ mod tests {
             let mut im = orig_im.clone();
             let mut sre = vec![0.0; n * n];
             let mut sim = vec![0.0; n * n];
-            engine.column_pass(&mut re, &mut im, &mut sre, &mut sim, false);
-            engine.column_pass(&mut re, &mut im, &mut sre, &mut sim, true);
+            column_pass_vecs(&engine, &mut re, &mut im, &mut sre, &mut sim, false);
+            column_pass_vecs(&engine, &mut re, &mut im, &mut sre, &mut sim, true);
             let scale = 1.0 / n as f64;
             for i in 0..n * n {
                 assert!(

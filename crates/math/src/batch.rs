@@ -1,16 +1,26 @@
 //! Contiguous batched 2-D storage — the memory layout of the batched
 //! propagation engine.
 //!
-//! A mini-batch of optical fields is one `[batch, rows, cols]` buffer in
-//! sample-major order: sample `b` occupies the contiguous range
-//! `b·rows·cols .. (b+1)·rows·cols`, itself row-major like [`CGrid`]. The
-//! layout lets FFT workers take disjoint `&mut` sample slices, keeps every
-//! per-sample transform cache-local, and amortizes one allocation over the
-//! whole batch instead of one per sample per op.
+//! A mini-batch of optical fields is stored **planar**: two `[batch, rows,
+//! cols]` `f64` buffers, one holding every sample's real plane and one the
+//! imaginary planes, both in sample-major order (sample `b` occupies the
+//! contiguous range `b·rows·cols .. (b+1)·rows·cols` of each buffer,
+//! itself row-major like [`CGrid`]). This is the native layout of the
+//! vectorized FFT engines in `photonn-fft` — their butterflies are
+//! elementwise `f64` arithmetic over whole plane rows — so a field stack
+//! travels through every propagation hop without ever being reassembled
+//! into interleaved complex samples. Disjoint per-sample plane slices let
+//! FFT workers split a batch without locks, and one allocation pair serves
+//! the whole batch.
+//!
+//! Interleaved [`Complex64`] views survive only at the API boundary:
+//! [`BatchCGrid::from_samples`] / [`BatchCGrid::set_sample`] deinterleave
+//! on the way in, [`BatchCGrid::to_cgrid`] interleaves on the way out.
 
+use crate::planar;
 use crate::{CGrid, Complex64, Grid};
 
-/// A batch of same-shaped complex fields in one contiguous buffer.
+/// A batch of same-shaped complex fields as split re/im plane stacks.
 ///
 /// # Examples
 ///
@@ -29,7 +39,8 @@ pub struct BatchCGrid {
     batch: usize,
     rows: usize,
     cols: usize,
-    data: Vec<Complex64>,
+    re: Vec<f64>,
+    im: Vec<f64>,
 }
 
 impl BatchCGrid {
@@ -44,7 +55,8 @@ impl BatchCGrid {
             batch,
             rows,
             cols,
-            data: vec![Complex64::ZERO; batch * rows * cols],
+            re: vec![0.0; batch * rows * cols],
+            im: vec![0.0; batch * rows * cols],
         }
     }
 
@@ -60,11 +72,14 @@ impl BatchCGrid {
         mut f: impl FnMut(usize, usize, usize) -> Complex64,
     ) -> Self {
         assert!(batch > 0 && rows > 0 && cols > 0, "empty batch shape");
-        let mut data = Vec::with_capacity(batch * rows * cols);
+        let mut re = Vec::with_capacity(batch * rows * cols);
+        let mut im = Vec::with_capacity(batch * rows * cols);
         for b in 0..batch {
             for r in 0..rows {
                 for c in 0..cols {
-                    data.push(f(b, r, c));
+                    let z = f(b, r, c);
+                    re.push(z.re);
+                    im.push(z.im);
                 }
             }
         }
@@ -72,11 +87,13 @@ impl BatchCGrid {
             batch,
             rows,
             cols,
-            data,
+            re,
+            im,
         }
     }
 
-    /// Stacks same-shaped fields into one contiguous batch.
+    /// Stacks same-shaped fields into one contiguous planar batch
+    /// (deinterleaving each sample — one of the two conversion edges).
     ///
     /// # Panics
     ///
@@ -84,17 +101,14 @@ impl BatchCGrid {
     pub fn from_samples(samples: &[CGrid]) -> Self {
         assert!(!samples.is_empty(), "empty batch");
         let (rows, cols) = samples[0].shape();
-        let mut data = Vec::with_capacity(samples.len() * rows * cols);
         for s in samples {
             assert_eq!(s.shape(), (rows, cols), "sample shape mismatch in batch");
-            data.extend_from_slice(s.as_slice());
         }
-        BatchCGrid {
-            batch: samples.len(),
-            rows,
-            cols,
-            data,
+        let mut out = BatchCGrid::zeros(samples.len(), rows, cols);
+        for (b, s) in samples.iter().enumerate() {
+            out.set_sample(b, s);
         }
+        out
     }
 
     /// Number of samples in the batch.
@@ -127,70 +141,107 @@ impl BatchCGrid {
         self.rows * self.cols
     }
 
-    /// Total number of elements across the batch.
+    /// Total number of complex elements across the batch.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.re.len()
     }
 
     /// `true` if the batch holds no elements (never, by construction).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.re.is_empty()
     }
 
-    /// The whole buffer, sample-major.
+    /// The whole real and imaginary plane stacks, sample-major.
     #[inline]
-    pub fn as_slice(&self) -> &[Complex64] {
-        &self.data
+    pub fn planes(&self) -> (&[f64], &[f64]) {
+        (&self.re, &self.im)
     }
 
-    /// Mutable access to the whole buffer, sample-major.
+    /// Mutable access to both plane stacks, sample-major.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
-        &mut self.data
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
     }
 
-    /// Row-major view of one sample.
+    /// Row-major re/im planes of one sample.
     ///
     /// # Panics
     ///
     /// Panics if `b` is out of range.
     #[inline]
-    pub fn sample(&self, b: usize) -> &[Complex64] {
+    pub fn sample_planes(&self, b: usize) -> (&[f64], &[f64]) {
         let n = self.sample_len();
-        &self.data[b * n..(b + 1) * n]
+        (&self.re[b * n..(b + 1) * n], &self.im[b * n..(b + 1) * n])
     }
 
-    /// Mutable row-major view of one sample.
+    /// Mutable row-major re/im planes of one sample.
     ///
     /// # Panics
     ///
     /// Panics if `b` is out of range.
     #[inline]
-    pub fn sample_mut(&mut self, b: usize) -> &mut [Complex64] {
+    pub fn sample_planes_mut(&mut self, b: usize) -> (&mut [f64], &mut [f64]) {
         let n = self.sample_len();
-        &mut self.data[b * n..(b + 1) * n]
+        (
+            &mut self.re[b * n..(b + 1) * n],
+            &mut self.im[b * n..(b + 1) * n],
+        )
     }
 
-    /// Iterates over per-sample row-major slices.
-    pub fn samples(&self) -> impl Iterator<Item = &[Complex64]> {
-        self.data.chunks(self.sample_len())
-    }
-
-    /// Iterates over mutable per-sample row-major slices.
-    pub fn samples_mut(&mut self) -> impl Iterator<Item = &mut [Complex64]> {
+    /// Iterates over per-sample `(re, im)` plane pairs.
+    pub fn samples(&self) -> impl Iterator<Item = (&[f64], &[f64])> {
         let n = self.sample_len();
-        self.data.chunks_mut(n)
+        self.re.chunks(n).zip(self.im.chunks(n))
     }
 
-    /// Copies sample `b` out as a standalone [`CGrid`].
+    /// Iterates over mutable per-sample `(re, im)` plane pairs.
+    pub fn samples_mut(&mut self) -> impl Iterator<Item = (&mut [f64], &mut [f64])> {
+        let n = self.sample_len();
+        self.re.chunks_mut(n).zip(self.im.chunks_mut(n))
+    }
+
+    /// One complex element (test/debug convenience; the hot paths go
+    /// through the plane accessors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[inline]
+    pub fn get(&self, b: usize, r: usize, c: usize) -> Complex64 {
+        assert!(b < self.batch && r < self.rows && c < self.cols);
+        let i = b * self.sample_len() + r * self.cols + c;
+        Complex64::new(self.re[i], self.im[i])
+    }
+
+    /// Copies sample `b` out as a standalone interleaved [`CGrid`] — one of
+    /// the two conversion edges (detector readout / cache export).
     ///
     /// # Panics
     ///
     /// Panics if `b` is out of range.
     pub fn to_cgrid(&self, b: usize) -> CGrid {
-        CGrid::from_vec(self.rows, self.cols, self.sample(b).to_vec())
+        let (re, im) = self.sample_planes(b);
+        let mut out = CGrid::zeros(self.rows, self.cols);
+        planar::interleave(re, im, out.as_mut_slice());
+        out
+    }
+
+    /// Overwrites sample `b` from an interleaved [`CGrid`] — the
+    /// encode-side conversion edge (batch assembly from cached fields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range or the shape differs.
+    pub fn set_sample(&mut self, b: usize, sample: &CGrid) {
+        assert_eq!(
+            sample.shape(),
+            (self.rows, self.cols),
+            "sample shape mismatch"
+        );
+        let (re, im) = self.sample_planes_mut(b);
+        planar::deinterleave(sample.as_slice(), re, im);
     }
 
     /// Multiplies every sample elementwise by one shared grid (broadcast
@@ -206,9 +257,34 @@ impl BatchCGrid {
             "broadcast shape mismatch"
         );
         let kk = k.as_slice();
-        for sample in self.samples_mut() {
-            for (a, &b) in sample.iter_mut().zip(kk) {
-                *a *= b;
+        for (re, im) in self.samples_mut() {
+            for ((r, i), z) in re.iter_mut().zip(im.iter_mut()).zip(kk) {
+                let (a, b) = (*r, *i);
+                *r = a * z.re - b * z.im;
+                *i = a * z.im + b * z.re;
+            }
+        }
+    }
+
+    /// Multiplies every sample elementwise by the *conjugate* of one shared
+    /// grid — the adjoint of [`BatchCGrid::hadamard_bcast_inplace`], used
+    /// by the backward sweeps of the broadcast-modulation tape ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` does not have the per-sample shape.
+    pub fn hadamard_bcast_conj_inplace(&mut self, k: &CGrid) {
+        assert_eq!(
+            k.shape(),
+            (self.rows, self.cols),
+            "broadcast shape mismatch"
+        );
+        let kk = k.as_slice();
+        for (re, im) in self.samples_mut() {
+            for ((r, i), z) in re.iter_mut().zip(im.iter_mut()).zip(kk) {
+                let (a, b) = (*r, *i);
+                *r = a * z.re + b * z.im;
+                *i = b * z.re - a * z.im;
             }
         }
     }
@@ -220,31 +296,39 @@ impl BatchCGrid {
     /// Panics if shapes differ.
     pub fn hadamard_inplace(&mut self, other: &BatchCGrid) {
         assert_eq!(self.shape(), other.shape(), "batch shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a *= b;
-        }
+        planar::hadamard(&mut self.re, &mut self.im, &other.re, &other.im);
     }
 
     /// Scales every element by a real factor in place.
     pub fn scale_inplace(&mut self, s: f64) {
-        for z in &mut self.data {
-            *z = z.scale(s);
+        for v in &mut self.re {
+            *v *= s;
+        }
+        for v in &mut self.im {
+            *v *= s;
         }
     }
 
-    /// Per-element intensity `|z|²` of every sample.
+    /// Per-element intensity `|z|²` of every sample, straight from the
+    /// planes.
     pub fn intensity(&self) -> BatchGrid {
+        let mut data = vec![0.0; self.re.len()];
+        planar::intensity(&self.re, &self.im, &mut data);
         BatchGrid {
             batch: self.batch,
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|z| z.norm_sqr()).collect(),
+            data,
         }
     }
 
     /// Total optical power `Σ|z|²` over the whole batch.
     pub fn total_power(&self) -> f64 {
-        self.data.iter().map(|z| z.norm_sqr()).sum()
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(r, i)| r * r + i * i)
+            .sum()
     }
 
     /// Zero-pads every sample centered into `rows × cols`.
@@ -260,12 +344,17 @@ impl BatchCGrid {
         let r0 = (rows - self.rows) / 2;
         let c0 = (cols - self.cols) / 2;
         let mut out = BatchCGrid::zeros(self.batch, rows, cols);
-        for (b, src) in self.samples().enumerate() {
-            let dst = out.sample_mut(b);
-            for r in 0..self.rows {
-                let src_row = &src[r * self.cols..(r + 1) * self.cols];
-                let d0 = (r0 + r) * cols + c0;
-                dst[d0..d0 + self.cols].copy_from_slice(src_row);
+        let dst_len = rows * cols;
+        for (plane, dst_plane) in [(&self.re, &mut out.re), (&self.im, &mut out.im)] {
+            for (src, dst) in plane
+                .chunks(self.sample_len())
+                .zip(dst_plane.chunks_mut(dst_len))
+            {
+                for r in 0..self.rows {
+                    let src_row = &src[r * self.cols..(r + 1) * self.cols];
+                    let d0 = (r0 + r) * cols + c0;
+                    dst[d0..d0 + self.cols].copy_from_slice(src_row);
+                }
             }
         }
         out
@@ -284,11 +373,16 @@ impl BatchCGrid {
         let r0 = (self.rows - rows) / 2;
         let c0 = (self.cols - cols) / 2;
         let mut out = BatchCGrid::zeros(self.batch, rows, cols);
-        for (b, src) in self.samples().enumerate() {
-            let dst = out.sample_mut(b);
-            for r in 0..rows {
-                let s0 = (r0 + r) * self.cols + c0;
-                dst[r * cols..(r + 1) * cols].copy_from_slice(&src[s0..s0 + cols]);
+        let dst_len = rows * cols;
+        for (plane, dst_plane) in [(&self.re, &mut out.re), (&self.im, &mut out.im)] {
+            for (src, dst) in plane
+                .chunks(self.sample_len())
+                .zip(dst_plane.chunks_mut(dst_len))
+            {
+                for r in 0..rows {
+                    let s0 = (r0 + r) * self.cols + c0;
+                    dst[r * cols..(r + 1) * cols].copy_from_slice(&src[s0..s0 + cols]);
+                }
             }
         }
         out
@@ -301,10 +395,14 @@ impl BatchCGrid {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &BatchCGrid) -> f64 {
         assert_eq!(self.shape(), other.shape(), "batch shape mismatch");
-        self.data
+        self.re
             .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (*a - *b).norm())
+            .zip(&self.im)
+            .zip(other.re.iter().zip(&other.im))
+            .map(|((ar, ai), (br, bi))| {
+                let (dr, di) = (ar - br, ai - bi);
+                (dr * dr + di * di).sqrt()
+            })
             .fold(0.0, f64::max)
     }
 }
@@ -472,6 +570,7 @@ impl BatchGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Rng;
 
     fn numbered(batch: usize, n: usize) -> BatchCGrid {
         BatchCGrid::from_fn(batch, n, n, |b, r, c| {
@@ -490,6 +589,40 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_planar_interleaved_identity_property() {
+        // Random interleaved samples → planar batch → interleaved must be
+        // the identity bit-for-bit: the conversion edges copy, never
+        // compute. Uses the in-tree PRNG over many shapes/seeds.
+        for seed in 0..16u64 {
+            let mut rng = Rng::seed_from(seed);
+            let n = 1 + (seed as usize % 7) * 3;
+            let batch = 1 + seed as usize % 5;
+            let samples: Vec<CGrid> = (0..batch)
+                .map(|_| {
+                    CGrid::from_fn(n, n, |_, _| {
+                        Complex64::new(rng.normal_with(0.0, 1.0), rng.normal_with(0.0, 1.0))
+                    })
+                })
+                .collect();
+            let planar = BatchCGrid::from_samples(&samples);
+            for (b, s) in samples.iter().enumerate() {
+                assert_eq!(&planar.to_cgrid(b), s, "seed {seed} sample {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_sample_matches_from_samples() {
+        let a = CGrid::from_fn(4, 4, |r, c| Complex64::new(r as f64, -(c as f64)));
+        let b = a.map(|z| z * Complex64::new(0.3, 0.7));
+        let stacked = BatchCGrid::from_samples(&[a.clone(), b.clone()]);
+        let mut assembled = BatchCGrid::zeros(2, 4, 4);
+        assembled.set_sample(0, &a);
+        assembled.set_sample(1, &b);
+        assert_eq!(assembled, stacked);
+    }
+
+    #[test]
     #[should_panic(expected = "sample shape mismatch")]
     fn ragged_samples_panic() {
         let _ = BatchCGrid::from_samples(&[CGrid::zeros(2, 2), CGrid::zeros(3, 3)]);
@@ -501,6 +634,19 @@ mod tests {
         let mask = CGrid::from_fn(4, 4, |r, c| Complex64::cis((r + 2 * c) as f64));
         let expected: Vec<CGrid> = (0..3).map(|b| batch.to_cgrid(b).hadamard(&mask)).collect();
         batch.hadamard_bcast_inplace(&mask);
+        for (b, e) in expected.iter().enumerate() {
+            assert!(batch.to_cgrid(b).max_abs_diff(e) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn broadcast_conj_hadamard_matches_per_sample() {
+        let mut batch = numbered(2, 4);
+        let mask = CGrid::from_fn(4, 4, |r, c| Complex64::cis((2 * r + c) as f64));
+        let expected: Vec<CGrid> = (0..2)
+            .map(|b| batch.to_cgrid(b).hadamard(&mask.conj()))
+            .collect();
+        batch.hadamard_bcast_conj_inplace(&mask);
         for (b, e) in expected.iter().enumerate() {
             assert!(batch.to_cgrid(b).max_abs_diff(e) < 1e-15);
         }
@@ -529,11 +675,12 @@ mod tests {
     }
 
     #[test]
-    fn sample_slices_are_disjoint_views() {
+    fn sample_planes_are_disjoint_views() {
         let mut batch = BatchCGrid::zeros(2, 2, 2);
-        batch.sample_mut(1)[3] = Complex64::ONE;
-        assert_eq!(batch.sample(0).iter().map(|z| z.norm()).sum::<f64>(), 0.0);
-        assert_eq!(batch.to_cgrid(1)[(1, 1)], Complex64::ONE);
+        batch.sample_planes_mut(1).0[3] = 1.0;
+        let (re0, im0) = batch.sample_planes(0);
+        assert!(re0.iter().chain(im0).all(|&v| v == 0.0));
+        assert_eq!(batch.get(1, 1, 1), Complex64::ONE);
     }
 
     #[test]

@@ -80,11 +80,117 @@ pub fn interleave(re: &[f64], im: &[f64], data: &mut [Complex64]) {
 pub fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
     debug_assert_eq!(src.len(), n * n);
     debug_assert_eq!(dst.len(), n * n);
-    for r in 0..n {
-        let row = &src[r * n..(r + 1) * n];
-        for (c, &v) in row.iter().enumerate() {
-            dst[c * n + r] = v;
+    // Tiled to keep both the row-major reads and the column-major writes
+    // inside one cache-resident block: at the paper's 200×200 planes the
+    // naive scatter walks a 1.6 kB stride for every element, evicting the
+    // destination lines long before the next column revisits them. Pure
+    // data movement — bit-identical output regardless of tiling.
+    const TILE: usize = 32;
+    for rb in (0..n).step_by(TILE) {
+        let r_end = (rb + TILE).min(n);
+        for cb in (0..n).step_by(TILE) {
+            let c_end = (cb + TILE).min(n);
+            for r in rb..r_end {
+                let row = &src[r * n..(r + 1) * n];
+                for c in cb..c_end {
+                    dst[c * n + r] = row[c];
+                }
+            }
         }
+    }
+}
+
+/// Planar elementwise complex product:
+/// `(re + i·im) ← (re + i·im) · (kr + i·ki)`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on any length mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::planar;
+///
+/// // (1 + 2i) · (0 + 1i) = (-2 + 1i)
+/// let (mut re, mut im) = ([1.0], [2.0]);
+/// planar::hadamard(&mut re, &mut im, &[0.0], &[1.0]);
+/// assert_eq!((re[0], im[0]), (-2.0, 1.0));
+/// ```
+pub fn hadamard(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
+    debug_assert_eq!(re.len(), im.len());
+    debug_assert_eq!(re.len(), kr.len());
+    debug_assert_eq!(re.len(), ki.len());
+    for i in 0..re.len() {
+        let (zr, zi) = (re[i], im[i]);
+        re[i] = zr * kr[i] - zi * ki[i];
+        im[i] = zr * ki[i] + zi * kr[i];
+    }
+}
+
+/// Planar elementwise product with the *conjugate* of a kernel pair:
+/// `(re + i·im) ← (re + i·im) · (kr − i·ki)` — the adjoint of
+/// [`hadamard`], used by reverse-mode sweeps.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on any length mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::planar;
+///
+/// // (1 + 2i) · conj(0 + 1i) = (2 - 1i)
+/// let (mut re, mut im) = ([1.0], [2.0]);
+/// planar::hadamard_conj(&mut re, &mut im, &[0.0], &[1.0]);
+/// assert_eq!((re[0], im[0]), (2.0, -1.0));
+/// ```
+pub fn hadamard_conj(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
+    debug_assert_eq!(re.len(), im.len());
+    debug_assert_eq!(re.len(), kr.len());
+    debug_assert_eq!(re.len(), ki.len());
+    for i in 0..re.len() {
+        let (zr, zi) = (re[i], im[i]);
+        re[i] = zr * kr[i] + zi * ki[i];
+        im[i] = zi * kr[i] - zr * ki[i];
+    }
+}
+
+/// Accumulates the conjugate product `out += g · conj(x)` over plane
+/// pairs — the per-sample contribution to a broadcast mask's gradient
+/// `Σ_b g_b ⊙ x̄_b` in the batched backward sweeps.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on any length mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_math::planar;
+///
+/// // (0 + 1i) · conj(1 + 2i) = (2 + 1i)
+/// let (mut or, mut oi) = ([0.0], [0.0]);
+/// planar::acc_mul_conj(&[0.0], &[1.0], &[1.0], &[2.0], &mut or, &mut oi);
+/// assert_eq!((or[0], oi[0]), (2.0, 1.0));
+/// ```
+pub fn acc_mul_conj(
+    gr: &[f64],
+    gi: &[f64],
+    xr: &[f64],
+    xi: &[f64],
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    debug_assert_eq!(gr.len(), gi.len());
+    debug_assert_eq!(gr.len(), xr.len());
+    debug_assert_eq!(gr.len(), xi.len());
+    debug_assert_eq!(gr.len(), out_re.len());
+    debug_assert_eq!(gr.len(), out_im.len());
+    for i in 0..gr.len() {
+        out_re[i] += gr[i] * xr[i] + gi[i] * xi[i];
+        out_im[i] += gi[i] * xr[i] - gr[i] * xi[i];
     }
 }
 
@@ -193,6 +299,50 @@ mod tests {
         interleave(&re, &im, &mut got);
         for (g, e) in got.iter().zip(expected.as_slice()) {
             assert!((*g - *e).norm() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn hadamard_variants_match_cgrid() {
+        let n = 4;
+        let a = CGrid::from_fn(n, n, |r, c| Complex64::new(r as f64 - 1.5, c as f64 + 0.25));
+        let k = CGrid::from_fn(n, n, |r, c| Complex64::cis((r * n + c) as f64 * 1.1));
+        let mut re = vec![0.0; n * n];
+        let mut im = vec![0.0; n * n];
+        let mut kr = vec![0.0; n * n];
+        let mut ki = vec![0.0; n * n];
+        deinterleave(k.as_slice(), &mut kr, &mut ki);
+
+        deinterleave(a.as_slice(), &mut re, &mut im);
+        hadamard(&mut re, &mut im, &kr, &ki);
+        let mut got = vec![Complex64::ZERO; n * n];
+        interleave(&re, &im, &mut got);
+        for (g, e) in got.iter().zip(a.hadamard(&k).as_slice()) {
+            assert!((*g - *e).norm() < 1e-15);
+        }
+
+        deinterleave(a.as_slice(), &mut re, &mut im);
+        hadamard_conj(&mut re, &mut im, &kr, &ki);
+        interleave(&re, &im, &mut got);
+        for (g, e) in got.iter().zip(a.hadamard(&k.conj()).as_slice()) {
+            assert!((*g - *e).norm() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn acc_mul_conj_accumulates() {
+        let g = [Complex64::new(1.0, 2.0), Complex64::new(-0.5, 0.25)];
+        let x = [Complex64::new(3.0, -1.0), Complex64::new(0.5, 4.0)];
+        let (mut gr, mut gi) = ([0.0; 2], [0.0; 2]);
+        let (mut xr, mut xi) = ([0.0; 2], [0.0; 2]);
+        deinterleave(&g, &mut gr, &mut gi);
+        deinterleave(&x, &mut xr, &mut xi);
+        let (mut or, mut oi) = ([0.0; 2], [0.0; 2]);
+        acc_mul_conj(&gr, &gi, &xr, &xi, &mut or, &mut oi);
+        acc_mul_conj(&gr, &gi, &xr, &xi, &mut or, &mut oi);
+        for i in 0..2 {
+            let expect = g[i] * x[i].conj() * Complex64::from_real(2.0);
+            assert!((Complex64::new(or[i], oi[i]) - expect).norm() < 1e-15);
         }
     }
 

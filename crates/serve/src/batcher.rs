@@ -370,14 +370,15 @@ fn run_with_cache(
             }
         }
     }
-    // Copy the resolved fields into the contiguous batch stack outside
-    // any cache lock (the Arc clones above were pointer-sized).
+    // Deinterleave the resolved fields into the planar batch stack
+    // outside any cache lock (the Arc clones above were pointer-sized).
+    // This assembly is the engine's encode-side conversion edge: cached
+    // first hops are interleaved `CGrid`s, everything downstream is
+    // planar.
     let n = model.grid();
     let mut stack = BatchCGrid::zeros(jobs.len(), n, n);
     for (b, hop) in hops.iter().enumerate() {
-        stack
-            .sample_mut(b)
-            .copy_from_slice(hop.as_deref().expect("resolved").as_slice());
+        stack.set_sample(b, hop.as_deref().expect("resolved"));
     }
     model.logits_from_first_hop(stack, threads)
 }

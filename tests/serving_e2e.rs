@@ -106,6 +106,57 @@ fn concurrent_clients_receive_bit_identical_logits() {
     server.shutdown();
 }
 
+/// The planar-engine serving invariant: with the field stack stored as
+/// split re/im planes end-to-end (and the input-hop cache exercising both
+/// conversion edges — interleaved `CGrid` hops deinterleaved into the
+/// planar stack, fresh hops interleaved back out for caching), served
+/// logits stay bit-identical to direct per-sample `Donn::logits` calls.
+/// Pinned at a mixed-radix grid (20 = 2²·5) so the vectorized planar
+/// mixed-radix path — the paper-native 200-grid path in miniature — is the
+/// engine under test, including repeat requests answered from the cache.
+#[test]
+fn planar_backed_logits_bit_identical_to_direct_calls() {
+    let mut rng = Rng::seed_from(41);
+    let donn = Donn::random(DonnConfig::scaled(20), &mut rng);
+    let config = ServerConfig {
+        policy: BatchPolicy {
+            max_batch: 4,
+            max_wait_us: 0,
+            queue_capacity: 64,
+            threads: 2,
+        },
+        cache_budget_bytes: 8 << 20, // force the cache-assisted stack path
+    };
+    let mut server = Server::bind("127.0.0.1:0", registry(&donn), config).expect("bind");
+    let addr = server.addr();
+
+    let data = Dataset::synthetic(Family::Mnist, 5, 41).resized(20);
+    let mut conn = client::Connection::connect(addr).expect("connect");
+    // Two passes over the same images: the first misses the input-hop
+    // cache (fresh planar hops, interleaved back out for caching), the
+    // second hits it (cached CGrids deinterleaved into the planar stack).
+    for pass in 0..2 {
+        for i in 0..data.len() {
+            let image = data.image(i);
+            let (status, body) = conn
+                .request("POST", "/v1/logits", Some(&logits_body(image)))
+                .expect("request");
+            assert_eq!(status, 200, "pass {pass} image {i}: {body}");
+            assert_eq!(
+                parse_logits(&body),
+                donn.logits(image),
+                "pass {pass} image {i}: planar-backed logits not bit-identical"
+            );
+        }
+    }
+    let snapshot = server.metrics();
+    assert!(
+        snapshot.cache_hits >= data.len() as u64,
+        "second pass should hit the input-hop cache"
+    );
+    server.shutdown();
+}
+
 /// Backpressure: with a 2-deep queue and a dispatcher parked waiting for a
 /// large batch, a third request must bounce with HTTP 429 while the two
 /// parked requests still complete.
