@@ -1,0 +1,285 @@
+//! Reusable per-shard mask-gradient buffers for data-parallel training.
+//!
+//! A data-parallel DONN trainer splits each mini-batch into shards, runs
+//! one batched tape per shard, and must combine the per-shard mask
+//! gradients into exactly what a single tape over the whole batch would
+//! have produced. [`MaskGrads`] is that reduction unit. Two choices make
+//! the combination *deterministic* instead of merely close:
+//!
+//! 1. **Reduce in complex mask space.** The tape accumulates each layer's
+//!    mask gradient as the complex adjoint `gw = Σ_b h_b ⊙ x̄_b` of the
+//!    transmission `w = e^{iφ}` and only then applies the elementwise
+//!    phase rule `gφ = Re(i·w ⊙ conj(gw))`. Summing already-projected real
+//!    gradients across shards would interleave that nonassociative rule
+//!    with the reduction; summing the `gw` buffers and applying
+//!    [`phase_adjoint`] once on the total keeps the arithmetic identical
+//!    to the single-tape sweep.
+//! 2. **Reduce with the tape's midpoint tree.** The tape sums per-sample
+//!    contributions with a fixed midpoint-split tree, so a shard's `gw` is
+//!    a complete subtree of the full batch's whenever the shards are an
+//!    equal contiguous split with a power-of-two shard count.
+//!    [`MaskGrads::tree_reduce`] combines shard partials with the same
+//!    rule, reproducing the single-tape gradient **bit for bit** in that
+//!    case — and to within reassociation error (≲1e-15 relative) for any
+//!    other split.
+//!
+//! Each shard's tape must be built with the *global* batch size as its
+//! loss denominator (`Tape::mse_onehot_mean_rows_with_denom`), so every
+//! sample contribution already carries the single-tape `1/B` seed and the
+//! all-reduce is a plain sum — no posthoc reweighting, no extra rounding.
+
+use photonn_math::{CGrid, Grid};
+use std::sync::Arc;
+
+use crate::tape::{phase_adjoint, CVar, Gradients};
+
+/// One shard's contribution to a distributed gradient step: the per-layer
+/// complex mask-space adjoints, the shard's (globally scaled) loss term,
+/// and the shard size. Produced by one backward sweep, combined across
+/// shards with [`MaskGrads::tree_reduce`], and projected to real phase
+/// gradients with [`MaskGrads::phase_gradients`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaskGrads {
+    /// Per-layer complex adjoints `gw` of the transmissions `w = e^{iφ}`,
+    /// already scaled by the global batch denominator.
+    pub wgrads: Vec<CGrid>,
+    /// This shard's loss contribution `Σ_{i∈shard} l_i / B_global`;
+    /// summing over shards yields the batch mean loss.
+    pub loss: f64,
+    /// Number of samples this buffer aggregates.
+    pub samples: usize,
+}
+
+impl MaskGrads {
+    /// Extracts the per-layer transmission adjoints from a backward sweep.
+    /// `trans_vars` are the `phase_to_complex` output handles in layer
+    /// order (e.g. `photonn_donn::BatchLossParts::trans_vars`); a layer the
+    /// loss does not reach yields a zero grid.
+    pub fn extract(
+        grads: &Gradients,
+        trans_vars: &[CVar],
+        n: usize,
+        loss: f64,
+        samples: usize,
+    ) -> MaskGrads {
+        let wgrads = trans_vars
+            .iter()
+            .map(|&v| {
+                grads
+                    .complex(v)
+                    .cloned()
+                    .unwrap_or_else(|| CGrid::zeros(n, n))
+            })
+            .collect();
+        MaskGrads {
+            wgrads,
+            loss,
+            samples,
+        }
+    }
+
+    /// Elementwise merge `self += other` (complex adjoints, loss term and
+    /// sample count). The building block of [`MaskGrads::tree_reduce`];
+    /// exposed so a streaming coordinator can fold parts as they arrive
+    /// when determinism across shard layouts is not required.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a layer-count or shape mismatch.
+    pub fn merge(&mut self, other: &MaskGrads) {
+        assert_eq!(
+            self.wgrads.len(),
+            other.wgrads.len(),
+            "layer count mismatch"
+        );
+        for (a, b) in self.wgrads.iter_mut().zip(&other.wgrads) {
+            assert_eq!(a.shape(), b.shape(), "mask shape mismatch");
+            for (za, zb) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                *za += *zb;
+            }
+        }
+        self.loss += other.loss;
+        self.samples += other.samples;
+    }
+
+    /// Combines shard partials with the tape's midpoint-split tree:
+    /// `reduce([lo, hi)) = reduce([lo, mid)) + reduce([mid, hi))`,
+    /// `mid = lo + (hi−lo)/2`. With shards listed in batch order this
+    /// mirrors the in-tape per-sample tree exactly (see the module docs
+    /// for when that yields bit-identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn tree_reduce(parts: Vec<MaskGrads>) -> MaskGrads {
+        assert!(!parts.is_empty(), "tree_reduce of no shards");
+        fn reduce(parts: &mut [Option<MaskGrads>]) -> MaskGrads {
+            if parts.len() == 1 {
+                return parts[0].take().expect("shard consumed twice");
+            }
+            let mid = parts.len() / 2;
+            let (left, right) = parts.split_at_mut(mid);
+            let mut acc = reduce(left);
+            acc.merge(&reduce(right));
+            acc
+        }
+        let mut slots: Vec<Option<MaskGrads>> = parts.into_iter().map(Some).collect();
+        reduce(&mut slots)
+    }
+
+    /// Projects the reduced complex adjoints to real phase gradients —
+    /// the final, shard-count-independent step of the all-reduce. Applies
+    /// the same pipeline the tape applies per layer: `φ_eff = φ ⊙ k` for
+    /// an optional 0/1 freeze mask `k`, `w = e^{iφ_eff}`,
+    /// `gφ = Re(i·w ⊙ conj(gw))`, then `gφ ⊙ k` (exact, since `k` is
+    /// 0/1-valued). Routing through [`phase_adjoint`] keeps this bitwise
+    /// equal to what the tape's own backward sweep produces for the same
+    /// total `gw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` (or `freeze`) does not match the layer count or
+    /// shapes.
+    pub fn phase_gradients(&self, masks: &[Grid], freeze: Option<&[Arc<Grid>]>) -> Vec<Grid> {
+        assert_eq!(masks.len(), self.wgrads.len(), "layer count mismatch");
+        if let Some(fz) = freeze {
+            assert_eq!(fz.len(), masks.len(), "freeze mask count mismatch");
+        }
+        masks
+            .iter()
+            .zip(&self.wgrads)
+            .enumerate()
+            .map(|(l, (mask, gw))| {
+                assert_eq!(mask.shape(), gw.shape(), "mask shape mismatch");
+                let w = match freeze {
+                    Some(fz) => CGrid::from_phase(&mask.hadamard(&fz[l])),
+                    None => CGrid::from_phase(mask),
+                };
+                let g = phase_adjoint(&w, gw);
+                match freeze {
+                    Some(fz) => g.hadamard(&fz[l]),
+                    None => g,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::{BatchCGrid, Complex64, Rng};
+
+    use crate::Tape;
+
+    fn random_cgrid(n: usize, rng: &mut Rng) -> CGrid {
+        CGrid::from_fn(n, n, |_, _| Complex64 {
+            re: rng.uniform_in(-1.0, 1.0),
+            im: rng.uniform_in(-1.0, 1.0),
+        })
+    }
+
+    /// Builds a one-layer modulation graph over `batch` samples with the
+    /// batch mean scaled by `denom`, returning the tape-computed phase
+    /// gradient and the extracted [`MaskGrads`].
+    fn one_layer_setup(
+        n: usize,
+        batch: usize,
+        denom: usize,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> (Grid, MaskGrads, Grid) {
+        let mut rng = Rng::seed_from(seed);
+        let phase = Grid::from_fn(n, n, |_, _| rng.uniform_in(0.0, 6.0));
+        let fields: Vec<CGrid> = (0..batch).map(|_| random_cgrid(n, &mut rng)).collect();
+        let shard = BatchCGrid::from_samples(&fields[lo..hi]);
+
+        let mut tape = Tape::new();
+        let phi = tape.leaf_real(phase.clone());
+        let w = tape.phase_to_complex(phi);
+        let input = tape.constant_batch_complex(shard);
+        let modulated = tape.mul_bc(input, w);
+        let sums = tape.region_intensity_batch(
+            modulated,
+            &Arc::new(vec![crate::Region {
+                r0: 0,
+                c0: 0,
+                h: n,
+                w: n,
+            }]),
+        );
+        let targets = Arc::new(vec![0usize; hi - lo]);
+        let loss = tape.mse_onehot_mean_rows_with_denom(sums, &targets, denom);
+        let loss_val = tape.scalar(loss);
+        let g = tape.backward(loss);
+        let tape_phase_grad = g.real(phi).unwrap().clone();
+        let mg = MaskGrads::extract(&g, &[w], n, loss_val, hi - lo);
+        (tape_phase_grad, mg, phase)
+    }
+
+    #[test]
+    fn phase_gradients_match_tape_backward_bitwise() {
+        let (tape_grad, mg, phase) = one_layer_setup(6, 4, 4, 0, 4, 1);
+        let projected = mg.phase_gradients(&[phase], None);
+        assert_eq!(projected.len(), 1);
+        assert_eq!(projected[0], tape_grad, "projection must be bit-identical");
+    }
+
+    #[test]
+    fn equal_power_of_two_shards_reduce_bit_identically() {
+        // Full batch of 8 on one tape vs 2 and 4 equal shards, each on its
+        // own tape with the global denominator — the midpoint tree makes
+        // the reduced adjoints bit-identical to the single-tape ones.
+        let (full_grad, full_mg, phase) = one_layer_setup(6, 8, 8, 0, 8, 2);
+        for shards in [2usize, 4] {
+            let size = 8 / shards;
+            let parts: Vec<MaskGrads> = (0..shards)
+                .map(|s| one_layer_setup(6, 8, 8, s * size, (s + 1) * size, 2).1)
+                .collect();
+            let reduced = MaskGrads::tree_reduce(parts);
+            assert_eq!(reduced.samples, 8);
+            assert_eq!(reduced.wgrads, full_mg.wgrads, "{shards} shards");
+            // The loss term is reassociation-equal only (per-shard row
+            // folds); the bit-identity contract covers the adjoints.
+            assert!(
+                (reduced.loss - full_mg.loss).abs() < 1e-12,
+                "{shards} shards: loss"
+            );
+            let projected = reduced.phase_gradients(std::slice::from_ref(&phase), None);
+            assert_eq!(projected[0], full_grad, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn ragged_shards_reduce_to_tolerance() {
+        let (full_grad, _, phase) = one_layer_setup(6, 7, 7, 0, 7, 3);
+        let parts = vec![
+            one_layer_setup(6, 7, 7, 0, 3, 3).1,
+            one_layer_setup(6, 7, 7, 3, 5, 3).1,
+            one_layer_setup(6, 7, 7, 5, 7, 3).1,
+        ];
+        let reduced = MaskGrads::tree_reduce(parts);
+        assert_eq!(reduced.samples, 7);
+        let projected = reduced.phase_gradients(&[phase], None);
+        let diff = projected[0].max_abs_diff(&full_grad);
+        assert!(diff < 1e-12, "ragged-shard reduction off by {diff}");
+    }
+
+    #[test]
+    fn freeze_mask_zeroes_frozen_pixels_exactly() {
+        let (_, mg, phase) = one_layer_setup(4, 2, 2, 0, 2, 4);
+        let mut keep = Grid::full(4, 4, 1.0);
+        keep[(1, 2)] = 0.0;
+        let freeze = vec![Arc::new(keep)];
+        let projected = mg.phase_gradients(&[phase], Some(&freeze));
+        assert_eq!(projected[0][(1, 2)], 0.0);
+        assert!(projected[0].as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no shards")]
+    fn empty_reduce_panics() {
+        let _ = MaskGrads::tree_reduce(Vec::new());
+    }
+}

@@ -49,16 +49,18 @@
 #![warn(missing_docs)]
 
 pub mod gradcheck;
+pub mod grads;
 mod gumbel;
 mod optim;
 pub mod penalty;
 mod tape;
 mod value;
 
+pub use grads::MaskGrads;
 pub use gumbel::{hard_select, logistic_noise, TemperatureSchedule};
 pub use optim::{Adam, Sgd};
 pub use penalty::{BlockReduce, DiffMetric, Neighborhood, RoughnessConfig};
-pub use tape::{BCVar, BRVar, CVar, Gradients, RVar, Region, SVar, Tape, VVar};
+pub use tape::{phase_adjoint, BCVar, BRVar, CVar, Gradients, RVar, Region, SVar, Tape, VVar};
 pub use value::Value;
 
 #[cfg(test)]

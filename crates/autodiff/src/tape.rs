@@ -189,10 +189,19 @@ enum Op {
     NormalizeSumRows {
         eps: f64,
     },
-    /// Mean over rows of `‖y_row − onehot(t_row)‖²` — the batched MSE loss.
-    MseOneHotMeanRows(Arc<Vec<usize>>),
-    /// Mean over rows of `−ln y[row, t_row]` — the batched cross-entropy.
-    CrossEntropyMeanRows(Arc<Vec<usize>>),
+    /// `(1/denom)·Σ_rows ‖y_row − onehot(t_row)‖²` — the batched MSE loss.
+    /// `denom` equals the row count for a whole mini-batch, or the *global*
+    /// batch size when the rows are one shard of a distributed batch.
+    MseOneHotMeanRows {
+        targets: Arc<Vec<usize>>,
+        denom: f64,
+    },
+    /// `−(1/denom)·Σ_rows ln y[row, t_row]` — the batched cross-entropy
+    /// (same `denom` convention as the MSE variant).
+    CrossEntropyMeanRows {
+        targets: Arc<Vec<usize>>,
+        denom: f64,
+    },
 }
 
 #[derive(Debug)]
@@ -751,6 +760,28 @@ impl Tape {
     /// Panics if `targets` does not have one entry per row or any target is
     /// out of range.
     pub fn mse_onehot_mean_rows(&mut self, y: RVar, targets: &Arc<Vec<usize>>) -> SVar {
+        let rows = self.real(y).rows();
+        self.mse_onehot_mean_rows_with_denom(y, targets, rows)
+    }
+
+    /// [`Tape::mse_onehot_mean_rows`] with an explicit mean denominator:
+    /// `L = (1/denom)·Σ_b ‖y_b − onehot(t_b)‖²`. A distributed trainer
+    /// builds each shard's loss with `denom` = the *global* batch size, so
+    /// every sample's backward contribution carries exactly the `1/B`
+    /// factor of the single-tape batch mean and the all-reduce over shards
+    /// is a plain sum (see `photonn-dist`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0`, `targets` does not have one entry per row,
+    /// or any target is out of range.
+    pub fn mse_onehot_mean_rows_with_denom(
+        &mut self,
+        y: RVar,
+        targets: &Arc<Vec<usize>>,
+        denom: usize,
+    ) -> SVar {
+        assert!(denom > 0, "mean denominator must be positive");
         let v = self.real(y);
         assert_eq!(targets.len(), v.rows(), "one target per batch row");
         let mut loss = 0.0;
@@ -762,9 +793,12 @@ impl Tape {
                 loss += d * d;
             }
         }
-        loss /= v.rows() as f64;
+        loss /= denom as f64;
         SVar(self.push(
-            Op::MseOneHotMeanRows(targets.clone()),
+            Op::MseOneHotMeanRows {
+                targets: targets.clone(),
+                denom: denom as f64,
+            },
             vec![y.0],
             Value::Scalar(loss),
         ))
@@ -778,6 +812,25 @@ impl Tape {
     /// Panics if `targets` does not have one entry per row or any target is
     /// out of range.
     pub fn cross_entropy_mean_rows(&mut self, y: RVar, targets: &Arc<Vec<usize>>) -> SVar {
+        let rows = self.real(y).rows();
+        self.cross_entropy_mean_rows_with_denom(y, targets, rows)
+    }
+
+    /// [`Tape::cross_entropy_mean_rows`] with an explicit mean denominator
+    /// (same distributed-shard convention as
+    /// [`Tape::mse_onehot_mean_rows_with_denom`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0`, `targets` does not have one entry per row,
+    /// or any target is out of range.
+    pub fn cross_entropy_mean_rows_with_denom(
+        &mut self,
+        y: RVar,
+        targets: &Arc<Vec<usize>>,
+        denom: usize,
+    ) -> SVar {
+        assert!(denom > 0, "mean denominator must be positive");
         let v = self.real(y);
         assert_eq!(targets.len(), v.rows(), "one target per batch row");
         let mut loss = 0.0;
@@ -785,9 +838,12 @@ impl Tape {
             assert!(t < v.cols(), "target {t} out of range {}", v.cols());
             loss -= v[(b, t)].max(1e-300).ln();
         }
-        loss /= v.rows() as f64;
+        loss /= denom as f64;
         SVar(self.push(
-            Op::CrossEntropyMeanRows(targets.clone()),
+            Op::CrossEntropyMeanRows {
+                targets: targets.clone(),
+                denom: denom as f64,
+            },
             vec![y.0],
             Value::Scalar(loss),
         ))
@@ -1074,18 +1130,8 @@ impl Tape {
         match &node.op {
             Op::Leaf => {}
             Op::PhaseToComplex => {
-                // gφ = Re(i·w ⊙ conj(gw)) under the 2∂L/∂z̄ convention.
                 let w = node.value.as_complex();
-                let gw = gy.as_complex();
-                let gphi = Grid::from_vec(
-                    w.rows(),
-                    w.cols(),
-                    w.as_slice()
-                        .iter()
-                        .zip(gw.as_slice())
-                        .map(|(wi, gi)| (Complex64::I * *wi * gi.conj()).re)
-                        .collect(),
-                );
+                let gphi = phase_adjoint(w, gy.as_complex());
                 self.accumulate(grads, node.inputs[0], Value::Real(gphi));
             }
             Op::Fft2(plan) => {
@@ -1413,9 +1459,9 @@ impl Tape {
                 }
                 self.accumulate(grads, node.inputs[0], Value::Real(gx));
             }
-            Op::MseOneHotMeanRows(targets) => {
+            Op::MseOneHotMeanRows { targets, denom } => {
                 let y = self.nodes[node.inputs[0]].value.as_real();
-                let gl = gy.as_scalar() / y.rows() as f64;
+                let gl = gy.as_scalar() / denom;
                 let mut gx = Grid::zeros(y.rows(), y.cols());
                 for (b, &t) in targets.iter().enumerate() {
                     for c in 0..y.cols() {
@@ -1425,9 +1471,9 @@ impl Tape {
                 }
                 self.accumulate(grads, node.inputs[0], Value::Real(gx));
             }
-            Op::CrossEntropyMeanRows(targets) => {
+            Op::CrossEntropyMeanRows { targets, denom } => {
                 let y = self.nodes[node.inputs[0]].value.as_real();
-                let gl = gy.as_scalar() / y.rows() as f64;
+                let gl = gy.as_scalar() / denom;
                 let mut gx = Grid::zeros(y.rows(), y.cols());
                 for (b, &t) in targets.iter().enumerate() {
                     gx[(b, t)] = -gl / y[(b, t)].max(1e-300);
@@ -1438,19 +1484,100 @@ impl Tape {
     }
 }
 
+/// The backward rule of [`Tape::phase_to_complex`]:
+/// `gφ = Re(i·w ⊙ conj(gw))` under the `2·∂L/∂z̄` adjoint convention, with
+/// `w = e^{iφ}` the forward transmission and `gw` its complex adjoint.
+///
+/// Public because it is *the* sample-count-independent half of the mask
+/// gradient: a distributed trainer all-reduces the complex mask-space
+/// adjoints `gw` across shards and applies this rule exactly once on the
+/// reduced sum — routing both the in-tape backward sweep and the
+/// distributed path through this one function is what makes the two
+/// bit-comparable (see `photonn_autodiff::grads::MaskGrads`).
+///
+/// # Panics
+///
+/// Panics (in debug builds) on a shape mismatch.
+pub fn phase_adjoint(w: &CGrid, gw: &CGrid) -> Grid {
+    debug_assert_eq!(w.shape(), gw.shape(), "phase adjoint shape mismatch");
+    Grid::from_vec(
+        w.rows(),
+        w.cols(),
+        w.as_slice()
+            .iter()
+            .zip(gw.as_slice())
+            .map(|(wi, gi)| (Complex64::I * *wi * gi.conj()).re)
+            .collect(),
+    )
+}
+
 /// The broadcast-modulation mask gradient `Σ_b g_b ⊙ x̄_b`, accumulated
 /// over the batches' re/im planes and interleaved into a [`CGrid`] only at
 /// the very end (masks are per-layer interleaved parameters — one of the
 /// surviving conversion edges of the planar engine).
+///
+/// The per-sample contributions are summed with a **fixed midpoint-split
+/// tree** rather than a left-to-right fold: `reduce([lo, hi)) =
+/// reduce([lo, mid)) + reduce([mid, hi))` with `mid = lo + (hi−lo)/2`.
+/// The tree over a batch of `B` samples then contains, as complete
+/// subtrees, the trees over each contiguous block of `B/w` samples for
+/// every power-of-two `w` dividing `B` — which is exactly what lets a
+/// data-parallel trainer split the batch into `w` equal shards, sum each
+/// shard on its own tape, combine the partials with the same midpoint
+/// rule, and land on the *bit-identical* mask gradient the single tape
+/// produces (`photonn-dist`'s determinism contract). Pairwise summation
+/// is also numerically tighter than a running fold: error grows O(log B)
+/// instead of O(B).
 fn broadcast_mask_grad(g: &BatchCGrid, x: &BatchCGrid, shape: (usize, usize)) -> CGrid {
     debug_assert_eq!(g.shape(), x.shape(), "batch shape mismatch");
     let n = g.sample_len();
     let mut mre = vec![0.0; n];
     let mut mim = vec![0.0; n];
-    for ((gre, gim), (xre, xim)) in g.samples().zip(x.samples()) {
-        planar::acc_mul_conj(gre, gim, xre, xim, &mut mre, &mut mim);
-    }
+    let mut scratch: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+    mask_grad_tree(g, x, 0, g.batch(), 0, &mut mre, &mut mim, &mut scratch);
     let mut out = CGrid::zeros(shape.0, shape.1);
     planar::interleave(&mre, &mim, out.as_mut_slice());
     out
+}
+
+/// Writes the midpoint-tree reduction of samples `[lo, hi)` of
+/// `Σ_b g_b ⊙ x̄_b` into `(out_re, out_im)` (overwriting). `scratch` holds
+/// one reusable plane pair per recursion depth, so the whole reduction
+/// allocates O(log B) planes instead of O(B).
+#[allow(clippy::too_many_arguments)]
+fn mask_grad_tree(
+    g: &BatchCGrid,
+    x: &BatchCGrid,
+    lo: usize,
+    hi: usize,
+    depth: usize,
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+    scratch: &mut Vec<(Vec<f64>, Vec<f64>)>,
+) {
+    if hi - lo == 1 {
+        let (gre, gim) = g.sample_planes(lo);
+        let (xre, xim) = x.sample_planes(lo);
+        out_re.fill(0.0);
+        out_im.fill(0.0);
+        planar::acc_mul_conj(gre, gim, xre, xim, out_re, out_im);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    mask_grad_tree(g, x, lo, mid, depth + 1, out_re, out_im, scratch);
+    if scratch.len() <= depth {
+        let n = out_re.len();
+        scratch.resize_with(depth + 1, || (vec![0.0; n], vec![0.0; n]));
+    }
+    // Detach this depth's pair so the right subtree can borrow the deeper
+    // slots; the left subtree is complete, so its scratch contents are dead.
+    let (mut sre, mut sim) = std::mem::take(&mut scratch[depth]);
+    mask_grad_tree(g, x, mid, hi, depth + 1, &mut sre, &mut sim, scratch);
+    for (a, b) in out_re.iter_mut().zip(&sre) {
+        *a += *b;
+    }
+    for (a, b) in out_im.iter_mut().zip(&sim) {
+        *a += *b;
+    }
+    scratch[depth] = (sre, sim);
 }

@@ -1,0 +1,229 @@
+//! Distributed training-step throughput: the sharded in-process pool vs
+//! the single-tape batched engine.
+//!
+//! Runs full optimizer steps (sharded gradients + all-reduce + Adam) at
+//! every requested `(grid, batch, workers)` combination and reports
+//! steps/sec with `speedup_vs_single` against the single-tape engine at
+//! one FFT thread — the apples-to-apples serial baseline, since each
+//! worker also runs one FFT thread. Writes `BENCH_dist.json` so
+//! successive PRs can track the scaling trajectory; the document records
+//! the host's core count because shard workers are real threads: on a
+//! single-core host the expected speedup is ~1.0 and only the overhead is
+//! being measured.
+//!
+//! ```sh
+//! cargo run --release -p photonn-bench --bin bench_dist_step
+//! cargo run --release -p photonn-bench --bin bench_dist_step -- \
+//!     --grid 200 --batch 50 --batch 200 --workers 1 --workers 2 --workers 4
+//! ```
+//!
+//! `--check-speedup R` turns the run into a gate: it exits nonzero if any
+//! multi-worker configuration on a host with at least that many cores
+//! measures below `R`× — the CI enforcement of the scaling claim, skipped
+//! (with a loud note) on hosts too small to parallelize.
+
+use photonn_autodiff::Adam;
+use photonn_datasets::{Dataset, Family};
+use photonn_dist::{sharded_gradients, DistConfig};
+use photonn_donn::train::batched_gradients;
+use photonn_donn::{Donn, DonnConfig};
+use photonn_math::Rng;
+use std::time::Instant;
+
+struct Options {
+    grids: Vec<usize>,
+    batches: Vec<usize>,
+    workers: Vec<usize>,
+    steps: usize,
+    out: String,
+    check_speedup: Option<f64>,
+}
+
+/// This binary backs a CI perf gate, so a typo'd flag silently falling
+/// back to defaults would make the gate measure (or skip) the wrong
+/// configuration while still exiting 0 — unknown flags and unparseable
+/// values abort loudly instead.
+fn usage_error(message: String) -> ! {
+    eprintln!("bench_dist_step: {message}");
+    eprintln!(
+        "usage: bench_dist_step [--grid N]... [--batch B]... [--workers W]...\n\
+         \u{20}                      [--steps S] [--out FILE] [--check-speedup R]"
+    );
+    std::process::exit(2);
+}
+
+fn required<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let value = value.unwrap_or_else(|| usage_error(format!("{flag} requires a value")));
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(format!("cannot parse {flag} value '{value}'")))
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        grids: Vec::new(),
+        batches: Vec::new(),
+        workers: Vec::new(),
+        steps: 5,
+        out: "BENCH_dist.json".to_string(),
+        check_speedup: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        match flag {
+            "--grid" => opts.grids.push(required(flag, value)),
+            "--batch" => opts.batches.push(required(flag, value)),
+            "--workers" => opts.workers.push(required(flag, value)),
+            "--steps" => opts.steps = required(flag, value),
+            "--check-speedup" => opts.check_speedup = Some(required(flag, value)),
+            "--out" => {
+                opts.out = value.unwrap_or_else(|| usage_error("--out requires a value".into()));
+            }
+            other => usage_error(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    if opts.grids.is_empty() {
+        opts.grids.push(200);
+    }
+    if opts.batches.is_empty() {
+        opts.batches = vec![50, 200];
+    }
+    if opts.workers.is_empty() {
+        opts.workers = vec![1, 2, 4];
+    }
+    opts
+}
+
+/// Steps/sec of full sharded optimizer steps at one configuration.
+fn run_sharded(
+    donn: &mut Donn,
+    data: &Dataset,
+    batch: &[usize],
+    dist: &DistConfig,
+    steps: usize,
+) -> f64 {
+    let mut adam = Adam::new(0.05);
+    let (g, _) = sharded_gradients(donn, data, batch, None, dist);
+    adam.step(donn.masks_mut(), &g); // warm-up outside the window
+    let start = Instant::now();
+    for _ in 0..steps {
+        let (g, _) = sharded_gradients(donn, data, batch, None, dist);
+        adam.step(donn.masks_mut(), &g);
+    }
+    steps as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Steps/sec of the single-tape batched engine at one FFT thread.
+fn run_single(donn: &mut Donn, data: &Dataset, batch: &[usize], steps: usize) -> f64 {
+    let mut adam = Adam::new(0.05);
+    let (g, _) = batched_gradients(donn, data, batch, None, 1);
+    adam.step(donn.masks_mut(), &g);
+    let start = Instant::now();
+    for _ in 0..steps {
+        let (g, _) = batched_gradients(donn, data, batch, None, 1);
+        adam.step(donn.masks_mut(), &g);
+    }
+    steps as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Entry {
+    grid: usize,
+    batch: usize,
+    workers: usize,
+    sharded: f64,
+    single: f64,
+}
+
+fn main() {
+    let opts = parse_options();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for &grid in &opts.grids {
+        for &batch_size in &opts.batches {
+            println!(
+                "== bench_dist_step :: grid {grid}x{grid} | batch {batch_size} | {} timed steps | {cores} cores ==",
+                opts.steps
+            );
+            let data = Dataset::synthetic(Family::Mnist, batch_size, 42).resized(grid);
+            let batch: Vec<usize> = (0..batch_size).collect();
+            let fresh = || Donn::random(DonnConfig::scaled(grid), &mut Rng::seed_from(42));
+
+            let single = run_single(&mut fresh(), &data, &batch, opts.steps);
+            println!("single tape (1 thread): {single:8.3} steps/sec");
+
+            for &workers in &opts.workers {
+                let dist = DistConfig::in_process(workers);
+                let sharded = run_sharded(&mut fresh(), &data, &batch, &dist, opts.steps);
+                println!(
+                    "{workers} worker(s)          : {sharded:8.3} steps/sec ({:.2}x vs single)",
+                    sharded / single
+                );
+                entries.push(Entry {
+                    grid,
+                    batch: batch_size,
+                    workers,
+                    sharded,
+                    single,
+                });
+            }
+        }
+    }
+
+    let body: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\n      \"grid\": {},\n      \"batch\": {},\n      \"workers\": {},\n      \"sharded_steps_per_sec\": {:.4},\n      \"single_steps_per_sec\": {:.4},\n      \"speedup_vs_single\": {:.4}\n    }}",
+                e.grid,
+                e.batch,
+                e.workers,
+                e.sharded,
+                e.single,
+                e.sharded / e.single
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"dist\",\n  \"cores\": {},\n  \"timed_steps\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        cores,
+        opts.steps,
+        body.join(",\n")
+    );
+    match std::fs::write(&opts.out, &json) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => eprintln!("could not write {}: {e}", opts.out),
+    }
+
+    if let Some(floor) = opts.check_speedup {
+        let mut failed = false;
+        for e in entries.iter().filter(|e| e.workers > 1) {
+            let speedup = e.sharded / e.single;
+            if cores < e.workers {
+                println!(
+                    "check-speedup: grid {} batch {} workers {}: only {cores} core(s) — \
+                     parallel speedup is not measurable here, skipping the {floor}x gate",
+                    e.grid, e.batch, e.workers
+                );
+            } else if speedup < floor {
+                eprintln!(
+                    "check-speedup FAILED: grid {} batch {} workers {}: {speedup:.2}x < {floor}x",
+                    e.grid, e.batch, e.workers
+                );
+                failed = true;
+            } else {
+                println!(
+                    "check-speedup ok: grid {} batch {} workers {}: {speedup:.2}x >= {floor}x",
+                    e.grid, e.batch, e.workers
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

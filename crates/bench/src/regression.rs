@@ -44,13 +44,17 @@ pub struct Comparison {
 }
 
 /// Extracts the headline throughput metrics from a parsed `BENCH_*.json`
-/// document. Understands both trackers:
+/// document. Understands the three trackers:
 ///
 /// * `bench_batched_step` — one `batched_steps_per_sec` per `entries[]`
 ///   grid;
 /// * `bench_serving` — the `dynamic` policy's `req_per_sec` per grid,
 ///   from the multi-grid `entries[]` schema or the legacy single-grid
-///   top-level layout.
+///   top-level layout;
+/// * `bench_dist_step` — one `sharded_steps_per_sec` per
+///   grid/batch/worker configuration, the batch and worker count encoded
+///   into the metric name (`sharded_steps_per_sec_b50_w2`) so every
+///   configuration gates independently.
 ///
 /// # Errors
 ///
@@ -115,6 +119,38 @@ pub fn headline_metrics(doc: &Json) -> Result<Vec<MetricSample>, String> {
                 // Legacy single-grid layout: grid + policies at top level.
                 None => Ok(vec![entry_metric(doc)?]),
             }
+        }
+        "dist" => {
+            let entries = doc
+                .get("entries")
+                .and_then(Json::as_array)
+                .ok_or("dist: missing entries[]")?;
+            entries
+                .iter()
+                .map(|e| {
+                    let grid = e
+                        .get("grid")
+                        .and_then(Json::as_usize)
+                        .ok_or("dist entry: missing grid")?;
+                    let batch = e
+                        .get("batch")
+                        .and_then(Json::as_usize)
+                        .ok_or("dist entry: missing batch")?;
+                    let workers = e
+                        .get("workers")
+                        .and_then(Json::as_usize)
+                        .ok_or("dist entry: missing workers")?;
+                    let value = e
+                        .get("sharded_steps_per_sec")
+                        .and_then(Json::as_f64)
+                        .ok_or("dist entry: missing sharded_steps_per_sec")?;
+                    Ok(MetricSample {
+                        grid,
+                        metric: format!("sharded_steps_per_sec_b{batch}_w{workers}"),
+                        value,
+                    })
+                })
+                .collect()
         }
         other => Err(format!("unrecognized bench kind \"{other}\"")),
     }
@@ -282,5 +318,33 @@ mod tests {
     fn unknown_bench_kind_errors() {
         let doc = Json::parse("{\"bench\":\"mystery\"}").unwrap();
         assert!(headline_metrics(&doc).is_err());
+    }
+
+    #[test]
+    fn dist_doc_encodes_batch_and_workers_into_the_metric() {
+        let doc = Json::parse(
+            "{\"bench\":\"dist\",\"entries\":[\
+             {\"grid\":200,\"batch\":50,\"workers\":2,\
+              \"sharded_steps_per_sec\":5.5,\"speedup_vs_single\":1.8},\
+             {\"grid\":200,\"batch\":200,\"workers\":4,\
+              \"sharded_steps_per_sec\":2.1,\"speedup_vs_single\":3.1}]}",
+        )
+        .unwrap();
+        let samples = headline_metrics(&doc).unwrap();
+        assert_eq!(
+            samples,
+            vec![
+                MetricSample {
+                    grid: 200,
+                    metric: "sharded_steps_per_sec_b50_w2".into(),
+                    value: 5.5
+                },
+                MetricSample {
+                    grid: 200,
+                    metric: "sharded_steps_per_sec_b200_w4".into(),
+                    value: 2.1
+                },
+            ]
+        );
     }
 }

@@ -1,0 +1,279 @@
+//! `photonn bench-report`: renders the committed `BENCH_*.json` trackers
+//! as one markdown document (tables + unicode sparklines) for the CI job
+//! summary — the throughput trajectory at a glance instead of raw JSON
+//! diffs.
+//!
+//! Understands the three tracker schemas: `batched_step` (training
+//! steps/sec per grid, with the prior-PR delta when recorded), `serving`
+//! (per-policy req/s and latency percentiles per grid) and `dist`
+//! (sharded steps/sec and `speedup_vs_single` per grid/batch/worker
+//! configuration).
+
+use photonn_serve::Json;
+use std::path::{Path, PathBuf};
+
+/// Eight-level unicode sparkline of a series, scaled to its own min/max
+/// (a flat series renders mid-height bars).
+///
+/// # Examples
+///
+/// ```
+/// use photonn_bench::report::sparkline;
+///
+/// assert_eq!(sparkline(&[1.0, 2.0, 3.0]), "▁▅█");
+/// assert_eq!(sparkline(&[5.0, 5.0]), "▄▄");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if hi > lo {
+                let t = (v - lo) / (hi - lo);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            } else {
+                BARS[3]
+            }
+        })
+        .collect()
+}
+
+fn fnum(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn opt_f64(doc: &Json, key: &str) -> Option<f64> {
+    doc.get(key).and_then(Json::as_f64)
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    opt_f64(doc, key).ok_or_else(|| format!("missing numeric \"{key}\""))
+}
+
+fn req_usize(doc: &Json, key: &str) -> Result<usize, String> {
+    doc.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("missing integer \"{key}\""))
+}
+
+fn entries(doc: &Json) -> Result<&[Json], String> {
+    doc.get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing entries[]".to_string())
+}
+
+fn render_batched_step(doc: &Json) -> Result<String, String> {
+    let mut out = String::from("### Training throughput (`bench_batched_step`)\n\n");
+    out.push_str("| grid | batched steps/sec | vs oracle | vs prior PR |\n");
+    out.push_str("|-----:|------------------:|----------:|------------:|\n");
+    let mut series = Vec::new();
+    for e in entries(doc)? {
+        let steps = req_f64(e, "batched_steps_per_sec")?;
+        series.push(steps);
+        let oracle =
+            opt_f64(e, "speedup_vs_oracle").map_or("—".to_string(), |s| format!("{s:.2}x"));
+        let prior =
+            opt_f64(e, "speedup_vs_prior").map_or("—".to_string(), |s| format!("{s:.2}x"));
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            req_usize(e, "grid")?,
+            fnum(steps),
+            oracle,
+            prior
+        ));
+    }
+    out.push_str(&format!(
+        "\nsteps/sec across grids: `{}`\n",
+        sparkline(&series)
+    ));
+    Ok(out)
+}
+
+fn render_serving(doc: &Json) -> Result<String, String> {
+    let mut out = String::from("### Serving throughput (`bench_serving`)\n\n");
+    out.push_str("| grid | policy | req/sec | p50 µs | p99 µs |\n");
+    out.push_str("|-----:|--------|--------:|-------:|-------:|\n");
+    let mut dynamic_series = Vec::new();
+    for e in entries(doc)? {
+        let grid = req_usize(e, "grid")?;
+        let policies = e
+            .get("policies")
+            .and_then(Json::as_array)
+            .ok_or("serving entry: missing policies[]")?;
+        for p in policies {
+            let name = p
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("policy: missing name")?;
+            let req = req_f64(p, "req_per_sec")?;
+            if name == "dynamic" {
+                dynamic_series.push(req);
+            }
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                grid,
+                name,
+                fnum(req),
+                req_usize(p, "p50_latency_us")?,
+                req_usize(p, "p99_latency_us")?,
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\ndynamic req/sec across grids: `{}`\n",
+        sparkline(&dynamic_series)
+    ));
+    Ok(out)
+}
+
+fn render_dist(doc: &Json) -> Result<String, String> {
+    let mut out = String::from("### Distributed training (`bench_dist_step`)\n\n");
+    if let Some(cores) = doc.get("cores").and_then(Json::as_usize) {
+        out.push_str(&format!("measured on a {cores}-core host\n\n"));
+    }
+    out.push_str("| grid | batch | workers | sharded steps/sec | vs single tape |\n");
+    out.push_str("|-----:|------:|--------:|------------------:|---------------:|\n");
+    let mut series = Vec::new();
+    for e in entries(doc)? {
+        let steps = req_f64(e, "sharded_steps_per_sec")?;
+        series.push(req_f64(e, "speedup_vs_single")?);
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.2}x |\n",
+            req_usize(e, "grid")?,
+            req_usize(e, "batch")?,
+            req_usize(e, "workers")?,
+            fnum(steps),
+            req_f64(e, "speedup_vs_single")?,
+        ));
+    }
+    out.push_str(&format!(
+        "\nspeedup across configurations: `{}`\n",
+        sparkline(&series)
+    ));
+    Ok(out)
+}
+
+/// Renders one parsed tracker document.
+///
+/// # Errors
+///
+/// Returns a description when the document is not a recognized tracker.
+pub fn render_doc(doc: &Json) -> Result<String, String> {
+    match doc.get("bench").and_then(Json::as_str) {
+        Some("batched_step") => render_batched_step(doc),
+        Some("serving") => render_serving(doc),
+        Some("dist") => render_dist(doc),
+        Some(other) => Err(format!("unrecognized bench kind \"{other}\"")),
+        None => Err("missing \"bench\" field".into()),
+    }
+}
+
+/// Renders every `BENCH_*.json` in `dir` (sorted by file name) into one
+/// markdown document.
+///
+/// # Errors
+///
+/// Returns I/O and parse failures with the offending path, or an error if
+/// the directory holds no trackers at all (a silently empty report would
+/// hide a broken CI wiring).
+pub fn render_dir(dir: &Path) -> Result<String, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json files in {}", dir.display()));
+    }
+    let mut out = String::from("## Benchmark trajectory\n\n");
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let section = render_doc(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push_str(&section);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_spans_the_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn batched_step_doc_renders() {
+        let doc = Json::parse(
+            "{\"bench\":\"batched_step\",\"entries\":[\
+             {\"grid\":32,\"batched_steps_per_sec\":226.1,\"speedup_vs_oracle\":4.99},\
+             {\"grid\":200,\"batched_steps_per_sec\":3.01,\"speedup_vs_prior\":2.24}]}",
+        )
+        .unwrap();
+        let md = render_doc(&doc).unwrap();
+        assert!(md.contains("| 32 | 226.1 | 4.99x | — |"));
+        assert!(md.contains("| 200 | 3.010 | — | 2.24x |"));
+        assert!(md.contains('█'));
+    }
+
+    #[test]
+    fn dist_doc_renders_with_cores() {
+        let doc = Json::parse(
+            "{\"bench\":\"dist\",\"cores\":4,\"entries\":[\
+             {\"grid\":200,\"batch\":50,\"workers\":2,\
+              \"sharded_steps_per_sec\":5.2,\"speedup_vs_single\":1.73}]}",
+        )
+        .unwrap();
+        let md = render_doc(&doc).unwrap();
+        assert!(md.contains("4-core host"));
+        assert!(md.contains("| 200 | 50 | 2 | 5.200 | 1.73x |"));
+    }
+
+    #[test]
+    fn serving_doc_renders_policies() {
+        let doc = Json::parse(
+            "{\"bench\":\"serving\",\"entries\":[{\"grid\":64,\"policies\":[\
+             {\"name\":\"dynamic\",\"req_per_sec\":1286.66,\
+              \"p50_latency_us\":5980,\"p99_latency_us\":10564}]}]}",
+        )
+        .unwrap();
+        let md = render_doc(&doc).unwrap();
+        assert!(md.contains("| 64 | dynamic | 1286.7 | 5980 | 10564 |"));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let doc = Json::parse("{\"bench\":\"mystery\"}").unwrap();
+        assert!(render_doc(&doc).is_err());
+    }
+
+    #[test]
+    fn render_dir_reads_committed_trackers() {
+        // The repository root carries the committed BENCH_*.json files;
+        // rendering them end-to-end guards the real schemas.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let md = render_dir(&root).unwrap();
+        assert!(md.contains("Training throughput"));
+        assert!(md.contains("Serving throughput"));
+    }
+}

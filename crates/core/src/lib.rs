@@ -71,4 +71,4 @@ pub mod two_pi;
 
 pub use config::{DonnConfig, LossKind, MaskInit};
 pub use detector::{argmax, region_sums, DetectorConfig};
-pub use model::Donn;
+pub use model::{BatchLossParts, Donn};

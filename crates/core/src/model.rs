@@ -1,7 +1,7 @@
 //! The DONN model: a stack of `DiffMod` stages (free-space propagation +
 //! phase modulation, paper Eq. 2) with a detector-plane readout.
 
-use photonn_autodiff::{RVar, Region, SVar, Tape};
+use photonn_autodiff::{CVar, RVar, Region, SVar, Tape};
 use photonn_datasets::Dataset;
 use photonn_fft::Fft2;
 use photonn_math::{BatchCGrid, CGrid, Grid, Rng, TWO_PI};
@@ -38,6 +38,21 @@ fn smooth_random_mask(n: usize, rng: &mut Rng) -> Grid {
 /// gradient dynamics: detector fractions (≤ 1) are mapped to logits with a
 /// spread comparable to PyTorch DONN implementations.
 const DETECTOR_LOGIT_GAIN: f64 = 10.0;
+
+/// The tape handles of one batched loss graph
+/// ([`Donn::build_batch_loss_parts`]): the scalar loss, the phase-mask
+/// leaves, and the per-layer transmission nodes `w = e^{iφ}` whose complex
+/// adjoints a distributed trainer all-reduces across shards
+/// (`photonn_autodiff::MaskGrads`).
+#[derive(Clone, Debug)]
+pub struct BatchLossParts {
+    /// The (scaled) batch-mean loss node.
+    pub loss: SVar,
+    /// Phase-mask leaf handles, in layer order.
+    pub mask_vars: Vec<RVar>,
+    /// `phase_to_complex` output handles, in layer order.
+    pub trans_vars: Vec<CVar>,
+}
 
 /// A diffractive optical neural network with trainable phase masks.
 ///
@@ -519,6 +534,32 @@ impl Donn {
         freeze: Option<&[Arc<Grid>]>,
         threads: usize,
     ) -> (SVar, Vec<RVar>) {
+        let parts =
+            self.build_batch_loss_parts(tape, images, labels, freeze, threads, images.len());
+        (parts.loss, parts.mask_vars)
+    }
+
+    /// [`Donn::build_batch_loss`], exposing every handle a distributed
+    /// trainer needs ([`BatchLossParts`]) and taking an explicit mean
+    /// denominator. With `denom` equal to the batch length this is the
+    /// ordinary batch mean; a data-parallel worker instead passes the
+    /// *global* batch size so its shard's loss is `Σ_{i∈shard} l_i / B` —
+    /// every backward contribution then carries exactly the single-tape
+    /// `1/B` seed and the cross-shard all-reduce is a plain sum (see
+    /// `photonn-dist`).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Donn::build_batch_loss`], plus `denom == 0`.
+    pub fn build_batch_loss_parts(
+        &self,
+        tape: &mut Tape,
+        images: &[&Grid],
+        labels: &[usize],
+        freeze: Option<&[Arc<Grid>]>,
+        threads: usize,
+        denom: usize,
+    ) -> BatchLossParts {
         let n = self.config.grid();
         assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
         assert!(!images.is_empty(), "empty batch");
@@ -537,6 +578,7 @@ impl Donn {
         }
 
         let mut mask_vars = Vec::with_capacity(self.masks.len());
+        let mut trans_vars = Vec::with_capacity(self.masks.len());
         let input = tape.constant_batch_complex(photonn_optics::encode_amplitude_batch(images));
         let mut field = self.tape_propagate_batch(tape, input, threads);
         for (l, mask) in self.masks.iter().enumerate() {
@@ -547,6 +589,7 @@ impl Donn {
                 None => phi,
             };
             let w = tape.phase_to_complex(phi_eff);
+            trans_vars.push(w);
             field = tape.modulate_propagate_batch(
                 field,
                 w,
@@ -566,10 +609,16 @@ impl Donn {
         };
         let targets = Arc::new(labels.to_vec());
         let loss = match self.config.loss {
-            LossKind::MseSoftmax => tape.mse_onehot_mean_rows(scores, &targets),
-            LossKind::CrossEntropy => tape.cross_entropy_mean_rows(scores, &targets),
+            LossKind::MseSoftmax => tape.mse_onehot_mean_rows_with_denom(scores, &targets, denom),
+            LossKind::CrossEntropy => {
+                tape.cross_entropy_mean_rows_with_denom(scores, &targets, denom)
+            }
         };
-        (loss, mask_vars)
+        BatchLossParts {
+            loss,
+            mask_vars,
+            trans_vars,
+        }
     }
 
     fn tape_propagate_batch(

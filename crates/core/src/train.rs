@@ -16,7 +16,7 @@
 //! the baseline for the `BENCH_batched_step` benchmark.
 
 use photonn_autodiff::penalty::{block_variance_grad, roughness_grad};
-use photonn_autodiff::{Adam, BlockReduce, RoughnessConfig, Tape};
+use photonn_autodiff::{Adam, BlockReduce, MaskGrads, RoughnessConfig, Tape};
 use photonn_datasets::{BatchIter, Dataset};
 use photonn_math::block::BlockPartition;
 use photonn_math::Grid;
@@ -26,6 +26,10 @@ use crate::model::Donn;
 
 /// Caller-supplied per-step gradient hook (the SLR multiplier forces).
 pub type ExtraGradFn<'a> = &'a mut dyn FnMut(&[Grid]) -> Vec<Grid>;
+
+/// Per-epoch observer hook: called with each epoch's [`EpochStats`] as it
+/// completes (progress logging, early-stopping probes, CI smoke output).
+pub type EpochHookFn<'a> = &'a mut dyn FnMut(&EpochStats);
 
 /// Strengths and shapes of the paper's training-time regularizers.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -178,6 +182,42 @@ pub fn batched_gradients(
     (grads, mean_loss)
 }
 
+/// One shard's gradient contribution for distributed data-parallel
+/// training: a single batched tape over `shard`, built with the *global*
+/// batch size `denom` as the loss denominator, its backward sweep
+/// extracted into a reduction-ready [`MaskGrads`] buffer (complex
+/// mask-space adjoints + the shard's `Σ l_i / denom` loss term).
+///
+/// `MaskGrads::tree_reduce` over the per-shard buffers followed by
+/// `MaskGrads::phase_gradients` reproduces [`batched_gradients`] on the
+/// concatenated batch — bit-identically when the shards are an equal
+/// contiguous split with a power-of-two shard count, and to within
+/// floating-point reassociation (≤1e-12 in the `photonn-dist` property
+/// tests) otherwise.
+///
+/// # Panics
+///
+/// Panics if `shard` is empty, `denom == 0`, or on the shape mismatches of
+/// [`Donn::build_batch_loss_parts`].
+pub fn shard_gradients(
+    donn: &Donn,
+    data: &Dataset,
+    shard: &[usize],
+    freeze: Option<&[Arc<Grid>]>,
+    threads: usize,
+    denom: usize,
+) -> MaskGrads {
+    assert!(!shard.is_empty(), "empty shard");
+    let n = donn.config().grid();
+    let images: Vec<&Grid> = shard.iter().map(|&i| data.image(i)).collect();
+    let labels: Vec<usize> = shard.iter().map(|&i| data.label(i)).collect();
+    let mut tape = Tape::new();
+    let parts = donn.build_batch_loss_parts(&mut tape, &images, &labels, freeze, threads, denom);
+    let loss = tape.scalar(parts.loss);
+    let g = tape.backward(parts.loss);
+    MaskGrads::extract(&g, &parts.trans_vars, n, loss, shard.len())
+}
+
 /// The seed per-sample gradient path, kept as the batched engine's test
 /// oracle and benchmark baseline: one tape per sample on `threads` worker
 /// threads, gradients summed and divided by the batch size. Returns the
@@ -257,7 +297,44 @@ pub fn train_with(
     data: &Dataset,
     opts: &TrainOptions,
     freeze: Option<&[Arc<Grid>]>,
+    extra_grad: Option<ExtraGradFn<'_>>,
+) -> Vec<EpochStats> {
+    train_with_grad_source(
+        donn,
+        data,
+        opts,
+        freeze,
+        extra_grad,
+        |donn, data, batch| batched_gradients(donn, data, batch, freeze, opts.threads),
+        None,
+    )
+}
+
+/// The training loop with a pluggable per-batch gradient source — the seam
+/// the distributed trainer (`photonn-dist`) plugs into. Everything around
+/// the data gradient stays here, on the coordinating process: shuffling,
+/// learning-rate schedule, regularizer gradients, the extra-force hook,
+/// freeze masking, and the Adam update. `grad_source` is called once per
+/// mini-batch with the current model and must return the batch-averaged
+/// data-loss gradients and the batch mean loss in the
+/// [`batched_gradients`] contract; `epoch_hook` (if any) observes each
+/// [`EpochStats`] as the epoch completes.
+///
+/// [`train_with`] is exactly this loop with [`batched_gradients`] as the
+/// source.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between the dataset, model, freeze masks and
+/// gradient-source output.
+pub fn train_with_grad_source(
+    donn: &mut Donn,
+    data: &Dataset,
+    opts: &TrainOptions,
+    freeze: Option<&[Arc<Grid>]>,
     mut extra_grad: Option<ExtraGradFn<'_>>,
+    mut grad_source: impl FnMut(&Donn, &Dataset, &[usize]) -> (Vec<Grid>, f64),
+    mut epoch_hook: Option<EpochHookFn<'_>>,
 ) -> Vec<EpochStats> {
     assert!(opts.epochs > 0, "epochs must be positive");
     assert!(
@@ -276,7 +353,8 @@ pub fn train_with(
         let mut epoch_loss = 0.0;
         let mut batch_count = 0usize;
         for batch in batches.epoch() {
-            let (mut grads, loss) = batched_gradients(donn, data, &batch, freeze, opts.threads);
+            let (mut grads, loss) = grad_source(donn, data, &batch);
+            assert_eq!(grads.len(), donn.masks().len(), "gradient count mismatch");
             epoch_loss += loss;
             batch_count += 1;
 
@@ -311,11 +389,15 @@ pub fn train_with(
             .iter()
             .map(|m| opts.regularization.penalty(m))
             .sum();
-        stats.push(EpochStats {
+        let epoch_stats = EpochStats {
             epoch,
             mean_loss: epoch_loss / batch_count.max(1) as f64,
             penalty,
-        });
+        };
+        if let Some(hook) = epoch_hook.as_mut() {
+            hook(&epoch_stats);
+        }
+        stats.push(epoch_stats);
     }
     stats
 }

@@ -1,0 +1,560 @@
+//! The rank-0 ↔ peer gradient protocol: JSON documents over
+//! length-prefixed frames ([`photonn_wire`]).
+//!
+//! The protocol is deliberately session-oriented and chatty-once: an
+//! [`Message::Init`] handshake ships everything immutable — the full [`DonnConfig`]
+//! (so the peer rebuilds the identical propagation kernel), the training
+//! set, and any freeze masks — after which each step exchanges only the
+//! current phase masks and a shard's index list one way and a
+//! [`photonn_autodiff::MaskGrads`] buffer the other. Every `f64` travels
+//! through the shared JSON codec, whose shortest-roundtrip serialization
+//! parses back to identical bits — which is why a TCP shard reproduces an
+//! in-process shard *bit for bit* and the all-reduce stays deterministic
+//! across transports.
+
+use photonn_autodiff::MaskGrads;
+use photonn_donn::{DetectorConfig, DonnConfig, LossKind, MaskInit};
+use photonn_math::{CGrid, Complex64, Grid};
+use photonn_optics::{DiffractionModel, Distances, Geometry, KernelOptions, Padding};
+use photonn_wire::Json;
+
+/// Protocol revision; bumped on any wire-format change. The handshake
+/// rejects mismatches loudly instead of mis-parsing silently.
+pub const PROTOCOL_VERSION: usize = 1;
+
+/// A message of the gradient protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Rank 0 → peer, once per session: model configuration, dataset and
+    /// optional per-layer 0/1 freeze masks.
+    Init {
+        /// Full model/system configuration (kernel, detector, loss, …).
+        config: DonnConfig,
+        /// Training images, each `grid × grid`.
+        images: Vec<Grid>,
+        /// One label per image.
+        labels: Vec<usize>,
+        /// Optional per-layer freeze masks (frozen sparsity).
+        freeze: Option<Vec<Grid>>,
+    },
+    /// Peer → rank 0: handshake accepted.
+    Ready,
+    /// Rank 0 → peer, once per optimizer step: current masks plus this
+    /// peer's shard (dataset indices) and the global batch size.
+    Step {
+        /// Current phase masks, one per layer.
+        masks: Vec<Grid>,
+        /// Dataset indices of this peer's shard.
+        shard: Vec<usize>,
+        /// Global batch size (the loss denominator).
+        denom: usize,
+    },
+    /// Peer → rank 0: the shard's gradient contribution.
+    Grads(MaskGrads),
+    /// Rank 0 → peer: session over, exit the serve loop.
+    Shutdown,
+}
+
+// --------------------------------------------------------------- encoding
+
+fn grid_to_json(g: &Grid) -> Json {
+    Json::numbers(g.as_slice())
+}
+
+fn grids_to_json(gs: &[Grid]) -> Json {
+    Json::Arr(gs.iter().map(grid_to_json).collect())
+}
+
+fn cgrid_to_json(g: &CGrid) -> Json {
+    let re: Vec<f64> = g.as_slice().iter().map(|z| z.re).collect();
+    let im: Vec<f64> = g.as_slice().iter().map(|z| z.im).collect();
+    Json::object(vec![
+        ("re".into(), Json::numbers(&re)),
+        ("im".into(), Json::numbers(&im)),
+    ])
+}
+
+fn usizes_to_json(v: &[usize]) -> Json {
+    Json::Arr(v.iter().map(|&u| Json::Num(u as f64)).collect())
+}
+
+/// Serializes a [`DonnConfig`] field by field. Every scalar survives the
+/// JSON round trip bit-exactly, so the peer's rebuilt propagation kernel
+/// is the same `f64`s as rank 0's.
+pub fn config_to_json(c: &DonnConfig) -> Json {
+    let model = match c.kernel_options.model {
+        DiffractionModel::AngularSpectrum => "angular_spectrum",
+        DiffractionModel::Fresnel => "fresnel",
+    };
+    let padding = match c.padding {
+        Padding::None => Json::Str("none".into()),
+        Padding::Double => Json::Str("double".into()),
+        Padding::ToSize(n) => Json::Num(n as f64),
+    };
+    let loss = match c.loss {
+        LossKind::MseSoftmax => "mse_softmax",
+        LossKind::CrossEntropy => "cross_entropy",
+    };
+    let init = match c.init {
+        MaskInit::Zeros => "zeros",
+        MaskInit::UniformRandom => "uniform_random",
+        MaskInit::SmoothRandom => "smooth_random",
+    };
+    Json::object(vec![
+        ("grid".into(), Json::Num(c.geometry.grid as f64)),
+        ("pixel_pitch".into(), Json::Num(c.geometry.pixel_pitch)),
+        ("wavelength".into(), Json::Num(c.geometry.wavelength)),
+        (
+            "source_to_first".into(),
+            Json::Num(c.distances.source_to_first),
+        ),
+        (
+            "between_layers".into(),
+            Json::Num(c.distances.between_layers),
+        ),
+        (
+            "last_to_detector".into(),
+            Json::Num(c.distances.last_to_detector),
+        ),
+        ("num_layers".into(), Json::Num(c.num_layers as f64)),
+        (
+            "num_classes".into(),
+            Json::Num(c.detector.num_classes as f64),
+        ),
+        ("layout_rows".into(), Json::Num(c.detector.layout.0 as f64)),
+        ("layout_cols".into(), Json::Num(c.detector.layout.1 as f64)),
+        (
+            "region_size".into(),
+            Json::Num(c.detector.region_size as f64),
+        ),
+        ("diffraction_model".into(), Json::Str(model.into())),
+        (
+            "hard_evanescent_cutoff".into(),
+            Json::Bool(c.kernel_options.hard_evanescent_cutoff),
+        ),
+        ("band_limit".into(), Json::Bool(c.kernel_options.band_limit)),
+        ("padding".into(), padding),
+        ("loss".into(), Json::Str(loss.into())),
+        (
+            "normalize_detector".into(),
+            Json::Bool(c.normalize_detector),
+        ),
+        ("init".into(), Json::Str(init.into())),
+    ])
+}
+
+/// Serializes a message to its wire JSON text.
+pub fn encode(msg: &Message) -> String {
+    let doc = match msg {
+        Message::Init {
+            config,
+            images,
+            labels,
+            freeze,
+        } => {
+            let mut fields = vec![
+                ("type".into(), Json::Str("init".into())),
+                ("protocol".into(), Json::Num(PROTOCOL_VERSION as f64)),
+                ("config".into(), config_to_json(config)),
+                ("labels".into(), usizes_to_json(labels)),
+                ("images".into(), grids_to_json(images)),
+            ];
+            if let Some(fz) = freeze {
+                fields.push(("freeze".into(), grids_to_json(fz)));
+            }
+            Json::object(fields)
+        }
+        Message::Ready => Json::object(vec![("type".into(), Json::Str("ready".into()))]),
+        Message::Step {
+            masks,
+            shard,
+            denom,
+        } => Json::object(vec![
+            ("type".into(), Json::Str("step".into())),
+            ("denom".into(), Json::Num(*denom as f64)),
+            ("shard".into(), usizes_to_json(shard)),
+            ("masks".into(), grids_to_json(masks)),
+        ]),
+        Message::Grads(mg) => Json::object(vec![
+            ("type".into(), Json::Str("grads".into())),
+            ("loss".into(), Json::Num(mg.loss)),
+            ("samples".into(), Json::Num(mg.samples as f64)),
+            (
+                "layers".into(),
+                Json::Arr(mg.wgrads.iter().map(cgrid_to_json).collect()),
+            ),
+        ]),
+        Message::Shutdown => Json::object(vec![("type".into(), Json::Str("shutdown".into()))]),
+    };
+    doc.to_string()
+}
+
+/// Serializes one step message per shard, stringifying the (identical,
+/// large) mask payload **once** instead of once per peer — the per-peer
+/// difference is only the small shard-index list. Each returned string is
+/// byte-identical to `encode(&Message::Step { .. })` for the same shard
+/// (pinned by a unit test), so the peer-side decoder sees one format.
+pub fn encode_steps(masks: &[Grid], shards: &[&[usize]], denom: usize) -> Vec<String> {
+    let masks_json = grids_to_json(masks).to_string();
+    shards
+        .iter()
+        .map(|shard| {
+            format!(
+                "{{\"type\":\"step\",\"denom\":{denom},\"shard\":{},\"masks\":{masks_json}}}",
+                usizes_to_json(shard)
+            )
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- decoding
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing \"{key}\""))
+}
+
+fn num_field(doc: &Json, key: &str) -> Result<f64, String> {
+    field(doc, key)?
+        .as_f64()
+        .ok_or_else(|| format!("\"{key}\" is not a number"))
+}
+
+fn usize_field(doc: &Json, key: &str) -> Result<usize, String> {
+    field(doc, key)?
+        .as_usize()
+        .ok_or_else(|| format!("\"{key}\" is not a non-negative integer"))
+}
+
+fn bool_field(doc: &Json, key: &str) -> Result<bool, String> {
+    match field(doc, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("\"{key}\" is not a boolean")),
+    }
+}
+
+fn str_field<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    field(doc, key)?
+        .as_str()
+        .ok_or_else(|| format!("\"{key}\" is not a string"))
+}
+
+fn numbers(value: &Json, what: &str) -> Result<Vec<f64>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| format!("{what} holds a non-number"))
+        })
+        .collect()
+}
+
+fn grid_from_json(value: &Json, n: usize, what: &str) -> Result<Grid, String> {
+    let data = numbers(value, what)?;
+    if data.len() != n * n {
+        return Err(format!(
+            "{what} has {} values, expected {}",
+            data.len(),
+            n * n
+        ));
+    }
+    Ok(Grid::from_vec(n, n, data))
+}
+
+fn grids_from_json(value: &Json, n: usize, what: &str) -> Result<Vec<Grid>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .map(|v| grid_from_json(v, n, what))
+        .collect()
+}
+
+fn cgrid_from_json(value: &Json, n: usize) -> Result<CGrid, String> {
+    let re = numbers(field(value, "re")?, "layer re plane")?;
+    let im = numbers(field(value, "im")?, "layer im plane")?;
+    if re.len() != n * n || im.len() != re.len() {
+        return Err("gradient plane size mismatch".into());
+    }
+    let data: Vec<Complex64> = re
+        .into_iter()
+        .zip(im)
+        .map(|(re, im)| Complex64 { re, im })
+        .collect();
+    Ok(CGrid::from_vec(n, n, data))
+}
+
+fn usizes_from_json(value: &Json, what: &str) -> Result<Vec<usize>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .ok_or_else(|| format!("{what} holds a non-index"))
+        })
+        .collect()
+}
+
+/// Parses a [`DonnConfig`] from its [`config_to_json`] form.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or ill-typed field.
+pub fn config_from_json(doc: &Json) -> Result<DonnConfig, String> {
+    let model = match str_field(doc, "diffraction_model")? {
+        "angular_spectrum" => DiffractionModel::AngularSpectrum,
+        "fresnel" => DiffractionModel::Fresnel,
+        other => return Err(format!("unknown diffraction model \"{other}\"")),
+    };
+    let padding = match field(doc, "padding")? {
+        Json::Str(s) if s == "none" => Padding::None,
+        Json::Str(s) if s == "double" => Padding::Double,
+        Json::Num(_) => Padding::ToSize(usize_field(doc, "padding")?),
+        other => return Err(format!("unknown padding {other}")),
+    };
+    let loss = match str_field(doc, "loss")? {
+        "mse_softmax" => LossKind::MseSoftmax,
+        "cross_entropy" => LossKind::CrossEntropy,
+        other => return Err(format!("unknown loss kind \"{other}\"")),
+    };
+    let init = match str_field(doc, "init")? {
+        "zeros" => MaskInit::Zeros,
+        "uniform_random" => MaskInit::UniformRandom,
+        "smooth_random" => MaskInit::SmoothRandom,
+        other => return Err(format!("unknown mask init \"{other}\"")),
+    };
+    Ok(DonnConfig {
+        geometry: Geometry::new(
+            usize_field(doc, "grid")?,
+            num_field(doc, "pixel_pitch")?,
+            num_field(doc, "wavelength")?,
+        ),
+        distances: Distances {
+            source_to_first: num_field(doc, "source_to_first")?,
+            between_layers: num_field(doc, "between_layers")?,
+            last_to_detector: num_field(doc, "last_to_detector")?,
+        },
+        num_layers: usize_field(doc, "num_layers")?,
+        detector: DetectorConfig {
+            num_classes: usize_field(doc, "num_classes")?,
+            layout: (
+                usize_field(doc, "layout_rows")?,
+                usize_field(doc, "layout_cols")?,
+            ),
+            region_size: usize_field(doc, "region_size")?,
+        },
+        kernel_options: KernelOptions {
+            model,
+            hard_evanescent_cutoff: bool_field(doc, "hard_evanescent_cutoff")?,
+            band_limit: bool_field(doc, "band_limit")?,
+        },
+        padding,
+        loss,
+        normalize_detector: bool_field(doc, "normalize_detector")?,
+        init,
+    })
+}
+
+/// Parses one wire message. `grid` sizes every shipped plane; the [`Init`]
+/// message carries its own grid inside the config, so pass the *expected*
+/// grid (from the listener's own state, or the config itself when first
+/// decoding an init).
+///
+/// [`Init`]: Message::Init
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (unknown type,
+/// missing field, size mismatch, protocol version skew).
+pub fn decode(text: &str, grid: Option<usize>) -> Result<Message, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    match str_field(&doc, "type")? {
+        "init" => {
+            let protocol = usize_field(&doc, "protocol")?;
+            if protocol != PROTOCOL_VERSION {
+                return Err(format!(
+                    "protocol version {protocol}, this build speaks {PROTOCOL_VERSION}"
+                ));
+            }
+            let config = config_from_json(field(&doc, "config")?)?;
+            let n = config.grid();
+            if let Some(expected) = grid {
+                if n != expected {
+                    return Err(format!("init for grid {n}, expected {expected}"));
+                }
+            }
+            let labels = usizes_from_json(field(&doc, "labels")?, "labels")?;
+            let images = grids_from_json(field(&doc, "images")?, n, "image")?;
+            if images.len() != labels.len() {
+                return Err("images/labels length mismatch".into());
+            }
+            let freeze = match doc.get("freeze") {
+                Some(v) => Some(grids_from_json(v, n, "freeze mask")?),
+                None => None,
+            };
+            Ok(Message::Init {
+                config,
+                images,
+                labels,
+                freeze,
+            })
+        }
+        "ready" => Ok(Message::Ready),
+        "step" => {
+            let n = grid.ok_or("step before init")?;
+            Ok(Message::Step {
+                denom: usize_field(&doc, "denom")?,
+                shard: usizes_from_json(field(&doc, "shard")?, "shard")?,
+                masks: grids_from_json(field(&doc, "masks")?, n, "mask")?,
+            })
+        }
+        "grads" => {
+            let n = grid.ok_or("grads before init")?;
+            let layers = field(&doc, "layers")?
+                .as_array()
+                .ok_or("\"layers\" is not an array")?
+                .iter()
+                .map(|v| cgrid_from_json(v, n))
+                .collect::<Result<Vec<CGrid>, String>>()?;
+            Ok(Message::Grads(MaskGrads {
+                wgrads: layers,
+                loss: num_field(&doc, "loss")?,
+                samples: usize_field(&doc, "samples")?,
+            }))
+        }
+        "shutdown" => Ok(Message::Shutdown),
+        other => Err(format!("unknown message type \"{other}\"")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_math::Rng;
+
+    fn noisy_grid(n: usize, rng: &mut Rng) -> Grid {
+        Grid::from_fn(n, n, |_, _| rng.uniform_in(-3.0, 3.0))
+    }
+
+    #[test]
+    fn config_roundtrips_every_field() {
+        let mut cfg = DonnConfig::scaled(20);
+        cfg.loss = LossKind::CrossEntropy;
+        cfg.padding = Padding::ToSize(40);
+        cfg.kernel_options.band_limit = true;
+        cfg.init = MaskInit::UniformRandom;
+        let back = config_from_json(&config_to_json(&cfg)).unwrap();
+        assert_eq!(back, cfg);
+        // And the paper config, including its exact f64 geometry.
+        let paper = DonnConfig::paper();
+        assert_eq!(config_from_json(&config_to_json(&paper)).unwrap(), paper);
+    }
+
+    #[test]
+    fn init_roundtrips_with_and_without_freeze() {
+        let mut rng = Rng::seed_from(9);
+        let cfg = DonnConfig::scaled(16);
+        let msg = Message::Init {
+            config: cfg,
+            images: vec![noisy_grid(16, &mut rng), noisy_grid(16, &mut rng)],
+            labels: vec![3, 7],
+            freeze: Some(vec![Grid::full(16, 16, 1.0); 3]),
+        };
+        assert_eq!(decode(&encode(&msg), None).unwrap(), msg);
+        let bare = Message::Init {
+            config: cfg,
+            images: vec![noisy_grid(16, &mut rng)],
+            labels: vec![0],
+            freeze: None,
+        };
+        assert_eq!(decode(&encode(&bare), Some(16)).unwrap(), bare);
+    }
+
+    #[test]
+    fn step_and_grads_roundtrip_bit_exactly() {
+        let mut rng = Rng::seed_from(4);
+        let step = Message::Step {
+            masks: vec![noisy_grid(8, &mut rng); 3],
+            shard: vec![5, 1, 9],
+            denom: 12,
+        };
+        assert_eq!(decode(&encode(&step), Some(8)).unwrap(), step);
+
+        let grads = Message::Grads(MaskGrads {
+            wgrads: vec![CGrid::from_fn(8, 8, |r, c| Complex64 {
+                re: (r as f64 + 0.1) / 3.0,
+                im: -(c as f64) / 7.0,
+            })],
+            loss: 0.1 + 0.2, // a value whose decimal form needs full precision
+            samples: 3,
+        });
+        let decoded = decode(&encode(&grads), Some(8)).unwrap();
+        match (&decoded, &grads) {
+            (Message::Grads(a), Message::Grads(b)) => {
+                assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "loss bits");
+                assert_eq!(a.wgrads, b.wgrads);
+                assert_eq!(a.samples, b.samples);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn encode_steps_is_byte_identical_to_per_message_encode() {
+        let mut rng = Rng::seed_from(6);
+        let masks = vec![noisy_grid(8, &mut rng), noisy_grid(8, &mut rng)];
+        let batch: Vec<usize> = (0..7).collect();
+        let shards: Vec<&[usize]> = vec![&batch[0..4], &batch[4..7]];
+        let texts = encode_steps(&masks, &shards, 7);
+        assert_eq!(texts.len(), 2);
+        for (text, shard) in texts.iter().zip(&shards) {
+            let expected = encode(&Message::Step {
+                masks: masks.clone(),
+                shard: shard.to_vec(),
+                denom: 7,
+            });
+            assert_eq!(text, &expected);
+        }
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        for msg in [Message::Ready, Message::Shutdown] {
+            assert_eq!(decode(&encode(&msg), None).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        assert!(decode("{}", None).is_err(), "missing type");
+        assert!(decode("{\"type\":\"warp\"}", None).is_err(), "unknown type");
+        assert!(
+            decode(
+                "{\"type\":\"step\",\"denom\":4,\"shard\":[0],\"masks\":[[1.0]]}",
+                Some(2)
+            )
+            .is_err(),
+            "wrong mask size"
+        );
+        assert!(
+            decode(
+                "{\"type\":\"step\",\"denom\":4,\"shard\":[0],\"masks\":[[1.0]]}",
+                None
+            )
+            .is_err(),
+            "step before init"
+        );
+        // Protocol skew on init.
+        let cfg = DonnConfig::scaled(16);
+        let text = encode(&Message::Init {
+            config: cfg,
+            images: vec![],
+            labels: vec![],
+            freeze: None,
+        })
+        .replace("\"protocol\":1", "\"protocol\":99");
+        assert!(decode(&text, None).is_err(), "protocol skew");
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic shard assignment for data-parallel mini-batches.
+//!
+//! A shard plan is a pure function of the batch's index order and the
+//! worker count — no randomness, no tie-breaking on runtime state — so the
+//! same shuffling seed produces the same shard contents on every run, and
+//! the *concatenation* of the shards is the same batch regardless of how
+//! many workers split it. That second property is what lets the all-reduce
+//! reproduce the single-tape gradient: workers change how the per-sample
+//! sum is associated, never which samples are summed.
+
+/// Splits `batch` into at most `workers` contiguous, near-equal shards.
+///
+/// * Shards are contiguous slices of `batch` in order; concatenating the
+///   returned shards yields `batch` exactly.
+/// * Sizes differ by at most one, the longer shards first — for
+///   `B = q·w + r` the first `r` shards get `q+1` samples. When
+///   `workers` divides `B` the split is exactly even, which (for
+///   power-of-two worker counts) is the bit-identity case of the gradient
+///   all-reduce.
+/// * Degenerate inputs clamp instead of panicking: `workers == 0` is
+///   treated as 1, `workers > batch.len()` produces one singleton shard
+///   per sample (never an empty shard), and an empty batch produces no
+///   shards.
+///
+/// # Examples
+///
+/// ```
+/// use photonn_dist::shard_batch;
+///
+/// let batch: Vec<usize> = (10..20).collect();
+/// let shards = shard_batch(&batch, 3);
+/// assert_eq!(shards.len(), 3);
+/// assert_eq!(shards[0], &batch[0..4]); // 10 = 4 + 3 + 3
+/// assert_eq!(shards[1], &batch[4..7]);
+/// assert_eq!(shards[2], &batch[7..10]);
+/// ```
+pub fn shard_batch(batch: &[usize], workers: usize) -> Vec<&[usize]> {
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, batch.len());
+    let base = batch.len() / workers;
+    let extra = batch.len() % workers;
+    let mut shards = Vec::with_capacity(workers);
+    let mut at = 0;
+    for s in 0..workers {
+        let size = base + usize::from(s < extra);
+        shards.push(&batch[at..at + size]);
+        at += size;
+    }
+    debug_assert_eq!(at, batch.len());
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concat(shards: &[&[usize]]) -> Vec<usize> {
+        shards.iter().flat_map(|s| s.iter().copied()).collect()
+    }
+
+    #[test]
+    fn concatenation_is_invariant_across_worker_counts() {
+        let batch: Vec<usize> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        for workers in 1..=14 {
+            assert_eq!(concat(&shard_batch(&batch, workers)), batch, "{workers}");
+        }
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one_longest_first() {
+        let batch: Vec<usize> = (0..23).collect();
+        let shards = shard_batch(&batch, 5);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![5, 5, 5, 4, 4]);
+    }
+
+    #[test]
+    fn even_split_when_workers_divide_batch() {
+        let batch: Vec<usize> = (0..12).collect();
+        for workers in [1, 2, 3, 4, 6, 12] {
+            let shards = shard_batch(&batch, workers);
+            assert!(shards.iter().all(|s| s.len() == 12 / workers));
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let batch = vec![7, 8, 9];
+        let shards = shard_batch(&batch, 0);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0], &batch[..]);
+    }
+
+    #[test]
+    fn more_workers_than_samples_yields_singletons() {
+        let batch = vec![5, 6];
+        let shards = shard_batch(&batch, 8);
+        assert_eq!(shards.len(), 2, "no empty shards");
+        assert!(shards.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn single_sample_batch_any_worker_count() {
+        let batch = vec![42];
+        for workers in [0, 1, 2, 100] {
+            let shards = shard_batch(&batch, workers);
+            assert_eq!(shards, vec![&batch[..]], "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_no_shards() {
+        assert!(shard_batch(&[], 4).is_empty());
+        assert!(shard_batch(&[], 0).is_empty());
+    }
+}

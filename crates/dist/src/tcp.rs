@@ -1,0 +1,247 @@
+//! Multi-process mode: rank 0 coordinates peer worker processes over
+//! loopback TCP.
+//!
+//! Rank 0 opens one connection per peer, ships the immutable session state
+//! once ([`proto::Message::Init`]), then per optimizer step sends every
+//! peer its shard *before* computing its own shard locally — peers overlap
+//! with rank 0 — and collects the per-shard [`MaskGrads`] replies in shard
+//! order. The peer side ([`serve_peer_once`]) is a plain blocking loop:
+//! rebuild the model from the shipped config, then
+//! `read step → tape → backward → write grads` until shutdown.
+//!
+//! There is deliberately **no fault tolerance** in this revision: a peer
+//! that dies mid-session aborts the training run with an error rather than
+//! silently retraining on fewer shards (which would change the gradient
+//! stream and violate the determinism contract).
+
+use photonn_autodiff::MaskGrads;
+use photonn_datasets::Dataset;
+use photonn_donn::train::shard_gradients;
+use photonn_donn::{Donn, DonnConfig};
+use photonn_math::Grid;
+use photonn_wire::{read_frame, write_frame, FrameError};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use crate::proto::{decode, encode, Message};
+
+fn protocol_error(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+fn expect_message(text: &str, grid: Option<usize>) -> io::Result<Message> {
+    decode(text, grid).map_err(protocol_error)
+}
+
+/// One buffered, nodelay connection speaking framed protocol messages.
+struct Framed {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Framed {
+    fn new(stream: TcpStream) -> io::Result<Framed> {
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Framed {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, msg: &Message) -> io::Result<()> {
+        write_frame(&mut self.writer, &encode(msg))
+    }
+
+    fn recv(&mut self, grid: Option<usize>) -> io::Result<Message> {
+        let text = read_frame(&mut self.reader).map_err(io::Error::from)?;
+        expect_message(&text, grid)
+    }
+}
+
+/// Rank 0's handle on a set of connected, initialized peer workers.
+pub struct TcpPool {
+    peers: Vec<Framed>,
+    grid: usize,
+}
+
+impl TcpPool {
+    /// Connects to every peer address and runs the init handshake: full
+    /// model configuration, the training set, and optional freeze masks.
+    /// Returns once every peer has answered `ready`.
+    ///
+    /// # Errors
+    ///
+    /// Returns connect/transport errors, or `InvalidData` when a peer
+    /// answers with anything but `ready`.
+    pub fn connect<A: ToSocketAddrs + std::fmt::Display>(
+        peer_addrs: &[A],
+        config: &DonnConfig,
+        data: &Dataset,
+        freeze: Option<&[Arc<Grid>]>,
+    ) -> io::Result<TcpPool> {
+        let init = Message::Init {
+            config: *config,
+            images: (0..data.len()).map(|i| data.image(i).clone()).collect(),
+            labels: (0..data.len()).map(|i| data.label(i)).collect(),
+            freeze: freeze.map(|fz| fz.iter().map(|k| k.as_ref().clone()).collect()),
+        };
+        let text = encode(&init);
+        let mut peers = Vec::with_capacity(peer_addrs.len());
+        for addr in peer_addrs {
+            let stream = TcpStream::connect(addr)?;
+            let mut framed = Framed::new(stream)?;
+            write_frame(&mut framed.writer, &text)?;
+            match framed.recv(Some(config.grid()))? {
+                Message::Ready => peers.push(framed),
+                other => {
+                    return Err(protocol_error(format!(
+                        "peer {addr} answered {other:?} instead of ready"
+                    )))
+                }
+            }
+        }
+        Ok(TcpPool {
+            peers,
+            grid: config.grid(),
+        })
+    }
+
+    /// Number of connected peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `true` when no peers are connected.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Sends shard `i` to peer `i` (current masks + indices + global
+    /// denominator), serializing the shared mask payload once for all
+    /// peers ([`crate::proto::encode_steps`]). `shards.len()` may be
+    /// smaller than the pool on a degenerate batch — the surplus peers
+    /// simply sit this step out.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors; panics if more shards than peers.
+    pub fn send_steps(
+        &mut self,
+        masks: &[Grid],
+        shards: &[&[usize]],
+        denom: usize,
+    ) -> io::Result<()> {
+        assert!(shards.len() <= self.peers.len(), "more shards than peers");
+        let texts = crate::proto::encode_steps(masks, shards, denom);
+        for (peer, text) in self.peers.iter_mut().zip(&texts) {
+            write_frame(&mut peer.writer, text)?;
+        }
+        Ok(())
+    }
+
+    /// Collects one [`MaskGrads`] from each of the first `count` peers, in
+    /// peer (= shard) order, so the downstream tree reduce sees a
+    /// deterministic sequence no matter which peer finished first.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, or `InvalidData` when a peer answers with
+    /// anything but `grads`.
+    pub fn collect_grads(&mut self, count: usize) -> io::Result<Vec<MaskGrads>> {
+        assert!(count <= self.peers.len(), "more shards than peers");
+        let grid = self.grid;
+        self.peers[..count]
+            .iter_mut()
+            .map(|peer| match peer.recv(Some(grid))? {
+                Message::Grads(mg) => Ok(mg),
+                other => Err(protocol_error(format!(
+                    "peer answered {other:?} instead of grads"
+                ))),
+            })
+            .collect()
+    }
+
+    /// Tells every peer the session is over. Transport errors are ignored
+    /// — the peers' frame reader treats a vanished coordinator the same
+    /// way.
+    pub fn shutdown(mut self) {
+        for peer in &mut self.peers {
+            let _ = peer.send(&Message::Shutdown);
+        }
+    }
+}
+
+/// Serves exactly one coordinator session on an already-bound listener:
+/// accepts one connection, answers its init handshake, then computes shard
+/// gradients (FFT work on `threads` chunk threads) until the coordinator
+/// sends `shutdown` or disconnects. Used by `photonn dist-worker` and the
+/// `dist_digits` example's self-spawned peers.
+///
+/// # Errors
+///
+/// Returns transport errors and `InvalidData` on protocol violations.
+pub fn serve_peer_once(listener: &TcpListener, threads: usize) -> io::Result<()> {
+    let (stream, _) = listener.accept()?;
+    let mut framed = Framed::new(stream)?;
+    let (config, data, freeze) = match framed.recv(None)? {
+        Message::Init {
+            config,
+            images,
+            labels,
+            freeze,
+        } => (
+            config,
+            Dataset::new("shipped", images, labels),
+            freeze.map(|fz| fz.into_iter().map(Arc::new).collect::<Vec<Arc<Grid>>>()),
+        ),
+        other => {
+            return Err(protocol_error(format!(
+                "coordinator opened with {other:?} instead of init"
+            )))
+        }
+    };
+    let mut donn = Donn::new(config);
+    framed.send(&Message::Ready)?;
+    loop {
+        let text = match read_frame(&mut framed.reader) {
+            Ok(text) => text,
+            Err(FrameError::Closed) => return Ok(()), // coordinator hung up
+            Err(e) => return Err(e.into()),
+        };
+        match expect_message(&text, Some(config.grid()))? {
+            Message::Step {
+                masks,
+                shard,
+                denom,
+            } => {
+                donn.set_masks(masks);
+                let mg = shard_gradients(&donn, &data, &shard, freeze.as_deref(), threads, denom);
+                framed.send(&Message::Grads(mg))?;
+            }
+            Message::Shutdown => return Ok(()),
+            other => {
+                return Err(protocol_error(format!(
+                    "coordinator sent {other:?} mid-session"
+                )))
+            }
+        }
+    }
+}
+
+/// [`serve_peer_once`] in a loop: the worker stays up and serves
+/// coordinator sessions back to back (the `photonn dist-worker
+/// --keep-alive` mode). Session-level protocol errors are logged to stderr
+/// and the worker keeps accepting; only listener-level errors return.
+///
+/// # Errors
+///
+/// Returns errors from `TcpListener::accept` itself.
+pub fn serve_peer_forever(listener: &TcpListener, threads: usize) -> io::Result<()> {
+    loop {
+        if let Err(e) = serve_peer_once(listener, threads) {
+            eprintln!("photonn-dist peer: session ended with error: {e}");
+        }
+    }
+}

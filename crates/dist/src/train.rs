@@ -1,0 +1,211 @@
+//! The sharded trainer: [`DistConfig`] + [`train_with_sharded`], plugging
+//! the shard/all-reduce machinery into `photonn-donn`'s training loop.
+
+use photonn_datasets::Dataset;
+use photonn_donn::train::{
+    shard_gradients, train_with_grad_source, EpochHookFn, EpochStats, ExtraGradFn, TrainOptions,
+};
+use photonn_donn::Donn;
+use photonn_math::Grid;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+use crate::shard::shard_batch;
+use crate::tcp::TcpPool;
+use crate::worker::{all_reduce, in_process_shard_grads};
+
+/// How a training run is sharded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistConfig {
+    /// Shard count for the in-process pool. Ignored when `peers` is
+    /// non-empty (the shard count is then `peers.len() + 1`: rank 0
+    /// computes shard 0 while the peers compute the rest). Clamped per
+    /// batch so no shard is ever empty; `0` behaves as `1`.
+    pub workers: usize,
+    /// FFT chunk threads inside each worker's tape (rank 0's own shard in
+    /// multi-process mode). Peers choose their thread count at launch.
+    pub threads_per_worker: usize,
+    /// Peer worker addresses (`host:port`). Empty selects the in-process
+    /// pool; non-empty selects loopback-TCP multi-process mode.
+    pub peers: Vec<String>,
+}
+
+impl Default for DistConfig {
+    /// Two in-process workers, one FFT thread each.
+    fn default() -> Self {
+        DistConfig {
+            workers: 2,
+            threads_per_worker: 1,
+            peers: Vec::new(),
+        }
+    }
+}
+
+impl DistConfig {
+    /// An in-process configuration with `workers` shards.
+    pub fn in_process(workers: usize) -> Self {
+        DistConfig {
+            workers,
+            ..DistConfig::default()
+        }
+    }
+
+    /// A multi-process configuration over the given peer addresses.
+    pub fn with_peers(peers: Vec<String>) -> Self {
+        DistConfig {
+            peers,
+            ..DistConfig::default()
+        }
+    }
+}
+
+/// Errors from distributed training. In-process mode cannot fail; every
+/// variant originates in the TCP transport or protocol.
+#[derive(Debug)]
+pub enum DistError {
+    /// Connecting to or talking with a peer failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "distributed training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for DistError {
+    fn from(e: io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+/// Sharded batch gradients through the in-process pool, in the
+/// [`photonn_donn::train::batched_gradients`] contract — the single-step
+/// entry point benchmarks and property tests drive directly.
+///
+/// # Panics
+///
+/// Panics if `batch` is empty or on model/dataset shape mismatches.
+pub fn sharded_gradients(
+    donn: &Donn,
+    data: &Dataset,
+    batch: &[usize],
+    freeze: Option<&[Arc<Grid>]>,
+    dist: &DistConfig,
+) -> (Vec<Grid>, f64) {
+    let parts = in_process_shard_grads(
+        donn,
+        data,
+        batch,
+        freeze,
+        dist.workers,
+        dist.threads_per_worker,
+    );
+    all_reduce(parts, donn.masks(), freeze)
+}
+
+/// Data-parallel [`photonn_donn::train::train_with`]: every mini-batch is
+/// split into deterministic contiguous shards, each shard's gradients come
+/// from its own batched tape (worker threads in-process, or rank 0 + peer
+/// processes over loopback TCP), and the all-reduced gradient feeds a
+/// single Adam step on this process. Shuffling, regularizers, the
+/// extra-force hook, freeze masking and the optimizer state all live here
+/// on rank 0, so the sharded run follows the exact single-process training
+/// schedule — same seed, same batches, same updates.
+///
+/// `epoch_hook` observes each completed epoch's [`EpochStats`].
+///
+/// # Errors
+///
+/// Returns [`DistError`] when a peer cannot be reached or violates the
+/// protocol during the handshake. A peer failing **mid-run** aborts the
+/// process with a panic instead: silently continuing on fewer shards would
+/// change the gradient stream and break the determinism contract.
+///
+/// # Panics
+///
+/// Panics on model/dataset shape mismatches, or on a mid-run peer failure
+/// (see above).
+pub fn train_with_sharded(
+    donn: &mut Donn,
+    data: &Dataset,
+    opts: &TrainOptions,
+    freeze: Option<&[Arc<Grid>]>,
+    extra_grad: Option<ExtraGradFn<'_>>,
+    dist: &DistConfig,
+    epoch_hook: Option<EpochHookFn<'_>>,
+) -> Result<Vec<EpochStats>, DistError> {
+    if dist.peers.is_empty() {
+        let stats = train_with_grad_source(
+            donn,
+            data,
+            opts,
+            freeze,
+            extra_grad,
+            |donn, data, batch| sharded_gradients(donn, data, batch, freeze, dist),
+            epoch_hook,
+        );
+        return Ok(stats);
+    }
+
+    let workers = dist.peers.len() + 1;
+    let mut pool = TcpPool::connect(&dist.peers, donn.config(), data, freeze)?;
+    let stats = train_with_grad_source(
+        donn,
+        data,
+        opts,
+        freeze,
+        extra_grad,
+        |donn, data, batch| {
+            let shards = shard_batch(batch, workers);
+            let denom = batch.len();
+            // Ship the remote shards first so the peers crunch while rank 0
+            // computes shard 0 on this thread.
+            pool.send_steps(donn.masks(), &shards[1..], denom)
+                .expect("peer failed mid-run (send)");
+            let local = shard_gradients(
+                donn,
+                data,
+                shards[0],
+                freeze,
+                dist.threads_per_worker,
+                denom,
+            );
+            let mut parts = vec![local];
+            parts.extend(
+                pool.collect_grads(shards.len() - 1)
+                    .expect("peer failed mid-run (collect)"),
+            );
+            all_reduce(parts, donn.masks(), freeze)
+        },
+        epoch_hook,
+    );
+    pool.shutdown();
+    Ok(stats)
+}
+
+/// [`train_with_sharded`] without freezing, extra forces or an epoch hook
+/// — the plain data-parallel baseline path.
+///
+/// # Errors
+///
+/// Same conditions as [`train_with_sharded`].
+pub fn train_sharded(
+    donn: &mut Donn,
+    data: &Dataset,
+    opts: &TrainOptions,
+    dist: &DistConfig,
+) -> Result<Vec<EpochStats>, DistError> {
+    train_with_sharded(donn, data, opts, None, None, dist, None)
+}

@@ -1,0 +1,143 @@
+//! The in-process worker pool: one scoped thread per shard, each owning
+//! its own batched tape, plus the all-reduce that folds the per-shard
+//! buffers back into one optimizer-ready gradient.
+
+use photonn_autodiff::MaskGrads;
+use photonn_datasets::Dataset;
+use photonn_donn::train::shard_gradients;
+use photonn_donn::Donn;
+use photonn_math::Grid;
+use std::sync::Arc;
+
+use crate::shard::shard_batch;
+
+/// Computes every shard's [`MaskGrads`] for one mini-batch on in-process
+/// worker threads — one thread per shard, each building its own tape with
+/// the global batch size as the loss denominator, each spreading its FFT
+/// work over `threads_per_worker` chunk threads. Results come back in
+/// shard order regardless of completion order, so the downstream reduce is
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if `batch` is empty, or propagates a worker panic.
+pub fn in_process_shard_grads(
+    donn: &Donn,
+    data: &Dataset,
+    batch: &[usize],
+    freeze: Option<&[Arc<Grid>]>,
+    workers: usize,
+    threads_per_worker: usize,
+) -> Vec<MaskGrads> {
+    assert!(!batch.is_empty(), "empty batch");
+    let shards = shard_batch(batch, workers);
+    let denom = batch.len();
+    if shards.len() == 1 {
+        // Degenerate pool: no thread spawn, identical arithmetic.
+        return vec![shard_gradients(
+            donn,
+            data,
+            shards[0],
+            freeze,
+            threads_per_worker,
+            denom,
+        )];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|&shard| {
+                scope.spawn(move || {
+                    shard_gradients(donn, data, shard, freeze, threads_per_worker, denom)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// The all-reduce: combines per-shard buffers (in shard order) with the
+/// tape's midpoint tree and projects the total to real phase gradients.
+/// Returns `(per-layer gradients, batch mean loss)` in the
+/// [`photonn_donn::train::batched_gradients`] contract. Because every
+/// shard was built against the global denominator, the weighted-by-shard-
+/// size mean is exactly this plain sum — no reweighting step exists to
+/// introduce extra rounding.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or shapes mismatch.
+pub fn all_reduce(
+    parts: Vec<MaskGrads>,
+    masks: &[Grid],
+    freeze: Option<&[Arc<Grid>]>,
+) -> (Vec<Grid>, f64) {
+    let total = MaskGrads::tree_reduce(parts);
+    let grads = total.phase_gradients(masks, freeze);
+    (grads, total.loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonn_datasets::Family;
+    use photonn_donn::train::batched_gradients;
+    use photonn_donn::DonnConfig;
+    use photonn_math::Rng;
+
+    fn setup(n: usize, samples: usize, seed: u64) -> (Donn, Dataset) {
+        let donn = Donn::random(DonnConfig::scaled(n), &mut Rng::seed_from(seed));
+        let data = Dataset::synthetic(Family::Mnist, samples, seed).resized(n);
+        (donn, data)
+    }
+
+    #[test]
+    fn two_equal_shards_are_bit_identical_to_single_tape() {
+        let (donn, data) = setup(16, 8, 11);
+        let batch: Vec<usize> = (0..8).collect();
+        let (reference, ref_loss) = batched_gradients(&donn, &data, &batch, None, 1);
+        for workers in [1usize, 2, 4, 8] {
+            let parts = in_process_shard_grads(&donn, &data, &batch, None, workers, 1);
+            let (grads, loss) = all_reduce(parts, donn.masks(), None);
+            assert_eq!(grads, reference, "{workers} equal power-of-two shards");
+            // The loss scalar is a diagnostic: each shard folds its own
+            // rows before the cross-shard sum, so it is reassociation-equal
+            // only — the determinism contract covers the gradients.
+            assert!((loss - ref_loss).abs() < 1e-12, "{workers} workers loss");
+        }
+    }
+
+    #[test]
+    fn ragged_shards_match_single_tape_to_tolerance() {
+        let (donn, data) = setup(16, 7, 12);
+        let batch: Vec<usize> = (0..7).collect();
+        let (reference, ref_loss) = batched_gradients(&donn, &data, &batch, None, 1);
+        for workers in [2usize, 3, 5, 7, 9] {
+            let parts = in_process_shard_grads(&donn, &data, &batch, None, workers, 1);
+            let (grads, loss) = all_reduce(parts, donn.masks(), None);
+            assert!((loss - ref_loss).abs() < 1e-12, "{workers} workers");
+            for (g, r) in grads.iter().zip(&reference) {
+                let diff = g.max_abs_diff(r);
+                assert!(diff < 1e-12, "{workers} workers: {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_invariant_to_worker_thread_count() {
+        let (donn, data) = setup(16, 6, 13);
+        let batch: Vec<usize> = (0..6).collect();
+        let base = {
+            let parts = in_process_shard_grads(&donn, &data, &batch, None, 3, 1);
+            all_reduce(parts, donn.masks(), None)
+        };
+        for threads in [2usize, 4] {
+            let parts = in_process_shard_grads(&donn, &data, &batch, None, 3, threads);
+            let got = all_reduce(parts, donn.masks(), None);
+            assert_eq!(got, base, "{threads} threads per worker");
+        }
+    }
+}

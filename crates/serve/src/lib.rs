@@ -19,7 +19,7 @@
 //!
 //! | Module | Role |
 //! |---|---|
-//! | [`json`] | hand-rolled JSON codec (bit-exact `f64` round-trips) |
+//! | [`json`] | hand-rolled JSON codec (bit-exact `f64` round-trips), shared via `photonn-wire` |
 //! | [`http`] | minimal HTTP/1.1 request/response over blocking streams |
 //! | [`metrics`] | queue depth, batch-size histogram, p50/p99 latency |
 //! | [`cache`] | memory-budgeted LRU over the mask-independent first hop |
@@ -58,10 +58,14 @@ pub mod batcher;
 pub mod cache;
 pub mod client;
 pub mod http;
-pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+
+// The JSON codec moved to `photonn-wire` so the distributed trainer can
+// speak the same dialect; re-exported here to keep `photonn_serve::json`
+// (and every existing caller) working unchanged.
+pub use photonn_wire::json;
 
 pub use batcher::{BatchPolicy, Batcher, SubmitError};
 pub use cache::FirstHopCache;

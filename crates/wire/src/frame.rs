@@ -1,0 +1,161 @@
+//! Length-prefixed message framing over any byte stream.
+//!
+//! The `photonn-dist` gradient protocol exchanges JSON documents over
+//! loopback TCP. TCP is a byte stream with no message boundaries, so every
+//! document travels as one *frame*: a 4-byte little-endian payload length
+//! followed by that many bytes of UTF-8 JSON. The reader enforces a hard
+//! size cap so a corrupt or hostile length prefix cannot trigger an
+//! arbitrary-size allocation.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (1 GiB). The largest real message is
+/// `photonn-dist`'s full-dataset init handshake, which at the paper-native
+/// grid 200 fits several hundred images per GiB of JSON (~0.75 MiB per
+/// image); a paper-scale 60k-sample dataset does **not** fit and needs the
+/// ROADMAP's chunked/compressed handshake. An oversized *send* is a clean
+/// [`FrameError::TooLarge`], not a panic, so a coordinator refuses the
+/// session instead of aborting; on the read side the cap keeps a corrupt
+/// or hostile length prefix from triggering an arbitrary-size allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Errors from frame reading.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport failure.
+    Io(io::Error),
+    /// The stream closed cleanly before a length prefix (end of session).
+    Closed,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// The payload is not valid UTF-8.
+    NotUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Closed => write!(f, "stream closed"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds cap of {MAX_FRAME_BYTES}")
+            }
+            FrameError::NotUtf8 => write!(f, "frame payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        match e {
+            FrameError::Io(inner) => inner,
+            FrameError::Closed => io::Error::new(io::ErrorKind::UnexpectedEof, "stream closed"),
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Writes one framed message (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Returns any transport error, or `InvalidInput` when `payload` exceeds
+/// [`MAX_FRAME_BYTES`] (e.g. an init handshake shipping a dataset too
+/// large for one frame) — the message is then not sent at all, so the
+/// stream stays consistent and the caller can surface the refusal.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            FrameError::TooLarge(payload.len()).to_string(),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one framed message. [`FrameError::Closed`] distinguishes a clean
+/// end-of-stream (peer hung up between messages) from a mid-frame EOF,
+/// which surfaces as [`FrameError::Io`].
+///
+/// # Errors
+///
+/// Returns [`FrameError`] on transport failure, clean close, an oversized
+/// length prefix, or a non-UTF-8 payload.
+pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no bytes at all" (clean close) from a torn prefix.
+    match r.read(&mut len_buf).map_err(FrameError::Io)? {
+        0 => return Err(FrameError::Closed),
+        n => r.read_exact(&mut len_buf[n..]).map_err(FrameError::Io)?,
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    String::from_utf8(payload).map_err(|_| FrameError::NotUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_preserves_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "second message é😀").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), "{\"a\":1}");
+        assert_eq!(read_frame(&mut r).unwrap(), "");
+        assert_eq!(read_frame(&mut r).unwrap(), "second message é😀");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend((u32::MAX).to_le_bytes());
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn torn_prefix_is_io_error_not_clean_close() {
+        let mut r = Cursor::new(vec![1u8, 0]);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend(10u32.to_le_bytes());
+        buf.extend(b"short");
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn non_utf8_payload_rejected() {
+        let mut buf = Vec::new();
+        buf.extend(2u32.to_le_bytes());
+        buf.extend([0xff, 0xfe]);
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::NotUtf8)));
+    }
+}

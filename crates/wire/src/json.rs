@@ -1,13 +1,14 @@
-//! A minimal hand-rolled JSON codec — the request/response wire format of
-//! the inference server.
+//! A minimal hand-rolled JSON codec — the wire format of the inference
+//! server's HTTP API and of the distributed trainer's gradient protocol.
 //!
 //! The workspace is offline and dependency-free, so this module implements
-//! exactly the JSON subset the server needs: UTF-8 text, the six standard
-//! value kinds, `\uXXXX` escapes (including surrogate pairs) and strict
-//! number syntax. Numbers are stored as `f64` and serialized with Rust's
-//! shortest-roundtrip [`std::fmt::Display`], so an `f64` written by the
-//! server parses back to the *identical* bits on the client — the property
-//! that makes end-to-end bit-identity of served logits testable at all.
+//! exactly the JSON subset those protocols need: UTF-8 text, the six
+//! standard value kinds, `\uXXXX` escapes (including surrogate pairs) and
+//! strict number syntax. Numbers are stored as `f64` and serialized with
+//! Rust's shortest-roundtrip [`std::fmt::Display`], so an `f64` written by
+//! one process parses back to the *identical* bits in another — the
+//! property that makes end-to-end bit-identity of served logits (and of
+//! TCP-shipped shard gradients) testable at all.
 
 use std::fmt;
 

@@ -14,10 +14,13 @@
 #![warn(missing_docs)]
 
 pub use photonn_autodiff as autodiff;
+pub use photonn_bench as bench;
 pub use photonn_datasets as datasets;
+pub use photonn_dist as dist;
 pub use photonn_donn as donn;
 pub use photonn_fft as fft;
 pub use photonn_math as math;
 pub use photonn_optics as optics;
 pub use photonn_serve as serve;
 pub use photonn_viz as viz;
+pub use photonn_wire as wire;

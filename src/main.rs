@@ -1,19 +1,29 @@
 //! The `photonn` command-line facade.
 //!
-//! Currently one subcommand:
+//! Subcommands:
 //!
 //! ```sh
 //! photonn serve [--addr 127.0.0.1:7878] [--grid 32] [--epochs 0]
 //!               [--max-batch 16] [--max-wait-us 2000] [--queue-cap 256]
 //!               [--threads N] [--cache-mb 64] [--levels 8] [--crosstalk 0.1]
+//! photonn train [--grid 32] [--samples 600] [--epochs 3] [--batch 25]
+//!               [--lr 0.05] [--seed 7] [--workers N] [--threads T]
+//!               [--peers host:port,host:port,...]
+//! photonn dist-worker [--addr 127.0.0.1:0] [--threads T] [--keep-alive]
+//! photonn bench-report [--dir .]
 //! ```
 //!
-//! Trains (optionally) a DONN on synthetic digits, registers the ideal
-//! model plus its quantized and crosstalk-deployed variants, and serves
-//! them over HTTP until the process is killed. See `examples/serve_digits.rs`
-//! for a scripted train → register → serve → query round trip.
+//! `serve` trains (optionally) a DONN on synthetic digits, registers the
+//! ideal model plus its quantized and crosstalk-deployed variants, and
+//! serves them over HTTP until the process is killed (see
+//! `examples/serve_digits.rs`). `train` runs the sharded data-parallel
+//! trainer — in-process worker threads by default, or rank-0-plus-peers
+//! over loopback TCP when `--peers` lists `dist-worker` processes (see
+//! `examples/dist_digits.rs`). `bench-report` renders the committed
+//! `BENCH_*.json` trackers as markdown for a CI job summary.
 
 use photonn::datasets::{Dataset, Family};
+use photonn::dist::{serve_peer_forever, serve_peer_once, train_with_sharded, DistConfig};
 use photonn::donn::train::{train, TrainOptions};
 use photonn::donn::{deploy::FabricationModel, Donn, DonnConfig};
 use photonn::math::Rng;
@@ -61,14 +71,21 @@ fn usage_error(message: String) -> ! {
     std::process::exit(2);
 }
 
-fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
-    let value = value.unwrap_or_else(|| usage_error(format!("{flag} requires a value")));
+/// Parses a flag value, aborting through the *calling subcommand's* usage
+/// function on a missing or unparseable value — each subcommand keeps its
+/// own flag list in the error output.
+fn parsed_or<T: std::str::FromStr>(flag: &str, value: Option<String>, usage: fn(String) -> !) -> T {
+    let value = value.unwrap_or_else(|| usage(format!("{flag} requires a value")));
     if value.starts_with("--") {
-        usage_error(format!("{flag} requires a value, found flag '{value}'"));
+        usage(format!("{flag} requires a value, found flag '{value}'"));
     }
     value
         .parse()
-        .unwrap_or_else(|_| usage_error(format!("cannot parse {flag} value '{value}'")))
+        .unwrap_or_else(|_| usage(format!("cannot parse {flag} value '{value}'")))
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    parsed_or(flag, value, usage_error)
 }
 
 fn parse_serve_options(args: &[String]) -> ServeOptions {
@@ -152,12 +169,229 @@ fn serve(args: &[String]) {
     }
 }
 
+// ------------------------------------------------------------------ train
+
+struct TrainCliOptions {
+    grid: usize,
+    samples: usize,
+    epochs: usize,
+    batch: usize,
+    lr: f64,
+    seed: u64,
+    workers: usize,
+    threads: usize,
+    peers: Vec<String>,
+}
+
+impl Default for TrainCliOptions {
+    fn default() -> Self {
+        TrainCliOptions {
+            grid: 32,
+            samples: 600,
+            epochs: 3,
+            batch: 25,
+            lr: 0.05,
+            seed: 7,
+            workers: 1,
+            threads: 1,
+            peers: Vec::new(),
+        }
+    }
+}
+
+fn train_usage_error(message: String) -> ! {
+    eprintln!("photonn train: {message}");
+    eprintln!("usage: photonn train [--grid N] [--samples S] [--epochs E] [--batch B]");
+    eprintln!("                     [--lr LR] [--seed S] [--workers N] [--threads T]");
+    eprintln!("                     [--peers host:port,host:port,...]");
+    std::process::exit(2);
+}
+
+fn parse_train_options(args: &[String]) -> TrainCliOptions {
+    let mut opts = TrainCliOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        match flag {
+            "--grid" => opts.grid = parsed_or(flag, value, train_usage_error),
+            "--samples" => opts.samples = parsed_or(flag, value, train_usage_error),
+            "--epochs" => opts.epochs = parsed_or(flag, value, train_usage_error),
+            "--batch" => opts.batch = parsed_or(flag, value, train_usage_error),
+            "--lr" => opts.lr = parsed_or(flag, value, train_usage_error),
+            "--seed" => opts.seed = parsed_or(flag, value, train_usage_error),
+            "--workers" => opts.workers = parsed_or(flag, value, train_usage_error),
+            "--threads" => opts.threads = parsed_or(flag, value, train_usage_error),
+            "--peers" => {
+                let list: String =
+                    value.unwrap_or_else(|| train_usage_error("--peers requires a value".into()));
+                opts.peers = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            other => train_usage_error(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn train_cmd(args: &[String]) {
+    let opts = parse_train_options(args);
+    // In peer mode the shard count is fixed by the topology: rank 0 plus
+    // one shard per peer.
+    let dist = DistConfig {
+        workers: if opts.peers.is_empty() {
+            opts.workers
+        } else {
+            opts.peers.len() + 1
+        },
+        threads_per_worker: opts.threads,
+        peers: opts.peers.clone(),
+    };
+    println!(
+        "training on synthetic digits: grid {} | {} samples | {} epochs | batch {} | {} worker(s){}",
+        opts.grid,
+        opts.samples,
+        opts.epochs,
+        opts.batch,
+        dist.workers,
+        if dist.peers.is_empty() {
+            " (in-process)".to_string()
+        } else {
+            format!(" (rank 0 + peers {})", dist.peers.join(", "))
+        }
+    );
+    let data = Dataset::synthetic(Family::Mnist, opts.samples, opts.seed).resized(opts.grid);
+    let mut rng = Rng::seed_from(opts.seed);
+    let mut donn = Donn::random(DonnConfig::scaled(opts.grid), &mut rng);
+    let train_opts = TrainOptions {
+        epochs: opts.epochs,
+        batch_size: opts.batch,
+        learning_rate: opts.lr,
+        seed: opts.seed,
+        ..TrainOptions::default()
+    };
+    let start = std::time::Instant::now();
+    let mut hook = |s: &photonn::donn::train::EpochStats| {
+        println!("epoch {}: mean loss {:.6}", s.epoch, s.mean_loss);
+    };
+    if let Err(e) = train_with_sharded(
+        &mut donn,
+        &data,
+        &train_opts,
+        None,
+        None,
+        &dist,
+        Some(&mut hook),
+    ) {
+        eprintln!("photonn train: {e}");
+        std::process::exit(1);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let steps = opts.epochs * opts.samples.div_ceil(opts.batch);
+    println!(
+        "trained {steps} steps in {elapsed:.1}s ({:.2} steps/sec) | train accuracy {:.1}%",
+        steps as f64 / elapsed,
+        donn.accuracy(&data, opts.threads) * 100.0
+    );
+}
+
+// ------------------------------------------------------------ dist-worker
+
+fn dist_worker_usage_error(message: String) -> ! {
+    eprintln!("photonn dist-worker: {message}");
+    eprintln!("usage: photonn dist-worker [--addr A] [--threads T] [--keep-alive]");
+    std::process::exit(2);
+}
+
+fn dist_worker_cmd(args: &[String]) {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut threads = 1usize;
+    let mut keep_alive = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--addr" => {
+                addr = args
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| dist_worker_usage_error("--addr requires a value".into()));
+                i += 2;
+            }
+            "--threads" => {
+                threads = parsed_or(flag, args.get(i + 1).cloned(), dist_worker_usage_error);
+                i += 2;
+            }
+            "--keep-alive" => {
+                keep_alive = true;
+                i += 1;
+            }
+            other => dist_worker_usage_error(format!("unknown flag '{other}'")),
+        }
+    }
+    let listener = std::net::TcpListener::bind(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("photonn dist-worker: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // Machine-parseable: coordinators read this line to learn the actual
+    // port when launched with :0 (see examples/dist_digits.rs).
+    println!("PEER_ADDR={}", listener.local_addr().expect("bound socket"));
+    let result = if keep_alive {
+        serve_peer_forever(&listener, threads)
+    } else {
+        serve_peer_once(&listener, threads)
+    };
+    if let Err(e) = result {
+        eprintln!("photonn dist-worker: {e}");
+        std::process::exit(1);
+    }
+}
+
+// ------------------------------------------------------------ bench-report
+
+fn bench_report_cmd(args: &[String]) {
+    let mut dir = ".".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("photonn bench-report: --dir requires a value");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("photonn bench-report: unknown flag '{other}'");
+                eprintln!("usage: photonn bench-report [--dir PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    match photonn::bench::report::render_dir(std::path::Path::new(&dir)) {
+        Ok(markdown) => print!("{markdown}"),
+        Err(e) => {
+            eprintln!("photonn bench-report: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("serve") => serve(&args[2..]),
+        Some("train") => train_cmd(&args[2..]),
+        Some("dist-worker") => dist_worker_cmd(&args[2..]),
+        Some("bench-report") => bench_report_cmd(&args[2..]),
         _ => {
-            eprintln!("usage: photonn serve [options]   (see src/main.rs header)");
+            eprintln!("usage: photonn <serve|train|dist-worker|bench-report> [options]");
+            eprintln!("       (see src/main.rs header for per-subcommand flags)");
             std::process::exit(2);
         }
     }
