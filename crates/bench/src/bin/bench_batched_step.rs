@@ -13,24 +13,36 @@
 //! * **batched, vectorized** — the planar radix-8/4/2/5 engine (covers all
 //!   powers of two and the paper's native 200 = 2³·5² grid).
 //!
-//! `--grid` may be repeated to emit one entry per grid, and `--paths`
-//! selects which gradient paths to time (comma list of
-//! `oracle,scalar,batched`; default all — the CI regression gate passes
-//! `--paths batched` since only `batched_steps_per_sec` is compared, and
-//! the bench then reports the delta against the previously committed
-//! numbers as `speedup_vs_prior`):
+//! `--grid` and `--threads` may both be repeated: the batched path is
+//! timed at every `(grid, threads)` combination — the thread-scaling
+//! curve — while the oracle and scalar baselines are timed once per grid
+//! (they are diagnostics, not the scaling subject). Every entry carries a
+//! `"threads"` field, and the document records the host's `cores` and
+//! SIMD kernel table: on a single-core host multi-thread entries measure
+//! dispatch overhead, not parallel speedup, and `photonn bench-report`
+//! flags them as such. `--paths` selects which gradient paths to time
+//! (comma list of `oracle,scalar,batched`; default all — the CI
+//! regression gate passes `--paths batched` since only the batched
+//! metrics are compared, and the bench then reports the delta against the
+//! previously committed numbers as `speedup_vs_prior`):
 //!
 //! ```sh
 //! cargo run --release -p photonn-bench --bin bench_batched_step
 //! cargo run --release -p photonn-bench --bin bench_batched_step -- \
-//!     --grid 32 --grid 200 --batch 50 --threads 1 --paths batched
+//!     --grid 200 --batch 50 --threads 1 --threads 2 --threads 4 --paths batched
 //! ```
+//!
+//! `--check-scaling R` turns the run into a gate: it exits nonzero if any
+//! multi-thread entry on a host with at least that many cores measures
+//! below `R`× the same grid's single-thread entry — the CI enforcement of
+//! the thread-scaling claim, skipped (with a loud note) on hosts too
+//! small to parallelize.
 
 use photonn_autodiff::Adam;
 use photonn_datasets::{Dataset, Family};
 use photonn_donn::train::{batched_gradients, per_sample_batch_gradients};
 use photonn_donn::{Donn, DonnConfig};
-use photonn_math::{Grid, Rng};
+use photonn_math::{simd, Grid, Rng};
 use photonn_serve::Json;
 use std::time::Instant;
 
@@ -38,13 +50,14 @@ struct Options {
     grids: Vec<usize>,
     batch: usize,
     steps: usize,
-    threads: usize,
+    threads: Vec<usize>,
     out: String,
     /// Which gradient paths to time (`oracle`, `scalar`, `batched`).
-    /// The CI regression gate only compares `batched_steps_per_sec`, so
+    /// The CI regression gate only compares the batched metrics, so
     /// `--paths batched` keeps that job from paying for the slow
     /// baselines; untimed paths write 0 and omit speedup fields.
     paths: Paths,
+    check_scaling: Option<f64>,
 }
 
 #[derive(Clone, Copy)]
@@ -81,55 +94,77 @@ impl Paths {
     }
 }
 
+/// This binary backs CI perf gates, so a typo'd flag silently falling
+/// back to defaults would make a gate measure (or skip) the wrong
+/// configuration while still exiting 0 — unknown flags and unparseable
+/// values abort loudly instead.
+fn usage_error(message: String) -> ! {
+    eprintln!("bench_batched_step: {message}");
+    eprintln!(
+        "usage: bench_batched_step [--grid N]... [--threads T]... [--batch B] [--steps S]\n\
+         \u{20}                        [--paths oracle,scalar,batched] [--out FILE]\n\
+         \u{20}                        [--check-scaling R]"
+    );
+    std::process::exit(2);
+}
+
+fn required<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let value = value.unwrap_or_else(|| usage_error(format!("{flag} requires a value")));
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(format!("cannot parse {flag} value '{value}'")))
+}
+
 fn parse_options() -> Options {
     let mut opts = Options {
         grids: Vec::new(),
         batch: 50,
         steps: 12,
-        threads: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
+        threads: Vec::new(),
         out: "BENCH_batched_step.json".to_string(),
         paths: Paths::all(),
+        check_scaling: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
+        let flag = args[i].as_str();
         let value = args.get(i + 1).cloned();
-        match args[i].as_str() {
-            "--grid" => {
-                if let Some(g) = value.and_then(|v| v.parse().ok()) {
-                    opts.grids.push(g);
-                }
-            }
+        match flag {
+            "--grid" => opts.grids.push(required(flag, value)),
+            "--threads" => opts.threads.push(required(flag, value)),
+            "--batch" => opts.batch = required(flag, value),
+            "--steps" => opts.steps = required(flag, value),
             "--paths" => {
-                // A silently mis-parsed path list would time (or skip) the
-                // wrong engines and mislabel the perf trajectory — abort.
                 opts.paths = match value.as_deref().and_then(Paths::parse) {
                     Some(p) => p,
                     None => {
                         let got = value.as_deref().unwrap_or("<missing>");
-                        eprintln!(
-                            "bench_batched_step: --paths takes a comma list of oracle,scalar,batched (got '{got}')"
-                        );
-                        std::process::exit(2);
+                        usage_error(format!(
+                            "--paths takes a comma list of oracle,scalar,batched (got '{got}')"
+                        ));
                     }
                 };
             }
-            "--batch" => opts.batch = value.and_then(|v| v.parse().ok()).unwrap_or(opts.batch),
-            "--steps" => opts.steps = value.and_then(|v| v.parse().ok()).unwrap_or(opts.steps),
-            "--threads" => {
-                opts.threads = value.and_then(|v| v.parse().ok()).unwrap_or(opts.threads);
+            "--check-scaling" => opts.check_scaling = Some(required(flag, value)),
+            "--out" => {
+                opts.out = value.unwrap_or_else(|| usage_error("--out requires a value".into()));
             }
-            "--out" => opts.out = value.unwrap_or(opts.out),
-            _ => {
-                i += 1;
-                continue;
-            }
+            other => usage_error(format!("unknown flag '{other}'")),
         }
         i += 2;
     }
     if opts.grids.is_empty() {
         opts.grids.push(32);
     }
+    if opts.threads.is_empty() {
+        opts.threads
+            .push(std::thread::available_parallelism().map_or(2, |p| p.get().min(8)));
+    }
+    // Ascending order so the scaling gate's single-thread reference is
+    // timed before (and printed next to) the multi-thread entries.
+    opts.threads.sort_unstable();
+    opts.threads.dedup();
     opts
 }
 
@@ -157,17 +192,20 @@ fn run_steps(
     steps as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Throughput numbers of the three gradient paths at one grid size.
+/// Throughput numbers at one `(grid, threads)` configuration. The oracle
+/// and scalar baselines are timed once per grid and recorded on its first
+/// entry only (0 elsewhere).
 struct Entry {
     grid: usize,
+    threads: usize,
     per_sample: f64,
     batched_scalar: f64,
     batched: f64,
 }
 
-fn bench_grid(grid: usize, opts: &Options) -> Entry {
+fn bench_grid(grid: usize, opts: &Options, entries: &mut Vec<Entry>) {
     println!(
-        "== bench_batched_step :: grid {grid}x{grid} | batch {0} | {1} threads | {2} timed steps per path ==",
+        "== bench_batched_step :: grid {grid}x{grid} | batch {0} | threads {1:?} | {2} timed steps per path ==",
         opts.batch, opts.threads, opts.steps
     );
     let data = Dataset::synthetic(Family::Mnist, opts.batch, 42).resized(grid);
@@ -179,19 +217,20 @@ fn bench_grid(grid: usize, opts: &Options) -> Entry {
     std::env::set_var("PHOTONN_FFT_NO_VEC", "1");
     let mut donn_scalar = fresh_donn();
     std::env::remove_var("PHOTONN_FFT_NO_VEC");
-    let mut donn_vec = fresh_donn();
+    let donn_vec = fresh_donn();
 
+    let first_threads = opts.threads[0];
     let mut per_sample = 0.0;
     if opts.paths.oracle {
         per_sample = run_steps(
             &mut donn_scalar.clone(),
             &data,
             &batch,
-            opts.threads,
+            first_threads,
             opts.steps,
             per_sample_batch_gradients,
         );
-        println!("per-sample oracle  : {per_sample:8.3} steps/sec");
+        println!("per-sample oracle        : {per_sample:8.3} steps/sec");
     }
 
     let mut batched_scalar = 0.0;
@@ -200,44 +239,47 @@ fn bench_grid(grid: usize, opts: &Options) -> Entry {
             &mut donn_scalar,
             &data,
             &batch,
-            opts.threads,
+            first_threads,
             opts.steps,
             batched_gradients,
         );
-        println!("batched scalar fft : {batched_scalar:8.3} steps/sec");
+        println!("batched scalar fft       : {batched_scalar:8.3} steps/sec");
     }
 
-    let mut batched = 0.0;
-    if opts.paths.batched {
-        batched = run_steps(
-            &mut donn_vec,
-            &data,
-            &batch,
-            opts.threads,
-            opts.steps,
-            batched_gradients,
-        );
-        println!("batched vectorized : {batched:8.3} steps/sec");
-    }
-    if opts.paths.oracle && opts.paths.scalar && opts.paths.batched {
-        println!(
-            "speedup            : {:8.2}x vs oracle, {:8.2}x vs scalar fft",
-            batched / per_sample,
-            batched / batched_scalar
-        );
-    }
-
-    Entry {
-        grid,
-        per_sample,
-        batched_scalar,
-        batched,
+    for (k, &threads) in opts.threads.iter().enumerate() {
+        let mut batched = 0.0;
+        if opts.paths.batched {
+            batched = run_steps(
+                &mut donn_vec.clone(),
+                &data,
+                &batch,
+                threads,
+                opts.steps,
+                batched_gradients,
+            );
+            println!("batched vectorized (t={threads}) : {batched:8.3} steps/sec");
+        }
+        if k == 0 && opts.paths.oracle && opts.paths.scalar && opts.paths.batched {
+            println!(
+                "speedup                  : {:8.2}x vs oracle, {:8.2}x vs scalar fft",
+                batched / per_sample,
+                batched / batched_scalar
+            );
+        }
+        entries.push(Entry {
+            grid,
+            threads,
+            per_sample: if k == 0 { per_sample } else { 0.0 },
+            batched_scalar: if k == 0 { batched_scalar } else { 0.0 },
+            batched,
+        });
     }
 }
 
-/// `batched_steps_per_sec` per grid from the previously committed output
-/// file, so a refreshed run can report its delta against the prior PR's
-/// engine in the same document (the planar-vs-interleaved trajectory).
+/// Single-thread `batched_steps_per_sec` per grid from the previously
+/// committed output file, so a refreshed run can report its delta against
+/// the prior PR's engine in the same document. Entries without a
+/// `threads` field predate the thread sweep and were single-thread runs.
 fn prior_throughput(path: &str) -> Vec<(usize, f64)> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
@@ -250,6 +292,7 @@ fn prior_throughput(path: &str) -> Vec<(usize, f64)> {
         .map(|entries| {
             entries
                 .iter()
+                .filter(|e| e.get("threads").and_then(Json::as_usize).unwrap_or(1) == 1)
                 .filter_map(|e| {
                     Some((
                         e.get("grid").and_then(Json::as_usize)?,
@@ -263,21 +306,34 @@ fn prior_throughput(path: &str) -> Vec<(usize, f64)> {
 
 fn main() {
     let opts = parse_options();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let kernels = simd::active();
+    println!(
+        "host: {cores} core(s) | simd kernel table '{}' ({:?})",
+        kernels.name,
+        simd::cpu_features()
+    );
     // Snapshot the committed numbers before this run overwrites them.
     let prior = prior_throughput(&opts.out);
-    let entries: Vec<Entry> = opts.grids.iter().map(|&g| bench_grid(g, &opts)).collect();
+    let mut entries: Vec<Entry> = Vec::new();
+    for &g in &opts.grids {
+        bench_grid(g, &opts, &mut entries);
+    }
 
     let body: Vec<String> = entries
         .iter()
         .map(|e| {
-            let mut fields = format!("    {{\n      \"grid\": {}", e.grid);
-            if opts.paths.oracle {
+            let mut fields = format!(
+                "    {{\n      \"grid\": {},\n      \"threads\": {}",
+                e.grid, e.threads
+            );
+            if e.per_sample > 0.0 {
                 fields.push_str(&format!(
                     ",\n      \"per_sample_steps_per_sec\": {:.4}",
                     e.per_sample
                 ));
             }
-            if opts.paths.scalar {
+            if e.batched_scalar > 0.0 {
                 fields.push_str(&format!(
                     ",\n      \"batched_scalar_fft_steps_per_sec\": {:.4}",
                     e.batched_scalar
@@ -289,26 +345,24 @@ fn main() {
                     e.batched
                 ));
             }
-            if opts.paths.oracle && opts.paths.batched {
+            if e.per_sample > 0.0 && opts.paths.batched {
                 fields.push_str(&format!(
                     ",\n      \"speedup_vs_oracle\": {:.4}",
                     e.batched / e.per_sample
                 ));
             }
-            if opts.paths.scalar && opts.paths.batched {
+            if e.batched_scalar > 0.0 && opts.paths.batched {
                 fields.push_str(&format!(
                     ",\n      \"speedup_vs_scalar_fft\": {:.4}",
                     e.batched / e.batched_scalar
                 ));
             }
-            let prior_entry = opts
-                .paths
-                .batched
+            let prior_entry = (opts.paths.batched && e.threads == 1)
                 .then(|| prior.iter().find(|(g, _)| *g == e.grid))
                 .flatten();
             if let Some(&(_, prev)) = prior_entry {
                 println!(
-                    "grid {}: {:.3} steps/sec vs {:.3} prior ({:.2}x)",
+                    "grid {} (t=1): {:.3} steps/sec vs {:.3} prior ({:.2}x)",
                     e.grid,
                     e.batched,
                     prev,
@@ -324,15 +378,66 @@ fn main() {
             fields
         })
         .collect();
+    let features: Vec<String> = simd::cpu_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"batched_step\",\n  \"batch\": {},\n  \"threads\": {},\n  \"timed_steps\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"batched_step\",\n  \"batch\": {},\n  \"timed_steps\": {},\n  \"cores\": {},\n  \"simd\": \"{}\",\n  \"cpu_features\": [{}],\n  \"entries\": [\n{}\n  ]\n}}\n",
         opts.batch,
-        opts.threads,
         opts.steps,
+        cores,
+        kernels.name,
+        features.join(", "),
         body.join(",\n")
     );
     match std::fs::write(&opts.out, &json) {
         Ok(()) => println!("wrote {}", opts.out),
         Err(e) => eprintln!("could not write {}: {e}", opts.out),
+    }
+
+    if let Some(floor) = opts.check_scaling {
+        let mut failed = false;
+        let mut checked = false;
+        for e in entries.iter().filter(|e| e.threads > 1) {
+            let Some(single) = entries
+                .iter()
+                .find(|s| s.grid == e.grid && s.threads == 1 && s.batched > 0.0)
+            else {
+                println!(
+                    "check-scaling: grid {} threads {}: no single-thread entry to compare \
+                     against (pass --threads 1 too), skipping",
+                    e.grid, e.threads
+                );
+                continue;
+            };
+            let speedup = e.batched / single.batched;
+            if cores < e.threads {
+                println!(
+                    "check-scaling: grid {} threads {}: only {cores} core(s) — parallel \
+                     speedup is not measurable here, skipping the {floor}x gate",
+                    e.grid, e.threads
+                );
+            } else if speedup < floor {
+                eprintln!(
+                    "check-scaling FAILED: grid {} threads {}: {speedup:.2}x < {floor}x",
+                    e.grid, e.threads
+                );
+                checked = true;
+                failed = true;
+            } else {
+                println!(
+                    "check-scaling ok: grid {} threads {}: {speedup:.2}x >= {floor}x",
+                    e.grid, e.threads
+                );
+                checked = true;
+            }
+        }
+        if !checked && !failed {
+            println!("check-scaling: no multi-thread entry was gate-eligible on this host");
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -18,7 +18,7 @@
 
 use photonn_datasets::{Dataset, Family};
 use photonn_donn::{Donn, DonnConfig};
-use photonn_math::Rng;
+use photonn_math::{simd, Rng};
 use photonn_serve::{client, BatchPolicy, Json, ModelRegistry, Server, ServerConfig};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -267,6 +267,16 @@ fn main() {
     // Reuse the serve crate's tested serializer rather than hand-splicing
     // strings: it cannot emit malformed JSON into the perf-trajectory
     // artifact.
+    //
+    // Like bench_dist_step, the document records the machine it ran on:
+    // req/s from a single-core host or a scalar-only CPU is not
+    // comparable to a committed baseline from a wider box.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let kernels = simd::active();
+    let features = simd::cpu_features()
+        .iter()
+        .map(|f| Json::Str((*f).into()))
+        .collect();
     let doc = Json::object(vec![
         ("bench".into(), Json::Str("serving".into())),
         ("clients".into(), Json::Num(opts.clients as f64)),
@@ -275,6 +285,9 @@ fn main() {
             Json::Num(opts.requests as f64),
         ),
         ("threads".into(), Json::Num(opts.threads as f64)),
+        ("cores".into(), Json::Num(cores as f64)),
+        ("simd".into(), Json::Str(kernels.name.into())),
+        ("cpu_features".into(), Json::Arr(features)),
         ("entries".into(), Json::Arr(entries)),
     ]);
     match std::fs::write(&opts.out, format!("{doc}\n")) {

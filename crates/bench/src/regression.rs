@@ -47,7 +47,11 @@ pub struct Comparison {
 /// document. Understands the three trackers:
 ///
 /// * `bench_batched_step` — one `batched_steps_per_sec` per `entries[]`
-///   grid;
+///   grid; thread-sweep entries (`"threads" > 1`) gate independently
+///   under `batched_steps_per_sec_t{N}`, while single-thread entries —
+///   including pre-sweep documents with no `threads` field — keep the
+///   bare name so refreshed baselines stay comparable across schema
+///   generations;
 /// * `bench_serving` — the `dynamic` policy's `req_per_sec` per grid,
 ///   from the multi-grid `entries[]` schema or the legacy single-grid
 ///   top-level layout;
@@ -82,9 +86,15 @@ pub fn headline_metrics(doc: &Json) -> Result<Vec<MetricSample>, String> {
                         .get("batched_steps_per_sec")
                         .and_then(Json::as_f64)
                         .ok_or("batched_step entry: missing batched_steps_per_sec")?;
+                    let threads = e.get("threads").and_then(Json::as_usize).unwrap_or(1);
+                    let metric = if threads == 1 {
+                        "batched_steps_per_sec".into()
+                    } else {
+                        format!("batched_steps_per_sec_t{threads}")
+                    };
                     Ok(MetricSample {
                         grid,
-                        metric: "batched_steps_per_sec".into(),
+                        metric,
                         value,
                     })
                 })
@@ -318,6 +328,39 @@ mod tests {
     fn unknown_bench_kind_errors() {
         let doc = Json::parse("{\"bench\":\"mystery\"}").unwrap();
         assert!(headline_metrics(&doc).is_err());
+    }
+
+    #[test]
+    fn batched_step_threads_encode_into_the_metric() {
+        let doc = Json::parse(
+            "{\"bench\":\"batched_step\",\"entries\":[\
+             {\"grid\":200,\"threads\":1,\"batched_steps_per_sec\":2.0},\
+             {\"grid\":200,\"threads\":4,\"batched_steps_per_sec\":6.0}]}",
+        )
+        .unwrap();
+        let samples = headline_metrics(&doc).unwrap();
+        assert_eq!(
+            samples,
+            vec![
+                MetricSample {
+                    grid: 200,
+                    metric: "batched_steps_per_sec".into(),
+                    value: 2.0
+                },
+                MetricSample {
+                    grid: 200,
+                    metric: "batched_steps_per_sec_t4".into(),
+                    value: 6.0
+                },
+            ]
+        );
+        // A pre-sweep baseline (no threads field) gates against the
+        // refreshed document's t=1 entry under the same bare metric.
+        let legacy = batched_doc(200, 1.9);
+        let report = compare(&legacy, &[doc], 0.25).unwrap();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].metric, "batched_steps_per_sec");
+        assert!(report[0].pass);
     }
 
     #[test]

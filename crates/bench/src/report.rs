@@ -73,28 +73,82 @@ fn entries(doc: &Json) -> Result<&[Json], String> {
 
 fn render_batched_step(doc: &Json) -> Result<String, String> {
     let mut out = String::from("### Training throughput (`bench_batched_step`)\n\n");
-    out.push_str("| grid | batched steps/sec | vs oracle | vs prior PR |\n");
-    out.push_str("|-----:|------------------:|----------:|------------:|\n");
+    let cores = doc.get("cores").and_then(Json::as_usize);
+    if let Some(c) = cores {
+        let kt = doc.get("simd").and_then(Json::as_str).unwrap_or("unknown");
+        out.push_str(&format!(
+            "measured on a {c}-core host, SIMD kernel table `{kt}`\n\n"
+        ));
+    }
+    out.push_str("| grid | threads | batched steps/sec | vs oracle | vs prior PR |\n");
+    out.push_str("|-----:|--------:|------------------:|----------:|------------:|\n");
     let mut series = Vec::new();
+    // (grid, threads, steps/sec) of every entry, for per-grid scaling rows.
+    let mut sweep: Vec<(usize, usize, f64)> = Vec::new();
+    let mut overhead_only = false;
     for e in entries(doc)? {
         let steps = req_f64(e, "batched_steps_per_sec")?;
         series.push(steps);
+        let grid = req_usize(e, "grid")?;
+        // Pre-sweep documents carry no threads field: single-thread runs.
+        let threads = e.get("threads").and_then(Json::as_usize).unwrap_or(1);
+        sweep.push((grid, threads, steps));
         let oracle =
             opt_f64(e, "speedup_vs_oracle").map_or("—".to_string(), |s| format!("{s:.2}x"));
         let prior =
             opt_f64(e, "speedup_vs_prior").map_or("—".to_string(), |s| format!("{s:.2}x"));
+        // A multi-thread number from a single-core host measures dispatch
+        // overhead, not parallel speedup — flag it so nobody reads it as
+        // a scaling claim.
+        let flagged = cores == Some(1) && threads > 1;
+        overhead_only |= flagged;
         out.push_str(&format!(
-            "| {} | {} | {} | {} |\n",
-            req_usize(e, "grid")?,
+            "| {} | {}{} | {} | {} | {} |\n",
+            grid,
+            threads,
+            if flagged { " ⚠" } else { "" },
             fnum(steps),
             oracle,
             prior
         ));
     }
+    if overhead_only {
+        out.push_str(
+            "\n⚠ single-core host: multi-thread entries measure dispatch overhead, \
+             not parallel speedup\n",
+        );
+    }
     out.push_str(&format!(
-        "\nsteps/sec across grids: `{}`\n",
+        "\nsteps/sec across entries: `{}`\n",
         sparkline(&series)
     ));
+    // One scaling row per grid that was swept across more than one thread
+    // count: speedup of each entry relative to the grid's slowest-threads
+    // entry, so the curve is legible without arithmetic.
+    let mut grids: Vec<usize> = sweep.iter().map(|&(g, _, _)| g).collect();
+    grids.dedup();
+    for g in grids {
+        let mut points: Vec<(usize, f64)> = sweep
+            .iter()
+            .filter(|&&(grid, _, _)| grid == g)
+            .map(|&(_, t, s)| (t, s))
+            .collect();
+        if points.len() < 2 {
+            continue;
+        }
+        points.sort_unstable_by_key(|&(t, _)| t);
+        let base = points[0].1;
+        let curve: Vec<String> = points
+            .iter()
+            .map(|&(t, s)| format!("{t}t: {:.2}x", s / base))
+            .collect();
+        out.push_str(&format!(
+            "\nthread scaling at grid {g} (vs {}t): {} `{}`\n",
+            points[0].0,
+            curve.join(", "),
+            sparkline(&points.iter().map(|&(_, s)| s).collect::<Vec<_>>())
+        ));
+    }
     Ok(out)
 }
 
@@ -231,9 +285,41 @@ mod tests {
         )
         .unwrap();
         let md = render_doc(&doc).unwrap();
-        assert!(md.contains("| 32 | 226.1 | 4.99x | — |"));
-        assert!(md.contains("| 200 | 3.010 | — | 2.24x |"));
+        assert!(md.contains("| 32 | 1 | 226.1 | 4.99x | — |"));
+        assert!(md.contains("| 200 | 1 | 3.010 | — | 2.24x |"));
         assert!(md.contains('█'));
+    }
+
+    #[test]
+    fn batched_step_thread_sweep_renders_scaling_and_single_core_flag() {
+        let doc = Json::parse(
+            "{\"bench\":\"batched_step\",\"cores\":1,\"simd\":\"avx2+fma\",\"entries\":[\
+             {\"grid\":200,\"threads\":1,\"batched_steps_per_sec\":2.0},\
+             {\"grid\":200,\"threads\":2,\"batched_steps_per_sec\":1.9}]}",
+        )
+        .unwrap();
+        let md = render_doc(&doc).unwrap();
+        assert!(md.contains("1-core host"));
+        assert!(md.contains("SIMD kernel table `avx2+fma`"));
+        assert!(
+            md.contains("| 200 | 2 ⚠ |"),
+            "multi-thread row flagged:\n{md}"
+        );
+        assert!(md.contains("dispatch overhead"));
+        assert!(md.contains("thread scaling at grid 200 (vs 1t): 1t: 1.00x, 2t: 0.95x"));
+    }
+
+    #[test]
+    fn batched_step_multi_core_sweep_is_not_flagged() {
+        let doc = Json::parse(
+            "{\"bench\":\"batched_step\",\"cores\":8,\"entries\":[\
+             {\"grid\":200,\"threads\":1,\"batched_steps_per_sec\":2.0},\
+             {\"grid\":200,\"threads\":4,\"batched_steps_per_sec\":6.0}]}",
+        )
+        .unwrap();
+        let md = render_doc(&doc).unwrap();
+        assert!(!md.contains('⚠'), "no flag on a multi-core host:\n{md}");
+        assert!(md.contains("4t: 3.00x"));
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! execute paths. It computes `n` simultaneous length-`n` DFTs along the
 //! *column axis* of a square `n × n` plane pair (split re/im `f64`
 //! planes): a butterfly combines whole rows elementwise, so every complex
-//! operation is shuffle-free `f64` arithmetic over contiguous lanes that
-//! the compiler autovectorizes. The row pass of a 2-D transform runs as a
-//! column pass over transposed planes (see `Fft2`).
+//! operation is shuffle-free `f64` arithmetic over contiguous lanes. The
+//! inner loops are the radix kernels of the process-wide
+//! [`photonn_math::simd`] kernel table — explicit AVX2+FMA or NEON where
+//! the CPU has them, the scalar expression trees otherwise — bound once at
+//! plan time. The row pass of a 2-D transform runs as a column pass over
+//! transposed planes (see `Fft2`).
 //!
 //! Where the old power-of-two-only engine used bit-reversal plus iterative
 //! radix-2 stages, this one is a **self-sorting Stockham** pipeline:
@@ -34,9 +37,27 @@
 //! — the butterfly is a handful of elementwise passes over whole blocks,
 //! and the per-(j,s) twiddle is a scalar held in registers across the
 //! sweep. The inverse transform uses conjugated twiddles and butterfly
-//! constants directly (monomorphized via a const-generic flag) instead of
-//! the scalar engines' conjugate–forward–conjugate detour.
+//! constants directly (via the kernel `sgn` argument) instead of the
+//! scalar engines' conjugate–forward–conjugate detour.
+//!
+//! # Cache-blocked stage fusion
+//!
+//! A butterfly permutes *row* indices only: column `c` of the output
+//! depends exclusively on column `c` of the input, at every stage. The
+//! column pass can therefore be strip-mined — split the planes into
+//! column strips of width `W` and run **all** stages on one strip while
+//! it is cache-resident, instead of round-tripping each full plane pair
+//! through DRAM once per stage. At the training grid's padded side
+//! `n = 400`, the four ping-pong planes total 5 MB (far beyond a 1–2 MB
+//! L2) while one 80-column strip's working set is 1 MB, cutting DRAM
+//! traffic roughly 4× across the 4-stage pipeline. Because no lane ever
+//! crosses a column and strip widths stay multiples of the SIMD width,
+//! the result is **bit-identical** to the unfused pass (covered by a
+//! test). `PHOTONN_FFT_STRIP` overrides the width (`0` disables fusion);
+//! strips are only used when `n` is a multiple of 4 so SIMD remainder
+//! tails cannot differ between fused and unfused sweeps.
 
+use photonn_math::simd::{self, KernelTable};
 use photonn_math::Complex64;
 
 /// One self-sorting Stockham stage: radix plus its twiddle table.
@@ -61,6 +82,12 @@ struct Stage {
 pub(crate) struct VecMixed2d {
     n: usize,
     stages: Vec<Stage>,
+    /// Column-strip width for cache-blocked stage fusion; `0` = run each
+    /// stage over the full plane (small grids, or fusion disabled).
+    strip: usize,
+    /// The kernel table every butterfly dispatches through, bound at plan
+    /// time (one table per process — see [`photonn_math::simd::active`]).
+    kernels: &'static KernelTable,
 }
 
 impl VecMixed2d {
@@ -109,12 +136,46 @@ impl VecMixed2d {
         radices
     }
 
+    /// The column-strip width used for stage fusion at side `n`: `0`
+    /// (fusion off) unless the four ping-pong planes overflow L2 and `n`
+    /// is a multiple of 4, in which case a width that keeps one strip's
+    /// working set near 1 MB, rounded to a multiple of 8 lanes.
+    /// `PHOTONN_FFT_STRIP` overrides (`0` disables; other values are
+    /// rounded up to a multiple of 4 and ignored when `n % 4 != 0`, so
+    /// fused and unfused sweeps can never split SIMD tails differently).
+    fn default_strip(n: usize) -> usize {
+        let heuristic = |n: usize| -> usize {
+            // 4 planes × n² lanes × 8 bytes per full ping-pong pass.
+            if !n.is_multiple_of(4) || 32 * n * n <= 1_500_000 {
+                0
+            } else {
+                // ~1 MB strip working set: 4 planes × n rows × W × 8 B.
+                ((32768 / n) & !7).max(16)
+            }
+        };
+        match std::env::var("PHOTONN_FFT_STRIP") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) => 0,
+                Ok(w) if n.is_multiple_of(4) => w.div_ceil(4) * 4,
+                _ => heuristic(n),
+            },
+            Err(_) => heuristic(n),
+        }
+    }
+
     /// Plans the stage pipeline for side length `n`.
     ///
     /// # Panics
     ///
     /// Panics if [`VecMixed2d::supports`] is false for `n`.
     pub(crate) fn new(n: usize) -> Self {
+        Self::with_config(n, Self::default_strip(n), simd::active())
+    }
+
+    /// Plans with an explicit strip width and kernel table (the
+    /// building block behind [`VecMixed2d::new`]; tests use it to pin
+    /// configurations).
+    fn with_config(n: usize, strip: usize, kernels: &'static KernelTable) -> Self {
         let radices = Self::schedule(n);
         let mut stages = Vec::with_capacity(radices.len());
         let mut m = 1;
@@ -135,7 +196,12 @@ impl VecMixed2d {
             m *= p;
         }
         debug_assert_eq!(m, n);
-        VecMixed2d { n, stages }
+        VecMixed2d {
+            n,
+            stages,
+            strip,
+            kernels,
+        }
     }
 
     /// Side length this engine was planned for.
@@ -163,6 +229,10 @@ impl VecMixed2d {
     /// views into a planar `BatchCGrid`, where a buffer swap is
     /// impossible. `inverse` computes the unnormalized adjoint.
     ///
+    /// When stage fusion is active the plane is walked in column strips,
+    /// each strip running the whole stage pipeline while cache-resident —
+    /// bit-identical to the unfused sweep (see the module docs).
+    ///
     /// # Panics
     ///
     /// Panics (in debug builds) if any plane is not `n²` long.
@@ -179,15 +249,74 @@ impl VecMixed2d {
         debug_assert_eq!(im.len(), n * n);
         debug_assert_eq!(sre.len(), n * n);
         debug_assert_eq!(sim.len(), n * n);
+        if self.strip == 0 || self.strip >= n {
+            self.strip_pass(re, im, sre, sim, inverse, 0, n);
+        } else {
+            let mut c0 = 0;
+            while c0 < n {
+                let w = self.strip.min(n - c0);
+                self.strip_pass(re, im, sre, sim, inverse, c0, w);
+                c0 += w;
+            }
+        }
+    }
+
+    /// Runs every stage over columns `c0 .. c0 + w` of the plane pair.
+    #[allow(clippy::too_many_arguments)]
+    fn strip_pass(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        sre: &mut [f64],
+        sim: &mut [f64],
+        inverse: bool,
+        c0: usize,
+        w: usize,
+    ) {
+        let ctx = StripCtx {
+            n: self.n,
+            c0,
+            w,
+            kt: self.kernels,
+        };
         let mut in_primary = true;
         for stage in &self.stages {
             if in_primary {
-                run_stage(stage, re, im, sre, sim, n, inverse);
+                run_stage(stage, re, im, sre, sim, ctx, inverse);
             } else {
-                run_stage(stage, sre, sim, re, im, n, inverse);
+                run_stage(stage, sre, sim, re, im, ctx, inverse);
             }
             in_primary = !in_primary;
         }
+    }
+}
+
+/// Per-call context of one stage sweep: plane side, the column strip to
+/// process, and the kernel table the butterflies dispatch through.
+#[derive(Clone, Copy)]
+struct StripCtx<'a> {
+    n: usize,
+    c0: usize,
+    w: usize,
+    kt: &'a KernelTable,
+}
+
+impl StripCtx<'_> {
+    /// The `(offset, len)` row-runs a butterfly visits inside one
+    /// contiguous `m`-row block: the whole block when the strip spans
+    /// every column, else `m` runs of `w` lanes at stride `n`.
+    #[inline]
+    fn runs(&self, m: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let full = self.w == self.n;
+        let count = if full { 1 } else { m };
+        let mn = m * self.n;
+        (0..count).map(move |r| {
+            if full {
+                (0, mn)
+            } else {
+                (r * self.n + self.c0, self.w)
+            }
+        })
     }
 }
 
@@ -198,18 +327,18 @@ fn run_stage(
     si: &[f64],
     dr: &mut [f64],
     di: &mut [f64],
-    n: usize,
+    ctx: StripCtx<'_>,
     inverse: bool,
 ) {
     match (stage.p, inverse) {
-        (2, false) => stage_radix2::<false>(stage, sr, si, dr, di, n),
-        (2, true) => stage_radix2::<true>(stage, sr, si, dr, di, n),
-        (4, false) => stage_radix4::<false>(stage, sr, si, dr, di, n),
-        (4, true) => stage_radix4::<true>(stage, sr, si, dr, di, n),
-        (5, false) => stage_radix5::<false>(stage, sr, si, dr, di, n),
-        (5, true) => stage_radix5::<true>(stage, sr, si, dr, di, n),
-        (8, false) => stage_radix8::<false>(stage, sr, si, dr, di, n),
-        (8, true) => stage_radix8::<true>(stage, sr, si, dr, di, n),
+        (2, false) => stage_radix2::<false>(stage, sr, si, dr, di, ctx),
+        (2, true) => stage_radix2::<true>(stage, sr, si, dr, di, ctx),
+        (4, false) => stage_radix4::<false>(stage, sr, si, dr, di, ctx),
+        (4, true) => stage_radix4::<true>(stage, sr, si, dr, di, ctx),
+        (5, false) => stage_radix5::<false>(stage, sr, si, dr, di, ctx),
+        (5, true) => stage_radix5::<true>(stage, sr, si, dr, di, ctx),
+        (8, false) => stage_radix8::<false>(stage, sr, si, dr, di, ctx),
+        (8, true) => stage_radix8::<true>(stage, sr, si, dr, di, ctx),
         (p, _) => unreachable!("unsupported radix {p}"),
     }
 }
@@ -224,32 +353,61 @@ impl Stage {
     }
 }
 
+/// The forward/inverse `±i` recombination sign the radix kernels take.
+#[inline]
+fn sgn<const INV: bool>() -> f64 {
+    if INV {
+        -1.0
+    } else {
+        1.0
+    }
+}
+
+/// Splits one contiguous `P·mn` group into its `P` `mn`-row blocks.
+fn split_rows<const P: usize>(buf: &mut [f64], mn: usize) -> [&mut [f64]; P] {
+    debug_assert_eq!(buf.len(), P * mn);
+    let mut rest = buf;
+    std::array::from_fn(|_| {
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(mn);
+        rest = tail;
+        head
+    })
+}
+
 fn stage_radix2<const INV: bool>(
     st: &Stage,
     sr: &[f64],
     si: &[f64],
     dr: &mut [f64],
     di: &mut [f64],
-    n: usize,
+    ctx: StripCtx<'_>,
 ) {
     let (l, m) = (st.l, st.m);
-    let mn = m * n;
+    let mn = m * ctx.n;
     for j in 0..l {
         let x0r = &sr[j * mn..][..mn];
         let x0i = &si[j * mn..][..mn];
         let x1r = &sr[(j + l) * mn..][..mn];
         let x1i = &si[(j + l) * mn..][..mn];
-        let (w1r, w1i) = st.tw::<INV>(j, 1);
-        let (y0r, y1r) = dr[2 * j * mn..][..2 * mn].split_at_mut(mn);
-        let (y0i, y1i) = di[2 * j * mn..][..2 * mn].split_at_mut(mn);
-        for i in 0..mn {
-            let (ar, ai) = (x0r[i], x0i[i]);
-            let (br, bi) = (x1r[i], x1i[i]);
-            y0r[i] = ar + br;
-            y0i[i] = ai + bi;
-            let (ur, ui) = (ar - br, ai - bi);
-            y1r[i] = ur * w1r - ui * w1i;
-            y1i[i] = ur * w1i + ui * w1r;
+        let w = [st.tw::<INV>(j, 1)];
+        let [y0r, y1r] = split_rows::<2>(&mut dr[2 * j * mn..][..2 * mn], mn);
+        let [y0i, y1i] = split_rows::<2>(&mut di[2 * j * mn..][..2 * mn], mn);
+        for (o, len) in ctx.runs(m) {
+            (ctx.kt.radix2)(
+                [
+                    &x0r[o..o + len],
+                    &x0i[o..o + len],
+                    &x1r[o..o + len],
+                    &x1i[o..o + len],
+                ],
+                [
+                    &mut y0r[o..o + len],
+                    &mut y0i[o..o + len],
+                    &mut y1r[o..o + len],
+                    &mut y1i[o..o + len],
+                ],
+                &w,
+            );
         }
     }
 }
@@ -260,12 +418,10 @@ fn stage_radix4<const INV: bool>(
     si: &[f64],
     dr: &mut [f64],
     di: &mut [f64],
-    n: usize,
+    ctx: StripCtx<'_>,
 ) {
     let (l, m) = (st.l, st.m);
-    let mn = m * n;
-    // Forward uses ω₄ = -i; the inverse conjugates it.
-    let sgn = if INV { -1.0 } else { 1.0 };
+    let mn = m * ctx.n;
     for j in 0..l {
         let x0r = &sr[j * mn..][..mn];
         let x0i = &si[j * mn..][..mn];
@@ -275,34 +431,34 @@ fn stage_radix4<const INV: bool>(
         let x2i = &si[(j + 2 * l) * mn..][..mn];
         let x3r = &sr[(j + 3 * l) * mn..][..mn];
         let x3i = &si[(j + 3 * l) * mn..][..mn];
-        let (w1r, w1i) = st.tw::<INV>(j, 1);
-        let (w2r, w2i) = st.tw::<INV>(j, 2);
-        let (w3r, w3i) = st.tw::<INV>(j, 3);
-        let group = &mut dr[4 * j * mn..][..4 * mn];
-        let (y0r, rest) = group.split_at_mut(mn);
-        let (y1r, rest) = rest.split_at_mut(mn);
-        let (y2r, y3r) = rest.split_at_mut(mn);
-        let group = &mut di[4 * j * mn..][..4 * mn];
-        let (y0i, rest) = group.split_at_mut(mn);
-        let (y1i, rest) = rest.split_at_mut(mn);
-        let (y2i, y3i) = rest.split_at_mut(mn);
-        for i in 0..mn {
-            let (t0r, t0i) = (x0r[i] + x2r[i], x0i[i] + x2i[i]);
-            let (t1r, t1i) = (x0r[i] - x2r[i], x0i[i] - x2i[i]);
-            let (t2r, t2i) = (x1r[i] + x3r[i], x1i[i] + x3i[i]);
-            // t3 multiplied by ∓i (forward: -i): (r, i) ↦ ±(i, -r).
-            let (t3r, t3i) = (sgn * (x1i[i] - x3i[i]), sgn * (x3r[i] - x1r[i]));
-            y0r[i] = t0r + t2r;
-            y0i[i] = t0i + t2i;
-            let (d1r, d1i) = (t1r + t3r, t1i + t3i);
-            y1r[i] = d1r * w1r - d1i * w1i;
-            y1i[i] = d1r * w1i + d1i * w1r;
-            let (d2r, d2i) = (t0r - t2r, t0i - t2i);
-            y2r[i] = d2r * w2r - d2i * w2i;
-            y2i[i] = d2r * w2i + d2i * w2r;
-            let (d3r, d3i) = (t1r - t3r, t1i - t3i);
-            y3r[i] = d3r * w3r - d3i * w3i;
-            y3i[i] = d3r * w3i + d3i * w3r;
+        let w = [st.tw::<INV>(j, 1), st.tw::<INV>(j, 2), st.tw::<INV>(j, 3)];
+        let [y0r, y1r, y2r, y3r] = split_rows::<4>(&mut dr[4 * j * mn..][..4 * mn], mn);
+        let [y0i, y1i, y2i, y3i] = split_rows::<4>(&mut di[4 * j * mn..][..4 * mn], mn);
+        for (o, len) in ctx.runs(m) {
+            (ctx.kt.radix4)(
+                [
+                    &x0r[o..o + len],
+                    &x0i[o..o + len],
+                    &x1r[o..o + len],
+                    &x1i[o..o + len],
+                    &x2r[o..o + len],
+                    &x2i[o..o + len],
+                    &x3r[o..o + len],
+                    &x3i[o..o + len],
+                ],
+                [
+                    &mut y0r[o..o + len],
+                    &mut y0i[o..o + len],
+                    &mut y1r[o..o + len],
+                    &mut y1i[o..o + len],
+                    &mut y2r[o..o + len],
+                    &mut y2i[o..o + len],
+                    &mut y3r[o..o + len],
+                    &mut y3i[o..o + len],
+                ],
+                &w,
+                sgn::<INV>(),
+            );
         }
     }
 }
@@ -313,17 +469,10 @@ fn stage_radix5<const INV: bool>(
     si: &[f64],
     dr: &mut [f64],
     di: &mut [f64],
-    n: usize,
+    ctx: StripCtx<'_>,
 ) {
     let (l, m) = (st.l, st.m);
-    let mn = m * n;
-    // 5-point DFT via the conjugate-pair split: real constants
-    // cos/sin(2π/5) and cos/sin(4π/5); the `±i` recombination flips sign
-    // between forward and inverse.
-    let th = 2.0 * std::f64::consts::PI / 5.0;
-    let (c1, s1) = (th.cos(), th.sin());
-    let (c2, s2) = ((2.0 * th).cos(), (2.0 * th).sin());
-    let sgn = if INV { -1.0 } else { 1.0 };
+    let mn = m * ctx.n;
     for j in 0..l {
         let x0r = &sr[j * mn..][..mn];
         let x0i = &si[j * mn..][..mn];
@@ -335,46 +484,43 @@ fn stage_radix5<const INV: bool>(
         let x3i = &si[(j + 3 * l) * mn..][..mn];
         let x4r = &sr[(j + 4 * l) * mn..][..mn];
         let x4i = &si[(j + 4 * l) * mn..][..mn];
-        let (w1r, w1i) = st.tw::<INV>(j, 1);
-        let (w2r, w2i) = st.tw::<INV>(j, 2);
-        let (w3r, w3i) = st.tw::<INV>(j, 3);
-        let (w4r, w4i) = st.tw::<INV>(j, 4);
-        let group = &mut dr[5 * j * mn..][..5 * mn];
-        let (y0r, rest) = group.split_at_mut(mn);
-        let (y1r, rest) = rest.split_at_mut(mn);
-        let (y2r, rest) = rest.split_at_mut(mn);
-        let (y3r, y4r) = rest.split_at_mut(mn);
-        let group = &mut di[5 * j * mn..][..5 * mn];
-        let (y0i, rest) = group.split_at_mut(mn);
-        let (y1i, rest) = rest.split_at_mut(mn);
-        let (y2i, rest) = rest.split_at_mut(mn);
-        let (y3i, y4i) = rest.split_at_mut(mn);
-        for i in 0..mn {
-            // Conjugate-pair sums/differences of the outer inputs.
-            let (t1r, t1i) = (x1r[i] + x4r[i], x1i[i] + x4i[i]);
-            let (t2r, t2i) = (x2r[i] + x3r[i], x2i[i] + x3i[i]);
-            let (t3r, t3i) = (x1r[i] - x4r[i], x1i[i] - x4i[i]);
-            let (t4r, t4i) = (x2r[i] - x3r[i], x2i[i] - x3i[i]);
-            let (ar, ai) = (x0r[i], x0i[i]);
-            y0r[i] = ar + t1r + t2r;
-            y0i[i] = ai + t1i + t2i;
-            let (m1r, m1i) = (ar + c1 * t1r + c2 * t2r, ai + c1 * t1i + c2 * t2i);
-            let (m2r, m2i) = (ar + c2 * t1r + c1 * t2r, ai + c2 * t1i + c1 * t2i);
-            let (m3r, m3i) = (s1 * t3r + s2 * t4r, s1 * t3i + s2 * t4i);
-            let (m4r, m4i) = (s2 * t3r - s1 * t4r, s2 * t3i - s1 * t4i);
-            // d1/d4 = m1 ∓ i·m3, d2/d3 = m2 ∓ i·m4 (forward signs).
-            let (d1r, d1i) = (m1r + sgn * m3i, m1i - sgn * m3r);
-            let (d4r, d4i) = (m1r - sgn * m3i, m1i + sgn * m3r);
-            let (d2r, d2i) = (m2r + sgn * m4i, m2i - sgn * m4r);
-            let (d3r, d3i) = (m2r - sgn * m4i, m2i + sgn * m4r);
-            y1r[i] = d1r * w1r - d1i * w1i;
-            y1i[i] = d1r * w1i + d1i * w1r;
-            y2r[i] = d2r * w2r - d2i * w2i;
-            y2i[i] = d2r * w2i + d2i * w2r;
-            y3r[i] = d3r * w3r - d3i * w3i;
-            y3i[i] = d3r * w3i + d3i * w3r;
-            y4r[i] = d4r * w4r - d4i * w4i;
-            y4i[i] = d4r * w4i + d4i * w4r;
+        let w = [
+            st.tw::<INV>(j, 1),
+            st.tw::<INV>(j, 2),
+            st.tw::<INV>(j, 3),
+            st.tw::<INV>(j, 4),
+        ];
+        let [y0r, y1r, y2r, y3r, y4r] = split_rows::<5>(&mut dr[5 * j * mn..][..5 * mn], mn);
+        let [y0i, y1i, y2i, y3i, y4i] = split_rows::<5>(&mut di[5 * j * mn..][..5 * mn], mn);
+        for (o, len) in ctx.runs(m) {
+            (ctx.kt.radix5)(
+                [
+                    &x0r[o..o + len],
+                    &x0i[o..o + len],
+                    &x1r[o..o + len],
+                    &x1i[o..o + len],
+                    &x2r[o..o + len],
+                    &x2i[o..o + len],
+                    &x3r[o..o + len],
+                    &x3i[o..o + len],
+                    &x4r[o..o + len],
+                    &x4i[o..o + len],
+                ],
+                [
+                    &mut y0r[o..o + len],
+                    &mut y0i[o..o + len],
+                    &mut y1r[o..o + len],
+                    &mut y1i[o..o + len],
+                    &mut y2r[o..o + len],
+                    &mut y2i[o..o + len],
+                    &mut y3r[o..o + len],
+                    &mut y3i[o..o + len],
+                    &mut y4r[o..o + len],
+                    &mut y4i[o..o + len],
+                ],
+                &w,
+                sgn::<INV>(),
+            );
         }
     }
 }
@@ -385,17 +531,10 @@ fn stage_radix8<const INV: bool>(
     si: &[f64],
     dr: &mut [f64],
     di: &mut [f64],
-    n: usize,
+    ctx: StripCtx<'_>,
 ) {
     let (l, m) = (st.l, st.m);
-    let mn = m * n;
-    // Radix-8 as two nested radix-4/2 splits: a 4-point DFT of the even
-    // inputs, a 4-point DFT of the odds, and the ω₈-rotated recombination.
-    // ω₈ = (1 − i)/√2 forward; `sgn` conjugates everything for the
-    // inverse. One radix-8 stage replaces a radix-4 + radix-2 pair — one
-    // full plane pass instead of two on the bandwidth-bound grids.
-    let c = std::f64::consts::FRAC_1_SQRT_2;
-    let sgn = if INV { -1.0 } else { 1.0 };
+    let mn = m * ctx.n;
     for j in 0..l {
         let x0r = &sr[j * mn..][..mn];
         let x0i = &si[j * mn..][..mn];
@@ -413,78 +552,62 @@ fn stage_radix8<const INV: bool>(
         let x6i = &si[(j + 6 * l) * mn..][..mn];
         let x7r = &sr[(j + 7 * l) * mn..][..mn];
         let x7i = &si[(j + 7 * l) * mn..][..mn];
-        let (w1r, w1i) = st.tw::<INV>(j, 1);
-        let (w2r, w2i) = st.tw::<INV>(j, 2);
-        let (w3r, w3i) = st.tw::<INV>(j, 3);
-        let (w4r, w4i) = st.tw::<INV>(j, 4);
-        let (w5r, w5i) = st.tw::<INV>(j, 5);
-        let (w6r, w6i) = st.tw::<INV>(j, 6);
-        let (w7r, w7i) = st.tw::<INV>(j, 7);
-        let [y0r, y1r, y2r, y3r, y4r, y5r, y6r, y7r] = split8(&mut dr[8 * j * mn..][..8 * mn], mn);
-        let [y0i, y1i, y2i, y3i, y4i, y5i, y6i, y7i] = split8(&mut di[8 * j * mn..][..8 * mn], mn);
-        for i in 0..mn {
-            // 4-point DFT of the even inputs (x0, x2, x4, x6).
-            let (t0r, t0i) = (x0r[i] + x4r[i], x0i[i] + x4i[i]);
-            let (t1r, t1i) = (x0r[i] - x4r[i], x0i[i] - x4i[i]);
-            let (t2r, t2i) = (x2r[i] + x6r[i], x2i[i] + x6i[i]);
-            let (t3r, t3i) = (sgn * (x2i[i] - x6i[i]), sgn * (x6r[i] - x2r[i]));
-            let (e0r, e0i) = (t0r + t2r, t0i + t2i);
-            let (e1r, e1i) = (t1r + t3r, t1i + t3i);
-            let (e2r, e2i) = (t0r - t2r, t0i - t2i);
-            let (e3r, e3i) = (t1r - t3r, t1i - t3i);
-            // 4-point DFT of the odd inputs (x1, x3, x5, x7).
-            let (u0r, u0i) = (x1r[i] + x5r[i], x1i[i] + x5i[i]);
-            let (u1r, u1i) = (x1r[i] - x5r[i], x1i[i] - x5i[i]);
-            let (u2r, u2i) = (x3r[i] + x7r[i], x3i[i] + x7i[i]);
-            let (u3r, u3i) = (sgn * (x3i[i] - x7i[i]), sgn * (x7r[i] - x3r[i]));
-            let (o0r, o0i) = (u0r + u2r, u0i + u2i);
-            let (o1r, o1i) = (u1r + u3r, u1i + u3i);
-            let (o2r, o2i) = (u0r - u2r, u0i - u2i);
-            let (o3r, o3i) = (u1r - u3r, u1i - u3i);
-            // Rotate the odd outputs by ω₈^s (s = 0..3):
-            // ω₈⁰ = 1, ω₈¹ = (1 ∓ i)/√2, ω₈² = ∓i, ω₈³ = −(1 ± i)/√2.
-            let (v1r, v1i) = (c * (o1r + sgn * o1i), c * (o1i - sgn * o1r));
-            let (v2r, v2i) = (sgn * o2i, -sgn * o2r);
-            let (v3r, v3i) = (c * (sgn * o3i - o3r), -c * (sgn * o3r + o3i));
-            // Recombine, then apply the stage twiddles.
-            y0r[i] = e0r + o0r;
-            y0i[i] = e0i + o0i;
-            let (d1r, d1i) = (e1r + v1r, e1i + v1i);
-            y1r[i] = d1r * w1r - d1i * w1i;
-            y1i[i] = d1r * w1i + d1i * w1r;
-            let (d2r, d2i) = (e2r + v2r, e2i + v2i);
-            y2r[i] = d2r * w2r - d2i * w2i;
-            y2i[i] = d2r * w2i + d2i * w2r;
-            let (d3r, d3i) = (e3r + v3r, e3i + v3i);
-            y3r[i] = d3r * w3r - d3i * w3i;
-            y3i[i] = d3r * w3i + d3i * w3r;
-            let (d4r, d4i) = (e0r - o0r, e0i - o0i);
-            y4r[i] = d4r * w4r - d4i * w4i;
-            y4i[i] = d4r * w4i + d4i * w4r;
-            let (d5r, d5i) = (e1r - v1r, e1i - v1i);
-            y5r[i] = d5r * w5r - d5i * w5i;
-            y5i[i] = d5r * w5i + d5i * w5r;
-            let (d6r, d6i) = (e2r - v2r, e2i - v2i);
-            y6r[i] = d6r * w6r - d6i * w6i;
-            y6i[i] = d6r * w6i + d6i * w6r;
-            let (d7r, d7i) = (e3r - v3r, e3i - v3i);
-            y7r[i] = d7r * w7r - d7i * w7i;
-            y7i[i] = d7r * w7i + d7i * w7r;
+        let w = [
+            st.tw::<INV>(j, 1),
+            st.tw::<INV>(j, 2),
+            st.tw::<INV>(j, 3),
+            st.tw::<INV>(j, 4),
+            st.tw::<INV>(j, 5),
+            st.tw::<INV>(j, 6),
+            st.tw::<INV>(j, 7),
+        ];
+        let [y0r, y1r, y2r, y3r, y4r, y5r, y6r, y7r] =
+            split_rows::<8>(&mut dr[8 * j * mn..][..8 * mn], mn);
+        let [y0i, y1i, y2i, y3i, y4i, y5i, y6i, y7i] =
+            split_rows::<8>(&mut di[8 * j * mn..][..8 * mn], mn);
+        for (o, len) in ctx.runs(m) {
+            (ctx.kt.radix8)(
+                [
+                    &x0r[o..o + len],
+                    &x0i[o..o + len],
+                    &x1r[o..o + len],
+                    &x1i[o..o + len],
+                    &x2r[o..o + len],
+                    &x2i[o..o + len],
+                    &x3r[o..o + len],
+                    &x3i[o..o + len],
+                    &x4r[o..o + len],
+                    &x4i[o..o + len],
+                    &x5r[o..o + len],
+                    &x5i[o..o + len],
+                    &x6r[o..o + len],
+                    &x6i[o..o + len],
+                    &x7r[o..o + len],
+                    &x7i[o..o + len],
+                ],
+                [
+                    &mut y0r[o..o + len],
+                    &mut y0i[o..o + len],
+                    &mut y1r[o..o + len],
+                    &mut y1i[o..o + len],
+                    &mut y2r[o..o + len],
+                    &mut y2i[o..o + len],
+                    &mut y3r[o..o + len],
+                    &mut y3i[o..o + len],
+                    &mut y4r[o..o + len],
+                    &mut y4i[o..o + len],
+                    &mut y5r[o..o + len],
+                    &mut y5i[o..o + len],
+                    &mut y6r[o..o + len],
+                    &mut y6i[o..o + len],
+                    &mut y7r[o..o + len],
+                    &mut y7i[o..o + len],
+                ],
+                &w,
+                sgn::<INV>(),
+            );
         }
     }
-}
-
-/// Splits one contiguous `8·mn` group into its eight `mn`-row blocks.
-fn split8(buf: &mut [f64], mn: usize) -> [&mut [f64]; 8] {
-    debug_assert_eq!(buf.len(), 8 * mn);
-    let (y0, rest) = buf.split_at_mut(mn);
-    let (y1, rest) = rest.split_at_mut(mn);
-    let (y2, rest) = rest.split_at_mut(mn);
-    let (y3, rest) = rest.split_at_mut(mn);
-    let (y4, rest) = rest.split_at_mut(mn);
-    let (y5, rest) = rest.split_at_mut(mn);
-    let (y6, y7) = rest.split_at_mut(mn);
-    [y0, y1, y2, y3, y4, y5, y6, y7]
 }
 
 #[cfg(test)]
@@ -628,6 +751,56 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Strip-mined stage fusion must be bit-identical to the unfused
+    /// sweep: butterflies never cross columns, and strip widths are
+    /// multiples of the SIMD width so vector/tail splits agree.
+    #[test]
+    fn strip_fusion_is_bit_identical_to_full_pass() {
+        for (n, strip) in [(40usize, 8usize), (100, 20), (400, 80)] {
+            let kt = simd::active();
+            let full = VecMixed2d::with_config(n, 0, kt);
+            let fused = VecMixed2d::with_config(n, strip, kt);
+            let orig_re: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let orig_im: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.23).cos()).collect();
+            for inverse in [false, true] {
+                let mut re_a = orig_re.clone();
+                let mut im_a = orig_im.clone();
+                let mut sre_a = vec![0.0; n * n];
+                let mut sim_a = vec![0.0; n * n];
+                column_pass_vecs(&full, &mut re_a, &mut im_a, &mut sre_a, &mut sim_a, inverse);
+                let mut re_b = orig_re.clone();
+                let mut im_b = orig_im.clone();
+                let mut sre_b = vec![0.0; n * n];
+                let mut sim_b = vec![0.0; n * n];
+                column_pass_vecs(
+                    &fused, &mut re_b, &mut im_b, &mut sre_b, &mut sim_b, inverse,
+                );
+                for i in 0..n * n {
+                    assert!(
+                        re_a[i].to_bits() == re_b[i].to_bits()
+                            && im_a[i].to_bits() == im_b[i].to_bits(),
+                        "n={n} strip={strip} inverse={inverse}: fused differs at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The default strip heuristic: off below the L2 threshold or when
+    /// `n % 4 != 0`, a multiple of 8 that bounds the working set above it.
+    #[test]
+    fn default_strip_heuristic_shapes() {
+        assert_eq!(VecMixed2d::default_strip(200), 0, "200 fits in L2");
+        assert_eq!(VecMixed2d::default_strip(64), 0);
+        let w400 = VecMixed2d::default_strip(400);
+        assert!(
+            w400 > 0 && w400.is_multiple_of(8),
+            "400 should strip (got {w400})"
+        );
+        assert!(32 * 400 * w400 <= 1 << 20, "strip working set ≤ 1 MB");
+        assert_eq!(VecMixed2d::default_strip(250), 0, "250 % 4 != 0");
     }
 
     #[test]

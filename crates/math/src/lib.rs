@@ -13,6 +13,8 @@
 //!   the above, the storage of the batched propagation engine;
 //! * [`planar`] — split re/im-plane kernels under the vectorized FFT
 //!   engines (deinterleave, transpose, fused Hadamard·scale, intensity);
+//! * [`simd`] — the runtime-dispatched kernel table (scalar / AVX2+FMA /
+//!   NEON) behind every planar primitive and FFT butterfly inner loop;
 //! * [`stats`] — means, variances, percentiles (sparsification thresholds);
 //! * [`interp`] — bilinear resize (28×28 dataset images → optical grid);
 //! * [`block`] — block partitioning shared by sparsification & smoothness;
@@ -30,7 +32,10 @@
 //! assert!((mask.total_power() - 16.0).abs() < 1e-12);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernel module is the one place in
+// the workspace allowed to use `unsafe` (CPU intrinsics + in-bounds raw
+// loads), and it opts in explicitly with a module-level `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
@@ -41,6 +46,7 @@ mod grid;
 pub mod interp;
 pub mod planar;
 mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use batch::{BatchCGrid, BatchGrid};

@@ -20,8 +20,14 @@
 //!
 //! All functions are plain slices in, plain slices out — no allocation, so
 //! per-worker scratch planes can be reused across samples and hops.
+//!
+//! Every arithmetic kernel here dispatches through the process-wide
+//! [`crate::simd`] kernel table: explicit AVX2+FMA or NEON inner loops
+//! when the CPU has them, the original scalar expression trees otherwise
+//! (or when `PHOTONN_SIMD=off`). See that module for the exact numerical
+//! contract (scalar-identical tails, ≤1 ulp FMA contraction).
 
-use crate::Complex64;
+use crate::{simd, Complex64};
 
 /// Splits an interleaved complex buffer into separate re/im planes.
 ///
@@ -80,24 +86,10 @@ pub fn interleave(re: &[f64], im: &[f64], data: &mut [Complex64]) {
 pub fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
     debug_assert_eq!(src.len(), n * n);
     debug_assert_eq!(dst.len(), n * n);
-    // Tiled to keep both the row-major reads and the column-major writes
-    // inside one cache-resident block: at the paper's 200×200 planes the
-    // naive scatter walks a 1.6 kB stride for every element, evicting the
-    // destination lines long before the next column revisits them. Pure
-    // data movement — bit-identical output regardless of tiling.
-    const TILE: usize = 32;
-    for rb in (0..n).step_by(TILE) {
-        let r_end = (rb + TILE).min(n);
-        for cb in (0..n).step_by(TILE) {
-            let c_end = (cb + TILE).min(n);
-            for r in rb..r_end {
-                let row = &src[r * n..(r + 1) * n];
-                for c in cb..c_end {
-                    dst[c * n + r] = row[c];
-                }
-            }
-        }
-    }
+    // Tiled (and micro-blocked on SIMD tables) to keep both the row-major
+    // reads and the column-major writes inside one cache-resident block.
+    // Pure data movement — bit-identical output on every kernel table.
+    (simd::active().transpose)(src, n, dst);
 }
 
 /// Planar elementwise complex product:
@@ -121,11 +113,7 @@ pub fn hadamard(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
     debug_assert_eq!(re.len(), im.len());
     debug_assert_eq!(re.len(), kr.len());
     debug_assert_eq!(re.len(), ki.len());
-    for i in 0..re.len() {
-        let (zr, zi) = (re[i], im[i]);
-        re[i] = zr * kr[i] - zi * ki[i];
-        im[i] = zr * ki[i] + zi * kr[i];
-    }
+    (simd::active().hadamard)(re, im, kr, ki);
 }
 
 /// Planar elementwise product with the *conjugate* of a kernel pair:
@@ -150,11 +138,7 @@ pub fn hadamard_conj(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
     debug_assert_eq!(re.len(), im.len());
     debug_assert_eq!(re.len(), kr.len());
     debug_assert_eq!(re.len(), ki.len());
-    for i in 0..re.len() {
-        let (zr, zi) = (re[i], im[i]);
-        re[i] = zr * kr[i] + zi * ki[i];
-        im[i] = zi * kr[i] - zr * ki[i];
-    }
+    (simd::active().hadamard_conj)(re, im, kr, ki);
 }
 
 /// Accumulates the conjugate product `out += g · conj(x)` over plane
@@ -188,10 +172,7 @@ pub fn acc_mul_conj(
     debug_assert_eq!(gr.len(), xi.len());
     debug_assert_eq!(gr.len(), out_re.len());
     debug_assert_eq!(gr.len(), out_im.len());
-    for i in 0..gr.len() {
-        out_re[i] += gr[i] * xr[i] + gi[i] * xi[i];
-        out_im[i] += gi[i] * xr[i] - gr[i] * xi[i];
-    }
+    (simd::active().acc_mul_conj)(gr, gi, xr, xi, out_re, out_im);
 }
 
 /// Fused planar Hadamard product with a real scale:
@@ -219,11 +200,7 @@ pub fn hadamard_scale(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], sc
     debug_assert_eq!(re.len(), im.len());
     debug_assert_eq!(re.len(), kr.len());
     debug_assert_eq!(re.len(), ki.len());
-    for i in 0..re.len() {
-        let (zr, zi) = (re[i], im[i]);
-        re[i] = (zr * kr[i] - zi * ki[i]) * scale;
-        im[i] = (zr * ki[i] + zi * kr[i]) * scale;
-    }
+    (simd::active().hadamard_scale)(re, im, kr, ki, scale);
 }
 
 /// Detector intensity `|z|² = re² + im²` straight from a plane pair.
@@ -244,9 +221,7 @@ pub fn hadamard_scale(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], sc
 pub fn intensity(re: &[f64], im: &[f64], out: &mut [f64]) {
     debug_assert_eq!(re.len(), im.len());
     debug_assert_eq!(re.len(), out.len());
-    for ((o, &r), &i) in out.iter_mut().zip(re.iter()).zip(im.iter()) {
-        *o = r * r + i * i;
-    }
+    (simd::active().intensity)(re, im, out);
 }
 
 #[cfg(test)]
