@@ -25,7 +25,10 @@
 //! [`crate::simd`] kernel table: explicit AVX2+FMA or NEON inner loops
 //! when the CPU has them, the original scalar expression trees otherwise
 //! (or when `PHOTONN_SIMD=off`). See that module for the exact numerical
-//! contract (scalar-identical tails, ≤1 ulp FMA contraction).
+//! contract (scalar-identical tails, ≤1 ulp FMA contraction). Every
+//! kernel hard-asserts matching slice lengths before its inner loop, in
+//! release builds too, so a length mismatch panics — it never goes out of
+//! bounds.
 
 use crate::{simd, Complex64};
 
@@ -71,7 +74,7 @@ pub fn interleave(re: &[f64], im: &[f64], data: &mut [Complex64]) {
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if either slice is not `n²` long.
+/// Panics if either slice is not `n²` long.
 ///
 /// # Examples
 ///
@@ -84,8 +87,6 @@ pub fn interleave(re: &[f64], im: &[f64], data: &mut [Complex64]) {
 /// assert_eq!(dst, [1.0, 3.0, 2.0, 4.0]);
 /// ```
 pub fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
-    debug_assert_eq!(src.len(), n * n);
-    debug_assert_eq!(dst.len(), n * n);
     // Tiled (and micro-blocked on SIMD tables) to keep both the row-major
     // reads and the column-major writes inside one cache-resident block.
     // Pure data movement — bit-identical output on every kernel table.
@@ -97,7 +98,7 @@ pub fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) on any length mismatch.
+/// Panics on any length mismatch.
 ///
 /// # Examples
 ///
@@ -110,9 +111,6 @@ pub fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
 /// assert_eq!((re[0], im[0]), (-2.0, 1.0));
 /// ```
 pub fn hadamard(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
-    debug_assert_eq!(re.len(), im.len());
-    debug_assert_eq!(re.len(), kr.len());
-    debug_assert_eq!(re.len(), ki.len());
     (simd::active().hadamard)(re, im, kr, ki);
 }
 
@@ -122,7 +120,7 @@ pub fn hadamard(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) on any length mismatch.
+/// Panics on any length mismatch.
 ///
 /// # Examples
 ///
@@ -135,9 +133,6 @@ pub fn hadamard(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
 /// assert_eq!((re[0], im[0]), (2.0, -1.0));
 /// ```
 pub fn hadamard_conj(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
-    debug_assert_eq!(re.len(), im.len());
-    debug_assert_eq!(re.len(), kr.len());
-    debug_assert_eq!(re.len(), ki.len());
     (simd::active().hadamard_conj)(re, im, kr, ki);
 }
 
@@ -147,7 +142,7 @@ pub fn hadamard_conj(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) on any length mismatch.
+/// Panics on any length mismatch.
 ///
 /// # Examples
 ///
@@ -167,11 +162,6 @@ pub fn acc_mul_conj(
     out_re: &mut [f64],
     out_im: &mut [f64],
 ) {
-    debug_assert_eq!(gr.len(), gi.len());
-    debug_assert_eq!(gr.len(), xr.len());
-    debug_assert_eq!(gr.len(), xi.len());
-    debug_assert_eq!(gr.len(), out_re.len());
-    debug_assert_eq!(gr.len(), out_im.len());
     (simd::active().acc_mul_conj)(gr, gi, xr, xi, out_re, out_im);
 }
 
@@ -184,7 +174,7 @@ pub fn acc_mul_conj(
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) on any length mismatch.
+/// Panics on any length mismatch.
 ///
 /// # Examples
 ///
@@ -197,9 +187,6 @@ pub fn acc_mul_conj(
 /// assert_eq!((re[0], im[0]), (-4.0, 2.0));
 /// ```
 pub fn hadamard_scale(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], scale: f64) {
-    debug_assert_eq!(re.len(), im.len());
-    debug_assert_eq!(re.len(), kr.len());
-    debug_assert_eq!(re.len(), ki.len());
     (simd::active().hadamard_scale)(re, im, kr, ki, scale);
 }
 
@@ -207,7 +194,7 @@ pub fn hadamard_scale(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], sc
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) on any length mismatch.
+/// Panics on any length mismatch.
 ///
 /// # Examples
 ///
@@ -219,8 +206,6 @@ pub fn hadamard_scale(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], sc
 /// assert_eq!(out, [25.0]);
 /// ```
 pub fn intensity(re: &[f64], im: &[f64], out: &mut [f64]) {
-    debug_assert_eq!(re.len(), im.len());
-    debug_assert_eq!(re.len(), out.len());
     (simd::active().intensity)(re, im, out);
 }
 

@@ -16,8 +16,8 @@
 //!   code used.
 //!
 //! The kill switch mirrors `PHOTONN_FFT_NO_VEC`: set `PHOTONN_SIMD` to
-//! `off`, `0` or `false` to pin the scalar table (read once, at first
-//! dispatch).
+//! `off`, `0` or `false` (case-insensitive) to pin the scalar table (read
+//! once, at first dispatch).
 //!
 //! # Numerical contract
 //!
@@ -201,9 +201,16 @@ pub fn active() -> &'static KernelTable {
     })
 }
 
-/// `PHOTONN_SIMD` values that pin the scalar table.
+/// `PHOTONN_SIMD` values that pin the scalar table. Matched
+/// case-insensitively so `OFF`/`False` behave like their lowercase forms
+/// — a silently ignored kill switch would mislead anyone debugging a
+/// numerical discrepancy with it.
 fn env_disables(val: Option<&str>) -> bool {
-    matches!(val, Some("off") | Some("0") | Some("false"))
+    val.is_some_and(|v| {
+        ["off", "0", "false"]
+            .iter()
+            .any(|d| v.eq_ignore_ascii_case(d))
+    })
 }
 
 /// The CPU features relevant to kernel selection that this host actually
@@ -331,13 +338,19 @@ fn hadamard_conj_elem<S: Lanes>(zr: S, zi: S, kr: S, ki: S) -> (S, S) {
 // Each driver runs the vector body over whole WIDTH-lane chunks and the
 // f64 body over the remainder, indexing by element offset so the chunk
 // boundary depends only on the slice length, never on alignment.
+//
+// Every driver hard-asserts (release builds included) that all slices
+// share the first slice's length *before* entering its unsafe loop: the
+// table's fn-pointer fields are `pub` and reachable from safe code, so a
+// mismatched length must panic — exactly like the indexed scalar loops
+// these kernels replaced — never read or write out of bounds.
 
 #[inline(always)]
 fn d_hadamard<S: Lanes>(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
     let n = re.len();
-    debug_assert_eq!(im.len(), n);
-    debug_assert_eq!(kr.len(), n);
-    debug_assert_eq!(ki.len(), n);
+    assert_eq!(im.len(), n);
+    assert_eq!(kr.len(), n);
+    assert_eq!(ki.len(), n);
     let mut i = 0;
     while i + S::WIDTH <= n {
         // SAFETY: i + WIDTH ≤ n on every slice checked above.
@@ -363,9 +376,9 @@ fn d_hadamard<S: Lanes>(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) 
 #[inline(always)]
 fn d_hadamard_conj<S: Lanes>(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
     let n = re.len();
-    debug_assert_eq!(im.len(), n);
-    debug_assert_eq!(kr.len(), n);
-    debug_assert_eq!(ki.len(), n);
+    assert_eq!(im.len(), n);
+    assert_eq!(kr.len(), n);
+    assert_eq!(ki.len(), n);
     let mut i = 0;
     while i + S::WIDTH <= n {
         // SAFETY: i + WIDTH ≤ n on every slice checked above.
@@ -391,9 +404,9 @@ fn d_hadamard_conj<S: Lanes>(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f
 #[inline(always)]
 fn d_hadamard_scale<S: Lanes>(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], scale: f64) {
     let n = re.len();
-    debug_assert_eq!(im.len(), n);
-    debug_assert_eq!(kr.len(), n);
-    debug_assert_eq!(ki.len(), n);
+    assert_eq!(im.len(), n);
+    assert_eq!(kr.len(), n);
+    assert_eq!(ki.len(), n);
     let sv = S::splat(scale);
     let mut i = 0;
     while i + S::WIDTH <= n {
@@ -427,11 +440,11 @@ fn d_acc_mul_conj<S: Lanes>(
     out_im: &mut [f64],
 ) {
     let n = gr.len();
-    debug_assert_eq!(gi.len(), n);
-    debug_assert_eq!(xr.len(), n);
-    debug_assert_eq!(xi.len(), n);
-    debug_assert_eq!(out_re.len(), n);
-    debug_assert_eq!(out_im.len(), n);
+    assert_eq!(gi.len(), n);
+    assert_eq!(xr.len(), n);
+    assert_eq!(xi.len(), n);
+    assert_eq!(out_re.len(), n);
+    assert_eq!(out_im.len(), n);
     let mut i = 0;
     while i + S::WIDTH <= n {
         // SAFETY: i + WIDTH ≤ n on every slice checked above.
@@ -460,8 +473,8 @@ fn d_acc_mul_conj<S: Lanes>(
 #[inline(always)]
 fn d_intensity<S: Lanes>(re: &[f64], im: &[f64], out: &mut [f64]) {
     let n = re.len();
-    debug_assert_eq!(im.len(), n);
-    debug_assert_eq!(out.len(), n);
+    assert_eq!(im.len(), n);
+    assert_eq!(out.len(), n);
     let mut i = 0;
     while i + S::WIDTH <= n {
         // SAFETY: i + WIDTH ≤ n on every slice checked above.
@@ -481,8 +494,8 @@ fn d_intensity<S: Lanes>(re: &[f64], im: &[f64], out: &mut [f64]) {
 /// Tiled scalar transpose — the exact loop `planar::transpose_plane` has
 /// always run (pure data movement, bit-identical under any tiling).
 fn transpose_scalar(src: &[f64], n: usize, dst: &mut [f64]) {
-    debug_assert_eq!(src.len(), n * n);
-    debug_assert_eq!(dst.len(), n * n);
+    assert_eq!(src.len(), n * n);
+    assert_eq!(dst.len(), n * n);
     const TILE: usize = 32;
     for rb in (0..n).step_by(TILE) {
         let r_end = (rb + TILE).min(n);
@@ -634,7 +647,7 @@ fn d_radix2<S: Lanes>(x: [&[f64]; 4], y: [&mut [f64]; 4], w: &[(f64, f64); 1]) {
     let [x0r, x0i, x1r, x1i] = x;
     let [y0r, y0i, y1r, y1i] = y;
     let n = x0r.len();
-    debug_assert!(
+    assert!(
         [x0i, x1r, x1i].iter().all(|s| s.len() == n)
             && [&y0r, &y0i, &y1r, &y1i].iter().all(|s| s.len() == n)
     );
@@ -672,10 +685,10 @@ fn d_radix4<S: Lanes>(x: [&[f64]; 8], y: [&mut [f64]; 8], w: &[(f64, f64); 3], s
     let [x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i] = x;
     let [y0r, y0i, y1r, y1i, y2r, y2i, y3r, y3i] = y;
     let n = x0r.len();
-    debug_assert!([x0i, x1r, x1i, x2r, x2i, x3r, x3i]
+    assert!([x0i, x1r, x1i, x2r, x2i, x3r, x3i]
         .iter()
         .all(|s| s.len() == n));
-    debug_assert!([&y0r, &y0i, &y1r, &y1i, &y2r, &y2i, &y3r, &y3i]
+    assert!([&y0r, &y0i, &y1r, &y1i, &y2r, &y2i, &y3r, &y3i]
         .iter()
         .all(|s| s.len() == n));
     let sv = S::splat(sgn);
@@ -731,22 +744,34 @@ fn d_radix4<S: Lanes>(x: [&[f64]; 8], y: [&mut [f64]; 8], w: &[(f64, f64); 3], s
     }
 }
 
+/// `[cos, sin]` of 2π/5 and 4π/5 for the radix-5 butterfly, computed once
+/// per process. The kernel fires once per j-group per strip, so per-call
+/// libm would be hot-path work; the values are not const-evaluable, and
+/// spelling them as literals could drift from this platform's libm (the
+/// scalar stage has always obtained them through these calls).
+fn radix5_trig() -> &'static [f64; 4] {
+    static TRIG: OnceLock<[f64; 4]> = OnceLock::new();
+    TRIG.get_or_init(|| {
+        let th = 2.0 * std::f64::consts::PI / 5.0;
+        [th.cos(), th.sin(), (2.0 * th).cos(), (2.0 * th).sin()]
+    })
+}
+
 #[inline(always)]
 fn d_radix5<S: Lanes>(x: [&[f64]; 10], y: [&mut [f64]; 10], w: &[(f64, f64); 4], sgn: f64) {
     let [x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i, x4r, x4i] = x;
     let [y0r, y0i, y1r, y1i, y2r, y2i, y3r, y3i, y4r, y4i] = y;
     let n = x0r.len();
-    debug_assert!([x0i, x1r, x1i, x2r, x2i, x3r, x3i, x4r, x4i]
+    assert!([x0i, x1r, x1i, x2r, x2i, x3r, x3i, x4r, x4i]
         .iter()
         .all(|s| s.len() == n));
-    debug_assert!([&y0r, &y0i, &y1r, &y1i, &y2r, &y2i, &y3r, &y3i, &y4r, &y4i]
+    assert!([&y0r, &y0i, &y1r, &y1i, &y2r, &y2i, &y3r, &y3i, &y4r, &y4i]
         .iter()
         .all(|s| s.len() == n));
     // 5-point DFT via the conjugate-pair split — same constants (and the
-    // same libm calls) as the scalar stage has always used.
-    let th = 2.0 * std::f64::consts::PI / 5.0;
-    let (c1, s1) = (th.cos(), th.sin());
-    let (c2, s2) = ((2.0 * th).cos(), (2.0 * th).sin());
+    // same libm calls) as the scalar stage has always used, computed once
+    // per process (see `radix5_trig`).
+    let &[c1, s1, c2, s2] = radix5_trig();
     let (c1v, s1v) = (S::splat(c1), S::splat(s1));
     let (c2v, s2v) = (S::splat(c2), S::splat(s2));
     let sv = S::splat(sgn);
@@ -817,12 +842,12 @@ fn d_radix8<S: Lanes>(x: [&[f64]; 16], y: [&mut [f64]; 16], w: &[(f64, f64); 7],
     let [x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i, x4r, x4i, x5r, x5i, x6r, x6i, x7r, x7i] = x;
     let [y0r, y0i, y1r, y1i, y2r, y2i, y3r, y3i, y4r, y4i, y5r, y5i, y6r, y6i, y7r, y7i] = y;
     let n = x0r.len();
-    debug_assert!(
+    assert!(
         [x0i, x1r, x1i, x2r, x2i, x3r, x3i, x4r, x4i, x5r, x5i, x6r, x6i, x7r, x7i]
             .iter()
             .all(|s| s.len() == n)
     );
-    debug_assert!([
+    assert!([
         &y0r, &y0i, &y1r, &y1i, &y2r, &y2i, &y3r, &y3i, &y4r, &y4i, &y5r, &y5i, &y6r, &y6i, &y7r,
         &y7i
     ]
@@ -1022,8 +1047,8 @@ mod avx2 {
     /// movement — bit-identical to the scalar transpose.
     #[target_feature(enable = "avx2")]
     unsafe fn transpose_tf(src: &[f64], n: usize, dst: &mut [f64]) {
-        debug_assert_eq!(src.len(), n * n);
-        debug_assert_eq!(dst.len(), n * n);
+        assert_eq!(src.len(), n * n);
+        assert_eq!(dst.len(), n * n);
         const TILE: usize = 32;
         let sp = src.as_ptr();
         let dp = dst.as_mut_ptr();
@@ -1184,8 +1209,8 @@ mod neon {
     /// remainders fall back to the scalar scatter. Bit-identical to the
     /// scalar transpose (pure data movement).
     pub(super) fn transpose(src: &[f64], n: usize, dst: &mut [f64]) {
-        debug_assert_eq!(src.len(), n * n);
-        debug_assert_eq!(dst.len(), n * n);
+        assert_eq!(src.len(), n * n);
+        assert_eq!(dst.len(), n * n);
         const TILE: usize = 32;
         let sp = src.as_ptr();
         let dp = dst.as_mut_ptr();
@@ -1265,12 +1290,78 @@ mod tests {
 
     #[test]
     fn env_kill_switch_values() {
-        for v in ["off", "0", "false"] {
+        for v in ["off", "OFF", "Off", "0", "false", "False", "FALSE"] {
             assert!(env_disables(Some(v)), "{v} should disable SIMD");
         }
         for v in [None, Some("on"), Some("1"), Some("")] {
             assert!(!env_disables(v), "{v:?} should not disable SIMD");
         }
+    }
+
+    // Mismatched slice lengths must panic on every table — in release
+    // builds too — because the fn-pointer fields are `pub` and reachable
+    // from safe code; a silent out-of-bounds access would be UB.
+
+    #[test]
+    #[should_panic]
+    fn hadamard_panics_on_short_kernel_plane() {
+        let (mut re, mut im) = (vec![0.0; 8], vec![0.0; 8]);
+        (detected().hadamard)(&mut re, &mut im, &[0.0; 7], &[0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scalar_intensity_panics_on_short_out() {
+        let mut out = vec![0.0; 3];
+        (SCALAR.intensity)(&[0.0; 4], &[0.0; 4], &mut out);
+    }
+
+    #[test]
+    #[should_panic]
+    fn acc_mul_conj_panics_on_short_accumulator() {
+        let (mut or, mut oi) = (vec![0.0; 8], vec![0.0; 7]);
+        (detected().acc_mul_conj)(&[0.0; 8], &[0.0; 8], &[0.0; 8], &[0.0; 8], &mut or, &mut oi);
+    }
+
+    #[test]
+    #[should_panic]
+    fn radix2_panics_on_short_output_row() {
+        let x = vec![0.0; 8];
+        let mut y = [vec![0.0; 8], vec![0.0; 8], vec![0.0; 8], vec![0.0; 7]];
+        let mut yi = y.iter_mut().map(|v| v.as_mut_slice());
+        (detected().radix2)(
+            std::array::from_fn(|_| x.as_slice()),
+            std::array::from_fn(|_| yi.next().unwrap()),
+            &[(1.0, 0.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn radix5_panics_on_short_input_row() {
+        let (x, short) = (vec![0.0; 8], vec![0.0; 7]);
+        let mut y: Vec<Vec<f64>> = (0..10).map(|_| vec![0.0; 8]).collect();
+        let mut yi = y.iter_mut().map(|v| v.as_mut_slice());
+        (detected().radix5)(
+            std::array::from_fn(|i| {
+                if i == 9 {
+                    short.as_slice()
+                } else {
+                    x.as_slice()
+                }
+            }),
+            std::array::from_fn(|_| yi.next().unwrap()),
+            &[(1.0, 0.0); 4],
+            1.0,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn transpose_panics_on_short_dst() {
+        let src = vec![0.0; 25];
+        let mut dst = vec![0.0; 24];
+        (detected().transpose)(&src, 5, &mut dst);
     }
 
     #[test]
