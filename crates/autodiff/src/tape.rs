@@ -1068,6 +1068,7 @@ impl Tape {
     ///
     /// Panics if the loss does not depend on any differentiable leaf.
     pub fn backward(&self, loss: SVar) -> Gradients {
+        let _span = photonn_trace::span("tape.backward");
         assert!(
             self.nodes[loss.0].requires_grad,
             "loss does not depend on any differentiable leaf"

@@ -37,6 +37,15 @@
 //! below `R`× the same grid's single-thread entry — the CI enforcement of
 //! the thread-scaling claim, skipped (with a loud note) on hosts too
 //! small to parallelize.
+//!
+//! `--trace FILE` runs one extra traced optimizer step per grid *after*
+//! the timing windows (so instrumentation never pollutes the numbers) and
+//! writes the spans as Chrome trace-event JSON, loadable in Perfetto.
+//! `--check-trace-overhead FRAC` gates the `PHOTONN_TRACE=off` contract:
+//! it measures the disabled per-call span cost, counts the instrumentation
+//! points one step actually crosses, and fails if their product exceeds
+//! `FRAC` of the measured single-thread step time (CI passes `0.01` for
+//! the documented <1% ceiling).
 
 use photonn_autodiff::Adam;
 use photonn_datasets::{Dataset, Family};
@@ -58,6 +67,8 @@ struct Options {
     /// baselines; untimed paths write 0 and omit speedup fields.
     paths: Paths,
     check_scaling: Option<f64>,
+    trace: Option<String>,
+    check_trace_overhead: Option<f64>,
 }
 
 #[derive(Clone, Copy)]
@@ -103,7 +114,8 @@ fn usage_error(message: String) -> ! {
     eprintln!(
         "usage: bench_batched_step [--grid N]... [--threads T]... [--batch B] [--steps S]\n\
          \u{20}                        [--paths oracle,scalar,batched] [--out FILE]\n\
-         \u{20}                        [--check-scaling R]"
+         \u{20}                        [--check-scaling R] [--trace FILE]\n\
+         \u{20}                        [--check-trace-overhead FRAC]"
     );
     std::process::exit(2);
 }
@@ -124,6 +136,8 @@ fn parse_options() -> Options {
         out: "BENCH_batched_step.json".to_string(),
         paths: Paths::all(),
         check_scaling: None,
+        trace: None,
+        check_trace_overhead: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -147,6 +161,11 @@ fn parse_options() -> Options {
                 };
             }
             "--check-scaling" => opts.check_scaling = Some(required(flag, value)),
+            "--check-trace-overhead" => opts.check_trace_overhead = Some(required(flag, value)),
+            "--trace" => {
+                opts.trace =
+                    Some(value.unwrap_or_else(|| usage_error("--trace requires a value".into())));
+            }
             "--out" => {
                 opts.out = value.unwrap_or_else(|| usage_error("--out requires a value".into()));
             }
@@ -276,6 +295,85 @@ fn bench_grid(grid: usize, opts: &Options, entries: &mut Vec<Entry>) {
     }
 }
 
+/// One traced optimizer step per grid, run *after* every timing window so
+/// the instrumentation cannot pollute the committed numbers. Returns the
+/// collected trace.
+fn traced_steps(grids: &[usize], batch_size: usize, threads: usize) -> photonn_trace::Trace {
+    photonn_trace::set_enabled(true);
+    photonn_trace::reset();
+    for &grid in grids {
+        let data = Dataset::synthetic(Family::Mnist, batch_size, 42).resized(grid);
+        let batch: Vec<usize> = (0..batch_size).collect();
+        let mut donn = Donn::random(DonnConfig::scaled(grid), &mut Rng::seed_from(42));
+        let mut adam = Adam::new(0.05);
+        let (g, _) = batched_gradients(&donn, &data, &batch, None, threads);
+        adam.step(donn.masks_mut(), &g);
+    }
+    let trace = photonn_trace::collect();
+    photonn_trace::set_enabled(false);
+    trace
+}
+
+/// The disabled-tracing overhead gate. Measures the cost of one
+/// `span()` call with tracing off, counts how many instrumentation points
+/// (spans + counter bumps) one real step crosses, and compares their
+/// product against the step time the timing window measured. Returns
+/// `false` on failure.
+fn check_trace_overhead(frac: f64, entries: &[Entry], opts: &Options) -> bool {
+    // The gate needs a measured step time: the first grid's slowest-thread
+    // batched entry.
+    let Some(entry) = entries.iter().find(|e| e.batched > 0.0) else {
+        println!("check-trace-overhead: no batched entry was timed (--paths), skipping");
+        return true;
+    };
+    let step_s = 1.0 / entry.batched;
+
+    // Disabled per-call cost: one relaxed atomic load + branch. Millions
+    // of iterations so the measurement rises above timer noise.
+    photonn_trace::set_enabled(false);
+    const CALLS: u64 = 20_000_000;
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        let _s = photonn_trace::span("gate.probe");
+    }
+    let per_call_s = start.elapsed().as_secs_f64() / CALLS as f64;
+
+    // Instrumentation points per step: run one step traced and count the
+    // events plus counter increments it produced. reset() zeroes the
+    // counters, so the post-step sum is exactly this step's increments.
+    photonn_trace::set_enabled(true);
+    photonn_trace::reset();
+    {
+        let data = Dataset::synthetic(Family::Mnist, opts.batch, 42).resized(entry.grid);
+        let batch: Vec<usize> = (0..opts.batch).collect();
+        let mut donn = Donn::random(DonnConfig::scaled(entry.grid), &mut Rng::seed_from(42));
+        let mut adam = Adam::new(0.05);
+        let (g, _) = batched_gradients(&donn, &data, &batch, None, entry.threads);
+        adam.step(donn.masks_mut(), &g);
+    }
+    let trace = photonn_trace::collect();
+    photonn_trace::set_enabled(false);
+    let bumps: u64 = trace.counters.iter().map(|(_, v)| v).sum();
+    let ops = trace.events.len() as u64 + bumps;
+
+    let overhead_s = per_call_s * ops as f64;
+    let ratio = overhead_s / step_s;
+    let verdict = if ratio < frac { "ok" } else { "FAILED" };
+    println!(
+        "check-trace-overhead {verdict}: grid {} threads {}: {ops} instrumentation points \
+         x {:.2} ns/call = {:.3} us disabled overhead vs {:.3} ms step ({:.4}% < {:.2}%{})",
+        entry.grid,
+        entry.threads,
+        per_call_s * 1e9,
+        overhead_s * 1e6,
+        step_s * 1e3,
+        ratio * 100.0,
+        frac * 100.0,
+        if ratio < frac { "" } else { " VIOLATED" }
+    );
+    ratio < frac
+}
+
 /// Single-thread `batched_steps_per_sec` per grid from the previously
 /// committed output file, so a refreshed run can report its delta against
 /// the prior PR's engine in the same document. Entries without a
@@ -394,6 +492,21 @@ fn main() {
     match std::fs::write(&opts.out, &json) {
         Ok(()) => println!("wrote {}", opts.out),
         Err(e) => eprintln!("could not write {}: {e}", opts.out),
+    }
+
+    if let Some(path) = &opts.trace {
+        let trace = traced_steps(&opts.grids, opts.batch, opts.threads[0]);
+        match std::fs::write(path, trace.to_chrome_json()) {
+            Ok(()) => println!("wrote trace: {} span events -> {path}", trace.events.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        println!("\n{}", trace.render_table());
+    }
+
+    if let Some(frac) = opts.check_trace_overhead {
+        if !check_trace_overhead(frac, &entries, &opts) {
+            std::process::exit(1);
+        }
     }
 
     if let Some(floor) = opts.check_scaling {

@@ -21,6 +21,12 @@
 //! multi-worker configuration on a host with at least that many cores
 //! measures below `R`× — the CI enforcement of the scaling claim, skipped
 //! (with a loud note) on hosts too small to parallelize.
+//!
+//! `--trace FILE` runs one extra traced sharded step per configuration
+//! *after* the timing windows (instrumentation never pollutes the
+//! numbers) and writes the spans — per-worker `dist.shard_compute`,
+//! `dist.allreduce_wait`, `dist.apply` — as Chrome trace-event JSON for
+//! Perfetto.
 
 use photonn_autodiff::Adam;
 use photonn_datasets::{Dataset, Family};
@@ -37,6 +43,7 @@ struct Options {
     steps: usize,
     out: String,
     check_speedup: Option<f64>,
+    trace: Option<String>,
 }
 
 /// This binary backs a CI perf gate, so a typo'd flag silently falling
@@ -47,7 +54,8 @@ fn usage_error(message: String) -> ! {
     eprintln!("bench_dist_step: {message}");
     eprintln!(
         "usage: bench_dist_step [--grid N]... [--batch B]... [--workers W]...\n\
-         \u{20}                      [--steps S] [--out FILE] [--check-speedup R]"
+         \u{20}                      [--steps S] [--out FILE] [--check-speedup R]\n\
+         \u{20}                      [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -67,6 +75,7 @@ fn parse_options() -> Options {
         steps: 5,
         out: "BENCH_dist.json".to_string(),
         check_speedup: None,
+        trace: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -79,6 +88,10 @@ fn parse_options() -> Options {
             "--workers" => opts.workers.push(required(flag, value)),
             "--steps" => opts.steps = required(flag, value),
             "--check-speedup" => opts.check_speedup = Some(required(flag, value)),
+            "--trace" => {
+                opts.trace =
+                    Some(value.unwrap_or_else(|| usage_error("--trace requires a value".into())));
+            }
             "--out" => {
                 opts.out = value.unwrap_or_else(|| usage_error("--out requires a value".into()));
             }
@@ -197,6 +210,31 @@ fn main() {
     match std::fs::write(&opts.out, &json) {
         Ok(()) => println!("wrote {}", opts.out),
         Err(e) => eprintln!("could not write {}: {e}", opts.out),
+    }
+
+    if let Some(path) = &opts.trace {
+        photonn_trace::set_enabled(true);
+        photonn_trace::reset();
+        for &grid in &opts.grids {
+            for &batch_size in &opts.batches {
+                let data = Dataset::synthetic(Family::Mnist, batch_size, 42).resized(grid);
+                let batch: Vec<usize> = (0..batch_size).collect();
+                for &workers in &opts.workers {
+                    let mut donn = Donn::random(DonnConfig::scaled(grid), &mut Rng::seed_from(42));
+                    let dist = DistConfig::in_process(workers);
+                    let mut adam = Adam::new(0.05);
+                    let (g, _) = sharded_gradients(&donn, &data, &batch, None, &dist);
+                    adam.step(donn.masks_mut(), &g);
+                }
+            }
+        }
+        let trace = photonn_trace::collect();
+        photonn_trace::set_enabled(false);
+        match std::fs::write(path, trace.to_chrome_json()) {
+            Ok(()) => println!("wrote trace: {} span events -> {path}", trace.events.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        println!("\n{}", trace.render_table());
     }
 
     if let Some(floor) = opts.check_speedup {

@@ -216,6 +216,115 @@ fn render_dist(doc: &Json) -> Result<String, String> {
     Ok(out)
 }
 
+/// Extracts the distinct span names of a Chrome trace-event document (the
+/// format `photonn train --trace` and the bench binaries emit), in first-
+/// appearance order.
+///
+/// # Errors
+///
+/// Returns a description when the document has no `traceEvents` array.
+pub fn trace_span_names(doc: &Json) -> Result<Vec<String>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents[]")?;
+    let mut names: Vec<String> = Vec::new();
+    for e in events {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("trace event: missing name")?;
+        if !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+    }
+    Ok(names)
+}
+
+/// Renders a parsed Chrome trace-event document as the aggregate span
+/// table (count / total / p50 / p99 per span name, heaviest first), plus
+/// the engine counters when the exporter embedded them. The aggregates are
+/// recomputed from the raw events, so the table works on any trace the
+/// workspace emits — live in-process via `photonn-trace`, or from a file
+/// written by an earlier run.
+///
+/// # Errors
+///
+/// Returns a description when the document is not a trace-event file.
+pub fn render_trace_doc(doc: &Json) -> Result<String, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents[]")?;
+    // Per-name durations in µs, keyed in first-appearance order.
+    let mut names: Vec<String> = Vec::new();
+    let mut durs: Vec<Vec<f64>> = Vec::new();
+    for e in events {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("trace event: missing name")?;
+        let dur = req_f64(e, "dur")?;
+        match names.iter().position(|n| n == name) {
+            Some(i) => durs[i].push(dur),
+            None => {
+                names.push(name.to_string());
+                durs.push(vec![dur]);
+            }
+        }
+    }
+    let mut rows: Vec<(String, Vec<f64>)> = names.into_iter().zip(durs).collect();
+    for (_, d) in &mut rows {
+        d.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    }
+    // Heaviest total first, like the live photonn-trace table.
+    rows.sort_by(|a, b| {
+        let (ta, tb) = (a.1.iter().sum::<f64>(), b.1.iter().sum::<f64>());
+        tb.partial_cmp(&ta).expect("finite totals")
+    });
+    let pick = |sorted: &[f64], p: f64| -> f64 {
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    };
+    let mut out = String::from("### Trace span aggregates\n\n");
+    out.push_str(&format!("{} span events\n\n", events.len()));
+    out.push_str("| span | count | total (ms) | p50 (µs) | p99 (µs) |\n");
+    out.push_str("|------|------:|-----------:|---------:|---------:|\n");
+    for (name, d) in &rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.1} | {:.1} |\n",
+            name,
+            d.len(),
+            d.iter().sum::<f64>() / 1000.0,
+            pick(d, 50.0),
+            pick(d, 99.0),
+        ));
+    }
+    // The exporter embeds counters as a name -> value object.
+    if let Some(Json::Obj(counters)) = doc.get("otherData").and_then(|o| o.get("counters")) {
+        if !counters.is_empty() {
+            out.push_str("\n| counter | value |\n|---------|------:|\n");
+            for (name, value) in counters {
+                let value = value.as_f64().ok_or("counter: non-numeric value")?;
+                out.push_str(&format!("| {name} | {value} |\n"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reads and renders a Chrome trace-event file (see [`render_trace_doc`]).
+///
+/// # Errors
+///
+/// Returns I/O and parse failures with the offending path.
+pub fn render_trace_file(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    render_trace_doc(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 /// Renders one parsed tracker document.
 ///
 /// # Errors
@@ -345,6 +454,34 @@ mod tests {
         .unwrap();
         let md = render_doc(&doc).unwrap();
         assert!(md.contains("| 64 | dynamic | 1286.7 | 5980 | 10564 |"));
+    }
+
+    #[test]
+    fn trace_doc_aggregates_and_lists_spans() {
+        let doc = Json::parse(
+            "{\"traceEvents\":[\
+             {\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.0,\"dur\":100.0},\
+             {\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":10.0,\"dur\":50.0},\
+             {\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":20.0,\"dur\":200.0}],\
+             \"displayTimeUnit\":\"ms\",\
+             \"otherData\":{\"counters\":{\"simd.hadamard\":42}}}",
+        )
+        .unwrap();
+        assert_eq!(trace_span_names(&doc).unwrap(), ["a", "b"]);
+        let md = render_trace_doc(&doc).unwrap();
+        assert!(md.contains("3 span events"), "{md}");
+        // Heaviest first: a (300 µs total) before b (50 µs).
+        let a_at = md.find("| a | 2 | 0.300 |").expect("a row");
+        let b_at = md.find("| b | 1 | 0.050 |").expect("b row");
+        assert!(a_at < b_at, "sorted by total desc:\n{md}");
+        assert!(md.contains("| simd.hadamard | 42 |"), "{md}");
+    }
+
+    #[test]
+    fn trace_doc_requires_trace_events() {
+        let doc = Json::parse("{\"bench\":\"batched_step\"}").unwrap();
+        assert!(render_trace_doc(&doc).is_err());
+        assert!(trace_span_names(&doc).is_err());
     }
 
     #[test]

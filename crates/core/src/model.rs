@@ -560,6 +560,7 @@ impl Donn {
         threads: usize,
         denom: usize,
     ) -> BatchLossParts {
+        let _span = photonn_trace::span("tape.forward");
         let n = self.config.grid();
         assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
         assert!(!images.is_empty(), "empty batch");

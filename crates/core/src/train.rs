@@ -146,7 +146,11 @@ impl Default for TrainOptions {
 }
 
 /// Per-epoch training statistics.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// Equality compares only the *deterministic* fields — everything except
+/// [`steps_per_sec`](EpochStats::steps_per_sec), which is wall-clock
+/// throughput and varies run to run on identical numerics.
+#[derive(Clone, Copy, Debug)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -154,6 +158,30 @@ pub struct EpochStats {
     pub mean_loss: f64,
     /// Regularization penalty at epoch end (summed over layers).
     pub penalty: f64,
+    /// Mean L2 norm of the applied per-batch update gradient (data +
+    /// regularization + extra forces, after freeze masking) over the
+    /// epoch — the signal the robustness matrix compares across training
+    /// modes.
+    pub grad_norm: f64,
+    /// Optimizer steps (mini-batches) per wall-clock second this epoch.
+    pub steps_per_sec: f64,
+    /// Fraction of mask pixels whose phase lies outside the fabrication
+    /// band `[0, 2π)` at epoch end. Masks initialize inside the band (see
+    /// `MaskInit`) and the optimizer is free to walk out of it, so this is
+    /// the wrapping pressure on the 2π-periodic parameterization — how
+    /// much of the trained mask a fabricated device would have to wrap or
+    /// heal with +2π steps.
+    pub phase_saturation: f64,
+}
+
+impl PartialEq for EpochStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch == other.epoch
+            && self.mean_loss == other.mean_loss
+            && self.penalty == other.penalty
+            && self.grad_norm == other.grad_norm
+            && self.phase_saturation == other.phase_saturation
+    }
 }
 
 /// Averaged data-loss gradients for one batch, plus the batch's mean loss,
@@ -352,7 +380,10 @@ pub fn train_with_grad_source(
         }
         let mut epoch_loss = 0.0;
         let mut batch_count = 0usize;
+        let mut grad_norm_sum = 0.0;
+        let epoch_start = std::time::Instant::now();
         for batch in batches.epoch() {
+            let _step_span = photonn_trace::span("train.step");
             let (mut grads, loss) = grad_source(donn, data, &batch);
             assert_eq!(grads.len(), donn.masks().len(), "gradient count mismatch");
             epoch_loss += loss;
@@ -377,6 +408,11 @@ pub fn train_with_grad_source(
                     *g = g.hadamard(k);
                 }
             }
+            grad_norm_sum += grads
+                .iter()
+                .map(|g| g.as_slice().iter().map(|v| v * v).sum::<f64>())
+                .sum::<f64>()
+                .sqrt();
             adam.step(donn.masks_mut(), &grads);
             if let Some(fz) = freeze {
                 for (mask, k) in donn.masks_mut().iter_mut().zip(fz) {
@@ -389,10 +425,26 @@ pub fn train_with_grad_source(
             .iter()
             .map(|m| opts.regularization.penalty(m))
             .sum();
+        let elapsed = epoch_start.elapsed().as_secs_f64();
+        let (saturated, total) = donn.masks().iter().fold((0usize, 0usize), |(s, t), m| {
+            let sat = m
+                .as_slice()
+                .iter()
+                .filter(|&&phi| !(0.0..photonn_math::TWO_PI).contains(&phi))
+                .count();
+            (s + sat, t + m.as_slice().len())
+        });
         let epoch_stats = EpochStats {
             epoch,
             mean_loss: epoch_loss / batch_count.max(1) as f64,
             penalty,
+            grad_norm: grad_norm_sum / batch_count.max(1) as f64,
+            steps_per_sec: if elapsed > 0.0 {
+                batch_count as f64 / elapsed
+            } else {
+                0.0
+            },
+            phase_saturation: saturated as f64 / total.max(1) as f64,
         };
         if let Some(hook) = epoch_hook.as_mut() {
             hook(&epoch_stats);

@@ -172,21 +172,30 @@ pub fn train_with_sharded(
             let denom = batch.len();
             // Ship the remote shards first so the peers crunch while rank 0
             // computes shard 0 on this thread.
-            pool.send_steps(donn.masks(), &shards[1..], denom)
-                .expect("peer failed mid-run (send)");
-            let local = shard_gradients(
-                donn,
-                data,
-                shards[0],
-                freeze,
-                dist.threads_per_worker,
-                denom,
-            );
+            {
+                let _span = photonn_trace::span("dist.wire_serialize");
+                pool.send_steps(donn.masks(), &shards[1..], denom)
+                    .expect("peer failed mid-run (send)");
+            }
+            let local = {
+                let _span = photonn_trace::span("dist.shard_compute");
+                shard_gradients(
+                    donn,
+                    data,
+                    shards[0],
+                    freeze,
+                    dist.threads_per_worker,
+                    denom,
+                )
+            };
             let mut parts = vec![local];
-            parts.extend(
-                pool.collect_grads(shards.len() - 1)
-                    .expect("peer failed mid-run (collect)"),
-            );
+            {
+                let _span = photonn_trace::span("dist.allreduce_wait");
+                parts.extend(
+                    pool.collect_grads(shards.len() - 1)
+                        .expect("peer failed mid-run (collect)"),
+                );
+            }
             all_reduce(parts, donn.masks(), freeze)
         },
         epoch_hook,

@@ -34,6 +34,7 @@ pub fn in_process_shard_grads(
     let denom = batch.len();
     if shards.len() == 1 {
         // Degenerate pool: no thread spawn, identical arithmetic.
+        let _span = photonn_trace::span("dist.shard_compute");
         return vec![shard_gradients(
             donn,
             data,
@@ -48,10 +49,14 @@ pub fn in_process_shard_grads(
             .iter()
             .map(|&shard| {
                 scope.spawn(move || {
+                    let _span = photonn_trace::span("dist.shard_compute");
                     shard_gradients(donn, data, shard, freeze, threads_per_worker, denom)
                 })
             })
             .collect();
+        // The join is the all-reduce wait: rank 0 idles here until the
+        // slowest shard finishes.
+        let _wait = photonn_trace::span("dist.allreduce_wait");
         handles
             .into_iter()
             .map(|h| h.join().expect("shard worker panicked"))
@@ -75,6 +80,7 @@ pub fn all_reduce(
     masks: &[Grid],
     freeze: Option<&[Arc<Grid>]>,
 ) -> (Vec<Grid>, f64) {
+    let _span = photonn_trace::span("dist.apply");
     let total = MaskGrads::tree_reduce(parts);
     let grads = total.phase_gradients(masks, freeze);
     (grads, total.loss)

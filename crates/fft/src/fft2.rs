@@ -58,9 +58,10 @@ impl Fft2 {
         assert!(rows > 0 && cols > 0, "FFT2 dimensions must be positive");
         // Square 2^a·5^b shapes (every power of two, plus the paper's
         // native 200 and its padded companions) get the planar vectorized
-        // engine; setting PHOTONN_FFT_NO_VEC forces the scalar per-sample
-        // path (the benchmark baseline).
-        let vec_enabled = std::env::var_os("PHOTONN_FFT_NO_VEC").is_none();
+        // engine; engaging PHOTONN_FFT_NO_VEC (shared switch vocabulary —
+        // case-insensitive, falsy values leave vectorization on) forces
+        // the scalar per-sample path (the benchmark baseline).
+        let vec_enabled = !photonn_math::envswitch::engaged("PHOTONN_FFT_NO_VEC", false);
         let vec2d = (rows == cols && vec_enabled && VecMixed2d::supports(rows))
             .then(|| Arc::new(VecMixed2d::new(rows)));
         Fft2 {
@@ -159,6 +160,7 @@ impl Fft2 {
     ///
     /// Panics if the per-sample shape does not match the plan.
     pub fn forward_batch(&self, batch: &mut BatchCGrid, threads: usize) {
+        let _span = photonn_trace::span("fft.forward_batch");
         self.batch_apply(batch, threads, |ctx, re, im| ctx.forward(re, im));
     }
 
@@ -180,6 +182,7 @@ impl Fft2 {
     ///
     /// Panics if the per-sample shape does not match the plan.
     pub fn inverse_unnormalized_batch(&self, batch: &mut BatchCGrid, threads: usize) {
+        let _span = photonn_trace::span("fft.inverse_batch");
         self.batch_apply(batch, threads, |ctx, re, im| {
             ctx.inverse_unnormalized(re, im)
         });
@@ -221,6 +224,7 @@ impl Fft2 {
         inner: usize,
         threads: usize,
     ) -> BatchCGrid {
+        let _span = photonn_trace::span("hop.transfer");
         assert_eq!(
             self.rows, self.cols,
             "transfer application needs a square plan"
@@ -292,6 +296,7 @@ impl Fft2 {
         inner: usize,
         threads: usize,
     ) -> BatchCGrid {
+        let _span = photonn_trace::span("hop.fused");
         assert_eq!(
             mask.shape(),
             (inner, inner),
@@ -946,7 +951,7 @@ mod tests {
         // paper-relevant grids (20 mixed-radix miniature, 32 power of two,
         // 200 paper-native). The reference *is* the vectorized pipeline,
         // so the comparison is meaningless under the scalar kill switch.
-        if std::env::var_os("PHOTONN_FFT_NO_VEC").is_some() {
+        if photonn_math::envswitch::engaged("PHOTONN_FFT_NO_VEC", false) {
             return;
         }
         for n in [20usize, 32, 200] {

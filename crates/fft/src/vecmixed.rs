@@ -140,9 +140,10 @@ impl VecMixed2d {
     /// (fusion off) unless the four ping-pong planes overflow L2 and `n`
     /// is a multiple of 4, in which case a width that keeps one strip's
     /// working set near 1 MB, rounded to a multiple of 8 lanes.
-    /// `PHOTONN_FFT_STRIP` overrides (`0` disables; other values are
-    /// rounded up to a multiple of 4 and ignored when `n % 4 != 0`, so
-    /// fused and unfused sweeps can never split SIMD tails differently).
+    /// `PHOTONN_FFT_STRIP` overrides (`0` or a falsy switch value like
+    /// `off` disables; other numbers are rounded up to a multiple of 4
+    /// and ignored when `n % 4 != 0`, so fused and unfused sweeps can
+    /// never split SIMD tails differently).
     fn default_strip(n: usize) -> usize {
         let heuristic = |n: usize| -> usize {
             // 4 planes × n² lanes × 8 bytes per full ping-pong pass.
@@ -157,7 +158,14 @@ impl VecMixed2d {
             Ok(v) => match v.trim().parse::<usize>() {
                 Ok(0) => 0,
                 Ok(w) if n.is_multiple_of(4) => w.div_ceil(4) * 4,
-                _ => heuristic(n),
+                Ok(_) => heuristic(n),
+                // Not a number: accept the shared switch vocabulary, so
+                // `PHOTONN_FFT_STRIP=off` (any case) disables fusion just
+                // like `0` instead of being silently ignored.
+                Err(_) => match photonn_math::envswitch::parse(&v) {
+                    Some(false) => 0,
+                    _ => heuristic(n),
+                },
             },
             Err(_) => heuristic(n),
         }
@@ -244,6 +252,7 @@ impl VecMixed2d {
         sim: &mut [f64],
         inverse: bool,
     ) {
+        let _span = photonn_trace::span("fft.column_pass");
         let n = self.n;
         debug_assert_eq!(re.len(), n * n);
         debug_assert_eq!(im.len(), n * n);
@@ -320,6 +329,14 @@ impl StripCtx<'_> {
     }
 }
 
+// Stage-sweep dispatch counters (`fft.radixN_stage` in the trace
+// inventory): one increment per stage sweep over a strip, showing which
+// butterfly radices a workload's schedule actually exercises.
+static CTR_RADIX2: photonn_trace::Counter = photonn_trace::Counter::new("fft.radix2_stage");
+static CTR_RADIX4: photonn_trace::Counter = photonn_trace::Counter::new("fft.radix4_stage");
+static CTR_RADIX5: photonn_trace::Counter = photonn_trace::Counter::new("fft.radix5_stage");
+static CTR_RADIX8: photonn_trace::Counter = photonn_trace::Counter::new("fft.radix8_stage");
+
 /// Dispatches one stage from `(sr, si)` into `(dr, di)`.
 fn run_stage(
     stage: &Stage,
@@ -330,6 +347,12 @@ fn run_stage(
     ctx: StripCtx<'_>,
     inverse: bool,
 ) {
+    match stage.p {
+        2 => CTR_RADIX2.add(1),
+        4 => CTR_RADIX4.add(1),
+        5 => CTR_RADIX5.add(1),
+        _ => CTR_RADIX8.add(1),
+    }
     match (stage.p, inverse) {
         (2, false) => stage_radix2::<false>(stage, sr, si, dr, di, ctx),
         (2, true) => stage_radix2::<true>(stage, sr, si, dr, di, ctx),

@@ -15,6 +15,9 @@
 //!   engines (deinterleave, transpose, fused Hadamard·scale, intensity);
 //! * [`simd`] — the runtime-dispatched kernel table (scalar / AVX2+FMA /
 //!   NEON) behind every planar primitive and FFT butterfly inner loop;
+//! * [`envswitch`] — the one parser for every `PHOTONN_*` environment
+//!   kill switch (re-exported from `photonn-trace`, which sits below this
+//!   crate so its own `PHOTONN_TRACE` switch can use it too);
 //! * [`stats`] — means, variances, percentiles (sparsification thresholds);
 //! * [`interp`] — bilinear resize (28×28 dataset images → optical grid);
 //! * [`block`] — block partitioning shared by sparsification & smoothness;
@@ -53,6 +56,7 @@ pub use batch::{BatchCGrid, BatchGrid};
 pub use cgrid::CGrid;
 pub use complex::Complex64;
 pub use grid::Grid;
+pub use photonn_trace::envswitch;
 pub use rng::Rng;
 
 /// 2π — the period of phase modulation, central to the paper's §III-D2

@@ -31,6 +31,17 @@
 //! bounds.
 
 use crate::{simd, Complex64};
+use photonn_trace::Counter;
+
+// Per-kernel dispatch counters (`simd.*` in the trace inventory): one
+// increment per plane-op call, so a trace shows exactly how many times
+// each kernel-table entry fired. Free when tracing is disabled.
+static CTR_HADAMARD: Counter = Counter::new("simd.hadamard");
+static CTR_HADAMARD_CONJ: Counter = Counter::new("simd.hadamard_conj");
+static CTR_HADAMARD_SCALE: Counter = Counter::new("simd.hadamard_scale");
+static CTR_ACC_MUL_CONJ: Counter = Counter::new("simd.acc_mul_conj");
+static CTR_INTENSITY: Counter = Counter::new("simd.intensity");
+static CTR_TRANSPOSE: Counter = Counter::new("simd.transpose");
 
 /// Splits an interleaved complex buffer into separate re/im planes.
 ///
@@ -90,6 +101,7 @@ pub fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
     // Tiled (and micro-blocked on SIMD tables) to keep both the row-major
     // reads and the column-major writes inside one cache-resident block.
     // Pure data movement — bit-identical output on every kernel table.
+    CTR_TRANSPOSE.add(1);
     (simd::active().transpose)(src, n, dst);
 }
 
@@ -111,6 +123,7 @@ pub fn transpose_plane(src: &[f64], n: usize, dst: &mut [f64]) {
 /// assert_eq!((re[0], im[0]), (-2.0, 1.0));
 /// ```
 pub fn hadamard(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
+    CTR_HADAMARD.add(1);
     (simd::active().hadamard)(re, im, kr, ki);
 }
 
@@ -133,6 +146,7 @@ pub fn hadamard(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
 /// assert_eq!((re[0], im[0]), (2.0, -1.0));
 /// ```
 pub fn hadamard_conj(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64]) {
+    CTR_HADAMARD_CONJ.add(1);
     (simd::active().hadamard_conj)(re, im, kr, ki);
 }
 
@@ -162,6 +176,7 @@ pub fn acc_mul_conj(
     out_re: &mut [f64],
     out_im: &mut [f64],
 ) {
+    CTR_ACC_MUL_CONJ.add(1);
     (simd::active().acc_mul_conj)(gr, gi, xr, xi, out_re, out_im);
 }
 
@@ -187,6 +202,7 @@ pub fn acc_mul_conj(
 /// assert_eq!((re[0], im[0]), (-4.0, 2.0));
 /// ```
 pub fn hadamard_scale(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], scale: f64) {
+    CTR_HADAMARD_SCALE.add(1);
     (simd::active().hadamard_scale)(re, im, kr, ki, scale);
 }
 
@@ -206,6 +222,7 @@ pub fn hadamard_scale(re: &mut [f64], im: &mut [f64], kr: &[f64], ki: &[f64], sc
 /// assert_eq!(out, [25.0]);
 /// ```
 pub fn intensity(re: &[f64], im: &[f64], out: &mut [f64]) {
+    CTR_INTENSITY.add(1);
     (simd::active().intensity)(re, im, out);
 }
 

@@ -15,9 +15,10 @@
 //!   table, whose kernels are the exact expression trees the pre-SIMD
 //!   code used.
 //!
-//! The kill switch mirrors `PHOTONN_FFT_NO_VEC`: set `PHOTONN_SIMD` to
-//! `off`, `0` or `false` (case-insensitive) to pin the scalar table (read
-//! once, at first dispatch).
+//! The kill switch shares the workspace vocabulary ([`crate::envswitch`],
+//! same as `PHOTONN_FFT_NO_VEC` and `PHOTONN_TRACE`): set `PHOTONN_SIMD`
+//! to any falsy value (`off`/`0`/`false`/`no`, case-insensitive) to pin
+//! the scalar table (read once, at first dispatch).
 //!
 //! # Numerical contract
 //!
@@ -193,23 +194,13 @@ pub fn detected() -> &'static KernelTable {
 pub fn active() -> &'static KernelTable {
     static ACTIVE: OnceLock<&'static KernelTable> = OnceLock::new();
     ACTIVE.get_or_init(|| {
-        if env_disables(std::env::var("PHOTONN_SIMD").ok().as_deref()) {
-            &SCALAR
-        } else {
+        // The shared switch vocabulary (crate::envswitch): falsy values
+        // pin the scalar table; unset or anything else keeps SIMD on.
+        if crate::envswitch::engaged("PHOTONN_SIMD", true) {
             detected()
+        } else {
+            &SCALAR
         }
-    })
-}
-
-/// `PHOTONN_SIMD` values that pin the scalar table. Matched
-/// case-insensitively so `OFF`/`False` behave like their lowercase forms
-/// — a silently ignored kill switch would mislead anyone debugging a
-/// numerical discrepancy with it.
-fn env_disables(val: Option<&str>) -> bool {
-    val.is_some_and(|v| {
-        ["off", "0", "false"]
-            .iter()
-            .any(|d| v.eq_ignore_ascii_case(d))
     })
 }
 
@@ -1290,11 +1281,16 @@ mod tests {
 
     #[test]
     fn env_kill_switch_values() {
+        use crate::envswitch::parse;
         for v in ["off", "OFF", "Off", "0", "false", "False", "FALSE"] {
-            assert!(env_disables(Some(v)), "{v} should disable SIMD");
+            assert_eq!(parse(v), Some(false), "{v} should disable SIMD");
         }
-        for v in [None, Some("on"), Some("1"), Some("")] {
-            assert!(!env_disables(v), "{v:?} should not disable SIMD");
+        for v in ["on", "1", "ON", "true"] {
+            assert_eq!(parse(v), Some(true), "{v} should keep SIMD on");
+        }
+        // Unrecognised values fall back to the switch default (SIMD on).
+        for v in ["", "2", "fast"] {
+            assert_eq!(parse(v), None, "{v:?} should not disable SIMD");
         }
     }
 

@@ -220,6 +220,7 @@ impl Batcher {
             });
             self.shared.metrics.set_queue_depth(state.queue.len());
         }
+        self.shared.metrics.record_model_request(model.name());
         self.shared.wake.notify_all();
         Ok(rx)
     }
@@ -308,18 +309,32 @@ fn run_batch(shared: &Shared, jobs: Vec<Job>) {
     let threads = shared.policy.threads;
     let model = Arc::clone(&jobs[0].model);
     shared.metrics.record_batch(jobs.len());
+    // Each job's queue wait ended the moment this batch started; the
+    // interval is reconstructed from the enqueue instant rather than held
+    // open across threads.
+    if photonn_trace::enabled() {
+        let dispatch_ns = photonn_trace::now_ns();
+        for job in &jobs {
+            let start = photonn_trace::instant_ns(job.enqueued);
+            photonn_trace::record_span("serve.queue_wait", start, dispatch_ns);
+        }
+    }
     let logits = match &shared.cache {
         None => {
-            let images: Vec<&Grid> = jobs.iter().map(|j| &j.image).collect();
+            let images: Vec<&Grid> = {
+                let _span = photonn_trace::span("serve.batch_assemble");
+                jobs.iter().map(|j| &j.image).collect()
+            };
+            let _span = photonn_trace::span("serve.forward");
             model.logits_batch(&images, threads)
         }
         Some(cache) => run_with_cache(shared, cache, &model, &jobs, threads),
     };
     let done = Instant::now();
     for (job, sample_logits) in jobs.into_iter().zip(logits) {
-        shared
-            .metrics
-            .record_latency_us(done.duration_since(job.enqueued).as_micros() as u64);
+        let us = done.duration_since(job.enqueued).as_micros() as u64;
+        shared.metrics.record_latency_us(us);
+        shared.metrics.record_model_latency(model.name(), us);
         // A gone receiver just means the client hung up; nothing to do.
         let _ = job.tx.send(sample_logits);
     }
@@ -361,7 +376,10 @@ fn run_with_cache(
             .iter()
             .map(|(_, indices)| &jobs[indices[0]].image)
             .collect();
-        let fresh = model.donn().first_hop_batch(&miss_images, threads);
+        let fresh = {
+            let _span = photonn_trace::span("serve.forward");
+            model.donn().first_hop_batch(&miss_images, threads)
+        };
         for (slot, (key, indices)) in misses.into_iter().enumerate() {
             let field = Arc::new(fresh.to_cgrid(slot));
             cache.insert(key, Arc::clone(&field));
@@ -376,10 +394,15 @@ fn run_with_cache(
     // first hops are interleaved `CGrid`s, everything downstream is
     // planar.
     let n = model.grid();
-    let mut stack = BatchCGrid::zeros(jobs.len(), n, n);
-    for (b, hop) in hops.iter().enumerate() {
-        stack.set_sample(b, hop.as_deref().expect("resolved"));
-    }
+    let stack = {
+        let _span = photonn_trace::span("serve.batch_assemble");
+        let mut stack = BatchCGrid::zeros(jobs.len(), n, n);
+        for (b, hop) in hops.iter().enumerate() {
+            stack.set_sample(b, hop.as_deref().expect("resolved"));
+        }
+        stack
+    };
+    let _span = photonn_trace::span("serve.forward");
     model.logits_from_first_hop(stack, threads)
 }
 

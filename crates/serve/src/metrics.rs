@@ -7,8 +7,10 @@
 //! percentile computation sorts a copy off the hot path).
 
 use crate::json::Json;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Batch-size histogram bucket upper bounds (inclusive); the last bucket
 /// is open-ended.
@@ -23,10 +25,19 @@ struct LatencyRing {
     next: usize,
 }
 
+/// Per-model accumulators behind the [`Metrics`] per-model map.
+#[derive(Default)]
+struct ModelCounters {
+    requests: u64,
+    completed: u64,
+    latency_total_us: u64,
+    latency_max_us: u64,
+}
+
 /// Shared server metrics. All recording methods take `&self` and are safe
 /// to call from any thread.
-#[derive(Default)]
 pub struct Metrics {
+    started: Instant,
     requests_total: AtomicU64,
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
@@ -39,11 +50,50 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     latencies: Mutex<LatencyRing>,
+    per_model: Mutex<BTreeMap<String, ModelCounters>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_429: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            batches_total: AtomicU64::new(0),
+            batch_hist: Default::default(),
+            max_batch_observed: AtomicUsize::new(0),
+            queue_depth: AtomicUsize::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing::default()),
+            per_model: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// Per-model request/latency statistics in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelStats {
+    /// Registry name of the model variant.
+    pub name: String,
+    /// Requests accepted into this model's queue.
+    pub requests: u64,
+    /// Responses fanned back out for this model.
+    pub completed: u64,
+    /// Mean end-to-end latency of completed requests, microseconds.
+    pub mean_latency_us: f64,
+    /// Worst completed-request latency, microseconds.
+    pub max_latency_us: u64,
 }
 
 /// A point-in-time copy of every metric, with percentiles computed.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricsSnapshot {
+    /// Seconds since these metrics (i.e. the server) were created.
+    pub uptime_seconds: f64,
     /// Requests accepted into the inference path.
     pub requests_total: u64,
     /// Responses by class.
@@ -72,6 +122,12 @@ pub struct MetricsSnapshot {
     pub p50_latency_us: u64,
     /// 99th-percentile end-to-end latency in microseconds.
     pub p99_latency_us: u64,
+    /// Per-model request/latency statistics, sorted by model name.
+    pub per_model: Vec<ModelStats>,
+    /// Engine-level `photonn-trace` counters (SIMD kernel dispatches, FFT
+    /// stage sweeps) at snapshot time. Empty unless `PHOTONN_TRACE` is
+    /// enabled for the server process.
+    pub engine_counters: Vec<(String, u64)>,
 }
 
 impl Metrics {
@@ -134,6 +190,23 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one request accepted for the named model.
+    pub fn record_model_request(&self, model: &str) {
+        let mut map = self.per_model.lock().expect("metrics lock");
+        map.entry(model.to_string()).or_default().requests += 1;
+    }
+
+    /// Records one completed request's end-to-end latency for the named
+    /// model (alongside the global reservoir in
+    /// [`Metrics::record_latency_us`]).
+    pub fn record_model_latency(&self, model: &str, us: u64) {
+        let mut map = self.per_model.lock().expect("metrics lock");
+        let entry = map.entry(model.to_string()).or_default();
+        entry.completed += 1;
+        entry.latency_total_us += us;
+        entry.latency_max_us = entry.latency_max_us.max(us);
+    }
+
     /// Copies every metric out and computes latency percentiles.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let (latency_samples, p50, p99) = {
@@ -153,7 +226,28 @@ impl Metrics {
         for (out, counter) in batch_hist.iter_mut().zip(&self.batch_hist) {
             *out = counter.load(Ordering::Relaxed);
         }
+        let per_model = {
+            let map = self.per_model.lock().expect("metrics lock");
+            map.iter()
+                .map(|(name, c)| ModelStats {
+                    name: name.clone(),
+                    requests: c.requests,
+                    completed: c.completed,
+                    mean_latency_us: if c.completed == 0 {
+                        0.0
+                    } else {
+                        c.latency_total_us as f64 / c.completed as f64
+                    },
+                    max_latency_us: c.latency_max_us,
+                })
+                .collect()
+        };
+        let engine_counters = photonn_trace::counters_snapshot()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), value))
+            .collect();
         MetricsSnapshot {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
             requests_total: self.requests_total.load(Ordering::Relaxed),
             responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
             responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
@@ -168,6 +262,8 @@ impl Metrics {
             latency_samples,
             p50_latency_us: p50,
             p99_latency_us: p99,
+            per_model,
+            engine_counters,
         }
     }
 }
@@ -190,7 +286,28 @@ impl MetricsSnapshot {
                 ])
             })
             .collect();
+        let models = self
+            .per_model
+            .iter()
+            .map(|m| {
+                (
+                    m.name.clone(),
+                    Json::object(vec![
+                        ("requests".into(), Json::Num(m.requests as f64)),
+                        ("completed".into(), Json::Num(m.completed as f64)),
+                        ("mean_latency_us".into(), Json::Num(m.mean_latency_us)),
+                        ("max_latency_us".into(), Json::Num(m.max_latency_us as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let engine = self
+            .engine_counters
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::Num(*value as f64)))
+            .collect();
         Json::object(vec![
+            ("uptime_seconds".into(), Json::Num(self.uptime_seconds)),
             (
                 "requests_total".into(),
                 Json::Num(self.requests_total as f64),
@@ -220,6 +337,8 @@ impl MetricsSnapshot {
                 "p99_latency_us".into(),
                 Json::Num(self.p99_latency_us as f64),
             ),
+            ("models".into(), Json::object(models)),
+            ("engine".into(), Json::object(engine)),
         ])
     }
 }
@@ -278,6 +397,45 @@ mod tests {
         assert_eq!(s.responses_4xx, 1);
         assert_eq!(s.responses_429, 1);
         assert_eq!(s.responses_5xx, 2);
+    }
+
+    #[test]
+    fn per_model_counters_and_uptime() {
+        let m = Metrics::new();
+        m.record_model_request("mnist-16");
+        m.record_model_request("mnist-16");
+        m.record_model_request("fashion-16");
+        m.record_model_latency("mnist-16", 100);
+        m.record_model_latency("mnist-16", 300);
+        let s = m.snapshot();
+        assert!(s.uptime_seconds >= 0.0);
+        assert_eq!(s.per_model.len(), 2);
+        // BTreeMap ordering: "fashion-16" before "mnist-16".
+        assert_eq!(s.per_model[0].name, "fashion-16");
+        assert_eq!(s.per_model[0].requests, 1);
+        assert_eq!(s.per_model[0].completed, 0);
+        assert_eq!(s.per_model[0].mean_latency_us, 0.0);
+        assert_eq!(s.per_model[1].name, "mnist-16");
+        assert_eq!(s.per_model[1].requests, 2);
+        assert_eq!(s.per_model[1].completed, 2);
+        assert_eq!(s.per_model[1].mean_latency_us, 200.0);
+        assert_eq!(s.per_model[1].max_latency_us, 300);
+        let text = s.to_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert!(parsed
+            .get("uptime_seconds")
+            .and_then(Json::as_f64)
+            .is_some());
+        let models = parsed.get("models").unwrap();
+        assert_eq!(
+            models
+                .get("mnist-16")
+                .and_then(|m| m.get("requests"))
+                .and_then(Json::as_usize),
+            Some(2)
+        );
+        // The engine object is always present (possibly empty).
+        assert!(parsed.get("engine").is_some());
     }
 
     #[test]

@@ -266,7 +266,11 @@ fn handle_connection(stream: TcpStream, core: &Arc<Core>) {
         let close = request.wants_close();
         let (status, body) = route(&request, core);
         core.metrics.record_status(status);
-        if write_response(&mut writer, status, "application/json", &body, close).is_err() {
+        let wrote = {
+            let _span = photonn_trace::span("serve.write");
+            write_response(&mut writer, status, "application/json", &body, close)
+        };
+        if wrote.is_err() {
             return;
         }
         if close || core.shutting.load(Ordering::SeqCst) {

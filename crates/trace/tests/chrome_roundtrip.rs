@@ -1,0 +1,103 @@
+//! Schema round-trip: the Chrome trace-event JSON emitted by
+//! [`photonn_trace::Trace::to_chrome_json`] must parse with
+//! `photonn-wire`'s strict JSON codec and preserve every field — the
+//! same contract `photonn bench-report --trace` relies on.
+
+use photonn_trace::{SpanEvent, Trace};
+use photonn_wire::Json;
+
+#[test]
+fn chrome_json_round_trips_through_wire_codec() {
+    let trace = Trace {
+        events: vec![
+            SpanEvent {
+                name: "tape.forward",
+                tid: 1,
+                start_ns: 1_234,
+                dur_ns: 567_890,
+                depth: 0,
+            },
+            SpanEvent {
+                name: "fft.column_pass",
+                tid: 2,
+                start_ns: 2_000,
+                dur_ns: 125,
+                depth: 2,
+            },
+            SpanEvent {
+                name: "dist.allreduce_wait",
+                tid: 1,
+                start_ns: 600_000,
+                dur_ns: 0,
+                depth: 1,
+            },
+        ],
+        counters: vec![
+            ("simd.hadamard".to_string(), 4_096),
+            ("simd.transpose".to_string(), 0),
+        ],
+    };
+
+    let doc = Json::parse(&trace.to_chrome_json()).expect("emitted trace JSON must parse");
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), trace.events.len());
+    for (ev, src) in events.iter().zip(&trace.events) {
+        assert_eq!(ev.get("name").and_then(Json::as_str), Some(src.name));
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(ev.get("cat").and_then(Json::as_str), Some("photonn"));
+        assert_eq!(ev.get("pid").and_then(Json::as_usize), Some(1));
+        assert_eq!(
+            ev.get("tid").and_then(Json::as_usize),
+            Some(src.tid as usize)
+        );
+        let ts = ev.get("ts").and_then(Json::as_f64).unwrap();
+        let dur = ev.get("dur").and_then(Json::as_f64).unwrap();
+        assert!(
+            (ts - src.start_ns as f64 / 1_000.0).abs() < 1e-9,
+            "ts for {}",
+            src.name
+        );
+        assert!(
+            (dur - src.dur_ns as f64 / 1_000.0).abs() < 1e-9,
+            "dur for {}",
+            src.name
+        );
+        let depth = ev
+            .get("args")
+            .and_then(|a| a.get("depth"))
+            .and_then(Json::as_usize)
+            .unwrap();
+        assert_eq!(depth, src.depth as usize);
+    }
+
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let counters = doc
+        .get("otherData")
+        .and_then(|o| o.get("counters"))
+        .expect("otherData.counters object");
+    for (name, value) in &trace.counters {
+        assert_eq!(
+            counters.get(name).and_then(Json::as_usize),
+            Some(*value as usize),
+            "counter {name}"
+        );
+    }
+}
+
+#[test]
+fn empty_trace_is_still_well_formed() {
+    let doc = Json::parse(&Trace::default().to_chrome_json()).expect("empty trace parses");
+    assert_eq!(
+        doc.get("traceEvents")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+}

@@ -1,0 +1,69 @@
+//! Overhead contract, allocation half: with tracing disabled, the span
+//! and counter hot paths must not allocate at all. This test binary
+//! installs a counting global allocator; it must stay the only test in
+//! the file's binary that exercises the disabled path so the count is
+//! attributable. (The <1% step-time half of the contract is enforced in
+//! release by `bench_batched_step --check-trace-overhead`.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// The counting shim forwards straight to the system allocator; unsafe is
+// inherent to the GlobalAlloc contract.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+static PROBE: photonn_trace::Counter = photonn_trace::Counter::new("test.disabled_probe");
+
+#[test]
+fn disabled_hot_path_does_not_allocate() {
+    photonn_trace::set_enabled(false);
+
+    // Warm everything once (lazy statics, thread-locals) outside the
+    // measured window.
+    {
+        let _s = photonn_trace::span("test.warm");
+        PROBE.add(1);
+    }
+
+    // The allocation counter is process-global, so a concurrent harness
+    // thread can contribute a stray allocation to any one window. A
+    // per-call allocation would show up in *every* window (≥100_000
+    // counts); requiring one clean window out of several keeps the
+    // assertion exactly "zero allocations on the hot path" without
+    // flaking on ambient noise.
+    let mut min_delta = u64::MAX;
+    for _attempt in 0..20 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..100_000 {
+            let _s = photonn_trace::span("test.hot");
+            PROBE.add(1);
+        }
+        let delta = ALLOCS.load(Ordering::Relaxed) - before;
+        min_delta = min_delta.min(delta);
+        if min_delta == 0 {
+            break;
+        }
+    }
+
+    assert_eq!(
+        min_delta, 0,
+        "disabled span/counter path allocated in every window (min {min_delta} per 100k calls)"
+    );
+    assert_eq!(PROBE.value(), 0, "disabled counter adds must be dropped");
+}

@@ -22,5 +22,6 @@ pub use photonn_fft as fft;
 pub use photonn_math as math;
 pub use photonn_optics as optics;
 pub use photonn_serve as serve;
+pub use photonn_trace as trace;
 pub use photonn_viz as viz;
 pub use photonn_wire as wire;

@@ -8,9 +8,9 @@
 //!               [--threads N] [--cache-mb 64] [--levels 8] [--crosstalk 0.1]
 //! photonn train [--grid 32] [--samples 600] [--epochs 3] [--batch 25]
 //!               [--lr 0.05] [--seed 7] [--workers N] [--threads T]
-//!               [--peers host:port,host:port,...]
+//!               [--peers host:port,host:port,...] [--trace out.json]
 //! photonn dist-worker [--addr 127.0.0.1:0] [--threads T] [--keep-alive]
-//! photonn bench-report [--dir .]
+//! photonn bench-report [--dir .] [--trace FILE [--require a,b,c]]
 //! ```
 //!
 //! `serve` trains (optionally) a DONN on synthetic digits, registers the
@@ -19,8 +19,14 @@
 //! `examples/serve_digits.rs`). `train` runs the sharded data-parallel
 //! trainer — in-process worker threads by default, or rank-0-plus-peers
 //! over loopback TCP when `--peers` lists `dist-worker` processes (see
-//! `examples/dist_digits.rs`). `bench-report` renders the committed
-//! `BENCH_*.json` trackers as markdown for a CI job summary.
+//! `examples/dist_digits.rs`); `--trace out.json` turns on `photonn-trace`
+//! and writes a Chrome trace-event file loadable in Perfetto or
+//! `chrome://tracing`, plus the aggregate span table on stdout (setting
+//! `PHOTONN_TRACE=on` prints the table without writing a file).
+//! `bench-report` renders the committed `BENCH_*.json` trackers as
+//! markdown for a CI job summary; `--trace FILE` instead renders a trace
+//! file's aggregate span table, and `--require` fails the process when a
+//! comma-listed span name is absent (the CI trace-smoke gate).
 
 use photonn::datasets::{Dataset, Family};
 use photonn::dist::{serve_peer_forever, serve_peer_once, train_with_sharded, DistConfig};
@@ -181,6 +187,7 @@ struct TrainCliOptions {
     workers: usize,
     threads: usize,
     peers: Vec<String>,
+    trace: Option<String>,
 }
 
 impl Default for TrainCliOptions {
@@ -195,6 +202,7 @@ impl Default for TrainCliOptions {
             workers: 1,
             threads: 1,
             peers: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -203,7 +211,7 @@ fn train_usage_error(message: String) -> ! {
     eprintln!("photonn train: {message}");
     eprintln!("usage: photonn train [--grid N] [--samples S] [--epochs E] [--batch B]");
     eprintln!("                     [--lr LR] [--seed S] [--workers N] [--threads T]");
-    eprintln!("                     [--peers host:port,host:port,...]");
+    eprintln!("                     [--peers host:port,host:port,...] [--trace out.json]");
     std::process::exit(2);
 }
 
@@ -222,6 +230,11 @@ fn parse_train_options(args: &[String]) -> TrainCliOptions {
             "--seed" => opts.seed = parsed_or(flag, value, train_usage_error),
             "--workers" => opts.workers = parsed_or(flag, value, train_usage_error),
             "--threads" => opts.threads = parsed_or(flag, value, train_usage_error),
+            "--trace" => {
+                opts.trace = Some(
+                    value.unwrap_or_else(|| train_usage_error("--trace requires a value".into())),
+                );
+            }
             "--peers" => {
                 let list: String =
                     value.unwrap_or_else(|| train_usage_error("--peers requires a value".into()));
@@ -241,6 +254,12 @@ fn parse_train_options(args: &[String]) -> TrainCliOptions {
 
 fn train_cmd(args: &[String]) {
     let opts = parse_train_options(args);
+    // --trace forces tracing on; bare PHOTONN_TRACE=on still prints the
+    // aggregate table at the end without writing a file.
+    if opts.trace.is_some() {
+        photonn::trace::set_enabled(true);
+    }
+    let tracing = photonn::trace::enabled();
     // In peer mode the shard count is fixed by the topology: rank 0 plus
     // one shard per peer.
     let dist = DistConfig {
@@ -277,7 +296,14 @@ fn train_cmd(args: &[String]) {
     };
     let start = std::time::Instant::now();
     let mut hook = |s: &photonn::donn::train::EpochStats| {
-        println!("epoch {}: mean loss {:.6}", s.epoch, s.mean_loss);
+        println!(
+            "epoch {}: mean loss {:.6} | grad norm {:.4} | {:.2} steps/sec | {:.1}% phase saturation",
+            s.epoch,
+            s.mean_loss,
+            s.grad_norm,
+            s.steps_per_sec,
+            s.phase_saturation * 100.0
+        );
     };
     if let Err(e) = train_with_sharded(
         &mut donn,
@@ -298,6 +324,20 @@ fn train_cmd(args: &[String]) {
         steps as f64 / elapsed,
         donn.accuracy(&data, opts.threads) * 100.0
     );
+    if tracing {
+        let trace = photonn::trace::collect();
+        if let Some(path) = &opts.trace {
+            if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+                eprintln!("photonn train: cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "trace: {} span events -> {path} (load in Perfetto or chrome://tracing)",
+                trace.events.len()
+            );
+        }
+        println!("\n{}", trace.render_table());
+    }
 }
 
 // ------------------------------------------------------------ dist-worker
@@ -354,24 +394,76 @@ fn dist_worker_cmd(args: &[String]) {
 
 // ------------------------------------------------------------ bench-report
 
+fn bench_report_usage_error(message: String) -> ! {
+    eprintln!("photonn bench-report: {message}");
+    eprintln!("usage: photonn bench-report [--dir PATH] [--trace FILE [--require a,b,c]]");
+    std::process::exit(2);
+}
+
 fn bench_report_cmd(args: &[String]) {
     let mut dir = ".".to_string();
+    let mut trace: Option<String> = None;
+    let mut require: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
+        let value = || {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                bench_report_usage_error(format!("{} requires a value", args[i]))
+            })
+        };
         match args[i].as_str() {
-            "--dir" => {
-                dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-                    eprintln!("photonn bench-report: --dir requires a value");
-                    std::process::exit(2);
-                });
-                i += 2;
+            "--dir" => dir = value(),
+            "--trace" => trace = Some(value()),
+            "--require" => {
+                require = value()
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
             }
-            other => {
-                eprintln!("photonn bench-report: unknown flag '{other}'");
-                eprintln!("usage: photonn bench-report [--dir PATH]");
-                std::process::exit(2);
-            }
+            other => bench_report_usage_error(format!("unknown flag '{other}'")),
         }
+        i += 2;
+    }
+    if !require.is_empty() && trace.is_none() {
+        bench_report_usage_error("--require needs --trace".into());
+    }
+    // --trace renders (and optionally validates) one trace file instead of
+    // the committed benchmark trackers.
+    if let Some(path) = trace {
+        let path = std::path::Path::new(&path);
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("photonn bench-report: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let doc = photonn::wire::Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("photonn bench-report: {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let markdown = photonn::bench::report::render_trace_doc(&doc).unwrap_or_else(|e| {
+            eprintln!("photonn bench-report: {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        print!("{markdown}");
+        if !require.is_empty() {
+            let names = photonn::bench::report::trace_span_names(&doc).expect("rendered above");
+            let missing: Vec<&String> = require.iter().filter(|r| !names.contains(r)).collect();
+            if !missing.is_empty() {
+                eprintln!(
+                    "photonn bench-report: trace {} is missing required span(s): {}",
+                    path.display(),
+                    missing
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(1);
+            }
+            println!("\nall {} required spans present", require.len());
+        }
+        return;
     }
     match photonn::bench::report::render_dir(std::path::Path::new(&dir)) {
         Ok(markdown) => print!("{markdown}"),
