@@ -120,11 +120,11 @@ fn run_sharded(
     steps: usize,
 ) -> f64 {
     let mut adam = Adam::new(0.05);
-    let (g, _) = sharded_gradients(donn, data, batch, None, dist);
+    let (g, _) = sharded_gradients(donn, data, batch, None, dist).expect("healthy shards");
     adam.step(donn.masks_mut(), &g); // warm-up outside the window
     let start = Instant::now();
     for _ in 0..steps {
-        let (g, _) = sharded_gradients(donn, data, batch, None, dist);
+        let (g, _) = sharded_gradients(donn, data, batch, None, dist).expect("healthy shards");
         adam.step(donn.masks_mut(), &g);
     }
     steps as f64 / start.elapsed().as_secs_f64()
@@ -223,7 +223,8 @@ fn main() {
                     let mut donn = Donn::random(DonnConfig::scaled(grid), &mut Rng::seed_from(42));
                     let dist = DistConfig::in_process(workers);
                     let mut adam = Adam::new(0.05);
-                    let (g, _) = sharded_gradients(&donn, &data, &batch, None, &dist);
+                    let (g, _) = sharded_gradients(&donn, &data, &batch, None, &dist)
+                        .expect("healthy shards");
                     adam.step(donn.masks_mut(), &g);
                 }
             }

@@ -349,7 +349,7 @@ pub fn train_with(
 /// [`EpochStats`] as the epoch completes.
 ///
 /// [`train_with`] is exactly this loop with [`batched_gradients`] as the
-/// source.
+/// source; [`try_train_with_grad_source`] is the fallible form.
 ///
 /// # Panics
 ///
@@ -360,10 +360,49 @@ pub fn train_with_grad_source(
     data: &Dataset,
     opts: &TrainOptions,
     freeze: Option<&[Arc<Grid>]>,
-    mut extra_grad: Option<ExtraGradFn<'_>>,
+    extra_grad: Option<ExtraGradFn<'_>>,
     mut grad_source: impl FnMut(&Donn, &Dataset, &[usize]) -> (Vec<Grid>, f64),
-    mut epoch_hook: Option<EpochHookFn<'_>>,
+    epoch_hook: Option<EpochHookFn<'_>>,
 ) -> Vec<EpochStats> {
+    let result: Result<Vec<EpochStats>, std::convert::Infallible> = try_train_with_grad_source(
+        donn,
+        data,
+        opts,
+        freeze,
+        extra_grad,
+        |donn, data, batch| Ok(grad_source(donn, data, batch)),
+        epoch_hook,
+    );
+    match result {
+        Ok(stats) => stats,
+        Err(never) => match never {},
+    }
+}
+
+/// [`train_with_grad_source`] with a *fallible* gradient source — the seam
+/// fault-tolerant distributed training plugs into. The first `Err` from
+/// `grad_source` aborts the loop and is returned as-is; the model is then
+/// left at the last successfully applied optimizer step (every step either
+/// fully applies or not at all — the error surfaces *before* the Adam
+/// update for its batch).
+///
+/// # Errors
+///
+/// Propagates the first error returned by `grad_source`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between the dataset, model, freeze masks and
+/// gradient-source output.
+pub fn try_train_with_grad_source<E>(
+    donn: &mut Donn,
+    data: &Dataset,
+    opts: &TrainOptions,
+    freeze: Option<&[Arc<Grid>]>,
+    mut extra_grad: Option<ExtraGradFn<'_>>,
+    mut grad_source: impl FnMut(&Donn, &Dataset, &[usize]) -> Result<(Vec<Grid>, f64), E>,
+    mut epoch_hook: Option<EpochHookFn<'_>>,
+) -> Result<Vec<EpochStats>, E> {
     assert!(opts.epochs > 0, "epochs must be positive");
     assert!(
         opts.lr_final_fraction > 0.0 && opts.lr_final_fraction <= 1.0,
@@ -384,7 +423,7 @@ pub fn train_with_grad_source(
         let epoch_start = std::time::Instant::now();
         for batch in batches.epoch() {
             let _step_span = photonn_trace::span("train.step");
-            let (mut grads, loss) = grad_source(donn, data, &batch);
+            let (mut grads, loss) = grad_source(donn, data, &batch)?;
             assert_eq!(grads.len(), donn.masks().len(), "gradient count mismatch");
             epoch_loss += loss;
             batch_count += 1;
@@ -451,7 +490,7 @@ pub fn train_with_grad_source(
         }
         stats.push(epoch_stats);
     }
-    stats
+    Ok(stats)
 }
 
 /// Trains without freezing or extra forces — the baseline/Ours-A path.

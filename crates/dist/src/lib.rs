@@ -51,6 +51,22 @@
 //!
 //! [`MaskGrads::tree_reduce`]: photonn_autodiff::MaskGrads::tree_reduce
 //!
+//! ## Failure model (TCP mode)
+//!
+//! The transport is *elastic*: peers heartbeat while computing, rank 0's
+//! sockets carry bounded read/write timeouts, a silent peer is re-dialed
+//! with exponential backoff inside a bounded window, and a peer confirmed
+//! lost has the interrupted step re-split over the survivors — exactly the
+//! `shard_batch` plan a fresh run with the surviving worker count would
+//! use, with the global loss denominator unchanged, so the post-loss run
+//! is *bit-identical* to that fresh run. `DistConfig::min_workers` turns
+//! further shrinkage into a loud [`DistError::BelowMinWorkers`]. The
+//! [`chaos`] module holds the seeded in-process fault-injection proxy that
+//! proves all of this deterministically; see [`tcp`]'s module docs for the
+//! detection/reconnect/re-split ladder.
+//!
+//! [`tcp`]: self#entry-points
+//!
 //! ## Entry points
 //!
 //! | Item | Role |
@@ -59,6 +75,9 @@
 //! | [`sharded_gradients`] | one sharded step, in-process pool |
 //! | [`train_with_sharded`] / [`train_sharded`] | the full trainer path |
 //! | [`TcpPool`] / [`serve_peer_once`] | rank 0 ↔ peer loopback protocol |
+//! | [`FaultConfig`] | heartbeat / timeout / reconnect tuning |
+//! | [`load_hostfile`] | peer list from a hostfile |
+//! | [`chaos`] | deterministic fault-injection proxy for tests |
 //!
 //! # Examples
 //!
@@ -80,6 +99,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod proto;
 mod shard;
 mod tcp;
@@ -87,6 +107,9 @@ mod train;
 mod worker;
 
 pub use shard::shard_batch;
-pub use tcp::{serve_peer_forever, serve_peer_once, TcpPool};
-pub use train::{sharded_gradients, train_sharded, train_with_sharded, DistConfig, DistError};
+pub use tcp::{serve_peer_forever, serve_peer_once, FaultConfig, TcpPool};
+pub use train::{
+    load_hostfile, parse_hostfile, sharded_gradients, train_sharded, train_with_sharded,
+    DistConfig, DistError,
+};
 pub use worker::{all_reduce, in_process_shard_grads};

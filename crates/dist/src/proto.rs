@@ -20,7 +20,8 @@ use photonn_wire::Json;
 
 /// Protocol revision; bumped on any wire-format change. The handshake
 /// rejects mismatches loudly instead of mis-parsing silently.
-pub const PROTOCOL_VERSION: usize = 1;
+/// (v2 added `heartbeat_ms` to `init` and the `heartbeat` message.)
+pub const PROTOCOL_VERSION: usize = 2;
 
 /// A message of the gradient protocol.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,9 +37,19 @@ pub enum Message {
         labels: Vec<usize>,
         /// Optional per-layer freeze masks (frozen sparsity).
         freeze: Option<Vec<Grid>>,
+        /// Liveness cadence the coordinator dictates: while computing a
+        /// shard the peer emits a [`Message::Heartbeat`] every this many
+        /// milliseconds so rank 0 can tell "slow" from "dead" in bounded
+        /// time. `0` disables peer heartbeats (the pre-elastic behavior).
+        heartbeat_ms: u64,
     },
     /// Peer → rank 0: handshake accepted.
     Ready,
+    /// Peer → rank 0: still alive and computing — emitted between
+    /// receiving a step and replying with its gradients, on the cadence
+    /// the init handshake dictated. Carries no payload; its arrival *is*
+    /// the information.
+    Heartbeat,
     /// Rank 0 → peer, once per optimizer step: current masks plus this
     /// peer's shard (dataset indices) and the global batch size.
     Step {
@@ -151,10 +162,12 @@ pub fn encode(msg: &Message) -> String {
             images,
             labels,
             freeze,
+            heartbeat_ms,
         } => {
             let mut fields = vec![
                 ("type".into(), Json::Str("init".into())),
                 ("protocol".into(), Json::Num(PROTOCOL_VERSION as f64)),
+                ("heartbeat_ms".into(), Json::Num(*heartbeat_ms as f64)),
                 ("config".into(), config_to_json(config)),
                 ("labels".into(), usizes_to_json(labels)),
                 ("images".into(), grids_to_json(images)),
@@ -165,6 +178,7 @@ pub fn encode(msg: &Message) -> String {
             Json::object(fields)
         }
         Message::Ready => Json::object(vec![("type".into(), Json::Str("ready".into()))]),
+        Message::Heartbeat => Json::object(vec![("type".into(), Json::Str("heartbeat".into()))]),
         Message::Step {
             masks,
             shard,
@@ -394,14 +408,17 @@ pub fn decode(text: &str, grid: Option<usize>) -> Result<Message, String> {
                 Some(v) => Some(grids_from_json(v, n, "freeze mask")?),
                 None => None,
             };
+            let heartbeat_ms = num_field(&doc, "heartbeat_ms")? as u64;
             Ok(Message::Init {
                 config,
                 images,
                 labels,
                 freeze,
+                heartbeat_ms,
             })
         }
         "ready" => Ok(Message::Ready),
+        "heartbeat" => Ok(Message::Heartbeat),
         "step" => {
             let n = grid.ok_or("step before init")?;
             Ok(Message::Step {
@@ -461,6 +478,7 @@ mod tests {
             images: vec![noisy_grid(16, &mut rng), noisy_grid(16, &mut rng)],
             labels: vec![3, 7],
             freeze: Some(vec![Grid::full(16, 16, 1.0); 3]),
+            heartbeat_ms: 250,
         };
         assert_eq!(decode(&encode(&msg), None).unwrap(), msg);
         let bare = Message::Init {
@@ -468,6 +486,7 @@ mod tests {
             images: vec![noisy_grid(16, &mut rng)],
             labels: vec![0],
             freeze: None,
+            heartbeat_ms: 0,
         };
         assert_eq!(decode(&encode(&bare), Some(16)).unwrap(), bare);
     }
@@ -497,7 +516,9 @@ mod tests {
                 assert_eq!(a.wgrads, b.wgrads);
                 assert_eq!(a.samples, b.samples);
             }
-            _ => panic!("wrong variant"),
+            // Name what actually arrived so a chaos-test failure is
+            // diagnosable straight from the CI log.
+            (other, _) => panic!("expected Message::Grads back, decoded {other:?}"),
         }
     }
 
@@ -521,7 +542,7 @@ mod tests {
 
     #[test]
     fn control_messages_roundtrip() {
-        for msg in [Message::Ready, Message::Shutdown] {
+        for msg in [Message::Ready, Message::Heartbeat, Message::Shutdown] {
             assert_eq!(decode(&encode(&msg), None).unwrap(), msg);
         }
     }
@@ -553,8 +574,12 @@ mod tests {
             images: vec![],
             labels: vec![],
             freeze: None,
+            heartbeat_ms: 0,
         })
-        .replace("\"protocol\":1", "\"protocol\":99");
+        .replace(
+            &format!("\"protocol\":{PROTOCOL_VERSION}"),
+            "\"protocol\":99",
+        );
         assert!(decode(&text, None).is_err(), "protocol skew");
     }
 }

@@ -3,7 +3,7 @@
 
 use photonn_datasets::Dataset;
 use photonn_donn::train::{
-    shard_gradients, train_with_grad_source, EpochHookFn, EpochStats, ExtraGradFn, TrainOptions,
+    try_train_with_grad_source, EpochHookFn, EpochStats, ExtraGradFn, TrainOptions,
 };
 use photonn_donn::Donn;
 use photonn_math::Grid;
@@ -11,8 +11,7 @@ use std::fmt;
 use std::io;
 use std::sync::Arc;
 
-use crate::shard::shard_batch;
-use crate::tcp::TcpPool;
+use crate::tcp::{FaultConfig, TcpPool};
 use crate::worker::{all_reduce, in_process_shard_grads};
 
 /// How a training run is sharded.
@@ -27,17 +26,29 @@ pub struct DistConfig {
     /// multi-process mode). Peers choose their thread count at launch.
     pub threads_per_worker: usize,
     /// Peer worker addresses (`host:port`). Empty selects the in-process
-    /// pool; non-empty selects loopback-TCP multi-process mode.
+    /// pool; non-empty selects loopback-TCP multi-process mode. Typically
+    /// loaded from a hostfile ([`load_hostfile`]).
     pub peers: Vec<String>,
+    /// Elastic floor: the minimum total worker count (surviving peers
+    /// plus rank 0) the run may shrink to. A confirmed peer loss that
+    /// would drop below this fails the run loudly with
+    /// [`DistError::BelowMinWorkers`] instead of limping on. `0` and `1`
+    /// both mean "rank 0 alone may finish the run".
+    pub min_workers: usize,
+    /// Timeout / heartbeat / reconnect tuning for the TCP transport.
+    /// Ignored in in-process mode.
+    pub fault: FaultConfig,
 }
 
 impl Default for DistConfig {
-    /// Two in-process workers, one FFT thread each.
+    /// Two in-process workers, one FFT thread each, no elastic floor.
     fn default() -> Self {
         DistConfig {
             workers: 2,
             threads_per_worker: 1,
             peers: Vec::new(),
+            min_workers: 1,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -60,18 +71,79 @@ impl DistConfig {
     }
 }
 
-/// Errors from distributed training. In-process mode cannot fail; every
-/// variant originates in the TCP transport or protocol.
+/// Parses hostfile text into a peer address list: one `host:port` per
+/// line, surrounding whitespace trimmed, blank lines and `#` comments
+/// skipped. The file's line order is shard order.
+pub fn parse_hostfile(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Reads a hostfile from disk ([`parse_hostfile`] for the format).
+///
+/// # Errors
+///
+/// Returns the underlying read error, or `InvalidData` when the file
+/// contains no peer addresses at all — an empty hostfile silently
+/// selecting single-process mode would be a misconfiguration trap.
+pub fn load_hostfile(path: &str) -> io::Result<Vec<String>> {
+    let text = std::fs::read_to_string(path)?;
+    let peers = parse_hostfile(&text);
+    if peers.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("hostfile {path} lists no peer addresses"),
+        ));
+    }
+    Ok(peers)
+}
+
+/// Errors from distributed training.
 #[derive(Debug)]
 pub enum DistError {
-    /// Connecting to or talking with a peer failed.
+    /// Connecting to or talking with a peer failed (handshake phase —
+    /// mid-run transport failures are absorbed by the reconnect/re-split
+    /// machinery unless the `min_workers` floor is hit).
     Io(io::Error),
+    /// An in-process shard worker thread panicked; `message` carries the
+    /// panic payload.
+    ShardPanicked {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+        /// The panic message (payload rendered to text).
+        message: String,
+    },
+    /// A confirmed peer loss would shrink the run below the configured
+    /// elastic floor.
+    BelowMinWorkers {
+        /// Address of the peer whose loss tripped the floor.
+        addr: String,
+        /// Worker count (surviving peers + rank 0) after the loss.
+        survivors: usize,
+        /// The configured floor the loss fell through.
+        min_workers: usize,
+    },
 }
 
 impl fmt::Display for DistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DistError::Io(e) => write!(f, "distributed training failed: {e}"),
+            DistError::ShardPanicked { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
+            DistError::BelowMinWorkers {
+                addr,
+                survivors,
+                min_workers,
+            } => write!(
+                f,
+                "peer {addr} confirmed lost: {survivors} worker(s) remain, \
+                 below the --min-workers floor of {min_workers}"
+            ),
         }
     }
 }
@@ -80,6 +152,7 @@ impl std::error::Error for DistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DistError::Io(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -94,16 +167,20 @@ impl From<io::Error> for DistError {
 /// [`photonn_donn::train::batched_gradients`] contract — the single-step
 /// entry point benchmarks and property tests drive directly.
 ///
+/// # Errors
+///
+/// Returns [`DistError::ShardPanicked`] when a worker thread panics.
+///
 /// # Panics
 ///
-/// Panics if `batch` is empty or on model/dataset shape mismatches.
+/// Panics if `batch` is empty.
 pub fn sharded_gradients(
     donn: &Donn,
     data: &Dataset,
     batch: &[usize],
     freeze: Option<&[Arc<Grid>]>,
     dist: &DistConfig,
-) -> (Vec<Grid>, f64) {
+) -> Result<(Vec<Grid>, f64), DistError> {
     let parts = in_process_shard_grads(
         donn,
         data,
@@ -111,8 +188,8 @@ pub fn sharded_gradients(
         freeze,
         dist.workers,
         dist.threads_per_worker,
-    );
-    all_reduce(parts, donn.masks(), freeze)
+    )?;
+    Ok(all_reduce(parts, donn.masks(), freeze))
 }
 
 /// Data-parallel [`photonn_donn::train::train_with`]: every mini-batch is
@@ -124,19 +201,25 @@ pub fn sharded_gradients(
 /// on rank 0, so the sharded run follows the exact single-process training
 /// schedule — same seed, same batches, same updates.
 ///
+/// In TCP mode the run is *elastic*: a peer that stops responding for
+/// longer than the fault config's timeout is re-dialed within a bounded
+/// window, and on confirmed loss its shard is deterministically re-split
+/// over the survivors (see the crate docs for the failure model). Only
+/// the `min_workers` floor or a handshake failure ends the run early.
+///
 /// `epoch_hook` observes each completed epoch's [`EpochStats`].
 ///
 /// # Errors
 ///
-/// Returns [`DistError`] when a peer cannot be reached or violates the
-/// protocol during the handshake. A peer failing **mid-run** aborts the
-/// process with a panic instead: silently continuing on fewer shards would
-/// change the gradient stream and break the determinism contract.
+/// [`DistError::Io`] when a peer cannot be reached during the initial
+/// handshake; [`DistError::BelowMinWorkers`] when confirmed mid-run
+/// losses shrink the run below `dist.min_workers`;
+/// [`DistError::ShardPanicked`] when an in-process worker panics. The
+/// model's masks and optimizer state are left at the last completed step.
 ///
 /// # Panics
 ///
-/// Panics on model/dataset shape mismatches, or on a mid-run peer failure
-/// (see above).
+/// Panics on model/dataset shape mismatches.
 pub fn train_with_sharded(
     donn: &mut Donn,
     data: &Dataset,
@@ -147,7 +230,7 @@ pub fn train_with_sharded(
     epoch_hook: Option<EpochHookFn<'_>>,
 ) -> Result<Vec<EpochStats>, DistError> {
     if dist.peers.is_empty() {
-        let stats = train_with_grad_source(
+        return try_train_with_grad_source(
             donn,
             data,
             opts,
@@ -156,50 +239,27 @@ pub fn train_with_sharded(
             |donn, data, batch| sharded_gradients(donn, data, batch, freeze, dist),
             epoch_hook,
         );
-        return Ok(stats);
     }
 
-    let workers = dist.peers.len() + 1;
-    let mut pool = TcpPool::connect(&dist.peers, donn.config(), data, freeze)?;
-    let stats = train_with_grad_source(
+    let mut pool = TcpPool::connect(&dist.peers, donn.config(), data, freeze, dist.fault.clone())?;
+    let stats = try_train_with_grad_source(
         donn,
         data,
         opts,
         freeze,
         extra_grad,
         |donn, data, batch| {
-            let shards = shard_batch(batch, workers);
-            let denom = batch.len();
-            // Ship the remote shards first so the peers crunch while rank 0
-            // computes shard 0 on this thread.
-            {
-                let _span = photonn_trace::span("dist.wire_serialize");
-                pool.send_steps(donn.masks(), &shards[1..], denom)
-                    .expect("peer failed mid-run (send)");
-            }
-            let local = {
-                let _span = photonn_trace::span("dist.shard_compute");
-                shard_gradients(
-                    donn,
-                    data,
-                    shards[0],
-                    freeze,
-                    dist.threads_per_worker,
-                    denom,
-                )
-            };
-            let mut parts = vec![local];
-            {
-                let _span = photonn_trace::span("dist.allreduce_wait");
-                parts.extend(
-                    pool.collect_grads(shards.len() - 1)
-                        .expect("peer failed mid-run (collect)"),
-                );
-            }
-            all_reduce(parts, donn.masks(), freeze)
+            pool.elastic_step(
+                donn,
+                data,
+                batch,
+                freeze,
+                dist.threads_per_worker,
+                dist.min_workers,
+            )
         },
         epoch_hook,
-    );
+    )?;
     pool.shutdown();
     Ok(stats)
 }
@@ -217,4 +277,30 @@ pub fn train_sharded(
     dist: &DistConfig,
 ) -> Result<Vec<EpochStats>, DistError> {
     train_with_sharded(donn, data, opts, None, None, dist, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostfile_parsing_skips_blanks_and_comments() {
+        let text = "# chaos rig peers\n 127.0.0.1:9001 \n\n127.0.0.1:9002\n   # trailing note\n";
+        assert_eq!(
+            parse_hostfile(text),
+            vec!["127.0.0.1:9001".to_string(), "127.0.0.1:9002".to_string()]
+        );
+        assert!(parse_hostfile("# only comments\n\n").is_empty());
+    }
+
+    #[test]
+    fn hostfile_without_peers_is_a_loud_error() {
+        let dir = std::env::temp_dir().join("photonn_hostfile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty_hosts");
+        std::fs::write(&path, "# no peers here\n").unwrap();
+        let err = load_hostfile(path.to_str().unwrap()).expect_err("empty hostfile must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -10,6 +10,20 @@ use photonn_math::Grid;
 use std::sync::Arc;
 
 use crate::shard::shard_batch;
+use crate::train::DistError;
+
+/// Renders a worker thread's panic payload for [`DistError::ShardPanicked`]
+/// — `&str` and `String` payloads verbatim (the overwhelmingly common
+/// case: `assert!`/`panic!` messages), anything else by type opacity.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Computes every shard's [`MaskGrads`] for one mini-batch on in-process
 /// worker threads — one thread per shard, each building its own tape with
@@ -18,9 +32,16 @@ use crate::shard::shard_batch;
 /// shard order regardless of completion order, so the downstream reduce is
 /// deterministic.
 ///
+/// # Errors
+///
+/// A worker thread that panics (a shape mismatch surfacing inside the
+/// tape, say) is reported as [`DistError::ShardPanicked`] naming the shard
+/// and carrying the panic message — every other worker is still joined
+/// first, so no thread outlives the call.
+///
 /// # Panics
 ///
-/// Panics if `batch` is empty, or propagates a worker panic.
+/// Panics if `batch` is empty.
 pub fn in_process_shard_grads(
     donn: &Donn,
     data: &Dataset,
@@ -28,23 +49,23 @@ pub fn in_process_shard_grads(
     freeze: Option<&[Arc<Grid>]>,
     workers: usize,
     threads_per_worker: usize,
-) -> Vec<MaskGrads> {
+) -> Result<Vec<MaskGrads>, DistError> {
     assert!(!batch.is_empty(), "empty batch");
     let shards = shard_batch(batch, workers);
     let denom = batch.len();
     if shards.len() == 1 {
         // Degenerate pool: no thread spawn, identical arithmetic.
         let _span = photonn_trace::span("dist.shard_compute");
-        return vec![shard_gradients(
+        return Ok(vec![shard_gradients(
             donn,
             data,
             shards[0],
             freeze,
             threads_per_worker,
             denom,
-        )];
+        )]);
     }
-    std::thread::scope(|scope| {
+    let joined: Vec<Result<MaskGrads, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .map(|&shard| {
@@ -55,13 +76,20 @@ pub fn in_process_shard_grads(
             })
             .collect();
         // The join is the all-reduce wait: rank 0 idles here until the
-        // slowest shard finishes.
+        // slowest shard finishes. Every handle is joined even when an
+        // early one panicked, so a failure never leaves threads running
+        // (and `scope` never sees an unconsumed panic to re-raise).
         let _wait = photonn_trace::span("dist.allreduce_wait");
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| h.join().map_err(panic_message))
             .collect()
-    })
+    });
+    joined
+        .into_iter()
+        .enumerate()
+        .map(|(shard, r)| r.map_err(|message| DistError::ShardPanicked { shard, message }))
+        .collect()
 }
 
 /// The all-reduce: combines per-shard buffers (in shard order) with the
@@ -106,7 +134,8 @@ mod tests {
         let batch: Vec<usize> = (0..8).collect();
         let (reference, ref_loss) = batched_gradients(&donn, &data, &batch, None, 1);
         for workers in [1usize, 2, 4, 8] {
-            let parts = in_process_shard_grads(&donn, &data, &batch, None, workers, 1);
+            let parts = in_process_shard_grads(&donn, &data, &batch, None, workers, 1)
+                .expect("healthy shards");
             let (grads, loss) = all_reduce(parts, donn.masks(), None);
             assert_eq!(grads, reference, "{workers} equal power-of-two shards");
             // The loss scalar is a diagnostic: each shard folds its own
@@ -122,7 +151,8 @@ mod tests {
         let batch: Vec<usize> = (0..7).collect();
         let (reference, ref_loss) = batched_gradients(&donn, &data, &batch, None, 1);
         for workers in [2usize, 3, 5, 7, 9] {
-            let parts = in_process_shard_grads(&donn, &data, &batch, None, workers, 1);
+            let parts = in_process_shard_grads(&donn, &data, &batch, None, workers, 1)
+                .expect("healthy shards");
             let (grads, loss) = all_reduce(parts, donn.masks(), None);
             assert!((loss - ref_loss).abs() < 1e-12, "{workers} workers");
             for (g, r) in grads.iter().zip(&reference) {
@@ -137,13 +167,32 @@ mod tests {
         let (donn, data) = setup(16, 6, 13);
         let batch: Vec<usize> = (0..6).collect();
         let base = {
-            let parts = in_process_shard_grads(&donn, &data, &batch, None, 3, 1);
+            let parts =
+                in_process_shard_grads(&donn, &data, &batch, None, 3, 1).expect("healthy shards");
             all_reduce(parts, donn.masks(), None)
         };
         for threads in [2usize, 4] {
-            let parts = in_process_shard_grads(&donn, &data, &batch, None, 3, threads);
+            let parts = in_process_shard_grads(&donn, &data, &batch, None, 3, threads)
+                .expect("healthy shards");
             let got = all_reduce(parts, donn.masks(), None);
             assert_eq!(got, base, "{threads} threads per worker");
+        }
+    }
+
+    #[test]
+    fn shard_panic_surfaces_as_typed_error_naming_the_shard() {
+        // An out-of-range dataset index makes exactly one worker panic;
+        // the pool must report it as ShardPanicked, not a nested panic.
+        let (donn, data) = setup(16, 4, 14);
+        let batch: Vec<usize> = vec![0, 1, 2, 999];
+        let err = in_process_shard_grads(&donn, &data, &batch, None, 2, 1)
+            .expect_err("shard 1 holds the bad index");
+        match err {
+            DistError::ShardPanicked { shard, message } => {
+                assert_eq!(shard, 1, "bad index lives in the second shard");
+                assert!(!message.is_empty(), "panic message captured");
+            }
+            other => panic!("expected ShardPanicked, got {other:?}"),
         }
     }
 }

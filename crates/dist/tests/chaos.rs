@@ -1,0 +1,323 @@
+//! The fault-tolerance contract under deterministic fault injection.
+//!
+//! Every test runs real loopback-TCP training with each peer behind a
+//! [`ChaosProxy`] executing a seeded or hand-written [`ChaosSchedule`],
+//! then asserts **bit-identical masks** against an in-process oracle run:
+//!
+//! * recoverable faults (drops, delays, truncated frames) must be
+//!   invisible — reconnect restores the session and the retried step
+//!   recomputes the same gradients;
+//! * a killed peer must shrink the run onto the survivors such that every
+//!   post-loss step is exactly what a fresh run with the surviving worker
+//!   count would compute from the same state;
+//! * losses below `min_workers` must fail loudly, not limp.
+//!
+//! Determinism note: no assertion in this file races a timer. Faults are
+//! injected as closed connections/sessions (immediate, scheduler-
+//! independent), dead-peer *timeouts* are set far above any real delay in
+//! the tests, and the only waiting — the reconnect window of a killed
+//! peer — has a deterministic outcome because a killed proxy refuses
+//! every session while keeping its port bound. Running the suite twice in
+//! a row (as CI's `dist-chaos` job does) must produce identical results.
+
+use photonn_datasets::{Dataset, Family};
+use photonn_dist::chaos::{ChaosAction, ChaosEvent, ChaosProxy, ChaosSchedule, Direction};
+use photonn_dist::{
+    serve_peer_forever, sharded_gradients, train_with_sharded, DistConfig, DistError, FaultConfig,
+};
+use photonn_donn::train::{train_with_grad_source, EpochStats, TrainOptions};
+use photonn_donn::{Donn, DonnConfig};
+use photonn_math::Rng;
+use std::net::TcpListener;
+
+fn setup(grid: usize, samples: usize, seed: u64) -> (Donn, Dataset) {
+    let donn = Donn::random(DonnConfig::scaled(grid), &mut Rng::seed_from(seed));
+    let data = Dataset::synthetic(Family::Mnist, samples, seed).resized(grid);
+    (donn, data)
+}
+
+/// 16 samples, batch 8 → exactly 2 optimizer steps per epoch, so "the
+/// first step of epoch E" is step index 2·E — the epoch-boundary hook the
+/// kill tests rely on.
+fn train_opts(epochs: usize) -> TrainOptions {
+    TrainOptions {
+        epochs,
+        batch_size: 8,
+        learning_rate: 0.08,
+        ..TrainOptions::default()
+    }
+}
+
+/// Spawns a keep-alive peer worker on an ephemeral port (sessions served
+/// back to back, which is what makes reconnection possible) and returns
+/// its address. The thread is detached; it dies with the test process.
+fn spawn_peer() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind peer");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = serve_peer_forever(&listener, 1);
+    });
+    addr
+}
+
+/// Fault tuning for chaos runs: heartbeats on and frequent, the dead-peer
+/// timeout far above any injected delay (failures arrive as closed
+/// connections, never as timer races), reconnects fast.
+fn chaos_fault() -> FaultConfig {
+    FaultConfig {
+        heartbeat_ms: 20,
+        peer_timeout_ms: 5_000,
+        reconnect_window_ms: 2_000,
+        reconnect_backoff_ms: 25,
+    }
+}
+
+/// Same, with a short reconnect window: a killed proxy refuses every
+/// session deterministically, so the window only adds wall time before
+/// the inevitable confirmed loss.
+fn kill_fault() -> FaultConfig {
+    FaultConfig {
+        reconnect_window_ms: 250,
+        reconnect_backoff_ms: 50,
+        ..chaos_fault()
+    }
+}
+
+/// A TCP training run against the given (proxy) addresses.
+fn run_tcp(
+    donn: &Donn,
+    data: &Dataset,
+    opts: &TrainOptions,
+    peers: Vec<String>,
+    fault: FaultConfig,
+    min_workers: usize,
+) -> Result<(Donn, Vec<EpochStats>), DistError> {
+    let mut model = donn.clone();
+    let dist = DistConfig {
+        threads_per_worker: 1,
+        peers,
+        min_workers,
+        fault,
+        ..DistConfig::default()
+    };
+    let stats = train_with_sharded(&mut model, data, opts, None, None, &dist, None)?;
+    Ok((model, stats))
+}
+
+/// The oracle: an in-process run whose worker count per step follows
+/// `workers_at(step)`. Because TCP transport is bit-identical to the
+/// in-process pool at equal worker count, this *is* "a fresh run with the
+/// surviving worker count from the same post-loss state" for elastic
+/// comparisons.
+fn run_oracle(
+    donn: &Donn,
+    data: &Dataset,
+    opts: &TrainOptions,
+    workers_at: impl Fn(usize) -> usize,
+) -> (Donn, Vec<EpochStats>) {
+    let mut model = donn.clone();
+    let mut step = 0usize;
+    let stats = train_with_grad_source(
+        &mut model,
+        data,
+        opts,
+        None,
+        None,
+        |donn, data, batch| {
+            let workers = workers_at(step);
+            step += 1;
+            sharded_gradients(donn, data, batch, None, &DistConfig::in_process(workers))
+                .expect("healthy shards")
+        },
+        None,
+    );
+    (model, stats)
+}
+
+fn assert_bit_identical(got: &Donn, want: &Donn, label: &str) {
+    for (layer, (g, w)) in got.masks().iter().zip(want.masks()).enumerate() {
+        assert_eq!(g, w, "{label}: mask layer {layer} diverged");
+    }
+}
+
+fn assert_stats_equal(got: &[EpochStats], want: &[EpochStats], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: epoch count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.epoch, w.epoch, "{label}");
+        assert_eq!(
+            g.mean_loss.to_bits(),
+            w.mean_loss.to_bits(),
+            "{label}: epoch {} loss",
+            g.epoch
+        );
+    }
+}
+
+#[test]
+fn passthrough_proxies_are_invisible() {
+    let (donn, data) = setup(16, 16, 7001);
+    let opts = train_opts(2);
+    let proxies: Vec<ChaosProxy> = (0..2)
+        .map(|_| ChaosProxy::spawn(spawn_peer(), ChaosSchedule::passthrough()).expect("proxy"))
+        .collect();
+    let addrs = proxies.iter().map(|p| p.addr()).collect();
+    let (tcp, tcp_stats) =
+        run_tcp(&donn, &data, &opts, addrs, chaos_fault(), 1).expect("clean run");
+    let (oracle, oracle_stats) = run_oracle(&donn, &data, &opts, |_| 3);
+    assert_bit_identical(&tcp, &oracle, "passthrough");
+    assert_stats_equal(&tcp_stats, &oracle_stats, "passthrough");
+    assert!(proxies.iter().all(|p| !p.killed()));
+}
+
+#[test]
+fn drops_delays_and_truncations_recover_bit_identically() {
+    // Peer A: one delayed gradients frame, then its *second* step frame is
+    // swallowed with the connection. Peer B: its third gradients frame is
+    // truncated mid-payload. All recoverable: rank 0 reconnects (the
+    // proxies keep listening, the peers keep serving) and retries each
+    // interrupted step, so membership never shrinks and the run must be
+    // bit-identical to an undisturbed 3-worker run.
+    let (donn, data) = setup(16, 16, 7002);
+    let opts = train_opts(2);
+    let schedule_a = ChaosSchedule::new(vec![
+        ChaosEvent {
+            direction: Direction::FromPeer,
+            message_type: "grads".to_string(),
+            occurrence: 0,
+            action: ChaosAction::DelayMs(30),
+        },
+        ChaosEvent {
+            direction: Direction::ToPeer,
+            message_type: "step".to_string(),
+            occurrence: 1,
+            action: ChaosAction::DropConnection,
+        },
+    ]);
+    let schedule_b = ChaosSchedule::new(vec![ChaosEvent {
+        direction: Direction::FromPeer,
+        message_type: "grads".to_string(),
+        occurrence: 2,
+        action: ChaosAction::Truncate,
+    }]);
+    let proxy_a = ChaosProxy::spawn(spawn_peer(), schedule_a).expect("proxy a");
+    let proxy_b = ChaosProxy::spawn(spawn_peer(), schedule_b).expect("proxy b");
+    let (tcp, tcp_stats) = run_tcp(
+        &donn,
+        &data,
+        &opts,
+        vec![proxy_a.addr(), proxy_b.addr()],
+        chaos_fault(),
+        3, // even the floor at "everyone" must hold: nobody is lost
+    )
+    .expect("faults recover");
+    let (oracle, oracle_stats) = run_oracle(&donn, &data, &opts, |_| 3);
+    assert_bit_identical(&tcp, &oracle, "recoverable faults");
+    assert_stats_equal(&tcp_stats, &oracle_stats, "recoverable faults");
+    assert!(!proxy_a.killed() && !proxy_b.killed());
+}
+
+#[test]
+fn peer_killed_at_epoch_boundary_matches_fresh_survivor_run() {
+    // The elastic acceptance case: a 3-worker run (rank 0 + 2 peers) loses
+    // one peer exactly at the epoch-1→2 boundary — the kill fires on the
+    // peer's third step frame, i.e. the first step of epoch 2 (2 steps per
+    // epoch). The run must complete and its masks must be bit-identical to
+    // a run that computes steps 0–1 with 3 workers and everything after
+    // with 2 — which, because each step is a pure function of (masks,
+    // batch, worker count), is exactly a fresh 2-worker run from the same
+    // post-loss state.
+    let (donn, data) = setup(16, 16, 7003);
+    let opts = train_opts(3);
+    let proxy_a = ChaosProxy::spawn(spawn_peer(), ChaosSchedule::passthrough()).expect("proxy a");
+    let proxy_b = ChaosProxy::spawn(
+        spawn_peer(),
+        ChaosSchedule::new(vec![ChaosEvent {
+            direction: Direction::ToPeer,
+            message_type: "step".to_string(),
+            occurrence: 2,
+            action: ChaosAction::KillPeer,
+        }]),
+    )
+    .expect("proxy b");
+    let (tcp, tcp_stats) = run_tcp(
+        &donn,
+        &data,
+        &opts,
+        vec![proxy_a.addr(), proxy_b.addr()],
+        kill_fault(),
+        2, // losing one of three is allowed; the floor sits at two
+    )
+    .expect("run survives the kill");
+    assert!(proxy_b.killed(), "kill event fired");
+    assert!(!proxy_a.killed());
+    let (oracle, oracle_stats) =
+        run_oracle(&donn, &data, &opts, |step| if step < 2 { 3 } else { 2 });
+    assert_bit_identical(&tcp, &oracle, "epoch-boundary kill");
+    assert_stats_equal(&tcp_stats, &oracle_stats, "epoch-boundary kill");
+}
+
+#[test]
+fn loss_below_min_workers_floor_fails_loudly() {
+    // Rank 0 + 1 peer with min_workers = 2: the peer's death must not be
+    // absorbed — the run has to end in BelowMinWorkers naming the lost
+    // peer, with rank 0's model left at the last completed step rather
+    // than silently finishing alone.
+    let (donn, data) = setup(16, 16, 7004);
+    let opts = train_opts(2);
+    let proxy = ChaosProxy::spawn(
+        spawn_peer(),
+        ChaosSchedule::new(vec![ChaosEvent {
+            direction: Direction::ToPeer,
+            message_type: "step".to_string(),
+            occurrence: 1,
+            action: ChaosAction::KillPeer,
+        }]),
+    )
+    .expect("proxy");
+    let err = run_tcp(&donn, &data, &opts, vec![proxy.addr()], kill_fault(), 2)
+        .expect_err("the floor must trip");
+    match err {
+        DistError::BelowMinWorkers {
+            addr,
+            survivors,
+            min_workers,
+        } => {
+            assert_eq!(addr, proxy.addr(), "names the lost peer");
+            assert_eq!(survivors, 1);
+            assert_eq!(min_workers, 2);
+        }
+        other => panic!("expected BelowMinWorkers, got {other:?}"),
+    }
+    assert!(proxy.killed());
+}
+
+#[test]
+fn seeded_schedules_are_reproducible_and_harmless() {
+    // The seeded generator draws only recoverable faults, so *any* seeded
+    // schedule must leave training bit-identical to an undisturbed run —
+    // and the same seed must describe the same faults, which is what lets
+    // CI re-run the suite and demand identical outcomes.
+    assert_eq!(
+        ChaosSchedule::seeded(20230710, 4),
+        ChaosSchedule::seeded(20230710, 4),
+        "seeded schedules are pure functions of the seed"
+    );
+    let (donn, data) = setup(16, 16, 7005);
+    let opts = train_opts(3);
+    let proxy_a =
+        ChaosProxy::spawn(spawn_peer(), ChaosSchedule::seeded(20230710, 4)).expect("proxy a");
+    let proxy_b = ChaosProxy::spawn(spawn_peer(), ChaosSchedule::seeded(998, 4)).expect("proxy b");
+    let (tcp, tcp_stats) = run_tcp(
+        &donn,
+        &data,
+        &opts,
+        vec![proxy_a.addr(), proxy_b.addr()],
+        chaos_fault(),
+        3,
+    )
+    .expect("seeded faults recover");
+    let (oracle, oracle_stats) = run_oracle(&donn, &data, &opts, |_| 3);
+    assert_bit_identical(&tcp, &oracle, "seeded chaos");
+    assert_stats_equal(&tcp_stats, &oracle_stats, "seeded chaos");
+    assert!(!proxy_a.killed() && !proxy_b.killed());
+}

@@ -12,9 +12,11 @@
 use photonn_datasets::{Dataset, Family};
 use photonn_dist::{
     all_reduce, in_process_shard_grads, serve_peer_once, shard_batch, sharded_gradients,
-    train_sharded, DistConfig, TcpPool,
+    train_sharded, DistConfig, FaultConfig, TcpPool,
 };
-use photonn_donn::train::{batched_gradients, shard_gradients, train, TrainOptions};
+use photonn_donn::train::{
+    batched_gradients, shard_gradients, train, train_with_grad_source, TrainOptions,
+};
 use photonn_donn::{Donn, DonnConfig};
 use photonn_math::{Grid, Rng};
 use std::net::TcpListener;
@@ -45,7 +47,8 @@ fn property_sharded_matches_single_tape_below_1e12() {
 
         let (reference, ref_loss) = batched_gradients(&donn, &data, &batch, None, 1);
         let dist = DistConfig::in_process(workers);
-        let (grads, loss) = sharded_gradients(&donn, &data, &batch, None, &dist);
+        let (grads, loss) =
+            sharded_gradients(&donn, &data, &batch, None, &dist).expect("healthy shards");
 
         assert!(
             (loss - ref_loss).abs() < 1e-12,
@@ -75,7 +78,8 @@ fn equal_power_of_two_splits_are_bit_identical() {
                 continue;
             }
             let dist = DistConfig::in_process(workers);
-            let (grads, _) = sharded_gradients(&donn, &data, &batch, None, &dist);
+            let (grads, _) =
+                sharded_gradients(&donn, &data, &batch, None, &dist).expect("healthy shards");
             assert_eq!(
                 grads, reference,
                 "grid {grid}, batch {batch_size}, {workers} workers"
@@ -101,7 +105,8 @@ fn freeze_masks_survive_sharding() {
         &batch,
         Some(&freeze),
         &DistConfig::in_process(2),
-    );
+    )
+    .expect("healthy shards");
     assert_eq!(grads, reference, "2 equal shards with freeze");
     for g in &grads {
         assert_eq!(g[(3, 3)], 0.0);
@@ -118,7 +123,8 @@ fn degenerate_splits_clamp_cleanly() {
     let (reference, _) = batched_gradients(&donn, &data, &batch, None, 1);
     for workers in [0usize, 3, 5, 64] {
         let (grads, _) =
-            sharded_gradients(&donn, &data, &batch, None, &DistConfig::in_process(workers));
+            sharded_gradients(&donn, &data, &batch, None, &DistConfig::in_process(workers))
+                .expect("healthy shards");
         for (g, r) in grads.iter().zip(&reference) {
             assert!(g.max_abs_diff(r) < 1e-12, "{workers} workers");
         }
@@ -128,7 +134,8 @@ fn degenerate_splits_clamp_cleanly() {
     let (reference, _) = batched_gradients(&donn, &data, &one, None, 1);
     for workers in [1usize, 2, 9] {
         let (grads, _) =
-            sharded_gradients(&donn, &data, &one, None, &DistConfig::in_process(workers));
+            sharded_gradients(&donn, &data, &one, None, &DistConfig::in_process(workers))
+                .expect("healthy shards");
         assert_eq!(grads, reference, "{workers} workers, singleton batch");
     }
 }
@@ -154,7 +161,8 @@ fn tcp_transport_is_bit_identical_to_in_process() {
         .map(|l| std::thread::spawn(move || serve_peer_once(&l, 1).expect("peer session")))
         .collect();
 
-    let mut pool = TcpPool::connect(&addrs, donn.config(), &data, None).expect("connect");
+    let mut pool = TcpPool::connect(&addrs, donn.config(), &data, None, FaultConfig::default())
+        .expect("connect");
     let shards = shard_batch(&batch, workers);
     pool.send_steps(donn.masks(), &shards[1..], batch.len())
         .expect("send");
@@ -167,7 +175,8 @@ fn tcp_transport_is_bit_identical_to_in_process() {
         t.join().expect("peer thread");
     }
 
-    let in_proc_parts = in_process_shard_grads(&donn, &data, &batch, None, workers, 1);
+    let in_proc_parts =
+        in_process_shard_grads(&donn, &data, &batch, None, workers, 1).expect("healthy shards");
     let (ip_grads, ip_loss) = all_reduce(in_proc_parts, donn.masks(), None);
     assert_eq!(tcp_grads, ip_grads, "TCP vs in-process gradients");
     assert_eq!(
@@ -217,6 +226,90 @@ fn sharded_training_run_reproduces_single_process_masks_bitwise() {
         assert!((s.mean_loss - d.mean_loss).abs() < 1e-12);
         assert!((s.penalty - d.penalty).abs() < 1e-12);
     }
+}
+
+#[test]
+fn property_resplit_after_losing_any_worker_equals_fresh_split() {
+    // The elastic re-split contract: when worker k of N is confirmed lost,
+    // the surviving run re-plans every batch with `shard_batch(batch, N−1)`
+    // — which must be *the* plan a fresh (N−1)-worker run would produce,
+    // for every N ≤ 8, every lost rank k, and ragged batch lengths. The
+    // shard plan depends only on (batch, worker count), never on which
+    // rank disappeared, so the post-loss gradient stream is the fresh
+    // run's stream.
+    for n in 2usize..=8 {
+        for len in [1usize, 2, 3, 5, 7, 8, 9, 13, 16, 31] {
+            let batch: Vec<usize> = (0..len).map(|i| i * 3 + 1).collect();
+            let fresh: Vec<Vec<usize>> = shard_batch(&batch, n - 1)
+                .iter()
+                .map(|s| s.to_vec())
+                .collect();
+            for lost_rank in 0..n {
+                let resplit: Vec<Vec<usize>> = shard_batch(&batch, n - 1)
+                    .iter()
+                    .map(|s| s.to_vec())
+                    .collect();
+                assert_eq!(
+                    resplit, fresh,
+                    "N={n}, lost rank {lost_rank}, batch len {len}"
+                );
+            }
+            // And the plan still concatenates back to the batch.
+            let flat: Vec<usize> = fresh.into_iter().flatten().collect();
+            assert_eq!(flat, batch, "N={n}, batch len {len}");
+        }
+    }
+}
+
+#[test]
+fn property_mid_run_membership_change_keeps_gradient_parity() {
+    // A full training run whose worker count changes mid-run (4 → 3 → 1,
+    // at fixed step indices — the in-process mirror of peers being lost),
+    // checked per step against the single-tape batched gradients: the
+    // all-reduced gradient must stay within 1e-12 of the oracle at every
+    // membership, including the steps straddling each change.
+    let (donn, data) = setup(16, 30, 456);
+    let opts = TrainOptions {
+        epochs: 2,
+        batch_size: 10,
+        learning_rate: 0.08,
+        ..TrainOptions::default()
+    };
+    let mut model = donn.clone();
+    let mut step = 0usize;
+    train_with_grad_source(
+        &mut model,
+        &data,
+        &opts,
+        None,
+        None,
+        |donn, data, batch| {
+            let workers = match step {
+                0..=1 => 4,
+                2..=3 => 3,
+                _ => 1,
+            };
+            step += 1;
+            let (oracle, oracle_loss) = batched_gradients(donn, data, batch, None, 1);
+            let (grads, loss) =
+                sharded_gradients(donn, data, batch, None, &DistConfig::in_process(workers))
+                    .expect("healthy shards");
+            assert!(
+                (loss - oracle_loss).abs() < 1e-12,
+                "step {step}: loss {loss} vs {oracle_loss} at {workers} workers"
+            );
+            for (layer, (g, r)) in grads.iter().zip(&oracle).enumerate() {
+                let diff = g.max_abs_diff(r);
+                assert!(
+                    diff < 1e-12,
+                    "step {step}, layer {layer}, {workers} workers: max diff {diff}"
+                );
+            }
+            (grads, loss)
+        },
+        None,
+    );
+    assert_eq!(step, 6, "2 epochs × 3 batches all passed the oracle");
 }
 
 #[test]

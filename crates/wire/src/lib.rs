@@ -21,5 +21,5 @@
 pub mod frame;
 pub mod json;
 
-pub use frame::{read_frame, write_frame, FrameError};
+pub use frame::{is_timeout, read_frame, write_frame, FrameError};
 pub use json::{Json, JsonError};

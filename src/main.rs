@@ -8,7 +8,8 @@
 //!               [--threads N] [--cache-mb 64] [--levels 8] [--crosstalk 0.1]
 //! photonn train [--grid 32] [--samples 600] [--epochs 3] [--batch 25]
 //!               [--lr 0.05] [--seed 7] [--workers N] [--threads T]
-//!               [--peers host:port,host:port,...] [--trace out.json]
+//!               [--peers host:port,host:port,...] [--hostfile PATH]
+//!               [--min-workers N] [--trace out.json]
 //! photonn dist-worker [--addr 127.0.0.1:0] [--threads T] [--keep-alive]
 //! photonn bench-report [--dir .] [--trace FILE [--require a,b,c]]
 //! ```
@@ -187,6 +188,8 @@ struct TrainCliOptions {
     workers: usize,
     threads: usize,
     peers: Vec<String>,
+    hostfile: Option<String>,
+    min_workers: usize,
     trace: Option<String>,
 }
 
@@ -202,6 +205,8 @@ impl Default for TrainCliOptions {
             workers: 1,
             threads: 1,
             peers: Vec::new(),
+            hostfile: None,
+            min_workers: 1,
             trace: None,
         }
     }
@@ -211,7 +216,8 @@ fn train_usage_error(message: String) -> ! {
     eprintln!("photonn train: {message}");
     eprintln!("usage: photonn train [--grid N] [--samples S] [--epochs E] [--batch B]");
     eprintln!("                     [--lr LR] [--seed S] [--workers N] [--threads T]");
-    eprintln!("                     [--peers host:port,host:port,...] [--trace out.json]");
+    eprintln!("                     [--peers host:port,host:port,...] [--hostfile PATH]");
+    eprintln!("                     [--min-workers N] [--trace out.json]");
     std::process::exit(2);
 }
 
@@ -245,6 +251,13 @@ fn parse_train_options(args: &[String]) -> TrainCliOptions {
                     .map(String::from)
                     .collect();
             }
+            "--hostfile" => {
+                opts.hostfile =
+                    Some(value.unwrap_or_else(|| {
+                        train_usage_error("--hostfile requires a value".into())
+                    }));
+            }
+            "--min-workers" => opts.min_workers = parsed_or(flag, value, train_usage_error),
             other => train_usage_error(format!("unknown flag '{other}'")),
         }
         i += 2;
@@ -260,16 +273,37 @@ fn train_cmd(args: &[String]) {
         photonn::trace::set_enabled(true);
     }
     let tracing = photonn::trace::enabled();
+    // --hostfile and --peers both name the peer topology; giving both
+    // would leave shard order ambiguous, so refuse.
+    if opts.hostfile.is_some() && !opts.peers.is_empty() {
+        train_usage_error("--hostfile and --peers are mutually exclusive".into());
+    }
+    let peers = match &opts.hostfile {
+        Some(path) => photonn::dist::load_hostfile(path).unwrap_or_else(|e| {
+            eprintln!("photonn train: {e}");
+            std::process::exit(1);
+        }),
+        None => opts.peers.clone(),
+    };
     // In peer mode the shard count is fixed by the topology: rank 0 plus
     // one shard per peer.
+    let workers = if peers.is_empty() {
+        opts.workers
+    } else {
+        peers.len() + 1
+    };
+    if opts.min_workers > workers {
+        train_usage_error(format!(
+            "--min-workers {} exceeds the starting worker count {workers}",
+            opts.min_workers
+        ));
+    }
     let dist = DistConfig {
-        workers: if opts.peers.is_empty() {
-            opts.workers
-        } else {
-            opts.peers.len() + 1
-        },
+        workers,
         threads_per_worker: opts.threads,
-        peers: opts.peers.clone(),
+        peers,
+        min_workers: opts.min_workers,
+        ..DistConfig::default()
     };
     println!(
         "training on synthetic digits: grid {} | {} samples | {} epochs | batch {} | {} worker(s){}",
