@@ -101,7 +101,7 @@ pub fn headline_metrics(doc: &Json) -> Result<Vec<MetricSample>, String> {
                 .collect()
         }
         "serving" => {
-            let entry_metric = |entry: &Json| -> Result<MetricSample, String> {
+            let entry_metrics = |entry: &Json| -> Result<Vec<MetricSample>, String> {
                 let grid = entry
                     .get("grid")
                     .and_then(Json::as_usize)
@@ -118,16 +118,42 @@ pub fn headline_metrics(doc: &Json) -> Result<Vec<MetricSample>, String> {
                     .get("req_per_sec")
                     .and_then(Json::as_f64)
                     .ok_or("serving dynamic policy: missing req_per_sec")?;
-                Ok(MetricSample {
+                let mut samples = vec![MetricSample {
                     grid,
                     metric: "dynamic_req_per_sec".into(),
                     value,
-                })
+                }];
+                // Open-loop saturation (optional: older documents predate
+                // it). The connection count is part of the metric name —
+                // a 1k smoke and a 10k soak are different workloads and
+                // must gate against their own baselines.
+                if let Some(open_loop) = entry.get("open_loop") {
+                    let conns = open_loop
+                        .get("connections")
+                        .and_then(Json::as_usize)
+                        .ok_or("serving open_loop: missing connections")?;
+                    let value = open_loop
+                        .get("req_per_sec")
+                        .and_then(Json::as_f64)
+                        .ok_or("serving open_loop: missing req_per_sec")?;
+                    samples.push(MetricSample {
+                        grid,
+                        metric: format!("open_loop_req_per_sec_c{conns}"),
+                        value,
+                    });
+                }
+                Ok(samples)
             };
             match doc.get("entries").and_then(Json::as_array) {
-                Some(entries) => entries.iter().map(entry_metric).collect(),
+                Some(entries) => {
+                    let nested: Vec<Vec<MetricSample>> = entries
+                        .iter()
+                        .map(entry_metrics)
+                        .collect::<Result<_, _>>()?;
+                    Ok(nested.into_iter().flatten().collect())
+                }
                 // Legacy single-grid layout: grid + policies at top level.
-                None => Ok(vec![entry_metric(doc)?]),
+                None => entry_metrics(doc),
             }
         }
         "dist" => {
@@ -310,6 +336,26 @@ mod tests {
                 value: 1234.5
             }]
         );
+    }
+
+    #[test]
+    fn serving_open_loop_gates_per_connection_count() {
+        let doc = Json::parse(
+            "{\"bench\":\"serving\",\"entries\":[{\"grid\":32,\"policies\":[\
+             {\"name\":\"dynamic\",\"req_per_sec\":1000.0}],\
+             \"open_loop\":{\"connections\":10000,\"req_per_sec\":850.5}}]}",
+        )
+        .unwrap();
+        let samples = headline_metrics(&doc).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].metric, "open_loop_req_per_sec_c10000");
+        assert_eq!(samples[1].value, 850.5);
+        // A baseline without open_loop must still compare cleanly against
+        // a fresh run that has it: only shared metrics gate.
+        let baseline = serving_doc(32, 1000.0);
+        let report = compare(&baseline, std::slice::from_ref(&doc), 0.25).unwrap();
+        assert_eq!(report.len(), 1, "open_loop metric skipped, not failed");
+        assert!(report[0].pass);
     }
 
     #[test]

@@ -81,6 +81,25 @@ pub fn region_sums(intensity: &Grid, regions: &[Region]) -> Vec<f64> {
     regions.iter().map(|r| r.sum(intensity)).collect()
 }
 
+/// Region sums straight off one sample's row-major intensity plane of
+/// width `cols` — the planar-stack readout used by the batched inference
+/// path and the serving layer's selectable heads. Row-major accumulation
+/// order is part of the contract: callers rely on these sums being
+/// bit-identical across every entry point that reads the same plane.
+pub fn region_sums_planar(sample: &[f64], cols: usize, regions: &[Region]) -> Vec<f64> {
+    regions
+        .iter()
+        .map(|reg| {
+            (reg.r0..reg.r0 + reg.h)
+                .map(|r| {
+                    let o = r * cols + reg.c0;
+                    sample[o..o + reg.w].iter().sum::<f64>()
+                })
+                .sum()
+        })
+        .collect()
+}
+
 /// Prediction: `argmax` over region sums (paper §III-A).
 ///
 /// # Panics

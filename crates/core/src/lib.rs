@@ -70,5 +70,10 @@ pub mod train;
 pub mod two_pi;
 
 pub use config::{DonnConfig, LossKind, MaskInit};
-pub use detector::{argmax, region_sums, DetectorConfig};
+pub use detector::{argmax, region_sums, region_sums_planar, DetectorConfig};
 pub use model::{BatchLossParts, Donn};
+// Detector regions are part of the readout API surface (serving-side
+// heads aggregate per-region intensity themselves), so the rectangle type
+// is re-exported rather than forcing a photonn-autodiff dependency on
+// downstream crates.
+pub use photonn_autodiff::Region;

@@ -317,9 +317,36 @@ impl Donn {
     pub fn logits_batch_with_transmissions(
         &self,
         transmissions: &[CGrid],
-        mut field: BatchCGrid,
+        field: BatchCGrid,
         threads: usize,
     ) -> Vec<Vec<f64>> {
+        let intensity = self.intensity_batch_with_transmissions(transmissions, field, threads);
+        let cols = intensity.cols();
+        intensity
+            .samples()
+            .map(|sample| crate::detector::region_sums_planar(sample, cols, &self.regions))
+            .collect()
+    }
+
+    /// The detector-plane intensity stack behind
+    /// [`Donn::logits_batch_with_transmissions`]: modulates and propagates
+    /// the (post-first-hop) field stack through arbitrary per-layer complex
+    /// transmissions and returns per-sample `|z|²` planes *before* any
+    /// readout. Callers that aggregate detector intensity differently from
+    /// the paper's plain region sums — e.g. a serving-side differential
+    /// detection head — read out from this stack; summing each detector
+    /// region reproduces the logits path bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission count differs from the layer count or
+    /// any shape is not grid-sized.
+    pub fn intensity_batch_with_transmissions(
+        &self,
+        transmissions: &[CGrid],
+        mut field: BatchCGrid,
+        threads: usize,
+    ) -> photonn_math::BatchGrid {
         let n = self.config.grid();
         assert_eq!(
             transmissions.len(),
@@ -339,27 +366,10 @@ impl Donn {
                 threads.max(1),
             );
         }
-        // Detector readout straight from the planar field stack: region
-        // sums of |z|² per sample, no per-sample grid copies. Readout is
-        // real-valued, so no interleaved view is needed at all here.
-        let intensity = field.intensity();
-        let cols = intensity.cols();
-        intensity
-            .samples()
-            .map(|sample| {
-                self.regions
-                    .iter()
-                    .map(|reg| {
-                        (reg.r0..reg.r0 + reg.h)
-                            .map(|r| {
-                                let o = r * cols + reg.c0;
-                                sample[o..o + reg.w].iter().sum::<f64>()
-                            })
-                            .sum()
-                    })
-                    .collect()
-            })
-            .collect()
+        // Detector intensity straight from the planar field stack: |z|²
+        // per sample, no per-sample grid copies. Readout is real-valued,
+        // so no interleaved view is needed at all here.
+        field.intensity()
     }
 
     /// One batched free-space hop on the inference path (`threads == 0` is

@@ -1,32 +1,33 @@
-//! The dynamic micro-batcher: the bridge from "many concurrent requests"
-//! to "one `BatchCGrid` through the batched propagation engine".
+//! The dynamic micro-batcher: the classic blocking API over the sharded
+//! dispatcher.
 //!
-//! Requests park on a bounded queue. A dispatcher thread coalesces
-//! consecutive same-model jobs under a [`BatchPolicy`]: it dispatches as
-//! soon as `max_batch` jobs for the head model are waiting, or when the
-//! head job has waited `max_wait_us`, whichever comes first. The coalesced
-//! batch runs as a *single* `logits_batch`-shaped call whose FFT work is
-//! spread over the policy's worker threads, and per-sample logits fan back
-//! to the parked connections over per-job channels.
+//! Requests park on a bounded queue. A dispatcher coalesces consecutive
+//! same-model jobs under a [`BatchPolicy`]: it dispatches as soon as
+//! `max_batch` jobs for the head model are waiting, or when the head job
+//! has waited `max_wait_us`, whichever comes first. The coalesced batch
+//! runs as a *single* `logits_batch`-shaped call whose FFT work is spread
+//! over the policy's worker threads, and per-sample logits fan back to
+//! the parked callers over per-job channels.
 //!
-//! Because the batched engine is per-sample deterministic across batch
-//! sizes and thread counts, a response is bit-identical no matter how the
-//! dispatcher happened to slice the traffic — the property the end-to-end
-//! tests pin down.
+//! Since the event-loop redesign this type is a thin façade over a
+//! 1-shard [`crate::shard::ShardPool`] — same queueing semantics, same
+//! backpressure, same bit-identical results — kept for embedders that
+//! want a blocking submit/recv interface without running a server. The
+//! server itself drives a multi-shard pool directly.
 //!
-//! Backpressure is structural: when the queue holds `queue_capacity` jobs,
-//! [`Batcher::submit`] refuses with [`SubmitError::QueueFull`] and the
-//! HTTP layer answers 429 instead of letting latency grow without bound.
+//! Backpressure is structural: when the queue holds `queue_capacity`
+//! jobs, [`Batcher::submit`] refuses with [`SubmitError::QueueFull`] and
+//! the HTTP layer answers 429 instead of letting latency grow without
+//! bound.
 
 use crate::cache::FirstHopCache;
+use crate::head::ReadoutHead;
 use crate::metrics::Metrics;
-use crate::registry::{ModelRegistry, ServedModel};
-use photonn_math::{BatchCGrid, CGrid, Grid};
-use std::collections::VecDeque;
+use crate::registry::ModelRegistry;
+use crate::shard::{Reply, ShardPool};
+use photonn_math::Grid;
 use std::fmt;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{mpsc, Arc};
 
 /// Coalescing and capacity policy of the dispatcher.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +38,8 @@ pub struct BatchPolicy {
     /// microseconds. `0` dispatches immediately (batch size becomes
     /// whatever already queued).
     pub max_wait_us: u64,
-    /// Bounded-queue capacity; submissions beyond it are refused.
+    /// Bounded-queue capacity per dispatcher shard; submissions beyond it
+    /// are refused.
     pub queue_capacity: usize,
     /// FFT worker threads per dispatched batch (`0` is treated as 1).
     pub threads: usize,
@@ -66,7 +68,7 @@ impl BatchPolicy {
         }
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
     }
@@ -106,33 +108,10 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-struct Job {
-    model: Arc<ServedModel>,
-    image: Grid,
-    tx: mpsc::Sender<Vec<f64>>,
-    enqueued: Instant,
-}
-
-#[derive(Default)]
-struct State {
-    queue: VecDeque<Job>,
-    shutdown: bool,
-}
-
-struct Shared {
-    state: Mutex<State>,
-    wake: Condvar,
-    policy: BatchPolicy,
-    cache: Option<FirstHopCache>,
-    metrics: Arc<Metrics>,
-}
-
 /// The request-coalescing dispatcher. Dropping it shuts the dispatcher
 /// down gracefully (queued jobs are still answered).
 pub struct Batcher {
-    shared: Arc<Shared>,
-    registry: Arc<ModelRegistry>,
-    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    pool: ShardPool,
 }
 
 impl Batcher {
@@ -148,30 +127,14 @@ impl Batcher {
         cache: Option<FirstHopCache>,
         metrics: Arc<Metrics>,
     ) -> Self {
-        policy.validate();
-        assert!(!registry.is_empty(), "cannot serve an empty registry");
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
-            wake: Condvar::new(),
-            policy,
-            cache,
-            metrics,
-        });
-        let worker = Arc::clone(&shared);
-        let dispatcher = std::thread::Builder::new()
-            .name("photonn-dispatch".into())
-            .spawn(move || dispatch_loop(&worker))
-            .expect("spawn dispatcher");
         Batcher {
-            shared,
-            registry,
-            dispatcher: Mutex::new(Some(dispatcher)),
+            pool: ShardPool::new(registry, policy, 1, cache, metrics, 0),
         }
     }
 
     /// The registry this batcher serves.
     pub fn registry(&self) -> &Arc<ModelRegistry> {
-        &self.registry
+        self.pool.registry()
     }
 
     /// Enqueues one inference job. On success, the returned receiver
@@ -186,224 +149,23 @@ impl Batcher {
         model_name: Option<&str>,
         image: Grid,
     ) -> Result<mpsc::Receiver<Vec<f64>>, SubmitError> {
-        let model = match model_name {
-            Some(name) => self
-                .registry
-                .get(name)
-                .ok_or_else(|| SubmitError::UnknownModel(name.to_string()))?,
-            None => self
-                .registry
-                .default_model()
-                .expect("registry checked non-empty"),
-        };
-        let n = model.grid();
-        if image.shape() != (n, n) {
-            return Err(SubmitError::ShapeMismatch {
-                expected: n,
-                got: image.shape(),
-            });
-        }
+        let model = Arc::clone(self.pool.resolve(model_name)?);
         let (tx, rx) = mpsc::channel();
-        {
-            let mut state = self.shared.state.lock().expect("batcher lock");
-            if state.shutdown {
-                return Err(SubmitError::ShuttingDown);
-            }
-            if state.queue.len() >= self.shared.policy.queue_capacity {
-                return Err(SubmitError::QueueFull);
-            }
-            state.queue.push_back(Job {
-                model: Arc::clone(model),
-                image,
-                tx,
-                enqueued: Instant::now(),
-            });
-            self.shared.metrics.set_queue_depth(state.queue.len());
-        }
-        self.shared.metrics.record_model_request(model.name());
-        self.shared.wake.notify_all();
+        self.pool
+            .submit(&model, ReadoutHead::Sum, image, Reply::Channel(tx))?;
         Ok(rx)
     }
 
     /// Jobs currently parked in the queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().expect("batcher lock").queue.len()
+        self.pool.queue_depth()
     }
 
     /// Stops accepting jobs, drains the queue (every parked job still
     /// receives its logits), and joins the dispatcher. Idempotent.
     pub fn shutdown(&self) {
-        {
-            let mut state = self.shared.state.lock().expect("batcher lock");
-            state.shutdown = true;
-        }
-        self.shared.wake.notify_all();
-        if let Some(handle) = self.dispatcher.lock().expect("join lock").take() {
-            handle.join().expect("dispatcher panicked");
-        }
+        self.pool.shutdown();
     }
-}
-
-impl Drop for Batcher {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-/// Takes up to `max_batch` jobs for the queue head's model, preserving
-/// the relative order of everything left behind.
-fn take_group(queue: &mut VecDeque<Job>, max_batch: usize) -> Vec<Job> {
-    let head_model = Arc::clone(&queue.front().expect("non-empty queue").model);
-    let mut taken = Vec::new();
-    let mut rest = VecDeque::with_capacity(queue.len());
-    for job in queue.drain(..) {
-        if taken.len() < max_batch && Arc::ptr_eq(&job.model, &head_model) {
-            taken.push(job);
-        } else {
-            rest.push_back(job);
-        }
-    }
-    *queue = rest;
-    taken
-}
-
-fn dispatch_loop(shared: &Shared) {
-    loop {
-        let jobs = {
-            let mut state = shared.state.lock().expect("batcher lock");
-            loop {
-                if state.queue.is_empty() {
-                    if state.shutdown {
-                        return;
-                    }
-                    state = shared.wake.wait(state).expect("batcher lock");
-                    continue;
-                }
-                let deadline = state.queue.front().expect("non-empty").enqueued
-                    + Duration::from_micros(shared.policy.max_wait_us);
-                let head_model = Arc::clone(&state.queue.front().expect("non-empty").model);
-                let ready = state
-                    .queue
-                    .iter()
-                    .filter(|j| Arc::ptr_eq(&j.model, &head_model))
-                    .count();
-                let now = Instant::now();
-                if ready >= shared.policy.max_batch || state.shutdown || now >= deadline {
-                    let group = take_group(&mut state.queue, shared.policy.max_batch);
-                    shared.metrics.set_queue_depth(state.queue.len());
-                    break group;
-                }
-                let (next, _) = shared
-                    .wake
-                    .wait_timeout(state, deadline - now)
-                    .expect("batcher lock");
-                state = next;
-            }
-        };
-        run_batch(shared, jobs);
-    }
-}
-
-/// Runs one coalesced batch and fans the per-sample logits back out.
-fn run_batch(shared: &Shared, jobs: Vec<Job>) {
-    let threads = shared.policy.threads;
-    let model = Arc::clone(&jobs[0].model);
-    shared.metrics.record_batch(jobs.len());
-    // Each job's queue wait ended the moment this batch started; the
-    // interval is reconstructed from the enqueue instant rather than held
-    // open across threads.
-    if photonn_trace::enabled() {
-        let dispatch_ns = photonn_trace::now_ns();
-        for job in &jobs {
-            let start = photonn_trace::instant_ns(job.enqueued);
-            photonn_trace::record_span("serve.queue_wait", start, dispatch_ns);
-        }
-    }
-    let logits = match &shared.cache {
-        None => {
-            let images: Vec<&Grid> = {
-                let _span = photonn_trace::span("serve.batch_assemble");
-                jobs.iter().map(|j| &j.image).collect()
-            };
-            let _span = photonn_trace::span("serve.forward");
-            model.logits_batch(&images, threads)
-        }
-        Some(cache) => run_with_cache(shared, cache, &model, &jobs, threads),
-    };
-    let done = Instant::now();
-    for (job, sample_logits) in jobs.into_iter().zip(logits) {
-        let us = done.duration_since(job.enqueued).as_micros() as u64;
-        shared.metrics.record_latency_us(us);
-        shared.metrics.record_model_latency(model.name(), us);
-        // A gone receiver just means the client hung up; nothing to do.
-        let _ = job.tx.send(sample_logits);
-    }
-}
-
-/// Cache-assisted batch execution: resolve each image's mask-independent
-/// first hop from the LRU, compute the misses as one batched hop, then run
-/// the model's masked readout from the assembled field stack. Per-sample
-/// determinism of the batched engine makes this path bit-identical to the
-/// uncached one.
-fn run_with_cache(
-    shared: &Shared,
-    cache: &FirstHopCache,
-    model: &ServedModel,
-    jobs: &[Job],
-    threads: usize,
-) -> Vec<Vec<f64>> {
-    let mut hops: Vec<Option<Arc<CGrid>>> = Vec::with_capacity(jobs.len());
-    // Misses grouped by key: a burst of identical images coalesced into
-    // one batch — the cache's target workload — must compute each
-    // distinct first hop once, not once per request.
-    let mut misses: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
-    for (i, job) in jobs.iter().enumerate() {
-        let key = FirstHopCache::key(&job.image);
-        let cached = cache.get(&key);
-        if cached.is_some() {
-            shared.metrics.record_cache_hit();
-        } else {
-            shared.metrics.record_cache_miss();
-            match misses.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, indices)) => indices.push(i),
-                None => misses.push((key, vec![i])),
-            }
-        }
-        hops.push(cached);
-    }
-    if !misses.is_empty() {
-        let miss_images: Vec<&Grid> = misses
-            .iter()
-            .map(|(_, indices)| &jobs[indices[0]].image)
-            .collect();
-        let fresh = {
-            let _span = photonn_trace::span("serve.forward");
-            model.donn().first_hop_batch(&miss_images, threads)
-        };
-        for (slot, (key, indices)) in misses.into_iter().enumerate() {
-            let field = Arc::new(fresh.to_cgrid(slot));
-            cache.insert(key, Arc::clone(&field));
-            for i in indices {
-                hops[i] = Some(Arc::clone(&field));
-            }
-        }
-    }
-    // Deinterleave the resolved fields into the planar batch stack
-    // outside any cache lock (the Arc clones above were pointer-sized).
-    // This assembly is the engine's encode-side conversion edge: cached
-    // first hops are interleaved `CGrid`s, everything downstream is
-    // planar.
-    let n = model.grid();
-    let stack = {
-        let _span = photonn_trace::span("serve.batch_assemble");
-        let mut stack = BatchCGrid::zeros(jobs.len(), n, n);
-        for (b, hop) in hops.iter().enumerate() {
-            stack.set_sample(b, hop.as_deref().expect("resolved"));
-        }
-        stack
-    };
-    let _span = photonn_trace::span("serve.forward");
-    model.logits_from_first_hop(stack, threads)
 }
 
 #[cfg(test)]
@@ -412,6 +174,7 @@ mod tests {
     use photonn_datasets::{Dataset, Family};
     use photonn_donn::{Donn, DonnConfig};
     use photonn_math::Rng;
+    use std::time::{Duration, Instant};
 
     fn registry() -> (Arc<ModelRegistry>, Donn) {
         let mut rng = Rng::seed_from(3);

@@ -3,8 +3,17 @@
 //! protocol implementation in every caller.
 //!
 //! Not a general-purpose client: it speaks exactly the dialect the server
-//! emits (`Content-Length` bodies, keep-alive by default).
+//! emits (`Content-Length` bodies, keep-alive by default). Three layers:
+//!
+//! * [`request`] — one-shot, one fresh connection per call.
+//! * [`Connection`] — a raw keep-alive connection.
+//! * [`Client`] — typed `/v1` and `/v2` calls over a keep-alive
+//!   connection that transparently reconnects when the server closed it
+//!   (idle timeout, restart); API-level failures come back as
+//!   [`ApiError`] with the `/v2` structured fields populated.
 
+use crate::json::Json;
+use photonn_math::Grid;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -70,6 +79,286 @@ pub fn request(
     body: Option<&str>,
 ) -> io::Result<(u16, String)> {
     Connection::connect(addr)?.request(method, path, body)
+}
+
+// ------------------------------------------------------- typed client
+
+/// An API-level failure: the server answered, but with an error status.
+/// `/v2` responses populate `code` and `retry_after_ms` from the
+/// structured error document; `/v1` responses carry code `"error"`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status.
+    pub status: u16,
+    /// `/v2` machine-readable code (`"shed"`, `"unknown_model"`, ...).
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Retry hint on shed responses.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HTTP {} {}: {}", self.status, self.code, self.message)
+    }
+}
+
+/// Transport failure or API-level error from a typed call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The request never completed (connect, write, read, malformed
+    /// response).
+    Io(io::Error),
+    /// The server answered with an error status.
+    Api(ApiError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Api(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A `/v1/logits` answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inference {
+    /// Registered name of the model that ran.
+    pub model: String,
+    /// Argmax class.
+    pub class: usize,
+    /// Per-class detector sums.
+    pub logits: Vec<f64>,
+    /// Server-side latency in microseconds.
+    pub latency_us: f64,
+}
+
+/// One sample's answer inside a `/v2/logits` batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassLogits {
+    /// Argmax class.
+    pub class: usize,
+    /// Per-class readout values.
+    pub logits: Vec<f64>,
+}
+
+/// A `/v2/logits` answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchInference {
+    /// Registered name of the model that ran.
+    pub model: String,
+    /// Readout head that produced the logits.
+    pub head: String,
+    /// One entry per input, in input order.
+    pub results: Vec<ClassLogits>,
+    /// Server-side latency in microseconds.
+    pub latency_us: f64,
+}
+
+/// A typed client over a keep-alive connection. The connection is opened
+/// lazily and reopened transparently when the server has closed it; a
+/// request is retried at most once, and only when the failure shows the
+/// request never reached a live connection (so a non-idempotent call is
+/// not silently replayed).
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<Connection>,
+}
+
+impl Client {
+    /// A client for the server at `addr`. Does not connect yet.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, conn: None }
+    }
+
+    /// Sends over the kept-alive connection, reconnecting once when the
+    /// previous connection turns out to be dead.
+    ///
+    /// # Errors
+    ///
+    /// Returns any transport error from both attempts.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let had_conn = self.conn.is_some();
+        if self.conn.is_none() {
+            self.conn = Some(Connection::connect(self.addr)?);
+        }
+        let conn = self.conn.as_mut().expect("just ensured");
+        match conn.request(method, path, body) {
+            Ok(reply) => Ok(reply),
+            Err(e) if had_conn => {
+                // The reused connection was stale (server idle-closed or
+                // restarted between requests): retry once on a fresh one.
+                drop(e);
+                self.conn = None;
+                let mut fresh = Connection::connect(self.addr)?;
+                let reply = fresh.request(method, path, body)?;
+                self.conn = Some(fresh);
+                Ok(reply)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// `POST /v1/logits` for one image; `model = None` uses the server
+    /// default.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Api`] on
+    /// an error status.
+    pub fn logits_v1(
+        &mut self,
+        model: Option<&str>,
+        image: &Grid,
+    ) -> Result<Inference, ClientError> {
+        let mut pairs = Vec::new();
+        if let Some(name) = model {
+            pairs.push(("model".to_string(), Json::Str(name.into())));
+        }
+        pairs.push(("image".to_string(), Json::numbers(image.as_slice())));
+        let body = Json::object(pairs).to_string();
+        let (status, text) = self.request("POST", "/v1/logits", Some(&body))?;
+        let doc = parse_reply(status, &text)?;
+        Ok(Inference {
+            model: field_str(&doc, "model")?,
+            class: field_usize(&doc, "class")?,
+            logits: field_numbers(&doc, "logits")?,
+            latency_us: field_f64(&doc, "latency_us")?,
+        })
+    }
+
+    /// `POST /v2/logits` for a batch of images; `model`/`head` of `None`
+    /// use the server defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Api`] on
+    /// an error status (structured `/v2` fields populated).
+    pub fn logits_v2(
+        &mut self,
+        model: Option<&str>,
+        head: Option<&str>,
+        inputs: &[&Grid],
+    ) -> Result<BatchInference, ClientError> {
+        let mut pairs = Vec::new();
+        if let Some(name) = model {
+            pairs.push(("model".to_string(), Json::Str(name.into())));
+        }
+        if let Some(name) = head {
+            pairs.push(("head".to_string(), Json::Str(name.into())));
+        }
+        pairs.push((
+            "inputs".to_string(),
+            Json::Arr(inputs.iter().map(|g| Json::numbers(g.as_slice())).collect()),
+        ));
+        let body = Json::object(pairs).to_string();
+        let (status, text) = self.request("POST", "/v2/logits", Some(&body))?;
+        let doc = parse_reply(status, &text)?;
+        let results = doc
+            .get("results")
+            .and_then(Json::as_array)
+            .ok_or_else(|| malformed("results"))?
+            .iter()
+            .map(|entry| {
+                Ok(ClassLogits {
+                    class: field_usize(entry, "class")?,
+                    logits: field_numbers(entry, "logits")?,
+                })
+            })
+            .collect::<Result<_, ClientError>>()?;
+        Ok(BatchInference {
+            model: field_str(&doc, "model")?,
+            head: field_str(&doc, "head")?,
+            results,
+            latency_us: field_f64(&doc, "latency_us")?,
+        })
+    }
+}
+
+/// Parses a reply body, converting error statuses into [`ApiError`]
+/// (understanding both the `/v1` `{"error"}` and `/v2`
+/// `{"code","message","retry_after_ms"}` shapes).
+fn parse_reply(status: u16, text: &str) -> Result<Json, ClientError> {
+    let doc = Json::parse(text).map_err(|_| malformed("response body"))?;
+    if (200..300).contains(&status) {
+        return Ok(doc);
+    }
+    let error = if let Some(code) = doc.get("code").and_then(Json::as_str) {
+        ApiError {
+            status,
+            code: code.to_string(),
+            message: doc
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            retry_after_ms: doc
+                .get("retry_after_ms")
+                .and_then(Json::as_f64)
+                .map(|ms| ms as u64),
+        }
+    } else {
+        ApiError {
+            status,
+            code: "error".to_string(),
+            message: doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or(text)
+                .to_string(),
+            retry_after_ms: None,
+        }
+    };
+    Err(ClientError::Api(error))
+}
+
+fn malformed(what: &str) -> ClientError {
+    ClientError::Io(bad(&format!("malformed {what} in server reply")))
+}
+
+fn field_str(doc: &Json, name: &str) -> Result<String, ClientError> {
+    doc.get(name)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| malformed(name))
+}
+
+fn field_usize(doc: &Json, name: &str) -> Result<usize, ClientError> {
+    doc.get(name)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| malformed(name))
+}
+
+fn field_f64(doc: &Json, name: &str) -> Result<f64, ClientError> {
+    doc.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| malformed(name))
+}
+
+fn field_numbers(doc: &Json, name: &str) -> Result<Vec<f64>, ClientError> {
+    doc.get(name)
+        .and_then(Json::as_array)
+        .map(|values| values.iter().filter_map(Json::as_f64).collect())
+        .ok_or_else(|| malformed(name))
 }
 
 fn bad(message: &str) -> io::Error {

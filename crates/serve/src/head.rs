@@ -1,0 +1,195 @@
+//! Selectable readout heads: how per-region detector intensity becomes a
+//! logits vector.
+//!
+//! The paper reads out a DONN by summing intensity over each class's
+//! detector region ([`ReadoutHead::Sum`], §III-A). Class-specific
+//! **differential detection** (Li et al., arXiv:1906.03417) instead
+//! assigns each class a positive and a negative sub-region and scores by
+//! their normalized difference — the physical analogue of a signed
+//! output neuron, which sharpens decision margins on hardware where
+//! absolute intensity drifts. [`ReadoutHead::Differential`] implements
+//! that by splitting each region into left (+) and right (−) halves.
+//!
+//! Heads are selected per request on the `/v2` API; `/v1` is pinned to
+//! [`ReadoutHead::Sum`], whose float-op sequence is shared with
+//! [`photonn_donn::region_sums_planar`] so a served sum-head logit stays
+//! bit-identical to the direct `logits_batch` path.
+
+use photonn_donn::{region_sums_planar, Region};
+
+/// Normalization floor for the differential head: keeps the score finite
+/// when a region receives (numerically) zero light.
+const DIFF_EPS: f64 = 1e-12;
+
+/// A readout head, selected per `/v2` request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReadoutHead {
+    /// Per-region intensity sums — the paper's readout and the `/v1`
+    /// wire behavior. Bit-identical to `Donn::logits` by construction.
+    #[default]
+    Sum,
+    /// Class-specific differential detection (arXiv:1906.03417): each
+    /// region is split into a left (positive) and right (negative) half
+    /// and scored as `(S⁺ − S⁻) / (S⁺ + S⁻ + ε)`.
+    Differential,
+}
+
+impl ReadoutHead {
+    /// Parses a wire name (`"sum"` / `"differential"`).
+    pub fn parse(name: &str) -> Option<ReadoutHead> {
+        match name {
+            "sum" => Some(ReadoutHead::Sum),
+            "differential" => Some(ReadoutHead::Differential),
+            _ => None,
+        }
+    }
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadoutHead::Sum => "sum",
+            ReadoutHead::Differential => "differential",
+        }
+    }
+
+    /// All heads, for `/v2/models` listings.
+    pub fn all() -> [ReadoutHead; 2] {
+        [ReadoutHead::Sum, ReadoutHead::Differential]
+    }
+
+    /// Reads one sample's row-major intensity plane of width `cols` into
+    /// per-class logits.
+    pub fn readout(self, sample: &[f64], cols: usize, regions: &[Region]) -> Vec<f64> {
+        match self {
+            ReadoutHead::Sum => region_sums_planar(sample, cols, regions),
+            ReadoutHead::Differential => regions
+                .iter()
+                .map(|reg| {
+                    let (plus, minus) = split_region(reg);
+                    let s_plus = half_sum(sample, cols, &plus);
+                    let s_minus = half_sum(sample, cols, &minus);
+                    (s_plus - s_minus) / (s_plus + s_minus + DIFF_EPS)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Splits a region into its left (+) and right (−) halves. A 1-pixel-wide
+/// region degenerates to an empty negative half, reducing to a normalized
+/// sum rather than failing.
+fn split_region(reg: &Region) -> (Region, Region) {
+    let half = reg.w / 2;
+    let plus = Region {
+        r0: reg.r0,
+        c0: reg.c0,
+        h: reg.h,
+        w: half.max(reg.w.min(1)),
+    };
+    let minus = Region {
+        r0: reg.r0,
+        c0: reg.c0 + plus.w,
+        h: reg.h,
+        w: reg.w - plus.w,
+    };
+    (plus, minus)
+}
+
+fn half_sum(sample: &[f64], cols: usize, reg: &Region) -> f64 {
+    (reg.r0..reg.r0 + reg.h)
+        .map(|r| {
+            let o = r * cols + reg.c0;
+            sample[o..o + reg.w].iter().sum::<f64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(r0: usize, c0: usize, h: usize, w: usize) -> Region {
+        Region { r0, c0, h, w }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for head in ReadoutHead::all() {
+            assert_eq!(ReadoutHead::parse(head.name()), Some(head));
+        }
+        assert_eq!(ReadoutHead::parse("softmax"), None);
+        assert_eq!(ReadoutHead::default(), ReadoutHead::Sum);
+    }
+
+    #[test]
+    fn sum_head_matches_region_sums_planar_bitwise() {
+        let cols = 8;
+        let sample: Vec<f64> = (0..64).map(|i| (i as f64) * 0.37 + 0.01).collect();
+        let regions = [region(1, 1, 3, 4), region(4, 2, 2, 2)];
+        let via_head = ReadoutHead::Sum.readout(&sample, cols, &regions);
+        let direct = region_sums_planar(&sample, cols, &regions);
+        assert_eq!(via_head.len(), direct.len());
+        for (a, b) in via_head.iter().zip(&direct) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "sum head drifted from planar sums"
+            );
+        }
+    }
+
+    #[test]
+    fn differential_head_scores_signed_halves() {
+        let cols = 4;
+        // 4×4 plane: light only in columns 0–1 (the + half of a full-width region).
+        let mut sample = vec![0.0; 16];
+        for r in 0..4 {
+            sample[r * 4] = 1.0;
+            sample[r * 4 + 1] = 1.0;
+        }
+        let regions = [region(0, 0, 4, 4)];
+        let bright_left = ReadoutHead::Differential.readout(&sample, cols, &regions)[0];
+        assert!(
+            bright_left > 0.99,
+            "all-positive light must score ≈ +1, got {bright_left}"
+        );
+
+        // Mirror: light only in columns 2–3.
+        let mut sample = vec![0.0; 16];
+        for r in 0..4 {
+            sample[r * 4 + 2] = 1.0;
+            sample[r * 4 + 3] = 1.0;
+        }
+        let bright_right = ReadoutHead::Differential.readout(&sample, cols, &regions)[0];
+        assert!(
+            bright_right < -0.99,
+            "all-negative light must score ≈ −1, got {bright_right}"
+        );
+
+        // Balanced light cancels.
+        let sample = vec![0.5; 16];
+        let balanced = ReadoutHead::Differential.readout(&sample, cols, &regions)[0];
+        assert!(
+            balanced.abs() < 1e-9,
+            "balanced light must cancel, got {balanced}"
+        );
+    }
+
+    #[test]
+    fn differential_head_is_finite_on_dark_plane() {
+        let sample = vec![0.0; 16];
+        let regions = [region(0, 0, 4, 4)];
+        let score = ReadoutHead::Differential.readout(&sample, 4, &regions)[0];
+        assert!(score.is_finite());
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn one_pixel_wide_region_degenerates_gracefully() {
+        let sample = vec![2.0; 16];
+        let regions = [region(0, 0, 4, 1)];
+        let score = ReadoutHead::Differential.readout(&sample, 4, &regions)[0];
+        assert!(score.is_finite());
+        assert!(score > 0.0, "all light, empty minus half: positive score");
+    }
+}

@@ -1,18 +1,21 @@
 //! # photonn-serve
 //!
-//! A request-batching inference server over the `photonn` batched
-//! propagation engine — the ROADMAP's "async serving frontend" realized
-//! with the standard library only (the workspace is offline: no tokio, no
-//! hyper; the listener is hand-rolled the way `photonn-fft` hand-rolls
-//! its worker pool).
+//! An event-loop inference server over the `photonn` batched propagation
+//! engine — the ROADMAP's "async serving frontend" realized with the
+//! standard library only (the workspace is offline: no tokio, no hyper,
+//! no mio; the readiness poller is a hand-rolled `epoll`/`poll(2)` shim
+//! the way `photonn-fft` hand-rolls its worker pool).
 //!
 //! ```text
-//!  clients ──HTTP──▶ handler threads ──submit──▶ bounded queue
-//!                                                    │ coalesce
-//!                                                    ▼ (max_batch / max_wait_us)
-//!                                   dispatcher: one BatchCGrid ─▶ logits_batch
-//!                                                    │
-//!  clients ◀──JSON── handler threads ◀──channels── fan-out
+//!  10k clients ──HTTP──▶ event loop (epoll) ── conn state machines
+//!                              │  incremental parse → planar batch stack
+//!                              ▼
+//!              N dispatcher shards (per-model queues, work-stealing,
+//!              admission control: degrade batches under p99 pressure,
+//!              then shed with 429 + retry_after_ms)
+//!                              │  one BatchCGrid ─▶ logits_batch
+//!                              ▼
+//!  10k clients ◀──JSON── event loop ◀── completion queue + waker
 //! ```
 //!
 //! The crate's pieces, bottom-up:
@@ -20,47 +23,57 @@
 //! | Module | Role |
 //! |---|---|
 //! | [`json`] | hand-rolled JSON codec (bit-exact `f64` round-trips), shared via `photonn-wire` |
-//! | [`http`] | minimal HTTP/1.1 request/response over blocking streams |
-//! | [`metrics`] | queue depth, batch-size histogram, p50/p99 latency |
+//! | [`poll`] | minimal `epoll`/`poll(2)` readiness shim + cross-thread waker (the crate's only `unsafe`) |
+//! | [`http`] | minimal HTTP/1.1: blocking codec for clients + incremental zero-copy parser for the event loop |
+//! | [`metrics`] | queue depth, batch-size histogram, p50/p99 latency, per-shard steal/shed counters |
 //! | [`cache`] | memory-budgeted LRU over the mask-independent first hop |
-//! | [`registry`] | named model variants: ideal / quantized / deployed |
-//! | [`batcher`] | the dynamic micro-batcher with bounded-queue backpressure |
-//! | [`server`] | threaded TCP listener, routing, graceful shutdown |
+//! | [`registry`] | named model variants: ideal / quantized / deployed / noise-injected |
+//! | [`head`] | selectable readout heads: region sums or differential detection |
+//! | [`shard`] | sharded dispatch: per-model queues, work-stealing, admission control |
+//! | [`batcher`] | the classic dynamic micro-batcher API, now a 1-shard façade over [`shard`] |
+//! | [`server`] | the event-loop frontend: [`ServerBuilder`], `/v1` + `/v2` routing, graceful drain |
 //!
 //! Because the batched engine is per-sample deterministic across batch
 //! sizes and thread counts, a served logits vector is **bit-identical** to
 //! a direct [`photonn_donn::Donn::logits`] call on the same image, no
 //! matter how the dispatcher coalesced the traffic — the end-to-end tests
-//! assert exactly that through a real TCP socket.
+//! assert exactly that through a real TCP socket, and the `/v1` wire
+//! format is pinned byte-for-byte by committed fixtures.
 //!
 //! # Examples
 //!
 //! ```
 //! use photonn_donn::{Donn, DonnConfig};
 //! use photonn_math::{Grid, Rng};
-//! use photonn_serve::{ModelRegistry, Server, ServerConfig};
+//! use photonn_serve::{ModelRegistry, ServerBuilder};
 //!
 //! let mut rng = Rng::seed_from(7);
 //! let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
 //! let mut registry = ModelRegistry::new();
 //! registry.register("ideal", donn.clone());
 //!
-//! let mut server = Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+//! let mut server = ServerBuilder::new(registry)
+//!     .shards(2)
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
 //! let addr = server.addr();
-//! // ... POST {"image": [...]} to http://{addr}/v1/logits ...
+//! // ... POST {"inputs": [[...]]} to http://{addr}/v2/logits ...
 //! server.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // confined: `poll` opts back in at module level
 #![warn(missing_docs)]
 
 pub mod batcher;
 pub mod cache;
 pub mod client;
+pub mod head;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod registry;
 pub mod server;
+pub mod shard;
 
 // The JSON codec moved to `photonn-wire` so the distributed trainer can
 // speak the same dialect; re-exported here to keep `photonn_serve::json`
@@ -69,7 +82,9 @@ pub use photonn_wire::json;
 
 pub use batcher::{BatchPolicy, Batcher, SubmitError};
 pub use cache::FirstHopCache;
+pub use client::{ApiError, BatchInference, Client, ClientError, Inference};
+pub use head::ReadoutHead;
 pub use json::Json;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use registry::{ModelRegistry, ServedModel, VariantKind};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{ServeConfig, Server, ServerBuilder, ServerConfig, ServerHandle};

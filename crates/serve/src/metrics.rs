@@ -9,7 +9,7 @@
 use crate::json::Json;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Batch-size histogram bucket upper bounds (inclusive); the last bucket
@@ -34,6 +34,34 @@ struct ModelCounters {
     latency_max_us: u64,
 }
 
+/// Live per-shard counters, written by one dispatcher shard and read by
+/// `/metrics` snapshots. The shard pool installs one per shard via
+/// [`Metrics::install_shards`].
+#[derive(Default)]
+pub struct ShardCounters {
+    /// Jobs currently parked in this shard's queues.
+    pub queue_depth: AtomicUsize,
+    /// Model groups this shard stole from a peer.
+    pub steals: AtomicU64,
+    /// Batches this shard dispatched.
+    pub batches: AtomicU64,
+    /// Jobs this shard completed.
+    pub jobs: AtomicU64,
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Jobs currently parked in this shard's queues.
+    pub queue_depth: usize,
+    /// Model groups this shard stole from a peer.
+    pub steals: u64,
+    /// Batches this shard dispatched.
+    pub batches: u64,
+    /// Jobs this shard completed.
+    pub jobs: u64,
+}
+
 /// Shared server metrics. All recording methods take `&self` and are safe
 /// to call from any thread.
 pub struct Metrics {
@@ -49,8 +77,13 @@ pub struct Metrics {
     queue_depth: AtomicUsize,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    sheds_total: AtomicU64,
+    steals_total: AtomicU64,
+    degraded_batches: AtomicU64,
+    connections: AtomicUsize,
     latencies: Mutex<LatencyRing>,
     per_model: Mutex<BTreeMap<String, ModelCounters>>,
+    shards: Mutex<Arc<Vec<ShardCounters>>>,
 }
 
 impl Default for Metrics {
@@ -68,8 +101,13 @@ impl Default for Metrics {
             queue_depth: AtomicUsize::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            sheds_total: AtomicU64::new(0),
+            steals_total: AtomicU64::new(0),
+            degraded_batches: AtomicU64::new(0),
+            connections: AtomicUsize::new(0),
             latencies: Mutex::new(LatencyRing::default()),
             per_model: Mutex::new(BTreeMap::new()),
+            shards: Mutex::new(Arc::new(Vec::new())),
         }
     }
 }
@@ -116,6 +154,17 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Input-hop cache misses (0 when the cache is disabled).
     pub cache_misses: u64,
+    /// Requests shed by admission control (answered 429 + retry hint).
+    pub sheds_total: u64,
+    /// Model groups moved between shards by work-stealing.
+    pub steals_total: u64,
+    /// Batches dispatched while admission control was degrading batch
+    /// sizes under p99 pressure.
+    pub degraded_batches: u64,
+    /// Live client connections on the event loop.
+    pub connections: usize,
+    /// Per-shard dispatcher statistics, in shard order.
+    pub per_shard: Vec<ShardStats>,
     /// Latency samples currently in the reservoir.
     pub latency_samples: usize,
     /// Median end-to-end latency in microseconds (0 with no samples).
@@ -190,6 +239,32 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one request shed by admission control.
+    pub fn record_shed(&self) {
+        self.sheds_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one model group stolen between shards.
+    pub fn record_steal(&self) {
+        self.steals_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one batch dispatched under admission-control degradation.
+    pub fn record_degraded_batch(&self) {
+        self.degraded_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the live-connections gauge.
+    pub fn set_connections(&self, count: usize) {
+        self.connections.store(count, Ordering::Relaxed);
+    }
+
+    /// Installs the per-shard counter block (called once by the shard
+    /// pool; the previous block, if any, is replaced).
+    pub fn install_shards(&self, shards: Arc<Vec<ShardCounters>>) {
+        *self.shards.lock().expect("metrics lock") = shards;
+    }
+
     /// Counts one request accepted for the named model.
     pub fn record_model_request(&self, model: &str) {
         let mut map = self.per_model.lock().expect("metrics lock");
@@ -246,6 +321,18 @@ impl Metrics {
             .into_iter()
             .map(|(name, value)| (name.to_string(), value))
             .collect();
+        let per_shard = {
+            let shards = self.shards.lock().expect("metrics lock");
+            shards
+                .iter()
+                .map(|s| ShardStats {
+                    queue_depth: s.queue_depth.load(Ordering::Relaxed),
+                    steals: s.steals.load(Ordering::Relaxed),
+                    batches: s.batches.load(Ordering::Relaxed),
+                    jobs: s.jobs.load(Ordering::Relaxed),
+                })
+                .collect()
+        };
         MetricsSnapshot {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             requests_total: self.requests_total.load(Ordering::Relaxed),
@@ -259,6 +346,11 @@ impl Metrics {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            sheds_total: self.sheds_total.load(Ordering::Relaxed),
+            steals_total: self.steals_total.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            per_shard,
             latency_samples,
             p50_latency_us: p50,
             p99_latency_us: p99,
@@ -306,6 +398,18 @@ impl MetricsSnapshot {
             .iter()
             .map(|(name, value)| (name.clone(), Json::Num(*value as f64)))
             .collect();
+        let shards = self
+            .per_shard
+            .iter()
+            .map(|s| {
+                Json::object(vec![
+                    ("queue_depth".into(), Json::Num(s.queue_depth as f64)),
+                    ("steals".into(), Json::Num(s.steals as f64)),
+                    ("batches".into(), Json::Num(s.batches as f64)),
+                    ("jobs".into(), Json::Num(s.jobs as f64)),
+                ])
+            })
+            .collect();
         Json::object(vec![
             ("uptime_seconds".into(), Json::Num(self.uptime_seconds)),
             (
@@ -337,6 +441,14 @@ impl MetricsSnapshot {
                 "p99_latency_us".into(),
                 Json::Num(self.p99_latency_us as f64),
             ),
+            ("sheds_total".into(), Json::Num(self.sheds_total as f64)),
+            ("steals_total".into(), Json::Num(self.steals_total as f64)),
+            (
+                "degraded_batches".into(),
+                Json::Num(self.degraded_batches as f64),
+            ),
+            ("connections".into(), Json::Num(self.connections as f64)),
+            ("shards".into(), Json::Arr(shards)),
             ("models".into(), Json::object(models)),
             ("engine".into(), Json::object(engine)),
         ])
@@ -436,6 +548,37 @@ mod tests {
         );
         // The engine object is always present (possibly empty).
         assert!(parsed.get("engine").is_some());
+    }
+
+    #[test]
+    fn shard_and_admission_counters_surface_in_json() {
+        let m = Metrics::new();
+        let shards = Arc::new(vec![ShardCounters::default(), ShardCounters::default()]);
+        shards[1].steals.fetch_add(3, Ordering::Relaxed);
+        shards[1].queue_depth.store(5, Ordering::Relaxed);
+        m.install_shards(Arc::clone(&shards));
+        m.record_shed();
+        m.record_shed();
+        m.record_steal();
+        m.record_degraded_batch();
+        m.set_connections(17);
+        let s = m.snapshot();
+        assert_eq!(s.sheds_total, 2);
+        assert_eq!(s.steals_total, 1);
+        assert_eq!(s.degraded_batches, 1);
+        assert_eq!(s.connections, 17);
+        assert_eq!(s.per_shard.len(), 2);
+        assert_eq!(s.per_shard[1].steals, 3);
+        assert_eq!(s.per_shard[1].queue_depth, 5);
+        let parsed = Json::parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("sheds_total").and_then(Json::as_usize), Some(2));
+        assert_eq!(parsed.get("connections").and_then(Json::as_usize), Some(17));
+        let shards_json = parsed.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(shards_json.len(), 2);
+        assert_eq!(
+            shards_json[1].get("steals").and_then(Json::as_usize),
+            Some(3)
+        );
     }
 
     #[test]

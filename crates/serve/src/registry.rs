@@ -14,8 +14,8 @@
 
 use photonn_donn::deploy::FabricationModel;
 use photonn_donn::quantize::quantize_mask;
-use photonn_donn::Donn;
-use photonn_math::{BatchCGrid, CGrid, Grid};
+use photonn_donn::{Donn, Region};
+use photonn_math::{BatchCGrid, BatchGrid, CGrid, Grid, Rng};
 use std::fmt;
 use std::sync::Arc;
 
@@ -35,6 +35,16 @@ pub enum VariantKind {
         /// both shape the served transmissions).
         fab: FabricationModel,
     },
+    /// Masks perturbed by seeded Gaussian phase noise — the
+    /// weight-noise-injection robustness probe of arXiv:2006.04462,
+    /// served side by side with the clean model so the deploy gap can be
+    /// measured per request.
+    NoiseInjected {
+        /// Standard deviation of the phase noise, radians.
+        sigma: f64,
+        /// Seed of the noise draw (the variant is reproducible).
+        seed: u64,
+    },
 }
 
 impl fmt::Display for VariantKind {
@@ -43,6 +53,9 @@ impl fmt::Display for VariantKind {
             VariantKind::Ideal => write!(f, "ideal"),
             VariantKind::Quantized { levels } => write!(f, "quantized({levels})"),
             VariantKind::Deployed { fab } => write!(f, "deployed(k={})", fab.crosstalk),
+            VariantKind::NoiseInjected { sigma, seed } => {
+                write!(f, "noise_injected(sigma={sigma},seed={seed})")
+            }
         }
     }
 }
@@ -58,7 +71,9 @@ pub struct ServedModel {
 impl ServedModel {
     fn new(name: String, donn: Arc<Donn>, kind: VariantKind) -> Self {
         let transmissions = match kind {
-            VariantKind::Ideal | VariantKind::Quantized { .. } => {
+            VariantKind::Ideal
+            | VariantKind::Quantized { .. }
+            | VariantKind::NoiseInjected { .. } => {
                 donn.masks().iter().map(CGrid::from_phase).collect()
             }
             VariantKind::Deployed { fab } => fab.transmissions(&donn),
@@ -120,6 +135,35 @@ impl ServedModel {
         self.donn
             .logits_batch_with_transmissions(&self.transmissions, field, threads)
     }
+
+    /// Batched detector-plane intensity through this variant's
+    /// transmissions — the entry point for serving-side selectable
+    /// readout heads (the sum head over this plane is bit-identical to
+    /// [`ServedModel::logits_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or any image is not grid-sized.
+    pub fn intensity_batch(&self, images: &[&Grid], threads: usize) -> BatchGrid {
+        let field = self.donn.first_hop_batch(images, threads);
+        self.intensity_from_first_hop(field, threads)
+    }
+
+    /// Batched detector-plane intensity from already-propagated first-hop
+    /// fields (the cache-assisted entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fields are not grid-sized.
+    pub fn intensity_from_first_hop(&self, field: BatchCGrid, threads: usize) -> BatchGrid {
+        self.donn
+            .intensity_batch_with_transmissions(&self.transmissions, field, threads)
+    }
+
+    /// Detector regions of the underlying model, in class order.
+    pub fn regions(&self) -> &[Region] {
+        self.donn.regions()
+    }
 }
 
 impl fmt::Debug for ServedModel {
@@ -173,6 +217,49 @@ impl ModelRegistry {
             name.into(),
             Arc::new(quantized),
             VariantKind::Quantized { levels },
+        );
+    }
+
+    /// Registers a noise-injected variant: `base`'s masks perturbed by
+    /// seeded Gaussian phase noise of standard deviation `sigma` radians,
+    /// wrapped back into the `[0, 2π)` mask convention. This is the
+    /// weight-noise-injection robustness probe of arXiv:2006.04462 as a
+    /// servable model: clients A/B the clean and noisy variants per
+    /// request to measure deploy-gap sensitivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name, incompatible optics, or a negative or
+    /// non-finite `sigma`.
+    pub fn register_noise_injected(
+        &mut self,
+        name: impl Into<String>,
+        base: &Donn,
+        sigma: f64,
+        seed: u64,
+    ) {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "noise sigma must be finite and non-negative"
+        );
+        let mut rng = Rng::seed_from(seed);
+        let mut noisy = base.clone();
+        noisy.set_masks(
+            base.masks()
+                .iter()
+                .map(|mask| {
+                    let mut out = mask.clone();
+                    for v in out.as_mut_slice() {
+                        *v = (*v + rng.normal_with(0.0, sigma)).rem_euclid(std::f64::consts::TAU);
+                    }
+                    out
+                })
+                .collect(),
+        );
+        self.add(
+            name.into(),
+            Arc::new(noisy),
+            VariantKind::NoiseInjected { sigma, seed },
         );
     }
 
@@ -332,6 +419,72 @@ mod tests {
             let via = model.logits_from_first_hop(BatchCGrid::from_samples(&hops), 2);
             assert_eq!(direct, via, "model {}", model.name());
         }
+    }
+
+    #[test]
+    fn intensity_entry_points_back_the_logits_paths_bitwise() {
+        let donn = base();
+        let reg = three_variant_registry(&donn);
+        let data = Dataset::synthetic(Family::Mnist, 4, 6).resized(32);
+        let images: Vec<&Grid> = (0..4).map(|i| data.image(i)).collect();
+        let model = reg.get("q8").unwrap();
+        let logits = model.logits_batch(&images, 2);
+        let intensity = model.intensity_batch(&images, 2);
+        let cols = intensity.cols();
+        for (sample, want) in intensity.samples().zip(&logits) {
+            let sums = photonn_donn::region_sums_planar(sample, cols, model.regions());
+            assert_eq!(
+                &sums, want,
+                "intensity + planar sums drifted from logits_batch"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_injected_variant_is_seeded_and_in_range() {
+        let donn = base();
+        let mut reg = ModelRegistry::new();
+        reg.register("ideal", donn.clone());
+        reg.register_noise_injected("noisy", &donn, 0.05, 42);
+        reg.register_noise_injected("noisy2", &donn, 0.05, 42);
+        reg.register_noise_injected("noisy3", &donn, 0.05, 43);
+        let data = Dataset::synthetic(Family::Mnist, 3, 9).resized(32);
+        let images: Vec<&Grid> = (0..3).map(|i| data.image(i)).collect();
+        let clean = reg.get("ideal").unwrap().logits_batch(&images, 2);
+        let a = reg.get("noisy").unwrap().logits_batch(&images, 2);
+        let b = reg.get("noisy2").unwrap().logits_batch(&images, 2);
+        let c = reg.get("noisy3").unwrap().logits_batch(&images, 2);
+        assert_ne!(clean, a, "sigma=0.05 must move logits");
+        assert_eq!(a, b, "same seed must reproduce the same variant");
+        assert_ne!(a, c, "different seed must draw different noise");
+        // Masks stay in the repo's [0, 2π) phase convention.
+        for mask in reg.get("noisy").unwrap().donn().masks() {
+            assert!(mask
+                .as_slice()
+                .iter()
+                .all(|&v| (0.0..std::f64::consts::TAU).contains(&v)));
+        }
+        assert_eq!(
+            reg.get("noisy").unwrap().kind(),
+            VariantKind::NoiseInjected {
+                sigma: 0.05,
+                seed: 42
+            }
+        );
+    }
+
+    #[test]
+    fn zero_sigma_noise_variant_matches_ideal() {
+        let donn = base();
+        let mut reg = ModelRegistry::new();
+        reg.register("ideal", donn.clone());
+        reg.register_noise_injected("noise0", &donn, 0.0, 1);
+        let data = Dataset::synthetic(Family::Mnist, 2, 5).resized(32);
+        let images: Vec<&Grid> = (0..2).map(|i| data.image(i)).collect();
+        assert_eq!(
+            reg.get("ideal").unwrap().logits_batch(&images, 1),
+            reg.get("noise0").unwrap().logits_batch(&images, 1),
+        );
     }
 
     #[test]

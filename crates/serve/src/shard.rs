@@ -1,0 +1,1015 @@
+//! Sharded dispatch: N dispatcher shards with per-model queues,
+//! work-stealing, and admission control.
+//!
+//! Each shard owns a FIFO of `ModelGroup`s — same-model jobs batch
+//! together because they share one `BatchCGrid` forward pass. Jobs route
+//! to a shard by a hash of their model name, so a steady mixed workload
+//! partitions without contention; an idle shard *steals* work from the
+//! deepest peer (a whole trailing group, or the back half of a lone large
+//! group) so a single hot model still spreads across every core.
+//!
+//! Admission control watches the recent completion-latency window: when
+//! p99 exceeds the configured target, the effective batch ceiling and
+//! coalescing wait shrink (halving per degradation level) — trading
+//! throughput for latency *before* load shedding starts. Only when a
+//! shard's bounded queue is actually full does a submission bounce with
+//! [`SubmitError::QueueFull`], which the HTTP layer answers as 429 with a
+//! `retry_after_ms` hint.
+//!
+//! Replies fan out two ways: an [`mpsc`] channel per job (the classic
+//! [`crate::batcher::Batcher`] path, which is now a 1-shard façade over
+//! this module), or a [`CompletionSink`] shared with the event loop —
+//! batches aggregate per-request, then one completion record lands on the
+//! sink and the loop's waker is rung.
+
+use crate::batcher::{BatchPolicy, SubmitError};
+use crate::cache::FirstHopCache;
+use crate::head::ReadoutHead;
+use crate::metrics::{Metrics, ShardCounters};
+use crate::poll::WakeHandle;
+use crate::registry::{ModelRegistry, ServedModel};
+use photonn_math::{BatchCGrid, BatchGrid, CGrid, Grid};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often an idle shard re-checks its peers for stealable work.
+const STEAL_POLL: Duration = Duration::from_millis(2);
+/// Deepest admission-control degradation (batch ceiling halves per level).
+const MAX_DEGRADE_LEVEL: usize = 3;
+/// Completion latencies kept in the admission window.
+const ADMISSION_WINDOW: usize = 256;
+/// Observations between admission-level recomputations.
+const ADMISSION_STRIDE: u64 = 32;
+
+// ------------------------------------------------------------- replies
+
+/// One finished request ready to be written back by the event loop.
+pub struct Completion {
+    /// Generation-tagged connection token the response belongs to.
+    pub conn: u64,
+    /// Response slot on that connection (pipelining order).
+    pub slot: usize,
+    /// Per-input logits, in the request's input order.
+    pub results: Vec<Vec<f64>>,
+}
+
+/// Where dispatcher shards park finished work for the event loop; pushing
+/// rings the loop's waker.
+pub struct CompletionSink {
+    queue: Mutex<Vec<Completion>>,
+    waker: WakeHandle,
+}
+
+impl CompletionSink {
+    /// A sink that wakes `waker` whenever a completion lands.
+    pub fn new(waker: WakeHandle) -> Arc<CompletionSink> {
+        Arc::new(CompletionSink {
+            queue: Mutex::new(Vec::new()),
+            waker,
+        })
+    }
+
+    /// Takes everything accumulated so far (event-loop side).
+    pub fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completion lock"))
+    }
+
+    fn push(&self, completion: Completion) {
+        self.queue.lock().expect("completion lock").push(completion);
+        self.waker.wake();
+    }
+}
+
+/// Aggregates the per-sample results of one (possibly batched) request.
+struct Aggregation {
+    results: Mutex<Vec<Option<Vec<f64>>>>,
+    remaining: AtomicUsize,
+}
+
+/// The completion-side reply handle of one sample of one request.
+pub struct CompletionHandle {
+    sink: Arc<CompletionSink>,
+    conn: u64,
+    slot: usize,
+    agg: Arc<Aggregation>,
+    index: usize,
+}
+
+impl CompletionHandle {
+    /// Builds one handle per input of a request; when the last input's
+    /// logits arrive, a single [`Completion`] lands on the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `total` is zero.
+    pub fn batch(
+        sink: &Arc<CompletionSink>,
+        conn: u64,
+        slot: usize,
+        total: usize,
+    ) -> Vec<CompletionHandle> {
+        assert!(total > 0, "a request has at least one input");
+        let agg = Arc::new(Aggregation {
+            results: Mutex::new(vec![None; total]),
+            remaining: AtomicUsize::new(total),
+        });
+        (0..total)
+            .map(|index| CompletionHandle {
+                sink: Arc::clone(sink),
+                conn,
+                slot,
+                agg: Arc::clone(&agg),
+                index,
+            })
+            .collect()
+    }
+
+    fn complete(self, logits: Vec<f64>) {
+        self.agg.results.lock().expect("aggregation lock")[self.index] = Some(logits);
+        if self.agg.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let results = self
+                .agg
+                .results
+                .lock()
+                .expect("aggregation lock")
+                .iter_mut()
+                .map(|slot| slot.take().expect("all samples completed"))
+                .collect();
+            self.sink.push(Completion {
+                conn: self.conn,
+                slot: self.slot,
+                results,
+            });
+        }
+    }
+}
+
+/// How a job's logits travel back to the requester.
+pub enum Reply {
+    /// A per-job channel (the blocking [`crate::batcher::Batcher`] path).
+    Channel(mpsc::Sender<Vec<f64>>),
+    /// An event-loop completion (one sample of a `/v1` or `/v2` request).
+    Completion(CompletionHandle),
+}
+
+impl Reply {
+    fn complete(self, logits: Vec<f64>) {
+        match self {
+            // A gone receiver just means the client hung up.
+            Reply::Channel(tx) => drop(tx.send(logits)),
+            Reply::Completion(handle) => handle.complete(logits),
+        }
+    }
+}
+
+// ----------------------------------------------------------- admission
+
+/// Latency-pressure admission control shared by every shard.
+///
+/// Keeps a sliding window of completion latencies; every
+/// `ADMISSION_STRIDE` observations the window p99 is compared against
+/// the target: above it the degradation level steps up (halving the
+/// effective batch ceiling and coalescing wait), comfortably below it
+/// (< 70% of target) the level steps back down. `target_p99_us == 0`
+/// disables the mechanism.
+pub struct Admission {
+    target_p99_us: u64,
+    window: Mutex<VecDeque<u64>>,
+    observed: AtomicU64,
+    level: AtomicUsize,
+}
+
+impl Admission {
+    fn new(target_p99_us: u64) -> Admission {
+        Admission {
+            target_p99_us,
+            window: Mutex::new(VecDeque::with_capacity(ADMISSION_WINDOW)),
+            observed: AtomicU64::new(0),
+            level: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current degradation level (0 = healthy).
+    pub fn level(&self) -> usize {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// The policy ceilings after degradation.
+    fn effective(&self, policy: &BatchPolicy) -> (usize, u64) {
+        let level = self.level();
+        if level == 0 {
+            (policy.max_batch, policy.max_wait_us)
+        } else {
+            (
+                (policy.max_batch >> level).max(1),
+                policy.max_wait_us >> level,
+            )
+        }
+    }
+
+    fn observe(&self, us: u64) {
+        if self.target_p99_us == 0 {
+            return;
+        }
+        {
+            let mut window = self.window.lock().expect("admission lock");
+            if window.len() == ADMISSION_WINDOW {
+                window.pop_front();
+            }
+            window.push_back(us);
+        }
+        let n = self.observed.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(ADMISSION_STRIDE) {
+            return;
+        }
+        let p99 = {
+            let window = self.window.lock().expect("admission lock");
+            let mut sorted: Vec<u64> = window.iter().copied().collect();
+            sorted.sort_unstable();
+            sorted[(sorted.len() - 1) * 99 / 100]
+        };
+        let level = self.level();
+        if p99 > self.target_p99_us && level < MAX_DEGRADE_LEVEL {
+            self.level.store(level + 1, Ordering::Relaxed);
+        } else if p99 < self.target_p99_us * 7 / 10 && level > 0 {
+            self.level.store(level - 1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ----------------------------------------------------------- the pool
+
+struct Job {
+    model: Arc<ServedModel>,
+    head: ReadoutHead,
+    image: Grid,
+    reply: Reply,
+    enqueued: Instant,
+}
+
+/// Same-model jobs awaiting one shared forward pass.
+struct ModelGroup {
+    model: Arc<ServedModel>,
+    jobs: VecDeque<Job>,
+}
+
+struct ShardState {
+    groups: VecDeque<ModelGroup>,
+    depth: usize,
+    shutdown: bool,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    wake: Condvar,
+}
+
+struct PoolInner {
+    shards: Vec<Shard>,
+    counters: Arc<Vec<ShardCounters>>,
+    registry: Arc<ModelRegistry>,
+    policy: BatchPolicy,
+    cache: Option<FirstHopCache>,
+    metrics: Arc<Metrics>,
+    admission: Admission,
+    total_depth: AtomicUsize,
+}
+
+/// N dispatcher shards over one model registry. Dropping the pool shuts
+/// it down gracefully (queued jobs are still answered).
+pub struct ShardPool {
+    inner: Arc<PoolInner>,
+    dispatchers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ShardPool {
+    /// Starts `shards` dispatcher threads over `registry`.
+    /// `target_p99_us == 0` disables admission-control degradation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty, the policy is degenerate, or
+    /// `shards` is zero.
+    pub fn new(
+        registry: Arc<ModelRegistry>,
+        policy: BatchPolicy,
+        shards: usize,
+        cache: Option<FirstHopCache>,
+        metrics: Arc<Metrics>,
+        target_p99_us: u64,
+    ) -> ShardPool {
+        policy.validate();
+        assert!(shards > 0, "at least one shard");
+        assert!(!registry.is_empty(), "cannot serve an empty registry");
+        let counters: Arc<Vec<ShardCounters>> =
+            Arc::new((0..shards).map(|_| ShardCounters::default()).collect());
+        metrics.install_shards(Arc::clone(&counters));
+        let inner = Arc::new(PoolInner {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        groups: VecDeque::new(),
+                        depth: 0,
+                        shutdown: false,
+                    }),
+                    wake: Condvar::new(),
+                })
+                .collect(),
+            counters,
+            registry,
+            policy,
+            cache,
+            metrics,
+            admission: Admission::new(target_p99_us),
+            total_depth: AtomicUsize::new(0),
+        });
+        let dispatchers = (0..shards)
+            .map(|index| {
+                let pool = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("photonn-shard-{index}"))
+                    .spawn(move || dispatch_loop(&pool, index))
+                    .expect("spawn shard dispatcher")
+            })
+            .collect();
+        ShardPool {
+            inner,
+            dispatchers: Mutex::new(dispatchers),
+        }
+    }
+
+    /// The registry this pool serves.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.inner.registry
+    }
+
+    /// Number of dispatcher shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Current admission-control degradation level (0 = healthy).
+    pub fn admission_level(&self) -> usize {
+        self.inner.admission.level()
+    }
+
+    /// Resolves a model name (`None` routes to the registry default).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] when no such model is registered.
+    pub fn resolve(&self, model_name: Option<&str>) -> Result<&Arc<ServedModel>, SubmitError> {
+        match model_name {
+            Some(name) => self
+                .inner
+                .registry
+                .get(name)
+                .ok_or_else(|| SubmitError::UnknownModel(name.to_string())),
+            None => Ok(self
+                .inner
+                .registry
+                .default_model()
+                .expect("registry checked non-empty")),
+        }
+    }
+
+    /// Enqueues one sample for `model` under `head`; `reply` receives the
+    /// logits once its batch has run.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`]; the job is refused *before* queueing in every
+    /// error case.
+    pub fn submit(
+        &self,
+        model: &Arc<ServedModel>,
+        head: ReadoutHead,
+        image: Grid,
+        reply: Reply,
+    ) -> Result<(), SubmitError> {
+        let n = model.grid();
+        if image.shape() != (n, n) {
+            return Err(SubmitError::ShapeMismatch {
+                expected: n,
+                got: image.shape(),
+            });
+        }
+        let index = self.route(model.name());
+        let shard = &self.inner.shards[index];
+        let depth_after;
+        {
+            let mut state = shard.state.lock().expect("shard lock");
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.depth >= self.inner.policy.queue_capacity {
+                return Err(SubmitError::QueueFull);
+            }
+            let job = Job {
+                model: Arc::clone(model),
+                head,
+                image,
+                reply,
+                enqueued: Instant::now(),
+            };
+            match state
+                .groups
+                .iter_mut()
+                .find(|g| Arc::ptr_eq(&g.model, model))
+            {
+                Some(group) => group.jobs.push_back(job),
+                None => state.groups.push_back(ModelGroup {
+                    model: Arc::clone(model),
+                    jobs: VecDeque::from([job]),
+                }),
+            }
+            state.depth += 1;
+            depth_after = state.depth;
+            self.inner.counters[index]
+                .queue_depth
+                .store(state.depth, Ordering::Relaxed);
+            let total = self.inner.total_depth.fetch_add(1, Ordering::Relaxed) + 1;
+            self.inner.metrics.set_queue_depth(total);
+        }
+        self.inner.metrics.record_model_request(model.name());
+        shard.wake.notify_all();
+        self.ping_idle_peers(index, depth_after);
+        Ok(())
+    }
+
+    /// Enqueues a whole batch of samples for `model` under `head`
+    /// atomically: either every sample is admitted or none is. This is
+    /// the `/v2` batched-inputs entry point — all-or-nothing admission
+    /// keeps a multi-sample request from half-landing when the queue is
+    /// near capacity (which would strand its completion aggregation).
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`]; no job is queued in any error case.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `images` and `replies` disagree in length or are empty.
+    pub fn submit_batch(
+        &self,
+        model: &Arc<ServedModel>,
+        head: ReadoutHead,
+        images: Vec<Grid>,
+        replies: Vec<Reply>,
+    ) -> Result<(), SubmitError> {
+        assert_eq!(images.len(), replies.len(), "one reply per image");
+        assert!(!images.is_empty(), "empty batch");
+        let n = model.grid();
+        for image in &images {
+            if image.shape() != (n, n) {
+                return Err(SubmitError::ShapeMismatch {
+                    expected: n,
+                    got: image.shape(),
+                });
+            }
+        }
+        let count = images.len();
+        let index = self.route(model.name());
+        let shard = &self.inner.shards[index];
+        let depth_after;
+        {
+            let mut state = shard.state.lock().expect("shard lock");
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.depth + count > self.inner.policy.queue_capacity {
+                return Err(SubmitError::QueueFull);
+            }
+            let now = Instant::now();
+            let jobs = images.into_iter().zip(replies).map(|(image, reply)| Job {
+                model: Arc::clone(model),
+                head,
+                image,
+                reply,
+                enqueued: now,
+            });
+            match state
+                .groups
+                .iter_mut()
+                .find(|g| Arc::ptr_eq(&g.model, model))
+            {
+                Some(group) => group.jobs.extend(jobs),
+                None => state.groups.push_back(ModelGroup {
+                    model: Arc::clone(model),
+                    jobs: jobs.collect(),
+                }),
+            }
+            state.depth += count;
+            depth_after = state.depth;
+            self.inner.counters[index]
+                .queue_depth
+                .store(state.depth, Ordering::Relaxed);
+            let total = self.inner.total_depth.fetch_add(count, Ordering::Relaxed) + count;
+            self.inner.metrics.set_queue_depth(total);
+        }
+        for _ in 0..count {
+            self.inner.metrics.record_model_request(model.name());
+        }
+        shard.wake.notify_all();
+        self.ping_idle_peers(index, depth_after);
+        Ok(())
+    }
+
+    /// Wakes every peer shard when `home` has accumulated more than one
+    /// batch's worth of work — idle dispatchers wake into their
+    /// steal-before-park path immediately instead of on the next
+    /// `STEAL_POLL` tick, so a burst spreads across shards at
+    /// microsecond (not poll-tick) latency.
+    fn ping_idle_peers(&self, home: usize, depth: usize) {
+        if self.inner.shards.len() > 1 && depth > self.inner.policy.max_batch {
+            for (i, shard) in self.inner.shards.iter().enumerate() {
+                if i != home {
+                    shard.wake.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Total jobs parked across every shard.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.total_depth.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting jobs, drains every shard (each parked job still
+    /// receives its logits), and joins the dispatchers. Idempotent.
+    pub fn shutdown(&self) {
+        for shard in &self.inner.shards {
+            shard.state.lock().expect("shard lock").shutdown = true;
+            shard.wake.notify_all();
+        }
+        let mut handles = self.dispatchers.lock().expect("join lock");
+        for handle in handles.drain(..) {
+            handle.join().expect("shard dispatcher panicked");
+        }
+    }
+
+    fn route(&self, model_name: &str) -> usize {
+        // FNV-1a over the name: stable, dependency-free, and spreads the
+        // handful of registered names well enough.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in model_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        (hash % self.inner.shards.len() as u64) as usize
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ------------------------------------------------------ dispatch loops
+
+fn dispatch_loop(pool: &PoolInner, index: usize) {
+    while let Some(jobs) = next_batch(pool, index) {
+        run_batch(pool, index, jobs);
+    }
+}
+
+/// Blocks until this shard has a dispatchable batch; `None` when the pool
+/// is shut down and this shard's queue is drained.
+fn next_batch(pool: &PoolInner, index: usize) -> Option<Vec<Job>> {
+    let shard = &pool.shards[index];
+    let mut state = shard.state.lock().expect("shard lock");
+    loop {
+        if state.depth == 0 {
+            if state.shutdown {
+                return None;
+            }
+            if pool.shards.len() > 1 {
+                // Idle with peers: try to steal before parking. The own
+                // lock is dropped first so shard locks never nest.
+                drop(state);
+                let stolen = steal(pool, index);
+                state = shard.state.lock().expect("shard lock");
+                if let Some(group) = stolen {
+                    state.depth += group.jobs.len();
+                    state.groups.push_front(group);
+                    pool.counters[index]
+                        .queue_depth
+                        .store(state.depth, Ordering::Relaxed);
+                    continue;
+                }
+                if state.depth > 0 || state.shutdown {
+                    continue;
+                }
+                let (next, _) = shard
+                    .wake
+                    .wait_timeout(state, STEAL_POLL)
+                    .expect("shard lock");
+                state = next;
+            } else {
+                state = shard.wake.wait(state).expect("shard lock");
+            }
+            continue;
+        }
+        let (max_batch, max_wait_us) = pool.admission.effective(&pool.policy);
+        let front = state.groups.front().expect("depth > 0");
+        let deadline = front.jobs.front().expect("non-empty group").enqueued
+            + Duration::from_micros(max_wait_us);
+        let ready = front.jobs.len();
+        let now = Instant::now();
+        if ready >= max_batch || state.shutdown || now >= deadline {
+            let jobs = take_front(&mut state, max_batch);
+            pool.counters[index]
+                .queue_depth
+                .store(state.depth, Ordering::Relaxed);
+            let total = pool.total_depth.fetch_sub(jobs.len(), Ordering::Relaxed) - jobs.len();
+            pool.metrics.set_queue_depth(total);
+            return Some(jobs);
+        }
+        let (next, _) = shard
+            .wake
+            .wait_timeout(state, deadline - now)
+            .expect("shard lock");
+        state = next;
+    }
+}
+
+/// Takes up to `max_batch` jobs off the front group, removing the group
+/// when it empties (order within the group is preserved).
+fn take_front(state: &mut ShardState, max_batch: usize) -> Vec<Job> {
+    let front = state.groups.front_mut().expect("non-empty");
+    let take = front.jobs.len().min(max_batch);
+    let jobs: Vec<Job> = front.jobs.drain(..take).collect();
+    if front.jobs.is_empty() {
+        state.groups.pop_front();
+    }
+    state.depth -= jobs.len();
+    jobs
+}
+
+/// Steals work from the deepest peer: its trailing model group, or — when
+/// only one group exists — the back half of that group's jobs, so a
+/// single hot model still spreads across shards.
+fn steal(pool: &PoolInner, thief: usize) -> Option<ModelGroup> {
+    let victim = pool
+        .counters
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != thief)
+        .map(|(i, c)| (c.queue_depth.load(Ordering::Relaxed), i))
+        .max()?;
+    // Not worth the locks for a single queued job.
+    if victim.0 < 2 {
+        return None;
+    }
+    let shard = &pool.shards[victim.1];
+    let mut state = shard.state.lock().expect("shard lock");
+    let group = if state.groups.len() > 1 {
+        state.groups.pop_back()?
+    } else {
+        let front = state.groups.front_mut()?;
+        if front.jobs.len() < 2 {
+            return None;
+        }
+        let keep = front.jobs.len() / 2;
+        let stolen: VecDeque<Job> = front.jobs.split_off(keep);
+        ModelGroup {
+            model: Arc::clone(&front.model),
+            jobs: stolen,
+        }
+    };
+    state.depth -= group.jobs.len();
+    pool.counters[victim.1]
+        .queue_depth
+        .store(state.depth, Ordering::Relaxed);
+    drop(state);
+    pool.counters[thief].steals.fetch_add(1, Ordering::Relaxed);
+    pool.metrics.record_steal();
+    Some(group)
+}
+
+// ----------------------------------------------------------- batch run
+
+/// Runs one coalesced same-model batch and fans the per-sample logits
+/// back out through each job's reply.
+fn run_batch(pool: &PoolInner, index: usize, jobs: Vec<Job>) {
+    let _dispatch = photonn_trace::span("serve.shard_dispatch");
+    let threads = pool.policy.threads;
+    let model = Arc::clone(&jobs[0].model);
+    pool.metrics.record_batch(jobs.len());
+    if pool.admission.level() > 0 {
+        pool.metrics.record_degraded_batch();
+    }
+    pool.counters[index].batches.fetch_add(1, Ordering::Relaxed);
+    // Each job's queue wait ended the moment this batch started; the
+    // interval is reconstructed from the enqueue instant rather than held
+    // open across threads.
+    if photonn_trace::enabled() {
+        let dispatch_ns = photonn_trace::now_ns();
+        for job in &jobs {
+            let start = photonn_trace::instant_ns(job.enqueued);
+            photonn_trace::record_span("serve.queue_wait", start, dispatch_ns);
+        }
+    }
+    let intensity = match &pool.cache {
+        None => {
+            let images: Vec<&Grid> = {
+                let _span = photonn_trace::span("serve.batch_assemble");
+                jobs.iter().map(|j| &j.image).collect()
+            };
+            let _span = photonn_trace::span("serve.forward");
+            model.intensity_batch(&images, threads)
+        }
+        Some(cache) => run_with_cache(pool, cache, &model, &jobs, threads),
+    };
+    let cols = intensity.cols();
+    let regions = model.regions();
+    let done = Instant::now();
+    pool.counters[index]
+        .jobs
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    for (job, sample) in jobs.into_iter().zip(intensity.samples()) {
+        let logits = job.head.readout(sample, cols, regions);
+        let us = done.duration_since(job.enqueued).as_micros() as u64;
+        pool.metrics.record_latency_us(us);
+        pool.metrics.record_model_latency(model.name(), us);
+        pool.admission.observe(us);
+        job.reply.complete(logits);
+    }
+}
+
+/// Cache-assisted batch execution: resolve each image's mask-independent
+/// first hop from the LRU, compute the misses as one batched hop, then run
+/// the model's masked propagation from the assembled field stack.
+/// Per-sample determinism of the batched engine makes this path
+/// bit-identical to the uncached one.
+fn run_with_cache(
+    pool: &PoolInner,
+    cache: &FirstHopCache,
+    model: &ServedModel,
+    jobs: &[Job],
+    threads: usize,
+) -> BatchGrid {
+    let mut hops: Vec<Option<Arc<CGrid>>> = Vec::with_capacity(jobs.len());
+    // Misses grouped by key: a burst of identical images coalesced into
+    // one batch — the cache's target workload — must compute each
+    // distinct first hop once, not once per request.
+    let mut misses: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let key = FirstHopCache::key(&job.image);
+        let cached = cache.get(&key);
+        if cached.is_some() {
+            pool.metrics.record_cache_hit();
+        } else {
+            pool.metrics.record_cache_miss();
+            match misses.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, indices)) => indices.push(i),
+                None => misses.push((key, vec![i])),
+            }
+        }
+        hops.push(cached);
+    }
+    if !misses.is_empty() {
+        let miss_images: Vec<&Grid> = misses
+            .iter()
+            .map(|(_, indices)| &jobs[indices[0]].image)
+            .collect();
+        let fresh = {
+            let _span = photonn_trace::span("serve.forward");
+            model.donn().first_hop_batch(&miss_images, threads)
+        };
+        for (slot, (key, indices)) in misses.into_iter().enumerate() {
+            let field = Arc::new(fresh.to_cgrid(slot));
+            cache.insert(key, Arc::clone(&field));
+            for i in indices {
+                hops[i] = Some(Arc::clone(&field));
+            }
+        }
+    }
+    // Deinterleave the resolved fields into the planar batch stack
+    // outside any cache lock (the Arc clones above were pointer-sized).
+    let n = model.grid();
+    let stack = {
+        let _span = photonn_trace::span("serve.batch_assemble");
+        let mut stack = BatchCGrid::zeros(jobs.len(), n, n);
+        for (b, hop) in hops.iter().enumerate() {
+            stack.set_sample(b, hop.as_deref().expect("resolved"));
+        }
+        stack
+    };
+    let _span = photonn_trace::span("serve.forward");
+    model.intensity_from_first_hop(stack, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poll::Waker;
+    use photonn_datasets::{Dataset, Family};
+    use photonn_donn::{Donn, DonnConfig};
+    use photonn_math::Rng;
+
+    fn registry() -> (Arc<ModelRegistry>, Donn) {
+        let mut rng = Rng::seed_from(3);
+        let donn = Donn::random(DonnConfig::scaled(32), &mut rng);
+        let mut reg = ModelRegistry::new();
+        reg.register("ideal", donn.clone());
+        reg.register_quantized("q8", &donn, 8);
+        (Arc::new(reg), donn)
+    }
+
+    fn images(count: usize) -> Vec<Grid> {
+        let data = Dataset::synthetic(Family::Mnist, count, 11).resized(32);
+        (0..count).map(|i| data.image(i).clone()).collect()
+    }
+
+    fn policy(max_batch: usize, max_wait_us: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_wait_us,
+            queue_capacity: 256,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn multi_shard_pool_serves_bit_identical_logits() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        let pool = ShardPool::new(reg, policy(8, 2_000), 4, None, Arc::clone(&metrics), 0);
+        let imgs = images(12);
+        let receivers: Vec<_> = imgs
+            .iter()
+            .map(|img| {
+                let model = pool.resolve(None).unwrap().clone();
+                let (tx, rx) = mpsc::channel();
+                pool.submit(&model, ReadoutHead::Sum, img.clone(), Reply::Channel(tx))
+                    .unwrap();
+                rx
+            })
+            .collect();
+        for (img, rx) in imgs.iter().zip(receivers) {
+            assert_eq!(
+                rx.recv().unwrap(),
+                donn.logits(img),
+                "shard routed wrong sample"
+            );
+        }
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn work_stealing_spreads_a_hot_model_across_shards() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        // One model, two shards, long coalescing wait and a small batch
+        // ceiling: the routed shard accumulates a backlog the idle shard
+        // must steal from.
+        let pool = ShardPool::new(
+            reg,
+            BatchPolicy {
+                max_batch: 2,
+                max_wait_us: 50_000,
+                queue_capacity: 256,
+                threads: 1,
+            },
+            2,
+            None,
+            Arc::clone(&metrics),
+            0,
+        );
+        let imgs = images(16);
+        let model = pool.resolve(None).unwrap().clone();
+        // Whether the idle shard wins the race against the home shard's
+        // own drain depends on thread scheduling, so burst repeatedly; a
+        // single stolen batch anywhere proves the mechanism.
+        for round in 0..50 {
+            let receivers: Vec<_> = imgs
+                .iter()
+                .map(|img| {
+                    let (tx, rx) = mpsc::channel();
+                    pool.submit(&model, ReadoutHead::Sum, img.clone(), Reply::Channel(tx))
+                        .unwrap();
+                    rx
+                })
+                .collect();
+            for (img, rx) in imgs.iter().zip(receivers) {
+                assert_eq!(rx.recv().unwrap(), donn.logits(img));
+            }
+            let snap = metrics.snapshot();
+            if snap.steals_total > 0 && snap.per_shard.iter().all(|s| s.batches > 0) {
+                return;
+            }
+            assert!(
+                round < 49,
+                "idle shard never stole from the backlog: {snap:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn completion_sink_aggregates_batched_requests_in_order() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        let pool = ShardPool::new(reg, policy(8, 1_000), 2, None, metrics, 0);
+        let waker = Waker::new().unwrap();
+        let sink = CompletionSink::new(waker.handle().unwrap());
+        let imgs = images(5);
+        let model = pool.resolve(None).unwrap().clone();
+        let handles = CompletionHandle::batch(&sink, 0xBEEF, 3, imgs.len());
+        for (img, handle) in imgs.iter().zip(handles) {
+            pool.submit(
+                &model,
+                ReadoutHead::Sum,
+                img.clone(),
+                Reply::Completion(handle),
+            )
+            .unwrap();
+        }
+        // Wait for the single aggregated completion.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let completions = loop {
+            let got = sink.drain();
+            if !got.is_empty() {
+                break got;
+            }
+            assert!(Instant::now() < deadline, "completion never arrived");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(completions.len(), 1);
+        let c = &completions[0];
+        assert_eq!((c.conn, c.slot), (0xBEEF, 3));
+        assert_eq!(c.results.len(), imgs.len());
+        for (img, got) in imgs.iter().zip(&c.results) {
+            assert_eq!(got, &donn.logits(img), "aggregation reordered inputs");
+        }
+    }
+
+    #[test]
+    fn admission_degrades_under_latency_pressure_and_recovers() {
+        let admission = Admission::new(1_000);
+        let policy = policy(16, 2_000);
+        assert_eq!(admission.effective(&policy), (16, 2_000));
+        // A window of slow completions trips a degradation step.
+        for _ in 0..ADMISSION_STRIDE {
+            admission.observe(50_000);
+        }
+        assert_eq!(admission.level(), 1);
+        assert_eq!(admission.effective(&policy), (8, 1_000));
+        // Keep hurting: the level climbs but never below batch=1.
+        for _ in 0..(ADMISSION_STRIDE * MAX_DEGRADE_LEVEL as u64) {
+            admission.observe(50_000);
+        }
+        assert_eq!(admission.level(), MAX_DEGRADE_LEVEL);
+        assert!(admission.effective(&policy).0 >= 1);
+        // Fast completions wash the slow ones out of the window and the
+        // level steps back down to healthy.
+        for _ in 0..(ADMISSION_WINDOW as u64 + ADMISSION_STRIDE * 10) {
+            admission.observe(10);
+        }
+        assert_eq!(admission.level(), 0);
+        assert_eq!(admission.effective(&policy), (16, 2_000));
+    }
+
+    #[test]
+    fn disabled_admission_never_degrades() {
+        let admission = Admission::new(0);
+        for _ in 0..(ADMISSION_STRIDE * 4) {
+            admission.observe(u64::MAX / 2);
+        }
+        assert_eq!(admission.level(), 0);
+    }
+
+    #[test]
+    fn differential_head_jobs_coexist_with_sum_jobs_in_one_batch() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        // Long wait so both jobs coalesce into one batch.
+        let pool = ShardPool::new(reg, policy(8, 50_000), 1, None, metrics, 0);
+        let img = images(1).remove(0);
+        let model = pool.resolve(None).unwrap().clone();
+        let (tx_sum, rx_sum) = mpsc::channel();
+        let (tx_diff, rx_diff) = mpsc::channel();
+        pool.submit(
+            &model,
+            ReadoutHead::Sum,
+            img.clone(),
+            Reply::Channel(tx_sum),
+        )
+        .unwrap();
+        pool.submit(
+            &model,
+            ReadoutHead::Differential,
+            img.clone(),
+            Reply::Channel(tx_diff),
+        )
+        .unwrap();
+        let sum = rx_sum.recv().unwrap();
+        let diff = rx_diff.recv().unwrap();
+        assert_eq!(sum, donn.logits(&img), "sum head must stay bit-identical");
+        assert_ne!(sum, diff, "differential head must differ from plain sums");
+        assert!(diff.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
+    }
+}

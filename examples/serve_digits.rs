@@ -3,8 +3,12 @@
 //!
 //! Trains a small DONN on synthetic digits, registers the trained model
 //! alongside its quantized and crosstalk-deployed variants, starts the
-//! inference server on a loopback port, and queries every variant with a
-//! test digit over real HTTP.
+//! inference server on a loopback port via [`ServerBuilder`], and
+//! queries every variant with a test digit over real HTTP — `/v1` for
+//! the single-sample wire format and `/v2` for batched inputs with
+//! readout-head selection. The `--smoke` path deliberately stays on the
+//! deprecated `Server::bind` shim so CI keeps proving that pre-redesign
+//! call sites still compile and serve bit-identical logits.
 //!
 //! ```sh
 //! cargo run --release --example serve_digits            # full demo
@@ -16,7 +20,9 @@ use photonn::datasets::{Dataset, Family};
 use photonn::donn::train::{train, TrainOptions};
 use photonn::donn::{deploy::FabricationModel, Donn, DonnConfig};
 use photonn::math::{Grid, Rng};
-use photonn::serve::{client, BatchPolicy, Json, ModelRegistry, Server, ServerConfig};
+use photonn::serve::{
+    client, BatchPolicy, Json, ModelRegistry, Server, ServerBuilder, ServerConfig,
+};
 
 const GRID: usize = 32;
 
@@ -34,6 +40,9 @@ fn smoke() {
     let donn = Donn::random(DonnConfig::scaled(GRID), &mut rng);
     let mut registry = ModelRegistry::new();
     registry.register("ideal", donn.clone());
+    // Intentionally the legacy entry point: the smoke run doubles as a
+    // compile-and-serve check for the deprecated shim.
+    #[allow(deprecated)]
     let mut server =
         Server::bind("127.0.0.1:0", registry, ServerConfig::default()).expect("bind loopback");
     println!("smoke server on {}", server.addr());
@@ -95,37 +104,47 @@ fn main() {
     registry.register_quantized("quantized8", &donn, 8);
     registry.register_deployed("deployed", &donn, FabricationModel::new(0.1));
 
-    // 3. Serve on a loopback port with dynamic batching.
-    let config = ServerConfig {
-        policy: BatchPolicy {
+    // 3. Serve on a loopback port: dynamic batching across two
+    //    work-stealing dispatcher shards.
+    let mut server = ServerBuilder::new(registry)
+        .policy(BatchPolicy {
             max_batch: 16,
             max_wait_us: 2_000,
             ..BatchPolicy::default()
-        },
-        ..ServerConfig::default()
-    };
-    let mut server = Server::bind("127.0.0.1:0", registry, config).expect("bind loopback");
+        })
+        .shards(2)
+        .bind("127.0.0.1:0")
+        .expect("bind loopback");
     println!("serving on http://{}\n", server.addr());
 
-    // 4. Query every variant with the same test digit.
+    // 4. Query every variant with the same test digit over a keep-alive
+    //    typed client.
     let digit = test_set.image(0);
     let truth = test_set.label(0);
-    let (_, models) = client::request(server.addr(), "GET", "/models", None).expect("models");
+    let mut api = client::Client::new(server.addr());
+    let (_, models) = api.request("GET", "/models", None).expect("models");
     println!("GET /models -> {models}\n");
     for name in ["ideal", "quantized8", "deployed"] {
-        let (status, body) = client::request(
-            server.addr(),
-            "POST",
-            "/v1/logits",
-            Some(&image_body(Some(name), digit)),
-        )
-        .expect("request");
-        let doc = Json::parse(&body).expect("valid JSON");
-        let class = doc.get("class").and_then(Json::as_usize).expect("class");
-        let latency = doc.get("latency_us").and_then(Json::as_f64).unwrap_or(0.0);
-        println!("{name:>11}: HTTP {status} | class {class} (truth {truth}) | {latency:.0} us");
+        let reply = api.logits_v1(Some(name), digit).expect("v1 inference");
+        println!(
+            "{name:>11}: class {} (truth {truth}) | {:.0} us",
+            reply.class, reply.latency_us
+        );
     }
-    let (_, metrics) = client::request(server.addr(), "GET", "/metrics", None).expect("metrics");
+
+    // 5. The same digit through /v2: one batched request, three copies,
+    //    differential readout head.
+    let batch = api
+        .logits_v2(Some("ideal"), Some("differential"), &[digit, digit, digit])
+        .expect("v2 inference");
+    println!(
+        "\nPOST /v2/logits (head {}): {} results, class {} | {:.0} us",
+        batch.head,
+        batch.results.len(),
+        batch.results[0].class,
+        batch.latency_us
+    );
+    let (_, metrics) = api.request("GET", "/metrics", None).expect("metrics");
     println!("\nGET /metrics -> {metrics}");
     server.shutdown();
 }

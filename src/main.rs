@@ -6,6 +6,8 @@
 //! photonn serve [--addr 127.0.0.1:7878] [--grid 32] [--epochs 0]
 //!               [--max-batch 16] [--max-wait-us 2000] [--queue-cap 256]
 //!               [--threads N] [--cache-mb 64] [--levels 8] [--crosstalk 0.1]
+//!               [--noise-sigma 0.05] [--shards N] [--target-p99-us 0]
+//!               [--retry-after-ms 50] [--max-connections 8192]
 //! photonn train [--grid 32] [--samples 600] [--epochs 3] [--batch 25]
 //!               [--lr 0.05] [--seed 7] [--workers N] [--threads T]
 //!               [--peers host:port,host:port,...] [--hostfile PATH]
@@ -15,9 +17,13 @@
 //! ```
 //!
 //! `serve` trains (optionally) a DONN on synthetic digits, registers the
-//! ideal model plus its quantized and crosstalk-deployed variants, and
-//! serves them over HTTP until the process is killed (see
-//! `examples/serve_digits.rs`). `train` runs the sharded data-parallel
+//! ideal model plus its quantized, crosstalk-deployed, and
+//! phase-noise-injected variants, and serves them over HTTP until the
+//! process is killed (see `examples/serve_digits.rs`): `/v1/logits` is
+//! the original single-sample wire format, `/v2/logits` accepts batched
+//! inputs with per-request model and readout-head selection, and
+//! `--shards`/`--target-p99-us` size the work-stealing dispatcher and
+//! its latency-pressure admission control. `train` runs the sharded data-parallel
 //! trainer — in-process worker threads by default, or rank-0-plus-peers
 //! over loopback TCP when `--peers` lists `dist-worker` processes (see
 //! `examples/dist_digits.rs`); `--trace out.json` turns on `photonn-trace`
@@ -34,7 +40,7 @@ use photonn::dist::{serve_peer_forever, serve_peer_once, train_with_sharded, Dis
 use photonn::donn::train::{train, TrainOptions};
 use photonn::donn::{deploy::FabricationModel, Donn, DonnConfig};
 use photonn::math::Rng;
-use photonn::serve::{BatchPolicy, ModelRegistry, Server, ServerConfig};
+use photonn::serve::{BatchPolicy, ModelRegistry, ServeConfig, ServerBuilder};
 
 struct ServeOptions {
     addr: String,
@@ -47,11 +53,17 @@ struct ServeOptions {
     cache_mb: usize,
     levels: usize,
     crosstalk: f64,
+    noise_sigma: f64,
+    shards: usize,
+    target_p99_us: u64,
+    retry_after_ms: u64,
+    max_connections: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
         let policy = BatchPolicy::default();
+        let serve = ServeConfig::default();
         ServeOptions {
             addr: "127.0.0.1:7878".to_string(),
             grid: 32,
@@ -63,6 +75,11 @@ impl Default for ServeOptions {
             cache_mb: 64,
             levels: 8,
             crosstalk: 0.1,
+            noise_sigma: 0.05,
+            shards: serve.shards,
+            target_p99_us: serve.target_p99_us,
+            retry_after_ms: serve.retry_after_ms,
+            max_connections: serve.max_connections,
         }
     }
 }
@@ -75,6 +92,8 @@ fn usage_error(message: String) -> ! {
     eprintln!("usage: photonn serve [--addr A] [--grid N] [--epochs E] [--max-batch B]");
     eprintln!("                     [--max-wait-us U] [--queue-cap Q] [--threads T]");
     eprintln!("                     [--cache-mb M] [--levels L] [--crosstalk K]");
+    eprintln!("                     [--noise-sigma S] [--shards N] [--target-p99-us P]");
+    eprintln!("                     [--retry-after-ms R] [--max-connections C]");
     std::process::exit(2);
 }
 
@@ -114,6 +133,11 @@ fn parse_serve_options(args: &[String]) -> ServeOptions {
             "--cache-mb" => opts.cache_mb = parsed(flag, value),
             "--levels" => opts.levels = parsed(flag, value),
             "--crosstalk" => opts.crosstalk = parsed(flag, value),
+            "--noise-sigma" => opts.noise_sigma = parsed(flag, value),
+            "--shards" => opts.shards = parsed(flag, value),
+            "--target-p99-us" => opts.target_p99_us = parsed(flag, value),
+            "--retry-after-ms" => opts.retry_after_ms = parsed(flag, value),
+            "--max-connections" => opts.max_connections = parsed(flag, value),
             other => usage_error(format!("unknown flag '{other}'")),
         }
         i += 2;
@@ -144,20 +168,25 @@ fn serve(args: &[String]) {
     registry.register("ideal", donn.clone());
     registry.register_quantized(format!("quantized{}", opts.levels), &donn, opts.levels);
     registry.register_deployed("deployed", &donn, FabricationModel::new(opts.crosstalk));
+    registry.register_noise_injected("noisy", &donn, opts.noise_sigma, 7);
 
-    let config = ServerConfig {
-        policy: BatchPolicy {
+    let server = ServerBuilder::new(registry)
+        .policy(BatchPolicy {
             max_batch: opts.max_batch,
             max_wait_us: opts.max_wait_us,
             queue_capacity: opts.queue_cap,
             threads: opts.threads,
-        },
-        cache_budget_bytes: opts.cache_mb << 20,
-    };
-    let server = Server::bind(opts.addr.as_str(), registry, config).unwrap_or_else(|e| {
-        eprintln!("cannot bind {}: {e}", opts.addr);
-        std::process::exit(1);
-    });
+        })
+        .cache_budget_bytes(opts.cache_mb << 20)
+        .shards(opts.shards)
+        .target_p99_us(opts.target_p99_us)
+        .retry_after_ms(opts.retry_after_ms)
+        .max_connections(opts.max_connections)
+        .bind(opts.addr.as_str())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        });
     println!("photonn-serve listening on http://{}", server.addr());
     println!("  GET  /healthz");
     println!("  GET  /models");
@@ -166,9 +195,17 @@ fn serve(args: &[String]) {
         "  POST /v1/logits   {{\"model\": \"ideal\", \"image\": [<{0}x{0} values>]}}",
         opts.grid
     );
+    println!("  GET  /v2/models");
+    println!(
+        "  POST /v2/logits   {{\"model\": \"ideal\", \"head\": \"sum\", \"inputs\": [<images>]}}"
+    );
     println!(
         "policy: max_batch {} | max_wait {} us | queue {} | {} threads | cache {} MiB",
         opts.max_batch, opts.max_wait_us, opts.queue_cap, opts.threads, opts.cache_mb
+    );
+    println!(
+        "frontend: {} shard(s) | target p99 {} us | retry-after {} ms | max {} conns",
+        opts.shards, opts.target_p99_us, opts.retry_after_ms, opts.max_connections
     );
     // Serve until the process is killed; the handle's Drop shuts down.
     loop {

@@ -1,10 +1,20 @@
 //! End-to-end serving tests: real TCP sockets, concurrent clients, and
 //! bit-identity between served logits and direct `Donn::logits` calls.
+//!
+//! The original tests deliberately stay on the deprecated
+//! `Server::bind`/`ServerConfig` entry points: they prove the legacy
+//! surface keeps compiling and behaving identically on top of the
+//! event-loop frontend. New tests use `ServerBuilder`.
+#![allow(deprecated)]
 
 use photonn::datasets::{Dataset, Family};
 use photonn::donn::{Donn, DonnConfig};
 use photonn::math::{Grid, Rng};
-use photonn::serve::{client, BatchPolicy, Json, ModelRegistry, Server, ServerConfig};
+use photonn::serve::{
+    client, BatchPolicy, Json, ModelRegistry, Server, ServerBuilder, ServerConfig,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -269,4 +279,161 @@ fn endpoints_and_error_paths() {
     server.shutdown();
     // After shutdown the port no longer answers.
     assert!(client::request(addr, "GET", "/healthz", None).is_err());
+}
+
+/// Reads one `Content-Length`-delimited HTTP response off a pipelined
+/// stream.
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    assert!(
+        reader.read_line(&mut status_line).expect("status line") > 0,
+        "server closed mid-pipeline"
+    );
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("malformed status line");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("header") > 0);
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// The ordering property the write layer guarantees: per-model queues,
+/// work-stealing and admission degradation may scramble *dispatch* order
+/// freely, but one client's pipelined requests are answered strictly in
+/// the order they were sent.
+///
+/// One raw socket sends a burst of back-to-back requests — alternating
+/// between two models (so jobs land in different per-shard queues and
+/// groups churn) and between `/v1` and `/v2` (so both dialects share the
+/// response-slot queue) — then reads every response in order. Each
+/// request carries a distinct image, so any reordering is caught as a
+/// bit-exact logits mismatch, not just a plausible-looking answer.
+/// Swept over seeds to vary batch boundaries and steal timing.
+#[test]
+fn pipelined_requests_answered_in_order_under_shard_churn() {
+    let donn = model();
+    let mut quantized = donn.clone();
+    quantized.set_masks(
+        donn.masks()
+            .iter()
+            .map(|m| photonn::donn::quantize::quantize_mask(m, 8))
+            .collect(),
+    );
+    let mut reg = registry(&donn);
+    reg.register_quantized("q8", &donn, 8);
+    let mut server = ServerBuilder::new(reg)
+        .policy(BatchPolicy {
+            max_batch: 3, // small ceiling: a burst spans many batches
+            max_wait_us: 0,
+            queue_capacity: 256,
+            threads: 1,
+        })
+        .shards(4)
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let addr = server.addr();
+
+    const REQUESTS: usize = 16;
+    for seed in 0..6u64 {
+        let data = Dataset::synthetic(Family::Mnist, REQUESTS, 100 + seed).resized(GRID);
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+
+        // The whole burst goes out before any response is read.
+        let mut burst = String::new();
+        for r in 0..REQUESTS {
+            let image = data.image(r);
+            let model = if (seed as usize + r).is_multiple_of(2) {
+                "ideal"
+            } else {
+                "q8"
+            };
+            let (path, body) = if r % 3 == 2 {
+                (
+                    "/v2/logits",
+                    Json::object(vec![
+                        ("model".into(), Json::Str(model.into())),
+                        (
+                            "inputs".into(),
+                            Json::Arr(vec![Json::numbers(image.as_slice())]),
+                        ),
+                    ])
+                    .to_string(),
+                )
+            } else {
+                (
+                    "/v1/logits",
+                    Json::object(vec![
+                        ("model".into(), Json::Str(model.into())),
+                        ("image".into(), Json::numbers(image.as_slice())),
+                    ])
+                    .to_string(),
+                )
+            };
+            burst.push_str(&format!(
+                "POST {path} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ));
+        }
+        writer.write_all(burst.as_bytes()).expect("write burst");
+        writer.flush().expect("flush");
+
+        for r in 0..REQUESTS {
+            let (status, body) = read_one_response(&mut reader);
+            assert_eq!(status, 200, "seed {seed} response {r}: {body}");
+            let image = data.image(r);
+            let model = if (seed as usize + r).is_multiple_of(2) {
+                &donn
+            } else {
+                &quantized
+            };
+            let expected = model.logits(image);
+            let doc = Json::parse(&body).expect("valid JSON");
+            let got: Vec<f64> = if r % 3 == 2 {
+                doc.get("results")
+                    .and_then(Json::as_array)
+                    .expect("results")[0]
+                    .get("logits")
+                    .and_then(Json::as_array)
+                    .expect("logits")
+                    .iter()
+                    .map(|v| v.as_f64().expect("number"))
+                    .collect()
+            } else {
+                doc.get("logits")
+                    .and_then(Json::as_array)
+                    .expect("logits")
+                    .iter()
+                    .map(|v| v.as_f64().expect("number"))
+                    .collect()
+            };
+            assert_eq!(
+                got, expected,
+                "seed {seed} response {r} out of order or wrong model"
+            );
+        }
+    }
+    // With 4 shards and two models the burst pattern routinely crosses
+    // shards; the accounting must balance regardless of steal activity.
+    let snapshot = server.metrics();
+    assert_eq!(snapshot.responses_2xx, (6 * REQUESTS) as u64);
+    server.shutdown();
 }
