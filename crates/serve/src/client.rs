@@ -53,6 +53,12 @@ impl Connection {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
+        self.send(method, path, body)?;
+        read_response(&mut self.reader)
+    }
+
+    /// Writes one request without reading the response.
+    fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<()> {
         // Single buffered write (see `http::write_response` on Nagle).
         let request = match body {
             Some(body) => format!(
@@ -62,8 +68,14 @@ impl Connection {
             None => format!("{method} {path} HTTP/1.1\r\n\r\n"),
         };
         self.writer.write_all(request.as_bytes())?;
-        self.writer.flush()?;
-        read_response(&mut self.reader)
+        self.writer.flush()
+    }
+
+    /// Blocks until the response starts arriving: `Ok(true)` once at
+    /// least one byte is buffered, `Ok(false)` on clean EOF before any
+    /// byte (the server closed without answering).
+    fn response_started(&mut self) -> io::Result<bool> {
+        Ok(!self.reader.fill_buf()?.is_empty())
     }
 }
 
@@ -168,9 +180,14 @@ pub struct BatchInference {
 
 /// A typed client over a keep-alive connection. The connection is opened
 /// lazily and reopened transparently when the server has closed it; a
-/// request is retried at most once, and only when the failure shows the
-/// request never reached a live connection (so a non-idempotent call is
-/// not silently replayed).
+/// request is retried at most once, and only when a *reused* connection
+/// fails before delivering any response byte (write error, clean EOF, or
+/// reset) — the signature of a server idle-close or restart between
+/// requests. A failure after the first response byte, or a read timeout,
+/// is surfaced as-is, so a request that is slow or mid-execution
+/// server-side is never replayed. (Against a server that crashes after
+/// reading a request but before answering, the replay is still possible;
+/// this API is stateless, so such a replay is harmless.)
 pub struct Client {
     addr: SocketAddr,
     conn: Option<Connection>,
@@ -183,7 +200,8 @@ impl Client {
     }
 
     /// Sends over the kept-alive connection, reconnecting once when the
-    /// previous connection turns out to be dead.
+    /// previous connection turns out to be dead (see the type docs for
+    /// exactly when a retry happens).
     ///
     /// # Errors
     ///
@@ -199,23 +217,45 @@ impl Client {
             self.conn = Some(Connection::connect(self.addr)?);
         }
         let conn = self.conn.as_mut().expect("just ensured");
-        match conn.request(method, path, body) {
-            Ok(reply) => Ok(reply),
-            Err(e) if had_conn => {
-                // The reused connection was stale (server idle-closed or
-                // restarted between requests): retry once on a fresh one.
-                drop(e);
+        // A reused connection the server idle-closed or restarted under
+        // surfaces as a write failure, a clean EOF, or a reset before the
+        // first response byte — all meaning this request was never
+        // answered, so one replay on a fresh connection is safe. Once
+        // response bytes have started flowing (or on a timeout, where the
+        // request may still be executing), any failure is final.
+        let stale = match conn.send(method, path, body).and_then(|()| conn.response_started()) {
+            Ok(true) => {
+                let reply = read_response(&mut conn.reader);
+                if reply.is_err() {
+                    self.conn = None;
+                }
+                return reply;
+            }
+            Ok(false) if had_conn => true,
+            Ok(false) => {
                 self.conn = None;
-                let mut fresh = Connection::connect(self.addr)?;
-                let reply = fresh.request(method, path, body)?;
-                self.conn = Some(fresh);
-                Ok(reply)
+                return Err(bad("empty response"));
+            }
+            Err(e)
+                if had_conn
+                    && !matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                true
             }
             Err(e) => {
                 self.conn = None;
-                Err(e)
+                return Err(e);
             }
-        }
+        };
+        debug_assert!(stale);
+        self.conn = None;
+        let mut fresh = Connection::connect(self.addr)?;
+        let reply = fresh.request(method, path, body)?;
+        self.conn = Some(fresh);
+        Ok(reply)
     }
 
     /// `POST /v1/logits` for one image; `model = None` uses the server

@@ -51,6 +51,9 @@ use std::time::{Duration, Instant};
 const POLL_TIMEOUT: Duration = Duration::from_millis(100);
 /// Poll timeout while draining for shutdown.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(10);
+/// How long the listener stays paused after a persistent `accept` failure
+/// (EMFILE/ENFILE under fd pressure) before the loop re-arms it.
+const ACCEPT_RETRY: Duration = Duration::from_millis(100);
 /// How long shutdown waits for stalled peers before force-closing them.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 /// Read chunk size per `read(2)` call.
@@ -252,6 +255,7 @@ impl ServerBuilder {
             active: 0,
             pending: 0,
             shutdown_seen: None,
+            accept_paused: None,
         };
         let thread = std::thread::Builder::new()
             .name("photonn-eventloop".into())
@@ -421,6 +425,9 @@ struct EventLoop {
     active: usize,
     pending: usize,
     shutdown_seen: Option<Instant>,
+    /// When `Some`, the listener is deregistered after a persistent
+    /// `accept` failure; holds the pause start for the re-arm backoff.
+    accept_paused: Option<Instant>,
 }
 
 impl EventLoop {
@@ -431,8 +438,13 @@ impl EventLoop {
             if shutting && self.shutdown_seen.is_none() {
                 self.shutdown_seen = Some(Instant::now());
             }
+            self.maybe_resume_accept();
             let timeout = if shutting {
                 SHUTDOWN_POLL
+            } else if self.accept_paused.is_some() {
+                // Wake in time to re-arm the listener even when every
+                // live connection is quiet.
+                POLL_TIMEOUT.min(ACCEPT_RETRY)
             } else {
                 POLL_TIMEOUT
             };
@@ -475,7 +487,23 @@ impl EventLoop {
             let stream = match self.listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(_) => continue, // transient accept failure
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted | io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    continue // transient: the next accept may succeed
+                }
+                Err(_) => {
+                    // Persistent failure (typically EMFILE/ENFILE when fd
+                    // pressure outruns max_connections). Retrying here
+                    // would spin this thread forever and starve every
+                    // live connection; pause the listener instead and let
+                    // run() re-arm it once closes have freed fds.
+                    self.pause_accept();
+                    return;
+                }
             };
             if shutting || self.active >= self.core.config.max_connections {
                 // Beyond capacity (or draining): shed at the accept
@@ -519,6 +547,36 @@ impl EventLoop {
         }
     }
 
+    /// Takes the listener out of the poll set after a persistent accept
+    /// failure, so the level-triggered readiness stops re-firing into a
+    /// failing `accept` every iteration.
+    fn pause_accept(&mut self) {
+        if self.accept_paused.is_none() {
+            let _ = self.poller.deregister(self.listener.as_raw_fd());
+            self.accept_paused = Some(Instant::now());
+        }
+    }
+
+    /// Re-arms a paused listener once the backoff has elapsed; on a
+    /// failed re-registration the backoff restarts.
+    fn maybe_resume_accept(&mut self) {
+        let Some(since) = self.accept_paused else {
+            return;
+        };
+        if since.elapsed() < ACCEPT_RETRY {
+            return;
+        }
+        if self
+            .poller
+            .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_ok()
+        {
+            self.accept_paused = None;
+        } else {
+            self.accept_paused = Some(Instant::now());
+        }
+    }
+
     // ---- per-connection events
 
     fn decode(&self, token: u64) -> Option<usize> {
@@ -540,7 +598,7 @@ impl EventLoop {
             dead = self.read_and_parse(&mut conn, slot);
         }
         if !dead && (writable || !conn.write_buf.is_empty() || !conn.slots.is_empty()) {
-            dead = flush(&self.core, &mut conn);
+            dead = self.flush(&mut conn);
         }
         self.finish_event(slot, conn, dead);
     }
@@ -655,7 +713,7 @@ impl EventLoop {
                 self.pending -= 1;
             }
         }
-        let dead = flush(&self.core, &mut conn);
+        let dead = self.flush(&mut conn);
         self.finish_event(slot, conn, dead);
     }
 
@@ -670,7 +728,7 @@ impl EventLoop {
             let Some(mut conn) = self.conns[slot].take() else {
                 continue;
             };
-            let dead = flush(&self.core, &mut conn);
+            let dead = self.flush(&mut conn);
             if dead || grace_expired {
                 self.close(slot, conn);
             } else {
@@ -679,51 +737,54 @@ impl EventLoop {
         }
         self.active == 0
     }
-}
 
-/// Serializes every leading ready slot into the write buffer, then pushes
-/// bytes to the socket. Returns `true` when the connection died.
-fn flush(core: &Arc<Core>, conn: &mut Conn) -> bool {
-    while let Some(front) = conn.slots.front() {
-        if !matches!(front.state, SlotState::Ready(_)) {
-            break;
+    /// Serializes every leading ready slot into the write buffer, then
+    /// pushes bytes to the socket. Returns `true` when the connection
+    /// died.
+    fn flush(&mut self, conn: &mut Conn) -> bool {
+        while let Some(front) = conn.slots.front() {
+            if !matches!(front.state, SlotState::Ready(_)) {
+                break;
+            }
+            let slot = conn.slots.pop_front().expect("checked front");
+            let SlotState::Ready(response) = slot.state else {
+                unreachable!("checked ready")
+            };
+            self.core.metrics.record_status(response.status);
+            let _span = photonn_trace::span("serve.write");
+            write_response(
+                &mut conn.write_buf,
+                response.status,
+                "application/json",
+                &response.body,
+                response.close,
+            )
+            .expect("write to Vec cannot fail");
+            if response.close {
+                conn.close_after_flush = true;
+                // Later pipelined slots are behind a close: drop them
+                // (any pending among them will resolve into a stale
+                // token), keeping the loop-wide pending count honest.
+                self.pending -= conn.pending_count();
+                conn.slots.clear();
+            }
         }
-        let slot = conn.slots.pop_front().expect("checked front");
-        let SlotState::Ready(response) = slot.state else {
-            unreachable!("checked ready")
-        };
-        core.metrics.record_status(response.status);
-        let _span = photonn_trace::span("serve.write");
-        write_response(
-            &mut conn.write_buf,
-            response.status,
-            "application/json",
-            &response.body,
-            response.close,
-        )
-        .expect("write to Vec cannot fail");
-        if response.close {
-            conn.close_after_flush = true;
-            // Later pipelined slots are behind a close: drop them (any
-            // pending among them will resolve into a stale token).
-            conn.slots.clear();
+        while conn.written < conn.write_buf.len() {
+            let _span = photonn_trace::span("serve.write");
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => return true,
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
         }
-    }
-    while conn.written < conn.write_buf.len() {
-        let _span = photonn_trace::span("serve.write");
-        match conn.stream.write(&conn.write_buf[conn.written..]) {
-            Ok(0) => return true,
-            Ok(n) => conn.written += n,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return true,
+        if conn.written == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.written = 0;
         }
+        false
     }
-    if conn.written == conn.write_buf.len() {
-        conn.write_buf.clear();
-        conn.written = 0;
-    }
-    false
 }
 
 // ------------------------------------------------------------- routing

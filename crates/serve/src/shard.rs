@@ -614,13 +614,41 @@ fn next_batch(pool: &PoolInner, index: usize) -> Option<Vec<Job>> {
             continue;
         }
         let (max_batch, max_wait_us) = pool.admission.effective(&pool.policy);
-        let front = state.groups.front().expect("depth > 0");
-        let deadline = front.jobs.front().expect("non-empty group").enqueued
+        // Dispatch by age, not queue position: the group whose head job
+        // has waited longest owns the shard's deadline, so sustained
+        // traffic to one model can never starve another model's group
+        // parked behind it (its max_wait is always consulted). A group
+        // that has already filled a batch goes immediately — oldest such
+        // group first when several are full.
+        let mut oldest = 0;
+        let mut full: Option<usize> = None;
+        for (i, group) in state.groups.iter().enumerate() {
+            let head = group.jobs.front().expect("non-empty group").enqueued;
+            if head < state.groups[oldest].jobs.front().expect("non-empty group").enqueued {
+                oldest = i;
+            }
+            if group.jobs.len() >= max_batch
+                && full.is_none_or(|f| {
+                    head < state.groups[f].jobs.front().expect("non-empty group").enqueued
+                })
+            {
+                full = Some(i);
+            }
+        }
+        let deadline = state.groups[oldest]
+            .jobs
+            .front()
+            .expect("non-empty group")
+            .enqueued
             + Duration::from_micros(max_wait_us);
-        let ready = front.jobs.len();
         let now = Instant::now();
-        if ready >= max_batch || state.shutdown || now >= deadline {
-            let jobs = take_front(&mut state, max_batch);
+        let pick = if state.shutdown || now >= deadline {
+            Some(oldest)
+        } else {
+            full
+        };
+        if let Some(at) = pick {
+            let jobs = take_group(&mut state, at, max_batch);
             pool.counters[index]
                 .queue_depth
                 .store(state.depth, Ordering::Relaxed);
@@ -636,14 +664,14 @@ fn next_batch(pool: &PoolInner, index: usize) -> Option<Vec<Job>> {
     }
 }
 
-/// Takes up to `max_batch` jobs off the front group, removing the group
+/// Takes up to `max_batch` jobs off the group at `at`, removing the group
 /// when it empties (order within the group is preserved).
-fn take_front(state: &mut ShardState, max_batch: usize) -> Vec<Job> {
-    let front = state.groups.front_mut().expect("non-empty");
-    let take = front.jobs.len().min(max_batch);
-    let jobs: Vec<Job> = front.jobs.drain(..take).collect();
-    if front.jobs.is_empty() {
-        state.groups.pop_front();
+fn take_group(state: &mut ShardState, at: usize, max_batch: usize) -> Vec<Job> {
+    let group = &mut state.groups[at];
+    let take = group.jobs.len().min(max_batch);
+    let jobs: Vec<Job> = group.jobs.drain(..take).collect();
+    if group.jobs.is_empty() {
+        state.groups.remove(at);
     }
     state.depth -= jobs.len();
     jobs
@@ -907,6 +935,44 @@ mod tests {
                 "idle shard never stole from the backlog: {snap:?}"
             );
         }
+    }
+
+    #[test]
+    fn full_newer_group_neither_waits_behind_nor_starves_an_older_group() {
+        let (reg, donn) = registry();
+        let metrics = Arc::new(Metrics::new());
+        // One shard so both models share a queue; a 2 s coalescing wait
+        // so the older, non-full group parks the dispatcher.
+        let pool = ShardPool::new(reg, policy(4, 2_000_000), 1, None, metrics, 0);
+        let imgs = images(5);
+        let ideal = pool.resolve(Some("ideal")).unwrap().clone();
+        let q8 = pool.resolve(Some("q8")).unwrap().clone();
+        let (tx, old_rx) = mpsc::channel();
+        pool.submit(&ideal, ReadoutHead::Sum, imgs[0].clone(), Reply::Channel(tx))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let full_rxs: Vec<_> = imgs[1..]
+            .iter()
+            .map(|img| {
+                let (tx, rx) = mpsc::channel();
+                pool.submit(&q8, ReadoutHead::Sum, img.clone(), Reply::Channel(tx))
+                    .unwrap();
+                rx
+            })
+            .collect();
+        // The batch-sized q8 group must dispatch right away instead of
+        // queueing behind ideal's far-off coalescing deadline.
+        for rx in &full_rxs {
+            rx.recv_timeout(Duration::from_millis(500))
+                .expect("full group stuck behind an older non-full group");
+        }
+        // And the older group still goes out on its own deadline — the
+        // hot model cannot starve it.
+        assert_eq!(
+            old_rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            donn.logits(&imgs[0]),
+            "older group starved or misrouted"
+        );
     }
 
     #[test]
